@@ -1,0 +1,198 @@
+//! Criterion micro-benchmarks for Oak's hot paths.
+//!
+//! The Oak server sits on the request path of every page view (rewriting)
+//! and processes a report per page load (analysis + detection +
+//! matching), so these are the latencies that bound a deployment:
+//!
+//! - `detect/*` — per-report MAD violator detection, with the StdDev
+//!   ablation the paper argues against (§4.2.1),
+//! - `match/*` — connection-dependency matching at each level (§4.2.2;
+//!   the levels are the Fig. 8 ablation),
+//! - `rewrite/*` — page modification throughput (§4.3),
+//! - `report/*` — wire codec for the HAR-like report (§5),
+//! - `engine/*` — the end-to-end ingest and modify paths.
+//!
+//! Run with `cargo bench -p oak-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use oak_core::analysis::PageAnalysis;
+use oak_core::detect::{detect_violators, DetectorConfig, OutlierMethod};
+use oak_core::engine::{Oak, OakConfig};
+use oak_core::matching::{match_rule, MatchLevel, NoFetch};
+use oak_core::report::{ObjectTiming, PerfReport};
+use oak_core::rule::Rule;
+use oak_core::Instant;
+
+/// A report with `servers` servers and three objects each.
+fn synthetic_report(servers: usize) -> PerfReport {
+    let mut report = PerfReport::new("bench-user", "/index.html");
+    for s in 0..servers {
+        for o in 0..3 {
+            report.push(ObjectTiming::new(
+                format!("http://host{s}.example/obj{o}.js"),
+                format!("10.0.{}.{}", s / 250, s % 250 + 1),
+                if o == 2 { 120_000 } else { 8_000 + (s * 131 + o * 17) as u64 % 30_000 },
+                80.0 + ((s * 37 + o * 101) % 120) as f64,
+            ));
+        }
+    }
+    report
+}
+
+/// A page with `tags` external references plus inline scripts.
+fn synthetic_page(tags: usize) -> String {
+    let mut page = String::from("<!DOCTYPE html><html><head><title>bench</title></head><body>\n");
+    for i in 0..tags {
+        page.push_str(&format!(
+            "<script src=\"http://host{i}.example/lib{i}.js\"></script>\n"
+        ));
+        if i % 5 == 0 {
+            page.push_str(&format!(
+                "<script>var h = \"pixel{i}.example\"; var p = \"/p.gif\"; beacon(h + p);</script>\n"
+            ));
+        }
+    }
+    page.push_str("</body></html>\n");
+    page
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect");
+    for &servers in &[10usize, 40] {
+        let report = synthetic_report(servers);
+        group.bench_function(format!("analyze+mad/{servers}_servers"), |b| {
+            b.iter(|| {
+                let analysis = PageAnalysis::from_report(black_box(&report));
+                detect_violators(&analysis, &DetectorConfig::default())
+            })
+        });
+        let analysis = PageAnalysis::from_report(&report);
+        group.bench_function(format!("mad_only/{servers}_servers"), |b| {
+            b.iter(|| detect_violators(black_box(&analysis), &DetectorConfig::default()))
+        });
+        group.bench_function(format!("stddev_ablation/{servers}_servers"), |b| {
+            let config = DetectorConfig {
+                method: OutlierMethod::StdDev,
+                ..DetectorConfig::default()
+            };
+            b.iter(|| detect_violators(black_box(&analysis), &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match");
+    let page = synthetic_page(40);
+    let hit = vec!["host17.example".to_owned()];
+    let miss = vec!["absent.example".to_owned()];
+    for level in [MatchLevel::DirectInclude, MatchLevel::TextMatch, MatchLevel::ExternalJs] {
+        group.bench_function(format!("{level:?}/hit"), |b| {
+            b.iter(|| match_rule(black_box(&page), black_box(&hit), level, &NoFetch))
+        });
+        group.bench_function(format!("{level:?}/miss"), |b| {
+            b.iter(|| match_rule(black_box(&page), black_box(&miss), level, &NoFetch))
+        });
+    }
+    // The precompiled path the engine actually runs per report.
+    let surface = oak_core::matching::RuleSurface::compile(&page);
+    group.bench_function("precompiled/hit", |b| {
+        b.iter(|| surface.matches(black_box(&hit), MatchLevel::ExternalJs, &NoFetch))
+    });
+    group.bench_function("precompiled/miss", |b| {
+        b.iter(|| surface.matches(black_box(&miss), MatchLevel::ExternalJs, &NoFetch))
+    });
+    group.bench_function("compile", |b| {
+        b.iter(|| oak_core::matching::RuleSurface::compile(black_box(&page)))
+    });
+    group.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    let page = synthetic_page(200); // ~15 KB, a mid-sized index page
+    group.bench_function("replace_all/1_rule", |b| {
+        b.iter(|| {
+            let mut rw = oak_html::Rewriter::new(black_box(&page));
+            rw.replace_all("http://host17.example/", "http://alt.example/host17.example/");
+            rw.apply().unwrap()
+        })
+    });
+    group.bench_function("replace_all/20_rules", |b| {
+        b.iter(|| {
+            let mut rw = oak_html::Rewriter::new(black_box(&page));
+            for i in 0..20 {
+                rw.replace_all(
+                    &format!("http://host{i}.example/"),
+                    &format!("http://alt.example/host{i}.example/"),
+                );
+            }
+            rw.apply().unwrap()
+        })
+    });
+    group.bench_function("tokenize", |b| {
+        b.iter(|| oak_html::tokenize(black_box(&page)))
+    });
+    group.bench_function("document_parse", |b| {
+        b.iter(|| oak_html::Document::parse(black_box(&page)))
+    });
+    group.finish();
+}
+
+fn bench_report_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("report");
+    let report = synthetic_report(40);
+    let json = report.to_json();
+    group.bench_function("serialize/40_servers", |b| {
+        b.iter(|| black_box(&report).to_json())
+    });
+    group.bench_function("parse/40_servers", |b| {
+        b.iter(|| PerfReport::from_json(black_box(&json)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let page = synthetic_page(40);
+    let report = synthetic_report(40);
+
+    let build_oak = || {
+        let mut oak = Oak::new(OakConfig::default());
+        for i in 0..40 {
+            oak.add_rule(Rule::replace_identical(
+                format!("http://host{i}.example/"),
+                [format!("http://alt.example/host{i}.example/")],
+            ))
+            .unwrap();
+        }
+        oak
+    };
+
+    group.bench_function("ingest_report/40_rules", |b| {
+        b.iter_batched(
+            build_oak,
+            |mut oak| oak.ingest_report(Instant::ZERO, black_box(&report), &NoFetch),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut warm = build_oak();
+    warm.ingest_report(Instant::ZERO, &report, &NoFetch);
+    group.bench_function("modify_page/40_rules", |b| {
+        b.iter(|| warm.modify_page(Instant::ZERO, "bench-user", "/index.html", black_box(&page)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detect,
+    bench_match,
+    bench_rewrite,
+    bench_report_codec,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Hand-built worlds for the controlled experiments of §5.1 and §5.2.
+//!
+//! These bypass the corpus generator: the paper built these pages by hand
+//! ("a simple website which consists of 6 sets of simple objects", §5.2),
+//! so the harness does too — assembling a [`Corpus`] value directly with
+//! exactly the servers, objects, and rules the experiment calls for.
+
+use std::collections::BTreeMap;
+
+use oak_core::rule::Rule;
+use oak_net::{ClientId, Quality, Region, ServerId, WorldBuilder};
+use oak_webgen::{Category, Corpus, Inclusion, PageObject, Site};
+
+/// The five external hosts of the §5.1 sensitivity page.
+pub fn sensitivity_hosts() -> Vec<String> {
+    (1..=5).map(|i| format!("s{i}.bench.example")).collect()
+}
+
+/// Alternate host for a default host (`s3.bench.example` →
+/// `alt3.bench.example`).
+pub fn alternate_of(host: &str) -> String {
+    host.replacen('s', "alt", 1)
+}
+
+/// Builds the §5.1 sensitivity world: one origin, five external servers
+/// plus five alternates (all North-American, same quality tier, so only
+/// injected delays differentiate them), and one client in each of NA, EU,
+/// and AS.
+///
+/// Returns the corpus (with a single one-page site) and the three client
+/// ids in `[NA, EU, AS]` order.
+pub fn sensitivity_world(seed: u64) -> (Corpus, Vec<ClientId>) {
+    let mut b = WorldBuilder::new(seed);
+    let origin = b.server("bench.example", Region::NorthAmerica, Quality::Good);
+
+    let mut objects = Vec::new();
+    let mut servers: Vec<ServerId> = Vec::new();
+    for host in sensitivity_hosts() {
+        let server = b.server(&host, Region::NorthAmerica, Quality::Mediocre);
+        let alt = alternate_of(&host);
+        b.server(&alt, Region::NorthAmerica, Quality::Mediocre);
+        servers.push(server);
+        // "objects of varying sizes": straddle the 50 KB split so both
+        // detection axes run.
+        for (j, bytes) in [10_000u64, 30_000, 45_000, 100_000, 500_000]
+            .into_iter()
+            .enumerate()
+        {
+            let url = format!("http://{host}/obj{j}.bin");
+            objects.push(PageObject {
+                url: url.clone(),
+                domain: host.clone(),
+                server,
+                bytes,
+                category: Category::Cdn,
+                inclusion: Inclusion::SrcAttr,
+                external: true,
+                snippet: Some(format!(r#"<img src="{url}">"#)),
+            });
+        }
+    }
+
+    let clients = vec![
+        b.client(Region::NorthAmerica),
+        b.client(Region::Europe),
+        b.client(Region::Asia),
+    ];
+
+    let site = assemble_site("bench.example", origin, objects);
+    let corpus = Corpus {
+        world: b.build(),
+        providers: Vec::new(),
+        sites: vec![site],
+        clients: clients.clone(),
+        replicas: Vec::new(),
+        script_bodies: BTreeMap::new(),
+    };
+    (corpus, clients)
+}
+
+/// One Type 2 prefix rule per sensitivity host, to its alternate.
+pub fn sensitivity_rules() -> Vec<Rule> {
+    sensitivity_hosts()
+        .iter()
+        .map(|host| oak_client::rules::prefix_rule(host, &alternate_of(host)))
+        .collect()
+}
+
+/// Builds the §5.2 benchmark-detection world: an origin plus five default
+/// external servers of deliberately mixed quality (the paper found "2 of
+/// the Planet Lab servers were performing significantly worse than the
+/// others") and five randomly-good alternates, 6 object sets of
+/// 30/50/100/500 KB, and the standard 25 clients.
+pub fn benchmark_world(seed: u64) -> (Corpus, Vec<ClientId>) {
+    let mut b = WorldBuilder::new(seed);
+    let origin = b.server("bench10.example", Region::NorthAmerica, Quality::Good);
+
+    // Default set qualities: two bad apples, as the paper observed.
+    let default_quality = [
+        Quality::Good,
+        Quality::Good,
+        Quality::Mediocre,
+        Quality::Poor,
+        Quality::Poor,
+    ];
+    let alt_quality = [
+        Quality::Good,
+        Quality::Mediocre,
+        Quality::Good,
+        Quality::Good,
+        Quality::Good,
+    ];
+
+    let mut objects = Vec::new();
+    // Set 0: hosted on the origin itself.
+    for (j, bytes) in SET_SIZES.into_iter().enumerate() {
+        let url = format!("http://bench10.example/set0/obj{j}.bin");
+        objects.push(PageObject {
+            url: url.clone(),
+            domain: "bench10.example".into(),
+            server: origin,
+            bytes,
+            category: Category::OriginAsset,
+            inclusion: Inclusion::SrcAttr,
+            external: false,
+            snippet: Some(format!(r#"<img src="{url}">"#)),
+        });
+    }
+    // Sets 1–5: external pairs. The two Poor defaults get a deep daytime
+    // collapse — the paper's two bad PlanetLab nodes slowed by over 10×
+    // when busy, far beyond an ordinary diurnal swing.
+    for i in 0..5 {
+        let host = format!("d{}.bench10.net", i + 1);
+        let server = b.server(&host, Region::NorthAmerica, default_quality[i]);
+        if default_quality[i] == Quality::Poor {
+            b.tune_server(server, |s| s.diurnal_amplitude = if i == 3 { 10.0 } else { 15.0 });
+        }
+        let alt_host = format!("a{}.bench10.net", i + 1);
+        b.server(&alt_host, Region::NorthAmerica, alt_quality[i]);
+        for (j, bytes) in SET_SIZES.into_iter().enumerate() {
+            let url = format!("http://{host}/set{}/obj{j}.bin", i + 1);
+            objects.push(PageObject {
+                url: url.clone(),
+                domain: host.clone(),
+                server,
+                bytes,
+                category: Category::Cdn,
+                inclusion: Inclusion::SrcAttr,
+                external: true,
+                snippet: Some(format!(r#"<img src="{url}">"#)),
+            });
+        }
+    }
+
+    let mut clients = Vec::new();
+    for _ in 0..13 {
+        clients.push(b.client(Region::NorthAmerica));
+    }
+    for _ in 0..6 {
+        clients.push(b.client(Region::Europe));
+    }
+    for _ in 0..4 {
+        clients.push(b.client(Region::Asia));
+    }
+    for _ in 0..2 {
+        clients.push(b.client(Region::Oceania));
+    }
+
+    let site = assemble_site("bench10.example", origin, objects);
+    let corpus = Corpus {
+        world: b.build(),
+        providers: Vec::new(),
+        sites: vec![site],
+        clients: clients.clone(),
+        replicas: Vec::new(),
+        script_bodies: BTreeMap::new(),
+    };
+    (corpus, clients)
+}
+
+/// The §5.2 object sizes: "files sized 30, 50, 100, and 500KB".
+pub const SET_SIZES: [u64; 4] = [30_000, 50_000, 100_000, 500_000];
+
+/// One Type 2 prefix rule per benchmark default host, to its paired
+/// alternate.
+pub fn benchmark_rules() -> Vec<Rule> {
+    (1..=5)
+        .map(|i| {
+            oak_client::rules::prefix_rule(
+                &format!("d{i}.bench10.net"),
+                &format!("a{i}.bench10.net"),
+            )
+        })
+        .collect()
+}
+
+/// Renders the page HTML from the snippets and wraps everything in a
+/// [`Site`].
+fn assemble_site(host: &str, origin: ServerId, objects: Vec<PageObject>) -> Site {
+    let body: String = objects
+        .iter()
+        .filter_map(|o| o.snippet.as_deref())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let html =
+        format!("<!DOCTYPE html>\n<html><head><title>{host}</title></head>\n<body>\n{body}\n</body></html>\n");
+    Site {
+        host: host.to_owned(),
+        origin,
+        index_path: "/index.html".to_owned(),
+        html,
+        objects,
+    }
+}

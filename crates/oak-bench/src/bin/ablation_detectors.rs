@@ -1,0 +1,100 @@
+//! Ablation — the MAD criterion against its two rejected alternatives.
+//!
+//! §4.2.1 argues for median ± 2·MAD over mean ± 2·σ (the deviation
+//! statistic must not be dragged by the outliers it hunts), and §6
+//! argues for *relative* detection over absolute thresholds ("users on
+//! narrow-bandwidth long-haul links will likely see low performance no
+//! matter which servers they are communicating with, and Oak need not
+//! waste its time with such cases"; absolute bounds also "require
+//! regularly updated measurements" to tune). This experiment quantifies
+//! both arguments on the corpus.
+//!
+//! Run: `cargo run --release -p oak-bench --bin ablation_detectors`
+
+use oak_client::{Browser, BrowserConfig, Universe};
+use oak_core::analysis::PageAnalysis;
+use oak_core::detect::{detect_violators, DetectorConfig, OutlierMethod};
+use oak_core::report::PerfReport;
+use oak_net::SimTime;
+use oak_webgen::{Corpus, CorpusConfig};
+
+fn count_violators(report: &PerfReport, method: OutlierMethod) -> usize {
+    let analysis = PageAnalysis::from_report(report);
+    detect_violators(
+        &analysis,
+        &DetectorConfig {
+            method,
+            ..DetectorConfig::default()
+        },
+    )
+    .len()
+}
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 120,
+        ..CorpusConfig::default()
+    });
+    let universe = Universe::new(&corpus);
+    let absolute = OutlierMethod::Absolute {
+        max_small_ms: 400.0,
+        min_large_kbps: 500.0,
+    };
+
+    // Part 1: detections per load across the corpus, healthy clients.
+    let mut totals = [0usize; 3];
+    let mut loads = 0usize;
+    for site in &corpus.sites {
+        for &client in corpus.clients.iter().take(8) {
+            let mut browser = Browser::new(client, "abl", BrowserConfig::default());
+            let load = browser.load_page(&universe, site, &site.html, &[], SimTime::from_hours(13));
+            totals[0] += count_violators(&load.report, OutlierMethod::Mad);
+            totals[1] += count_violators(&load.report, OutlierMethod::StdDev);
+            totals[2] += count_violators(&load.report, absolute);
+            loads += 1;
+        }
+    }
+    println!("Ablation — violators per load over {loads} corpus loads:");
+    println!("  MAD (paper):       {:.2}", totals[0] as f64 / loads as f64);
+    println!("  mean ± 2σ:         {:.2}", totals[1] as f64 / loads as f64);
+    println!("  absolute bounds:   {:.2}", totals[2] as f64 / loads as f64);
+
+    // Part 2: the narrow-bandwidth long-haul client. Every server looks
+    // slow in absolute terms; none is slow relative to the page.
+    let mut slow = PerfReport::new("slow-link-user", "/");
+    for s in 0..8 {
+        slow.push(oak_core::report::ObjectTiming::new(
+            format!("http://host{s}.example/x.js"),
+            format!("10.9.9.{s}"),
+            20_000,
+            2_000.0 + s as f64 * 60.0,
+        ));
+    }
+    println!("\nNarrow-bandwidth long-haul client (every server ≈ 2 s):");
+    println!(
+        "  MAD flags {} servers (nothing relatively slow — correct: switching providers cannot help this client)",
+        count_violators(&slow, OutlierMethod::Mad)
+    );
+    println!(
+        "  absolute bounds flag {} of 8 servers (all of them — rules would churn pointlessly)",
+        count_violators(&slow, absolute)
+    );
+
+    // Part 3: σ self-masking. Two gross outliers inflate σ until one
+    // escapes detection.
+    let mut masked = PerfReport::new("mask", "/");
+    for (i, t) in [100.0, 105.0, 98.0, 102.0, 2_500.0, 2_700.0].iter().enumerate() {
+        masked.push(oak_core::report::ObjectTiming::new(
+            format!("http://m{i}.example/x.js"),
+            format!("10.8.8.{i}"),
+            10_000,
+            *t,
+        ));
+    }
+    println!("\nTwo gross outliers on one page (σ self-masking):");
+    println!(
+        "  MAD flags {}; mean ± 2σ flags {} (σ is inflated by the very outliers it hunts)",
+        count_violators(&masked, OutlierMethod::Mad),
+        count_violators(&masked, OutlierMethod::StdDev)
+    );
+}

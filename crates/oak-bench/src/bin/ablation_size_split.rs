@@ -1,0 +1,69 @@
+//! Ablation — the 50 KB small/large object split.
+//!
+//! §4.2 measures small objects by time and large objects by throughput,
+//! cut at 50 KB. The split matters: time is overhead-dominated for small
+//! objects (throughput would punish them for fixed costs), and
+//! throughput is the meaningful axis once transfer dominates. This sweep
+//! moves the boundary and watches detection change.
+//!
+//! Run: `cargo run --release -p oak-bench --bin ablation_size_split`
+
+use oak_client::{Browser, BrowserConfig, Universe};
+use oak_core::analysis::PageAnalysis;
+use oak_core::detect::{detect_violators, DetectorConfig};
+use oak_net::SimTime;
+use oak_webgen::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 150,
+        ..CorpusConfig::default()
+    });
+    let universe = Universe::new(&corpus);
+    let t = SimTime::from_hours(13);
+    let config = DetectorConfig::default();
+
+    println!("Ablation — small/large split sweep (150 sites × 8 clients)\n");
+    println!(
+        "{:>10}  {:>10} {:>12} {:>12}",
+        "split", "flags/load", "time-axis", "tput-axis"
+    );
+    for split in [5_000u64, 20_000, 50_000, 120_000, 400_000] {
+        let mut flags = 0usize;
+        let mut by_time = 0usize;
+        let mut by_tput = 0usize;
+        let mut loads = 0usize;
+        for site in &corpus.sites {
+            let origin_ip = corpus.world.ip_of(site.origin).to_string();
+            for &client in corpus.clients.iter().take(8) {
+                let mut browser = Browser::new(client, "abl", BrowserConfig::default());
+                let load = browser.load_page(&universe, site, &site.html, &[], t);
+                let analysis = PageAnalysis::from_report_with_split(&load.report, split);
+                loads += 1;
+                for v in detect_violators(&analysis, &config) {
+                    if v.ip == origin_ip {
+                        continue;
+                    }
+                    flags += 1;
+                    match v.kind {
+                        oak_core::detect::ViolationKind::SlowSmallObjects { .. } => by_time += 1,
+                        oak_core::detect::ViolationKind::LowThroughput { .. } => by_tput += 1,
+                    }
+                }
+            }
+        }
+        println!(
+            "{:>8}KB  {:>10.2} {:>12} {:>12}",
+            split / 1_000,
+            flags as f64 / loads as f64,
+            by_time,
+            by_tput
+        );
+    }
+    println!(
+        "\nbelow ~20 KB the throughput axis judges overhead-dominated objects (its\n\
+         few flags are noise); above ~120 KB bulk objects fall onto the *time* axis,\n\
+         whose per-server averages then mix transfer size into latency and over-fire.\n\
+         The paper's 50 KB keeps each axis on the regime it measures well."
+    );
+}

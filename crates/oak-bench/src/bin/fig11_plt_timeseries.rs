@@ -1,0 +1,61 @@
+//! Fig. 11 — average PLT ratio (default / Oak) over three days.
+//!
+//! Paper shape (§5.2): "during the night, Oak performance was near that
+//! of the default. As the default providers became busy during the day,
+//! Oak was able to significantly improve the total page load time" — with
+//! peak gains over 10×, "exactly proportional to the delays incurred at
+//! the poorly performing servers".
+//!
+//! Run: `cargo run --release -p oak-bench --bin fig11_plt_timeseries`
+
+use oak_bench::benchworld::{benchmark_rules, benchmark_world};
+use oak_core::engine::{Oak, OakConfig};
+use oak_net::SimTime;
+
+const HOURS: u64 = 72;
+const INTERVAL_MIN: u64 = 30;
+
+fn main() {
+    let (corpus, clients) = benchmark_world(0x11b);
+    let mut oak = Oak::new(OakConfig::default());
+    for rule in benchmark_rules() {
+        oak.add_rule(rule).expect("bench rules validate");
+    }
+    let mut session = oak_client::SimSession::new(&corpus, oak);
+
+    println!("Fig. 11 — mean PLT ratio (default / Oak) across 25 clients, every 3 h\n");
+    println!("{:>8}  {:>8}  {:>8}", "hour", "ratio", "stddev");
+
+    let mut peak = (0u64, 0.0f64);
+    let mut slot = 0u64;
+    while slot * INTERVAL_MIN < HOURS * 60 {
+        let t = SimTime::from_minutes(slot * INTERVAL_MIN);
+        let mut ratios = Vec::with_capacity(clients.len());
+        for &client in &clients {
+            let (oak_load, _) = session.visit(0, client, t);
+            let default_plt = session.visit_default(0, client, t).plt_ms;
+            ratios.push(default_plt / oak_load.plt_ms);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / ratios.len() as f64;
+        if mean > peak.1 {
+            peak = (slot * INTERVAL_MIN / 60, mean);
+        }
+        // Print every 6th slot (3 h) to keep the series readable.
+        if slot.is_multiple_of(6) {
+            println!(
+                "{:>8}  {:>8.2}  {:>8.2}",
+                slot * INTERVAL_MIN / 60,
+                mean,
+                var.sqrt()
+            );
+        }
+        slot += 1;
+    }
+
+    println!(
+        "\npeak mean ratio {:.1}× at hour {} (paper: >10× at the default providers' local peak;\n\
+         night-time ratios near 1.0 — gains are proportional to the injected load)",
+        peak.1, peak.0
+    );
+}

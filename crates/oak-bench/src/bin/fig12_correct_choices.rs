@@ -1,0 +1,34 @@
+//! Fig. 12 — the fraction of correct rule choices Oak made, in four
+//! panels: H1-Close, H1-Far, H2-Close, H2-Far.
+//!
+//! Paper shape (§5.3): "In the H1 cases, nearly 80% of choices are
+//! entirely correct … In the H2 case, approximately 74% of choices are
+//! always correct", with the residue explained by Oak's experiential
+//! approach — "Oak must use a server before it has information about
+//! that server."
+//!
+//! Run: `cargo run --release -p oak-bench --bin fig12_correct_choices`
+
+use oak_bench::replicated::run;
+use oak_bench::support::{fraction_at_least, print_cdf_grid};
+use oak_webgen::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig::default());
+    let results = run(&corpus);
+
+    println!("Fig. 12 — fraction of correct rule choices (per activated rule)\n");
+    let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    for (key, data) in &results.conditions {
+        print_cdf_grid(key, &data.correct_fractions, &grid);
+        println!(
+            "    entirely correct (fraction = 1.0): {:.0}%  (n = {})\n",
+            fraction_at_least(&data.correct_fractions, 1.0) * 100.0,
+            data.correct_fractions.len()
+        );
+    }
+    println!(
+        "paper: ~80% entirely correct for H1, ~74% for H2; more rules on H2 sites\n\
+         create the more varied results"
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig. 13 — ratio of default object load time to the time under Oak's
+//! choice, for protected objects with active rules, in four panels.
+//!
+//! Paper shape (§5.3): Oak's choice was an improvement (ratio > 1) for
+//! 57% of H1-Close cases, 66% of H1-Far, 80% of H2-Close, and 77% of
+//! H2-Far; "in nearly all cases where the default performs better, the
+//! difference is within normal variations".
+//!
+//! Run: `cargo run --release -p oak-bench --bin fig13_object_ratios`
+
+use oak_bench::replicated::run;
+use oak_bench::support::{fraction_at_least, median, print_cdf_grid};
+use oak_webgen::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig::default());
+    let results = run(&corpus);
+
+    println!("Fig. 13 — default-time / Oak-choice-time per protected domain\n");
+    let grid = [0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0];
+    for (key, data) in &results.conditions {
+        print_cdf_grid(key, &data.object_ratios, &grid);
+        println!(
+            "    Oak's choice faster (ratio > 1): {:.0}%   median ratio {:.2}  (n = {})\n",
+            fraction_at_least(&data.object_ratios, 1.0 + 1e-9) * 100.0,
+            median(&data.object_ratios),
+            data.object_ratios.len()
+        );
+    }
+    println!("paper: improvements in 57% (H1-Close), 66% (H1-Far), 80% (H2-Close), 77% (H2-Far)");
+}

@@ -1,0 +1,81 @@
+//! Table 1 — the most frequently seen outlier domains and their
+//! categories.
+//!
+//! Paper shape: "Advertisements, social networking, and analytics
+//! dominate" (§2.1).
+//!
+//! Run: `cargo run --release -p oak-bench --bin table1_outlier_categories`
+
+use std::collections::BTreeMap;
+
+use oak_bench::support::print_table;
+use oak_client::{Browser, BrowserConfig, Universe};
+use oak_core::analysis::PageAnalysis;
+use oak_core::detect::{detect_violators, DetectorConfig};
+use oak_net::SimTime;
+use oak_webgen::{Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig::default());
+    let universe = Universe::new(&corpus);
+    let config = DetectorConfig::default();
+    let t = SimTime::from_hours(13);
+
+    // Count violation events per domain across all (site, client) loads.
+    let mut hits: BTreeMap<String, usize> = BTreeMap::new();
+    for site in &corpus.sites {
+        let origin_ip = corpus.world.ip_of(site.origin).to_string();
+        for &client in &corpus.clients {
+            let mut browser = Browser::new(client, "t1", BrowserConfig::default());
+            let load = browser.load_page(&universe, site, &site.html, &[], t);
+            let analysis = PageAnalysis::from_report(&load.report);
+            for v in detect_violators(&analysis, &config) {
+                if v.ip == origin_ip {
+                    continue; // external servers only, as in the paper
+                }
+                for domain in v.domains {
+                    *hits.entry(domain).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let mut ranked: Vec<(String, usize)> = hits.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let rows: Vec<(String, String)> = ranked
+        .iter()
+        .take(10)
+        .map(|(domain, count)| {
+            let category = corpus
+                .provider_by_domain(domain)
+                .map(|p| p.category.label())
+                .unwrap_or("Origin");
+            (format!("{domain} ({count} hits)"), category.to_owned())
+        })
+        .collect();
+    print_table(
+        "Table 1 — most frequently seen outliers",
+        ("Site", "Category"),
+        &rows,
+    );
+
+    // Category share over all violation events.
+    let mut by_category: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for (domain, count) in &ranked {
+        let category = corpus
+            .provider_by_domain(domain)
+            .map(|p| p.category.label())
+            .unwrap_or("Origin");
+        *by_category.entry(category).or_insert(0) += count;
+        total += count;
+    }
+    println!("\ncategory share of all outlier observations:");
+    let mut shares: Vec<(&str, usize)> = by_category.into_iter().collect();
+    shares.sort_by_key(|s| std::cmp::Reverse(s.1));
+    for (category, count) in shares {
+        println!("  {:<20} {:>5.1}%", category, count as f64 / total as f64 * 100.0);
+    }
+    println!("\npaper: ads/analytics and social networking dominate the outlier census");
+}

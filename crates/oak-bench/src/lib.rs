@@ -1,0 +1,26 @@
+//! Experiment harness for the Oak reproduction.
+//!
+//! One binary per table/figure of the paper (`src/bin/fig*.rs`,
+//! `src/bin/table*.rs`) regenerates that exhibit's rows or series; this
+//! library holds the shared machinery:
+//!
+//! - [`support`]: CDF/percentile printing used by every binary,
+//! - [`benchworld`]: the §5.1/§5.2 controlled worlds (sensitivity and
+//!   benchmark-detection experiments, Figs. 9–11),
+//! - [`matchrate`]: per-site connection-dependency match rates (Fig. 8,
+//!   Table 2),
+//! - [`replicated`]: the §5.3 replicated-sites experiment shared by
+//!   Figs. 12–14 and Tables 2–3.
+//!
+//! Run any exhibit with
+//! `cargo run --release -p oak-bench --bin <name>`; see DESIGN.md §4 for
+//! the full index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results.
+
+pub mod benchworld;
+pub mod matchrate;
+pub mod replicated;
+pub mod support;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,60 @@
+//! Per-site connection-dependency match rates (Fig. 8, Table 2).
+//!
+//! §4.2.2's validation experiment: "we treat the entire index page as a
+//! single rule, and attempt to match each server to it. Any servers which
+//! do not match therefore represent objects that are loaded as the result
+//! of scripts or other methods which mask the origin from Oak."
+
+use oak_core::matching::{match_rule, MatchLevel, ScriptFetcher};
+use oak_webgen::{Corpus, Site};
+
+/// Match rates for one site at the three levels (cumulative fractions of
+/// external servers matched).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiteMatchRates {
+    /// Number of distinct external servers the page contacts.
+    pub external_servers: usize,
+    /// Fraction matched with direct `src` inclusion only.
+    pub direct: f64,
+    /// Fraction matched with direct + text search.
+    pub text: f64,
+    /// Fraction matched with direct + text + external-JS expansion.
+    pub external_js: f64,
+}
+
+/// Computes the three-level match rates for `site`, using the corpus as
+/// the script fetcher.
+pub fn site_match_rates(corpus: &Corpus, site: &Site) -> SiteMatchRates {
+    let fetcher = |url: &str| corpus.script_body(url);
+    let domains = site.external_domains();
+    let total = domains.len().max(1);
+    let mut counts = [0usize; 3];
+    for domain in &domains {
+        let owned = vec![(*domain).to_owned()];
+        let outcome = match_rule(
+            &site.html,
+            &owned,
+            MatchLevel::ExternalJs,
+            &fetcher as &dyn ScriptFetcher,
+        );
+        match outcome.map(|m| m.level) {
+            Some(MatchLevel::DirectInclude) => {
+                counts[0] += 1;
+                counts[1] += 1;
+                counts[2] += 1;
+            }
+            Some(MatchLevel::TextMatch) => {
+                counts[1] += 1;
+                counts[2] += 1;
+            }
+            Some(MatchLevel::ExternalJs) => counts[2] += 1,
+            None => {}
+        }
+    }
+    SiteMatchRates {
+        external_servers: domains.len(),
+        direct: counts[0] as f64 / total as f64,
+        text: counts[1] as f64 / total as f64,
+        external_js: counts[2] as f64 / total as f64,
+    }
+}

@@ -1,0 +1,143 @@
+//! Tests for the experiment-harness library: the exhibits are only as
+//! trustworthy as the machinery that computes them.
+
+use crate::benchworld::{
+    alternate_of, benchmark_rules, benchmark_world, sensitivity_rules, sensitivity_world,
+};
+use crate::matchrate::site_match_rates;
+use crate::replicated::select_sites;
+use crate::support::*;
+
+use oak_webgen::{Corpus, CorpusConfig};
+
+// ---------------------------------------------------------------------
+// support
+// ---------------------------------------------------------------------
+
+#[test]
+fn fractions_and_grid() {
+    let xs = [1.0, 2.0, 3.0, 4.0];
+    assert_eq!(fraction_at_least(&xs, 3.0), 0.5);
+    assert_eq!(fraction_at_most(&xs, 2.0), 0.5);
+    assert_eq!(fraction_at_least(&[], 1.0), 0.0);
+    assert_eq!(fraction_at_most(&[], 1.0), 0.0);
+    let grid = [0.0, 2.5, 5.0];
+    assert_eq!(cdf_grid(&xs, &grid), vec![(0.0, 0.0), (2.5, 0.5), (5.0, 1.0)]);
+    assert!(median(&xs) == 2.5);
+    assert!(median(&[]).is_nan());
+}
+
+#[test]
+fn ascii_plot_is_monotone_and_labelled() {
+    let grid: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+    let values: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+    let plot = ascii_cdf_plot("test plot", &[("series-a", &values)], &grid);
+    assert!(plot.contains("test plot"));
+    assert!(plot.contains("[*] series-a"));
+    assert!(plot.contains(" 1.00 |"));
+    assert!(plot.contains(" 0.00 |"));
+    // Top row carries the glyph at the right edge (CDF reaches 1).
+    let top_row = plot.lines().find(|l| l.starts_with(" 1.00")).unwrap();
+    assert!(top_row.ends_with('*'));
+}
+
+// ---------------------------------------------------------------------
+// benchworld
+// ---------------------------------------------------------------------
+
+#[test]
+fn sensitivity_world_shape() {
+    let (corpus, clients) = sensitivity_world(1);
+    assert_eq!(clients.len(), 3);
+    assert_eq!(corpus.sites.len(), 1);
+    let site = &corpus.sites[0];
+    // 5 hosts × 5 sizes.
+    assert_eq!(site.objects.iter().filter(|o| o.external).count(), 25);
+    // Every alternate host resolves.
+    for host in crate::benchworld::sensitivity_hosts() {
+        assert!(corpus.world.resolve(&alternate_of(&host), clients[0]).is_some());
+    }
+    let rules = sensitivity_rules();
+    assert_eq!(rules.len(), 5);
+    for rule in rules {
+        rule.validate().unwrap();
+    }
+}
+
+#[test]
+fn alternate_host_naming() {
+    assert_eq!(alternate_of("s3.bench.example"), "alt3.bench.example");
+    assert_eq!(alternate_of("s1.bench.example"), "alt1.bench.example");
+}
+
+#[test]
+fn benchmark_world_shape() {
+    let (corpus, clients) = benchmark_world(2);
+    assert_eq!(clients.len(), 25);
+    let site = &corpus.sites[0];
+    // 6 sets × 4 sizes.
+    assert_eq!(site.objects.len(), 24);
+    assert_eq!(site.objects.iter().filter(|o| !o.external).count(), 4);
+    let rules = benchmark_rules();
+    assert_eq!(rules.len(), 5);
+    // The two Poor defaults carry the deep diurnal collapse.
+    let deep: usize = corpus
+        .world
+        .servers()
+        .iter()
+        .filter(|s| s.diurnal_amplitude > 5.0)
+        .count();
+    assert_eq!(deep, 2);
+}
+
+#[test]
+fn benchmark_world_is_deterministic() {
+    let (a, _) = benchmark_world(7);
+    let (b, _) = benchmark_world(7);
+    assert_eq!(a.sites[0].html, b.sites[0].html);
+}
+
+// ---------------------------------------------------------------------
+// matchrate + replicated selection
+// ---------------------------------------------------------------------
+
+fn small_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        sites: 60,
+        seed: 5,
+        providers: 40,
+        ..CorpusConfig::default()
+    })
+}
+
+#[test]
+fn match_rates_are_cumulative_and_bounded() {
+    let corpus = small_corpus();
+    for site in &corpus.sites {
+        let r = site_match_rates(&corpus, site);
+        assert!(r.direct <= r.text + 1e-9);
+        assert!(r.text <= r.external_js + 1e-9);
+        assert!((0.0..=1.0).contains(&r.direct));
+        assert!((0.0..=1.0).contains(&r.external_js));
+        assert_eq!(r.external_servers, site.external_domains().len());
+    }
+}
+
+#[test]
+fn site_selection_respects_host_bounds() {
+    let corpus = small_corpus();
+    let (h1, h2) = select_sites(&corpus);
+    assert!(h1.len() <= 5 && h2.len() <= 5);
+    for &i in &h1 {
+        let hosts = corpus.sites[i].external_domains().len();
+        assert!(hosts > 5 && hosts < 15, "H1 site {i} has {hosts} hosts");
+    }
+    for &i in &h2 {
+        let hosts = corpus.sites[i].external_domains().len();
+        assert!(hosts > 15, "H2 site {i} has {hosts} hosts");
+    }
+    // No overlap.
+    for i in &h1 {
+        assert!(!h2.contains(i));
+    }
+}

@@ -1,0 +1,38 @@
+//! The Oak client: a simulated, instrumented browser.
+//!
+//! The paper's client is "modified versions of the WebKit browser and
+//! PhantomJS which collect and send page reports" (§5). A real browser
+//! cannot run inside a deterministic experiment, so this crate implements
+//! the behaviours of that client that Oak's server logic actually touches:
+//!
+//! - **Subresource discovery** ([`Browser::load_page`]): parse the
+//!   delivered HTML, fetch `src`/`href` references, *execute* the corpus's
+//!   inline-script idiom (`var h = "…"; var p = "…"`) and external loader
+//!   scripts (`oakFetch("…")` lines), and fetch the page's dynamic objects
+//!   whose servers are invisible in the markup.
+//! - **Timing** : every fetch is priced by the `oak-net` model; a
+//!   browser-like lane scheduler with bounded parallelism turns per-object
+//!   times into a page load time.
+//! - **Reporting**: after the load, the browser assembles the compact
+//!   [`PerfReport`](oak_core::report::PerfReport) Oak ingests — URL,
+//!   resolved IP, bytes, download time per object.
+//! - **Caching** ([`BrowserConfig::caching`]): an object cache that honors
+//!   Oak's `X-Oak-Alternate` hint, so a Type 2 host swap does not force a
+//!   re-download (§4.3).
+//!
+//! The crate also hosts [`SimSession`], the ready-made client↔Oak loop
+//! used by examples and the experiment harness, and the
+//! [`rules`] helpers that build the URL-prefix Type 2 rules the
+//! evaluation's replicated-site experiments use (§5.3).
+
+mod browser;
+pub mod rules;
+mod session;
+mod universe;
+
+pub use browser::{Browser, BrowserConfig, ObjectFetch, PageLoad, ReportingMode};
+pub use session::SimSession;
+pub use universe::{original_url, replica_url, Universe};
+
+#[cfg(test)]
+mod tests;

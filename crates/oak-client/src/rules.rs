@@ -1,0 +1,113 @@
+//! Rule-generation helpers for the replicated-site experiments.
+//!
+//! §5.3 ("Generating Rules"): "we consider every external domain
+//! contacted during a normal load of each site. We then generate a type 2
+//! replacement rule for every observed domain." The alternates are the
+//! three regional replica servers holding copies of every external object.
+//!
+//! The rules built here use a *URL-prefix* scheme: the default text is the
+//! shortest block that pins the provider in the page —
+//!
+//! - `http://<domain>/` for providers referenced by `src` attributes and
+//!   loader tags (one rule host-swaps every object of the domain, and the
+//!   replica's nested-path layout keeps the object path intact), and
+//! - `"<domain>"` (with quotes) for providers reached through the inline
+//!   `var h = "<domain>"` idiom, rewritten to `"<replica>/<domain>"` so
+//!   the constructed URL lands on the replica's nested path.
+//!
+//! Domains visible only inside external JavaScript get the prefix rule
+//! too: matching can *activate* it through the expanded surface (§4.2.2),
+//! but since the text never appears in the page the rewrite is inert —
+//! exactly the paper's limitation for dynamically-chosen servers.
+
+use oak_core::rule::Rule;
+use oak_net::Region;
+use oak_webgen::{Corpus, Inclusion, Site};
+
+/// The replica hostname closest to `region` (§5.3 directs each client to
+/// its closest alternative).
+pub fn closest_replica(region: Region) -> &'static str {
+    match region {
+        Region::NorthAmerica | Region::SouthAmerica => "replica-na.example",
+        Region::Europe => "replica-eu.example",
+        Region::Asia | Region::Oceania => "replica-as.example",
+    }
+}
+
+/// The Type 2 prefix rule for a `src`-referenced domain.
+pub fn prefix_rule(domain: &str, replica_host: &str) -> Rule {
+    Rule::replace_identical(
+        format!("http://{domain}/"),
+        [format!("http://{replica_host}/{domain}/")],
+    )
+}
+
+/// The Type 2 rule for an inline-script (`var h = "…"`) domain.
+pub fn inline_rule(domain: &str, replica_host: &str) -> Rule {
+    Rule::replace_identical(
+        format!("\"{domain}\""),
+        [format!("\"{replica_host}/{domain}\"")],
+    )
+}
+
+/// Builds one Type 2 rule per external domain of `site`, choosing the
+/// form that matches how the site references the domain. Returns
+/// `(domain, rule)` pairs in domain order.
+pub fn rules_for_site(site: &Site, replica_host: &str) -> Vec<(String, Rule)> {
+    site.external_domains()
+        .into_iter()
+        .map(|domain| {
+            let inline = site.objects.iter().any(|o| {
+                o.domain == domain && matches!(o.inclusion, Inclusion::InlineScript)
+            });
+            let rule = if inline {
+                inline_rule(domain, replica_host)
+            } else {
+                prefix_rule(domain, replica_host)
+            };
+            (domain.to_owned(), rule)
+        })
+        .collect()
+}
+
+/// As [`rules_for_site`], with the replica chosen nearest to a client
+/// region.
+pub fn rules_for_site_near(
+    corpus: &Corpus,
+    site: &Site,
+    client_region: Region,
+) -> Vec<(String, Rule)> {
+    let _ = corpus; // reserved: future per-corpus replica layouts
+    rules_for_site(site, closest_replica(client_region))
+}
+
+/// As [`rules_for_site`], but every rule carries one alternative per
+/// replica host, in the given order. With the engine's §4.2.4 linear
+/// walk, a user whose first replica under-performs is advanced to the
+/// next — the engine discovers each user's viable mirror on its own.
+pub fn rules_for_site_multi(site: &Site, replica_hosts: &[&str]) -> Vec<(String, Rule)> {
+    site.external_domains()
+        .into_iter()
+        .map(|domain| {
+            let inline = site.objects.iter().any(|o| {
+                o.domain == domain && matches!(o.inclusion, Inclusion::InlineScript)
+            });
+            let rule = if inline {
+                Rule::replace_identical(
+                    format!("\"{domain}\""),
+                    replica_hosts
+                        .iter()
+                        .map(|replica| format!("\"{replica}/{domain}\"")),
+                )
+            } else {
+                Rule::replace_identical(
+                    format!("http://{domain}/"),
+                    replica_hosts
+                        .iter()
+                        .map(|replica| format!("http://{replica}/{domain}/")),
+                )
+            };
+            (domain.to_owned(), rule)
+        })
+        .collect()
+}

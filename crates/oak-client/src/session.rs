@@ -1,0 +1,113 @@
+//! The canonical client ↔ Oak loop over the simulated world.
+
+use std::collections::HashMap;
+
+use oak_core::engine::{IngestOutcome, Oak};
+use oak_core::Instant;
+use oak_net::{ClientId, SimTime};
+use oak_webgen::Corpus;
+
+use crate::browser::{Browser, BrowserConfig, PageLoad};
+use crate::universe::Universe;
+
+/// Drives the full Oak interaction for any number of browsers against one
+/// Oak-enabled site collection (paper Figs. 4 and 5):
+///
+/// 1. the browser requests a page; Oak serves it through
+///    [`Oak::modify_page`] with the user's active rules applied,
+/// 2. the browser loads the page's objects over the network model,
+/// 3. the browser POSTs its performance report; Oak ingests it, possibly
+///    (de)activating rules for that user.
+///
+/// `SimSession` owns the engine and one browser per (client, user) pair.
+pub struct SimSession<'c> {
+    universe: Universe<'c>,
+    /// The Oak engine under test (public: experiments inspect logs and
+    /// force rule states).
+    pub oak: Oak,
+    browsers: HashMap<String, Browser>,
+    config: BrowserConfig,
+}
+
+impl<'c> SimSession<'c> {
+    /// Builds a session over `corpus` with the given engine.
+    pub fn new(corpus: &'c Corpus, oak: Oak) -> SimSession<'c> {
+        SimSession {
+            universe: Universe::new(corpus),
+            oak,
+            browsers: HashMap::new(),
+            config: BrowserConfig::default(),
+        }
+    }
+
+    /// Overrides the browser configuration for browsers created after
+    /// this call.
+    pub fn with_browser_config(mut self, config: BrowserConfig) -> SimSession<'c> {
+        self.config = config;
+        self
+    }
+
+    /// The shared corpus index.
+    pub fn universe(&self) -> &Universe<'c> {
+        &self.universe
+    }
+
+    /// The canonical Oak user id for a vantage point.
+    pub fn user_for(client: ClientId) -> String {
+        format!("u-{}", client.0)
+    }
+
+    /// One full interaction: serve (with rewriting), load, report, ingest.
+    /// Returns the page load and what the report ingest did.
+    pub fn visit(
+        &mut self,
+        site_index: usize,
+        client: ClientId,
+        t: SimTime,
+    ) -> (PageLoad, IngestOutcome) {
+        let corpus = self.universe.corpus();
+        let site = &corpus.sites[site_index];
+        let user = Self::user_for(client);
+        let browser = self
+            .browsers
+            .entry(user.clone())
+            .or_insert_with(|| Browser::new(client, user.clone(), self.config));
+
+        let now = Instant(t.as_millis());
+        let modified = self
+            .oak
+            .modify_page(now, &user, &site.index_path, &site.html);
+        let load = browser.load_page(
+            &self.universe,
+            site,
+            &modified.html,
+            &modified.cache_hints,
+            t,
+        );
+        let outcome = self.oak.ingest_report(now, &load.report, &self.universe);
+        (load, outcome)
+    }
+
+    /// As [`SimSession::visit`] but without Oak: serves the default page
+    /// and ingests nothing. The "default" arm of every comparison figure.
+    pub fn visit_default(
+        &mut self,
+        site_index: usize,
+        client: ClientId,
+        t: SimTime,
+    ) -> PageLoad {
+        let corpus = self.universe.corpus();
+        let site = &corpus.sites[site_index];
+        let user = format!("default-{}", client.0);
+        let browser = self
+            .browsers
+            .entry(user.clone())
+            .or_insert_with(|| Browser::new(client, user, self.config));
+        browser.load_page(&self.universe, site, &site.html, &[], t)
+    }
+
+    /// Direct access to a user's browser, if it exists yet.
+    pub fn browser(&self, user: &str) -> Option<&Browser> {
+        self.browsers.get(user)
+    }
+}

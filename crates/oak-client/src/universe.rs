@@ -1,0 +1,116 @@
+//! An indexed view of a corpus for fast per-fetch lookups.
+
+use std::collections::HashMap;
+
+use oak_core::matching::ScriptFetcher;
+use oak_webgen::Corpus;
+
+/// The replica URL scheme the replicated-site experiments use (§5.3):
+/// every external object is mirrored at
+/// `http://<replica_host>/<original_host>/<original_path>`, nesting the
+/// original host as the first path segment so mirrored paths never collide
+/// across providers.
+pub fn replica_url(replica_host: &str, original_url: &str) -> String {
+    match original_url.split_once("://") {
+        Some((scheme, rest)) => format!("{scheme}://{replica_host}/{rest}"),
+        None => format!("http://{replica_host}/{original_url}"),
+    }
+}
+
+/// Inverts [`replica_url`]: given `http://replica/<host>/<path>`, returns
+/// `http://<host>/<path>` when the first path segment looks like a host
+/// (contains a dot).
+pub fn original_url(url: &str) -> Option<String> {
+    let (scheme, rest) = url.split_once("://")?;
+    let (_replica_host, nested) = rest.split_once('/')?;
+    // The nested portion must itself be host-plus-path: a dotted first
+    // segment followed by at least one more segment. A plain object path
+    // like `obj.js` is not a nested URL.
+    let (nested_host, _path) = nested.split_once('/')?;
+    nested_host.contains('.').then(|| format!("{scheme}://{nested}"))
+}
+
+/// Pre-built indexes over a [`Corpus`]: URL → byte size and script
+/// bodies. One `Universe` serves any number of browsers.
+pub struct Universe<'c> {
+    corpus: &'c Corpus,
+    bytes_by_url: HashMap<String, u64>,
+}
+
+impl<'c> Universe<'c> {
+    /// Indexes every object of every site.
+    pub fn new(corpus: &'c Corpus) -> Universe<'c> {
+        let mut bytes_by_url = HashMap::new();
+        for site in &corpus.sites {
+            for object in &site.objects {
+                bytes_by_url.insert(object.url.clone(), object.bytes);
+            }
+        }
+        Universe {
+            corpus,
+            bytes_by_url,
+        }
+    }
+
+    /// The corpus this universe indexes.
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// Size of the object at `url`, resolving replica-nested URLs to
+    /// their originals. Unknown URLs get a small default (a real server
+    /// would return an error page), so a rewrite pointing at a stale path
+    /// degrades instead of crashing the experiment.
+    pub fn bytes_for(&self, url: &str) -> u64 {
+        if let Some(&b) = self.bytes_by_url.get(url) {
+            return b;
+        }
+        if let Some(orig) = original_url(url) {
+            if let Some(&b) = self.bytes_by_url.get(&orig) {
+                return b;
+            }
+        }
+        512
+    }
+
+    /// Body of the external script at `url`, resolving replica-nested
+    /// URLs (a mirrored loader serves the same body).
+    pub fn script_body(&self, url: &str) -> Option<String> {
+        self.corpus.script_body(url).or_else(|| {
+            original_url(url).and_then(|orig| self.corpus.script_body(&orig))
+        })
+    }
+
+    /// Whether the Resource Timing API would expose timing for `url` to
+    /// a page served by `site_host` (§6, Alternative Mechanisms):
+    /// same-origin resources always, third parties only when the
+    /// provider sends `Timing-Allow-Origin`. Replica mirrors are
+    /// experiment-owned and always opt in.
+    pub fn timing_allowed(&self, site_host: &str, url: &str) -> bool {
+        let Some(host) = url
+            .split_once("://")
+            .and_then(|(_, rest)| rest.split(['/', '?', '#']).next())
+            .map(|h| h.split(':').next().unwrap_or(h).to_ascii_lowercase())
+        else {
+            return false;
+        };
+        if host == site_host || host.ends_with(&format!(".{site_host}")) {
+            return true;
+        }
+        if host.starts_with("replica-") && host.ends_with(".example") {
+            return true;
+        }
+        self.corpus
+            .provider_by_domain(&host)
+            .map(|p| p.timing_allow_origin)
+            .unwrap_or(false)
+    }
+}
+
+impl ScriptFetcher for Universe<'_> {
+    /// Lets the Oak engine's external-JavaScript matching fetch loader
+    /// bodies from the corpus.
+    fn fetch_script(&self, url: &str) -> Option<String> {
+        self.script_body(url)
+    }
+}

@@ -1,0 +1,147 @@
+//! Aggregate site-performance accounting.
+//!
+//! Besides per-user rule state, the paper's server "maintains log
+//! information on the objects downloaded from particular servers, the
+//! activation and removal of rules, as well as aggregate site
+//! performance" (§5). This module is that third piece: streaming
+//! aggregates over every ingested report, independent of any rule — the
+//! raw material for dashboards and for the §6 auditing workflow.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::PageAnalysis;
+use crate::report::PerfReport;
+
+/// Streaming mean/min/max without storing samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningStat {
+    /// Number of samples folded in.
+    pub count: u64,
+    /// Sum of samples (for the mean).
+    sum: f64,
+    /// Smallest sample seen.
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+impl RunningStat {
+    /// Folds one sample.
+    pub fn push(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// The mean, or `None` before any sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Aggregates for one external domain across all users and reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DomainAggregate {
+    /// Objects fetched from the domain.
+    pub objects: u64,
+    /// Total bytes served.
+    pub bytes: u64,
+    /// Small-object download times, ms.
+    pub small_time_ms: RunningStat,
+    /// Large-object throughputs, kbit/s.
+    pub large_tput_kbps: RunningStat,
+    /// How many times the domain was flagged as a violator.
+    pub violations: u64,
+    /// Distinct reporting users seen (approximate: counts unique users
+    /// while the set is small; see [`SiteAggregates::USER_SAMPLE_CAP`]).
+    pub users_seen: u64,
+}
+
+/// Whole-site aggregates, updated per report.
+#[derive(Clone, Debug, Default)]
+pub struct SiteAggregates {
+    domains: BTreeMap<String, DomainAggregate>,
+    users: BTreeMap<String, u64>,
+    reports: u64,
+    /// Per-domain user sampling stops growing past this many distinct
+    /// users per domain (bounded memory under adversarial user churn).
+    user_samples: BTreeMap<(String, String), ()>,
+}
+
+impl SiteAggregates {
+    /// Per-domain distinct-user tracking caps at this many (domain, user)
+    /// pairs overall; beyond it, `users_seen` stops increasing.
+    pub const USER_SAMPLE_CAP: usize = 100_000;
+
+    /// An empty accumulator.
+    pub fn new() -> SiteAggregates {
+        SiteAggregates::default()
+    }
+
+    /// Folds one report (and the violations its analysis produced).
+    pub fn fold(&mut self, report: &PerfReport, violator_ips: &[String]) {
+        self.reports += 1;
+        *self.users.entry(report.user.clone()).or_insert(0) += 1;
+
+        let analysis = PageAnalysis::from_report(report);
+        for server in analysis.iter() {
+            for domain in &server.domains {
+                let agg = self.domains.entry(domain.clone()).or_default();
+                agg.objects += server.object_count as u64;
+                agg.bytes += server.total_bytes;
+                for &t in &server.small_times_ms {
+                    agg.small_time_ms.push(t);
+                }
+                for &t in &server.large_tputs_kbps {
+                    agg.large_tput_kbps.push(t);
+                }
+                if violator_ips.contains(&server.ip) {
+                    agg.violations += 1;
+                }
+                if self.user_samples.len() < Self::USER_SAMPLE_CAP
+                    && self
+                        .user_samples
+                        .insert((domain.clone(), report.user.clone()), ())
+                        .is_none()
+                {
+                    agg.users_seen += 1;
+                }
+            }
+        }
+    }
+
+    /// Reports folded so far.
+    pub fn report_count(&self) -> u64 {
+        self.reports
+    }
+
+    /// Distinct users that have reported.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The aggregate for one domain, if seen.
+    pub fn domain(&self, domain: &str) -> Option<&DomainAggregate> {
+        self.domains.get(domain)
+    }
+
+    /// Iterates over `(domain, aggregate)` in domain order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DomainAggregate)> {
+        self.domains.iter().map(|(d, a)| (d.as_str(), a))
+    }
+
+    /// Domains ordered by violation count, worst first — the §6 "which
+    /// components of their sites are performing poorly" view, without
+    /// requiring any rules to be configured.
+    pub fn worst_domains(&self) -> Vec<(&str, &DomainAggregate)> {
+        let mut rows: Vec<(&str, &DomainAggregate)> = self.iter().collect();
+        rows.sort_by(|a, b| b.1.violations.cmp(&a.1.violations).then(a.0.cmp(b.0)));
+        rows
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-server performance analysis of a report.
+//!
+//! "Oak begins by grouping all objects by the IP address to which the
+//! client ultimately connected, keeping track of all related domain names.
+//! We then consider the average time for small objects, and the average
+//! throughput for large objects. Small objects are defined to be any
+//! object less than 50 KB." (§4.2)
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::report::PerfReport;
+use crate::stats::mean;
+
+/// The small/large cut-over, bytes. The paper fixes 50 KB; the knob exists
+/// for the ablation benches.
+pub const DEFAULT_SIZE_SPLIT: u64 = 50_000;
+
+/// Aggregated view of one server (one IP) within one report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerStats {
+    /// The server's IP, as reported by the client.
+    pub ip: String,
+    /// Every domain name observed resolving to this IP in the report.
+    pub domains: BTreeSet<String>,
+    /// Download times of objects under the size split, ms.
+    pub small_times_ms: Vec<f64>,
+    /// Throughputs of objects at or over the size split, kbit/s.
+    pub large_tputs_kbps: Vec<f64>,
+    /// Total bytes fetched from this server.
+    pub total_bytes: u64,
+    /// Number of objects fetched from this server.
+    pub object_count: usize,
+}
+
+impl ServerStats {
+    /// Average small-object download time, if any small objects were seen.
+    pub fn avg_small_time_ms(&self) -> Option<f64> {
+        mean(&self.small_times_ms)
+    }
+
+    /// Average large-object throughput, if any large objects were seen.
+    pub fn avg_large_tput_kbps(&self) -> Option<f64> {
+        mean(&self.large_tputs_kbps)
+    }
+}
+
+/// A report regrouped per server, ready for violator detection.
+///
+/// "These reports make no decisions on what objects may need to be acted
+/// on, but instead stores the raw information about the observed
+/// performance." (§4.2)
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PageAnalysis {
+    /// Stats per IP, keyed and ordered by IP string.
+    pub servers: BTreeMap<String, ServerStats>,
+}
+
+impl PageAnalysis {
+    /// Groups a report's entries by server IP using the paper's 50 KB
+    /// size split.
+    pub fn from_report(report: &PerfReport) -> PageAnalysis {
+        PageAnalysis::from_report_with_split(report, DEFAULT_SIZE_SPLIT)
+    }
+
+    /// As [`PageAnalysis::from_report`] with an explicit small/large split.
+    pub fn from_report_with_split(report: &PerfReport, size_split: u64) -> PageAnalysis {
+        let mut servers: BTreeMap<String, ServerStats> = BTreeMap::new();
+        for entry in &report.entries {
+            let stats = servers
+                .entry(entry.ip.clone())
+                .or_insert_with(|| ServerStats {
+                    ip: entry.ip.clone(),
+                    domains: BTreeSet::new(),
+                    small_times_ms: Vec::new(),
+                    large_tputs_kbps: Vec::new(),
+                    total_bytes: 0,
+                    object_count: 0,
+                });
+            if let Some(host) = entry.host() {
+                stats.domains.insert(host);
+            }
+            if entry.bytes < size_split {
+                stats.small_times_ms.push(entry.time_ms);
+            } else {
+                stats.large_tputs_kbps.push(entry.throughput_kbps());
+            }
+            stats.total_bytes += entry.bytes;
+            stats.object_count += 1;
+        }
+        PageAnalysis { servers }
+    }
+
+    /// Number of distinct servers contacted.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Iterates over server stats in IP order.
+    pub fn iter(&self) -> impl Iterator<Item = &ServerStats> {
+        self.servers.values()
+    }
+
+    /// The stats for one IP, if present.
+    pub fn server(&self, ip: &str) -> Option<&ServerStats> {
+        self.servers.get(ip)
+    }
+}

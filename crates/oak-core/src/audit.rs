@@ -1,0 +1,162 @@
+//! Offline auditing over the engine's activity log.
+//!
+//! "Examining which rules are being activated by clients enables site
+//! operators to determine which components of their sites are performing
+//! poorly, effectively using the performance reports of Oak as an offline
+//! auditing tool." (§6)
+//!
+//! [`audit`] folds the activity log into per-rule summaries an operator
+//! can read directly (or feed to a dashboard): how often each rule fired,
+//! for how many distinct users, how severe the triggering violations
+//! were, and how often the chosen alternates had to be advanced or
+//! abandoned — a high abandon rate means the configured alternatives are
+//! no better than the default.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::engine::{LogAction, LogEvent};
+use crate::rule::RuleId;
+
+/// Aggregates for one rule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RuleAudit {
+    /// Times the rule was activated (across all users).
+    pub activations: usize,
+    /// Times an alternate under-performed and the rule advanced to the
+    /// next one.
+    pub advancements: usize,
+    /// Times the rule was deactivated because every alternate
+    /// under-performed the recorded default.
+    pub deactivations: usize,
+    /// Times the rule expired by TTL.
+    pub expirations: usize,
+    /// Distinct users that ever activated the rule.
+    pub distinct_users: usize,
+    /// Mean severity (in deviation units past the median) of the
+    /// violations that triggered activations.
+    pub mean_severity: f64,
+    /// Violating server IPs observed at activation, with counts.
+    pub violator_ips: BTreeMap<String, usize>,
+}
+
+impl RuleAudit {
+    /// Fraction of activations that ended in deactivation — when high,
+    /// the operator's alternatives are not actually better than the
+    /// default and should be reconsidered.
+    pub fn abandon_rate(&self) -> f64 {
+        if self.activations == 0 {
+            return 0.0;
+        }
+        self.deactivations as f64 / self.activations as f64
+    }
+}
+
+/// The full audit: per-rule summaries plus corpus-wide counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditReport {
+    /// Per-rule aggregates, keyed by rule.
+    pub rules: BTreeMap<RuleId, RuleAudit>,
+    /// Distinct users appearing anywhere in the log.
+    pub users: usize,
+    /// Total events folded.
+    pub events: usize,
+}
+
+impl AuditReport {
+    /// Rules ordered by activation count, busiest first.
+    pub fn busiest_rules(&self) -> Vec<(RuleId, &RuleAudit)> {
+        let mut rules: Vec<(RuleId, &RuleAudit)> =
+            self.rules.iter().map(|(id, a)| (*id, a)).collect();
+        rules.sort_by(|a, b| b.1.activations.cmp(&a.1.activations).then(a.0.cmp(&b.0)));
+        rules
+    }
+
+    /// Total activations across all rules.
+    pub fn total_activations(&self) -> usize {
+        self.rules.values().map(|a| a.activations).sum()
+    }
+}
+
+/// Folds an activity log into an [`AuditReport`].
+pub fn audit(log: &[LogEvent]) -> AuditReport {
+    let mut report = AuditReport {
+        events: log.len(),
+        ..AuditReport::default()
+    };
+    let mut users: BTreeSet<&str> = BTreeSet::new();
+    let mut users_per_rule: BTreeMap<RuleId, BTreeSet<&str>> = BTreeMap::new();
+    let mut severity_sums: BTreeMap<RuleId, f64> = BTreeMap::new();
+
+    for event in log {
+        users.insert(&event.user);
+        let entry = report.rules.entry(event.rule).or_default();
+        match &event.action {
+            LogAction::Activated {
+                violator_ip,
+                severity,
+            } => {
+                entry.activations += 1;
+                *entry.violator_ips.entry(violator_ip.clone()).or_insert(0) += 1;
+                *severity_sums.entry(event.rule).or_insert(0.0) += severity;
+                users_per_rule
+                    .entry(event.rule)
+                    .or_default()
+                    .insert(&event.user);
+            }
+            LogAction::Advanced { .. } => entry.advancements += 1,
+            LogAction::Deactivated => entry.deactivations += 1,
+            LogAction::Expired => entry.expirations += 1,
+        }
+    }
+
+    for (rule, entry) in report.rules.iter_mut() {
+        entry.distinct_users = users_per_rule.get(rule).map_or(0, BTreeSet::len);
+        if entry.activations > 0 {
+            entry.mean_severity =
+                severity_sums.get(rule).copied().unwrap_or(0.0) / entry.activations as f64;
+        }
+    }
+    report.users = users.len();
+    report
+}
+
+impl fmt::Display for AuditReport {
+    /// Renders the operator-facing audit table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "oak audit: {} events, {} users, {} activations across {} rules",
+            self.events,
+            self.users,
+            self.total_activations(),
+            self.rules.len()
+        )?;
+        writeln!(
+            f,
+            "{:<8} {:>6} {:>6} {:>6} {:>6} {:>7} {:>9}  top violator",
+            "rule", "act", "adv", "deact", "exp", "users", "severity"
+        )?;
+        for (id, a) in self.busiest_rules() {
+            let top = a
+                .violator_ips
+                .iter()
+                .max_by_key(|(_, &n)| n)
+                .map(|(ip, n)| format!("{ip} ({n}x)"))
+                .unwrap_or_default();
+            writeln!(
+                f,
+                "{:<8} {:>6} {:>6} {:>6} {:>6} {:>7} {:>9.1}  {}",
+                id.to_string(),
+                a.activations,
+                a.advancements,
+                a.deactivations,
+                a.expirations,
+                a.distinct_users,
+                a.mean_severity,
+                top
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,582 @@
+//! The Oak engine: per-user rule state and page modification.
+//!
+//! "Both of these processes are performed at the user level. Each client
+//! submits its own performance information, which is then considered
+//! against its own history. Rules are then activated on a per-client
+//! basis, meaning that outgoing pages are modified based on
+//! user-perceived performance." (§4)
+
+use std::collections::{BTreeMap, HashMap};
+
+use oak_html::{Document, Rewriter};
+
+use crate::detect::{detect_violators, DetectorConfig, Violation};
+use crate::matching::{url_host, MatchLevel, RuleSurface, ScriptFetcher};
+use crate::report::PerfReport;
+use crate::rule::{Rule, RuleId, RuleType};
+use crate::time::Instant;
+use crate::{analysis::PageAnalysis, OAK_ALTERNATE_HEADER};
+
+/// Engine-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct OakConfig {
+    /// Violator-detection parameters (§4.2.1).
+    pub detector: DetectorConfig,
+    /// How deep connection-dependency matching may look (§4.2.2).
+    /// [`MatchLevel::ExternalJs`] — the full mechanism — by default;
+    /// lower settings exist for the Fig. 8 ablation.
+    pub max_match_level: MatchLevel,
+}
+
+impl Default for OakConfig {
+    fn default() -> OakConfig {
+        OakConfig {
+            detector: DetectorConfig::default(),
+            max_match_level: MatchLevel::ExternalJs,
+        }
+    }
+}
+
+/// A rule currently active for one user.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActiveRule {
+    /// Index into the rule's alternatives list. The starting index and
+    /// walk order follow the rule's [`crate::rule::SelectionPolicy`] (§4.2.4).
+    pub alternative_index: usize,
+    /// How many alternatives have been tried so far (including the
+    /// current one); the list is exhausted when this reaches its length.
+    pub alternatives_tried: usize,
+    /// When the rule was activated (TTL counts from here).
+    pub activated_at: Instant,
+    /// Severity (distance from the median, in deviation units) of the
+    /// violation that activated the rule — the quantity rule history
+    /// compares when the alternate later violates (§4.2.3).
+    pub default_severity: f64,
+}
+
+/// Per-user engine state.
+#[derive(Clone, Debug, Default)]
+struct UserState {
+    active: BTreeMap<RuleId, ActiveRule>,
+    /// Violations observed per rule that have not yet reached the
+    /// activation policy's threshold.
+    pending: BTreeMap<RuleId, u32>,
+    /// Last time this user reported or was served — the GC clock.
+    last_seen: Instant,
+}
+
+/// What a call to [`Oak::ingest_report`] did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IngestOutcome {
+    /// Violators detected in this report.
+    pub violations: Vec<Violation>,
+    /// Rules newly activated for this user.
+    pub activated: Vec<RuleId>,
+    /// Active rules that advanced to their next alternative because the
+    /// current alternate violated.
+    pub advanced: Vec<RuleId>,
+    /// Rules deactivated (alternate was worse than the recorded default
+    /// and no further alternatives remained).
+    pub deactivated: Vec<RuleId>,
+    /// Rules that expired by TTL during this ingest.
+    pub expired: Vec<RuleId>,
+}
+
+/// A page after per-user modification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModifiedPage {
+    /// The rewritten HTML.
+    pub html: String,
+    /// Rules that made at least one edit.
+    pub applied: Vec<RuleId>,
+    /// `(old_host, new_host)` pairs for Type 2 replacements — the value
+    /// of the [`OAK_ALTERNATE_HEADER`] cache hint (§4.3).
+    pub cache_hints: Vec<(String, String)>,
+}
+
+impl ModifiedPage {
+    /// The `X-Oak-Alternate` header value, or `None` when no Type 2 rule
+    /// applied.
+    pub fn alternate_header(&self) -> Option<String> {
+        if self.cache_hints.is_empty() {
+            return None;
+        }
+        Some(
+            self.cache_hints
+                .iter()
+                .map(|(old, new)| format!("{old}={new}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+    }
+
+    /// Header name/value pair ready to attach to a response.
+    pub fn alternate_header_entry(&self) -> Option<(&'static str, String)> {
+        self.alternate_header().map(|v| (OAK_ALTERNATE_HEADER, v))
+    }
+}
+
+/// What happened to a rule for a user, for the activity log (§5 logs
+/// "the activation and removal of rules"; Figs. 12/14 and Table 3 are
+/// computed from this record).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogAction {
+    /// Rule became active; carries the triggering violator's IP and the
+    /// recorded severity.
+    Activated {
+        /// The violating server.
+        violator_ip: String,
+        /// Severity at activation.
+        severity: f64,
+    },
+    /// Rule advanced to its next alternative.
+    Advanced {
+        /// New alternative index.
+        to_index: usize,
+    },
+    /// Rule deactivated because the alternate under-performed the
+    /// recorded default.
+    Deactivated,
+    /// Rule expired by TTL.
+    Expired,
+}
+
+/// One activity-log record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEvent {
+    /// When it happened.
+    pub time: Instant,
+    /// The user whose state changed.
+    pub user: String,
+    /// The rule affected.
+    pub rule: RuleId,
+    /// What happened.
+    pub action: LogAction,
+}
+
+/// The Oak server engine.
+///
+/// Owns the operator's rules, every user's activation state, and the
+/// activity log. Transport-agnostic: hand it decoded reports and pages.
+#[derive(Debug, Default)]
+pub struct Oak {
+    config: OakConfig,
+    rules: BTreeMap<RuleId, Rule>,
+    /// Per-rule pre-compiled matching surfaces: `(default, alternatives)`.
+    /// Rebuilt on add/remove; reports match against these instead of
+    /// re-parsing rule text per violation.
+    surfaces: BTreeMap<RuleId, (RuleSurface, Vec<RuleSurface>)>,
+    next_rule_id: u32,
+    users: HashMap<String, UserState>,
+    log: Vec<LogEvent>,
+    aggregates: crate::aggregates::SiteAggregates,
+}
+
+impl Oak {
+    /// An engine with no rules.
+    pub fn new(config: OakConfig) -> Oak {
+        Oak {
+            config,
+            ..Oak::default()
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &OakConfig {
+        &self.config
+    }
+
+    /// Registers an operator rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for internally inconsistent rules
+    /// (see [`Rule::validate`]).
+    pub fn add_rule(&mut self, rule: Rule) -> Result<RuleId, String> {
+        rule.validate()?;
+        let id = RuleId(self.next_rule_id);
+        self.next_rule_id += 1;
+        let default_surface = RuleSurface::compile(&rule.default_text);
+        let alt_surfaces = rule.alternatives.iter().map(|a| RuleSurface::compile(a)).collect();
+        self.surfaces.insert(id, (default_surface, alt_surfaces));
+        self.rules.insert(id, rule);
+        Ok(id)
+    }
+
+    /// All registered rules.
+    pub fn rules(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// A rule by id.
+    pub fn rule(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.get(&id)
+    }
+
+    /// Removes a rule from the engine, deactivating it for every user and
+    /// clearing pending violation counts. Returns the rule if it existed.
+    /// The activity log keeps its history (audits must survive rule
+    /// turnover); ids are never reused.
+    pub fn remove_rule(&mut self, id: RuleId) -> Option<Rule> {
+        let rule = self.rules.remove(&id)?;
+        self.surfaces.remove(&id);
+        for state in self.users.values_mut() {
+            state.active.remove(&id);
+            state.pending.remove(&id);
+        }
+        Some(rule)
+    }
+
+    /// The rules currently active for `user`, with their state.
+    pub fn active_rules(&self, user: &str) -> Vec<(RuleId, ActiveRule)> {
+        self.users
+            .get(user)
+            .map(|u| u.active.iter().map(|(id, a)| (*id, a.clone())).collect())
+            .unwrap_or_default()
+    }
+
+    /// The full activity log.
+    pub fn log(&self) -> &[LogEvent] {
+        &self.log
+    }
+
+    /// Users that have submitted at least one report or been force-toggled.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Aggregate site performance across every ingested report — the §5
+    /// "aggregate site performance" record, rule-independent.
+    pub fn aggregates(&self) -> &crate::aggregates::SiteAggregates {
+        &self.aggregates
+    }
+
+    /// Drops per-user state not touched since `cutoff`; returns how many
+    /// users were pruned. Production hygiene: the paper's per-user
+    /// profiles are long-lived but not immortal — a profile whose cookie
+    /// will never return (crawler, cleared cookies) must not hold memory
+    /// forever. The activity log and aggregates are unaffected.
+    pub fn prune_inactive_users(&mut self, cutoff: Instant) -> usize {
+        let before = self.users.len();
+        self.users.retain(|_, state| state.last_seen >= cutoff);
+        before - self.users.len()
+    }
+
+    /// Processes one client report: detects violators, matches them to
+    /// rules, and updates this user's activations per policy, history,
+    /// and TTL (§4.2). Transport code that knows the client's address
+    /// should prefer [`Oak::ingest_report_from`], which lets
+    /// subnet-scoped rules (§4.2.4) apply.
+    pub fn ingest_report(
+        &mut self,
+        now: Instant,
+        report: &PerfReport,
+        fetcher: &dyn ScriptFetcher,
+    ) -> IngestOutcome {
+        self.ingest_report_from(now, report, fetcher, None)
+    }
+
+    /// As [`Oak::ingest_report`], with the reporting client's IP (dotted
+    /// quad) as observed by the transport. Rules carrying a
+    /// [`crate::rule::ClientFilter`] only activate when the IP passes.
+    pub fn ingest_report_from(
+        &mut self,
+        now: Instant,
+        report: &PerfReport,
+        fetcher: &dyn ScriptFetcher,
+        client_ip: Option<&str>,
+    ) -> IngestOutcome {
+        let analysis = PageAnalysis::from_report(report);
+        let violations = detect_violators(&analysis, &self.config.detector);
+        let violator_ips: Vec<String> = violations.iter().map(|v| v.ip.clone()).collect();
+        self.aggregates.fold(report, &violator_ips);
+        let mut outcome = IngestOutcome {
+            violations: violations.clone(),
+            ..IngestOutcome::default()
+        };
+
+        outcome.expired = self.expire_rules(now, &report.user);
+        self.users.entry(report.user.clone()).or_default().last_seen = now;
+
+        let max_level = self.config.max_match_level;
+        // Work over a snapshot of rule ids to satisfy the borrow checker
+        // while we mutate user state.
+        let rule_ids: Vec<RuleId> = self.rules.keys().copied().collect();
+        for rule_id in rule_ids {
+            let rule = &self.rules[&rule_id];
+            let user = self.users.entry(report.user.clone()).or_default();
+
+            match user.active.get(&rule_id) {
+                None => {
+                    // Subnet-scoped rules only consider admitted clients.
+                    if !rule.policy.client_filter.admits(client_ip) {
+                        continue;
+                    }
+                    // Does any violator tie to the rule's default text?
+                    let surface = &self.surfaces[&rule_id].0;
+                    let hit = violations.iter().find(|v| {
+                        surface.matches(&v.domains, max_level, fetcher).is_some()
+                    });
+                    let Some(violation) = hit else { continue };
+                    let pending = user.pending.entry(rule_id).or_insert(0);
+                    *pending += 1;
+                    if *pending < rule.policy.violations_required {
+                        continue;
+                    }
+                    user.pending.remove(&rule_id);
+                    user.active.insert(
+                        rule_id,
+                        ActiveRule {
+                            alternative_index: initial_alternative(rule, &report.user),
+                            alternatives_tried: 1,
+                            activated_at: now,
+                            default_severity: violation.kind.severity(),
+                        },
+                    );
+                    outcome.activated.push(rule_id);
+                    self.log.push(LogEvent {
+                        time: now,
+                        user: report.user.clone(),
+                        rule: rule_id,
+                        action: LogAction::Activated {
+                            violator_ip: violation.ip.clone(),
+                            severity: violation.kind.severity(),
+                        },
+                    });
+                }
+                Some(active) => {
+                    // Rule history (§4.2.3): has the *current alternate*
+                    // become a violator? A violation that the default
+                    // text also explains is *not* evidence against the
+                    // alternate: pages often keep loading residual
+                    // objects from the default domain (dynamic inclusions
+                    // Oak cannot rewrite), and alternative text commonly
+                    // embeds the default's domain (nested-path mirrors),
+                    // so without the exclusion the default's own
+                    // violations would flap its replacement off.
+                    let (default_surface, alt_surfaces) = &self.surfaces[&rule_id];
+                    let alt_surface = match alt_surfaces.get(active.alternative_index) {
+                        Some(s) => s,
+                        None => continue, // Type 1: nothing to re-evaluate.
+                    };
+                    let hit = violations.iter().find(|v| {
+                        alt_surface.matches(&v.domains, max_level, fetcher).is_some()
+                            && default_surface
+                                .matches(&v.domains, max_level, fetcher)
+                                .is_none()
+                    });
+                    let Some(violation) = hit else { continue };
+                    let alt_severity = violation.kind.severity();
+                    if alt_severity < active.default_severity {
+                        // The alternate, though violating now, is still
+                        // closer to the median than the default was:
+                        // "chooses the action which minimizes this
+                        // distance".
+                        continue;
+                    }
+                    let has_next = active.alternatives_tried < rule.alternatives.len();
+                    let user_active = user.active.get_mut(&rule_id).expect("just read");
+                    if has_next {
+                        // Advance per the selection policy: linear walks
+                        // increment; user-hash walks wrap so every
+                        // alternative is visited once.
+                        user_active.alternative_index =
+                            (user_active.alternative_index + 1) % rule.alternatives.len();
+                        user_active.alternatives_tried += 1;
+                        // The new alternate starts fresh against the
+                        // original default's recorded distance.
+                        outcome.advanced.push(rule_id);
+                        let to_index = user_active.alternative_index;
+                        self.log.push(LogEvent {
+                            time: now,
+                            user: report.user.clone(),
+                            rule: rule_id,
+                            action: LogAction::Advanced { to_index },
+                        });
+                    } else {
+                        user.active.remove(&rule_id);
+                        outcome.deactivated.push(rule_id);
+                        self.log.push(LogEvent {
+                            time: now,
+                            user: report.user.clone(),
+                            rule: rule_id,
+                            action: LogAction::Deactivated,
+                        });
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Applies the user's active rules to an outgoing page (§4.3).
+    ///
+    /// Rules are applied in id order; a rule whose edit would overlap an
+    /// earlier rule's edit is skipped for the conflicting occurrence (the
+    /// operator wrote conflicting rules; Oak keeps serving rather than
+    /// failing the page). Sub-rules run after their parent applied at
+    /// least one edit.
+    pub fn modify_page(
+        &mut self,
+        now: Instant,
+        user: &str,
+        path: &str,
+        html: &str,
+    ) -> ModifiedPage {
+        self.expire_rules(now, user);
+        if let Some(state) = self.users.get_mut(user) {
+            state.last_seen = now;
+        }
+        let Some(state) = self.users.get(user) else {
+            return ModifiedPage {
+                html: html.to_owned(),
+                applied: Vec::new(),
+                cache_hints: Vec::new(),
+            };
+        };
+
+        let mut rewriter = Rewriter::new(html);
+        let mut applied = Vec::new();
+        let mut cache_hints = Vec::new();
+        let mut sub_rule_batches: Vec<&Rule> = Vec::new();
+
+        for (rule_id, active) in &state.active {
+            let rule = &self.rules[rule_id];
+            if !rule.scope.applies_to(path) {
+                continue;
+            }
+            let edits = match rule.rule_type {
+                RuleType::Remove => rewriter.delete_all(&rule.default_text),
+                RuleType::ReplaceIdentical | RuleType::ReplaceDifferent => {
+                    let alternative = &rule.alternatives[active.alternative_index];
+                    rewriter.replace_all(&rule.default_text, alternative)
+                }
+            };
+            if edits == 0 {
+                continue;
+            }
+            applied.push(*rule_id);
+            if !rule.sub_rules.is_empty() {
+                sub_rule_batches.push(rule);
+            }
+            if rule.rule_type == RuleType::ReplaceIdentical {
+                let alternative = &rule.alternatives[active.alternative_index];
+                if let Some(pair) = host_swap(&rule.default_text, alternative) {
+                    cache_hints.push(pair);
+                }
+            }
+        }
+
+        let mut html = rewriter.apply().expect("validated edits");
+        // Sub-rules are plain find/replace over the already-rewritten page.
+        for rule in sub_rule_batches {
+            for sub in &rule.sub_rules {
+                if !sub.find.is_empty() {
+                    html = html.replace(&sub.find, &sub.replace);
+                }
+            }
+        }
+
+        ModifiedPage {
+            html,
+            applied,
+            cache_hints,
+        }
+    }
+
+    /// Forces a rule active for a user regardless of reports — the
+    /// evaluation's "Oak with all rules activated" condition (§5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rule_id` is unknown.
+    pub fn force_activate(&mut self, now: Instant, user: &str, rule_id: RuleId) {
+        assert!(self.rules.contains_key(&rule_id), "unknown {rule_id}");
+        let index = initial_alternative(&self.rules[&rule_id], user);
+        self.users
+            .entry(user.to_owned())
+            .or_default()
+            .active
+            .insert(
+                rule_id,
+                ActiveRule {
+                    alternative_index: index,
+                    alternatives_tried: 1,
+                    activated_at: now,
+                    default_severity: f64::INFINITY,
+                },
+            );
+    }
+
+    /// Deactivates a rule for a user (no log entry; operator action).
+    pub fn force_deactivate(&mut self, user: &str, rule_id: RuleId) {
+        if let Some(state) = self.users.get_mut(user) {
+            state.active.remove(&rule_id);
+        }
+    }
+
+    /// Expires TTL-bound activations; returns the expired rule ids.
+    fn expire_rules(&mut self, now: Instant, user: &str) -> Vec<RuleId> {
+        let Some(state) = self.users.get_mut(user) else {
+            return Vec::new();
+        };
+        let mut expired = Vec::new();
+        state.active.retain(|rule_id, active| {
+            let ttl = match self.rules.get(rule_id).and_then(|r| r.ttl_ms) {
+                Some(ttl) => ttl,
+                None => return true,
+            };
+            if now.since(active.activated_at) >= ttl {
+                expired.push(*rule_id);
+                false
+            } else {
+                true
+            }
+        });
+        for rule_id in &expired {
+            self.log.push(LogEvent {
+                time: now,
+                user: user.to_owned(),
+                rule: *rule_id,
+                action: LogAction::Expired,
+            });
+        }
+        expired
+    }
+}
+
+/// The starting alternative index for an activation, per the rule's
+/// selection policy (§4.2.4).
+fn initial_alternative(rule: &Rule, user: &str) -> usize {
+    match rule.policy.selection {
+        crate::rule::SelectionPolicy::Linear => 0,
+        crate::rule::SelectionPolicy::UserHash => {
+            if rule.alternatives.is_empty() {
+                0
+            } else {
+                // FNV-1a over the user id.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in user.bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (h % rule.alternatives.len() as u64) as usize
+            }
+        }
+    }
+}
+
+/// For a Type 2 rule, derives the `(old_host, new_host)` cache hint from
+/// the first external reference in the default and alternative texts.
+fn host_swap(default_text: &str, alternative: &str) -> Option<(String, String)> {
+    let old = first_host(default_text)?;
+    let new = first_host(alternative)?;
+    (old != new).then_some((old, new))
+}
+
+fn first_host(text: &str) -> Option<String> {
+    let doc = Document::parse(text);
+    doc.external_refs()
+        .first()
+        .and_then(|r| url_host(&r.url))
+}

@@ -1,0 +1,164 @@
+//! Client performance reports.
+//!
+//! "This report contains information on which external servers the client
+//! communicated with, the size of the objects loaded from each of those
+//! servers, and download times for each loaded object" (§4). The
+//! implementation section adds that reports use HAR-style infrastructure
+//! but carry "only a limited set of fields: the loaded URL, the size of
+//! the loaded object, and the timing information of that object" (§5) —
+//! deliberately small, since Fig. 15 sizes the median report under 10 KB.
+
+use std::error::Error;
+use std::fmt;
+
+use oak_json::{parse, Value};
+
+/// One fetched object, as measured by the client.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectTiming {
+    /// The loaded URL.
+    pub url: String,
+    /// The server IP the client ultimately connected to (dotted quad).
+    /// This is the grouping key for analysis (§4.2).
+    pub ip: String,
+    /// Object size in bytes.
+    pub bytes: u64,
+    /// Download time in milliseconds.
+    pub time_ms: f64,
+}
+
+impl ObjectTiming {
+    /// Creates a timing entry.
+    pub fn new(url: impl Into<String>, ip: impl Into<String>, bytes: u64, time_ms: f64) -> Self {
+        ObjectTiming {
+            url: url.into(),
+            ip: ip.into(),
+            bytes,
+            time_ms,
+        }
+    }
+
+    /// Achieved throughput in kbit/s (bits per millisecond).
+    pub fn throughput_kbps(&self) -> f64 {
+        self.bytes as f64 * 8.0 / self.time_ms.max(1e-9)
+    }
+
+    /// The hostname portion of the URL, if the URL parses.
+    pub fn host(&self) -> Option<String> {
+        oak_http::Url::parse(&self.url).ok().map(|u| u.host().to_owned())
+    }
+}
+
+/// A complete report for one page load by one user.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfReport {
+    /// The reporting user's Oak cookie value.
+    pub user: String,
+    /// The page path the report describes.
+    pub page: String,
+    /// Per-object measurements.
+    pub entries: Vec<ObjectTiming>,
+}
+
+/// A report that failed to decode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportDecodeError(String);
+
+impl fmt::Display for ReportDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad performance report: {}", self.0)
+    }
+}
+
+impl Error for ReportDecodeError {}
+
+impl PerfReport {
+    /// An empty report.
+    pub fn new(user: impl Into<String>, page: impl Into<String>) -> PerfReport {
+        PerfReport {
+            user: user.into(),
+            page: page.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a measurement.
+    pub fn push(&mut self, entry: ObjectTiming) {
+        self.entries.push(entry);
+    }
+
+    /// Serializes to the JSON wire format clients POST.
+    pub fn to_json(&self) -> String {
+        let mut doc = Value::object();
+        doc.set("user", self.user.as_str());
+        doc.set("page", self.page.as_str());
+        let mut entries = Value::array();
+        for e in &self.entries {
+            let mut obj = Value::object();
+            obj.set("url", e.url.as_str());
+            obj.set("ip", e.ip.as_str());
+            obj.set("bytes", e.bytes);
+            obj.set("time_ms", e.time_ms);
+            entries.push(obj);
+        }
+        doc.set("entries", entries);
+        doc.to_string()
+    }
+
+    /// Decodes the JSON wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportDecodeError`] on JSON errors, missing fields, or
+    /// non-finite/negative numbers (a hostile client must not be able to
+    /// poison the MAD statistics with NaN).
+    pub fn from_json(text: &str) -> Result<PerfReport, ReportDecodeError> {
+        let doc = parse(text).map_err(|e| ReportDecodeError(e.to_string()))?;
+        let user = doc
+            .get("user")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ReportDecodeError("missing user".into()))?;
+        let page = doc
+            .get("page")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ReportDecodeError("missing page".into()))?;
+        let raw_entries = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ReportDecodeError("missing entries".into()))?;
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for (i, entry) in raw_entries.iter().enumerate() {
+            let field = |name: &str| {
+                entry
+                    .get(name)
+                    .ok_or_else(|| ReportDecodeError(format!("entry {i}: missing {name}")))
+            };
+            let url = field("url")?
+                .as_str()
+                .ok_or_else(|| ReportDecodeError(format!("entry {i}: url not a string")))?;
+            let ip = field("ip")?
+                .as_str()
+                .ok_or_else(|| ReportDecodeError(format!("entry {i}: ip not a string")))?;
+            let bytes = field("bytes")?
+                .as_u64()
+                .ok_or_else(|| ReportDecodeError(format!("entry {i}: bytes not a u64")))?;
+            let time_ms = field("time_ms")?
+                .as_f64()
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .ok_or_else(|| {
+                    ReportDecodeError(format!("entry {i}: time_ms not a finite non-negative number"))
+                })?;
+            entries.push(ObjectTiming::new(url, ip, bytes, time_ms));
+        }
+        Ok(PerfReport {
+            user: user.to_owned(),
+            page: page.to_owned(),
+            entries,
+        })
+    }
+
+    /// Serialized size in bytes — the quantity Fig. 15 distributes.
+    pub fn wire_size(&self) -> usize {
+        self.to_json().len()
+    }
+}

@@ -1,0 +1,271 @@
+//! Operator-specified rules.
+//!
+//! "These rules consist of: A rule type, a block of text representing a
+//! default object, a block of text representing an alternative object, a
+//! time to live, a scope, and a potential list of sub-rules." (§4.1)
+//! §4.2.4 adds activation policies (e.g. "only activating a rule after 3
+//! violations") and multiple alternatives walked linearly.
+
+use oak_pattern::Scope;
+
+/// Identifies a rule within an [`crate::engine::Oak`] instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleId(pub u32);
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rule{}", self.0)
+    }
+}
+
+/// The three rule types of §4.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RuleType {
+    /// Type 1: the default object text is removed outright. No
+    /// alternative is needed.
+    Remove,
+    /// Type 2: the same object served from an alternative source; the
+    /// browser may keep using a cached copy (the engine emits the
+    /// [`crate::OAK_ALTERNATE_HEADER`] cache hint).
+    ReplaceIdentical,
+    /// Type 3: a non-identical replacement object.
+    ReplaceDifferent,
+}
+
+impl RuleType {
+    /// The paper's numeric code (1, 2, 3).
+    pub fn code(self) -> u8 {
+        match self {
+            RuleType::Remove => 1,
+            RuleType::ReplaceIdentical => 2,
+            RuleType::ReplaceDifferent => 3,
+        }
+    }
+
+    /// Parses the paper's numeric code.
+    pub fn from_code(code: u8) -> Option<RuleType> {
+        Some(match code {
+            1 => RuleType::Remove,
+            2 => RuleType::ReplaceIdentical,
+            3 => RuleType::ReplaceDifferent,
+            _ => return None,
+        })
+    }
+}
+
+/// A simple find/replace applied only when the parent rule is active:
+/// "rules may also load sub-rules … simple replacements which occur only
+/// if the parent rule is activated" (§4.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubRule {
+    /// Text to find.
+    pub find: String,
+    /// Replacement text.
+    pub replace: String,
+}
+
+/// How the engine walks a rule's alternatives list (§4.2.4: "By default,
+/// Oak progresses through the list linearly with each activation, however
+/// this can further be configured via a selection policy").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Start at the first alternative; advance linearly when the current
+    /// alternate under-performs; deactivate when the list is exhausted.
+    #[default]
+    Linear,
+    /// Start at an alternative chosen by hashing the user id, spreading
+    /// different users across the alternatives (useful when alternates
+    /// are capacity-limited mirrors); advancement wraps, visiting each
+    /// alternative once.
+    UserHash,
+}
+
+/// Restricts which clients a rule may activate for (§4.2.4: "it could
+/// further discriminate the activation of rules based on client
+/// information, for example by IP subnet").
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum ClientFilter {
+    /// No restriction.
+    #[default]
+    Any,
+    /// Only clients whose IP starts with this dotted prefix, e.g.
+    /// `"10.3."` or a full `/24` like `"10.3.7."`.
+    IpPrefix(String),
+}
+
+
+impl ClientFilter {
+    /// True if a client at `ip` (dotted quad; `None` when the transport
+    /// did not supply one) passes the filter. Absent IPs only pass
+    /// [`ClientFilter::Any`] — a subnet-scoped rule must never activate
+    /// on unattributed traffic.
+    pub fn admits(&self, ip: Option<&str>) -> bool {
+        match self {
+            ClientFilter::Any => true,
+            ClientFilter::IpPrefix(prefix) => {
+                ip.is_some_and(|ip| ip.starts_with(prefix.as_str()))
+            }
+        }
+    }
+}
+
+/// When a matching violation may actually activate a rule (§4.2.4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActivationPolicy {
+    /// Violations (across reports) required before activation; 1 activates
+    /// immediately, 3 models the paper's expensive-CDN example.
+    pub violations_required: u32,
+    /// Alternative selection behaviour.
+    pub selection: SelectionPolicy,
+    /// Which clients this rule applies to.
+    pub client_filter: ClientFilter,
+}
+
+impl Default for ActivationPolicy {
+    /// Activate on the first violation, walk alternatives linearly, for
+    /// every client.
+    fn default() -> ActivationPolicy {
+        ActivationPolicy {
+            violations_required: 1,
+            selection: SelectionPolicy::default(),
+            client_filter: ClientFilter::default(),
+        }
+    }
+}
+
+/// An operator rule.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Rule type.
+    pub rule_type: RuleType,
+    /// The default-object text block as it appears in pages.
+    pub default_text: String,
+    /// Alternative text blocks; activation walks this list linearly
+    /// (§4.2.4). Empty for Type 1.
+    pub alternatives: Vec<String>,
+    /// Time to live once activated, in milliseconds; `None` never expires
+    /// (the paper's `0`).
+    pub ttl_ms: Option<u64>,
+    /// Which pages the rule applies to.
+    pub scope: Scope,
+    /// Simple replacements performed only while this rule is active.
+    pub sub_rules: Vec<SubRule>,
+    /// Activation policy.
+    pub policy: ActivationPolicy,
+}
+
+impl Rule {
+    /// A Type 1 rule: remove `default_text` when activated. Site-wide,
+    /// never expires.
+    pub fn remove(default_text: impl Into<String>) -> Rule {
+        Rule {
+            rule_type: RuleType::Remove,
+            default_text: default_text.into(),
+            alternatives: Vec::new(),
+            ttl_ms: None,
+            scope: Scope::SiteWide,
+            sub_rules: Vec::new(),
+            policy: ActivationPolicy::default(),
+        }
+    }
+
+    /// A Type 2 rule: same object at alternative sources. Site-wide,
+    /// never expires.
+    pub fn replace_identical<I, S>(default_text: impl Into<String>, alternatives: I) -> Rule
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Rule {
+            rule_type: RuleType::ReplaceIdentical,
+            default_text: default_text.into(),
+            alternatives: alternatives.into_iter().map(Into::into).collect(),
+            ttl_ms: None,
+            scope: Scope::SiteWide,
+            sub_rules: Vec::new(),
+            policy: ActivationPolicy::default(),
+        }
+    }
+
+    /// A Type 3 rule: a different object replaces the default. Site-wide,
+    /// never expires.
+    pub fn replace_different<I, S>(default_text: impl Into<String>, alternatives: I) -> Rule
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Rule {
+            rule_type: RuleType::ReplaceDifferent,
+            ..Rule::replace_identical(default_text, alternatives)
+        }
+    }
+
+    /// Builder-style: set the TTL in milliseconds (`None` = never expire).
+    pub fn with_ttl_ms(mut self, ttl_ms: Option<u64>) -> Rule {
+        self.ttl_ms = ttl_ms;
+        self
+    }
+
+    /// Builder-style: set the scope.
+    pub fn with_scope(mut self, scope: Scope) -> Rule {
+        self.scope = scope;
+        self
+    }
+
+    /// Builder-style: add a sub-rule.
+    pub fn with_sub_rule(mut self, find: impl Into<String>, replace: impl Into<String>) -> Rule {
+        self.sub_rules.push(SubRule {
+            find: find.into(),
+            replace: replace.into(),
+        });
+        self
+    }
+
+    /// Builder-style: require `n` violations before activation.
+    pub fn with_violations_required(mut self, n: u32) -> Rule {
+        self.policy.violations_required = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the alternative selection policy.
+    pub fn with_selection(mut self, selection: SelectionPolicy) -> Rule {
+        self.policy.selection = selection;
+        self
+    }
+
+    /// Builder-style: restrict the rule to clients whose IP starts with
+    /// `prefix` (e.g. `"10.3."`).
+    pub fn with_client_prefix(mut self, prefix: impl Into<String>) -> Rule {
+        self.policy.client_filter = ClientFilter::IpPrefix(prefix.into());
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the rule cannot possibly work: empty
+    /// default text, a replacement rule with no alternatives, or default
+    /// text contained in one of its own alternatives (which would make
+    /// rewriting non-idempotent).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.default_text.is_empty() {
+            return Err("default text is empty".into());
+        }
+        if self.rule_type != RuleType::Remove && self.alternatives.is_empty() {
+            return Err("replacement rule has no alternatives".into());
+        }
+        if self.rule_type == RuleType::Remove && !self.alternatives.is_empty() {
+            return Err("Type 1 (remove) rule must not carry alternatives".into());
+        }
+        for (i, alt) in self.alternatives.iter().enumerate() {
+            if alt.contains(&self.default_text) {
+                return Err(format!(
+                    "alternative {i} contains the default text; replacement would not be idempotent"
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,445 @@
+//! The textual rule-specification format.
+//!
+//! §4.1 presents rules as parenthesized tuples:
+//!
+//! ```text
+//! (2,                                            # Replacement Type
+//!  "<script src=\"http://s1.com/jquery.js\">",
+//!  "<script src=\"http://s2.net/jquery.js\">",
+//!  0,                                            # Never Expire
+//!  *)                                            # Site wide
+//! ```
+//!
+//! This module parses that shape, with two regularizations over the
+//! paper's free-hand listing: string fields use `\"`/`\\` escapes, and a
+//! bracketed list supplies multiple alternatives (§4.2.4). Optional
+//! trailing `key = value` options express the §4.2.4 policies. Grammar:
+//!
+//! ```text
+//! rule   := '(' type ',' string ',' alts ',' ttl ',' scope option* ')'
+//! type   := '1' | '2' | '3'
+//! alts   := string | '[' string (',' string)* ']' | '-'
+//! ttl    := integer                 # milliseconds; 0 = never expire
+//! scope  := '*' | string            # Scope::parse syntax
+//! option := ',' ident '=' value
+//!           # violations = <integer>        activation quota
+//!           # selection  = linear|userhash  alternative walk
+//!           # subnet     = <string>         client IP prefix filter
+//!           # sub        = <string> => <string>   sub-rule (repeatable)
+//! ```
+//!
+//! `#` starts a comment running to end of line. [`parse_rules`] accepts a
+//! whole file of consecutive rules.
+
+use std::error::Error;
+use std::fmt;
+
+use oak_pattern::Scope;
+
+use crate::rule::{ClientFilter, Rule, RuleType, SelectionPolicy, SubRule};
+
+/// A rule-spec syntax error with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule spec error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+/// Renders a rule back into the spec format, inverse of [`parse_rule`]:
+/// `parse_rule(&format_rule(&r))` reconstructs `r` (up to scope-pattern
+/// recompilation). Lets operators export an engine's rule set to a file
+/// `oak-serve --rules` can reload.
+pub fn format_rule(rule: &Rule) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    out.push('(');
+    let _ = write!(out, "{}, ", rule.rule_type.code());
+    push_string(&mut out, &rule.default_text);
+    out.push_str(", ");
+    match rule.alternatives.len() {
+        0 => out.push('-'),
+        1 => push_string(&mut out, &rule.alternatives[0]),
+        _ => {
+            out.push('[');
+            for (i, alt) in rule.alternatives.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                push_string(&mut out, alt);
+            }
+            out.push(']');
+        }
+    }
+    let _ = write!(out, ", {}, ", rule.ttl_ms.unwrap_or(0));
+    let scope = rule.scope.to_source();
+    if scope == "*" {
+        out.push('*');
+    } else {
+        push_string(&mut out, &scope);
+    }
+    if rule.policy.violations_required != 1 {
+        let _ = write!(out, ", violations = {}", rule.policy.violations_required);
+    }
+    if rule.policy.selection == SelectionPolicy::UserHash {
+        out.push_str(", selection = userhash");
+    }
+    if let ClientFilter::IpPrefix(prefix) = &rule.policy.client_filter {
+        out.push_str(", subnet = ");
+        push_string(&mut out, prefix);
+    }
+    for sub in &rule.sub_rules {
+        out.push_str(", sub = ");
+        push_string(&mut out, &sub.find);
+        out.push_str(" => ");
+        push_string(&mut out, &sub.replace);
+    }
+    out.push(')');
+    out
+}
+
+/// Renders a whole rule set, one tuple per line.
+pub fn format_rules<'r>(rules: impl IntoIterator<Item = &'r Rule>) -> String {
+    let mut out = String::from("# oak rules\n");
+    for rule in rules {
+        out.push_str(&format_rule(rule));
+        out.push('\n');
+    }
+    out
+}
+
+fn push_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one rule tuple.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for syntax errors and for rules that fail
+/// [`Rule::validate`].
+///
+/// # Examples
+///
+/// ```
+/// let rule = oak_core::spec::parse_rule(r#"
+///     (2,                                        # Replacement Type
+///      "<script src=\"http://s1.com/jquery.js\">",
+///      "<script src=\"http://s2.net/jquery.js\">",
+///      0,                                        # Never Expire
+///      *)                                        # Site wide
+/// "#).unwrap();
+/// assert_eq!(rule.rule_type.code(), 2);
+/// assert!(rule.ttl_ms.is_none());
+/// ```
+pub fn parse_rule(text: &str) -> Result<Rule, SpecError> {
+    let mut p = Parser::new(text);
+    let rule = p.rule()?;
+    p.skip_trivia();
+    if !p.at_end() {
+        return Err(p.err("trailing input after rule"));
+    }
+    Ok(rule)
+}
+
+/// Parses a file of consecutive rule tuples.
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] encountered.
+pub fn parse_rules(text: &str) -> Result<Vec<Rule>, SpecError> {
+    let mut p = Parser::new(text);
+    let mut rules = Vec::new();
+    loop {
+        p.skip_trivia();
+        if p.at_end() {
+            return Ok(rules);
+        }
+        rules.push(p.rule()?);
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    source: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(source: &'a str) -> Parser<'a> {
+        Parser {
+            chars: source.chars().collect(),
+            pos: 0,
+            source,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        let consumed: usize = self.chars[..self.pos.min(self.chars.len())]
+            .iter()
+            .map(|c| c.len_utf8())
+            .sum();
+        let line = self.source[..consumed.min(self.source.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1;
+        SpecError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    /// Skips whitespace and `#`-comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            while self.peek().is_some_and(|c| c.is_whitespace()) {
+                self.pos += 1;
+            }
+            if self.peek() == Some('#') {
+                while self.peek().is_some_and(|c| c != '\n') {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), SpecError> {
+        self.skip_trivia();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}', found {:?}", self.peek())))
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, SpecError> {
+        self.expect('(')?;
+        let type_code = self.integer()? as u8;
+        let rule_type = RuleType::from_code(type_code)
+            .ok_or_else(|| self.err(format!("unknown rule type {type_code} (expected 1..=3)")))?;
+        self.expect(',')?;
+        let default_text = self.string()?;
+        self.expect(',')?;
+        let alternatives = self.alternatives()?;
+        self.expect(',')?;
+        let ttl = self.integer()?;
+        self.expect(',')?;
+        let scope = self.scope()?;
+
+        let mut rule = Rule {
+            rule_type,
+            default_text,
+            alternatives,
+            ttl_ms: (ttl != 0).then_some(ttl),
+            scope,
+            sub_rules: Vec::new(),
+            policy: Default::default(),
+        };
+        // Optional trailing options.
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                Some(')') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(',') => {
+                    self.pos += 1;
+                    self.option(&mut rule)?;
+                }
+                other => {
+                    return Err(self.err(format!("expected ',' or ')', found {other:?}")));
+                }
+            }
+        }
+        rule.validate().map_err(|m| self.err(m))?;
+        Ok(rule)
+    }
+
+    /// Parses one `key = value` option into the rule.
+    fn option(&mut self, rule: &mut Rule) -> Result<(), SpecError> {
+        let key = self.ident()?;
+        self.expect('=')?;
+        match key.as_str() {
+            "violations" => {
+                let n = self.integer()?;
+                if n == 0 {
+                    return Err(self.err("violations quota must be at least 1"));
+                }
+                rule.policy.violations_required = n.min(u64::from(u32::MAX)) as u32;
+            }
+            "selection" => {
+                let value = self.ident()?;
+                rule.policy.selection = match value.as_str() {
+                    "linear" => SelectionPolicy::Linear,
+                    "userhash" => SelectionPolicy::UserHash,
+                    other => {
+                        return Err(self.err(format!(
+                            "unknown selection policy {other:?} (expected linear or userhash)"
+                        )))
+                    }
+                };
+            }
+            "subnet" => {
+                let prefix = self.string()?;
+                if prefix.is_empty() {
+                    return Err(self.err("subnet prefix must not be empty"));
+                }
+                rule.policy.client_filter = ClientFilter::IpPrefix(prefix);
+            }
+            "sub" => {
+                let find = self.string()?;
+                self.skip_trivia();
+                self.expect('=')?;
+                self.expect('>')?;
+                let replace = self.string()?;
+                if find.is_empty() {
+                    return Err(self.err("sub-rule find text must not be empty"));
+                }
+                rule.sub_rules.push(SubRule { find, replace });
+            }
+            other => return Err(self.err(format!("unknown option {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) -> Result<String, SpecError> {
+        self.skip_trivia();
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err(format!("expected identifier, found {:?}", self.peek())));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn alternatives(&mut self) -> Result<Vec<String>, SpecError> {
+        self.skip_trivia();
+        match self.peek() {
+            Some('-') => {
+                self.pos += 1;
+                Ok(Vec::new())
+            }
+            Some('[') => {
+                self.pos += 1;
+                let mut alts = vec![self.string()?];
+                loop {
+                    self.skip_trivia();
+                    match self.peek() {
+                        Some(',') => {
+                            self.pos += 1;
+                            alts.push(self.string()?);
+                        }
+                        Some(']') => {
+                            self.pos += 1;
+                            return Ok(alts);
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("expected ',' or ']', found {other:?}"))
+                            )
+                        }
+                    }
+                }
+            }
+            _ => Ok(vec![self.string()?]),
+        }
+    }
+
+    fn scope(&mut self) -> Result<Scope, SpecError> {
+        self.skip_trivia();
+        let text = if self.peek() == Some('*') {
+            self.pos += 1;
+            "*".to_owned()
+        } else {
+            self.string()?
+        };
+        Scope::parse(&text).map_err(|e| self.err(e.to_string()))
+    }
+
+    fn integer(&mut self) -> Result<u64, SpecError> {
+        self.skip_trivia();
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err(format!("expected integer, found {:?}", self.peek())));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse()
+            .map_err(|_| self.err(format!("integer {text} out of range")))
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        self.skip_trivia();
+        if self.peek() != Some('"') {
+            return Err(self.err(format!("expected string, found {:?}", self.peek())));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        other => {
+                            return Err(self.err(format!("bad escape \\{other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Robust statistics: median and median absolute deviation.
+//!
+//! The paper motivates MAD over the standard deviation because the
+//! deviation statistic itself must not be dragged around by the very
+//! outliers it is meant to expose (§4.2.1): "The MAD gives the median
+//! value of the deviation from the median of a population, providing a
+//! measure of variance that is less effected by outliers than a standard
+//! deviation."
+
+/// The median of a sample. Returns `None` on an empty slice; averages the
+/// middle pair for even lengths.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = sorted.len();
+    Some(if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    })
+}
+
+/// Median absolute deviation about `center`:
+/// `MAD = medianᵢ(|xᵢ − medianⱼ(xⱼ)|)` (§4.2.1).
+pub fn mad(values: &[f64], center: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let deviations: Vec<f64> = values.iter().map(|x| (x - center).abs()).collect();
+    median(&deviations)
+}
+
+/// Median and MAD in one call.
+pub fn median_and_mad(values: &[f64]) -> Option<(f64, f64)> {
+    let m = median(values)?;
+    Some((m, mad(values, m)?))
+}
+
+/// Arithmetic mean; `None` on empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation; `None` on empty input. Used only by the
+/// [`crate::detect::OutlierMethod::StdDev`] ablation the paper argues
+/// against.
+pub fn stddev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|x| (x - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// `p`-th percentile (0–100) by linear interpolation; `None` on empty
+/// input. Used by the experiment harness when printing CDF rows.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}

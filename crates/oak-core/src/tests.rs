@@ -1,0 +1,13 @@
+//! Unit and property tests for the Oak core.
+
+mod aggregates_tests;
+mod analysis_tests;
+mod audit_tests;
+mod detect_tests;
+mod engine_props;
+mod engine_tests;
+mod matching_tests;
+mod policy_tests;
+mod report_tests;
+mod spec_tests;
+mod stats_tests;

@@ -1,0 +1,92 @@
+use crate::aggregates::{RunningStat, SiteAggregates};
+use crate::report::{ObjectTiming, PerfReport};
+
+#[test]
+fn running_stat_tracks_mean_min_max() {
+    let mut s = RunningStat::default();
+    assert_eq!(s.mean(), None);
+    s.push(10.0);
+    s.push(30.0);
+    s.push(20.0);
+    assert_eq!(s.count, 3);
+    assert_eq!(s.mean(), Some(20.0));
+    assert_eq!(s.min, 10.0);
+    assert_eq!(s.max, 30.0);
+}
+
+fn report(user: &str, slow: bool) -> PerfReport {
+    let mut r = PerfReport::new(user, "/");
+    r.push(ObjectTiming::new(
+        "http://cdn.example/a.js",
+        "10.0.0.1",
+        10_000,
+        if slow { 900.0 } else { 90.0 },
+    ));
+    r.push(ObjectTiming::new("http://cdn.example/big.bin", "10.0.0.1", 200_000, 400.0));
+    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 10_000, 80.0));
+    r
+}
+
+#[test]
+fn fold_accumulates_per_domain() {
+    let mut agg = SiteAggregates::new();
+    agg.fold(&report("u-1", false), &[]);
+    agg.fold(&report("u-2", false), &[]);
+    assert_eq!(agg.report_count(), 2);
+    assert_eq!(agg.user_count(), 2);
+
+    let cdn = agg.domain("cdn.example").unwrap();
+    assert_eq!(cdn.objects, 4, "two objects per report");
+    assert_eq!(cdn.bytes, 2 * 210_000);
+    assert_eq!(cdn.small_time_ms.count, 2);
+    assert_eq!(cdn.large_tput_kbps.count, 2);
+    assert_eq!(cdn.users_seen, 2);
+    assert_eq!(cdn.violations, 0);
+    assert!(agg.domain("img.example").is_some());
+    assert!(agg.domain("missing.example").is_none());
+}
+
+#[test]
+fn violations_attribute_to_the_flagged_ip() {
+    let mut agg = SiteAggregates::new();
+    agg.fold(&report("u-1", true), &["10.0.0.1".to_owned()]);
+    assert_eq!(agg.domain("cdn.example").unwrap().violations, 1);
+    assert_eq!(agg.domain("img.example").unwrap().violations, 0);
+    let worst = agg.worst_domains();
+    assert_eq!(worst[0].0, "cdn.example");
+}
+
+#[test]
+fn repeat_users_counted_once_per_domain() {
+    let mut agg = SiteAggregates::new();
+    for _ in 0..5 {
+        agg.fold(&report("u-same", false), &[]);
+    }
+    assert_eq!(agg.user_count(), 1);
+    assert_eq!(agg.domain("cdn.example").unwrap().users_seen, 1);
+}
+
+#[test]
+fn engine_exposes_aggregates() {
+    use crate::engine::{Oak, OakConfig};
+    use crate::matching::NoFetch;
+    use crate::Instant;
+
+    let mut oak = Oak::new(OakConfig::default());
+    // Five servers so detection runs; one egregious outlier.
+    let mut r = PerfReport::new("u-1", "/");
+    r.push(ObjectTiming::new("http://slow.example/x", "10.0.0.1", 10_000, 900.0));
+    for i in 2..6 {
+        r.push(ObjectTiming::new(
+            format!("http://ok{i}.example/x"),
+            format!("10.0.0.{i}"),
+            10_000,
+            90.0 + i as f64,
+        ));
+    }
+    oak.ingest_report(Instant::ZERO, &r, &NoFetch);
+    let agg = oak.aggregates();
+    assert_eq!(agg.report_count(), 1);
+    assert_eq!(agg.domain("slow.example").unwrap().violations, 1);
+    assert_eq!(agg.worst_domains()[0].0, "slow.example");
+}

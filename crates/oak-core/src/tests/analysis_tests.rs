@@ -1,0 +1,96 @@
+use crate::analysis::{PageAnalysis, DEFAULT_SIZE_SPLIT};
+use crate::report::{ObjectTiming, PerfReport};
+
+fn report_with(entries: &[(&str, &str, u64, f64)]) -> PerfReport {
+    let mut r = PerfReport::new("u", "/");
+    for &(url, ip, bytes, time) in entries {
+        r.push(ObjectTiming::new(url, ip, bytes, time));
+    }
+    r
+}
+
+#[test]
+fn groups_by_ip_not_domain() {
+    // Two domains co-hosted on one IP form one server entry — the paper's
+    // "grouping all objects by the IP address … keeping track of all
+    // related domain names".
+    let r = report_with(&[
+        ("http://img.a.example/1.png", "10.0.0.1", 10_000, 50.0),
+        ("http://static.a.example/2.png", "10.0.0.1", 10_000, 60.0),
+        ("http://other.example/3.png", "10.0.0.2", 10_000, 70.0),
+    ]);
+    let a = PageAnalysis::from_report(&r);
+    assert_eq!(a.server_count(), 2);
+    let s = a.server("10.0.0.1").unwrap();
+    assert_eq!(
+        s.domains.iter().cloned().collect::<Vec<_>>(),
+        ["img.a.example", "static.a.example"]
+    );
+    assert_eq!(s.object_count, 2);
+    assert_eq!(s.total_bytes, 20_000);
+}
+
+#[test]
+fn splits_small_and_large_at_50kb() {
+    let r = report_with(&[
+        ("http://h.example/small", "10.0.0.1", DEFAULT_SIZE_SPLIT - 1, 40.0),
+        ("http://h.example/large", "10.0.0.1", DEFAULT_SIZE_SPLIT, 100.0),
+    ]);
+    let a = PageAnalysis::from_report(&r);
+    let s = a.server("10.0.0.1").unwrap();
+    assert_eq!(s.small_times_ms, [40.0]);
+    assert_eq!(s.large_tputs_kbps.len(), 1);
+    // 50 KB ≥ split → throughput entry: 50_000·8 bits / 100 ms = 4000 kbps.
+    assert!((s.large_tputs_kbps[0] - 4_000.0).abs() < 1e-9);
+}
+
+#[test]
+fn averages_are_per_class() {
+    let r = report_with(&[
+        ("http://h.example/a", "10.0.0.1", 1_000, 10.0),
+        ("http://h.example/b", "10.0.0.1", 1_000, 30.0),
+        ("http://h.example/c", "10.0.0.1", 100_000, 100.0),
+        ("http://h.example/d", "10.0.0.1", 100_000, 400.0),
+    ]);
+    let a = PageAnalysis::from_report(&r);
+    let s = a.server("10.0.0.1").unwrap();
+    assert_eq!(s.avg_small_time_ms(), Some(20.0));
+    // Throughputs: 8000 and 2000 kbps → mean 5000.
+    assert_eq!(s.avg_large_tput_kbps(), Some(5_000.0));
+}
+
+#[test]
+fn missing_class_yields_none() {
+    let r = report_with(&[("http://h.example/only-small", "10.0.0.1", 100, 10.0)]);
+    let a = PageAnalysis::from_report(&r);
+    let s = a.server("10.0.0.1").unwrap();
+    assert!(s.avg_small_time_ms().is_some());
+    assert_eq!(s.avg_large_tput_kbps(), None);
+}
+
+#[test]
+fn custom_split_moves_the_boundary() {
+    let r = report_with(&[("http://h.example/x", "10.0.0.1", 30_000, 50.0)]);
+    let default = PageAnalysis::from_report(&r);
+    assert_eq!(default.server("10.0.0.1").unwrap().small_times_ms.len(), 1);
+    let tight = PageAnalysis::from_report_with_split(&r, 10_000);
+    assert_eq!(tight.server("10.0.0.1").unwrap().small_times_ms.len(), 0);
+    assert_eq!(tight.server("10.0.0.1").unwrap().large_tputs_kbps.len(), 1);
+}
+
+#[test]
+fn empty_report_analyzes_to_empty() {
+    let a = PageAnalysis::from_report(&PerfReport::new("u", "/"));
+    assert_eq!(a.server_count(), 0);
+    assert!(a.iter().next().is_none());
+    assert!(a.server("10.0.0.1").is_none());
+}
+
+#[test]
+fn unparseable_urls_still_count_toward_stats() {
+    let r = report_with(&[("garbage-url", "10.0.0.1", 100, 10.0)]);
+    let a = PageAnalysis::from_report(&r);
+    let s = a.server("10.0.0.1").unwrap();
+    assert!(s.domains.is_empty());
+    assert_eq!(s.object_count, 1);
+}

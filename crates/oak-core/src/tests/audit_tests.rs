@@ -1,0 +1,115 @@
+use crate::audit::audit;
+use crate::engine::{LogAction, LogEvent};
+use crate::rule::RuleId;
+use crate::time::Instant;
+
+fn ev(user: &str, rule: u32, action: LogAction) -> LogEvent {
+    LogEvent {
+        time: Instant::ZERO,
+        user: user.into(),
+        rule: RuleId(rule),
+        action,
+    }
+}
+
+fn activated(user: &str, rule: u32, ip: &str, severity: f64) -> LogEvent {
+    ev(
+        user,
+        rule,
+        LogAction::Activated {
+            violator_ip: ip.into(),
+            severity,
+        },
+    )
+}
+
+#[test]
+fn empty_log_audits_to_empty_report() {
+    let report = audit(&[]);
+    assert_eq!(report.events, 0);
+    assert_eq!(report.users, 0);
+    assert_eq!(report.total_activations(), 0);
+    assert!(report.busiest_rules().is_empty());
+}
+
+#[test]
+fn aggregates_per_rule() {
+    let log = vec![
+        activated("u-1", 0, "10.0.0.1", 4.0),
+        activated("u-2", 0, "10.0.0.1", 6.0),
+        activated("u-1", 1, "10.0.0.9", 3.0),
+        ev("u-1", 0, LogAction::Advanced { to_index: 1 }),
+        ev("u-2", 0, LogAction::Deactivated),
+        ev("u-1", 1, LogAction::Expired),
+    ];
+    let report = audit(&log);
+    assert_eq!(report.events, 6);
+    assert_eq!(report.users, 2);
+    assert_eq!(report.total_activations(), 3);
+
+    let r0 = &report.rules[&RuleId(0)];
+    assert_eq!(r0.activations, 2);
+    assert_eq!(r0.advancements, 1);
+    assert_eq!(r0.deactivations, 1);
+    assert_eq!(r0.expirations, 0);
+    assert_eq!(r0.distinct_users, 2);
+    assert_eq!(r0.mean_severity, 5.0);
+    assert_eq!(r0.violator_ips["10.0.0.1"], 2);
+    assert_eq!(r0.abandon_rate(), 0.5);
+
+    let r1 = &report.rules[&RuleId(1)];
+    assert_eq!(r1.activations, 1);
+    assert_eq!(r1.expirations, 1);
+    assert_eq!(r1.abandon_rate(), 0.0);
+}
+
+#[test]
+fn busiest_rules_sorted_by_activations() {
+    let log = vec![
+        activated("u", 5, "10.0.0.1", 2.0),
+        activated("u", 3, "10.0.0.1", 2.0),
+        activated("u", 3, "10.0.0.1", 2.0),
+    ];
+    let report = audit(&log);
+    let ranked: Vec<u32> = report.busiest_rules().iter().map(|(id, _)| id.0).collect();
+    assert_eq!(ranked, [3, 5]);
+}
+
+#[test]
+fn display_renders_operator_table() {
+    let log = vec![
+        activated("u-1", 0, "10.0.0.1", 4.0),
+        ev("u-1", 0, LogAction::Deactivated),
+    ];
+    let rendered = audit(&log).to_string();
+    assert!(rendered.contains("oak audit: 2 events, 1 users"));
+    assert!(rendered.contains("rule0"));
+    assert!(rendered.contains("10.0.0.1 (1x)"));
+}
+
+#[test]
+fn audit_from_live_engine_log() {
+    use crate::engine::{Oak, OakConfig};
+    use crate::matching::NoFetch;
+    use crate::report::{ObjectTiming, PerfReport};
+    use crate::rule::Rule;
+
+    let mut oak = Oak::new(OakConfig::default());
+    let id = oak
+        .add_rule(Rule::replace_identical(
+            r#"<script src="http://cdn-a.example/jquery.js">"#,
+            [r#"<script src="http://cdn-b.example/jquery.js">"#],
+        ))
+        .unwrap();
+    let mut report = PerfReport::new("u-1", "/");
+    report.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 900.0));
+    report.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
+    report.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
+    report.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
+    report.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+    oak.ingest_report(Instant::ZERO, &report, &NoFetch);
+
+    let summary = audit(oak.log());
+    assert_eq!(summary.rules[&id].activations, 1);
+    assert!(summary.rules[&id].mean_severity > 2.0);
+}

@@ -1,0 +1,256 @@
+use crate::analysis::PageAnalysis;
+use crate::detect::{detect_violators, DetectorConfig, OutlierMethod, ViolationKind};
+use crate::report::{ObjectTiming, PerfReport};
+
+/// A report with five servers serving one small object each, at the given
+/// times.
+fn small_object_report(times: &[f64]) -> PerfReport {
+    let mut r = PerfReport::new("u", "/");
+    for (i, &t) in times.iter().enumerate() {
+        r.push(ObjectTiming::new(
+            format!("http://host{i}.example/obj"),
+            format!("10.0.0.{}", i + 1),
+            1_000,
+            t,
+        ));
+    }
+    r
+}
+
+fn large_object_report(tputs_kbps: &[f64]) -> PerfReport {
+    let mut r = PerfReport::new("u", "/");
+    for (i, &tput) in tputs_kbps.iter().enumerate() {
+        // time = bits / kbps; 800_000 bits at `tput` kbps.
+        let bytes = 100_000u64;
+        let time_ms = bytes as f64 * 8.0 / tput;
+        r.push(ObjectTiming::new(
+            format!("http://big{i}.example/blob"),
+            format!("10.0.1.{}", i + 1),
+            bytes,
+            time_ms,
+        ));
+    }
+    r
+}
+
+#[test]
+fn detects_slow_small_object_server() {
+    let r = small_object_report(&[100.0, 110.0, 90.0, 105.0, 500.0]);
+    let a = PageAnalysis::from_report(&r);
+    let v = detect_violators(&a, &DetectorConfig::default());
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].ip, "10.0.0.5");
+    assert_eq!(v[0].domains, ["host4.example"]);
+    match v[0].kind {
+        ViolationKind::SlowSmallObjects {
+            observed_ms,
+            median_ms,
+            ..
+        } => {
+            assert_eq!(observed_ms, 500.0);
+            assert_eq!(median_ms, 105.0);
+        }
+        _ => panic!("expected small-object violation"),
+    }
+}
+
+#[test]
+fn detects_low_throughput_server() {
+    let r = large_object_report(&[4_000.0, 4_200.0, 3_900.0, 4_100.0, 300.0]);
+    let a = PageAnalysis::from_report(&r);
+    let v = detect_violators(&a, &DetectorConfig::default());
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].ip, "10.0.1.5");
+    assert!(matches!(v[0].kind, ViolationKind::LowThroughput { .. }));
+}
+
+#[test]
+fn healthy_population_has_no_violators() {
+    let r = small_object_report(&[95.0, 100.0, 105.0, 110.0, 98.0]);
+    let a = PageAnalysis::from_report(&r);
+    assert!(detect_violators(&a, &DetectorConfig::default()).is_empty());
+}
+
+#[test]
+fn threshold_formula_is_exact() {
+    // The probe participates in the population statistics. With servers at
+    // 90, 95, 105, 110 and a probe near 125: sorted medians give
+    // median = 105, deviations {15, 10, 0, 5, ~20} → MAD = 10, so the
+    // violation boundary sits at 105 + 2·10 = 125.
+    let config = DetectorConfig::default();
+    let below = small_object_report(&[90.0, 95.0, 105.0, 110.0, 124.9]);
+    let above = small_object_report(&[90.0, 95.0, 105.0, 110.0, 125.1]);
+    assert!(detect_violators(&PageAnalysis::from_report(&below), &config).is_empty());
+    let v = detect_violators(&PageAnalysis::from_report(&above), &config);
+    assert_eq!(v.len(), 1, "just past median + 2·MAD is a violation");
+}
+
+#[test]
+fn min_servers_gate() {
+    // Two servers, one ostensibly slow: no population to deviate from.
+    let r = small_object_report(&[100.0, 900.0]);
+    let a = PageAnalysis::from_report(&r);
+    assert!(detect_violators(&a, &DetectorConfig::default()).is_empty());
+    let loose = DetectorConfig {
+        min_servers: 2,
+        ..DetectorConfig::default()
+    };
+    // Even allowed, two points give MAD = half the gap and no violation
+    // beyond 2·MAD; nothing is flagged. Either way: no panic, no nonsense.
+    let _ = detect_violators(&a, &loose);
+}
+
+#[test]
+fn uniformly_slow_client_is_not_a_violation_storm() {
+    // "users on narrow-bandwidth long-haul links will likely see low
+    // performance no matter which servers they are communicating with,
+    // and Oak need not waste its time with such cases" (§4.2.1).
+    let r = small_object_report(&[2_000.0, 2_100.0, 1_900.0, 2_050.0, 2_000.0]);
+    let a = PageAnalysis::from_report(&r);
+    assert!(detect_violators(&a, &DetectorConfig::default()).is_empty());
+}
+
+#[test]
+fn either_test_suffices() {
+    // A server with fine small objects but terrible throughput violates.
+    let mut r = PerfReport::new("u", "/");
+    for i in 0..4 {
+        r.push(ObjectTiming::new(
+            format!("http://ok{i}.example/s"),
+            format!("10.0.0.{i}"),
+            1_000,
+            100.0 + i as f64 * 5.0,
+        ));
+        r.push(ObjectTiming::new(
+            format!("http://ok{i}.example/l"),
+            format!("10.0.0.{i}"),
+            200_000,
+            // Vary the healthy servers so the throughput MAD is nonzero.
+            400.0 + i as f64 * 15.0,
+        ));
+    }
+    // Mixed server: small objects healthy, large objects starved.
+    r.push(ObjectTiming::new("http://mixed.example/s", "10.0.0.9", 1_000, 102.0));
+    r.push(ObjectTiming::new("http://mixed.example/l", "10.0.0.9", 200_000, 40_000.0));
+    let a = PageAnalysis::from_report(&r);
+    let v = detect_violators(&a, &DetectorConfig::default());
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].ip, "10.0.0.9");
+    assert!(matches!(v[0].kind, ViolationKind::LowThroughput { .. }));
+}
+
+#[test]
+fn threshold_knob_changes_sensitivity() {
+    let r = small_object_report(&[90.0, 100.0, 110.0, 105.0, 160.0]);
+    let a = PageAnalysis::from_report(&r);
+    let tight = DetectorConfig {
+        threshold: 1.0,
+        ..DetectorConfig::default()
+    };
+    // Times sorted: 90,100,105,110,160 → median 105, MAD 5; the probe at
+    // 160 sits 11 MADs out, so k = 12 is just loose enough to ignore it.
+    let loose = DetectorConfig {
+        threshold: 12.0,
+        ..DetectorConfig::default()
+    };
+    assert!(!detect_violators(&a, &tight).is_empty());
+    assert!(detect_violators(&a, &loose).is_empty());
+}
+
+#[test]
+fn stddev_ablation_detects_differently() {
+    // Two far outliers: MAD flags both; σ is inflated by them and the
+    // detection threshold balloons. This is the paper's argument in
+    // miniature.
+    let r = small_object_report(&[100.0, 102.0, 98.0, 101.0, 99.0, 1_000.0, 1_050.0]);
+    let a = PageAnalysis::from_report(&r);
+    let mad_hits = detect_violators(&a, &DetectorConfig::default());
+    let sd_hits = detect_violators(
+        &a,
+        &DetectorConfig {
+            method: OutlierMethod::StdDev,
+            ..DetectorConfig::default()
+        },
+    );
+    assert_eq!(mad_hits.len(), 2);
+    assert!(sd_hits.len() < 2, "σ swallows its own outliers");
+}
+
+#[test]
+fn severity_is_normalized_distance() {
+    let kind = ViolationKind::SlowSmallObjects {
+        observed_ms: 130.0,
+        median_ms: 100.0,
+        deviation_ms: 10.0,
+    };
+    assert!((kind.severity() - 3.0).abs() < 1e-12);
+    let kind = ViolationKind::LowThroughput {
+        observed_kbps: 200.0,
+        median_kbps: 1_000.0,
+        deviation_kbps: 200.0,
+    };
+    assert!((kind.severity() - 4.0).abs() < 1e-12);
+}
+
+#[test]
+fn zero_mad_population_never_divides_by_zero() {
+    // All servers identical: MAD = 0; the `dev > 0` guard suppresses
+    // detection instead of flagging everything.
+    let r = small_object_report(&[100.0, 100.0, 100.0, 100.0, 100.0]);
+    let a = PageAnalysis::from_report(&r);
+    assert!(detect_violators(&a, &DetectorConfig::default()).is_empty());
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Detection is total and flags at most all servers.
+        #[test]
+        fn detection_is_total(times in prop::collection::vec(1.0f64..1e5, 0..20)) {
+            let r = small_object_report(&times);
+            let a = PageAnalysis::from_report(&r);
+            let v = detect_violators(&a, &DetectorConfig::default());
+            prop_assert!(v.len() <= a.server_count());
+        }
+
+        /// Every flagged server is genuinely past the threshold.
+        #[test]
+        fn flagged_servers_exceed_threshold(
+            times in prop::collection::vec(1.0f64..1e4, 3..20),
+        ) {
+            let r = small_object_report(&times);
+            let a = PageAnalysis::from_report(&r);
+            let config = DetectorConfig::default();
+            for v in detect_violators(&a, &config) {
+                match v.kind {
+                    ViolationKind::SlowSmallObjects { observed_ms, median_ms, deviation_ms } => {
+                        prop_assert!(observed_ms > median_ms + config.threshold * deviation_ms);
+                        prop_assert!(v.kind.severity() > config.threshold);
+                    }
+                    _ => prop_assert!(false, "small-object report produced throughput violation"),
+                }
+            }
+        }
+
+        /// Raising the threshold never flags more servers (monotonicity).
+        #[test]
+        fn threshold_is_monotone(
+            times in prop::collection::vec(1.0f64..1e4, 3..15),
+            k1 in 0.5f64..4.0,
+            k2 in 0.5f64..4.0,
+        ) {
+            let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+            let r = small_object_report(&times);
+            let a = PageAnalysis::from_report(&r);
+            let loose = detect_violators(&a, &DetectorConfig { threshold: hi, ..Default::default() });
+            let tight = detect_violators(&a, &DetectorConfig { threshold: lo, ..Default::default() });
+            prop_assert!(loose.len() <= tight.len());
+            // And every loose hit is also a tight hit.
+            for v in &loose {
+                prop_assert!(tight.iter().any(|t| t.ip == v.ip));
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for engine-wide invariants.
+
+use proptest::prelude::*;
+
+use crate::engine::{Oak, OakConfig};
+use crate::matching::NoFetch;
+use crate::report::{ObjectTiming, PerfReport};
+use crate::rule::Rule;
+use crate::time::Instant;
+
+/// Strategy: a syntactically valid report with 0–10 entries over a small
+/// pool of hosts and IPs.
+fn report_strategy() -> impl Strategy<Value = PerfReport> {
+    let entry = (
+        0usize..8,           // host index
+        0usize..8,           // ip index
+        0u64..300_000,       // bytes
+        0.0f64..5_000.0,     // time
+    );
+    (
+        "[a-z]{1,6}",
+        prop::collection::vec(entry, 0..10),
+    )
+        .prop_map(|(user, entries)| {
+            let mut report = PerfReport::new(format!("u-{user}"), "/p");
+            for (h, ip, bytes, time) in entries {
+                report.push(ObjectTiming::new(
+                    format!("http://host{h}.example/obj"),
+                    format!("10.0.0.{ip}"),
+                    bytes,
+                    time,
+                ));
+            }
+            report
+        })
+}
+
+fn engine_with_rules() -> Oak {
+    let mut oak = Oak::new(OakConfig::default());
+    for h in 0..8 {
+        oak.add_rule(Rule::replace_identical(
+            format!("http://host{h}.example/"),
+            [
+                format!("http://m1.example/host{h}.example/"),
+                format!("http://m2.example/host{h}.example/"),
+            ],
+        ))
+        .unwrap();
+    }
+    oak
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ingest and modify never panic, whatever the reports contain, and
+    /// the activity log only ever grows.
+    #[test]
+    fn engine_is_total_under_arbitrary_reports(
+        reports in prop::collection::vec(report_strategy(), 1..20),
+    ) {
+        let mut oak = engine_with_rules();
+        let mut last_log = 0;
+        for (i, report) in reports.iter().enumerate() {
+            oak.ingest_report(Instant(i as u64), report, &NoFetch);
+            prop_assert!(oak.log().len() >= last_log);
+            last_log = oak.log().len();
+            let page = oak.modify_page(
+                Instant(i as u64),
+                &report.user,
+                "/p",
+                r#"<img src="http://host0.example/x.png">"#,
+            );
+            prop_assert!(page.html.contains("<img"));
+        }
+    }
+
+    /// Per-user isolation: whatever user A reports, user B's active rules
+    /// and pages are untouched.
+    #[test]
+    fn users_never_interfere(reports in prop::collection::vec(report_strategy(), 1..16)) {
+        let mut oak = engine_with_rules();
+        let bystander = "u-bystander";
+        let page = r#"<script src="http://host1.example/a.js"></script>"#;
+        let before = oak.modify_page(Instant::ZERO, bystander, "/p", page);
+        for (i, report) in reports.iter().enumerate() {
+            prop_assume!(report.user != bystander);
+            oak.ingest_report(Instant(i as u64), report, &NoFetch);
+        }
+        prop_assert!(oak.active_rules(bystander).is_empty());
+        let after = oak.modify_page(Instant(99_999), bystander, "/p", page);
+        prop_assert_eq!(before.html, after.html);
+    }
+
+    /// Rewriting is idempotent: applying a user's rules to an
+    /// already-rewritten page changes nothing further (replacement rules
+    /// validate that alternatives do not contain the default text).
+    #[test]
+    fn modification_is_idempotent(reports in prop::collection::vec(report_strategy(), 1..8)) {
+        let mut oak = engine_with_rules();
+        for (i, report) in reports.iter().enumerate() {
+            oak.ingest_report(Instant(i as u64), report, &NoFetch);
+        }
+        let page = (0..8)
+            .map(|h| format!(r#"<img src="http://host{h}.example/pic.png">"#))
+            .collect::<Vec<_>>()
+            .join("\n");
+        for report in reports {
+            let once = oak.modify_page(Instant(50), &report.user, "/p", &page);
+            let twice = oak.modify_page(Instant(50), &report.user, "/p", &once.html);
+            prop_assert_eq!(&once.html, &twice.html);
+            prop_assert!(twice.applied.is_empty(), "second pass must make no edits");
+        }
+    }
+
+    /// The engine's outcome lists are consistent with its state: newly
+    /// activated rules are active afterwards, deactivated ones are not.
+    #[test]
+    fn outcome_matches_state(report in report_strategy()) {
+        let mut oak = engine_with_rules();
+        let outcome = oak.ingest_report(Instant::ZERO, &report, &NoFetch);
+        let active: Vec<_> = oak.active_rules(&report.user).iter().map(|(id, _)| *id).collect();
+        for id in &outcome.activated {
+            prop_assert!(active.contains(id));
+        }
+        for id in &outcome.deactivated {
+            prop_assert!(!active.contains(id));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+use std::collections::HashMap;
+
+use crate::matching::{match_rule, url_host, MatchLevel, NoFetch, ScriptFetcher};
+
+fn domains(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// A fetcher backed by a fixed url → body table.
+struct TableFetcher(HashMap<String, String>);
+
+impl ScriptFetcher for TableFetcher {
+    fn fetch_script(&self, url: &str) -> Option<String> {
+        self.0.get(url).cloned()
+    }
+}
+
+#[test]
+fn direct_include_matches_src_attribute() {
+    let rule = r#"<script src="http://cdn.violator.example/lib.js"></script>"#;
+    let hit = match_rule(
+        rule,
+        &domains(&["cdn.violator.example"]),
+        MatchLevel::DirectInclude,
+        &NoFetch,
+    );
+    assert_eq!(hit.map(|m| m.level), Some(MatchLevel::DirectInclude));
+}
+
+#[test]
+fn direct_include_matches_img_and_link() {
+    let img = r#"<img src="http://img.v.example/x.png">"#;
+    let link = r#"<link rel="stylesheet" href="http://css.v.example/m.css">"#;
+    assert!(match_rule(img, &domains(&["img.v.example"]), MatchLevel::DirectInclude, &NoFetch).is_some());
+    assert!(match_rule(link, &domains(&["css.v.example"]), MatchLevel::DirectInclude, &NoFetch).is_some());
+}
+
+#[test]
+fn direct_include_requires_exact_host() {
+    let rule = r#"<img src="http://sub.cdn.example/x.png">"#;
+    assert!(
+        match_rule(rule, &domains(&["cdn.example"]), MatchLevel::DirectInclude, &NoFetch).is_none(),
+        "parent domain must not match a sub-domain host"
+    );
+    assert!(
+        match_rule(rule, &domains(&["SUB.CDN.EXAMPLE"]), MatchLevel::DirectInclude, &NoFetch).is_some(),
+        "comparison is case-insensitive"
+    );
+}
+
+#[test]
+fn text_match_finds_domains_in_inline_scripts() {
+    // "these scripts often do not contain well formed URLs, and instead
+    // construct the final URL programatically" (§4.2.2).
+    let rule = r#"<script>
+        var host = "tracker.ads.example";
+        img.src = "http://" + host + "/pixel?" + Date.now();
+    </script>"#;
+    let hit = match_rule(rule, &domains(&["tracker.ads.example"]), MatchLevel::TextMatch, &NoFetch);
+    assert_eq!(hit.map(|m| m.level), Some(MatchLevel::TextMatch));
+    // But NOT at the direct-include level.
+    assert!(match_rule(rule, &domains(&["tracker.ads.example"]), MatchLevel::DirectInclude, &NoFetch).is_none());
+}
+
+#[test]
+fn text_match_respects_host_boundaries() {
+    let rule = "<script>connect('http://badcdn.example/x')</script>";
+    assert!(
+        match_rule(rule, &domains(&["cdn.example"]), MatchLevel::TextMatch, &NoFetch).is_none(),
+        "cdn.example must not match inside badcdn.example"
+    );
+    let rule2 = "<script>connect('http://cdn.example.evil.net/x')</script>";
+    assert!(
+        match_rule(rule2, &domains(&["cdn.example"]), MatchLevel::TextMatch, &NoFetch).is_none(),
+        "cdn.example must not match a longer host"
+    );
+}
+
+#[test]
+fn external_js_expansion_matches_through_one_level() {
+    // Fig. 6's scenario: the rule includes script1.js from server 1, and
+    // that script fetches image2.jpg from server 3. The rule must match
+    // violator server 3 only via the fetched script body.
+    let rule = r#"<script src="http://server1.example/script1.js"></script>"#;
+    let mut table = HashMap::new();
+    table.insert(
+        "http://server1.example/script1.js".to_owned(),
+        r#"document.write('<img src="http://server3.example/image2.jpg">')"#.to_owned(),
+    );
+    let fetcher = TableFetcher(table);
+
+    let hit = match_rule(rule, &domains(&["server3.example"]), MatchLevel::ExternalJs, &fetcher);
+    assert_eq!(hit.map(|m| m.level), Some(MatchLevel::ExternalJs));
+    // Level capped below ExternalJs: no match.
+    assert!(match_rule(rule, &domains(&["server3.example"]), MatchLevel::TextMatch, &fetcher).is_none());
+    // The script's own host still matches at level 1.
+    assert_eq!(
+        match_rule(rule, &domains(&["server1.example"]), MatchLevel::ExternalJs, &fetcher)
+            .map(|m| m.level),
+        Some(MatchLevel::DirectInclude)
+    );
+}
+
+#[test]
+fn external_js_expansion_is_one_level_only() {
+    // A domain reachable only through a script-loaded-by-a-script is not
+    // matched: "this process could be continued to an additional layer …
+    // however, the payoff is rapidly diminishing" (§4.2.2).
+    let rule = r#"<script src="http://l1.example/a.js"></script>"#;
+    let mut table = HashMap::new();
+    table.insert(
+        "http://l1.example/a.js".to_owned(),
+        r#"load("http://l2.example/b.js")"#.to_owned(),
+    );
+    table.insert(
+        "http://l2.example/b.js".to_owned(),
+        r#"img("http://l3.example/pix.gif")"#.to_owned(),
+    );
+    let fetcher = TableFetcher(table);
+    assert!(match_rule(rule, &domains(&["l3.example"]), MatchLevel::ExternalJs, &fetcher).is_none());
+    // l2 appears in l1's body → matched at the ExternalJs level.
+    assert!(match_rule(rule, &domains(&["l2.example"]), MatchLevel::ExternalJs, &fetcher).is_some());
+}
+
+#[test]
+fn weakest_level_wins() {
+    // A rule that matches at both level 1 and level 2 reports level 1.
+    let rule = r#"<img src="http://v.example/x.png"><script>var d="v.example";</script>"#;
+    let hit = match_rule(rule, &domains(&["v.example"]), MatchLevel::ExternalJs, &NoFetch);
+    assert_eq!(hit.map(|m| m.level), Some(MatchLevel::DirectInclude));
+}
+
+#[test]
+fn no_domains_no_match() {
+    assert!(match_rule("<img src=\"http://a/x\">", &[], MatchLevel::ExternalJs, &NoFetch).is_none());
+}
+
+#[test]
+fn unfetchable_scripts_do_not_match() {
+    let rule = r#"<script src="http://gone.example/a.js"></script>"#;
+    assert!(match_rule(rule, &domains(&["hidden.example"]), MatchLevel::ExternalJs, &NoFetch).is_none());
+}
+
+#[test]
+fn closure_fetcher_works() {
+    let rule = r#"<script src="http://s.example/a.js"></script>"#;
+    let fetcher = |url: &str| {
+        (url == "http://s.example/a.js").then(|| "ping('deep.example')".to_owned())
+    };
+    assert!(match_rule(rule, &domains(&["deep.example"]), MatchLevel::ExternalJs, &fetcher).is_some());
+}
+
+#[test]
+fn url_host_forms() {
+    assert_eq!(url_host("http://A.B.example/x"), Some("a.b.example".into()));
+    assert_eq!(url_host("https://h.example:8443/p?q"), Some("h.example".into()));
+    assert_eq!(url_host("//proto.relative.example/y"), Some("proto.relative.example".into()));
+    assert_eq!(url_host("/relative/path"), None);
+    assert_eq!(url_host("relative.html"), None);
+    assert_eq!(url_host("http:///nohost"), None);
+    assert_eq!(url_host("http://user@h.example/"), Some("h.example".into()));
+}
+
+#[test]
+fn caching_fetcher_memoizes_hits_and_misses() {
+    use crate::matching::CachingFetcher;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let calls = AtomicUsize::new(0);
+    let fetcher = CachingFetcher::new(|url: &str| {
+        calls.fetch_add(1, Ordering::SeqCst);
+        (url == "http://has.example/a.js").then(|| "body".to_owned())
+    });
+
+    assert_eq!(fetcher.fetch_script("http://has.example/a.js").as_deref(), Some("body"));
+    assert_eq!(fetcher.fetch_script("http://has.example/a.js").as_deref(), Some("body"));
+    assert_eq!(fetcher.fetch_script("http://404.example/b.js"), None);
+    assert_eq!(fetcher.fetch_script("http://404.example/b.js"), None);
+    assert_eq!(calls.load(Ordering::SeqCst), 2, "one inner call per URL");
+    assert_eq!(fetcher.cached(), 2);
+    fetcher.clear();
+    assert_eq!(fetcher.cached(), 0);
+    fetcher.fetch_script("http://has.example/a.js");
+    assert_eq!(calls.load(Ordering::SeqCst), 3, "cleared cache refetches");
+}
+
+#[test]
+fn rule_surface_agrees_with_match_rule() {
+    use crate::matching::RuleSurface;
+    let texts = [
+        r#"<script src="http://cdn.v.example/lib.js"></script>"#,
+        r#"<script>var h = "tracker.example"; ping(h);</script>"#,
+        r#"<img src="http://img.example/x.png"><script src="http://l1.example/a.js"></script>"#,
+        "plain text mentioning cdn.example here",
+        "",
+    ];
+    let domain_sets: Vec<Vec<String>> = vec![
+        vec!["cdn.v.example".into()],
+        vec!["tracker.example".into()],
+        vec!["img.example".into(), "other.example".into()],
+        vec!["cdn.example".into()],
+        vec!["deep.example".into()],
+        vec![],
+    ];
+    let fetcher = |url: &str| {
+        (url == "http://l1.example/a.js").then(|| "go('deep.example')".to_owned())
+    };
+    for text in texts {
+        let surface = RuleSurface::compile(text);
+        for domains in &domain_sets {
+            for level in MatchLevel::ALL {
+                let direct = match_rule(text, domains, level, &fetcher);
+                let compiled = surface.matches(domains, level, &fetcher);
+                assert_eq!(
+                    direct.map(|m| m.level),
+                    compiled.map(|m| m.level),
+                    "text={text:?} domains={domains:?} level={level:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn match_levels_are_ordered() {
+    assert!(MatchLevel::DirectInclude < MatchLevel::TextMatch);
+    assert!(MatchLevel::TextMatch < MatchLevel::ExternalJs);
+    assert_eq!(MatchLevel::ALL.len(), 3);
+}

@@ -1,0 +1,238 @@
+//! Tests for the §4.2.4 policy extensions: client filters, selection
+//! policies, and the §6 absolute-threshold detection ablation.
+
+use crate::analysis::PageAnalysis;
+use crate::detect::{detect_violators, DetectorConfig, OutlierMethod};
+use crate::engine::{Oak, OakConfig};
+use crate::matching::NoFetch;
+use crate::report::{ObjectTiming, PerfReport};
+use crate::rule::{ClientFilter, Rule, SelectionPolicy};
+use crate::time::Instant;
+
+const JQ: &str = r#"<script src="http://cdn-a.example/jquery.js">"#;
+
+fn violating_report(user: &str) -> PerfReport {
+    let mut r = PerfReport::new(user, "/");
+    r.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 900.0));
+    r.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
+    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
+    r.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
+    r.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+    r
+}
+
+// ---------------------------------------------------------------------
+// Client filters
+// ---------------------------------------------------------------------
+
+#[test]
+fn client_filter_admits() {
+    assert!(ClientFilter::Any.admits(None));
+    assert!(ClientFilter::Any.admits(Some("1.2.3.4")));
+    let subnet = ClientFilter::IpPrefix("10.3.".into());
+    assert!(subnet.admits(Some("10.3.7.9")));
+    assert!(!subnet.admits(Some("10.30.7.9")), "prefix is textual: dot included");
+    assert!(!subnet.admits(Some("192.168.0.1")));
+    assert!(!subnet.admits(None), "subnet rules never match unattributed traffic");
+}
+
+#[test]
+fn subnet_scoped_rule_only_activates_for_matching_clients() {
+    let mut oak = Oak::new(OakConfig::default());
+    oak.add_rule(
+        Rule::replace_identical(JQ, [r#"<script src="http://cdn-b.example/jquery.js">"#])
+            .with_client_prefix("10.3."),
+    )
+    .unwrap();
+
+    let inside = oak.ingest_report_from(
+        Instant::ZERO,
+        &violating_report("u-inside"),
+        &NoFetch,
+        Some("10.3.0.77"),
+    );
+    assert_eq!(inside.activated.len(), 1);
+
+    let outside = oak.ingest_report_from(
+        Instant::ZERO,
+        &violating_report("u-outside"),
+        &NoFetch,
+        Some("10.4.0.77"),
+    );
+    assert!(outside.activated.is_empty());
+    assert_eq!(outside.violations.len(), 1, "violation is seen, rule just filtered");
+
+    let anonymous = oak.ingest_report(Instant::ZERO, &violating_report("u-anon"), &NoFetch);
+    assert!(anonymous.activated.is_empty(), "no IP, no subnet-scoped activation");
+}
+
+// ---------------------------------------------------------------------
+// Selection policies
+// ---------------------------------------------------------------------
+
+#[test]
+fn user_hash_selection_spreads_users_across_alternatives() {
+    let alts: Vec<String> = (0..4)
+        .map(|i| format!(r#"<script src="http://mirror{i}.example/jquery.js">"#))
+        .collect();
+    let mut oak = Oak::new(OakConfig::default());
+    let id = oak
+        .add_rule(Rule::replace_identical(JQ, alts).with_selection(SelectionPolicy::UserHash))
+        .unwrap();
+
+    let mut seen = std::collections::BTreeSet::new();
+    for i in 0..24 {
+        let user = format!("u-{i}");
+        oak.ingest_report(Instant::ZERO, &violating_report(&user), &NoFetch);
+        let active = oak.active_rules(&user);
+        assert_eq!(active.len(), 1);
+        seen.insert(active[0].1.alternative_index);
+        assert_eq!(active[0].0, id);
+    }
+    assert!(
+        seen.len() >= 3,
+        "24 users should land on at least 3 of 4 mirrors, got {seen:?}"
+    );
+}
+
+#[test]
+fn user_hash_is_stable_per_user() {
+    let alts: Vec<String> = (0..5)
+        .map(|i| format!(r#"<script src="http://mirror{i}.example/jquery.js">"#))
+        .collect();
+    let index_for = |user: &str| {
+        let mut oak = Oak::new(OakConfig::default());
+        oak.add_rule(Rule::replace_identical(JQ, alts.clone()).with_selection(SelectionPolicy::UserHash))
+            .unwrap();
+        oak.ingest_report(Instant::ZERO, &violating_report(user), &NoFetch);
+        oak.active_rules(user)[0].1.alternative_index
+    };
+    assert_eq!(index_for("alice"), index_for("alice"));
+}
+
+#[test]
+fn user_hash_advancement_wraps_and_exhausts() {
+    let alts = [
+        r#"<script src="http://m0.example/jquery.js">"#,
+        r#"<script src="http://m1.example/jquery.js">"#,
+        r#"<script src="http://m2.example/jquery.js">"#,
+    ];
+    let mut oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::replace_identical(JQ, alts).with_selection(SelectionPolicy::UserHash))
+        .unwrap();
+    let user = "u-wrap";
+    // Mild default violation: severity comparisons keep forcing advances.
+    oak.ingest_report(Instant(0), &violating_report(user), &NoFetch);
+    let start = oak.active_rules(user)[0].1.alternative_index;
+
+    // Each currently-selected mirror violates catastrophically in turn.
+    let mut visited = vec![start];
+    for step in 1..3 {
+        let current = oak.active_rules(user)[0].1.alternative_index;
+        let mut bad = PerfReport::new(user, "/");
+        bad.push(ObjectTiming::new(
+            format!("http://m{current}.example/jquery.js"),
+            "10.0.0.9",
+            30_000,
+            9_000.0,
+        ));
+        bad.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
+        bad.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
+        bad.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
+        bad.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+        let outcome = oak.ingest_report(Instant(step), &bad, &NoFetch);
+        assert_eq!(outcome.advanced.len(), 1, "step {step} should advance");
+        let next = oak.active_rules(user)[0].1.alternative_index;
+        assert_eq!(next, (current + 1) % 3, "wrapping advance");
+        visited.push(next);
+    }
+    // All three mirrors visited exactly once.
+    visited.sort_unstable();
+    assert_eq!(visited, [0, 1, 2]);
+
+    // A third bad alternate exhausts the list → deactivate.
+    let current = oak.active_rules(user)[0].1.alternative_index;
+    let mut bad = violating_report(user);
+    bad.entries[0] = ObjectTiming::new(
+        format!("http://m{current}.example/jquery.js"),
+        "10.0.0.9",
+        30_000,
+        9_000.0,
+    );
+    let outcome = oak.ingest_report(Instant(9), &bad, &NoFetch);
+    assert_eq!(outcome.deactivated.len(), 1);
+    assert!(oak.active_rules(user).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Absolute-threshold detection (the §6 ablation)
+// ---------------------------------------------------------------------
+
+#[test]
+fn absolute_method_flags_by_fixed_bounds() {
+    let method = OutlierMethod::Absolute {
+        max_small_ms: 300.0,
+        min_large_kbps: 1_000.0,
+    };
+    let config = DetectorConfig {
+        method,
+        ..DetectorConfig::default()
+    };
+    let mut r = PerfReport::new("u", "/");
+    r.push(ObjectTiming::new("http://fast.example/s", "10.0.0.1", 10_000, 100.0));
+    r.push(ObjectTiming::new("http://slow.example/s", "10.0.0.2", 10_000, 350.0));
+    // 100 KB in 2 s → 400 kbit/s, below the floor.
+    r.push(ObjectTiming::new("http://thin.example/l", "10.0.0.3", 100_000, 2_000.0));
+    let v = detect_violators(&PageAnalysis::from_report(&r), &config);
+    let ips: Vec<&str> = v.iter().map(|v| v.ip.as_str()).collect();
+    assert_eq!(ips, ["10.0.0.2", "10.0.0.3"]);
+}
+
+#[test]
+fn absolute_method_flags_uniformly_slow_pages_where_mad_does_not() {
+    // The §6 argument: a narrowband client sees everything slow; MAD
+    // correctly stays quiet, absolute bounds flag the world.
+    let mut r = PerfReport::new("u", "/");
+    for i in 0..6 {
+        r.push(ObjectTiming::new(
+            format!("http://h{i}.example/s"),
+            format!("10.0.0.{i}"),
+            10_000,
+            2_000.0 + i as f64 * 40.0,
+        ));
+    }
+    let analysis = PageAnalysis::from_report(&r);
+    assert!(detect_violators(&analysis, &DetectorConfig::default()).is_empty());
+    let absolute = DetectorConfig {
+        method: OutlierMethod::Absolute {
+            max_small_ms: 500.0,
+            min_large_kbps: 100.0,
+        },
+        ..DetectorConfig::default()
+    };
+    assert_eq!(detect_violators(&analysis, &absolute).len(), 6);
+}
+
+#[test]
+fn absolute_severity_is_positive_past_the_bound() {
+    let method = OutlierMethod::Absolute {
+        max_small_ms: 200.0,
+        min_large_kbps: 1_000.0,
+    };
+    let mut r = PerfReport::new("u", "/");
+    for i in 0..3 {
+        r.push(ObjectTiming::new(
+            format!("http://h{i}.example/s"),
+            format!("10.0.0.{i}"),
+            10_000,
+            400.0,
+        ));
+    }
+    let config = DetectorConfig {
+        method,
+        ..DetectorConfig::default()
+    };
+    for v in detect_violators(&PageAnalysis::from_report(&r), &config) {
+        assert!(v.kind.severity() > 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+use crate::report::{ObjectTiming, PerfReport};
+
+fn sample_report() -> PerfReport {
+    let mut r = PerfReport::new("u-42", "/shop/index.html");
+    r.push(ObjectTiming::new(
+        "http://cdn.example/app.js",
+        "10.0.0.1",
+        90_000,
+        420.5,
+    ));
+    r.push(ObjectTiming::new(
+        "http://ads.example/pixel.gif",
+        "10.0.0.2",
+        43,
+        95.0,
+    ));
+    r
+}
+
+#[test]
+fn json_roundtrip() {
+    let r = sample_report();
+    let decoded = PerfReport::from_json(&r.to_json()).unwrap();
+    assert_eq!(decoded, r);
+}
+
+#[test]
+fn throughput_is_bits_per_ms() {
+    let t = ObjectTiming::new("http://h/x", "1.2.3.4", 1_000, 80.0);
+    // 8000 bits / 80 ms = 100 kbit/s.
+    assert!((t.throughput_kbps() - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn host_extraction() {
+    assert_eq!(
+        ObjectTiming::new("http://A.Example/z", "1.1.1.1", 1, 1.0).host(),
+        Some("a.example".to_owned())
+    );
+    assert_eq!(ObjectTiming::new("not a url", "1.1.1.1", 1, 1.0).host(), None);
+}
+
+#[test]
+fn decode_rejects_missing_fields() {
+    for bad in [
+        r#"{}"#,
+        r#"{"user":"u"}"#,
+        r#"{"user":"u","page":"/"}"#,
+        r#"{"user":"u","page":"/","entries":[{}]}"#,
+        r#"{"user":"u","page":"/","entries":[{"url":"x","ip":"i","bytes":1}]}"#,
+    ] {
+        assert!(PerfReport::from_json(bad).is_err(), "{bad}");
+    }
+}
+
+#[test]
+fn decode_rejects_poisoned_numbers() {
+    // A hostile client must not smuggle NaN/negatives into the statistics.
+    let neg = r#"{"user":"u","page":"/","entries":[{"url":"x","ip":"i","bytes":1,"time_ms":-5}]}"#;
+    assert!(PerfReport::from_json(neg).is_err());
+    let frac_bytes =
+        r#"{"user":"u","page":"/","entries":[{"url":"x","ip":"i","bytes":1.5,"time_ms":5}]}"#;
+    assert!(PerfReport::from_json(frac_bytes).is_err());
+}
+
+#[test]
+fn decode_rejects_bad_json() {
+    assert!(PerfReport::from_json("{not json").is_err());
+    assert!(PerfReport::from_json("").is_err());
+}
+
+#[test]
+fn wire_size_tracks_entry_count() {
+    // Fig. 15's premise: report size grows with objects fetched.
+    let mut small = PerfReport::new("u", "/");
+    let mut large = PerfReport::new("u", "/");
+    for i in 0..5 {
+        small.push(ObjectTiming::new(format!("http://h/{i}"), "1.1.1.1", 100, 10.0));
+    }
+    for i in 0..200 {
+        large.push(ObjectTiming::new(format!("http://h/{i}"), "1.1.1.1", 100, 10.0));
+    }
+    assert!(large.wire_size() > small.wire_size() * 10);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Serialize → decode is the identity for valid reports.
+        #[test]
+        fn report_roundtrip(
+            user in "[a-z0-9-]{1,12}",
+            page in "/[a-z0-9/]{0,20}",
+            entries in prop::collection::vec(
+                ("[a-z:/.]{1,30}", "[0-9.]{7,15}", any::<u32>(), 0.0f64..1e7),
+                0..20,
+            ),
+        ) {
+            let mut r = PerfReport::new(user, page);
+            for (url, ip, bytes, time) in entries {
+                r.push(ObjectTiming::new(url, ip, u64::from(bytes), time));
+            }
+            prop_assert_eq!(PerfReport::from_json(&r.to_json()).unwrap(), r);
+        }
+
+        /// from_json never panics on arbitrary input.
+        #[test]
+        fn decode_is_total(text in "\\PC{0,128}") {
+            let _ = PerfReport::from_json(&text);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+use crate::rule::RuleType;
+use crate::spec::{parse_rule, parse_rules};
+
+#[test]
+fn parses_the_papers_example() {
+    let rule = parse_rule(
+        r#"
+        (2,                                            # Replacement Type
+         "<script src=\"http://s1.com/jquery.js\">",
+         "<script src=\"http://s2.net/jquery.js\">",
+         0,                                            # Never Expire
+         *)                                            # Site wide
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rule.rule_type, RuleType::ReplaceIdentical);
+    assert_eq!(rule.default_text, r#"<script src="http://s1.com/jquery.js">"#);
+    assert_eq!(rule.alternatives, [r#"<script src="http://s2.net/jquery.js">"#]);
+    assert!(rule.ttl_ms.is_none(), "0 means never expire");
+    assert!(rule.scope.applies_to("/any/page/at/all"));
+}
+
+#[test]
+fn parses_type1_with_no_alternative() {
+    let rule = parse_rule(r#"(1, "<iframe src=\"http://ads.example/b\"></iframe>", -, 60000, "/shop/*")"#)
+        .unwrap();
+    assert_eq!(rule.rule_type, RuleType::Remove);
+    assert!(rule.alternatives.is_empty());
+    assert_eq!(rule.ttl_ms, Some(60_000));
+    assert!(rule.scope.applies_to("/shop/widget"));
+    assert!(!rule.scope.applies_to("/about"));
+}
+
+#[test]
+fn parses_alternative_lists() {
+    let rule = parse_rule(r#"(3, "default", ["alt one", "alt two", "alt three"], 0, *)"#).unwrap();
+    assert_eq!(rule.rule_type, RuleType::ReplaceDifferent);
+    assert_eq!(rule.alternatives.len(), 3);
+    assert_eq!(rule.alternatives[1], "alt two");
+}
+
+#[test]
+fn parses_regex_scope() {
+    let rule = parse_rule(r#"(2, "x", "y", 0, "re:^/item/\\d+$")"#).unwrap();
+    assert!(rule.scope.applies_to("/item/42"));
+    assert!(!rule.scope.applies_to("/item/abc"));
+}
+
+#[test]
+fn parses_escapes() {
+    let rule = parse_rule(r#"(2, "a\"b\\c\nd\te", "z", 0, *)"#).unwrap();
+    assert_eq!(rule.default_text, "a\"b\\c\nd\te");
+}
+
+#[test]
+fn parses_multiple_rules() {
+    let rules = parse_rules(
+        r#"
+        # CDN failover rules
+        (2, "one", "uno", 0, *)
+        (1, "two", -, 0, *)   # drop the slow widget
+        (3, "three", ["tres", "drei"], 5000, "/x/*")
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rules.len(), 3);
+    assert_eq!(rules[0].default_text, "one");
+    assert_eq!(rules[1].rule_type, RuleType::Remove);
+    assert_eq!(rules[2].alternatives.len(), 2);
+}
+
+#[test]
+fn empty_input_parses_to_no_rules() {
+    assert_eq!(parse_rules("").unwrap().len(), 0);
+    assert_eq!(parse_rules("  # only a comment\n").unwrap().len(), 0);
+}
+
+#[test]
+fn reports_line_numbers() {
+    let err = parse_rules("(2, \"a\", \"b\", 0, *)\n\n(9, \"x\", \"y\", 0, *)").unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.to_string().contains("line 3"));
+}
+
+#[test]
+fn rejects_syntax_errors() {
+    for bad in [
+        "2, \"a\", \"b\", 0, *)",          // missing (
+        "(2 \"a\", \"b\", 0, *)",          // missing comma
+        "(2, \"a\", \"b\", 0, *",          // missing )
+        "(2, \"a\", \"b\", zero, *)",      // non-integer ttl
+        "(2, \"a, \"b\", 0, *)",           // unterminated-ish string
+        "(2, \"a\", \"b\", 0, *) trailing",
+        "(4, \"a\", \"b\", 0, *)",         // unknown type
+        "(2, \"a\", [\"b\" \"c\"], 0, *)", // missing comma in list
+        "(2, \"a\\q\", \"b\", 0, *)",      // bad escape
+    ] {
+        assert!(parse_rule(bad).is_err(), "{bad:?} should fail");
+    }
+}
+
+#[test]
+fn rejects_semantically_invalid_rules() {
+    // Type 1 with an alternative.
+    assert!(parse_rule(r#"(1, "a", "b", 0, *)"#).is_err());
+    // Type 2 with no alternative.
+    assert!(parse_rule(r#"(2, "a", -, 0, *)"#).is_err());
+    // Alternative contains the default text.
+    assert!(parse_rule(r#"(2, "abc", "xxabcxx", 0, *)"#).is_err());
+}
+
+#[test]
+fn parses_policy_options() {
+    use crate::rule::{ClientFilter, SelectionPolicy};
+    let rule = parse_rule(
+        r#"(2, "default", ["a", "b"], 0, *,
+            violations = 3,
+            selection = userhash,
+            subnet = "10.3.",
+            sub = "x" => "y",
+            sub = "p" => "q")"#,
+    )
+    .unwrap();
+    assert_eq!(rule.policy.violations_required, 3);
+    assert_eq!(rule.policy.selection, SelectionPolicy::UserHash);
+    assert_eq!(
+        rule.policy.client_filter,
+        ClientFilter::IpPrefix("10.3.".into())
+    );
+    assert_eq!(rule.sub_rules.len(), 2);
+    assert_eq!(rule.sub_rules[1].find, "p");
+    assert_eq!(rule.sub_rules[1].replace, "q");
+}
+
+#[test]
+fn options_default_when_absent() {
+    use crate::rule::{ClientFilter, SelectionPolicy};
+    let rule = parse_rule(r#"(2, "d", "a", 0, *)"#).unwrap();
+    assert_eq!(rule.policy.violations_required, 1);
+    assert_eq!(rule.policy.selection, SelectionPolicy::Linear);
+    assert_eq!(rule.policy.client_filter, ClientFilter::Any);
+    assert!(rule.sub_rules.is_empty());
+}
+
+#[test]
+fn rejects_bad_options() {
+    for bad in [
+        r#"(2, "d", "a", 0, *, violations = 0)"#,
+        r#"(2, "d", "a", 0, *, violations = x)"#,
+        r#"(2, "d", "a", 0, *, selection = random)"#,
+        r#"(2, "d", "a", 0, *, subnet = "")"#,
+        r#"(2, "d", "a", 0, *, sub = "" => "y")"#,
+        r#"(2, "d", "a", 0, *, sub = "x" "y")"#,
+        r#"(2, "d", "a", 0, *, frobnicate = 7)"#,
+        r#"(2, "d", "a", 0, *, violations)"#,
+    ] {
+        assert!(parse_rule(bad).is_err(), "{bad:?} should fail");
+    }
+}
+
+#[test]
+fn options_compose_with_multiple_rules() {
+    let rules = parse_rules(
+        r#"
+        (2, "one", "uno", 0, *, violations = 2)
+        (1, "two", -, 0, *, subnet = "10.")
+        "#,
+    )
+    .unwrap();
+    assert_eq!(rules.len(), 2);
+    assert_eq!(rules[0].policy.violations_required, 2);
+    assert!(matches!(
+        rules[1].policy.client_filter,
+        crate::rule::ClientFilter::IpPrefix(_)
+    ));
+}
+
+#[test]
+fn format_rule_roundtrips() {
+    use crate::rule::{Rule, SelectionPolicy};
+    use crate::spec::{format_rule, format_rules};
+    use oak_pattern::Scope;
+
+    let rules = vec![
+        Rule::replace_identical("http://a.example/", ["http://m.example/a.example/"]),
+        Rule::remove(r#"<iframe src="http://ads.example/x"></iframe>"#)
+            .with_ttl_ms(Some(60_000))
+            .with_scope(Scope::parse("/shop/*").unwrap()),
+        Rule::replace_different("old \"quoted\" text\nwith newline", ["new\ttext", "third"])
+            .with_violations_required(3)
+            .with_selection(SelectionPolicy::UserHash)
+            .with_client_prefix("10.3.")
+            .with_sub_rule("find-me", "replace-me"),
+    ];
+    for rule in &rules {
+        let text = format_rule(rule);
+        let parsed = parse_rule(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed.rule_type, rule.rule_type);
+        assert_eq!(parsed.default_text, rule.default_text);
+        assert_eq!(parsed.alternatives, rule.alternatives);
+        assert_eq!(parsed.ttl_ms, rule.ttl_ms);
+        assert_eq!(parsed.scope.to_source(), rule.scope.to_source());
+        assert_eq!(parsed.policy, rule.policy);
+        assert_eq!(parsed.sub_rules, rule.sub_rules);
+    }
+    // And a whole file.
+    let file = format_rules(rules.iter());
+    assert_eq!(parse_rules(&file).unwrap().len(), rules.len());
+}
+
+mod format_properties {
+    use super::*;
+    use crate::spec::format_rule;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// format → parse is the identity for arbitrary text payloads.
+        #[test]
+        fn format_parse_roundtrip(
+            default_text in "[ -~]{1,40}",
+            alt in "[ -~]{1,40}",
+            ttl in prop::option::of(1u64..1_000_000),
+            violations in 1u32..5,
+        ) {
+            // Skip the pathological case validation rejects.
+            prop_assume!(!alt.contains(&default_text));
+            let rule = crate::rule::Rule::replace_identical(&default_text, [alt])
+                .with_ttl_ms(ttl)
+                .with_violations_required(violations);
+            let text = format_rule(&rule);
+            let parsed = parse_rule(&text).unwrap();
+            prop_assert_eq!(parsed.default_text, rule.default_text);
+            prop_assert_eq!(parsed.alternatives, rule.alternatives);
+            prop_assert_eq!(parsed.ttl_ms, rule.ttl_ms);
+            prop_assert_eq!(
+                parsed.policy.violations_required,
+                rule.policy.violations_required
+            );
+        }
+    }
+}
+
+#[test]
+fn roundtrips_through_engine() {
+    use crate::engine::{Oak, OakConfig};
+    let mut oak = Oak::new(OakConfig::default());
+    for rule in parse_rules(r#"(2, "<img src=\"http://a.example/x\">", "<img src=\"http://b.example/x\">", 0, *)"#).unwrap() {
+        oak.add_rule(rule).unwrap();
+    }
+    assert_eq!(oak.rules().count(), 1);
+}

@@ -1,0 +1,111 @@
+use crate::stats::*;
+
+#[test]
+fn median_odd_even_empty() {
+    assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+    assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    assert_eq!(median(&[7.0]), Some(7.0));
+    assert_eq!(median(&[]), None);
+}
+
+#[test]
+fn mad_formula_matches_paper() {
+    // MAD = medianᵢ(|xᵢ − medianⱼ(xⱼ)|)
+    let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+    let m = median(&xs).unwrap();
+    assert_eq!(m, 3.0);
+    // Deviations: 2, 1, 0, 1, 97 → median 1.
+    assert_eq!(mad(&xs, m), Some(1.0));
+}
+
+#[test]
+fn mad_is_robust_where_stddev_is_not() {
+    // One extreme outlier hardly moves the MAD but explodes σ — the
+    // paper's §4.2.1 argument for MAD.
+    let clean = [10.0, 11.0, 12.0, 13.0, 14.0];
+    let dirty = [10.0, 11.0, 12.0, 13.0, 5000.0];
+    let (_, mad_clean) = median_and_mad(&clean).unwrap();
+    let (_, mad_dirty) = median_and_mad(&dirty).unwrap();
+    assert!(mad_dirty <= mad_clean * 2.0, "MAD barely moves");
+    let sd_clean = stddev(&clean).unwrap();
+    let sd_dirty = stddev(&dirty).unwrap();
+    assert!(sd_dirty > sd_clean * 100.0, "σ explodes");
+}
+
+#[test]
+fn mean_and_stddev() {
+    assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    assert_eq!(mean(&[]), None);
+    assert_eq!(stddev(&[5.0, 5.0, 5.0]), Some(0.0));
+    let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+    assert!((sd - 2.0).abs() < 1e-12);
+    assert_eq!(stddev(&[]), None);
+}
+
+#[test]
+fn percentile_interpolates() {
+    let xs = [10.0, 20.0, 30.0, 40.0];
+    assert_eq!(percentile(&xs, 0.0), Some(10.0));
+    assert_eq!(percentile(&xs, 100.0), Some(40.0));
+    assert_eq!(percentile(&xs, 50.0), Some(25.0));
+    assert_eq!(percentile(&xs, 150.0), Some(40.0), "clamped");
+    assert_eq!(percentile(&[], 50.0), None);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The median lies within the sample range and at least half the
+        /// sample sits on each side.
+        #[test]
+        fn median_is_central(xs in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+            let m = median(&xs).unwrap();
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo && m <= hi);
+            let below = xs.iter().filter(|&&x| x <= m).count();
+            let above = xs.iter().filter(|&&x| x >= m).count();
+            prop_assert!(below * 2 >= xs.len());
+            prop_assert!(above * 2 >= xs.len());
+        }
+
+        /// MAD is non-negative and invariant under translation.
+        #[test]
+        fn mad_translation_invariant(
+            xs in prop::collection::vec(-1e5f64..1e5, 1..40),
+            shift in -1e5f64..1e5,
+        ) {
+            let (m1, d1) = median_and_mad(&xs).unwrap();
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            let (m2, d2) = median_and_mad(&shifted).unwrap();
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((m2 - (m1 + shift)).abs() < 1e-6);
+            prop_assert!((d2 - d1).abs() < 1e-6);
+        }
+
+        /// MAD scales with the sample.
+        #[test]
+        fn mad_scales(
+            xs in prop::collection::vec(-1e4f64..1e4, 2..40),
+            scale in 0.1f64..10.0,
+        ) {
+            let (_, d1) = median_and_mad(&xs).unwrap();
+            let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+            let (_, d2) = median_and_mad(&scaled).unwrap();
+            prop_assert!((d2 - d1 * scale).abs() < 1e-6 * (1.0 + d1 * scale));
+        }
+
+        /// Percentile is monotone in p.
+        #[test]
+        fn percentile_monotone(
+            xs in prop::collection::vec(-1e5f64..1e5, 1..30),
+            p1 in 0.0f64..100.0,
+            p2 in 0.0f64..100.0,
+        ) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Engine-facing time.
+
+use std::fmt;
+use std::ops::Add;
+
+/// A millisecond timestamp handed to the engine by its embedder.
+///
+/// Oak's logic (TTL expiry, violation windows, logs) needs a clock, but
+/// whose clock depends on the embedding: the live proxy passes wall time,
+/// experiments pass simulated time. Keeping the type local to `oak-core`
+/// avoids a dependency on either.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(pub u64);
+
+impl Instant {
+    /// The epoch.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Milliseconds since the embedder's epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating elapsed time since `earlier`, in ms.
+    pub fn since(self, earlier: Instant) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Instant {
+    type Output = Instant;
+
+    /// Advances by `ms` milliseconds.
+    fn add(self, ms: u64) -> Instant {
+        Instant(self.0 + ms)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}

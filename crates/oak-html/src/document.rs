@@ -1,0 +1,176 @@
+//! Document-level view: external references and inline scripts.
+
+use std::ops::Range;
+
+use crate::entities::decode_entities;
+use crate::tokenizer::{tokenize, Token, TokenKind};
+
+/// How a reference appears in the page; Oak's rule matcher treats `src`
+/// attributes as *direct inclusion* and script bodies as *text matching*
+/// surface (paper §4.2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefKind {
+    /// A `src` attribute (`img`, `script`, `iframe`, `video`, …).
+    Src,
+    /// An `href` attribute on a resource link (`<link rel=stylesheet>`).
+    Href,
+    /// A `data-src`-style lazy-loading attribute.
+    DataSrc,
+    /// A candidate from an `<img srcset=…>` responsive-image list; the
+    /// browser fetches one of these.
+    SrcSet,
+}
+
+/// An external resource reference found in a page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExternalRef {
+    /// Lowercased tag name carrying the reference.
+    pub tag: String,
+    /// Which attribute the URL came from.
+    pub kind: RefKind,
+    /// The URL with entities decoded.
+    pub url: String,
+    /// Byte span of the raw attribute value in the source.
+    pub span: Range<usize>,
+}
+
+/// The body of an inline `<script>` element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InlineScript {
+    /// The script text, uninterpreted.
+    pub text: String,
+    /// Byte span of the script body in the source.
+    pub span: Range<usize>,
+}
+
+/// A parsed page: the token stream plus extracted analysis views.
+///
+/// `Document` borrows nothing — it owns extracted strings — so it can
+/// outlive the transient request buffer the page arrived in.
+#[derive(Clone, Debug)]
+pub struct Document {
+    tokens: Vec<Token>,
+    refs: Vec<ExternalRef>,
+    inline_scripts: Vec<InlineScript>,
+    base_href: Option<String>,
+}
+
+/// Attributes that cause a network fetch when present on these tags.
+/// `<a href>` is navigation, not a subresource, so anchors are excluded.
+const SRC_TAGS: [&str; 9] = [
+    "script", "img", "iframe", "video", "audio", "source", "embed", "input", "track",
+];
+
+impl Document {
+    /// Tokenizes `source` and extracts external references and inline
+    /// scripts in one pass.
+    pub fn parse(source: &str) -> Document {
+        let tokens = tokenize(source);
+        let mut refs = Vec::new();
+        let mut inline_scripts = Vec::new();
+        let mut pending_script_external = false;
+        let mut base_href = None;
+
+        for token in &tokens {
+            match &token.kind {
+                TokenKind::StartTag { name, attrs, .. } => {
+                    // `<base href>`: the first one wins, per HTML.
+                    if name == "base" && base_href.is_none() {
+                        if let Some(attr) =
+                            attrs.iter().find(|a| a.name == "href" && !a.value.is_empty())
+                        {
+                            base_href = Some(decode_entities(attr.value.trim()));
+                        }
+                    }
+                    if name == "script" {
+                        pending_script_external =
+                            attrs.iter().any(|a| a.name == "src" && !a.value.is_empty());
+                    }
+                    for attr in attrs {
+                        if attr.value.is_empty() {
+                            continue;
+                        }
+                        // srcset carries a comma-separated candidate list:
+                        // `url1 1x, url2 2x`; every candidate is a
+                        // fetchable reference.
+                        if attr.name == "srcset" && (name == "img" || name == "source") {
+                            for candidate in attr.value.split(',') {
+                                let url = candidate.split_whitespace().next();
+                                if let Some(url) = url.filter(|u| !u.is_empty()) {
+                                    refs.push(ExternalRef {
+                                        tag: name.clone(),
+                                        kind: RefKind::SrcSet,
+                                        url: decode_entities(url),
+                                        span: attr.value_span.clone(),
+                                    });
+                                }
+                            }
+                            continue;
+                        }
+                        let kind = match attr.name.as_str() {
+                            "src" if SRC_TAGS.contains(&name.as_str()) => RefKind::Src,
+                            "href" if name == "link" => RefKind::Href,
+                            "data-src" => RefKind::DataSrc,
+                            _ => continue,
+                        };
+                        refs.push(ExternalRef {
+                            tag: name.clone(),
+                            kind,
+                            url: decode_entities(attr.value.trim()),
+                            span: attr.value_span.clone(),
+                        });
+                    }
+                }
+                TokenKind::RawText { element } if element == "script" => {
+                    if !pending_script_external {
+                        inline_scripts.push(InlineScript {
+                            text: source[token.span.clone()].to_owned(),
+                            span: token.span.clone(),
+                        });
+                    }
+                    pending_script_external = false;
+                }
+                _ => {}
+            }
+        }
+
+        Document {
+            tokens,
+            refs,
+            inline_scripts,
+            base_href,
+        }
+    }
+
+    /// The document's `<base href>` value, if present (first one wins).
+    /// Relative references resolve against it instead of the page URL.
+    pub fn base_href(&self) -> Option<&str> {
+        self.base_href.as_deref()
+    }
+
+    /// The full token stream with byte spans.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// All URL-bearing references, in document order.
+    pub fn external_refs(&self) -> &[ExternalRef] {
+        &self.refs
+    }
+
+    /// Bodies of inline (non-`src`) scripts, in document order.
+    pub fn inline_scripts(&self) -> &[InlineScript] {
+        &self.inline_scripts
+    }
+
+    /// URLs of external scripts (`<script src=…>`), in document order.
+    /// These are the candidates for Oak's one-level external-JavaScript
+    /// expansion (paper §4.2.2, "External JavaScript").
+    pub fn external_script_urls(&self) -> Vec<&str> {
+        self.refs
+            .iter()
+            .filter(|r| r.tag == "script" && r.kind == RefKind::Src)
+            .map(|r| r.url.as_str())
+            .collect()
+    }
+}

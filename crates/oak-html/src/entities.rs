@@ -1,0 +1,67 @@
+//! Minimal HTML entity decoding for attribute values.
+
+/// Decodes the entity subset that occurs in URL-bearing attributes:
+/// `&amp;` `&lt;` `&gt;` `&quot;` `&apos;` `&#39;`-style decimal and
+/// `&#x2F;`-style hex numeric references. Unknown or malformed entities are
+/// left untouched — Oak compares URLs, and mangling unknown input would
+/// create false mismatches.
+///
+/// ```
+/// use oak_html::decode_entities;
+/// assert_eq!(
+///     decode_entities("http://a.com/?x=1&amp;y=2"),
+///     "http://a.com/?x=1&y=2",
+/// );
+/// assert_eq!(decode_entities("&#x41;&#66;&unknown;"), "AB&unknown;");
+/// ```
+pub fn decode_entities(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut rest = input;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        match decode_one(rest) {
+            Some((decoded, consumed)) => {
+                out.push(decoded);
+                rest = &rest[consumed..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Attempts to decode a single entity at the start of `s` (which begins
+/// with '&'); returns the character and bytes consumed.
+fn decode_one(s: &str) -> Option<(char, usize)> {
+    const NAMED: [(&str, char); 5] = [
+        ("&amp;", '&'),
+        ("&lt;", '<'),
+        ("&gt;", '>'),
+        ("&quot;", '"'),
+        ("&apos;", '\''),
+    ];
+    for (name, c) in NAMED {
+        if s.starts_with(name) {
+            return Some((c, name.len()));
+        }
+    }
+    let body = s.strip_prefix("&#")?;
+    let (digits, radix) = match body.strip_prefix(['x', 'X']) {
+        Some(hex) => (hex, 16),
+        None => (body, 10),
+    };
+    let end = digits.find(';')?;
+    if end == 0 || end > 6 {
+        return None;
+    }
+    let code = u32::from_str_radix(&digits[..end], radix).ok()?;
+    let c = char::from_u32(code)?;
+    // Total consumed: "&#" + optional x + digits + ";".
+    let consumed = 2 + (radix == 16) as usize + end + 1;
+    Some((c, consumed))
+}

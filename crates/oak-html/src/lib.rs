@@ -1,0 +1,49 @@
+//! HTML processing for Oak's page analysis and modification.
+//!
+//! Oak's server does two things to HTML (paper §4.2.2, §4.3):
+//!
+//! 1. **Analysis** — scan a page (or a rule's default-object text, which is
+//!    itself a block of HTML) for `src`-style attributes and inline scripts,
+//!    to decide whether a rule has a *connection dependency* on a violating
+//!    server.
+//! 2. **Modification** — rewrite outgoing pages per user: delete the text of
+//!    a Type 1 rule, or substitute the alternative text of a Type 2/3 rule.
+//!
+//! Both need a tolerant, span-preserving view of the document rather than a
+//! normalizing DOM: Oak replaces *exact operator-specified byte ranges* and
+//! must never reserialize untouched markup. This crate provides:
+//!
+//! - [`tokenize`] / [`Token`]: a forgiving HTML tokenizer with byte spans,
+//! - [`Document`]: extraction of external references ([`ExternalRef`]) and
+//!   inline script bodies ([`InlineScript`]),
+//! - [`Rewriter`]: ordered, non-overlapping span edits over the original
+//!   source,
+//! - [`decode_entities`]: the small entity subset found in attribute values.
+//!
+//! # Examples
+//!
+//! ```
+//! use oak_html::Document;
+//!
+//! let page = r#"<html><img src="http://img.example/logo.png">
+//! <script src="http://cdn.example/app.js"></script>
+//! <script>var u = "http://api.example/v1";</script></html>"#;
+//!
+//! let doc = Document::parse(page);
+//! let hosts: Vec<&str> = doc.external_refs().iter().map(|r| r.url.as_str()).collect();
+//! assert_eq!(hosts, ["http://img.example/logo.png", "http://cdn.example/app.js"]);
+//! assert_eq!(doc.inline_scripts().len(), 1);
+//! ```
+
+mod document;
+mod entities;
+mod rewrite;
+mod tokenizer;
+
+pub use document::{Document, ExternalRef, InlineScript, RefKind};
+pub use entities::decode_entities;
+pub use rewrite::{RewriteError, Rewriter};
+pub use tokenizer::{tokenize, Attribute, Token, TokenKind};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,223 @@
+//! Span-based page rewriting.
+//!
+//! Oak's page modification (paper §4.3) applies each active rule's edit to
+//! the outgoing page: Type 1 deletes the default-object text, Types 2 and 3
+//! replace it. Rules are literal text blocks, so the engine supports both
+//! direct span edits and "replace every occurrence of this block" lookups.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+
+/// An error applying edits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RewriteError {
+    /// Two edits overlap; the first span is the previously accepted edit.
+    Overlap {
+        /// The edit already recorded.
+        existing: Range<usize>,
+        /// The conflicting new edit.
+        conflicting: Range<usize>,
+    },
+    /// An edit extends past the end of the source.
+    OutOfBounds {
+        /// The offending span.
+        span: Range<usize>,
+        /// Length of the source being edited.
+        len: usize,
+    },
+    /// A span does not start and end on UTF-8 character boundaries.
+    NotCharBoundary {
+        /// The offending span.
+        span: Range<usize>,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::Overlap {
+                existing,
+                conflicting,
+            } => write!(
+                f,
+                "edit {}..{} overlaps existing edit {}..{}",
+                conflicting.start, conflicting.end, existing.start, existing.end
+            ),
+            RewriteError::OutOfBounds { span, len } => write!(
+                f,
+                "edit {}..{} exceeds source length {len}",
+                span.start, span.end
+            ),
+            RewriteError::NotCharBoundary { span } => write!(
+                f,
+                "edit {}..{} does not fall on character boundaries",
+                span.start, span.end
+            ),
+        }
+    }
+}
+
+impl Error for RewriteError {}
+
+/// Accumulates non-overlapping edits against an immutable source and
+/// applies them in one pass.
+///
+/// # Examples
+///
+/// ```
+/// use oak_html::Rewriter;
+///
+/// let page = r#"<img src="http://slow.cdn/x.png">"#;
+/// let mut rw = Rewriter::new(page);
+/// let n = rw.replace_all("slow.cdn", "fast.cdn");
+/// assert_eq!(n, 1);
+/// assert_eq!(rw.apply().unwrap(), r#"<img src="http://fast.cdn/x.png">"#);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rewriter<'s> {
+    source: &'s str,
+    // Kept sorted by span start; spans never overlap.
+    edits: Vec<Edit>,
+}
+
+#[derive(Clone, Debug)]
+struct Edit {
+    span: Range<usize>,
+    replacement: String,
+}
+
+impl<'s> Rewriter<'s> {
+    /// Starts a rewrite session over `source`.
+    pub fn new(source: &'s str) -> Rewriter<'s> {
+        Rewriter {
+            source,
+            edits: Vec::new(),
+        }
+    }
+
+    /// The unmodified source.
+    pub fn source(&self) -> &'s str {
+        self.source
+    }
+
+    /// Number of edits recorded so far.
+    pub fn edit_count(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Records a replacement of `span` with `replacement`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects spans that are out of bounds, split a UTF-8 character, or
+    /// overlap a previously recorded edit (two rules editing the same text
+    /// is an operator conflict Oak surfaces rather than resolves silently).
+    pub fn replace(
+        &mut self,
+        span: Range<usize>,
+        replacement: impl Into<String>,
+    ) -> Result<(), RewriteError> {
+        if span.end > self.source.len() || span.start > span.end {
+            return Err(RewriteError::OutOfBounds {
+                span,
+                len: self.source.len(),
+            });
+        }
+        if !self.source.is_char_boundary(span.start) || !self.source.is_char_boundary(span.end) {
+            return Err(RewriteError::NotCharBoundary { span });
+        }
+        // Find insertion point; verify the neighbours don't overlap.
+        let idx = self
+            .edits
+            .partition_point(|e| e.span.start < span.start);
+        if let Some(prev) = idx.checked_sub(1).and_then(|i| self.edits.get(i)) {
+            if prev.span.end > span.start {
+                return Err(RewriteError::Overlap {
+                    existing: prev.span.clone(),
+                    conflicting: span,
+                });
+            }
+        }
+        if let Some(next) = self.edits.get(idx) {
+            // Two zero-width inserts at one position would be order-ambiguous.
+            let collides = span.end > next.span.start || span.start == next.span.start;
+            if collides {
+                return Err(RewriteError::Overlap {
+                    existing: next.span.clone(),
+                    conflicting: span,
+                });
+            }
+        }
+        self.edits.insert(
+            idx,
+            Edit {
+                span,
+                replacement: replacement.into(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Records a deletion of `span`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rewriter::replace`].
+    pub fn delete(&mut self, span: Range<usize>) -> Result<(), RewriteError> {
+        self.replace(span, "")
+    }
+
+    /// Replaces every non-overlapping occurrence of `needle` with
+    /// `replacement`, skipping occurrences that collide with existing
+    /// edits. Returns the number of occurrences replaced.
+    ///
+    /// This is the primitive behind the paper's Type 2/3 rules: "Oak will
+    /// simply replace occurrences of the default object text with the
+    /// alternative object text" (§4.1).
+    pub fn replace_all(&mut self, needle: &str, replacement: &str) -> usize {
+        if needle.is_empty() {
+            return 0;
+        }
+        let mut count = 0;
+        let mut from = 0;
+        while let Some(found) = self.source[from..].find(needle) {
+            let start = from + found;
+            let span = start..start + needle.len();
+            if self.replace(span, replacement).is_ok() {
+                count += 1;
+            }
+            from = start + needle.len();
+        }
+        count
+    }
+
+    /// Deletes every non-overlapping occurrence of `needle`; returns the
+    /// count (Type 1 rules).
+    pub fn delete_all(&mut self, needle: &str) -> usize {
+        self.replace_all(needle, "")
+    }
+
+    /// Applies all recorded edits, producing the rewritten document.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice (edits are validated on entry); the `Result`
+    /// is kept so the signature survives future streaming output.
+    pub fn apply(self) -> Result<String, RewriteError> {
+        let grow: usize = self
+            .edits
+            .iter()
+            .map(|e| e.replacement.len().saturating_sub(e.span.len()))
+            .sum();
+        let mut out = String::with_capacity(self.source.len() + grow);
+        let mut cursor = 0;
+        for edit in &self.edits {
+            out.push_str(&self.source[cursor..edit.span.start]);
+            out.push_str(&edit.replacement);
+            cursor = edit.span.end;
+        }
+        out.push_str(&self.source[cursor..]);
+        Ok(out)
+    }
+}

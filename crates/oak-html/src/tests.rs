@@ -1,0 +1,368 @@
+//! Unit and property tests for the HTML substrate.
+
+use crate::{decode_entities, tokenize, Document, RefKind, RewriteError, Rewriter, TokenKind};
+
+fn kinds(source: &str) -> Vec<String> {
+    tokenize(source)
+        .into_iter()
+        .map(|t| match t.kind {
+            TokenKind::StartTag { name, .. } => format!("start:{name}"),
+            TokenKind::EndTag { name } => format!("end:{name}"),
+            TokenKind::Text => "text".into(),
+            TokenKind::Comment => "comment".into(),
+            TokenKind::Doctype => "doctype".into(),
+            TokenKind::RawText { element } => format!("raw:{element}"),
+        })
+        .collect()
+}
+
+#[test]
+fn tokenizes_simple_page() {
+    assert_eq!(
+        kinds("<!DOCTYPE html><html><body>Hi</body></html>"),
+        ["doctype", "start:html", "start:body", "text", "end:body", "end:html"]
+    );
+}
+
+#[test]
+fn spans_cover_source_exactly() {
+    let src = "<p class=\"x\">text</p><!-- c -->tail";
+    let tokens = tokenize(src);
+    let mut cursor = 0;
+    for t in &tokens {
+        assert_eq!(t.span.start, cursor, "tokens must tile the source");
+        cursor = t.span.end;
+    }
+    assert_eq!(cursor, src.len());
+}
+
+#[test]
+fn parses_attributes() {
+    let tokens = tokenize(r#"<img src="a.png" width=10 async data-x='q'>"#);
+    let TokenKind::StartTag { name, attrs, self_closing } = &tokens[0].kind else {
+        panic!("expected start tag");
+    };
+    assert_eq!(name, "img");
+    assert!(!self_closing);
+    let pairs: Vec<(&str, &str)> = attrs.iter().map(|a| (a.name.as_str(), a.value.as_str())).collect();
+    assert_eq!(
+        pairs,
+        [("src", "a.png"), ("width", "10"), ("async", ""), ("data-x", "q")]
+    );
+}
+
+#[test]
+fn attribute_value_spans_are_exact() {
+    let src = r#"<img src="http://h/x.png">"#;
+    let tokens = tokenize(src);
+    let TokenKind::StartTag { attrs, .. } = &tokens[0].kind else {
+        panic!()
+    };
+    assert_eq!(&src[attrs[0].value_span.clone()], "http://h/x.png");
+}
+
+#[test]
+fn self_closing_and_case_folding() {
+    let tokens = tokenize("<IMG SRC='x'/><BR/>");
+    let TokenKind::StartTag { name, self_closing, attrs } = &tokens[0].kind else {
+        panic!()
+    };
+    assert_eq!(name, "img");
+    assert!(*self_closing);
+    assert_eq!(attrs[0].name, "src");
+}
+
+#[test]
+fn script_content_is_raw_text() {
+    let src = "<script>if (a<b) { x('</div>'); }</script>";
+    let k = kinds(src);
+    // The body runs until the literal "</script", even through fake tags.
+    assert_eq!(k[0], "start:script");
+    assert_eq!(k[1], "raw:script");
+    assert_eq!(k[2], "end:script");
+    let tokens = tokenize(src);
+    assert!(tokens[1].slice(src).contains("a<b"));
+    // N.B. the "</div>" inside the string does not split the raw text …
+    assert!(tokens[1].slice(src).contains("</div>"));
+}
+
+#[test]
+fn style_content_is_raw_text() {
+    let k = kinds("<style>p > a { color: red }</style>");
+    assert_eq!(k, ["start:style", "raw:style", "end:style"]);
+}
+
+#[test]
+fn comments_and_unterminated_structures() {
+    assert_eq!(kinds("<!-- a <b> c -->x"), ["comment", "text"]);
+    assert_eq!(kinds("<!-- never closed"), ["comment"]);
+    assert_eq!(kinds("<script>no close"), ["start:script", "raw:script"]);
+    assert_eq!(kinds("< notatag"), ["text"]);
+    assert_eq!(kinds("a < b"), ["text", "text"]);
+    assert_eq!(kinds("<"), ["text"]);
+}
+
+#[test]
+fn malformed_markup_degrades_to_text() {
+    // Tokenizer must terminate and cover all input for garbage.
+    for src in ["<<<>>>", "<a <b> c>", "<img src=>", "<x y='unclosed", "</>"] {
+        let tokens = tokenize(src);
+        assert!(!tokens.is_empty(), "{src:?}");
+        assert_eq!(tokens.last().unwrap().span.end, src.len(), "{src:?}");
+    }
+}
+
+#[test]
+fn document_extracts_external_refs() {
+    let page = r#"
+        <img src="http://img.host/a.png">
+        <script src="http://js.host/lib.js"></script>
+        <link rel="stylesheet" href="http://css.host/m.css">
+        <iframe src="http://frame.host/ad"></iframe>
+        <a href="http://nav.host/page">link</a>
+        <img data-src="http://lazy.host/b.png">
+    "#;
+    let doc = Document::parse(page);
+    let urls: Vec<(&str, RefKind)> = doc
+        .external_refs()
+        .iter()
+        .map(|r| (r.url.as_str(), r.kind))
+        .collect();
+    assert_eq!(
+        urls,
+        [
+            ("http://img.host/a.png", RefKind::Src),
+            ("http://js.host/lib.js", RefKind::Src),
+            ("http://css.host/m.css", RefKind::Href),
+            ("http://frame.host/ad", RefKind::Src),
+            ("http://lazy.host/b.png", RefKind::DataSrc),
+        ],
+        "anchor href must not appear: navigation is not a subresource"
+    );
+}
+
+#[test]
+fn document_distinguishes_inline_and_external_scripts() {
+    let page = r#"
+        <script src="http://cdn.a/x.js"></script>
+        <script>var endpoint = "http://api.b/v2";</script>
+        <script src="http://cdn.c/y.js">/* ignored body */</script>
+    "#;
+    let doc = Document::parse(page);
+    assert_eq!(
+        doc.external_script_urls(),
+        ["http://cdn.a/x.js", "http://cdn.c/y.js"]
+    );
+    assert_eq!(doc.inline_scripts().len(), 1);
+    assert!(doc.inline_scripts()[0].text.contains("api.b"));
+}
+
+#[test]
+fn document_reads_base_href() {
+    let page = r#"<head><base href="http://assets.example/v2/"><base href="http://ignored.example/"></head>
+<img src="logo.png">"#;
+    let doc = Document::parse(page);
+    assert_eq!(doc.base_href(), Some("http://assets.example/v2/"), "first base wins");
+    assert_eq!(Document::parse("<img src=\"x.png\">").base_href(), None);
+    assert_eq!(
+        Document::parse("<base target=\"_blank\">").base_href(),
+        None,
+        "base without href is ignored"
+    );
+}
+
+#[test]
+fn document_extracts_srcset_candidates() {
+    let page = r#"<img srcset="http://cdn.example/a-1x.png 1x, http://cdn.example/a-2x.png 2x" src="http://cdn.example/fallback.png">
+<source srcset="http://cdn.example/b.webp">
+<div srcset="http://not-an-image.example/x"></div>"#;
+    let doc = Document::parse(page);
+    let srcset: Vec<&str> = doc
+        .external_refs()
+        .iter()
+        .filter(|r| r.kind == RefKind::SrcSet)
+        .map(|r| r.url.as_str())
+        .collect();
+    assert_eq!(
+        srcset,
+        [
+            "http://cdn.example/a-1x.png",
+            "http://cdn.example/a-2x.png",
+            "http://cdn.example/b.webp",
+        ],
+        "img and source srcset candidates extracted; div ignored"
+    );
+    // The plain src on the img is still a normal reference.
+    assert!(doc
+        .external_refs()
+        .iter()
+        .any(|r| r.kind == RefKind::Src && r.url.ends_with("fallback.png")));
+}
+
+#[test]
+fn document_decodes_entities_in_urls() {
+    let page = r#"<img src="http://h.example/x?a=1&amp;b=2">"#;
+    let doc = Document::parse(page);
+    assert_eq!(doc.external_refs()[0].url, "http://h.example/x?a=1&b=2");
+}
+
+#[test]
+fn entity_decoding() {
+    assert_eq!(decode_entities("a&amp;b"), "a&b");
+    assert_eq!(decode_entities("&lt;tag&gt;"), "<tag>");
+    assert_eq!(decode_entities("&quot;q&quot;&apos;"), "\"q\"'");
+    assert_eq!(decode_entities("&#65;&#x42;&#x63;"), "ABc");
+    assert_eq!(decode_entities("&bogus; &#; &#xZZ; &"), "&bogus; &#; &#xZZ; &");
+    assert_eq!(decode_entities(""), "");
+    assert_eq!(decode_entities("no entities"), "no entities");
+}
+
+#[test]
+fn rewriter_replaces_spans() {
+    let src = "hello cruel world";
+    let mut rw = Rewriter::new(src);
+    rw.replace(6..11, "kind").unwrap();
+    assert_eq!(rw.apply().unwrap(), "hello kind world");
+}
+
+#[test]
+fn rewriter_applies_edits_in_position_order() {
+    let src = "AABBCC";
+    let mut rw = Rewriter::new(src);
+    // Inserted out of order on purpose.
+    rw.replace(4..6, "c").unwrap();
+    rw.replace(0..2, "a").unwrap();
+    rw.replace(2..4, "b").unwrap();
+    assert_eq!(rw.apply().unwrap(), "abc");
+}
+
+#[test]
+fn rewriter_rejects_overlap() {
+    let mut rw = Rewriter::new("0123456789");
+    rw.replace(2..5, "x").unwrap();
+    let err = rw.replace(4..7, "y").unwrap_err();
+    assert!(matches!(err, RewriteError::Overlap { .. }));
+    // Touching (not overlapping) is fine.
+    rw.replace(5..7, "y").unwrap();
+    assert_eq!(rw.apply().unwrap(), "01xy789");
+}
+
+#[test]
+fn rewriter_rejects_out_of_bounds_and_split_chars() {
+    let mut rw = Rewriter::new("aé");
+    assert!(matches!(
+        rw.replace(0..9, "x"),
+        Err(RewriteError::OutOfBounds { .. })
+    ));
+    assert!(matches!(
+        rw.replace(1..2, "x"),
+        Err(RewriteError::NotCharBoundary { .. })
+    ));
+    rw.replace(1..3, "e").unwrap();
+    assert_eq!(rw.apply().unwrap(), "ae");
+}
+
+#[test]
+fn rewriter_delete() {
+    let mut rw = Rewriter::new("keep REMOVE keep");
+    rw.delete(4..11).unwrap();
+    assert_eq!(rw.apply().unwrap(), "keep keep");
+}
+
+#[test]
+fn replace_all_rewrites_every_occurrence() {
+    let src = r#"<script src="http://s1.com/jquery.js"></script>
+<img src="http://s1.com/logo.png">"#;
+    let mut rw = Rewriter::new(src);
+    assert_eq!(rw.replace_all("s1.com", "s2.net"), 2);
+    let out = rw.apply().unwrap();
+    assert!(!out.contains("s1.com"));
+    assert_eq!(out.matches("s2.net").count(), 2);
+}
+
+#[test]
+fn replace_all_skips_colliding_occurrences() {
+    let mut rw = Rewriter::new("xxxx");
+    rw.replace(0..2, "A").unwrap();
+    // "xx" occurs at 0,1,2 (overlapping); only the one at 2 is free.
+    assert_eq!(rw.replace_all("xx", "B"), 1);
+    assert_eq!(rw.apply().unwrap(), "AB");
+}
+
+#[test]
+fn replace_all_empty_needle_is_noop() {
+    let mut rw = Rewriter::new("abc");
+    assert_eq!(rw.replace_all("", "x"), 0);
+    assert_eq!(rw.apply().unwrap(), "abc");
+}
+
+#[test]
+fn paper_example_rule_application() {
+    // The exact rule from §4.1: swap a jquery script tag to another host.
+    let page = r#"<html><head>
+<script src="http://s1.com/jquery.js"></script>
+</head><body></body></html>"#;
+    let mut rw = Rewriter::new(page);
+    let n = rw.replace_all(
+        r#"<script src="http://s1.com/jquery.js">"#,
+        r#"<script src="http://s2.net/jquery.js">"#,
+    );
+    assert_eq!(n, 1);
+    let out = rw.apply().unwrap();
+    let doc = Document::parse(&out);
+    assert_eq!(doc.external_script_urls(), ["http://s2.net/jquery.js"]);
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The tokenizer is total, terminates, and its spans tile the input.
+        #[test]
+        fn tokenizer_tiles_arbitrary_input(src in "\\PC{0,200}") {
+            let tokens = tokenize(&src);
+            let mut cursor = 0;
+            for t in &tokens {
+                prop_assert!(t.span.start >= cursor);
+                prop_assert!(t.span.end >= t.span.start);
+                prop_assert!(src.is_char_boundary(t.span.start));
+                prop_assert!(src.is_char_boundary(t.span.end));
+                cursor = t.span.end;
+            }
+            prop_assert!(cursor <= src.len());
+        }
+
+        /// Rewriter with no edits is the identity.
+        #[test]
+        fn empty_rewrite_is_identity(src in "\\PC{0,100}") {
+            prop_assert_eq!(Rewriter::new(&src).apply().unwrap(), src);
+        }
+
+        /// replace_all agrees with str::replace when the needle does not
+        /// overlap itself.
+        #[test]
+        fn replace_all_matches_std(
+            src in "[ab ]{0,64}",
+            needle in "[ab]{2,4}",
+            replacement in "[xy]{0,4}",
+        ) {
+            // Skip self-overlapping needles (e.g. "aa" in "aaa"): std's
+            // replace and ours both take non-overlapping occurrences
+            // left-to-right, so they agree even then, but keep the oracle
+            // simple and exact.
+            let mut rw = Rewriter::new(&src);
+            rw.replace_all(&needle, &replacement);
+            prop_assert_eq!(rw.apply().unwrap(), src.replace(&needle, &replacement));
+        }
+
+        /// Document::parse never panics and extracts decodable URLs.
+        #[test]
+        fn document_parse_is_total(src in "\\PC{0,200}") {
+            let doc = Document::parse(&src);
+            for r in doc.external_refs() {
+                prop_assert!(!r.url.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! A forgiving, span-preserving HTML tokenizer.
+//!
+//! Real pages (and the paper's corpus is the Alexa Top 500) are full of
+//! malformed markup, so the tokenizer never fails: anything it cannot make
+//! sense of is emitted as text. Every token carries the byte span of the
+//! original source it came from, which the [`crate::Rewriter`] relies on.
+
+use std::ops::Range;
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An opening tag, e.g. `<img src="…">`. `self_closing` records a
+    /// trailing `/>`.
+    StartTag {
+        /// Lowercased tag name.
+        name: String,
+        /// Attributes in source order.
+        attrs: Vec<Attribute>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// A closing tag, e.g. `</div>`.
+    EndTag {
+        /// Lowercased tag name.
+        name: String,
+    },
+    /// A run of document text.
+    Text,
+    /// An HTML comment `<!-- … -->`.
+    Comment,
+    /// A doctype or other `<!…>` declaration.
+    Doctype,
+    /// Raw content of a `<script>` or `<style>` element (everything up to
+    /// the matching end tag, uninterpreted).
+    RawText {
+        /// The element the raw text belongs to (`script` or `style`).
+        element: String,
+    },
+}
+
+/// A token plus the byte range it occupies in the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Classification and parsed payload.
+    pub kind: TokenKind,
+    /// Byte range into the original source.
+    pub span: Range<usize>,
+}
+
+impl Token {
+    /// The source slice this token covers.
+    pub fn slice<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.span.clone()]
+    }
+}
+
+/// One `name[=value]` attribute; the value has quotes stripped but entities
+/// left intact (use [`crate::decode_entities`] when comparing URLs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Lowercased attribute name.
+    pub name: String,
+    /// Raw attribute value; empty for bare attributes like `async`.
+    pub value: String,
+    /// Byte range of the value within the source (empty range at the
+    /// attribute end for bare attributes).
+    pub value_span: Range<usize>,
+}
+
+/// Elements whose content is raw text (no nested markup).
+const RAW_TEXT_ELEMENTS: [&str; 2] = ["script", "style"];
+
+/// Tokenizes an HTML document. Never fails; invalid markup becomes text.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        source,
+        pos: 0,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    source: &'s str,
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            if self.bytes[self.pos] == b'<' {
+                if self.try_markup() {
+                    // After a raw-text element's start tag, consume its body.
+                    if let Some(TokenKind::StartTag {
+                        name,
+                        self_closing: false,
+                        ..
+                    }) = self.tokens.last().map(|t| &t.kind)
+                    {
+                        if RAW_TEXT_ELEMENTS.contains(&name.as_str()) {
+                            let element = name.clone();
+                            self.raw_text(&element);
+                        }
+                    }
+                    continue;
+                }
+                // '<' that opens nothing: fall through as text.
+                self.pos += 1;
+            }
+            self.text_run(start);
+        }
+        self.tokens
+    }
+
+    /// Consumes text until the next '<' (or EOF) and emits a Text token
+    /// covering it, merging with `start` which may already be past '<'.
+    fn text_run(&mut self, start: usize) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        if self.pos > start {
+            self.push(TokenKind::Text, start..self.pos);
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Range<usize>) {
+        self.tokens.push(Token { kind, span });
+    }
+
+    /// Attempts to lex markup at `self.pos` (which is at '<'). Returns true
+    /// if a token was produced and `pos` advanced.
+    fn try_markup(&mut self) -> bool {
+        let start = self.pos;
+        match self.bytes.get(self.pos + 1) {
+            Some(b'!') => {
+                if self.source[self.pos..].starts_with("<!--") {
+                    self.comment(start)
+                } else {
+                    self.doctype(start)
+                }
+            }
+            Some(b'/') => self.end_tag(start),
+            Some(c) if c.is_ascii_alphabetic() => self.start_tag(start),
+            _ => false,
+        }
+    }
+
+    fn comment(&mut self, start: usize) -> bool {
+        // <!-- … --> ; an unterminated comment swallows to EOF, as browsers do.
+        let body_start = start + 4;
+        let end = match self.source[body_start..].find("-->") {
+            Some(i) => body_start + i + 3,
+            None => self.bytes.len(),
+        };
+        self.pos = end;
+        self.push(TokenKind::Comment, start..end);
+        true
+    }
+
+    fn doctype(&mut self, start: usize) -> bool {
+        let end = match self.source[start..].find('>') {
+            Some(i) => start + i + 1,
+            None => self.bytes.len(),
+        };
+        self.pos = end;
+        self.push(TokenKind::Doctype, start..end);
+        true
+    }
+
+    fn end_tag(&mut self, start: usize) -> bool {
+        let mut i = start + 2;
+        let name_start = i;
+        while i < self.bytes.len() && self.bytes[i].is_ascii_alphanumeric() {
+            i += 1;
+        }
+        if i == name_start {
+            return false;
+        }
+        let name = self.source[name_start..i].to_ascii_lowercase();
+        // Skip to '>'.
+        while i < self.bytes.len() && self.bytes[i] != b'>' {
+            i += 1;
+        }
+        let end = (i + 1).min(self.bytes.len());
+        self.pos = end;
+        self.push(TokenKind::EndTag { name }, start..end);
+        true
+    }
+
+    fn start_tag(&mut self, start: usize) -> bool {
+        let mut i = start + 1;
+        let name_start = i;
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        {
+            i += 1;
+        }
+        let name = self.source[name_start..i].to_ascii_lowercase();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            // Skip whitespace.
+            while i < self.bytes.len() && self.bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            match self.bytes.get(i) {
+                None => break,
+                Some(b'>') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    if self.bytes.get(i + 1) == Some(&b'>') {
+                        self_closing = true;
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                Some(_) => {
+                    let (attr, next) = self.attribute(i);
+                    if next == i {
+                        // No progress: skip the byte to guarantee termination.
+                        i += 1;
+                    } else {
+                        i = next;
+                        if let Some(a) = attr {
+                            attrs.push(a);
+                        }
+                    }
+                }
+            }
+        }
+        self.pos = i;
+        self.push(
+            TokenKind::StartTag {
+                name,
+                attrs,
+                self_closing,
+            },
+            start..i,
+        );
+        true
+    }
+
+    /// Parses one attribute starting at `i`; returns the attribute (if a
+    /// name was present) and the index after it.
+    fn attribute(&self, mut i: usize) -> (Option<Attribute>, usize) {
+        let name_start = i;
+        while i < self.bytes.len()
+            && !self.bytes[i].is_ascii_whitespace()
+            && !matches!(self.bytes[i], b'=' | b'>' | b'/')
+        {
+            i += 1;
+        }
+        if i == name_start {
+            return (None, i);
+        }
+        let name = self.source[name_start..i].to_ascii_lowercase();
+        // Optional whitespace around '='.
+        let mut j = i;
+        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if self.bytes.get(j) != Some(&b'=') {
+            // Bare attribute.
+            return (
+                Some(Attribute {
+                    name,
+                    value: String::new(),
+                    value_span: i..i,
+                }),
+                i,
+            );
+        }
+        j += 1;
+        while j < self.bytes.len() && self.bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        match self.bytes.get(j) {
+            Some(&q @ (b'"' | b'\'')) => {
+                let value_start = j + 1;
+                let mut k = value_start;
+                while k < self.bytes.len() && self.bytes[k] != q {
+                    k += 1;
+                }
+                let value = self.source[value_start..k].to_owned();
+                let end = (k + 1).min(self.bytes.len());
+                (
+                    Some(Attribute {
+                        name,
+                        value,
+                        value_span: value_start..k,
+                    }),
+                    end,
+                )
+            }
+            _ => {
+                // Unquoted value: up to whitespace or '>'.
+                let value_start = j;
+                let mut k = j;
+                while k < self.bytes.len()
+                    && !self.bytes[k].is_ascii_whitespace()
+                    && self.bytes[k] != b'>'
+                {
+                    k += 1;
+                }
+                let value = self.source[value_start..k].to_owned();
+                (
+                    Some(Attribute {
+                        name,
+                        value,
+                        value_span: value_start..k,
+                    }),
+                    k,
+                )
+            }
+        }
+    }
+
+    /// Consumes raw text up to (not including) `</element`, emitting a
+    /// RawText token if non-empty.
+    fn raw_text(&mut self, element: &str) {
+        let start = self.pos;
+        let closer = format!("</{element}");
+        let lower_rest = self.source[start..].to_ascii_lowercase();
+        let end = match lower_rest.find(&closer) {
+            Some(i) => start + i,
+            None => self.bytes.len(),
+        };
+        if end > start {
+            self.push(
+                TokenKind::RawText {
+                    element: element.to_owned(),
+                },
+                start..end,
+            );
+        }
+        self.pos = end;
+    }
+}

@@ -1,0 +1,56 @@
+//! Cookie parsing and formatting.
+//!
+//! Oak identifies users with a cookie: the server hands one out with the
+//! first page ("the server responds with the default version of the
+//! requested page and an identifying cookie", §4) and the client echoes it
+//! on every request and report so performance can be tied to a user.
+
+/// The cookie name Oak uses for its user identifier.
+pub const OAK_USER_COOKIE: &str = "oak_uid";
+
+/// Parses a `Cookie:` request header into `(name, value)` pairs.
+///
+/// Malformed fragments (no `=`) are skipped rather than failing the whole
+/// header — browsers send what they send.
+///
+/// ```
+/// use oak_http::cookie::parse_cookie_header;
+/// let cookies = parse_cookie_header("a=1; oak_uid=u-42; junk; b=2");
+/// assert_eq!(cookies, [("a", "1"), ("oak_uid", "u-42"), ("b", "2")]);
+/// ```
+pub fn parse_cookie_header(value: &str) -> Vec<(&str, &str)> {
+    value
+        .split(';')
+        .filter_map(|pair| {
+            let (name, value) = pair.split_once('=')?;
+            let name = name.trim();
+            if name.is_empty() {
+                return None;
+            }
+            Some((name, value.trim()))
+        })
+        .collect()
+}
+
+/// Finds a cookie by name in a `Cookie:` header value.
+pub fn get_cookie<'v>(header_value: &'v str, name: &str) -> Option<&'v str> {
+    parse_cookie_header(header_value)
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v)
+}
+
+/// Formats a `Set-Cookie:` response header value for a session-scoped
+/// cookie.
+pub fn format_set_cookie(name: &str, value: &str) -> String {
+    format!("{name}={value}; Path=/")
+}
+
+/// Formats a `Cookie:` request header value from pairs.
+pub fn format_cookie_header(cookies: &[(String, String)]) -> String {
+    cookies
+        .iter()
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join("; ")
+}

@@ -1,0 +1,57 @@
+//! Error type shared across the HTTP crate.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong parsing or transporting an HTTP message.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes are not a valid HTTP/1.1 message.
+    Malformed(String),
+    /// The message was cut off before `Content-Length` was satisfied.
+    Truncated,
+    /// A URL failed to parse.
+    BadUrl(String),
+    /// An underlying socket error.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed HTTP message: {what}"),
+            HttpError::Truncated => write!(f, "message truncated before body completed"),
+            HttpError::BadUrl(url) => write!(f, "invalid URL: {url}"),
+            HttpError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl Error for HttpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+impl PartialEq for HttpError {
+    /// Io errors compare by kind; the rest structurally. Useful in tests.
+    fn eq(&self, other: &HttpError) -> bool {
+        match (self, other) {
+            (HttpError::Malformed(a), HttpError::Malformed(b)) => a == b,
+            (HttpError::Truncated, HttpError::Truncated) => true,
+            (HttpError::BadUrl(a), HttpError::BadUrl(b)) => a == b,
+            (HttpError::Io(a), HttpError::Io(b)) => a.kind() == b.kind(),
+            _ => false,
+        }
+    }
+}

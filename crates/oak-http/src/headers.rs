@@ -1,0 +1,83 @@
+//! Case-insensitive header map.
+
+use std::fmt;
+
+/// An ordered multimap of HTTP headers with case-insensitive names.
+///
+/// Order is preserved (headers are serialized as inserted) and duplicate
+/// names are allowed, as HTTP permits (`Set-Cookie` in particular).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// An empty header map.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Appends a header, keeping any existing values with the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Sets a header, replacing every existing value with the same name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.entries.push((name.to_owned(), value.into()));
+    }
+
+    /// Removes all values for `name`; returns how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before - self.entries.len()
+    }
+
+    /// First value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all<'h>(&'h self, name: &'h str) -> impl Iterator<Item = &'h str> {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if at least one value for `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+}
+
+impl fmt::Display for Headers {
+    /// Writes `Name: value\r\n` lines (no terminating blank line).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.iter() {
+            write!(f, "{name}: {value}\r\n")?;
+        }
+        Ok(())
+    }
+}

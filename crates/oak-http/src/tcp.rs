@@ -1,0 +1,264 @@
+//! Threaded TCP server and blocking client.
+//!
+//! Mirrors the paper's deployment: "a multi-threaded server … which serves
+//! a dual purpose as both the web server and the Oak server platform" (§5).
+//! The [`Handler`] trait is the seam between transport and logic — the Oak
+//! proxy implements it once and runs identically over TCP (live example)
+//! and direct in-memory calls (deterministic experiments).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::error::HttpError;
+use crate::message::{Request, Response};
+
+/// Header the TCP server sets on inbound requests with the connection's
+/// observed peer IP, overriding any client-supplied value. Handlers that
+/// care about client addresses (Oak's subnet-scoped policies, §4.2.4 of
+/// the paper) read this.
+pub const PEER_ADDR_HEADER: &str = "X-Oak-Peer-Addr";
+
+/// Turns a request into a response. Implementations must be thread-safe:
+/// the TCP server invokes them from connection threads.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for `request`.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// A running HTTP server; dropped or [`TcpServer::shutdown`] stops it.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `127.0.0.1:port` (port 0 picks a free port) and starts
+    /// accepting, one thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn start(port: u16, handler: Arc<dyn Handler>) -> Result<TcpServer, HttpError> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, handler);
+                });
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. In-flight connection
+    /// threads finish their current exchange.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Kick the accept loop out of `incoming()`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads requests off one connection until EOF/error, handling keep-alive.
+fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>) -> Result<(), HttpError> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let peer_ip = stream.peer_addr().ok().map(|a| a.ip().to_string());
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let mut request = match read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean EOF between requests
+            Err(e) => return Err(e),
+        };
+        // Surface the observed peer address to handlers (Oak's
+        // subnet-scoped rule policies key on it). Set last, so a spoofed
+        // header from the client cannot win.
+        if let Some(ip) = &peer_ip {
+            request.headers.set(PEER_ADDR_HEADER, ip.clone());
+        }
+        let close = request
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let response = handler.handle(&request);
+        response.write_to(&mut writer)?;
+        writer.flush()?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Reads one request; `None` on immediate EOF.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
+    let head = match read_head(reader)? {
+        Some(h) => h,
+        None => return Ok(None),
+    };
+    let mut bytes = head;
+    if head_is_chunked(&bytes)? {
+        // Accumulate until the zero-size terminating chunk.
+        let mut body = Vec::new();
+        loop {
+            let mut line = Vec::new();
+            if read_until_lf(reader, &mut line)? == 0 {
+                return Err(HttpError::Truncated);
+            }
+            body.extend_from_slice(&line);
+            if line == b"0\r\n" || line == b"0\n" {
+                // Trailer section ends at a blank line.
+                let mut blank = Vec::new();
+                loop {
+                    blank.clear();
+                    if read_until_lf(reader, &mut blank)? == 0 {
+                        return Err(HttpError::Truncated);
+                    }
+                    body.extend_from_slice(&blank);
+                    if blank == b"\r\n" || blank == b"\n" {
+                        break;
+                    }
+                }
+                break;
+            }
+            // The line was a chunk-size header; read that many bytes + CRLF.
+            let text = String::from_utf8_lossy(&line);
+            let size_text = text.trim_end().split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_text, 16)
+                .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_text:?}")))?;
+            if size > 16 * 1024 * 1024 {
+                return Err(HttpError::Malformed("chunk exceeds 16 MiB".into()));
+            }
+            let mut chunk = vec![0u8; size + 2];
+            reader.read_exact(&mut chunk).map_err(HttpError::Io)?;
+            body.extend_from_slice(&chunk);
+        }
+        bytes.extend_from_slice(&body);
+    } else {
+        // Learn Content-Length, then complete the body.
+        let needed = content_length_of(&bytes)?;
+        let mut body = vec![0u8; needed];
+        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+        bytes.extend_from_slice(&body);
+    }
+    Request::parse(&bytes).map(Some)
+}
+
+/// True if the raw head block declares `Transfer-Encoding: chunked`.
+fn head_is_chunked(head: &[u8]) -> Result<bool, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
+    Ok(text.split("\r\n").any(|line| {
+        line.split_once(':').is_some_and(|(name, value)| {
+            name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+        })
+    }))
+}
+
+/// Reads up to and including the `\r\n\r\n` header terminator.
+fn read_head(reader: &mut impl BufRead) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    loop {
+        let mut line = Vec::with_capacity(64);
+        let n = read_until_lf(reader, &mut line)?;
+        if n == 0 {
+            return if head.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::Truncated)
+            };
+        }
+        let blank = line == b"\r\n" || line == b"\n";
+        head.extend_from_slice(&line);
+        if blank {
+            // Normalize a bare-LF blank line so the parser's CRLF split works.
+            if head.ends_with(b"\n") && !head.ends_with(b"\r\n\r\n") {
+                // Tolerated: requests from hand-rolled clients.
+            }
+            return Ok(Some(head));
+        }
+        if head.len() > 64 * 1024 {
+            return Err(HttpError::Malformed("header block exceeds 64 KiB".into()));
+        }
+    }
+}
+
+fn read_until_lf(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> Result<usize, HttpError> {
+    reader.read_until(b'\n', buf).map_err(HttpError::Io)
+}
+
+/// Extracts Content-Length from a raw head block (0 when absent).
+fn content_length_of(head: &[u8]) -> Result<usize, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
+    for line in text.split("\r\n") {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                return value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")));
+            }
+        }
+    }
+    Ok(0)
+}
+
+/// Performs one blocking HTTP exchange over a fresh TCP connection.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and response parse errors.
+pub fn fetch_tcp(addr: SocketAddr, request: &Request) -> Result<Response, HttpError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut request = request.clone();
+    request.headers.set("Connection", "close");
+    stream.write_all(&request.to_bytes())?;
+    stream.flush()?;
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes)?;
+    Response::parse(&bytes)
+}

@@ -1,0 +1,37 @@
+//! A small, dependency-free JSON implementation.
+//!
+//! Oak's performance reports travel as JSON (the paper describes a
+//! HAR-like format with a limited set of fields). Rather than pulling in a
+//! serialization framework, this crate implements the subset of JSON that the
+//! wire format needs, from scratch:
+//!
+//! - [`Value`]: an owned JSON document tree,
+//! - [`parse`]: a recursive-descent parser with byte-offset error positions,
+//! - `Value::to_string` (via [`std::fmt::Display`]) / [`Value::to_pretty_string`]: writers,
+//! - convenience accessors ([`Value::get`], [`Value::as_f64`], ...) used by
+//!   the report codec in `oak-core`.
+//!
+//! The implementation accepts exactly RFC 8259 JSON: no comments, no trailing
+//! commas, no `NaN`/`Infinity` literals.
+//!
+//! # Examples
+//!
+//! ```
+//! use oak_json::{parse, Value};
+//!
+//! let doc = parse(r#"{"url": "http://a.com/x.js", "bytes": 1024}"#).unwrap();
+//! assert_eq!(doc.get("bytes").and_then(Value::as_u64), Some(1024));
+//!
+//! let round = parse(&doc.to_string()).unwrap();
+//! assert_eq!(doc, round);
+//! ```
+
+mod parser;
+mod value;
+mod writer;
+
+pub use parser::{parse, ParseError};
+pub use value::Value;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,226 @@
+//! Unit tests for the JSON substrate.
+
+use crate::{parse, Value};
+
+#[test]
+fn parses_literals() {
+    assert_eq!(parse("null").unwrap(), Value::Null);
+    assert_eq!(parse("true").unwrap(), Value::Bool(true));
+    assert_eq!(parse("false").unwrap(), Value::Bool(false));
+}
+
+#[test]
+fn parses_numbers() {
+    assert_eq!(parse("0").unwrap(), Value::Number(0.0));
+    assert_eq!(parse("-0").unwrap(), Value::Number(-0.0));
+    assert_eq!(parse("42").unwrap(), Value::Number(42.0));
+    assert_eq!(parse("-17.5").unwrap(), Value::Number(-17.5));
+    assert_eq!(parse("1e3").unwrap(), Value::Number(1000.0));
+    assert_eq!(parse("2.5E-2").unwrap(), Value::Number(0.025));
+}
+
+#[test]
+fn rejects_malformed_numbers() {
+    for bad in ["01", "1.", ".5", "+1", "1e", "1e+", "--2", "1f3"] {
+        assert!(parse(bad).is_err(), "{bad:?} should not parse");
+    }
+}
+
+#[test]
+fn rejects_nonfinite_numbers() {
+    assert!(parse("1e999").is_err());
+    assert!(parse("NaN").is_err());
+    assert!(parse("Infinity").is_err());
+}
+
+#[test]
+fn parses_strings_with_escapes() {
+    let v = parse(r#""a\"b\\c\/d\n\t\r\b\f""#).unwrap();
+    assert_eq!(v.as_str(), Some("a\"b\\c/d\n\t\r\u{8}\u{c}"));
+}
+
+#[test]
+fn parses_unicode_escapes() {
+    assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+    assert_eq!(parse("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+    assert_eq!(parse("\"\\uD83D\\uDE00\"").unwrap().as_str(), Some("😀"));
+    assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+    assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+    // Surrogate pair → U+1F600.
+    assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+    // Raw UTF-8 passes through untouched.
+    assert_eq!(parse(r#""héllo 😀""#).unwrap().as_str(), Some("héllo 😀"));
+}
+
+#[test]
+fn rejects_bad_surrogates() {
+    assert!(parse(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+    assert!(parse(r#""\ude00""#).is_err(), "unpaired low surrogate");
+    assert!(parse(r#""\ud83dx""#).is_err(), "high surrogate then raw char");
+    assert!(parse(r#""\ud83dA""#).is_err(), "high then non-surrogate");
+}
+
+#[test]
+fn rejects_control_chars_in_strings() {
+    assert!(parse("\"a\u{1}b\"").is_err());
+    assert!(parse("\"a\nb\"").is_err(), "raw newline must be escaped");
+}
+
+#[test]
+fn parses_nested_structures() {
+    let doc = parse(r#"{"objects": [{"url": "http://a.com/x", "bytes": 512, "ms": 12.5}], "ok": true}"#)
+        .unwrap();
+    let objects = doc.get("objects").and_then(Value::as_array).unwrap();
+    assert_eq!(objects.len(), 1);
+    assert_eq!(objects[0].get("bytes").and_then(Value::as_u64), Some(512));
+    assert_eq!(objects[0].get("ms").and_then(Value::as_f64), Some(12.5));
+    assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
+fn rejects_trailing_garbage() {
+    assert!(parse("{} x").is_err());
+    assert!(parse("1 2").is_err());
+}
+
+#[test]
+fn allows_surrounding_whitespace() {
+    assert_eq!(parse(" \t\n {} \r\n ").unwrap(), Value::object());
+}
+
+#[test]
+fn rejects_trailing_commas_and_unclosed() {
+    assert!(parse("[1,2,]").is_err());
+    assert!(parse(r#"{"a":1,}"#).is_err());
+    assert!(parse("[1,2").is_err());
+    assert!(parse(r#"{"a":1"#).is_err());
+    assert!(parse(r#""abc"#).is_err());
+}
+
+#[test]
+fn rejects_overly_deep_nesting() {
+    let deep = "[".repeat(200) + &"]".repeat(200);
+    assert!(parse(&deep).is_err());
+    let ok = "[".repeat(100) + &"]".repeat(100);
+    assert!(parse(&ok).is_ok());
+}
+
+#[test]
+fn error_reports_offset() {
+    let err = parse(r#"{"a": @}"#).unwrap_err();
+    assert_eq!(err.offset, 6);
+    assert!(err.to_string().contains("byte 6"));
+}
+
+#[test]
+fn compact_roundtrip() {
+    let mut report = Value::object();
+    report.set("page", "http://origin.example/index.html");
+    report.set("user", "u-123");
+    let mut obj = Value::object();
+    obj.set("url", "http://cdn.example/app.js");
+    obj.set("bytes", 90_112u64);
+    obj.set("time_ms", 140.25);
+    report.set("objects", Value::Array(vec![obj]));
+
+    let text = report.to_string();
+    assert_eq!(parse(&text).unwrap(), report);
+    assert!(!text.contains('\n'));
+}
+
+#[test]
+fn pretty_roundtrip() {
+    let doc = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+    let pretty = doc.to_pretty_string();
+    assert!(pretty.contains('\n'));
+    assert_eq!(parse(&pretty).unwrap(), doc);
+}
+
+#[test]
+fn integers_serialize_without_fraction() {
+    assert_eq!(Value::Number(3.0).to_string(), "3");
+    assert_eq!(Value::Number(3.5).to_string(), "3.5");
+    assert_eq!(Value::Number(-2.0).to_string(), "-2");
+}
+
+#[test]
+fn string_escaping_roundtrip() {
+    let v = Value::String("quote \" slash \\ newline \n ctl \u{1} tab \t".into());
+    assert_eq!(parse(&v.to_string()).unwrap(), v);
+}
+
+#[test]
+fn accessors_are_total() {
+    let v = parse(r#"{"a": [10, "s"]}"#).unwrap();
+    assert!(v.get("missing").is_none());
+    assert!(v.at(0).is_none(), "object is not an array");
+    let arr = v.get("a").unwrap();
+    assert_eq!(arr.at(0).and_then(Value::as_u64), Some(10));
+    assert_eq!(arr.at(1).and_then(Value::as_str), Some("s"));
+    assert!(arr.at(2).is_none());
+    assert!(Value::Null.is_null());
+    assert_eq!(Value::default(), Value::Null);
+}
+
+#[test]
+fn as_u64_rejects_fractions_and_negatives() {
+    assert_eq!(Value::Number(1.5).as_u64(), None);
+    assert_eq!(Value::Number(-1.0).as_u64(), None);
+    assert_eq!(Value::Number(1.0).as_u64(), Some(1));
+}
+
+#[test]
+fn from_impls() {
+    assert_eq!(Value::from(true), Value::Bool(true));
+    assert_eq!(Value::from(1u32), Value::Number(1.0));
+    assert_eq!(Value::from(-1i64), Value::Number(-1.0));
+    assert_eq!(Value::from("x"), Value::String("x".into()));
+    assert_eq!(
+        Value::from(vec![1u64, 2]),
+        Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+    );
+    assert_eq!(Value::from(None::<u64>), Value::Null);
+    assert_eq!(Value::from(Some(2u64)), Value::Number(2.0));
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy producing arbitrary JSON trees of bounded depth.
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            // Finite doubles that survive text round-trip exactly.
+            (-1e12f64..1e12).prop_map(Value::Number),
+            "[a-zA-Z0-9 _/:.\\\\\"\n\t\u{e9}]{0,20}".prop_map(Value::String),
+        ];
+        leaf.prop_recursive(4, 64, 8, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+                prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Object),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Serialize → parse is the identity for all generated documents.
+        #[test]
+        fn roundtrip_compact(v in value_strategy()) {
+            prop_assert_eq!(parse(&v.to_string()).unwrap(), v);
+        }
+
+        /// Pretty output parses back to the same document.
+        #[test]
+        fn roundtrip_pretty(v in value_strategy()) {
+            prop_assert_eq!(parse(&v.to_pretty_string()).unwrap(), v);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_is_total(s in "\\PC{0,64}") {
+            let _ = parse(&s);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The owned JSON document tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An owned JSON value.
+///
+/// Objects preserve key order by storing members in a [`BTreeMap`]; Oak's
+/// report codec never depends on insertion order, and sorted keys make
+/// serialized output deterministic, which the experiment harness relies on
+/// when sizing reports (paper Fig. 15).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// The `null` literal.
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// Any JSON number. Stored as `f64`, as in browsers producing HAR files.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence of values.
+    Array(Vec<Value>),
+    /// An object; keys are sorted for deterministic output.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Returns an empty JSON object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// Returns an empty JSON array.
+    pub fn array() -> Value {
+        Value::Array(Vec::new())
+    }
+
+    /// Looks up a member of an object by key.
+    ///
+    /// Returns `None` if `self` is not an object or the key is absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Looks up an element of an array by index.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// Inserts a member into an object, replacing any existing value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object; the report codec only builds
+    /// objects through [`Value::object`], so a non-object here is a logic
+    /// error, not a data error.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        match self {
+            Value::Object(map) => {
+                map.insert(key.into(), value.into());
+            }
+            _ => panic!("Value::set on non-object"),
+        }
+    }
+
+    /// Appends an element to an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an array.
+    pub fn push(&mut self, value: impl Into<Value>) {
+        match self {
+            Value::Array(items) => items.push(value.into()),
+            _ => panic!("Value::push on non-array"),
+        }
+    }
+
+    /// Returns the boolean if `self` is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if `self` is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as an unsigned integer if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if `self` is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if `self` is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the members if `self` is an `Object`.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// True if `self` is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl Default for Value {
+    /// The default value is `null`, matching an absent JSON member.
+    fn default() -> Value {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    /// Writes the compact serialization (no interstitial whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::writer::write_compact(self, f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Value {
+        Value::Number(f64::from(n))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Value {
+        match opt {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Identifiers for simulated network entities.
+
+use std::fmt;
+
+/// A simulated IPv4 address.
+///
+/// Oak's performance analysis groups report entries "by the IP address to
+/// which the client ultimately connected" (§4.2), so IPs — not domains —
+/// are the primary key throughout the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// Parses dotted-quad notation.
+    ///
+    /// Returns `None` for anything that is not exactly four `0..=255`
+    /// decimal octets.
+    pub fn parse(text: &str) -> Option<IpAddr> {
+        let mut value: u32 = 0;
+        let mut count = 0;
+        for part in text.split('.') {
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let octet: u32 = part.parse().ok()?;
+            if octet > 255 {
+                return None;
+            }
+            value = (value << 8) | octet;
+            count += 1;
+        }
+        (count == 4).then_some(IpAddr(value))
+    }
+
+    /// The /24 prefix, used by policies that discriminate by subnet
+    /// (paper §4.2.4 mentions activation "by IP subnet").
+    pub fn subnet24(self) -> u32 {
+        self.0 >> 8
+    }
+}
+
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        write!(
+            f,
+            "{}.{}.{}.{}",
+            (v >> 24) & 0xff,
+            (v >> 16) & 0xff,
+            (v >> 8) & 0xff,
+            v & 0xff
+        )
+    }
+}
+
+/// Index of a server within a [`crate::World`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServerId(pub u32);
+
+/// Index of a client within a [`crate::World`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cli{}", self.0)
+    }
+}

@@ -1,0 +1,82 @@
+//! Simulated DNS.
+//!
+//! Two mappings matter to Oak (§4.2): several domains can resolve to the
+//! same IP (CDN co-hosting — Oak must group them), and one domain can
+//! resolve to several IPs (anycast/load-balancing — different clients can
+//! land on different servers). Both are supported here.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{ClientId, IpAddr};
+use crate::rng::{hash_str, StatelessRng};
+
+/// The domain-name table for a [`crate::World`].
+#[derive(Clone, Debug, Default)]
+pub struct Dns {
+    records: BTreeMap<String, Vec<IpAddr>>,
+}
+
+impl Dns {
+    /// Creates an empty table.
+    pub fn new() -> Dns {
+        Dns::default()
+    }
+
+    /// Adds an A record. A domain may accumulate multiple addresses.
+    pub fn add_record(&mut self, domain: impl Into<String>, ip: IpAddr) {
+        let entry = self.records.entry(domain.into()).or_default();
+        if !entry.contains(&ip) {
+            entry.push(ip);
+        }
+    }
+
+    /// Resolves `domain` for a particular client.
+    ///
+    /// Multi-IP domains pin each client to one address by hashing
+    /// (seed, domain, client), modeling resolver affinity: the same client
+    /// keeps hitting the same replica across page loads, which is what lets
+    /// per-client violator history converge (§4.2.3).
+    pub fn resolve(&self, seed: u64, domain: &str, client: ClientId) -> Option<IpAddr> {
+        let ips = self.records.get(domain)?;
+        match ips.len() {
+            0 => None,
+            1 => Some(ips[0]),
+            n => {
+                let mut rng =
+                    StatelessRng::keyed(seed, &[hash_str(domain), u64::from(client.0), 0xd5]);
+                Some(ips[rng.below(n as u64) as usize])
+            }
+        }
+    }
+
+    /// All addresses on record for `domain`.
+    pub fn addresses(&self, domain: &str) -> &[IpAddr] {
+        self.records.get(domain).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All domains that resolve (for any client) to `ip` — the reverse
+    /// view Oak keeps when it groups objects by IP while "keeping track of
+    /// all related domain names".
+    pub fn domains_for(&self, ip: IpAddr) -> Vec<&str> {
+        self.records
+            .iter()
+            .filter(|(_, ips)| ips.contains(&ip))
+            .map(|(d, _)| d.as_str())
+            .collect()
+    }
+
+    /// Number of domains on record.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over `(domain, addresses)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[IpAddr])> {
+        self.records.iter().map(|(d, ips)| (d.as_str(), ips.as_slice()))
+    }
+}

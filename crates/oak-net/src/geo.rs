@@ -1,0 +1,86 @@
+//! Geographic regions and base round-trip times.
+
+use std::fmt;
+
+/// A coarse geographic region.
+///
+/// The paper's clients are "25 Planet Lab nodes, half of which are in North
+/// America, and the remainder evenly spread between Europe and Asia
+/// (including Oceania)" (§5); its replica servers sit in NA, EU, and Asia.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Region {
+    /// North America.
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Oceania (grouped with Asia in the paper's client split).
+    Oceania,
+    /// South America (present on real pages' CDN maps; unused by default
+    /// workloads but supported).
+    SouthAmerica,
+}
+
+impl Region {
+    /// All regions, for iteration.
+    pub const ALL: [Region; 5] = [
+        Region::NorthAmerica,
+        Region::Europe,
+        Region::Asia,
+        Region::Oceania,
+        Region::SouthAmerica,
+    ];
+
+    /// Representative UTC offset, in hours, for diurnal load curves.
+    pub fn utc_offset_hours(self) -> f64 {
+        match self {
+            Region::NorthAmerica => -6.0,
+            Region::Europe => 1.0,
+            Region::Asia => 8.0,
+            Region::Oceania => 10.0,
+            Region::SouthAmerica => -3.0,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Region::NorthAmerica => 0,
+            Region::Europe => 1,
+            Region::Asia => 2,
+            Region::Oceania => 3,
+            Region::SouthAmerica => 4,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Region::NorthAmerica => "NA",
+            Region::Europe => "EU",
+            Region::Asia => "AS",
+            Region::Oceania => "OC",
+            Region::SouthAmerica => "SA",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Base round-trip time between region backbones, in milliseconds.
+///
+/// Values are conventional public-Internet medians (same order as used by
+/// wide-area emulators): intra-region ≈ 30–40 ms, transatlantic ≈ 100 ms,
+/// transpacific ≈ 160 ms. Last-mile and jitter are added per host by the
+/// transfer model, so these are *floor* figures.
+pub fn rtt_ms(a: Region, b: Region) -> f64 {
+    // Symmetric matrix indexed by Region::index: NA, EU, AS, OC, SA.
+    const RTT: [[f64; 5]; 5] = [
+        [35.0, 100.0, 160.0, 170.0, 120.0],
+        [100.0, 30.0, 180.0, 250.0, 190.0],
+        [160.0, 180.0, 40.0, 110.0, 280.0],
+        [170.0, 250.0, 110.0, 30.0, 300.0],
+        [120.0, 190.0, 280.0, 300.0, 35.0],
+    ];
+    RTT[a.index()][b.index()]
+}

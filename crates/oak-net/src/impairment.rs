@@ -1,0 +1,99 @@
+//! Network and server impairments.
+//!
+//! Fig. 3 of the paper splits observed outliers into two populations:
+//! ~52 % vanish within a day (transient congestion) while the rest recur
+//! essentially unchanged after five days (persistent misconfiguration,
+//! chronically distant replicas, overloaded providers). The model
+//! expresses both, plus the operator-injected response delay used in the
+//! sensitivity experiment (Fig. 9).
+
+use crate::addr::ServerId;
+use crate::geo::Region;
+use crate::time::SimTime;
+
+/// What an impairment does while active.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ImpairmentKind {
+    /// Short-lived congestion at the server: multiplies processing delay
+    /// and divides available bandwidth while the window is open.
+    TransientCongestion {
+        /// Multiplier applied to latency-side costs (≥ 1).
+        severity: f64,
+    },
+    /// A chronic bad path between this server and clients in one region —
+    /// e.g. a provider with no presence near those users, or a broken
+    /// peering. Latency-side costs multiply and throughput divides for
+    /// affected clients only; other clients see the server as healthy,
+    /// which is exactly the "hidden from site operators" scenario Oak
+    /// targets (§1).
+    RegionalPathDegradation {
+        /// The client region that suffers.
+        region: Region,
+        /// Multiplier applied to latency-side costs (≥ 1).
+        severity: f64,
+    },
+    /// A chronically overloaded or under-provisioned server: everyone sees
+    /// it slow, all the time.
+    ChronicOverload {
+        /// Multiplier applied to latency-side costs (≥ 1).
+        severity: f64,
+    },
+    /// Fixed extra delay before the server responds, in milliseconds —
+    /// the injected-delay knob from the Fig. 9 sensitivity experiment.
+    InjectedDelay {
+        /// Milliseconds added to every response.
+        millis: f64,
+    },
+}
+
+/// An impairment bound to a server, optionally limited to a time window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Impairment {
+    /// The affected server.
+    pub server: ServerId,
+    /// The effect.
+    pub kind: ImpairmentKind,
+    /// Active window `[start, end)`; `None` means always active.
+    pub window: Option<(SimTime, SimTime)>,
+}
+
+impl Impairment {
+    /// True if the impairment is in effect at `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        match self.window {
+            None => true,
+            Some((start, end)) => start <= t && t < end,
+        }
+    }
+
+    /// The latency multiplier this impairment applies for a client in
+    /// `client_region` at time `t` (1.0 when inactive or not applicable).
+    pub fn latency_factor(&self, t: SimTime, client_region: Region) -> f64 {
+        if !self.active_at(t) {
+            return 1.0;
+        }
+        match self.kind {
+            ImpairmentKind::TransientCongestion { severity } => severity,
+            ImpairmentKind::RegionalPathDegradation { region, severity } => {
+                if region == client_region {
+                    severity
+                } else {
+                    1.0
+                }
+            }
+            ImpairmentKind::ChronicOverload { severity } => severity,
+            ImpairmentKind::InjectedDelay { .. } => 1.0,
+        }
+    }
+
+    /// Fixed extra milliseconds this impairment adds at `t`.
+    pub fn extra_delay_ms(&self, t: SimTime) -> f64 {
+        if !self.active_at(t) {
+            return 0.0;
+        }
+        match self.kind {
+            ImpairmentKind::InjectedDelay { millis } => millis,
+            _ => 0.0,
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Stateless, order-independent randomness.
+//!
+//! Every stochastic quantity in the model is derived by hashing the tuple
+//! that identifies it (seed, client, server, object, time bucket) and
+//! expanding the hash with SplitMix64. Two properties follow:
+//!
+//! 1. **Repeatability** — re-running an experiment with the same seed gives
+//!    bit-identical results, regardless of thread scheduling.
+//! 2. **Order independence** — pricing fetch A never perturbs fetch B,
+//!    unlike a shared-stream RNG where call order leaks between unrelated
+//!    measurements.
+
+/// A deterministic generator keyed by an arbitrary tuple of `u64`s.
+#[derive(Clone, Copy, Debug)]
+pub struct StatelessRng {
+    state: u64,
+}
+
+impl StatelessRng {
+    /// Creates a generator from a seed and a sequence of key components.
+    pub fn keyed(seed: u64, keys: &[u64]) -> StatelessRng {
+        let mut state = splitmix64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        for &k in keys {
+            state = splitmix64(state ^ splitmix64(k.wrapping_add(0x632b_e592_77b1_42e1)));
+        }
+        StatelessRng { state }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Modulo bias is < 2⁻⁵³ for the ranges used here (all ≪ 2³²).
+        self.next_u64() % n
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal multiplicative noise with median 1 and shape `sigma`.
+    ///
+    /// This is the conventional model for wide-area HTTP latency noise:
+    /// heavy right tail, never negative.
+    pub fn lognormal(&mut self, sigma: f64) -> f64 {
+        (self.normal() * sigma).exp()
+    }
+
+    /// Exponential with mean `mean`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        -mean * self.next_f64().max(1e-12).ln()
+    }
+}
+
+/// SplitMix64 finalizer — a well-mixed 64→64 bijection.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes a string to a stable key component (FNV-1a).
+pub(crate) fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

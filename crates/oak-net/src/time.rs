@@ -1,0 +1,95 @@
+//! Simulated wall-clock time.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in simulated time, in milliseconds since the experiment epoch.
+///
+/// The evaluation's longest run is 72 hours sampled every 30 minutes
+/// (Fig. 10/11); `u64` milliseconds cover that with abundant headroom.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The experiment epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time `ms` milliseconds after the epoch.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms)
+    }
+
+    /// A time `s` seconds after the epoch.
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000)
+    }
+
+    /// A time `m` minutes after the epoch.
+    pub fn from_minutes(m: u64) -> SimTime {
+        SimTime(m * 60_000)
+    }
+
+    /// A time `h` hours after the epoch.
+    pub fn from_hours(h: u64) -> SimTime {
+        SimTime(h * 3_600_000)
+    }
+
+    /// A time `d` days after the epoch.
+    pub fn from_days(d: u64) -> SimTime {
+        SimTime(d * 86_400_000)
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional hours since the epoch.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// UTC hour-of-day in `[0, 24)`, fractional.
+    pub fn hour_of_day_utc(self) -> f64 {
+        self.as_hours_f64() % 24.0
+    }
+
+    /// Whole days since the epoch.
+    pub fn day(self) -> u64 {
+        self.0 / 86_400_000
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    /// Advances by `ms` milliseconds.
+    fn add(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+
+    /// Elapsed milliseconds between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Formats as `d+hh:mm:ss.mmm`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.0 % 1_000;
+        let s = (self.0 / 1_000) % 60;
+        let m = (self.0 / 60_000) % 60;
+        let h = (self.0 / 3_600_000) % 24;
+        let d = self.day();
+        write!(f, "{d}+{h:02}:{m:02}:{s:02}.{ms:03}")
+    }
+}

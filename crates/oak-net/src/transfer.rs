@@ -1,0 +1,166 @@
+//! Pricing a single HTTP object transfer.
+
+use crate::addr::{ClientId, IpAddr};
+use crate::rng::StatelessRng;
+use crate::time::SimTime;
+use crate::topology::World;
+
+/// The outcome of fetching one object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fetch {
+    /// End-to-end time from request to last byte, milliseconds.
+    pub time_ms: f64,
+    /// Connection setup portion (DNS amortized out; TCP handshake +
+    /// request round trip), milliseconds.
+    pub connect_ms: f64,
+    /// Achieved throughput over the whole fetch, kbit/s — the quantity Oak
+    /// aggregates for large objects (§4.2).
+    pub throughput_kbps: f64,
+    /// Object size, bytes (echoed for convenience).
+    pub bytes: u64,
+}
+
+/// Noise time-bucket width: conditions are stable within a page load but
+/// drift between the 30-minute reload intervals the paper uses.
+const NOISE_BUCKET_MS: u64 = 60_000;
+
+/// TCP receive-window cap, bytes. Bounds throughput by `window / RTT`,
+/// which is what makes distant servers slow for big objects even when both
+/// ends have bandwidth to spare.
+const TCP_WINDOW_BYTES: f64 = 65_536.0;
+
+impl World {
+    /// Prices a fetch of `bytes` from the server at `ip` by `client`,
+    /// starting at time `t`. `nonce` distinguishes different objects
+    /// fetched in the same time bucket (use a hash of the URL).
+    ///
+    /// The model (latencies in ms):
+    ///
+    /// ```text
+    /// rtt        = base_rtt(client.region, server.region) + last_mile      (jittered)
+    /// connect    = 1.5 · rtt                     TCP handshake + request
+    /// processing = server.processing_ms · diurnal_load · impairment
+    /// transfer   = bytes·8 / min(client_bw, server_bw/load/imp, window/rtt)
+    /// total      = (connect + processing + transfer) · lognormal_noise + injected
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` is not a server in this world; the caller resolves
+    /// domains first and a dangling IP is a bug in the experiment, not a
+    /// runtime condition.
+    pub fn fetch(&self, t: SimTime, client: ClientId, ip: IpAddr, bytes: u64, nonce: u64) -> Fetch {
+        self.fetch_opts(t, client, ip, bytes, nonce, false)
+    }
+
+    /// As [`World::fetch`]; `warm` reuses an established connection
+    /// (HTTP keep-alive), skipping the TCP handshake: connection cost
+    /// drops from 1.5 RTT to the 0.5 RTT of the request itself.
+    pub fn fetch_opts(
+        &self,
+        t: SimTime,
+        client: ClientId,
+        ip: IpAddr,
+        bytes: u64,
+        nonce: u64,
+        warm: bool,
+    ) -> Fetch {
+        let server = self
+            .server_at(ip)
+            .unwrap_or_else(|| panic!("fetch from unknown ip {ip}"));
+        let client = self.client(client);
+
+        let mut rng = StatelessRng::keyed(
+            self.seed,
+            &[
+                0xf7,
+                u64::from(client.id.0),
+                u64::from(server.ip.0),
+                nonce,
+                t.as_millis() / NOISE_BUCKET_MS,
+            ],
+        );
+
+        let (imp_factor, injected_ms) = self.impairment_effect(server.id, client.region, t);
+        let load = server.diurnal_load(t) * imp_factor;
+
+        // Path latency: regional base plus both last miles, with mild
+        // jitter. Distributed (CDN-style) servers are reached at the
+        // client's intra-region RTT — they have an edge nearby.
+        // Impairments inflate the RTT as well (queueing delay / longer
+        // detour paths), which in turn collapses the window-over-RTT
+        // throughput cap — slow paths hurt twice, as on the real
+        // Internet.
+        let server_region = if server.distributed {
+            client.region
+        } else {
+            server.region
+        };
+        let base_rtt = crate::geo::rtt_ms(client.region, server_region);
+        let rtt = (base_rtt + client.last_mile_ms + server.processing_ms * 0.1)
+            * rng.uniform(0.98, 1.08)
+            * imp_factor;
+
+        let connect_ms = if warm { 0.5 * rtt } else { 1.5 * rtt };
+        let processing_ms = server.processing_ms * load;
+
+        // Effective throughput: bottleneck of access link, loaded server
+        // egress, and the latency-bandwidth product.
+        let window_cap_kbps = TCP_WINDOW_BYTES * 8.0 / (rtt / 1000.0) / 1000.0;
+        let tput_kbps = (client.access_kbps)
+            .min(server.bandwidth_kbps / load)
+            .min(window_cap_kbps)
+            .max(1.0);
+        let transfer_ms = bytes as f64 * 8.0 / tput_kbps;
+
+        // Two noise components, deliberately shaped:
+        //
+        // - a *stable* per-(client, server) path-affinity factor, bounded
+        //   and uniform — routing and peering quality differ pair by pair
+        //   but do not fluctuate load to load. Being light-tailed, it
+        //   widens the cross-server MAD without parking healthy servers
+        //   past the `median + 2·MAD` boundary, matching the paper's
+        //   observation that most pages show no outlier at all (Fig. 2);
+        // - a small per-fetch log-normal for measurement-to-measurement
+        //   jitter.
+        //
+        // The injected delay (Fig. 9) is deterministic and additive.
+        let mut pair_rng = StatelessRng::keyed(
+            self.seed,
+            &[0x9a, u64::from(client.id.0), u64::from(server.ip.0)],
+        );
+        let affinity = if server.affinity_neutral {
+            1.0
+        } else {
+            pair_rng.uniform(0.75, 1.35)
+        };
+        let noise = rng.lognormal(0.04);
+        let time_ms =
+            (connect_ms + processing_ms + transfer_ms) * affinity * noise + injected_ms;
+
+        Fetch {
+            time_ms,
+            connect_ms: connect_ms * affinity * noise,
+            // bits per millisecond ≡ kbit/s.
+            throughput_kbps: bytes as f64 * 8.0 / time_ms.max(1e-9),
+            bytes,
+        }
+    }
+
+    /// Prices a DNS lookup for `client` (one RTT to a resolver assumed
+    /// in-region, plus resolver latency), milliseconds. Stateless: the
+    /// caller decides what is cached.
+    pub fn dns_lookup_ms(&self, t: SimTime, client: ClientId, domain_hash: u64) -> f64 {
+        let client = self.client(client);
+        let mut rng = StatelessRng::keyed(
+            self.seed,
+            &[0xdd, u64::from(client.id.0), domain_hash, t.as_millis() / NOISE_BUCKET_MS],
+        );
+        (client.last_mile_ms + rng.uniform(5.0, 30.0)) * rng.lognormal(0.3)
+    }
+}
+
+/// Hashes a URL or domain to a stable fetch nonce (FNV-1a).
+pub fn url_nonce(url: &str) -> u64 {
+    crate::rng::hash_str(url)
+}

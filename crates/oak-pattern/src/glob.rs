@@ -1,0 +1,125 @@
+//! Shell-style path globs, the common scope syntax for Oak rules.
+
+use crate::PatternError;
+
+/// A compiled glob pattern matched against a whole path.
+///
+/// Syntax:
+///
+/// - `?` matches any single character except `/`,
+/// - `*` matches any run of characters except `/`,
+/// - `**` matches any run of characters *including* `/`,
+/// - every other character matches itself.
+///
+/// The pattern must match the entire input, mirroring how web routing
+/// scopes behave: `/products/*` covers `/products/widget` but not
+/// `/products/widget/reviews` (use `/products/**` for the subtree).
+#[derive(Clone, Debug)]
+pub struct Glob {
+    source: String,
+    tokens: Vec<Token>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Literal(char),
+    AnyChar,
+    AnySegment,
+    AnyPath,
+}
+
+impl Glob {
+    /// Compiles a glob pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError`] for three or more consecutive `*`, which is
+    /// always an operator typo.
+    pub fn new(pattern: &str) -> Result<Glob, PatternError> {
+        let mut tokens = Vec::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '*' => {
+                    let run = chars[i..].iter().take_while(|&&c| c == '*').count();
+                    match run {
+                        1 => tokens.push(Token::AnySegment),
+                        2 => tokens.push(Token::AnyPath),
+                        _ => {
+                            return Err(PatternError {
+                                offset: pattern
+                                    .char_indices()
+                                    .nth(i)
+                                    .map(|(o, _)| o)
+                                    .unwrap_or(0),
+                                message: format!("{run} consecutive '*' (max 2)"),
+                            })
+                        }
+                    }
+                    i += run;
+                }
+                '?' => {
+                    tokens.push(Token::AnyChar);
+                    i += 1;
+                }
+                c => {
+                    tokens.push(Token::Literal(c));
+                    i += 1;
+                }
+            }
+        }
+        Ok(Glob {
+            source: pattern.to_owned(),
+            tokens,
+        })
+    }
+
+    /// The pattern source this glob was compiled from.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Returns true if the glob matches the entire `path`.
+    pub fn matches(&self, path: &str) -> bool {
+        let chars: Vec<char> = path.chars().collect();
+        // Dynamic programming over (token, char) positions: linear-time in
+        // pattern × input, same rationale as the regex engine.
+        let nt = self.tokens.len();
+        let nc = chars.len();
+        let mut reach = vec![vec![false; nc + 1]; nt + 1];
+        reach[0][0] = true;
+        for t in 0..nt {
+            for c in 0..=nc {
+                if !reach[t][c] {
+                    continue;
+                }
+                match &self.tokens[t] {
+                    Token::Literal(l) => {
+                        if c < nc && chars[c] == *l {
+                            reach[t + 1][c + 1] = true;
+                        }
+                    }
+                    Token::AnyChar => {
+                        if c < nc && chars[c] != '/' {
+                            reach[t + 1][c + 1] = true;
+                        }
+                    }
+                    Token::AnySegment => {
+                        reach[t + 1][c] = true;
+                        if c < nc && chars[c] != '/' {
+                            reach[t][c + 1] = true;
+                        }
+                    }
+                    Token::AnyPath => {
+                        reach[t + 1][c] = true;
+                        if c < nc {
+                            reach[t][c + 1] = true;
+                        }
+                    }
+                }
+            }
+        }
+        reach[nt][nc]
+    }
+}

@@ -1,0 +1,63 @@
+//! Pattern matching for Oak rule scopes.
+//!
+//! The paper's rules carry a *scope*: "a path or regular expression which
+//! indicates to which pages within a site a rule should be applied"
+//! (§4.1). This crate supplies both halves from scratch:
+//!
+//! - [`Regex`]: a linear-time regular-expression engine (Thompson NFA
+//!   executed by a Pike VM — no exponential backtracking, so hostile scope
+//!   patterns cannot stall the Oak server's report-processing thread),
+//! - [`Glob`]: shell-style path globs (`*`, `?`, `**`), the common case for
+//!   scopes like `/products/*`,
+//! - [`Scope`]: the operator-facing union of the two, plus the site-wide
+//!   `*` shorthand used in the paper's example rule.
+//!
+//! Supported regex syntax: literals, `.`, classes `[a-z0-9]` / `[^…]`,
+//! escapes `\d \D \w \W \s \S` and escaped metacharacters, repetition
+//! `* + ?` and bounded `{m}`/`{m,}`/`{m,n}`, alternation `|`, grouping
+//! `( … )`, and anchors `^` `$`.
+//!
+//! # Examples
+//!
+//! ```
+//! use oak_pattern::{Regex, Scope};
+//!
+//! let re = Regex::new(r"^/(item|sku)/\d+$").unwrap();
+//! assert!(re.is_match("/item/42"));
+//! assert!(!re.is_match("/item/42/reviews"));
+//!
+//! let scope = Scope::parse("/products/*").unwrap();
+//! assert!(scope.applies_to("/products/widget"));
+//! assert!(!scope.applies_to("/about"));
+//! ```
+
+mod glob;
+mod regex;
+mod scope;
+
+pub use glob::Glob;
+pub use regex::{FindIter, Match, Regex};
+pub use scope::Scope;
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while compiling a pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternError {
+    /// Byte offset into the pattern source where compilation failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for PatternError {}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,771 @@
+//! A linear-time regex engine: parser → Thompson NFA → Pike VM.
+//!
+//! The engine is deliberately capture-free: Oak only ever asks "does this
+//! page path fall in scope" and "where does this domain occur", so the VM
+//! tracks a single match span per thread. Execution cost is
+//! `O(pattern × input)` regardless of the pattern, which matters because
+//! scope patterns are operator input evaluated on the request path.
+
+use crate::PatternError;
+
+/// A compiled regular expression.
+///
+/// Cloning is cheap relative to recompilation (the program is a flat
+/// instruction vector) but compiled patterns are intended to be built once
+/// per rule and reused across requests.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    source: String,
+    prog: Vec<Inst>,
+    classes: Vec<CharClass>,
+}
+
+/// A successful match: byte offsets into the haystack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Match {
+    /// Byte offset of the first matched character.
+    pub start: usize,
+    /// Byte offset one past the last matched character.
+    pub end: usize,
+}
+
+impl Match {
+    /// The matched slice of `haystack`.
+    pub fn as_str<'h>(&self, haystack: &'h str) -> &'h str {
+        &haystack[self.start..self.end]
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError`] for syntax errors (unbalanced groups,
+    /// malformed classes or repetitions, dangling escapes) and for bounded
+    /// repetitions larger than an internal expansion limit.
+    pub fn new(pattern: &str) -> Result<Regex, PatternError> {
+        let ast = Parser::new(pattern).parse()?;
+        let mut c = Compiler::default();
+        c.compile(&ast);
+        c.prog.push(Inst::Match);
+        Ok(Regex {
+            source: pattern.to_owned(),
+            prog: c.prog,
+            classes: c.classes,
+        })
+    }
+
+    /// The pattern source this regex was compiled from.
+    pub fn as_str(&self) -> &str {
+        &self.source
+    }
+
+    /// Returns true if the pattern matches anywhere in `haystack`.
+    pub fn is_match(&self, haystack: &str) -> bool {
+        self.search(haystack).is_some()
+    }
+
+    /// Returns the leftmost match, if any.
+    ///
+    /// Semantics are leftmost-first (Perl-like): among matches starting at
+    /// the leftmost possible position, the one the pattern's preference
+    /// order finds first wins.
+    pub fn find(&self, haystack: &str) -> Option<Match> {
+        self.search(haystack)
+    }
+
+    /// Returns true if the pattern matches the *entire* haystack.
+    ///
+    /// This runs the automaton anchored at position 0 and keeps the longest
+    /// completion, so it is independent of the leftmost-first preference
+    /// that [`Regex::find`] applies.
+    pub fn is_full_match(&self, haystack: &str) -> bool {
+        self.full_search(haystack)
+    }
+
+    /// Iterates over all non-overlapping matches, left to right.
+    ///
+    /// Empty matches are permitted but advance by one character so the
+    /// iteration always terminates.
+    pub fn find_iter<'r, 'h>(&'r self, haystack: &'h str) -> FindIter<'r, 'h> {
+        FindIter {
+            regex: self,
+            haystack,
+            at: 0,
+        }
+    }
+
+    /// Replaces every non-overlapping match with `replacement` (literal —
+    /// no capture-group interpolation; the engine is capture-free). The
+    /// paper's server "use\[s\] regular expressions in order to apply
+    /// active rules, allowing for straight forward and rapid replacement
+    /// of text" (§5).
+    pub fn replace_all(&self, haystack: &str, replacement: &str) -> String {
+        let mut out = String::with_capacity(haystack.len());
+        let mut cursor = 0;
+        for m in self.find_iter(haystack) {
+            out.push_str(&haystack[cursor..m.start]);
+            out.push_str(replacement);
+            cursor = m.end;
+        }
+        out.push_str(&haystack[cursor..]);
+        out
+    }
+
+    /// Pike VM over the haystack, seeding a new lowest-priority thread at
+    /// every position until a match is found (unanchored search).
+    fn search(&self, haystack: &str) -> Option<Match> {
+        self.run(haystack, false)
+    }
+
+    fn full_search(&self, haystack: &str) -> bool {
+        self.run(haystack, true)
+            .is_some_and(|m| m.start == 0 && m.end == haystack.len())
+    }
+
+    fn run(&self, haystack: &str, anchored_full: bool) -> Option<Match> {
+        let chars: Vec<(usize, char)> = haystack.char_indices().collect();
+        let n = chars.len();
+        let mut clist = ThreadList::new(self.prog.len());
+        let mut nlist = ThreadList::new(self.prog.len());
+        let mut best: Option<Match> = None;
+
+        for step in 0..=n {
+            let at = chars.get(step).map(|&(o, _)| o).unwrap_or(haystack.len());
+            // Seed a new thread unless we already committed to a match
+            // (leftmost) or the search is anchored.
+            if best.is_none() && (!anchored_full || step == 0) {
+                self.add_thread(&mut clist, 0, step, n, at);
+            }
+            if clist.is_empty() {
+                break;
+            }
+            let ch = chars.get(step).map(|&(_, c)| c);
+            let next_at = chars
+                .get(step + 1)
+                .map(|&(o, _)| o)
+                .unwrap_or(haystack.len());
+            let mut i = 0;
+            while i < clist.threads.len() {
+                let th = clist.threads[i];
+                i += 1;
+                match &self.prog[th.pc] {
+                    Inst::Match => {
+                        let end = at;
+                        match (&best, anchored_full) {
+                            // Full-match mode: prefer the longest end so
+                            // `^a*$` on "aaa" consumes everything.
+                            (_, true) => {
+                                if best.is_none_or(|b| end > b.end) {
+                                    best = Some(Match { start: th.start, end });
+                                }
+                            }
+                            // Leftmost-first: every surviving thread is, by
+                            // construction, higher priority than the thread
+                            // that recorded the previous match, so a later
+                            // Match overrides; lower-priority threads in the
+                            // current step are cut.
+                            (_, false) => {
+                                best = Some(Match { start: th.start, end });
+                                clist.threads.truncate(i);
+                            }
+                        }
+                    }
+                    Inst::Char(c) => {
+                        if ch == Some(*c) {
+                            self.add_thread_from(&mut nlist, th.pc + 1, th.start, step + 1, n, next_at);
+                        }
+                    }
+                    Inst::Any => {
+                        if ch.is_some() {
+                            self.add_thread_from(&mut nlist, th.pc + 1, th.start, step + 1, n, next_at);
+                        }
+                    }
+                    Inst::Class(idx) => {
+                        if ch.is_some_and(|c| self.classes[*idx].contains(c)) {
+                            self.add_thread_from(&mut nlist, th.pc + 1, th.start, step + 1, n, next_at);
+                        }
+                    }
+                    // Epsilon instructions are resolved in add_thread.
+                    Inst::Split(..) | Inst::Jmp(..) | Inst::AssertStart | Inst::AssertEnd => {
+                        unreachable!("epsilon instruction survived closure")
+                    }
+                }
+            }
+            std::mem::swap(&mut clist, &mut nlist);
+            nlist.clear();
+            if best.is_some() && !anchored_full && clist.is_empty() {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Adds `pc`'s epsilon-closure to `list` with a fresh start position.
+    fn add_thread(&self, list: &mut ThreadList, pc: usize, step: usize, n: usize, _at: usize) {
+        let start_offset = _at;
+        self.close(list, pc, start_offset, step, n);
+    }
+
+    fn add_thread_from(
+        &self,
+        list: &mut ThreadList,
+        pc: usize,
+        start: usize,
+        step: usize,
+        n: usize,
+        _at: usize,
+    ) {
+        self.close(list, pc, start, step, n);
+    }
+
+    /// Computes the epsilon-closure of `pc`, honoring anchors against the
+    /// current step, and pushes non-epsilon successors in priority order.
+    fn close(&self, list: &mut ThreadList, pc: usize, start: usize, step: usize, n: usize) {
+        if list.seen[pc] {
+            return;
+        }
+        list.seen[pc] = true;
+        match &self.prog[pc] {
+            Inst::Jmp(t) => self.close(list, *t, start, step, n),
+            Inst::Split(a, b) => {
+                self.close(list, *a, start, step, n);
+                self.close(list, *b, start, step, n);
+            }
+            Inst::AssertStart => {
+                if step == 0 {
+                    self.close(list, pc + 1, start, step, n);
+                }
+            }
+            Inst::AssertEnd => {
+                if step == n {
+                    self.close(list, pc + 1, start, step, n);
+                }
+            }
+            _ => list.threads.push(Thread { pc, start }),
+        }
+    }
+}
+
+/// Iterator over non-overlapping matches; see [`Regex::find_iter`].
+pub struct FindIter<'r, 'h> {
+    regex: &'r Regex,
+    haystack: &'h str,
+    at: usize,
+}
+
+impl Iterator for FindIter<'_, '_> {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        if self.at > self.haystack.len() {
+            return None;
+        }
+        let rest = &self.haystack[self.at..];
+        let m = self.regex.find(rest)?;
+        let found = Match {
+            start: self.at + m.start,
+            end: self.at + m.end,
+        };
+        // Advance past the match; an empty match steps one char forward.
+        self.at = if found.end > found.start {
+            found.end
+        } else {
+            match self.haystack[found.end..].chars().next() {
+                Some(c) => found.end + c.len_utf8(),
+                None => self.haystack.len() + 1,
+            }
+        };
+        Some(found)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Thread {
+    pc: usize,
+    start: usize,
+}
+
+struct ThreadList {
+    threads: Vec<Thread>,
+    seen: Vec<bool>,
+}
+
+impl ThreadList {
+    fn new(len: usize) -> ThreadList {
+        ThreadList {
+            threads: Vec::new(),
+            seen: vec![false; len],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.seen.iter_mut().for_each(|s| *s = false);
+    }
+}
+
+/// NFA instructions.
+#[derive(Clone, Debug)]
+enum Inst {
+    Char(char),
+    Any,
+    Class(usize),
+    Split(usize, usize),
+    Jmp(usize),
+    AssertStart,
+    AssertEnd,
+    Match,
+}
+
+/// A set of character ranges, possibly negated.
+#[derive(Clone, Debug, PartialEq)]
+struct CharClass {
+    negated: bool,
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn contains(&self, c: char) -> bool {
+        let inside = self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi);
+        inside != self.negated
+    }
+}
+
+/// Parsed syntax tree.
+#[derive(Clone, Debug)]
+enum Ast {
+    Empty,
+    Char(char),
+    Any,
+    Class(CharClass),
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    },
+    AnchorStart,
+    AnchorEnd,
+}
+
+/// Upper bound on `{m,n}` expansion so a pattern cannot inflate the program.
+const MAX_BOUNDED_REPEAT: u32 = 256;
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    source: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(source: &'a str) -> Parser<'a> {
+        Parser {
+            chars: source.chars().collect(),
+            pos: 0,
+            source,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> PatternError {
+        // Convert the char index back to a byte offset for reporting.
+        let offset = self
+            .source
+            .char_indices()
+            .nth(self.pos)
+            .map(|(o, _)| o)
+            .unwrap_or(self.source.len());
+        PatternError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn parse(mut self) -> Result<Ast, PatternError> {
+        let ast = self.alternation()?;
+        if self.pos != self.chars.len() {
+            return Err(self.err("unbalanced ')'"));
+        }
+        Ok(ast)
+    }
+
+    fn alternation(&mut self) -> Result<Ast, PatternError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Ast::Alt(branches))
+        }
+    }
+
+    fn concat(&mut self) -> Result<Ast, PatternError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        match parts.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(parts.pop().unwrap()),
+            _ => Ok(Ast::Concat(parts)),
+        }
+    }
+
+    fn repeat(&mut self) -> Result<Ast, PatternError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => {
+                let save = self.pos;
+                match self.bounded_repeat() {
+                    Some(bounds) => bounds,
+                    None => {
+                        // Not a well-formed bound: treat '{' as a literal,
+                        // matching common regex dialects.
+                        self.pos = save;
+                        return Ok(atom);
+                    }
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::AnchorStart | Ast::AnchorEnd) {
+            return Err(self.err("repetition applied to anchor"));
+        }
+        if min > MAX_BOUNDED_REPEAT || max.is_some_and(|m| m > MAX_BOUNDED_REPEAT) {
+            return Err(self.err(format!("repetition bound exceeds {MAX_BOUNDED_REPEAT}")));
+        }
+        if max.is_some_and(|m| m < min) {
+            return Err(self.err("repetition bound {m,n} has n < m"));
+        }
+        let greedy = if self.peek() == Some('?') {
+            self.pos += 1;
+            false
+        } else {
+            true
+        };
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}` after the opening brace; returns
+    /// `None` (without consuming) if the text is not a valid bound.
+    fn bounded_repeat(&mut self) -> Option<(u32, Option<u32>)> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.pos += 1;
+        let min = self.integer()?;
+        match self.peek() {
+            Some('}') => {
+                self.pos += 1;
+                Some((min, Some(min)))
+            }
+            Some(',') => {
+                self.pos += 1;
+                if self.peek() == Some('}') {
+                    self.pos += 1;
+                    return Some((min, None));
+                }
+                let max = self.integer()?;
+                if self.peek() == Some('}') {
+                    self.pos += 1;
+                    Some((min, Some(max)))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn integer(&mut self) -> Option<u32> {
+        let mut saw = false;
+        let mut v: u32 = 0;
+        while let Some(c @ '0'..='9') = self.peek() {
+            saw = true;
+            v = v.saturating_mul(10).saturating_add(c as u32 - '0' as u32);
+            self.pos += 1;
+        }
+        saw.then_some(v)
+    }
+
+    fn atom(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    self.pos -= 1;
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('.') => Ok(Ast::Any),
+            Some('^') => Ok(Ast::AnchorStart),
+            Some('$') => Ok(Ast::AnchorEnd),
+            Some('\\') => self.escape(),
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(format!("dangling repetition '{c}'"))),
+            Some(c) => Ok(Ast::Char(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, PatternError> {
+        match self.bump() {
+            Some('d') => Ok(Ast::Class(class_digit(false))),
+            Some('D') => Ok(Ast::Class(class_digit(true))),
+            Some('w') => Ok(Ast::Class(class_word(false))),
+            Some('W') => Ok(Ast::Class(class_word(true))),
+            Some('s') => Ok(Ast::Class(class_space(false))),
+            Some('S') => Ok(Ast::Class(class_space(true))),
+            Some('n') => Ok(Ast::Char('\n')),
+            Some('r') => Ok(Ast::Char('\r')),
+            Some('t') => Ok(Ast::Char('\t')),
+            Some(c @ ('\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|'
+            | '^' | '$' | '/' | '-')) => Ok(Ast::Char(c)),
+            Some(c) => Err(self.err(format!("unknown escape '\\{c}'"))),
+            None => Err(self.err("dangling backslash")),
+        }
+    }
+
+    fn class(&mut self) -> Result<Ast, PatternError> {
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        // A leading ']' is a literal, per POSIX convention.
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            ranges.push((']', ']'));
+        }
+        loop {
+            let lo = match self.bump() {
+                Some(']') => break,
+                Some('\\') => match self.class_escape()? {
+                    ClassAtom::Char(c) => c,
+                    ClassAtom::Ranges(mut rs) => {
+                        ranges.append(&mut rs);
+                        continue;
+                    }
+                },
+                Some(c) => c,
+                None => return Err(self.err("unclosed character class")),
+            };
+            // Range `lo-hi` unless '-' is last or followed by ']'.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1;
+                let hi = match self.bump() {
+                    Some('\\') => match self.class_escape()? {
+                        ClassAtom::Char(c) => c,
+                        ClassAtom::Ranges(_) => {
+                            return Err(self.err("class shorthand cannot end a range"))
+                        }
+                    },
+                    Some(c) => c,
+                    None => return Err(self.err("unclosed character class")),
+                };
+                if hi < lo {
+                    return Err(self.err("invalid range: end precedes start"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        Ok(Ast::Class(CharClass { negated, ranges }))
+    }
+
+    fn class_escape(&mut self) -> Result<ClassAtom, PatternError> {
+        match self.bump() {
+            Some('d') => Ok(ClassAtom::Ranges(vec![('0', '9')])),
+            Some('w') => Ok(ClassAtom::Ranges(word_ranges())),
+            Some('s') => Ok(ClassAtom::Ranges(space_ranges())),
+            Some('n') => Ok(ClassAtom::Char('\n')),
+            Some('r') => Ok(ClassAtom::Char('\r')),
+            Some('t') => Ok(ClassAtom::Char('\t')),
+            Some(c @ ('\\' | ']' | '[' | '^' | '-' | '.' | '/' | '$')) => Ok(ClassAtom::Char(c)),
+            Some(c) => Err(self.err(format!("unknown class escape '\\{c}'"))),
+            None => Err(self.err("dangling backslash in class")),
+        }
+    }
+}
+
+enum ClassAtom {
+    Char(char),
+    Ranges(Vec<(char, char)>),
+}
+
+fn word_ranges() -> Vec<(char, char)> {
+    vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]
+}
+
+fn space_ranges() -> Vec<(char, char)> {
+    vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\u{b}', '\u{c}')]
+}
+
+fn class_digit(negated: bool) -> CharClass {
+    CharClass {
+        negated,
+        ranges: vec![('0', '9')],
+    }
+}
+
+fn class_word(negated: bool) -> CharClass {
+    CharClass {
+        negated,
+        ranges: word_ranges(),
+    }
+}
+
+fn class_space(negated: bool) -> CharClass {
+    CharClass {
+        negated,
+        ranges: space_ranges(),
+    }
+}
+
+#[derive(Default)]
+struct Compiler {
+    prog: Vec<Inst>,
+    classes: Vec<CharClass>,
+}
+
+impl Compiler {
+    fn compile(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Char(c) => self.prog.push(Inst::Char(*c)),
+            Ast::Any => self.prog.push(Inst::Any),
+            Ast::Class(class) => {
+                let idx = self.intern_class(class);
+                self.prog.push(Inst::Class(idx));
+            }
+            Ast::AnchorStart => self.prog.push(Inst::AssertStart),
+            Ast::AnchorEnd => self.prog.push(Inst::AssertEnd),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.compile(p);
+                }
+            }
+            Ast::Alt(branches) => self.compile_alt(branches),
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => self.compile_repeat(node, *min, *max, *greedy),
+        }
+    }
+
+    fn intern_class(&mut self, class: &CharClass) -> usize {
+        if let Some(i) = self.classes.iter().position(|c| c == class) {
+            return i;
+        }
+        self.classes.push(class.clone());
+        self.classes.len() - 1
+    }
+
+    fn compile_alt(&mut self, branches: &[Ast]) {
+        // branch_0 | rest — chain of Splits, each preferring the earlier
+        // branch (leftmost-first priority).
+        let mut jumps = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < branches.len() {
+                let split = self.prog.len();
+                self.prog.push(Inst::Split(0, 0)); // patched below
+                self.compile(branch);
+                let jmp = self.prog.len();
+                self.prog.push(Inst::Jmp(0)); // patched at end
+                jumps.push(jmp);
+                let next = self.prog.len();
+                self.prog[split] = Inst::Split(split + 1, next);
+            } else {
+                self.compile(branch);
+            }
+        }
+        let end = self.prog.len();
+        for j in jumps {
+            self.prog[j] = Inst::Jmp(end);
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Mandatory copies.
+        for _ in 0..min {
+            self.compile(node);
+        }
+        match max {
+            None => {
+                // Loop: split → body → jmp back.
+                let split = self.prog.len();
+                self.prog.push(Inst::Split(0, 0));
+                self.compile(node);
+                self.prog.push(Inst::Jmp(split));
+                let after = self.prog.len();
+                self.prog[split] = if greedy {
+                    Inst::Split(split + 1, after)
+                } else {
+                    Inst::Split(after, split + 1)
+                };
+            }
+            Some(max) => {
+                // Optional copies, each guarded by a split to the end.
+                let mut splits = Vec::new();
+                for _ in min..max {
+                    let split = self.prog.len();
+                    self.prog.push(Inst::Split(0, 0));
+                    splits.push(split);
+                    self.compile(node);
+                }
+                let after = self.prog.len();
+                for split in splits {
+                    self.prog[split] = if greedy {
+                        Inst::Split(split + 1, after)
+                    } else {
+                        Inst::Split(after, split + 1)
+                    };
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! The operator-facing scope type used by Oak rules.
+
+use crate::{Glob, PatternError, Regex};
+
+/// Where within a site a rule applies.
+///
+/// The paper's rule format says the scope "is a path or regular expression"
+/// (§4.1) and its example uses `*` for site-wide scope. `Scope::parse`
+/// accepts:
+///
+/// - `*` — the whole site (the paper's example),
+/// - `re:<pattern>` — a regular expression, matched anywhere in the path,
+/// - anything else — a [`Glob`] that must match the full path.
+///
+/// # Examples
+///
+/// ```
+/// use oak_pattern::Scope;
+///
+/// assert!(Scope::parse("*").unwrap().applies_to("/any/page"));
+/// assert!(Scope::parse("re:^/a/\\d+$").unwrap().applies_to("/a/7"));
+/// assert!(!Scope::parse("/a/*").unwrap().applies_to("/b/x"));
+/// ```
+#[derive(Clone, Debug)]
+pub enum Scope {
+    /// The rule applies to every page on the site.
+    SiteWide,
+    /// The rule applies to paths matching the glob exactly.
+    Path(Glob),
+    /// The rule applies to paths the regex matches anywhere.
+    Pattern(Regex),
+}
+
+impl Scope {
+    /// Parses the operator's scope string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PatternError`] from the underlying glob or regex
+    /// compiler.
+    pub fn parse(text: &str) -> Result<Scope, PatternError> {
+        if text == "*" {
+            return Ok(Scope::SiteWide);
+        }
+        if let Some(re) = text.strip_prefix("re:") {
+            return Ok(Scope::Pattern(Regex::new(re)?));
+        }
+        Ok(Scope::Path(Glob::new(text)?))
+    }
+
+    /// Returns true if a rule with this scope applies to `path`.
+    pub fn applies_to(&self, path: &str) -> bool {
+        match self {
+            Scope::SiteWide => true,
+            Scope::Path(glob) => glob.matches(path),
+            Scope::Pattern(re) => re.is_match(path),
+        }
+    }
+
+    /// The canonical string form of this scope.
+    pub fn to_source(&self) -> String {
+        match self {
+            Scope::SiteWide => "*".to_owned(),
+            Scope::Path(glob) => glob.as_str().to_owned(),
+            Scope::Pattern(re) => format!("re:{}", re.as_str()),
+        }
+    }
+}

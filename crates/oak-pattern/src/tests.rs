@@ -1,0 +1,323 @@
+//! Unit and property tests for the pattern substrate.
+
+use crate::{Glob, Regex, Scope};
+
+fn m(pattern: &str, haystack: &str) -> Option<(usize, usize)> {
+    Regex::new(pattern)
+        .unwrap()
+        .find(haystack)
+        .map(|mat| (mat.start, mat.end))
+}
+
+#[test]
+fn literal_match() {
+    assert_eq!(m("abc", "xxabcxx"), Some((2, 5)));
+    assert_eq!(m("abc", "ab"), None);
+}
+
+#[test]
+fn dot_matches_any_char() {
+    assert_eq!(m("a.c", "abc"), Some((0, 3)));
+    assert_eq!(m("a.c", "a/c"), Some((0, 3)));
+    assert_eq!(m("a.c", "ac"), None);
+}
+
+#[test]
+fn star_plus_question() {
+    assert_eq!(m("ab*c", "ac"), Some((0, 2)));
+    assert_eq!(m("ab*c", "abbbc"), Some((0, 5)));
+    assert_eq!(m("ab+c", "ac"), None);
+    assert_eq!(m("ab+c", "abc"), Some((0, 3)));
+    assert_eq!(m("ab?c", "ac"), Some((0, 2)));
+    assert_eq!(m("ab?c", "abc"), Some((0, 3)));
+    assert_eq!(m("ab?c", "abbc"), None);
+}
+
+#[test]
+fn greedy_vs_lazy() {
+    assert_eq!(m("a.*b", "a_b_b"), Some((0, 5)), "greedy takes the last b");
+    assert_eq!(m("a.*?b", "a_b_b"), Some((0, 3)), "lazy takes the first b");
+}
+
+#[test]
+fn alternation_prefers_left_branch() {
+    assert_eq!(m("cat|category", "category"), Some((0, 3)));
+    assert_eq!(m("category|cat", "category"), Some((0, 8)));
+}
+
+#[test]
+fn leftmost_match_wins() {
+    assert_eq!(m("b+", "abbbab"), Some((1, 4)));
+}
+
+#[test]
+fn anchors() {
+    assert_eq!(m("^abc", "abcd"), Some((0, 3)));
+    assert_eq!(m("^abc", "xabc"), None);
+    assert_eq!(m("abc$", "xabc"), Some((1, 4)));
+    assert_eq!(m("abc$", "abcd"), None);
+    assert_eq!(m("^$", ""), Some((0, 0)));
+    assert_eq!(m("^$", "x"), None);
+}
+
+#[test]
+fn classes() {
+    assert_eq!(m("[a-c]+", "zzabcz"), Some((2, 5)));
+    assert_eq!(m("[^a-c]+", "abxyc"), Some((2, 4)));
+    assert_eq!(m("[-x]", "a-b"), Some((1, 2)), "leading/trailing dash is literal");
+    assert_eq!(m("[x-]", "a-b"), Some((1, 2)));
+    assert_eq!(m("[]x]", "]"), Some((0, 1)), "leading ] is literal");
+    assert_eq!(m(r"[\d]+", "ab123"), Some((2, 5)));
+    assert_eq!(m(r"[\w.]+", "a_1.b!"), Some((0, 5)));
+}
+
+#[test]
+fn escapes() {
+    assert_eq!(m(r"\d+", "order 4251 shipped"), Some((6, 10)));
+    assert_eq!(m(r"\D+", "12ab34"), Some((2, 4)));
+    assert_eq!(m(r"\w+", "!!id_7!"), Some((2, 6)));
+    assert_eq!(m(r"\s+", "a \t b"), Some((1, 4)));
+    assert_eq!(m(r"\S+", "  ab  "), Some((2, 4)));
+    assert_eq!(m(r"a\.b", "a.b"), Some((0, 3)));
+    assert_eq!(m(r"a\.b", "axb"), None);
+    assert_eq!(m(r"\n", "a\nb"), Some((1, 2)));
+}
+
+#[test]
+fn bounded_repetition() {
+    assert_eq!(m("a{3}", "aaaa"), Some((0, 3)));
+    assert_eq!(m("^a{3}$", "aa"), None);
+    assert_eq!(m("a{2,}", "aaa"), Some((0, 3)));
+    assert_eq!(m("^a{2,3}$", "aaa"), Some((0, 3)));
+    assert_eq!(m("^a{2,3}$", "aaaa"), None);
+    // Malformed bound degrades to a literal brace.
+    assert_eq!(m("a{x}", "a{x}"), Some((0, 4)));
+}
+
+#[test]
+fn bounded_repetition_errors() {
+    assert!(Regex::new("a{3,2}").is_err());
+    assert!(Regex::new("a{9999}").is_err());
+}
+
+#[test]
+fn groups_compose() {
+    assert_eq!(m("(ab)+", "ababab"), Some((0, 6)));
+    assert_eq!(m("^(a|b)*c$", "abbac"), Some((0, 5)));
+    assert_eq!(m("x(y(z))w", "xyzw"), Some((0, 4)));
+}
+
+#[test]
+fn syntax_errors() {
+    for bad in ["(", ")", "(ab", "[a", "*a", "+", "?x"[0..1].as_ref(), r"\q", r"[\q]", "[z-a]", "a**"] {
+        assert!(Regex::new(bad).is_err(), "{bad:?} should fail to compile");
+    }
+}
+
+#[test]
+fn full_match() {
+    let re = Regex::new("a*").unwrap();
+    assert!(re.is_full_match("aaa"));
+    assert!(re.is_full_match(""));
+    assert!(!re.is_full_match("aab"));
+    let re = Regex::new("ab|a").unwrap();
+    assert!(re.is_full_match("ab"), "full match ignores branch preference");
+}
+
+#[test]
+fn unicode_input() {
+    assert_eq!(m("é+", "caféé"), Some((3, 7)), "byte offsets span multibyte chars");
+    assert_eq!(m(".", "😀"), Some((0, 4)));
+}
+
+#[test]
+fn match_as_str() {
+    let re = Regex::new(r"\d+").unwrap();
+    let hay = "abc 123 def";
+    assert_eq!(re.find(hay).unwrap().as_str(hay), "123");
+}
+
+#[test]
+fn find_iter_yields_non_overlapping_matches() {
+    let re = Regex::new(r"\d+").unwrap();
+    let hay = "a1b22c333d";
+    let spans: Vec<(usize, usize)> = re.find_iter(hay).map(|m| (m.start, m.end)).collect();
+    assert_eq!(spans, [(1, 2), (3, 5), (6, 9)]);
+    assert_eq!(re.find_iter("no digits").count(), 0);
+}
+
+#[test]
+fn find_iter_handles_empty_matches() {
+    // `a*` matches empty everywhere; the iterator must still terminate.
+    let re = Regex::new("a*").unwrap();
+    let hay = "baab";
+    let spans: Vec<(usize, usize)> = re.find_iter(hay).map(|m| (m.start, m.end)).collect();
+    assert!(spans.len() <= hay.len() + 1, "terminates");
+    assert!(spans.contains(&(1, 3)), "the real run of a's is found");
+}
+
+#[test]
+fn regex_replace_all() {
+    let re = Regex::new(r"s\d\.example").unwrap();
+    assert_eq!(
+        re.replace_all("x s1.example y s2.example z", "mirror.example"),
+        "x mirror.example y mirror.example z"
+    );
+    assert_eq!(re.replace_all("untouched", "m"), "untouched");
+    // Empty-match replacement terminates and leaves text intact between.
+    let every = Regex::new("").unwrap();
+    assert_eq!(every.replace_all("ab", "-"), "-a-b-");
+}
+
+#[test]
+fn pathological_patterns_terminate_quickly() {
+    // The classic exponential-backtracking killer: (a*)*b against aⁿ.
+    // A Pike VM runs this in linear time.
+    let re = Regex::new("(a*)*b").unwrap();
+    let hay = "a".repeat(2000);
+    let start = std::time::Instant::now();
+    assert!(!re.is_match(&hay));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "pathological pattern took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn url_and_path_patterns() {
+    // The kinds of patterns rule scopes actually use.
+    let re = Regex::new(r"^/product/\d+$").unwrap();
+    assert!(re.is_match("/product/991"));
+    assert!(!re.is_match("/product/991/reviews"));
+
+    let re = Regex::new(r"(cdn|static)\.example\.(com|net)").unwrap();
+    assert!(re.is_match("http://cdn.example.net/app.js"));
+    assert!(!re.is_match("http://cdnXexample.com/app.js"));
+}
+
+#[test]
+fn glob_basics() {
+    let g = Glob::new("/products/*").unwrap();
+    assert!(g.matches("/products/widget"));
+    assert!(g.matches("/products/"));
+    assert!(!g.matches("/products/widget/reviews"));
+    assert!(!g.matches("/about"));
+}
+
+#[test]
+fn glob_double_star_crosses_slashes() {
+    let g = Glob::new("/products/**").unwrap();
+    assert!(g.matches("/products/widget/reviews"));
+    assert!(g.matches("/products/"));
+    let g = Glob::new("**/*.js").unwrap();
+    assert!(g.matches("static/js/app.js"));
+    assert!(!g.matches("static/js/app.css"));
+}
+
+#[test]
+fn glob_question_mark() {
+    let g = Glob::new("/v?/api").unwrap();
+    assert!(g.matches("/v1/api"));
+    assert!(g.matches("/v2/api"));
+    assert!(!g.matches("/v10/api"));
+    assert!(!g.matches("/v//api"), "? does not match '/'");
+}
+
+#[test]
+fn glob_literal_and_empty() {
+    assert!(Glob::new("/exact").unwrap().matches("/exact"));
+    assert!(!Glob::new("/exact").unwrap().matches("/exact2"));
+    assert!(Glob::new("").unwrap().matches(""));
+    assert!(!Glob::new("").unwrap().matches("x"));
+    assert!(Glob::new("***").is_err());
+}
+
+#[test]
+fn glob_star_runs_compose() {
+    let g = Glob::new("a*b*c").unwrap();
+    assert!(g.matches("a__b__c"));
+    assert!(g.matches("abc"));
+    assert!(!g.matches("a/b/c"), "single star stays within a segment");
+}
+
+#[test]
+fn scope_parse_forms() {
+    assert!(matches!(Scope::parse("*").unwrap(), Scope::SiteWide));
+    assert!(matches!(Scope::parse("/x/*").unwrap(), Scope::Path(_)));
+    assert!(matches!(Scope::parse("re:^/x").unwrap(), Scope::Pattern(_)));
+    assert!(Scope::parse("re:(").is_err());
+}
+
+#[test]
+fn scope_applies_to() {
+    let site = Scope::parse("*").unwrap();
+    assert!(site.applies_to("/anything/at/all"));
+
+    let glob = Scope::parse("/blog/*").unwrap();
+    assert!(glob.applies_to("/blog/post-1"));
+    assert!(!glob.applies_to("/shop/item"));
+
+    let re = Scope::parse(r"re:^/(a|b)/\d+$").unwrap();
+    assert!(re.applies_to("/a/1"));
+    assert!(re.applies_to("/b/22"));
+    assert!(!re.applies_to("/c/1"));
+}
+
+#[test]
+fn scope_roundtrips_source() {
+    for src in ["*", "/x/**", r"re:^/item/\d+$"] {
+        assert_eq!(Scope::parse(src).unwrap().to_source(), src);
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The regex compiler and matcher never panic on arbitrary inputs.
+        #[test]
+        fn regex_is_total(pattern in "\\PC{0,24}", hay in "\\PC{0,48}") {
+            if let Ok(re) = Regex::new(&pattern) {
+                let _ = re.is_match(&hay);
+                let _ = re.find(&hay);
+                let _ = re.is_full_match(&hay);
+            }
+        }
+
+        /// A literal pattern (no metacharacters) behaves like `str::find`.
+        #[test]
+        fn literal_patterns_agree_with_str_find(
+            needle in "[a-z]{1,6}",
+            hay in "[a-z]{0,32}",
+        ) {
+            let re = Regex::new(&needle).unwrap();
+            let expected = hay.find(&needle);
+            prop_assert_eq!(re.find(&hay).map(|m| m.start), expected);
+        }
+
+        /// Any match reported by `find` lies on char boundaries and the
+        /// matched slice re-matches as a full match of itself.
+        #[test]
+        fn find_spans_are_valid(pattern in "[a-c.*+?|()\\[\\]]{1,10}", hay in "[a-d]{0,24}") {
+            if let Ok(re) = Regex::new(&pattern) {
+                if let Some(mat) = re.find(&hay) {
+                    prop_assert!(hay.is_char_boundary(mat.start));
+                    prop_assert!(hay.is_char_boundary(mat.end));
+                    prop_assert!(mat.start <= mat.end);
+                }
+            }
+        }
+
+        /// Glob matching never panics and `**` is a superset of `*`.
+        #[test]
+        fn glob_total_and_monotone(path in "[a-z/]{0,24}") {
+            let single = Glob::new("/a/*").unwrap();
+            let double = Glob::new("/a/**").unwrap();
+            if single.matches(&path) {
+                prop_assert!(double.matches(&path));
+            }
+        }
+    }
+}

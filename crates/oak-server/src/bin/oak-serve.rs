@@ -1,0 +1,125 @@
+//! `oak-serve` — the Oak proxy as an operator command.
+//!
+//! Serves a document root through the Oak rewriting engine, exactly as
+//! the paper deploys it: "a multi-threaded server … which serves a dual
+//! purpose as both the web server and the Oak server platform" (§5).
+//!
+//! ```text
+//! oak-serve --root ./site --rules ./site.oakrules [--port 8080]
+//! ```
+//!
+//! `--rules` takes the §4.1 spec format (see `oak_core::spec`), e.g.:
+//!
+//! ```text
+//! (2, "<script src=\"http://s1.com/jquery.js\">",
+//!     "<script src=\"http://s2.net/jquery.js\">", 0, *)
+//! ```
+//!
+//! Clients POST performance reports to `/oak/report`; pages are
+//! personalized per user via the `oak_uid` cookie.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oak_core::engine::OakConfig;
+use oak_core::Instant;
+use oak_http::TcpServer;
+use oak_server::{load_root, load_rules, OakService, REPORT_PATH};
+
+struct Args {
+    root: PathBuf,
+    rules: Option<PathBuf>,
+    port: u16,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut rules = None;
+    let mut port = 8080u16;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--rules" => rules = Some(PathBuf::from(value("--rules")?)),
+            "--port" => {
+                port = value("--port")?
+                    .parse()
+                    .map_err(|_| "--port requires a number".to_owned())?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: oak-serve --root <dir> [--rules <file>] [--port <n>]".into())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(Args {
+        root: root.ok_or("--root is required (try --help)")?,
+        rules,
+        port,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let store = match load_root(&args.root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to load --root {}: {e}", args.root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {} page(s) from {}",
+        store.page_count(),
+        args.root.display()
+    );
+
+    let oak = match &args.rules {
+        Some(path) => match load_rules(path, OakConfig::default()) {
+            Ok(oak) => {
+                eprintln!("loaded {} rule(s) from {}", oak.rules().count(), path.display());
+                oak
+            }
+            Err(e) => {
+                eprintln!("failed to load --rules {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!("no --rules given: serving without rewriting (reports still ingested)");
+            oak_core::engine::Oak::new(OakConfig::default())
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    let service = OakService::new(oak, store)
+        .with_clock(move || Instant(t0.elapsed().as_millis() as u64))
+        .into_shared();
+
+    let server = match TcpServer::start(args.port, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind port {}: {e}", args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "oak-serve listening on http://{} (reports at {REPORT_PATH}); ctrl-c to stop",
+        server.addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,96 @@
+//! Loading a document root and rules file from disk — the `oak-serve`
+//! binary's plumbing, kept in the library so it is testable.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use oak_core::engine::{Oak, OakConfig};
+use oak_core::spec::parse_rules;
+
+use crate::store::SiteStore;
+
+/// Maps a file extension to a Content-Type.
+pub fn content_type_for(path: &str) -> &'static str {
+    match path.rsplit('.').next().unwrap_or("") {
+        "html" | "htm" => "text/html; charset=utf-8",
+        "css" => "text/css",
+        "js" => "application/javascript",
+        "json" => "application/json",
+        "png" => "image/png",
+        "jpg" | "jpeg" => "image/jpeg",
+        "gif" => "image/gif",
+        "svg" => "image/svg+xml",
+        "woff" | "woff2" => "font/woff2",
+        "ico" => "image/x-icon",
+        "txt" => "text/plain; charset=utf-8",
+        _ => "application/octet-stream",
+    }
+}
+
+/// Loads every file under `root` into a [`SiteStore`]: `.html`/`.htm`
+/// files become pages (served through the Oak rewriter), everything else
+/// becomes a static object. Paths are the `/`-joined relative paths;
+/// `index.html` files are additionally reachable at their directory path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; non-UTF-8 HTML is an
+/// [`io::ErrorKind::InvalidData`] error.
+pub fn load_root(root: &Path) -> io::Result<SiteStore> {
+    let mut store = SiteStore::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let rel = path
+                .strip_prefix(root)
+                .expect("entries live under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let url_path = format!("/{rel}");
+            let bytes = fs::read(&path)?;
+            if url_path.ends_with(".html") || url_path.ends_with(".htm") {
+                let html = String::from_utf8(bytes).map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{url_path} is not UTF-8"),
+                    )
+                })?;
+                if let Some(dir_path) = url_path.strip_suffix("index.html") {
+                    store.add_page(dir_path.to_owned(), html.clone());
+                }
+                store.add_page(url_path, html);
+            } else {
+                store.add_object(url_path, content_type_for(&rel), bytes);
+            }
+        }
+    }
+    Ok(store)
+}
+
+/// Loads a rules file in the §4.1 spec format into a fresh engine.
+///
+/// # Errors
+///
+/// Propagates I/O errors; spec errors are converted to
+/// [`io::ErrorKind::InvalidData`] with the line number preserved in the
+/// message.
+pub fn load_rules(path: &Path, config: OakConfig) -> io::Result<Oak> {
+    let text = fs::read_to_string(path)?;
+    let rules = parse_rules(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut oak = Oak::new(config);
+    for rule in rules {
+        oak.add_rule(rule)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    }
+    Ok(oak)
+}

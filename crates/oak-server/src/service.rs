@@ -1,0 +1,221 @@
+//! The HTTP-facing Oak service.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oak_core::engine::Oak;
+use oak_core::matching::{NoFetch, ScriptFetcher};
+use oak_core::report::PerfReport;
+use oak_core::Instant;
+use oak_http::cookie::{format_set_cookie, get_cookie, OAK_USER_COOKIE};
+use oak_http::{Handler, Method, Request, Response, StatusCode};
+
+use crate::store::SiteStore;
+use crate::REPORT_PATH;
+
+/// Counters the service maintains, for the operator's dashboard and the
+/// integration tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Pages served (through the rewriter).
+    pub pages_served: u64,
+    /// Static objects served.
+    pub objects_served: u64,
+    /// Reports accepted.
+    pub reports_accepted: u64,
+    /// Reports rejected (malformed or cookie-less).
+    pub reports_rejected: u64,
+}
+
+/// The Oak proxy: serves a [`SiteStore`] through the per-user rewriting
+/// engine and ingests client performance reports.
+///
+/// Thread-safe: the engine sits behind a mutex, so one service instance
+/// can back a multi-threaded [`oak_http::TcpServer`] directly, matching
+/// the paper's "multi-threaded server in Python" deployment (§5).
+pub struct OakService {
+    oak: Mutex<Oak>,
+    store: SiteStore,
+    clock: Box<dyn Fn() -> Instant + Send + Sync>,
+    fetcher: Box<dyn ScriptFetcher + Send + Sync>,
+    next_user: AtomicU64,
+    stats: Mutex<ServiceStats>,
+}
+
+impl OakService {
+    /// A service with a zero clock and no external-script fetching.
+    /// Use the builder methods to attach either.
+    pub fn new(oak: Oak, store: SiteStore) -> OakService {
+        OakService {
+            oak: Mutex::new(oak),
+            store,
+            clock: Box::new(|| Instant::ZERO),
+            fetcher: Box::new(NoFetch),
+            next_user: AtomicU64::new(1),
+            stats: Mutex::new(ServiceStats::default()),
+        }
+    }
+
+    /// Installs the clock the engine sees (wall time for live deployments,
+    /// simulated time for experiments).
+    pub fn with_clock(
+        mut self,
+        clock: impl Fn() -> Instant + Send + Sync + 'static,
+    ) -> OakService {
+        self.clock = Box::new(clock);
+        self
+    }
+
+    /// Installs the external-script fetcher used by level-3 rule matching.
+    pub fn with_fetcher(
+        mut self,
+        fetcher: impl ScriptFetcher + Send + Sync + 'static,
+    ) -> OakService {
+        self.fetcher = Box::new(fetcher);
+        self
+    }
+
+    /// Runs `f` against the engine under the lock (experiments add rules
+    /// and read logs this way).
+    pub fn with_oak<T>(&self, f: impl FnOnce(&mut Oak) -> T) -> T {
+        f(&mut self.oak.lock())
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        *self.stats.lock()
+    }
+
+    /// Wraps the service in an [`Arc`] ready for
+    /// [`oak_http::TcpServer::start`].
+    pub fn into_shared(self) -> Arc<OakService> {
+        Arc::new(self)
+    }
+
+    fn serve_page(&self, request: &Request, path: &str, html: &str) -> Response {
+        let now = (self.clock)();
+        // Identify the user by cookie; first contact mints a fresh id.
+        let (user, minted) = match request
+            .header("cookie")
+            .and_then(|v| get_cookie(v, OAK_USER_COOKIE))
+        {
+            Some(user) => (user.to_owned(), false),
+            None => {
+                let id = self.next_user.fetch_add(1, Ordering::Relaxed);
+                (format!("u-{id}"), true)
+            }
+        };
+
+        let modified = self.oak.lock().modify_page(now, &user, path, html);
+        let alternate = modified.alternate_header_entry();
+        let mut response = Response::html(modified.html);
+        if minted {
+            response
+                .headers
+                .set("Set-Cookie", format_set_cookie(OAK_USER_COOKIE, &user));
+        }
+        if let Some((name, value)) = alternate {
+            response.headers.set(name, value);
+        }
+        self.stats.lock().pages_served += 1;
+        response
+    }
+
+    /// Renders the §6 offline audit as plain text (`GET /oak/audit`).
+    fn audit_view(&self) -> Response {
+        let oak = self.oak.lock();
+        let summary = oak_core::audit::audit(oak.log());
+        Response::new(StatusCode::OK)
+            .with_body(summary.to_string().into_bytes(), "text/plain; charset=utf-8")
+    }
+
+    /// Serves service counters and aggregate site performance as JSON
+    /// (`GET /oak/stats`) — the §5 "aggregate site performance" record.
+    fn stats_view(&self) -> Response {
+        let stats = self.stats();
+        let mut doc = oak_json::Value::object();
+        doc.set("pages_served", stats.pages_served);
+        doc.set("objects_served", stats.objects_served);
+        doc.set("reports_accepted", stats.reports_accepted);
+        doc.set("reports_rejected", stats.reports_rejected);
+
+        let oak = self.oak.lock();
+        let agg = oak.aggregates();
+        doc.set("reports", agg.report_count());
+        doc.set("users", agg.user_count());
+        let mut domains = oak_json::Value::array();
+        for (domain, entry) in agg.worst_domains().into_iter().take(50) {
+            let mut row = oak_json::Value::object();
+            row.set("domain", domain);
+            row.set("objects", entry.objects);
+            row.set("bytes", entry.bytes);
+            row.set("violations", entry.violations);
+            row.set("users_seen", entry.users_seen);
+            row.set(
+                "avg_small_time_ms",
+                entry.small_time_ms.mean().map(|m| (m * 100.0).round() / 100.0),
+            );
+            row.set(
+                "avg_large_tput_kbps",
+                entry.large_tput_kbps.mean().map(|m| (m * 100.0).round() / 100.0),
+            );
+            domains.push(row);
+        }
+        doc.set("domains", domains);
+        Response::new(StatusCode::OK).with_body(doc.to_string().into_bytes(), "application/json")
+    }
+
+    fn accept_report(&self, request: &Request) -> Response {
+        let now = (self.clock)();
+        let body = String::from_utf8_lossy(&request.body);
+        let mut report = match PerfReport::from_json(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.lock().reports_rejected += 1;
+                return Response::new(StatusCode::BAD_REQUEST)
+                    .with_body(e.to_string().into_bytes(), "text/plain");
+            }
+        };
+        // The identifying cookie is authoritative for the user id (§4:
+        // the cookie lets the server connect performance to the client).
+        if let Some(user) = request
+            .header("cookie")
+            .and_then(|v| get_cookie(v, OAK_USER_COOKIE))
+        {
+            report.user = user.to_owned();
+        }
+        // The transport-observed peer address (set by the TCP server,
+        // never client-forgeable) feeds subnet-scoped rule policies.
+        let client_ip = request.header(oak_http::PEER_ADDR_HEADER);
+        self.oak
+            .lock()
+            .ingest_report_from(now, &report, &*self.fetcher, client_ip);
+        self.stats.lock().reports_accepted += 1;
+        Response::new(StatusCode::NO_CONTENT)
+    }
+}
+
+impl Handler for OakService {
+    fn handle(&self, request: &Request) -> Response {
+        let path = request.path().to_owned();
+        match (request.method, path.as_str()) {
+            (Method::Post, REPORT_PATH) => self.accept_report(request),
+            (Method::Get, crate::AUDIT_PATH) => self.audit_view(),
+            (Method::Get, crate::STATS_PATH) => self.stats_view(),
+            (Method::Get | Method::Head, _) => {
+                if let Some(html) = self.store.page(&path) {
+                    return self.serve_page(request, &path, html);
+                }
+                if let Some((content_type, bytes)) = self.store.object(&path) {
+                    self.stats.lock().objects_served += 1;
+                    return Response::new(StatusCode::OK)
+                        .with_body(bytes.to_vec(), content_type);
+                }
+                Response::not_found()
+            }
+            _ => Response::new(StatusCode(405)).with_body(b"method not allowed".to_vec(), "text/plain"),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The in-memory document root.
+
+use std::collections::BTreeMap;
+
+/// Pages and static objects served by the Oak web server.
+///
+/// Pages are HTML documents that pass through Oak's per-user rewriting;
+/// objects are opaque bytes served as-is (the benchmark pages' test files,
+/// mirrored third-party objects, and so on).
+#[derive(Clone, Debug, Default)]
+pub struct SiteStore {
+    pages: BTreeMap<String, String>,
+    objects: BTreeMap<String, (String, Vec<u8>)>,
+}
+
+impl SiteStore {
+    /// An empty store.
+    pub fn new() -> SiteStore {
+        SiteStore::default()
+    }
+
+    /// Adds (or replaces) an HTML page at `path`.
+    pub fn add_page(&mut self, path: impl Into<String>, html: impl Into<String>) {
+        self.pages.insert(path.into(), html.into());
+    }
+
+    /// Adds (or replaces) a static object at `path`.
+    pub fn add_object(
+        &mut self,
+        path: impl Into<String>,
+        content_type: impl Into<String>,
+        bytes: Vec<u8>,
+    ) {
+        self.objects
+            .insert(path.into(), (content_type.into(), bytes));
+    }
+
+    /// The page at `path`, if any.
+    pub fn page(&self, path: &str) -> Option<&str> {
+        self.pages.get(path).map(String::as_str)
+    }
+
+    /// The object at `path`, if any: `(content_type, bytes)`.
+    pub fn object(&self, path: &str) -> Option<(&str, &[u8])> {
+        self.objects
+            .get(path)
+            .map(|(ct, bytes)| (ct.as_str(), bytes.as_slice()))
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Paths of all pages, sorted.
+    pub fn page_paths(&self) -> impl Iterator<Item = &str> {
+        self.pages.keys().map(String::as_str)
+    }
+}

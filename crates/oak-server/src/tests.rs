@@ -1,0 +1,316 @@
+//! Tests for the Oak HTTP service.
+
+use std::sync::Arc;
+
+use oak_core::engine::{Oak, OakConfig};
+use oak_core::report::{ObjectTiming, PerfReport};
+use oak_core::rule::Rule;
+use oak_core::{Instant, OAK_ALTERNATE_HEADER};
+use oak_http::cookie::{get_cookie, OAK_USER_COOKIE};
+use oak_http::{fetch_tcp, Handler, Method, Request, Response, StatusCode, TcpServer};
+
+use crate::{OakService, SiteStore, REPORT_PATH};
+
+const JQ_DEFAULT: &str = r#"<script src="http://cdn-a.example/jquery.js">"#;
+const JQ_ALT: &str = r#"<script src="http://cdn-b.example/jquery.js">"#;
+const PAGE: &str = r#"<html><head><script src="http://cdn-a.example/jquery.js"></script></head><body>shop</body></html>"#;
+
+fn service_with_rule() -> OakService {
+    let mut oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT])).unwrap();
+    let mut store = SiteStore::new();
+    store.add_page("/index.html", PAGE);
+    store.add_object("/logo.png", "image/png", vec![0x89, 0x50, 0x4e, 0x47]);
+    OakService::new(oak, store)
+}
+
+/// A report that makes cdn-a.example the clear violator.
+fn violating_report(user: &str) -> PerfReport {
+    let mut r = PerfReport::new(user, "/index.html");
+    r.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 900.0));
+    r.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
+    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
+    r.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
+    r.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+    r
+}
+
+fn get(service: &OakService, path: &str, cookie: Option<&str>) -> Response {
+    let mut req = Request::new(Method::Get, path);
+    if let Some(c) = cookie {
+        req.headers.set("Cookie", format!("{OAK_USER_COOKIE}={c}"));
+    }
+    service.handle(&req)
+}
+
+fn post_report(service: &OakService, report: &PerfReport, cookie: Option<&str>) -> Response {
+    let mut req = Request::new(Method::Post, REPORT_PATH)
+        .with_body(report.to_json().into_bytes(), "application/json");
+    if let Some(c) = cookie {
+        req.headers.set("Cookie", format!("{OAK_USER_COOKIE}={c}"));
+    }
+    service.handle(&req)
+}
+
+#[test]
+fn first_visit_mints_a_cookie() {
+    let service = service_with_rule();
+    let resp = get(&service, "/index.html", None);
+    assert_eq!(resp.status, StatusCode::OK);
+    let cookie = resp.header("set-cookie").expect("cookie set");
+    let user = get_cookie(cookie, OAK_USER_COOKIE).expect("oak_uid present");
+    assert!(user.starts_with("u-"));
+    // A returning visitor keeps their cookie: no Set-Cookie again.
+    let resp2 = get(&service, "/index.html", Some(user));
+    assert!(resp2.header("set-cookie").is_none());
+}
+
+#[test]
+fn report_then_page_applies_rule_for_that_user_only() {
+    let service = service_with_rule();
+    let resp = post_report(&service, &violating_report("u-7"), Some("u-7"));
+    assert_eq!(resp.status, StatusCode::NO_CONTENT);
+
+    let page_for_u7 = get(&service, "/index.html", Some("u-7"));
+    assert!(page_for_u7.body_text().contains("cdn-b.example"));
+    assert_eq!(
+        page_for_u7.header(OAK_ALTERNATE_HEADER),
+        Some("cdn-a.example=cdn-b.example")
+    );
+
+    let page_for_other = get(&service, "/index.html", Some("u-8"));
+    assert!(page_for_other.body_text().contains("cdn-a.example"));
+    assert!(page_for_other.header(OAK_ALTERNATE_HEADER).is_none());
+}
+
+#[test]
+fn cookie_overrides_report_body_user() {
+    let service = service_with_rule();
+    // Body claims u-fake; the cookie says u-real. Cookie wins.
+    post_report(&service, &violating_report("u-fake"), Some("u-real"));
+    let page = get(&service, "/index.html", Some("u-real"));
+    assert!(page.body_text().contains("cdn-b.example"));
+    let fake = get(&service, "/index.html", Some("u-fake"));
+    assert!(fake.body_text().contains("cdn-a.example"));
+}
+
+#[test]
+fn malformed_reports_are_rejected() {
+    let service = service_with_rule();
+    let req = Request::new(Method::Post, REPORT_PATH)
+        .with_body(b"{bad json".to_vec(), "application/json");
+    let resp = service.handle(&req);
+    assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    let stats = service.stats();
+    assert_eq!(stats.reports_rejected, 1);
+    assert_eq!(stats.reports_accepted, 0);
+}
+
+#[test]
+fn serves_static_objects_and_404s() {
+    let service = service_with_rule();
+    let obj = get(&service, "/logo.png", None);
+    assert_eq!(obj.status, StatusCode::OK);
+    assert_eq!(obj.header("content-type"), Some("image/png"));
+    assert_eq!(get(&service, "/missing", None).status, StatusCode::NOT_FOUND);
+    let put = service.handle(&Request::new(Method::Put, "/index.html"));
+    assert_eq!(put.status, StatusCode(405));
+}
+
+#[test]
+fn stats_count_all_traffic() {
+    let service = service_with_rule();
+    get(&service, "/index.html", Some("u-1"));
+    get(&service, "/index.html", Some("u-1"));
+    get(&service, "/logo.png", None);
+    post_report(&service, &violating_report("u-1"), Some("u-1"));
+    let stats = service.stats();
+    assert_eq!(stats.pages_served, 2);
+    assert_eq!(stats.objects_served, 1);
+    assert_eq!(stats.reports_accepted, 1);
+}
+
+#[test]
+fn clock_drives_ttl_expiry() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let mut oak = Oak::new(OakConfig::default());
+    oak.add_rule(
+        Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]).with_ttl_ms(Some(60_000)),
+    )
+    .unwrap();
+    let mut store = SiteStore::new();
+    store.add_page("/index.html", PAGE);
+    let now = Arc::new(AtomicU64::new(0));
+    let clock_now = Arc::clone(&now);
+    let service =
+        OakService::new(oak, store).with_clock(move || Instant(clock_now.load(Ordering::SeqCst)));
+
+    post_report(&service, &violating_report("u-1"), Some("u-1"));
+    assert!(get(&service, "/index.html", Some("u-1")).body_text().contains("cdn-b.example"));
+
+    now.store(120_000, Ordering::SeqCst);
+    assert!(
+        get(&service, "/index.html", Some("u-1")).body_text().contains("cdn-a.example"),
+        "rule expired after TTL"
+    );
+}
+
+#[test]
+fn full_loop_over_real_tcp() {
+    let service = service_with_rule().into_shared();
+    let mut server = TcpServer::start(0, service.clone()).unwrap();
+    let addr = server.addr();
+
+    // 1. First page fetch: default content + cookie.
+    let resp = fetch_tcp(addr, &Request::new(Method::Get, "/index.html")).unwrap();
+    let cookie_header = resp.header("set-cookie").unwrap().to_owned();
+    let user = get_cookie(&cookie_header, OAK_USER_COOKIE).unwrap().to_owned();
+    assert!(resp.body_text().contains("cdn-a.example"));
+
+    // 2. POST a violating report with the cookie.
+    let report = violating_report(&user);
+    let req = Request::new(Method::Post, REPORT_PATH)
+        .with_body(report.to_json().into_bytes(), "application/json")
+        .with_header("Cookie", &format!("{OAK_USER_COOKIE}={user}"));
+    let resp = fetch_tcp(addr, &req).unwrap();
+    assert_eq!(resp.status, StatusCode::NO_CONTENT);
+
+    // 3. Reload: the page now routes around the violator.
+    let req = Request::new(Method::Get, "/index.html")
+        .with_header("Cookie", &format!("{OAK_USER_COOKIE}={user}"));
+    let resp = fetch_tcp(addr, &req).unwrap();
+    assert!(resp.body_text().contains("cdn-b.example"));
+    assert_eq!(
+        resp.header(OAK_ALTERNATE_HEADER),
+        Some("cdn-a.example=cdn-b.example")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn admin_endpoints_render_audit_and_stats() {
+    let service = service_with_rule();
+    get(&service, "/index.html", Some("u-1"));
+    post_report(&service, &violating_report("u-1"), Some("u-1"));
+
+    let audit = get(&service, crate::AUDIT_PATH, None);
+    assert_eq!(audit.status, StatusCode::OK);
+    assert!(audit.body_text().contains("oak audit"));
+    assert!(audit.body_text().contains("rule0"));
+
+    let stats = get(&service, crate::STATS_PATH, None);
+    assert_eq!(stats.status, StatusCode::OK);
+    let doc = oak_json::parse(&stats.body_text()).expect("stats is valid JSON");
+    assert_eq!(doc.get("reports_accepted").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(doc.get("pages_served").and_then(|v| v.as_u64()), Some(1));
+    let domains = doc.get("domains").and_then(|d| d.as_array()).unwrap();
+    assert!(!domains.is_empty());
+    // The violator tops the worst-domains list.
+    assert_eq!(
+        domains[0].get("domain").and_then(|v| v.as_str()),
+        Some("cdn-a.example")
+    );
+    assert_eq!(domains[0].get("violations").and_then(|v| v.as_u64()), Some(1));
+}
+
+#[test]
+fn fileroot_loads_pages_objects_and_rules() {
+    use crate::{content_type_for, load_root, load_rules};
+    use oak_core::engine::OakConfig;
+
+    let dir = std::env::temp_dir().join(format!("oak-fileroot-{}", std::process::id()));
+    let sub = dir.join("shop");
+    std::fs::create_dir_all(&sub).unwrap();
+    std::fs::write(dir.join("index.html"), "<html>home</html>").unwrap();
+    std::fs::write(sub.join("item.html"), "<html>item</html>").unwrap();
+    std::fs::write(dir.join("logo.png"), [0x89, 0x50]).unwrap();
+    std::fs::write(
+        dir.join("site.oakrules"),
+        r#"(2, "http://a.example/", "http://b.example/a.example/", 0, *)"#,
+    )
+    .unwrap();
+
+    let store = load_root(&dir).unwrap();
+    assert_eq!(store.page("/index.html"), Some("<html>home</html>"));
+    assert_eq!(store.page("/"), Some("<html>home</html>"), "index alias");
+    assert_eq!(store.page("/shop/item.html"), Some("<html>item</html>"));
+    let (ct, bytes) = store.object("/logo.png").unwrap();
+    assert_eq!(ct, "image/png");
+    assert_eq!(bytes, [0x89, 0x50]);
+    // The rules file is loaded as an object too (it is not HTML) — fine;
+    // operators usually keep it outside the root.
+    let oak = load_rules(&dir.join("site.oakrules"), OakConfig::default()).unwrap();
+    assert_eq!(oak.rules().count(), 1);
+
+    assert_eq!(content_type_for("a/b/app.js"), "application/javascript");
+    assert_eq!(content_type_for("x.unknownext"), "application/octet-stream");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fileroot_rejects_bad_rules() {
+    use crate::load_rules;
+    use oak_core::engine::OakConfig;
+    let dir = std::env::temp_dir().join(format!("oak-badrules-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.oakrules");
+    std::fs::write(&path, "(9, \"x\", \"y\", 0, *)").unwrap();
+    let err = load_rules(&path, OakConfig::default()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn subnet_scoped_rule_over_tcp_uses_peer_address() {
+    use oak_core::rule::Rule;
+    // A rule restricted to localhost's 127.0.0.x: the TCP peer address
+    // stamped by the server admits it; a spoofed header could not.
+    let mut oak = Oak::new(OakConfig::default());
+    oak.add_rule(
+        Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]).with_client_prefix("127.0.0."),
+    )
+    .unwrap();
+    let mut store = SiteStore::new();
+    store.add_page("/index.html", PAGE);
+    let service = OakService::new(oak, store).into_shared();
+    let mut server = TcpServer::start(0, service).unwrap();
+    let addr = server.addr();
+
+    let post = Request::new(Method::Post, REPORT_PATH)
+        .with_body(violating_report("u-local").to_json().into_bytes(), "application/json")
+        .with_header("Cookie", &format!("{OAK_USER_COOKIE}=u-local"));
+    assert_eq!(fetch_tcp(addr, &post).unwrap().status.0, 204);
+
+    let reload = Request::new(Method::Get, "/index.html")
+        .with_header("Cookie", &format!("{OAK_USER_COOKIE}=u-local"));
+    let resp = fetch_tcp(addr, &reload).unwrap();
+    assert!(
+        resp.body_text().contains("cdn-b.example"),
+        "rule for 127.0.0.* should activate when reported over loopback"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_reports_do_not_lose_updates() {
+    let service = service_with_rule().into_shared();
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let user = format!("u-{i}");
+                post_report(&service, &violating_report(&user), Some(&user));
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(service.stats().reports_accepted, 8);
+    service.with_oak(|oak| {
+        for i in 0..8 {
+            assert_eq!(oak.active_rules(&format!("u-{i}")).len(), 1, "user u-{i}");
+        }
+    });
+}

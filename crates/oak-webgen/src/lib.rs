@@ -1,0 +1,42 @@
+//! Synthetic web corpus generation.
+//!
+//! The paper's measurement study crawls the Alexa Top 500 from 25 vantage
+//! points (§2, §5.3). That corpus is not reproducible offline, so this
+//! crate generates a synthetic population calibrated to the paper's own
+//! published marginals, and the experiment harness then *re-measures*
+//! everything through the real Oak pipeline:
+//!
+//! - external-object fraction per site centered near the paper's ≈ 75 %
+//!   median (Fig. 1),
+//! - a provider pool with popularity skew, dominated in the problem tier
+//!   by ads/analytics/social domains (Table 1),
+//! - per-provider impairments split between transient congestion and
+//!   persistent regional degradation (Fig. 3's ≈ 52 % one-day churn),
+//! - four inclusion mechanisms per provider — direct `src`, inline-script
+//!   text, via external JavaScript, and fully dynamic — in proportions
+//!   that land Fig. 8's three matching-level medians (≈ 42/60/81 %),
+//! - the paper's client split: half North America, the rest Europe and
+//!   Asia/Oceania (§5).
+//!
+//! # Examples
+//!
+//! ```
+//! use oak_webgen::{Corpus, CorpusConfig};
+//!
+//! let corpus = Corpus::generate(&CorpusConfig { sites: 10, ..CorpusConfig::default() });
+//! assert_eq!(corpus.sites.len(), 10);
+//! let site = &corpus.sites[0];
+//! assert!(site.html.contains("<html>"));
+//! assert!(site.objects.iter().any(|o| o.external));
+//! ```
+
+mod gen;
+mod model;
+
+pub use gen::standard_clients;
+pub use model::{
+    Category, Corpus, CorpusConfig, Inclusion, PageObject, Provider, Site,
+};
+
+#[cfg(test)]
+mod tests;

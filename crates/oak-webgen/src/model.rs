@@ -1,0 +1,212 @@
+//! Corpus data model.
+
+use std::collections::BTreeMap;
+
+use oak_net::{ClientId, ServerId, World};
+
+/// What kind of resource a provider serves; drives both page content and
+/// the provider's quality mix (Table 1: "Advertisements, social
+/// networking, and analytics dominate" the outliers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Assets on the site's own origin (never external).
+    OriginAsset,
+    /// Commodity CDN assets: images, stylesheets, bundles.
+    Cdn,
+    /// Advertising and analytics beacons/scripts.
+    AdsAnalytics,
+    /// Social-network widgets.
+    Social,
+    /// Video players and posters.
+    Video,
+    /// Web-font services.
+    Fonts,
+}
+
+impl Category {
+    /// Display label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::OriginAsset => "Origin",
+            Category::Cdn => "CDN",
+            Category::AdsAnalytics => "Ads/Analytics",
+            Category::Social => "Social Networking",
+            Category::Video => "Video",
+            Category::Fonts => "Fonts",
+        }
+    }
+}
+
+/// How the index page references an object — the mechanism determines at
+/// which level Oak's connection-dependency matching can tie the object's
+/// server to a rule (Fig. 8).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Inclusion {
+    /// A plain `src`/`href` attribute: matchable at level 1.
+    SrcAttr,
+    /// An inline script that builds the URL from a domain string:
+    /// matchable at level 2.
+    InlineScript,
+    /// Loaded by an external script hosted at `loader_url`: matchable at
+    /// level 3 (the loader's body must be fetched and searched).
+    ExternalJs {
+        /// URL of the loader script that references this object.
+        loader_url: String,
+    },
+    /// Chosen at runtime by opaque logic; not matchable at any level —
+    /// the residue Fig. 8's top curve never reaches.
+    Dynamic,
+}
+
+/// One object the page causes a client to fetch.
+#[derive(Clone, Debug)]
+pub struct PageObject {
+    /// Absolute URL.
+    pub url: String,
+    /// The URL's hostname.
+    pub domain: String,
+    /// The serving host in the network model.
+    pub server: ServerId,
+    /// Object size, bytes.
+    pub bytes: u64,
+    /// Provider category.
+    pub category: Category,
+    /// How the index page references it.
+    pub inclusion: Inclusion,
+    /// True if the domain is outside the site's origin site
+    /// (sub-domains of the origin are *not* external; paper §2).
+    pub external: bool,
+    /// The exact HTML snippet in the index page that references this
+    /// object (rule default-text candidates); `None` for dynamic objects
+    /// and objects referenced only inside an external script.
+    pub snippet: Option<String>,
+}
+
+/// A third-party provider in the pool.
+#[derive(Clone, Debug)]
+pub struct Provider {
+    /// The provider's primary domain.
+    pub domain: String,
+    /// Its server in the network model.
+    pub server: ServerId,
+    /// What it serves.
+    pub category: Category,
+    /// Popularity weight (Zipf-like; popular providers appear on many
+    /// sites, which is what makes Table 3's "common" rules common).
+    pub weight: f64,
+    /// Whether the provider sends `Timing-Allow-Origin`, making its
+    /// timings visible to the JavaScript Resource Timing API. §6 notes
+    /// that "this opt-in behavior means many providers are not visible
+    /// with the API, rendering Oak less effective" — the
+    /// `ablation_resource_timing` experiment quantifies exactly that.
+    pub timing_allow_origin: bool,
+}
+
+/// One generated site.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Site hostname, e.g. `site042.example`.
+    pub host: String,
+    /// The origin server.
+    pub origin: ServerId,
+    /// Path of the index page.
+    pub index_path: String,
+    /// The generated index HTML.
+    pub html: String,
+    /// Everything a client fetches when loading the page.
+    pub objects: Vec<PageObject>,
+}
+
+impl Site {
+    /// The absolute URL of the index page.
+    pub fn index_url(&self) -> String {
+        format!("http://{}{}", self.host, self.index_path)
+    }
+
+    /// Distinct external domains contacted by this page.
+    pub fn external_domains(&self) -> Vec<&str> {
+        let mut domains: Vec<&str> = self
+            .objects
+            .iter()
+            .filter(|o| o.external)
+            .map(|o| o.domain.as_str())
+            .collect();
+        domains.sort_unstable();
+        domains.dedup();
+        domains
+    }
+
+    /// Fraction of objects loaded from external hosts (Fig. 1's metric).
+    pub fn external_fraction(&self) -> f64 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        self.objects.iter().filter(|o| o.external).count() as f64 / self.objects.len() as f64
+    }
+}
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of sites (the paper uses the Alexa Top 500).
+    pub sites: usize,
+    /// Master seed; every corpus quantity derives from it.
+    pub seed: u64,
+    /// Size of the shared third-party provider pool.
+    pub providers: usize,
+    /// Probability that a provider carries a persistent regional
+    /// impairment (the Fig. 3 "consistent" outlier population).
+    pub persistent_impairment_rate: f64,
+    /// Expected number of transient congestion windows per provider per
+    /// simulated week (the Fig. 3 "ephemeral" population).
+    pub transient_windows_per_week: f64,
+}
+
+impl Default for CorpusConfig {
+    /// Paper-scale defaults: 500 sites, 120 providers, calibrated
+    /// impairment rates.
+    fn default() -> CorpusConfig {
+        CorpusConfig {
+            sites: 500,
+            seed: DEFAULT_SEED,
+            providers: 120,
+            persistent_impairment_rate: 0.02,
+            transient_windows_per_week: 1.8,
+        }
+    }
+}
+
+/// Default corpus seed; experiments that want other draws pass their own.
+pub const DEFAULT_SEED: u64 = 0x04B_0B5E55;
+
+/// The generated corpus: a network world plus the sites living in it.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// The network model containing every origin, provider, replica, and
+    /// client.
+    pub world: World,
+    /// The provider pool.
+    pub providers: Vec<Provider>,
+    /// The generated sites.
+    pub sites: Vec<Site>,
+    /// The paper's 25 vantage points (half NA, rest EU + AS/OC).
+    pub clients: Vec<ClientId>,
+    /// Replica servers (NA, EU, AS) available as rule alternatives
+    /// (§5.3 "Alternative Servers").
+    pub replicas: Vec<ServerId>,
+    /// Bodies of external loader scripts, keyed by URL.
+    pub script_bodies: BTreeMap<String, String>,
+}
+
+impl Corpus {
+    /// The body of an external script, if `url` is one — back this into a
+    /// script fetcher for matching experiments.
+    pub fn script_body(&self, url: &str) -> Option<String> {
+        self.script_bodies.get(url).cloned()
+    }
+
+    /// The provider owning `domain`, if any.
+    pub fn provider_by_domain(&self, domain: &str) -> Option<&Provider> {
+        self.providers.iter().find(|p| p.domain == domain)
+    }
+}

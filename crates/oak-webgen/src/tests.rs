@@ -1,0 +1,301 @@
+//! Tests for the corpus generator.
+
+use oak_html::Document;
+use oak_net::WorldBuilder;
+
+use crate::{standard_clients, Category, Corpus, CorpusConfig, Inclusion};
+
+fn small_corpus(seed: u64) -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        sites: 40,
+        seed,
+        providers: 50,
+        ..CorpusConfig::default()
+    })
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let a = small_corpus(7);
+    let b = small_corpus(7);
+    assert_eq!(a.sites.len(), b.sites.len());
+    for (sa, sb) in a.sites.iter().zip(&b.sites) {
+        assert_eq!(sa.html, sb.html);
+        assert_eq!(sa.objects.len(), sb.objects.len());
+    }
+    let c = small_corpus(8);
+    assert_ne!(a.sites[0].html, c.sites[0].html, "different seed, different corpus");
+}
+
+#[test]
+fn standard_client_split_matches_paper() {
+    let mut b = WorldBuilder::new(1);
+    let clients = standard_clients(&mut b);
+    let world = b.build();
+    assert_eq!(clients.len(), 25);
+    use oak_net::Region::*;
+    let count = |r| clients.iter().filter(|&&c| world.client(c).region == r).count();
+    assert_eq!(count(NorthAmerica), 13, "half in North America");
+    assert_eq!(count(Europe), 6);
+    assert_eq!(count(Asia) + count(Oceania), 6);
+}
+
+#[test]
+fn external_fraction_centers_near_paper_median() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 200,
+        ..CorpusConfig::default()
+    });
+    let mut fractions: Vec<f64> = corpus.sites.iter().map(|s| s.external_fraction()).collect();
+    fractions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = fractions[fractions.len() / 2];
+    assert!(
+        (0.65..0.85).contains(&median),
+        "median external fraction {median} should sit near the paper's 0.75"
+    );
+}
+
+#[test]
+fn subdomain_assets_are_not_external() {
+    let corpus = small_corpus(3);
+    for site in &corpus.sites {
+        for object in &site.objects {
+            if object.domain.ends_with(&site.host) {
+                assert!(!object.external, "{} on {}", object.domain, site.host);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_domain_resolves_in_the_world() {
+    let corpus = small_corpus(4);
+    let client = corpus.clients[0];
+    for site in &corpus.sites {
+        for object in &site.objects {
+            let ip = corpus.world.resolve(&object.domain, client);
+            assert!(ip.is_some(), "unresolvable domain {}", object.domain);
+            assert_eq!(
+                ip.unwrap(),
+                corpus.world.ip_of(object.server),
+                "domain {} must resolve to its assigned server",
+                object.domain
+            );
+        }
+    }
+}
+
+#[test]
+fn html_contains_direct_and_loader_references() {
+    let corpus = small_corpus(5);
+    let mut saw_loader = false;
+    for site in &corpus.sites {
+        let doc = Document::parse(&site.html);
+        let refs: Vec<&str> = doc.external_refs().iter().map(|r| r.url.as_str()).collect();
+        for object in &site.objects {
+            match &object.inclusion {
+                Inclusion::SrcAttr => {
+                    // Same-host references may be emitted root-relative.
+                    let path = object
+                        .url
+                        .split_once("://")
+                        .and_then(|(_, rest)| rest.find('/').map(|i| &rest[i..]))
+                        .unwrap_or("");
+                    assert!(
+                        refs.contains(&object.url.as_str())
+                            || (!object.external && refs.contains(&path)),
+                        "direct object {} missing from page refs",
+                        object.url
+                    );
+                }
+                Inclusion::InlineScript => {
+                    assert!(
+                        site.html.contains(&object.domain),
+                        "inline-script domain {} missing from page text",
+                        object.domain
+                    );
+                    assert!(
+                        !refs.contains(&object.url.as_str()),
+                        "inline-script object must not be a direct ref"
+                    );
+                }
+                Inclusion::ExternalJs { loader_url } => {
+                    saw_loader = true;
+                    assert!(refs.contains(&loader_url.as_str()), "loader tag in page");
+                    let body = corpus.script_body(loader_url).expect("loader body exists");
+                    assert!(
+                        body.contains(&object.url),
+                        "loader body must reference {}",
+                        object.url
+                    );
+                    assert!(
+                        !site.html.contains(&object.domain),
+                        "externally-loaded domain must be invisible in the page"
+                    );
+                }
+                Inclusion::Dynamic => {
+                    assert!(
+                        !site.html.contains(&object.domain),
+                        "dynamic domain {} must be invisible in the page",
+                        object.domain
+                    );
+                }
+            }
+        }
+    }
+    assert!(saw_loader, "corpus should exercise external-JS inclusion");
+}
+
+#[test]
+fn inclusion_mix_is_near_calibration() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 300,
+        ..CorpusConfig::default()
+    });
+    let mut counts = [0usize; 4];
+    let mut total = 0usize;
+    for site in &corpus.sites {
+        // Count per (site, provider) pair, the unit the mechanism is
+        // assigned at.
+        let mut seen = std::collections::BTreeSet::new();
+        for object in site.objects.iter().filter(|o| o.external) {
+            if !seen.insert(object.domain.clone()) {
+                continue;
+            }
+            total += 1;
+            match object.inclusion {
+                Inclusion::SrcAttr => counts[0] += 1,
+                Inclusion::InlineScript => counts[1] += 1,
+                Inclusion::ExternalJs { .. } => counts[2] += 1,
+                Inclusion::Dynamic => counts[3] += 1,
+            }
+        }
+    }
+    let frac = |c: usize| c as f64 / total as f64;
+    assert!((frac(counts[0]) - 0.42).abs() < 0.06, "direct {}", frac(counts[0]));
+    assert!((frac(counts[1]) - 0.18).abs() < 0.05, "inline {}", frac(counts[1]));
+    assert!((frac(counts[2]) - 0.21).abs() < 0.05, "ext-js {}", frac(counts[2]));
+    assert!((frac(counts[3]) - 0.19).abs() < 0.05, "dynamic {}", frac(counts[3]));
+}
+
+#[test]
+fn ads_and_social_skew_toward_poor_quality() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 10,
+        providers: 200,
+        ..CorpusConfig::default()
+    });
+    use oak_net::Quality;
+    let poor_rate = |cat: Category| {
+        let (poor, total) = corpus
+            .providers
+            .iter()
+            .filter(|p| p.category == cat)
+            .fold((0usize, 0usize), |(p, t), prov| {
+                let q = corpus.world.server(prov.server).quality;
+                (p + usize::from(q == Quality::Poor), t + 1)
+            });
+        poor as f64 / total.max(1) as f64
+    };
+    assert!(poor_rate(Category::AdsAnalytics) > poor_rate(Category::Cdn));
+}
+
+#[test]
+fn replicas_cover_three_regions() {
+    let corpus = small_corpus(9);
+    assert_eq!(corpus.replicas.len(), 3);
+    use oak_net::Region::*;
+    let regions: Vec<_> = corpus
+        .replicas
+        .iter()
+        .map(|&r| corpus.world.server(r).region)
+        .collect();
+    assert_eq!(regions, [NorthAmerica, Europe, Asia]);
+}
+
+#[test]
+fn impairments_exist_in_both_populations() {
+    let corpus = small_corpus(11);
+    let imps = corpus.world.impairments();
+    let transient = imps.iter().filter(|i| i.window.is_some()).count();
+    let persistent = imps.iter().filter(|i| i.window.is_none()).count();
+    assert!(transient > 0, "transient congestion present");
+    assert!(persistent > 0, "persistent degradation present");
+}
+
+#[test]
+fn site_accessors() {
+    let corpus = small_corpus(13);
+    let site = &corpus.sites[0];
+    assert_eq!(site.index_url(), format!("http://{}/index.html", site.host));
+    let domains = site.external_domains();
+    assert!(!domains.is_empty());
+    let mut sorted = domains.clone();
+    sorted.sort_unstable();
+    assert_eq!(domains, sorted, "external_domains is sorted and deduped");
+    for d in &domains {
+        assert!(corpus.provider_by_domain(d).is_some());
+    }
+}
+
+#[test]
+fn popular_providers_are_well_run_and_distributed() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 5,
+        providers: 120,
+        ..CorpusConfig::default()
+    });
+    use oak_net::Quality;
+    // Top-25 of the pool: pinned Good + distributed (one popular bad
+    // provider would contaminate half the corpus — see DESIGN.md §4b).
+    for provider in corpus.providers.iter().take(25) {
+        let server = corpus.world.server(provider.server);
+        assert_eq!(server.quality, Quality::Good, "{}", provider.domain);
+        assert!(server.distributed, "{}", provider.domain);
+    }
+    // The tail contains single-homed and sub-Good providers.
+    let tail = &corpus.providers[25..120];
+    assert!(tail.iter().any(|p| !corpus.world.server(p.server).distributed));
+    assert!(tail
+        .iter()
+        .any(|p| corpus.world.server(p.server).quality != Quality::Good));
+}
+
+#[test]
+fn timing_allow_origin_is_a_strict_subset() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 5,
+        providers: 120,
+        ..CorpusConfig::default()
+    });
+    let opted_in = corpus
+        .providers
+        .iter()
+        .filter(|p| p.timing_allow_origin)
+        .count();
+    assert!(opted_in > 0, "some providers opt in");
+    assert!(
+        opted_in < corpus.providers.len(),
+        "many providers are not visible with the API (paper §6)"
+    );
+}
+
+#[test]
+fn replicas_are_dedicated_idle_mirrors() {
+    let corpus = small_corpus(21);
+    for &replica in &corpus.replicas {
+        let server = corpus.world.server(replica);
+        assert!(server.affinity_neutral, "{}", server.hostname);
+        assert!(server.processing_ms < 10.0);
+        assert!(server.diurnal_amplitude < 0.1);
+    }
+}
+
+#[test]
+fn generated_pages_tokenize_cleanly() {
+    let corpus = small_corpus(17);
+    for site in &corpus.sites {
+        let doc = Document::parse(&site.html);
+        assert!(doc.tokens().len() > 5, "{} should have structure", site.host);
+    }
+}

@@ -1,0 +1,97 @@
+//! Ad and analytics management with Type 1 and Type 3 rules.
+//!
+//! Table 1 of the paper shows ads/analytics/social dominating the outlier
+//! census. This example shows the two rule types built for that tier:
+//!
+//! - **Type 1** — when the analytics beacon's host under-performs,
+//!   remove the beacon entirely ("excluding the object entirely in cases
+//!   of non-performance", §1),
+//! - **Type 3** — when the ad network under-performs, swap in a
+//!   *different* object: a house ad from the origin, plus a sub-rule that
+//!   adjusts the page's ad-slot comment marker.
+//!
+//! Run with: `cargo run --example ad_replacement`
+
+use oak::core::prelude::*;
+
+const BEACON: &str =
+    r#"<script src="http://telemetry.adnet.example/beacon.js" async></script>"#;
+const AD_TAG: &str = r#"<iframe src="http://serve.ads.example/slot/17"></iframe>"#;
+const HOUSE_AD: &str = r#"<img src="/static/house-ad.png" alt="subscribe!">"#;
+
+fn page() -> String {
+    format!(
+        r#"<html><head>{BEACON}</head>
+<body>
+<!-- ad-slot: live -->
+{AD_TAG}
+<p>article text</p>
+</body></html>"#
+    )
+}
+
+/// A report where both third-party hosts are far out of family, with
+/// enough healthy company for the MAD statistics to bite.
+fn bad_day_report(user: &str) -> PerfReport {
+    let mut r = PerfReport::new(user, "/article/42");
+    r.push(ObjectTiming::new("http://telemetry.adnet.example/beacon.js", "10.9.0.1", 4_000, 1_400.0));
+    r.push(ObjectTiming::new("http://serve.ads.example/slot/17", "10.9.0.2", 18_000, 1_900.0));
+    r.push(ObjectTiming::new("http://images.example/fig1.png", "10.0.0.3", 30_000, 90.0));
+    r.push(ObjectTiming::new("http://images.example/fig2.png", "10.0.0.3", 30_000, 95.0));
+    r.push(ObjectTiming::new("http://fonts.example/serif.woff", "10.0.0.4", 30_000, 84.0));
+    r.push(ObjectTiming::new("http://origin-static.example/app.js", "10.0.0.5", 30_000, 102.0));
+    r
+}
+
+fn main() {
+    let mut oak = Oak::new(OakConfig::default());
+
+    // Type 1: drop the beacon when its host violates. Ten-minute TTL —
+    // transient congestion clears, and the beacon comes back.
+    let drop_beacon = oak
+        .add_rule(Rule::remove(BEACON).with_ttl_ms(Some(10 * 60 * 1_000)))
+        .unwrap();
+
+    // Type 3: different object in the ad slot, with a sub-rule flipping
+    // the slot marker. Requires 2 violations before firing — ad revenue
+    // is money; one bad sample should not pull a paying ad (§4.2.4).
+    let house_ad = oak
+        .add_rule(
+            Rule::replace_different(AD_TAG, [HOUSE_AD])
+                .with_sub_rule("<!-- ad-slot: live -->", "<!-- ad-slot: house -->")
+                .with_violations_required(2),
+        )
+        .unwrap();
+
+    println!("rules: {drop_beacon} (type 1, TTL 10 min), {house_ad} (type 3, 2 violations)");
+
+    // First bad report: beacon rule fires immediately; ad rule waits.
+    let o1 = oak.ingest_report(Instant::ZERO, &bad_day_report("u-kim"), &NoFetch);
+    println!(
+        "\nreport 1: {} violators, activated {:?}",
+        o1.violations.len(),
+        o1.activated
+    );
+    assert_eq!(o1.activated, vec![drop_beacon]);
+
+    let after_one = oak.modify_page(Instant(1), "u-kim", "/article/42", &page());
+    assert!(!after_one.html.contains("beacon.js"), "beacon removed");
+    assert!(after_one.html.contains("serve.ads.example"), "ad still live");
+
+    // Second bad report: the ad rule reaches its violation quota.
+    let o2 = oak.ingest_report(Instant(2), &bad_day_report("u-kim"), &NoFetch);
+    assert_eq!(o2.activated, vec![house_ad]);
+    println!("report 2: activated {:?}", o2.activated);
+
+    let after_two = oak.modify_page(Instant(3), "u-kim", "/article/42", &page());
+    assert!(after_two.html.contains("house-ad.png"), "house ad in the slot");
+    assert!(after_two.html.contains("<!-- ad-slot: house -->"), "sub-rule fired");
+    println!("\npage for u-kim now:\n{}", after_two.html);
+
+    // TTL: eleven minutes later the beacon returns; the house ad stays
+    // (no TTL on the type 3 rule).
+    let later = oak.modify_page(Instant(11 * 60 * 1_000), "u-kim", "/article/42", &page());
+    assert!(later.html.contains("beacon.js"), "beacon back after TTL");
+    assert!(later.html.contains("house-ad.png"));
+    println!("after the 10-minute TTL the beacon is restored; the house ad remains");
+}

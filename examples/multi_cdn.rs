@@ -1,0 +1,82 @@
+//! Multi-CDN management with selection policies.
+//!
+//! §4.2.4: "Oak further allows for the specification of multiple
+//! alternatives in each rule. By default, Oak progresses through the list
+//! linearly with each activation, however this can further be configured
+//! via a selection policy."
+//!
+//! An operator fronted by three mirror CDNs wants two things when the
+//! primary degrades: users spread across the mirrors (no thundering
+//! herd), and a user whose assigned mirror also misbehaves moved along
+//! automatically. `SelectionPolicy::UserHash` gives both.
+//!
+//! Run with: `cargo run --example multi_cdn`
+
+use oak::core::prelude::*;
+
+const PRIMARY: &str = "http://cdn-primary.example/";
+const MIRRORS: [&str; 3] = [
+    "http://mirror-aa.example/cdn-primary.example/",
+    "http://mirror-bb.example/cdn-primary.example/",
+    "http://mirror-cc.example/cdn-primary.example/",
+];
+
+/// A report where the primary CDN is the clear violator for `user`.
+fn primary_down(user: &str) -> PerfReport {
+    let mut r = PerfReport::new(user, "/");
+    r.push(ObjectTiming::new("http://cdn-primary.example/app.js", "10.0.0.1", 30_000, 1_100.0));
+    r.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 82.0));
+    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 91.0));
+    r.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 77.0));
+    r.push(ObjectTiming::new("http://api.example/v1", "10.0.0.4", 30_000, 95.0));
+    r
+}
+
+fn main() {
+    let mut oak = Oak::new(OakConfig::default());
+    let rule_id = oak
+        .add_rule(
+            Rule::replace_identical(PRIMARY, MIRRORS).with_selection(SelectionPolicy::UserHash),
+        )
+        .unwrap();
+    println!("rule {rule_id}: {PRIMARY} → three mirrors, user-hash selection\n");
+
+    // The primary has a bad day for everyone; watch the user population
+    // spread across mirrors instead of stampeding the first one.
+    let mut per_mirror = [0usize; 3];
+    for i in 0..30 {
+        let user = format!("user-{i:02}");
+        oak.ingest_report(Instant(i), &primary_down(&user), &NoFetch);
+        let index = oak.active_rules(&user)[0].1.alternative_index;
+        per_mirror[index] += 1;
+    }
+    println!("30 affected users spread across mirrors: {per_mirror:?}");
+    assert!(per_mirror.iter().all(|&n| n > 0), "every mirror takes load");
+
+    // One user's assigned mirror also melts down → Oak walks them to the
+    // next mirror, wrap-around, without touching anyone else.
+    let victim = "user-07";
+    let bystander = "user-08";
+    let bystander_before = oak.active_rules(bystander)[0].1.alternative_index;
+    let before = oak.active_rules(victim)[0].1.alternative_index;
+    let mirror_host = MIRRORS[before]
+        .trim_start_matches("http://")
+        .split('/')
+        .next()
+        .unwrap();
+    let mut mirror_down = primary_down(victim);
+    mirror_down.entries[0] =
+        ObjectTiming::new(format!("http://{mirror_host}/app.js"), "10.0.0.9", 30_000, 2_500.0);
+    let outcome = oak.ingest_report(Instant(99), &mirror_down, &NoFetch);
+    assert_eq!(outcome.advanced, vec![rule_id]);
+    let after = oak.active_rules(victim)[0].1.alternative_index;
+    println!("\n{victim}: mirror {before} degraded → moved to mirror {after} (wrap-around walk)");
+    assert_eq!(after, (before + 1) % MIRRORS.len());
+
+    // Everyone else is untouched: per-user state, per-user decisions.
+    assert_eq!(
+        oak.active_rules(bystander)[0].1.alternative_index,
+        bystander_before
+    );
+    println!("other users keep their assignments — decisions stay per user");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the whole Oak loop in one file, no simulation.
+//!
+//! A site includes jQuery from `cdn-a.example`. One user's reports show
+//! that CDN far out of family; Oak activates the operator's Type 2 rule
+//! and rewrites that user's pages to a mirror — other users keep the
+//! default.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use oak::core::prelude::*;
+
+fn main() {
+    // ── Operator setup ──────────────────────────────────────────────
+    // The rule from the paper's §4.1 example, written via the spec text
+    // format: Type 2 (identical object, alternative source), never
+    // expires, site-wide.
+    let rule = oak::core::spec::parse_rule(
+        r#"(2,
+             "<script src=\"http://cdn-a.example/jquery.js\">",
+             "<script src=\"http://cdn-b.example/jquery.js\">",
+             0,
+             *)"#,
+    )
+    .expect("rule spec parses");
+
+    let mut oak = Oak::new(OakConfig::default());
+    let rule_id = oak.add_rule(rule).expect("rule is valid");
+    println!("operator registered {rule_id}: cdn-a.example → cdn-b.example");
+
+    // ── A client's performance report arrives ───────────────────────
+    // Five servers; cdn-a is an order of magnitude slower than the rest.
+    let mut report = PerfReport::new("u-alice", "/index.html");
+    report.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 950.0));
+    report.push(ObjectTiming::new("http://img.example/hero.png", "10.0.0.2", 30_000, 88.0));
+    report.push(ObjectTiming::new("http://img.example/icons.png", "10.0.0.2", 30_000, 74.0));
+    report.push(ObjectTiming::new("http://fonts.example/sans.woff", "10.0.0.3", 30_000, 81.0));
+    report.push(ObjectTiming::new("http://api.example/boot.js", "10.0.0.4", 30_000, 95.0));
+
+    println!(
+        "\nu-alice reports {} objects ({} bytes on the wire)",
+        report.entries.len(),
+        report.wire_size()
+    );
+
+    let outcome = oak.ingest_report(Instant::ZERO, &report, &NoFetch);
+    for v in &outcome.violations {
+        println!(
+            "violator detected: {} ({}) — severity {:.1}×MAD past the median",
+            v.ip,
+            v.domains.join(", "),
+            v.kind.severity()
+        );
+    }
+    assert_eq!(outcome.activated, vec![rule_id]);
+    println!("rule {rule_id} activated for u-alice");
+
+    // ── The next page load is personalized ──────────────────────────
+    let page = r#"<html><head>
+<script src="http://cdn-a.example/jquery.js"></script>
+</head><body>store front</body></html>"#;
+
+    let for_alice = oak.modify_page(Instant::ZERO, "u-alice", "/index.html", page);
+    let for_bob = oak.modify_page(Instant::ZERO, "u-bob", "/index.html", page);
+
+    println!("\npage served to u-alice now references: cdn-b.example");
+    assert!(for_alice.html.contains("cdn-b.example"));
+    println!(
+        "cache hint header: {}: {}",
+        OAK_ALTERNATE_HEADER,
+        for_alice.alternate_header().unwrap()
+    );
+
+    assert!(for_bob.html.contains("cdn-a.example"));
+    println!("page served to u-bob is unchanged — decisions are per user");
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration over the simulated Internet: corpus → browser →
+//! reports → Oak engine → rewritten pages → better load times.
+
+use oak::client::{rules, BrowserConfig, SimSession, Universe};
+use oak::core::prelude::*;
+use oak::net::{Region, SimTime};
+use oak::webgen::{Corpus, CorpusConfig};
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        sites: 20,
+        seed: 4242,
+        providers: 50,
+        persistent_impairment_rate: 0.30,
+        ..CorpusConfig::default()
+    })
+}
+
+fn session_with_rules(corpus: &Corpus, region: Region) -> SimSession<'_> {
+    let mut oak = Oak::new(OakConfig::default());
+    for site in &corpus.sites {
+        for (_, rule) in rules::rules_for_site(site, rules::closest_replica(region)) {
+            oak.add_rule(rule).expect("generated rules validate");
+        }
+    }
+    SimSession::new(corpus, oak)
+}
+
+#[test]
+fn oak_converges_and_does_not_regress() {
+    let corpus = corpus();
+    let client = *corpus
+        .clients
+        .iter()
+        .find(|&&c| corpus.world.client(c).region == Region::Europe)
+        .unwrap();
+    let mut session = session_with_rules(&corpus, Region::Europe);
+
+    let mut oak_wins = 0;
+    let mut comparable = 0;
+    for site_index in 0..corpus.sites.len() {
+        // Converge over four visits.
+        let mut final_plt = f64::INFINITY;
+        for round in 0..4u64 {
+            let (load, _) = session.visit(site_index, client, SimTime::from_minutes(round * 30));
+            final_plt = load.plt_ms;
+        }
+        let default_plt = session
+            .visit_default(site_index, client, SimTime::from_minutes(90))
+            .plt_ms;
+        comparable += 1;
+        if final_plt <= default_plt * 1.15 {
+            // Within noise or better.
+            oak_wins += 1;
+        }
+    }
+    assert!(
+        oak_wins as f64 >= comparable as f64 * 0.8,
+        "Oak should match or beat the default on most sites ({oak_wins}/{comparable})"
+    );
+}
+
+#[test]
+fn violators_are_detected_in_the_wild() {
+    let corpus = corpus();
+    let mut session = SimSession::new(&corpus, Oak::new(OakConfig::default()));
+    let mut sites_with_violations = 0;
+    for site_index in 0..corpus.sites.len() {
+        let mut any = false;
+        for &client in corpus.clients.iter().take(5) {
+            let (_, outcome) = session.visit(site_index, client, SimTime::from_hours(13));
+            any |= !outcome.violations.is_empty();
+        }
+        sites_with_violations += usize::from(any);
+    }
+    assert!(
+        sites_with_violations * 2 > corpus.sites.len(),
+        "more than half the sites should show at least one violator across vantage points \
+         (got {sites_with_violations}/{})",
+        corpus.sites.len()
+    );
+}
+
+#[test]
+fn rewritten_pages_change_the_fetch_targets() {
+    let corpus = corpus();
+    let client = corpus.clients[0];
+    let region = corpus.world.client(client).region;
+    let mut session = session_with_rules(&corpus, region);
+    let replica = rules::closest_replica(region);
+
+    // Find a site where a rule activates within a few visits.
+    let mut verified = false;
+    'sites: for site_index in 0..corpus.sites.len() {
+        for round in 0..3u64 {
+            let (_, outcome) = session.visit(site_index, client, SimTime::from_minutes(round * 30));
+            if !outcome.activated.is_empty() {
+                // The next load should contact the replica.
+                let (load, _) =
+                    session.visit(site_index, client, SimTime::from_minutes(round * 30 + 5));
+                if load.fetches.iter().any(|f| f.domain == replica) {
+                    verified = true;
+                    break 'sites;
+                }
+            }
+        }
+    }
+    assert!(verified, "an activated rule must redirect fetches to the replica");
+}
+
+#[test]
+fn reports_round_trip_the_wire_format() {
+    let corpus = corpus();
+    let universe = Universe::new(&corpus);
+    let mut browser = oak::client::Browser::new(
+        corpus.clients[2],
+        "u-wire",
+        BrowserConfig::default(),
+    );
+    let site = &corpus.sites[0];
+    let load = browser.load_page(&universe, site, &site.html, &[], SimTime::from_hours(1));
+    let json = load.report.to_json();
+    let decoded = PerfReport::from_json(&json).unwrap();
+    assert_eq!(decoded, load.report);
+    assert_eq!(decoded.entries.len(), load.fetches.len());
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let corpus = corpus();
+        let client = corpus.clients[1];
+        let region = corpus.world.client(client).region;
+        let mut session = session_with_rules(&corpus, region);
+        let mut plts = Vec::new();
+        for site_index in 0..5 {
+            for round in 0..3u64 {
+                let (load, _) =
+                    session.visit(site_index, client, SimTime::from_minutes(round * 30));
+                plts.push(load.plt_ms);
+            }
+        }
+        (plts, session.oak.log().len())
+    };
+    let (plts_a, log_a) = run();
+    let (plts_b, log_b) = run();
+    assert_eq!(plts_a, plts_b);
+    assert_eq!(log_a, log_b);
+}
