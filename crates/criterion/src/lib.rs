@@ -1,0 +1,237 @@
+//! An offline, dependency-free benchmarking shim.
+//!
+//! This workspace must build without access to crates.io, so this crate
+//! re-implements the subset of the `criterion` API the oak benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! benchmark groups, and the [`Bencher::iter`], [`Bencher::iter_batched`],
+//! and [`Bencher::iter_custom`] timing loops.
+//!
+//! Measurement is deliberately simple: each benchmark is calibrated until
+//! it has run for a short warm-up window, then timed over a fixed
+//! measurement window, and the mean ns/iteration is printed. There are no
+//! statistical comparisons against saved baselines.
+//!
+//! Because the bench targets build with `harness = false`, `cargo test`
+//! executes them too; cargo passes `--test` in that mode, and (like the
+//! real crate) each routine then runs exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// How long each benchmark warms up before measurement.
+const WARMUP: Duration = Duration::from_millis(5);
+/// The measurement window a benchmark's iteration count is scaled to.
+const MEASURE: Duration = Duration::from_millis(50);
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The shim times each
+/// batch element individually, so the variants only affect intent
+/// documentation, not measurement.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            // Set when cargo runs a harness=false bench under `cargo test`.
+            test_mode: std::env::args().any(|arg| arg == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group; benchmark ids print as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            test_mode: self.test_mode,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.test_mode, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks (see [`Criterion::benchmark_group`]).
+pub struct BenchmarkGroup {
+    name: String,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim's fixed measurement
+    /// window ignores the requested sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut BenchmarkGroup {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.test_mode, f);
+        self
+    }
+
+    /// Ends the group (no summary output in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(id: &str, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        test_mode,
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("bench {id}: ok (test mode, 1 iteration)");
+    } else if bencher.iters > 0 {
+        let nanos = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+        println!("{id:<48} {nanos:>14.1} ns/iter  ({} iters)", bencher.iters);
+    }
+}
+
+/// The timing handle passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let iters = calibrate(|n| {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.record(iters, start.elapsed());
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let iters = calibrate(|n| {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            elapsed
+        });
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.record(iters, elapsed);
+    }
+
+    /// Hands the iteration count to `routine`, which returns the time it
+    /// measured itself — for benchmarks that must own their timing (e.g.
+    /// multi-threaded sections where spawn overhead must be excluded).
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        if self.test_mode {
+            routine(1);
+            return;
+        }
+        let iters = calibrate(&mut routine);
+        let elapsed = routine(iters);
+        self.record(iters, elapsed);
+    }
+
+    fn record(&mut self, iters: u64, elapsed: Duration) {
+        self.iters = iters;
+        self.total = elapsed;
+    }
+}
+
+/// Doubles the iteration count until `run` fills the warm-up window,
+/// then scales that rate to the measurement window.
+fn calibrate<R>(mut run: R) -> u64
+where
+    R: FnMut(u64) -> Duration,
+{
+    let mut iters: u64 = 1;
+    let elapsed = loop {
+        let elapsed = run(iters);
+        if elapsed >= WARMUP || iters >= 1 << 40 {
+            break elapsed.max(Duration::from_nanos(1));
+        }
+        iters *= 2;
+    };
+    let per_iter = elapsed.as_nanos().max(1) as u64 / iters.max(1);
+    (MEASURE.as_nanos() as u64 / per_iter.max(1)).max(1)
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -33,7 +33,11 @@ fn synthetic_report(servers: usize) -> PerfReport {
             report.push(ObjectTiming::new(
                 format!("http://host{s}.example/obj{o}.js"),
                 format!("10.0.{}.{}", s / 250, s % 250 + 1),
-                if o == 2 { 120_000 } else { 8_000 + (s * 131 + o * 17) as u64 % 30_000 },
+                if o == 2 {
+                    120_000
+                } else {
+                    8_000 + (s * 131 + o * 17) as u64 % 30_000
+                },
                 80.0 + ((s * 37 + o * 101) % 120) as f64,
             ));
         }
@@ -88,7 +92,11 @@ fn bench_match(c: &mut Criterion) {
     let page = synthetic_page(40);
     let hit = vec!["host17.example".to_owned()];
     let miss = vec!["absent.example".to_owned()];
-    for level in [MatchLevel::DirectInclude, MatchLevel::TextMatch, MatchLevel::ExternalJs] {
+    for level in [
+        MatchLevel::DirectInclude,
+        MatchLevel::TextMatch,
+        MatchLevel::ExternalJs,
+    ] {
         group.bench_function(format!("{level:?}/hit"), |b| {
             b.iter(|| match_rule(black_box(&page), black_box(&hit), level, &NoFetch))
         });
@@ -116,7 +124,10 @@ fn bench_rewrite(c: &mut Criterion) {
     group.bench_function("replace_all/1_rule", |b| {
         b.iter(|| {
             let mut rw = oak_html::Rewriter::new(black_box(&page));
-            rw.replace_all("http://host17.example/", "http://alt.example/host17.example/");
+            rw.replace_all(
+                "http://host17.example/",
+                "http://alt.example/host17.example/",
+            );
             rw.apply().unwrap()
         })
     });
@@ -160,7 +171,7 @@ fn bench_engine(c: &mut Criterion) {
     let report = synthetic_report(40);
 
     let build_oak = || {
-        let mut oak = Oak::new(OakConfig::default());
+        let oak = Oak::new(OakConfig::default());
         for i in 0..40 {
             oak.add_rule(Rule::replace_identical(
                 format!("http://host{i}.example/"),
@@ -174,16 +185,33 @@ fn bench_engine(c: &mut Criterion) {
     group.bench_function("ingest_report/40_rules", |b| {
         b.iter_batched(
             build_oak,
-            |mut oak| oak.ingest_report(Instant::ZERO, black_box(&report), &NoFetch),
+            |oak| oak.ingest_report(Instant::ZERO, black_box(&report), &NoFetch),
             BatchSize::SmallInput,
         )
     });
 
-    let mut warm = build_oak();
+    let warm = build_oak();
     warm.ingest_report(Instant::ZERO, &report, &NoFetch);
     group.bench_function("modify_page/40_rules", |b| {
         b.iter(|| warm.modify_page(Instant::ZERO, "bench-user", "/index.html", black_box(&page)))
     });
+    group.finish();
+}
+
+fn bench_engine_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_contended");
+    // One "iteration" is a round of K parallel ingest+serve ops on K
+    // disjoint users; engine setup and thread spawn are outside the
+    // measured window (iter_custom).
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_function(format!("sharded/{threads}_threads"), |b| {
+            b.iter_custom(|iters| oak_bench::contention::sharded_duration(threads, iters))
+        });
+        group.bench_function(format!("single_mutex/{threads}_threads"), |b| {
+            b.iter_custom(|iters| oak_bench::contention::single_mutex_duration(threads, iters))
+        });
+    }
     group.finish();
 }
 
@@ -193,6 +221,7 @@ criterion_group!(
     bench_match,
     bench_rewrite,
     bench_report_codec,
-    bench_engine
+    bench_engine,
+    bench_engine_contended
 );
 criterion_main!(benches);

@@ -133,7 +133,9 @@ pub fn benchmark_world(seed: u64) -> (Corpus, Vec<ClientId>) {
         let host = format!("d{}.bench10.net", i + 1);
         let server = b.server(&host, Region::NorthAmerica, default_quality[i]);
         if default_quality[i] == Quality::Poor {
-            b.tune_server(server, |s| s.diurnal_amplitude = if i == 3 { 10.0 } else { 15.0 });
+            b.tune_server(server, |s| {
+                s.diurnal_amplitude = if i == 3 { 10.0 } else { 15.0 }
+            });
         }
         let alt_host = format!("a{}.bench10.net", i + 1);
         b.server(&alt_host, Region::NorthAmerica, alt_quality[i]);

@@ -55,9 +55,18 @@ fn main() {
         }
     }
     println!("Ablation — violators per load over {loads} corpus loads:");
-    println!("  MAD (paper):       {:.2}", totals[0] as f64 / loads as f64);
-    println!("  mean ± 2σ:         {:.2}", totals[1] as f64 / loads as f64);
-    println!("  absolute bounds:   {:.2}", totals[2] as f64 / loads as f64);
+    println!(
+        "  MAD (paper):       {:.2}",
+        totals[0] as f64 / loads as f64
+    );
+    println!(
+        "  mean ± 2σ:         {:.2}",
+        totals[1] as f64 / loads as f64
+    );
+    println!(
+        "  absolute bounds:   {:.2}",
+        totals[2] as f64 / loads as f64
+    );
 
     // Part 2: the narrow-bandwidth long-haul client. Every server looks
     // slow in absolute terms; none is slow relative to the page.
@@ -83,7 +92,10 @@ fn main() {
     // Part 3: σ self-masking. Two gross outliers inflate σ until one
     // escapes detection.
     let mut masked = PerfReport::new("mask", "/");
-    for (i, t) in [100.0, 105.0, 98.0, 102.0, 2_500.0, 2_700.0].iter().enumerate() {
+    for (i, t) in [100.0, 105.0, 98.0, 102.0, 2_500.0, 2_700.0]
+        .iter()
+        .enumerate()
+    {
         masked.push(oak_core::report::ObjectTiming::new(
             format!("http://m{i}.example/x.js"),
             format!("10.8.8.{i}"),

@@ -62,9 +62,12 @@ fn main() {
     });
 
     println!("Ablation — activations under capped matching depth\n");
-    println!("{:<24} {:>12} {:>14}", "max level", "activations", "users affected");
+    println!(
+        "{:<24} {:>12} {:>14}",
+        "max level", "activations", "users affected"
+    );
     for level in MatchLevel::ALL {
-        let mut oak = Oak::new(OakConfig {
+        let oak = Oak::new(OakConfig {
             max_match_level: level,
             ..OakConfig::default()
         });
@@ -81,19 +84,18 @@ fn main() {
                 }
             }
         }
-        let activations = session
-            .oak
-            .log()
+        let log = session.oak.log();
+        let activations = log
             .iter()
             .filter(|e| matches!(e.action, oak_core::engine::LogAction::Activated { .. }))
             .count();
-        let users: std::collections::BTreeSet<&str> = session
-            .oak
-            .log()
-            .iter()
-            .map(|e| e.user.as_str())
-            .collect();
-        println!("{:<24} {:>12} {:>14}", format!("{level:?}"), activations, users.len());
+        let users: std::collections::BTreeSet<&str> = log.iter().map(|e| e.user.as_str()).collect();
+        println!(
+            "{:<24} {:>12} {:>14}",
+            format!("{level:?}"),
+            activations,
+            users.len()
+        );
     }
     println!(
         "\neach added level converts more detected violators into actionable rule\n\

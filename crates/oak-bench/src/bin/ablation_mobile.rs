@@ -17,7 +17,13 @@ use oak_net::{Quality, Region, SimTime, WorldBuilder};
 fn main() {
     let mut b = WorldBuilder::new(0x40b);
     let hosts: Vec<_> = (0..6)
-        .map(|i| b.server(&format!("s{i}.example"), Region::NorthAmerica, Quality::Good))
+        .map(|i| {
+            b.server(
+                &format!("s{i}.example"),
+                Region::NorthAmerica,
+                Quality::Good,
+            )
+        })
         .collect();
     // One server is genuinely broken for everyone.
     let bad = hosts[3];

@@ -1,0 +1,68 @@
+//! Contended engine throughput: lock striping vs a single mutex.
+//!
+//! Drives K threads (K ∈ {1, 2, 4}) of disjoint-user ingest+serve pairs
+//! against (a) the striped engine and (b) the same engine behind one big
+//! mutex — the pre-striping design. Prints the scaling table and records
+//! it in `BENCH_throughput.json` for the acceptance gate: the striped
+//! engine should clear 2× the baseline's throughput at 4 threads while
+//! staying within a few percent at 1 thread.
+//!
+//! Run with `cargo run --release -p oak-bench --bin bench_throughput`.
+
+use oak_bench::contention;
+
+/// Ops per thread per timed run; large enough that thread start/stop is
+/// noise, small enough to finish in seconds.
+const OPS_PER_THREAD: u64 = 300;
+
+fn throughput(threads: usize, duration: std::time::Duration) -> f64 {
+    (threads as u64 * OPS_PER_THREAD) as f64 / duration.as_secs_f64()
+}
+
+fn main() {
+    println!("Contended ingest+serve throughput (ops/s, disjoint users)\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "threads", "sharded", "single-mutex", "speedup"
+    );
+
+    let mut rows = oak_json::Value::array();
+    let mut speedup_at_4 = 0.0;
+    for &threads in &[1usize, 2, 4] {
+        // Warm run to fault in code paths, then the measured run.
+        contention::sharded_duration(threads, OPS_PER_THREAD / 4);
+        contention::single_mutex_duration(threads, OPS_PER_THREAD / 4);
+        let sharded = throughput(
+            threads,
+            contention::sharded_duration(threads, OPS_PER_THREAD),
+        );
+        let single = throughput(
+            threads,
+            contention::single_mutex_duration(threads, OPS_PER_THREAD),
+        );
+        let speedup = sharded / single;
+        if threads == 4 {
+            speedup_at_4 = speedup;
+        }
+        println!("{threads:<10} {sharded:>14.0} {single:>14.0} {speedup:>9.2}x");
+        let mut row = oak_json::Value::object();
+        row.set("threads", threads);
+        row.set("sharded_ops_per_sec", (sharded * 10.0).round() / 10.0);
+        row.set("single_mutex_ops_per_sec", (single * 10.0).round() / 10.0);
+        row.set("speedup", (speedup * 100.0).round() / 100.0);
+        rows.push(row);
+    }
+
+    let mut doc = oak_json::Value::object();
+    doc.set("benchmark", "engine_contended_ingest_serve");
+    doc.set("ops_per_thread", OPS_PER_THREAD);
+    doc.set("rule_count", contention::RULE_COUNT);
+    doc.set("server_count", contention::SERVER_COUNT);
+    doc.set("rows", rows);
+    doc.set(
+        "speedup_at_4_threads",
+        (speedup_at_4 * 100.0).round() / 100.0,
+    );
+    std::fs::write("BENCH_throughput.json", doc.to_string()).expect("write BENCH_throughput.json");
+    println!("\nwrote BENCH_throughput.json");
+}

@@ -44,7 +44,7 @@ fn main() {
                     .id;
                 corpus.world.inject_delay(delayed, delay);
 
-                let mut oak = Oak::new(OakConfig::default());
+                let oak = Oak::new(OakConfig::default());
                 for rule in sensitivity_rules() {
                     oak.add_rule(rule).expect("bench rules validate");
                 }

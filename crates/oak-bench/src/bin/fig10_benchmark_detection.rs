@@ -21,7 +21,7 @@ const INTERVAL_MIN: u64 = 30;
 
 fn main() {
     let (corpus, clients) = benchmark_world(0x10b);
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     for rule in benchmark_rules() {
         oak.add_rule(rule).expect("bench rules validate");
     }

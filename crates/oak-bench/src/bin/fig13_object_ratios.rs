@@ -17,7 +17,9 @@ fn main() {
     let results = run(&corpus);
 
     println!("Fig. 13 — default-time / Oak-choice-time per protected domain\n");
-    let grid = [0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0];
+    let grid = [
+        0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0,
+    ];
     for (key, data) in &results.conditions {
         print_cdf_grid(key, &data.object_ratios, &grid);
         println!(

@@ -75,7 +75,11 @@ fn main() {
     let mut shares: Vec<(&str, usize)> = by_category.into_iter().collect();
     shares.sort_by_key(|s| std::cmp::Reverse(s.1));
     for (category, count) in shares {
-        println!("  {:<20} {:>5.1}%", category, count as f64 / total as f64 * 100.0);
+        println!(
+            "  {:<20} {:>5.1}%",
+            category,
+            count as f64 / total as f64 * 100.0
+        );
     }
     println!("\npaper: ads/analytics and social networking dominate the outlier census");
 }

@@ -37,7 +37,10 @@ fn main() {
                     .provider_by_domain(domain)
                     .map(|p| p.category.label())
                     .unwrap_or("?");
-                (domain.clone(), format!("{category}, {:.0}% of activations", share * 100.0))
+                (
+                    domain.clone(),
+                    format!("{category}, {:.0}% of activations", share * 100.0),
+                )
             })
             .collect()
     };

@@ -18,6 +18,7 @@
 //! results.
 
 pub mod benchworld;
+pub mod contention;
 pub mod matchrate;
 pub mod replicated;
 pub mod support;

@@ -87,10 +87,13 @@ pub fn run(corpus: &Corpus) -> ReplicatedResults {
         results.conditions.insert(key, ConditionData::default());
     }
 
-    for (&site_index, is_h1) in h1.iter().map(|s| (s, true)).chain(h2.iter().map(|s| (s, false))) {
+    for (&site_index, is_h1) in h1
+        .iter()
+        .map(|s| (s, true))
+        .chain(h2.iter().map(|s| (s, false)))
+    {
         for &client in &corpus.clients {
-            let (run, activated_domains) =
-                run_site_client(corpus, &universe, site_index, client);
+            let (run, activated_domains) = run_site_client(corpus, &universe, site_index, client);
             let close = corpus.world.client(client).region
                 == corpus.world.server(corpus.sites[site_index].origin).region;
             let key = match (is_h1, close) {
@@ -153,7 +156,7 @@ fn run_site_client(
     let default_times = run_arm(universe, site_index, client, |_| None);
 
     // Arm 2: every rule forced on, no report ingestion.
-    let mut forced_oak = Oak::new(OakConfig::default());
+    let forced_oak = Oak::new(OakConfig::default());
     let mut rule_ids: Vec<(RuleId, String)> = Vec::new();
     for (domain, rule) in &rules {
         if let Ok(id) = forced_oak.add_rule(rule.clone()) {
@@ -169,7 +172,7 @@ fn run_site_client(
     });
 
     // Arm 3: normal Oak — serve, load, report, ingest, repeat.
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let mut id_to_domain: BTreeMap<RuleId, String> = BTreeMap::new();
     for (domain, rule) in &rules {
         if let Ok(id) = oak.add_rule(rule.clone()) {
@@ -219,7 +222,9 @@ fn run_site_client(
     for id in activated.iter().collect::<std::collections::BTreeSet<_>>() {
         let domain = &id_to_domain[id];
         activated_domains.push(domain.clone());
-        let Some(chosen) = choices.get(id) else { continue };
+        let Some(chosen) = choices.get(id) else {
+            continue;
+        };
         // chosen[i] is the state in effect for load i+1.
         let Some(from) = chosen.iter().position(|&on| on) else {
             continue;
@@ -286,7 +291,10 @@ fn record_times(times: &mut DomainTimes, load_index: usize, load: &oak_client::P
             continue;
         }
         let domain = original_url(&fetch.url)
-            .and_then(|orig| orig.split_once("://").map(|(_, r)| r.split('/').next().unwrap_or("").to_owned()))
+            .and_then(|orig| {
+                orig.split_once("://")
+                    .map(|(_, r)| r.split('/').next().unwrap_or("").to_owned())
+            })
             .unwrap_or_else(|| fetch.domain.clone());
         times
             .entry(domain)

@@ -22,7 +22,10 @@ fn fractions_and_grid() {
     assert_eq!(fraction_at_least(&[], 1.0), 0.0);
     assert_eq!(fraction_at_most(&[], 1.0), 0.0);
     let grid = [0.0, 2.5, 5.0];
-    assert_eq!(cdf_grid(&xs, &grid), vec![(0.0, 0.0), (2.5, 0.5), (5.0, 1.0)]);
+    assert_eq!(
+        cdf_grid(&xs, &grid),
+        vec![(0.0, 0.0), (2.5, 0.5), (5.0, 1.0)]
+    );
     assert!(median(&xs) == 2.5);
     assert!(median(&[]).is_nan());
 }
@@ -55,7 +58,10 @@ fn sensitivity_world_shape() {
     assert_eq!(site.objects.iter().filter(|o| o.external).count(), 25);
     // Every alternate host resolves.
     for host in crate::benchworld::sensitivity_hosts() {
-        assert!(corpus.world.resolve(&alternate_of(&host), clients[0]).is_some());
+        assert!(corpus
+            .world
+            .resolve(&alternate_of(&host), clients[0])
+            .is_some());
     }
     let rules = sensitivity_rules();
     assert_eq!(rules.len(), 5);

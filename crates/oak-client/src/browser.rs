@@ -3,8 +3,8 @@
 use std::collections::HashSet;
 
 use oak_core::report::{ObjectTiming, PerfReport};
-use oak_net::{url_nonce, ClientId, SimTime};
 use oak_html::Document;
+use oak_net::{url_nonce, ClientId, SimTime};
 use oak_webgen::{Inclusion, Site};
 
 use crate::universe::{original_url, Universe};
@@ -212,9 +212,7 @@ impl Browser {
             if let Some(f) = fetch {
                 let visible = match self.config.reporting {
                     ReportingMode::ModifiedBrowser => true,
-                    ReportingMode::ResourceTimingApi => {
-                        universe.timing_allowed(&site.host, &f.url)
-                    }
+                    ReportingMode::ResourceTimingApi => universe.timing_allowed(&site.host, &f.url),
                 };
                 if !f.from_cache && visible {
                     report.push(ObjectTiming::new(
@@ -324,16 +322,16 @@ impl Browser {
                 || cache_aliases(url, alternate_hints)
                     .iter()
                     .any(|alias| self.cache.contains(alias)))
-            {
-                return Some(ObjectFetch {
-                    url: url.to_owned(),
-                    domain,
-                    ip: String::new(),
-                    bytes,
-                    time_ms: 0.0,
-                    from_cache: true,
-                });
-            }
+        {
+            return Some(ObjectFetch {
+                url: url.to_owned(),
+                domain,
+                ip: String::new(),
+                bytes,
+                time_ms: 0.0,
+                from_cache: true,
+            });
+        }
 
         let ip = world.resolve(&domain, self.client)?;
         let warm = self.config.keep_alive && !warm_hosts.insert(domain.clone());

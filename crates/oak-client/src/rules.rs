@@ -57,9 +57,10 @@ pub fn rules_for_site(site: &Site, replica_host: &str) -> Vec<(String, Rule)> {
     site.external_domains()
         .into_iter()
         .map(|domain| {
-            let inline = site.objects.iter().any(|o| {
-                o.domain == domain && matches!(o.inclusion, Inclusion::InlineScript)
-            });
+            let inline = site
+                .objects
+                .iter()
+                .any(|o| o.domain == domain && matches!(o.inclusion, Inclusion::InlineScript));
             let rule = if inline {
                 inline_rule(domain, replica_host)
             } else {
@@ -89,9 +90,10 @@ pub fn rules_for_site_multi(site: &Site, replica_hosts: &[&str]) -> Vec<(String,
     site.external_domains()
         .into_iter()
         .map(|domain| {
-            let inline = site.objects.iter().any(|o| {
-                o.domain == domain && matches!(o.inclusion, Inclusion::InlineScript)
-            });
+            let inline = site
+                .objects
+                .iter()
+                .any(|o| o.domain == domain && matches!(o.inclusion, Inclusion::InlineScript));
             let rule = if inline {
                 Rule::replace_identical(
                     format!("\"{domain}\""),

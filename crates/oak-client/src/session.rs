@@ -90,12 +90,7 @@ impl<'c> SimSession<'c> {
 
     /// As [`SimSession::visit`] but without Oak: serves the default page
     /// and ingests nothing. The "default" arm of every comparison figure.
-    pub fn visit_default(
-        &mut self,
-        site_index: usize,
-        client: ClientId,
-        t: SimTime,
-    ) -> PageLoad {
+    pub fn visit_default(&mut self, site_index: usize, client: ClientId, t: SimTime) -> PageLoad {
         let corpus = self.universe.corpus();
         let site = &corpus.sites[site_index];
         let user = format!("default-{}", client.0);

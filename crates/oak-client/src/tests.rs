@@ -116,7 +116,10 @@ fn caching_cuts_repeat_fetch_cost() {
     let warm = browser.load_page(&universe, site, &site.html, &[], t);
     assert!(warm.fetches.iter().all(|f| f.from_cache));
     assert!(warm.plt_ms < cold.plt_ms * 0.5);
-    assert!(warm.report.entries.is_empty(), "cache hits are not reported");
+    assert!(
+        warm.report.entries.is_empty(),
+        "cache hits are not reported"
+    );
 }
 
 #[test]
@@ -154,7 +157,10 @@ fn alternate_hint_preserves_cache_across_host_swap() {
         .iter()
         .find(|f| f.url == swapped_url)
         .expect("swapped object fetched");
-    assert!(hit.from_cache, "hint lets the cached copy serve the new URL");
+    assert!(
+        hit.from_cache,
+        "hint lets the cached copy serve the new URL"
+    );
 }
 
 #[test]
@@ -215,7 +221,9 @@ fn inline_rule_redirects_interpreted_scripts() {
     let load = browser.load_page(&universe, site, &rewritten, &[], SimTime::from_hours(1));
     let expected = replica_url("replica-as.example", &object.url);
     assert!(
-        load.fetches.iter().any(|f| f.url.starts_with(&expected.split('?').next().unwrap().to_string())),
+        load.fetches.iter().any(|f| f
+            .url
+            .starts_with(&expected.split('?').next().unwrap().to_string())),
         "inline object should now load from the replica; fetches: {:?}",
         load.fetches.iter().map(|f| &f.url).collect::<Vec<_>>()
     );
@@ -225,7 +233,7 @@ fn inline_rule_redirects_interpreted_scripts() {
 fn session_loop_activates_rules_and_improves_choice() {
     let corpus = corpus();
     // Install prefix rules for every site, pointing at the NA replica.
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     for site in &corpus.sites {
         for (_, rule) in rules_for_site(site, "replica-na.example") {
             let _ = oak.add_rule(rule);
@@ -340,8 +348,16 @@ fn resource_timing_mode_omits_non_opted_in_providers() {
     // Same fetches (the page loads identically)…
     assert_eq!(full_load.fetches.len(), rt_load.fetches.len());
     // …but the API-mode report omits the opted-out provider.
-    assert!(full_load.report.entries.iter().any(|e| e.url.contains(&opted_out)));
-    assert!(!rt_load.report.entries.iter().any(|e| e.url.contains(&opted_out)));
+    assert!(full_load
+        .report
+        .entries
+        .iter()
+        .any(|e| e.url.contains(&opted_out)));
+    assert!(!rt_load
+        .report
+        .entries
+        .iter()
+        .any(|e| e.url.contains(&opted_out)));
     assert!(rt_load.report.entries.len() < full_load.report.entries.len());
     // Same-origin objects stay visible.
     assert!(rt_load

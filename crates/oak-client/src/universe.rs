@@ -27,7 +27,9 @@ pub fn original_url(url: &str) -> Option<String> {
     // segment followed by at least one more segment. A plain object path
     // like `obj.js` is not a nested URL.
     let (nested_host, _path) = nested.split_once('/')?;
-    nested_host.contains('.').then(|| format!("{scheme}://{nested}"))
+    nested_host
+        .contains('.')
+        .then(|| format!("{scheme}://{nested}"))
 }
 
 /// Pre-built indexes over a [`Corpus`]: URL → byte size and script
@@ -76,9 +78,9 @@ impl<'c> Universe<'c> {
     /// Body of the external script at `url`, resolving replica-nested
     /// URLs (a mirrored loader serves the same body).
     pub fn script_body(&self, url: &str) -> Option<String> {
-        self.corpus.script_body(url).or_else(|| {
-            original_url(url).and_then(|orig| self.corpus.script_body(&orig))
-        })
+        self.corpus
+            .script_body(url)
+            .or_else(|| original_url(url).and_then(|orig| self.corpus.script_body(&orig)))
     }
 
     /// Whether the Resource Timing API would expose timing for `url` to

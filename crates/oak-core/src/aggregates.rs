@@ -43,6 +43,22 @@ impl RunningStat {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
+
+    /// Folds another accumulator in, as if its samples had been pushed
+    /// here (means merge exactly; min/max combine).
+    pub fn merge(&mut self, other: &RunningStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
 }
 
 /// Aggregates for one external domain across all users and reports.
@@ -61,6 +77,18 @@ pub struct DomainAggregate {
     /// Distinct reporting users seen (approximate: counts unique users
     /// while the set is small; see [`SiteAggregates::USER_SAMPLE_CAP`]).
     pub users_seen: u64,
+}
+
+impl DomainAggregate {
+    /// Folds another domain's accumulator in (shard merge).
+    fn merge(&mut self, other: &DomainAggregate) {
+        self.objects += other.objects;
+        self.bytes += other.bytes;
+        self.small_time_ms.merge(&other.small_time_ms);
+        self.large_tput_kbps.merge(&other.large_tput_kbps);
+        self.violations += other.violations;
+        self.users_seen += other.users_seen;
+    }
 }
 
 /// Whole-site aggregates, updated per report.
@@ -113,6 +141,25 @@ impl SiteAggregates {
                     agg.users_seen += 1;
                 }
             }
+        }
+    }
+
+    /// Folds a whole other accumulator in. The engine stripes aggregates
+    /// per user-state shard and merges on read; because each user maps to
+    /// exactly one shard, the per-user report counts and `(domain, user)`
+    /// sample sets of different shards are disjoint, and adding them is
+    /// exact. (The [`SiteAggregates::USER_SAMPLE_CAP`] bound then applies
+    /// per shard rather than globally.)
+    pub fn merge(&mut self, other: &SiteAggregates) {
+        self.reports += other.reports;
+        for (user, count) in &other.users {
+            *self.users.entry(user.clone()).or_insert(0) += count;
+        }
+        for (domain, agg) in &other.domains {
+            self.domains.entry(domain.clone()).or_default().merge(agg);
+        }
+        for key in other.user_samples.keys() {
+            self.user_samples.insert(key.clone(), ());
         }
     }
 

@@ -128,7 +128,10 @@ pub fn detect_violators(analysis: &PageAnalysis, config: &DetectorConfig) -> Vec
     }
 
     // Population statistics over per-server averages.
-    let small_avgs: Vec<f64> = analysis.iter().filter_map(|s| s.avg_small_time_ms()).collect();
+    let small_avgs: Vec<f64> = analysis
+        .iter()
+        .filter_map(|s| s.avg_small_time_ms())
+        .collect();
     let large_avgs: Vec<f64> = analysis
         .iter()
         .filter_map(|s| s.avg_large_tput_kbps())
@@ -140,27 +143,23 @@ pub fn detect_violators(analysis: &PageAnalysis, config: &DetectorConfig) -> Vec
     let mut violations = Vec::new();
     for server in analysis.iter() {
         let small_violation = match (server.avg_small_time_ms(), small_stats) {
-            (Some(observed), Some((center, dev))) if dev > 0.0 => {
-                (observed > center + config.threshold * dev).then_some(
-                    ViolationKind::SlowSmallObjects {
-                        observed_ms: observed,
-                        median_ms: center,
-                        deviation_ms: dev,
-                    },
-                )
-            }
+            (Some(observed), Some((center, dev))) if dev > 0.0 => (observed
+                > center + config.threshold * dev)
+                .then_some(ViolationKind::SlowSmallObjects {
+                    observed_ms: observed,
+                    median_ms: center,
+                    deviation_ms: dev,
+                }),
             _ => None,
         };
         let large_violation = match (server.avg_large_tput_kbps(), large_stats) {
-            (Some(observed), Some((center, dev))) if dev > 0.0 => {
-                (observed < center - config.threshold * dev).then_some(
-                    ViolationKind::LowThroughput {
-                        observed_kbps: observed,
-                        median_kbps: center,
-                        deviation_kbps: dev,
-                    },
-                )
-            }
+            (Some(observed), Some((center, dev))) if dev > 0.0 => (observed
+                < center - config.threshold * dev)
+                .then_some(ViolationKind::LowThroughput {
+                    observed_kbps: observed,
+                    median_kbps: center,
+                    deviation_kbps: dev,
+                }),
             _ => None,
         };
         if let Some(kind) = small_violation.or(large_violation) {

@@ -5,8 +5,34 @@
 //! against its own history. Rules are then activated on a per-client
 //! basis, meaning that outgoing pages are modified based on
 //! user-perceived performance." (§4)
+//!
+//! # Concurrency
+//!
+//! The engine is internally synchronized (every method takes `&self`), so
+//! one instance can back a multi-threaded server directly. State is split
+//! along the paper's own seams:
+//!
+//! - the **rule table** (operator rules, their precompiled
+//!   [`RuleSurface`]s, and the domain→rule index) is read-mostly and sits
+//!   behind one `RwLock`: reports and page serves share it, rule add /
+//!   remove takes the write lock;
+//! - **user state** (activations, pending counts, per-user GC clock) is
+//!   striped across [`SHARD_COUNT`] shards keyed by an FNV-1a hash of the
+//!   user id, each behind its own `Mutex`. Requests for different users
+//!   contend only when they hash to the same shard.
+//!
+//! The activity log and the site aggregates are sharded too; [`Oak::log`]
+//! stitches shard logs back into one globally ordered history using
+//! per-event sequence numbers, and [`Oak::aggregates`] merges the shard
+//! accumulators on read.
+//!
+//! Lock order is rule table before shard, shards in ascending index;
+//! no method acquires them in any other order, so the engine cannot
+//! deadlock against itself.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
 use oak_html::{Document, Rewriter};
 
@@ -16,6 +42,11 @@ use crate::report::PerfReport;
 use crate::rule::{Rule, RuleId, RuleType};
 use crate::time::Instant;
 use crate::{analysis::PageAnalysis, OAK_ALTERNATE_HEADER};
+
+/// How many user-state stripes the engine keeps. Requests for users on
+/// different stripes proceed in parallel; 16 is comfortably above the
+/// core counts this engine targets while keeping merge-on-read cheap.
+pub const SHARD_COUNT: usize = 16;
 
 /// Engine-wide configuration.
 #[derive(Clone, Copy, Debug)]
@@ -154,22 +185,129 @@ pub struct LogEvent {
     pub action: LogAction,
 }
 
-/// The Oak server engine.
-///
-/// Owns the operator's rules, every user's activation state, and the
-/// activity log. Transport-agnostic: hand it decoded reports and pages.
+/// The read-mostly half of the engine: operator rules, their precompiled
+/// matching surfaces, and the domain→rule inverted index.
 #[derive(Debug, Default)]
-pub struct Oak {
-    config: OakConfig,
+struct RuleTable {
     rules: BTreeMap<RuleId, Rule>,
     /// Per-rule pre-compiled matching surfaces: `(default, alternatives)`.
     /// Rebuilt on add/remove; reports match against these instead of
     /// re-parsing rule text per violation.
     surfaces: BTreeMap<RuleId, (RuleSurface, Vec<RuleSurface>)>,
+    index: DomainIndex,
     next_rule_id: u32,
+}
+
+/// Maps violator domains to the rules whose surfaces could possibly match
+/// them, so a report consults only candidate rules instead of scanning
+/// the whole table.
+///
+/// Level-1 matching compares violator domains against a surface's direct
+/// hosts by equality, and level-2 requires the domain to appear in the
+/// rule text with non-host-character boundaries on both sides — which,
+/// for a domain made of host characters, means the occurrence is exactly
+/// a *maximal run of host characters* in the text. Indexing each
+/// surface's direct hosts plus every maximal host-character run of its
+/// text therefore loses no level-1/2 match. Level-3 (fetched script
+/// bodies) cannot be indexed, so rules that include external scripts go
+/// in [`DomainIndex::scan_always`], consulted only when the configured
+/// match depth reaches [`MatchLevel::ExternalJs`].
+#[derive(Debug, Default)]
+struct DomainIndex {
+    by_domain: HashMap<String, BTreeSet<RuleId>>,
+    /// Rules whose surfaces reference external scripts: their match
+    /// surface extends to fetched bodies the index cannot see.
+    scan_always: BTreeSet<RuleId>,
+}
+
+/// The candidate rules for one report's violators.
+enum Candidates {
+    /// A violator domain fell outside what the index can answer exactly;
+    /// scan the whole table.
+    All,
+    /// Only these rules can match (ascending id order).
+    Subset(BTreeSet<RuleId>),
+}
+
+impl DomainIndex {
+    /// Indexes one rule's default and alternative surfaces.
+    fn insert(&mut self, id: RuleId, default: &RuleSurface, alternatives: &[RuleSurface]) {
+        for surface in std::iter::once(default).chain(alternatives) {
+            for token in surface.domain_tokens() {
+                self.by_domain.entry(token).or_default().insert(id);
+            }
+            if surface.needs_script_scan() {
+                self.scan_always.insert(id);
+            }
+        }
+    }
+
+    /// Rebuilds from scratch (rule removal).
+    fn rebuild(surfaces: &BTreeMap<RuleId, (RuleSurface, Vec<RuleSurface>)>) -> DomainIndex {
+        let mut index = DomainIndex::default();
+        for (id, (default, alternatives)) in surfaces {
+            index.insert(*id, default, alternatives);
+        }
+        index
+    }
+
+    /// The rules that could match any of the (already lowercased)
+    /// violator domain lists at `max_level`.
+    fn candidates(&self, lowered: &[Vec<String>], max_level: MatchLevel) -> Candidates {
+        let mut set = BTreeSet::new();
+        for domains in lowered {
+            for domain in domains {
+                // The maximal-run argument only covers domains made of
+                // host characters; anything else (unexpected in DNS
+                // names, but reports are client-supplied) falls back to
+                // the exact full scan.
+                if !domain.bytes().all(crate::matching::is_host_char) {
+                    return Candidates::All;
+                }
+                if let Some(ids) = self.by_domain.get(domain) {
+                    set.extend(ids.iter().copied());
+                }
+            }
+        }
+        if max_level == MatchLevel::ExternalJs {
+            set.extend(self.scan_always.iter().copied());
+        }
+        Candidates::Subset(set)
+    }
+}
+
+/// One stripe of user-keyed state, plus its slice of the activity log and
+/// the site aggregates.
+#[derive(Debug, Default)]
+struct Shard {
     users: HashMap<String, UserState>,
-    log: Vec<LogEvent>,
+    /// `(sequence, event)`: sequence numbers come from the engine-global
+    /// counter, so merging shard logs by sequence reconstructs the exact
+    /// global order of state changes.
+    log: Vec<(u64, LogEvent)>,
     aggregates: crate::aggregates::SiteAggregates,
+}
+
+/// The Oak server engine.
+///
+/// Owns the operator's rules, every user's activation state, and the
+/// activity log. Transport-agnostic: hand it decoded reports and pages.
+/// Internally synchronized — share one instance across threads with
+/// `Arc<Oak>`; see the module docs for the locking layout.
+#[derive(Debug)]
+pub struct Oak {
+    config: OakConfig,
+    rules: RwLock<RuleTable>,
+    shards: Vec<Mutex<Shard>>,
+    /// Allocates the per-event sequence numbers that order the sharded
+    /// activity log.
+    log_seq: AtomicU64,
+}
+
+impl Default for Oak {
+    fn default() -> Oak {
+        Oak::new(OakConfig::default())
+    }
 }
 
 impl Oak {
@@ -177,7 +315,11 @@ impl Oak {
     pub fn new(config: OakConfig) -> Oak {
         Oak {
             config,
-            ..Oak::default()
+            rules: RwLock::new(RuleTable::default()),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            log_seq: AtomicU64::new(0),
         }
     }
 
@@ -186,69 +328,118 @@ impl Oak {
         &self.config
     }
 
+    /// The shard holding `user`'s state.
+    fn shard(&self, user: &str) -> &Mutex<Shard> {
+        &self.shards[fnv1a(user) as usize % SHARD_COUNT]
+    }
+
+    /// The next global log sequence number.
+    fn next_seq(&self) -> u64 {
+        self.log_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Registers an operator rule.
     ///
     /// # Errors
     ///
     /// Returns the validation message for internally inconsistent rules
     /// (see [`Rule::validate`]).
-    pub fn add_rule(&mut self, rule: Rule) -> Result<RuleId, String> {
+    pub fn add_rule(&self, rule: Rule) -> Result<RuleId, String> {
         rule.validate()?;
-        let id = RuleId(self.next_rule_id);
-        self.next_rule_id += 1;
+        let mut table = self.rules.write().expect("rule table lock");
+        let id = RuleId(table.next_rule_id);
+        table.next_rule_id += 1;
         let default_surface = RuleSurface::compile(&rule.default_text);
-        let alt_surfaces = rule.alternatives.iter().map(|a| RuleSurface::compile(a)).collect();
-        self.surfaces.insert(id, (default_surface, alt_surfaces));
-        self.rules.insert(id, rule);
+        let alt_surfaces: Vec<RuleSurface> = rule
+            .alternatives
+            .iter()
+            .map(|a| RuleSurface::compile(a))
+            .collect();
+        table.index.insert(id, &default_surface, &alt_surfaces);
+        table.surfaces.insert(id, (default_surface, alt_surfaces));
+        table.rules.insert(id, rule);
         Ok(id)
     }
 
-    /// All registered rules.
-    pub fn rules(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
-        self.rules.iter().map(|(id, r)| (*id, r))
+    /// All registered rules, in id order.
+    pub fn rules(&self) -> impl Iterator<Item = (RuleId, Rule)> {
+        let table = self.rules.read().expect("rule table lock");
+        table
+            .rules
+            .iter()
+            .map(|(id, r)| (*id, r.clone()))
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     /// A rule by id.
-    pub fn rule(&self, id: RuleId) -> Option<&Rule> {
-        self.rules.get(&id)
+    pub fn rule(&self, id: RuleId) -> Option<Rule> {
+        self.rules
+            .read()
+            .expect("rule table lock")
+            .rules
+            .get(&id)
+            .cloned()
     }
 
     /// Removes a rule from the engine, deactivating it for every user and
     /// clearing pending violation counts. Returns the rule if it existed.
     /// The activity log keeps its history (audits must survive rule
     /// turnover); ids are never reused.
-    pub fn remove_rule(&mut self, id: RuleId) -> Option<Rule> {
-        let rule = self.rules.remove(&id)?;
-        self.surfaces.remove(&id);
-        for state in self.users.values_mut() {
-            state.active.remove(&id);
-            state.pending.remove(&id);
+    pub fn remove_rule(&self, id: RuleId) -> Option<Rule> {
+        let mut table = self.rules.write().expect("rule table lock");
+        let rule = table.rules.remove(&id)?;
+        table.surfaces.remove(&id);
+        table.index = DomainIndex::rebuild(&table.surfaces);
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard lock");
+            for state in shard.users.values_mut() {
+                state.active.remove(&id);
+                state.pending.remove(&id);
+            }
         }
         Some(rule)
     }
 
     /// The rules currently active for `user`, with their state.
     pub fn active_rules(&self, user: &str) -> Vec<(RuleId, ActiveRule)> {
-        self.users
+        self.shard(user)
+            .lock()
+            .expect("shard lock")
+            .users
             .get(user)
             .map(|u| u.active.iter().map(|(id, a)| (*id, a.clone())).collect())
             .unwrap_or_default()
     }
 
-    /// The full activity log.
-    pub fn log(&self) -> &[LogEvent] {
-        &self.log
+    /// The full activity log, in global event order.
+    pub fn log(&self) -> Vec<LogEvent> {
+        let mut entries: Vec<(u64, LogEvent)> = Vec::new();
+        for shard in &self.shards {
+            entries.extend(shard.lock().expect("shard lock").log.iter().cloned());
+        }
+        entries.sort_by_key(|(seq, _)| *seq);
+        entries.into_iter().map(|(_, event)| event).collect()
     }
 
     /// Users that have submitted at least one report or been force-toggled.
     pub fn user_count(&self) -> usize {
-        self.users.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").users.len())
+            .sum()
     }
 
     /// Aggregate site performance across every ingested report — the §5
-    /// "aggregate site performance" record, rule-independent.
-    pub fn aggregates(&self) -> &crate::aggregates::SiteAggregates {
-        &self.aggregates
+    /// "aggregate site performance" record, rule-independent. Merged
+    /// across shards on each call; hold the result rather than re-calling
+    /// in a loop.
+    pub fn aggregates(&self) -> crate::aggregates::SiteAggregates {
+        let mut merged = crate::aggregates::SiteAggregates::new();
+        for shard in &self.shards {
+            merged.merge(&shard.lock().expect("shard lock").aggregates);
+        }
+        merged
     }
 
     /// Drops per-user state not touched since `cutoff`; returns how many
@@ -256,10 +447,15 @@ impl Oak {
     /// profiles are long-lived but not immortal — a profile whose cookie
     /// will never return (crawler, cleared cookies) must not hold memory
     /// forever. The activity log and aggregates are unaffected.
-    pub fn prune_inactive_users(&mut self, cutoff: Instant) -> usize {
-        let before = self.users.len();
-        self.users.retain(|_, state| state.last_seen >= cutoff);
-        before - self.users.len()
+    pub fn prune_inactive_users(&self, cutoff: Instant) -> usize {
+        let mut pruned = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard lock");
+            let before = shard.users.len();
+            shard.users.retain(|_, state| state.last_seen >= cutoff);
+            pruned += before - shard.users.len();
+        }
+        pruned
     }
 
     /// Processes one client report: detects violators, matches them to
@@ -268,7 +464,7 @@ impl Oak {
     /// should prefer [`Oak::ingest_report_from`], which lets
     /// subnet-scoped rules (§4.2.4) apply.
     pub fn ingest_report(
-        &mut self,
+        &self,
         now: Instant,
         report: &PerfReport,
         fetcher: &dyn ScriptFetcher,
@@ -280,7 +476,7 @@ impl Oak {
     /// quad) as observed by the transport. Rules carrying a
     /// [`crate::rule::ClientFilter`] only activate when the IP passes.
     pub fn ingest_report_from(
-        &mut self,
+        &self,
         now: Instant,
         report: &PerfReport,
         fetcher: &dyn ScriptFetcher,
@@ -289,22 +485,36 @@ impl Oak {
         let analysis = PageAnalysis::from_report(report);
         let violations = detect_violators(&analysis, &self.config.detector);
         let violator_ips: Vec<String> = violations.iter().map(|v| v.ip.clone()).collect();
-        self.aggregates.fold(report, &violator_ips);
+        // Violator domains are lowercased once per report; every surface
+        // comparison below reuses them.
+        let lowered: Vec<Vec<String>> = violations
+            .iter()
+            .map(|v| v.domains.iter().map(|d| d.to_ascii_lowercase()).collect())
+            .collect();
         let mut outcome = IngestOutcome {
             violations: violations.clone(),
             ..IngestOutcome::default()
         };
 
-        outcome.expired = self.expire_rules(now, &report.user);
-        self.users.entry(report.user.clone()).or_default().last_seen = now;
-
         let max_level = self.config.max_match_level;
-        // Work over a snapshot of rule ids to satisfy the borrow checker
-        // while we mutate user state.
-        let rule_ids: Vec<RuleId> = self.rules.keys().copied().collect();
-        for rule_id in rule_ids {
-            let rule = &self.rules[&rule_id];
-            let user = self.users.entry(report.user.clone()).or_default();
+        let table = self.rules.read().expect("rule table lock");
+        let candidate_ids: Vec<RuleId> = match table.index.candidates(&lowered, max_level) {
+            Candidates::All => table.rules.keys().copied().collect(),
+            Candidates::Subset(set) => set.into_iter().collect(),
+        };
+
+        let mut shard = self.shard(&report.user).lock().expect("shard lock");
+        let shard = &mut *shard;
+        shard.aggregates.fold(report, &violator_ips);
+        let Shard { users, log, .. } = shard;
+        outcome.expired =
+            expire_user_rules(&table.rules, users, log, &self.log_seq, now, &report.user);
+        // One user-state resolution per report, not one per rule.
+        let user = users.entry(report.user.clone()).or_default();
+        user.last_seen = now;
+
+        for rule_id in candidate_ids {
+            let rule = &table.rules[&rule_id];
 
             match user.active.get(&rule_id) {
                 None => {
@@ -313,11 +523,13 @@ impl Oak {
                         continue;
                     }
                     // Does any violator tie to the rule's default text?
-                    let surface = &self.surfaces[&rule_id].0;
-                    let hit = violations.iter().find(|v| {
-                        surface.matches(&v.domains, max_level, fetcher).is_some()
+                    let surface = &table.surfaces[&rule_id].0;
+                    let hit = violations.iter().zip(&lowered).find(|(_, domains)| {
+                        surface
+                            .matches_prelowered(domains, max_level, fetcher)
+                            .is_some()
                     });
-                    let Some(violation) = hit else { continue };
+                    let Some((violation, _)) = hit else { continue };
                     let pending = user.pending.entry(rule_id).or_insert(0);
                     *pending += 1;
                     if *pending < rule.policy.violations_required {
@@ -334,15 +546,18 @@ impl Oak {
                         },
                     );
                     outcome.activated.push(rule_id);
-                    self.log.push(LogEvent {
-                        time: now,
-                        user: report.user.clone(),
-                        rule: rule_id,
-                        action: LogAction::Activated {
-                            violator_ip: violation.ip.clone(),
-                            severity: violation.kind.severity(),
+                    log.push((
+                        self.next_seq(),
+                        LogEvent {
+                            time: now,
+                            user: report.user.clone(),
+                            rule: rule_id,
+                            action: LogAction::Activated {
+                                violator_ip: violation.ip.clone(),
+                                severity: violation.kind.severity(),
+                            },
                         },
-                    });
+                    ));
                 }
                 Some(active) => {
                     // Rule history (§4.2.3): has the *current alternate*
@@ -354,18 +569,20 @@ impl Oak {
                     // embeds the default's domain (nested-path mirrors),
                     // so without the exclusion the default's own
                     // violations would flap its replacement off.
-                    let (default_surface, alt_surfaces) = &self.surfaces[&rule_id];
+                    let (default_surface, alt_surfaces) = &table.surfaces[&rule_id];
                     let alt_surface = match alt_surfaces.get(active.alternative_index) {
                         Some(s) => s,
                         None => continue, // Type 1: nothing to re-evaluate.
                     };
-                    let hit = violations.iter().find(|v| {
-                        alt_surface.matches(&v.domains, max_level, fetcher).is_some()
+                    let hit = violations.iter().zip(&lowered).find(|(_, domains)| {
+                        alt_surface
+                            .matches_prelowered(domains, max_level, fetcher)
+                            .is_some()
                             && default_surface
-                                .matches(&v.domains, max_level, fetcher)
+                                .matches_prelowered(domains, max_level, fetcher)
                                 .is_none()
                     });
-                    let Some(violation) = hit else { continue };
+                    let Some((violation, _)) = hit else { continue };
                     let alt_severity = violation.kind.severity();
                     if alt_severity < active.default_severity {
                         // The alternate, though violating now, is still
@@ -387,21 +604,27 @@ impl Oak {
                         // original default's recorded distance.
                         outcome.advanced.push(rule_id);
                         let to_index = user_active.alternative_index;
-                        self.log.push(LogEvent {
-                            time: now,
-                            user: report.user.clone(),
-                            rule: rule_id,
-                            action: LogAction::Advanced { to_index },
-                        });
+                        log.push((
+                            self.next_seq(),
+                            LogEvent {
+                                time: now,
+                                user: report.user.clone(),
+                                rule: rule_id,
+                                action: LogAction::Advanced { to_index },
+                            },
+                        ));
                     } else {
                         user.active.remove(&rule_id);
                         outcome.deactivated.push(rule_id);
-                        self.log.push(LogEvent {
-                            time: now,
-                            user: report.user.clone(),
-                            rule: rule_id,
-                            action: LogAction::Deactivated,
-                        });
+                        log.push((
+                            self.next_seq(),
+                            LogEvent {
+                                time: now,
+                                user: report.user.clone(),
+                                rule: rule_id,
+                                action: LogAction::Deactivated,
+                            },
+                        ));
                     }
                 }
             }
@@ -416,24 +639,32 @@ impl Oak {
     /// operator wrote conflicting rules; Oak keeps serving rather than
     /// failing the page). Sub-rules run after their parent applied at
     /// least one edit.
-    pub fn modify_page(
-        &mut self,
-        now: Instant,
-        user: &str,
-        path: &str,
-        html: &str,
-    ) -> ModifiedPage {
-        self.expire_rules(now, user);
-        if let Some(state) = self.users.get_mut(user) {
-            state.last_seen = now;
-        }
-        let Some(state) = self.users.get(user) else {
-            return ModifiedPage {
-                html: html.to_owned(),
-                applied: Vec::new(),
-                cache_hints: Vec::new(),
-            };
+    pub fn modify_page(&self, now: Instant, user: &str, path: &str, html: &str) -> ModifiedPage {
+        let unmodified = |html: &str| ModifiedPage {
+            html: html.to_owned(),
+            applied: Vec::new(),
+            cache_hints: Vec::new(),
         };
+
+        let table = self.rules.read().expect("rule table lock");
+        let mut shard = self.shard(user).lock().expect("shard lock");
+        let shard = &mut *shard;
+        let Shard { users, log, .. } = shard;
+        expire_user_rules(&table.rules, users, log, &self.log_seq, now, user);
+        let Some(state) = users.get_mut(user) else {
+            return unmodified(html);
+        };
+        state.last_seen = now;
+        // Fast path: a user with no active rule in scope gets the page
+        // back untouched, with no rewriter construction. (Most users run
+        // rule-free most of the time — §5's steady state.)
+        if state
+            .active
+            .keys()
+            .all(|rule_id| !table.rules[rule_id].scope.applies_to(path))
+        {
+            return unmodified(html);
+        }
 
         let mut rewriter = Rewriter::new(html);
         let mut applied = Vec::new();
@@ -441,7 +672,7 @@ impl Oak {
         let mut sub_rule_batches: Vec<&Rule> = Vec::new();
 
         for (rule_id, active) in &state.active {
-            let rule = &self.rules[rule_id];
+            let rule = &table.rules[rule_id];
             if !rule.scope.applies_to(path) {
                 continue;
             }
@@ -490,10 +721,17 @@ impl Oak {
     /// # Panics
     ///
     /// Panics if `rule_id` is unknown.
-    pub fn force_activate(&mut self, now: Instant, user: &str, rule_id: RuleId) {
-        assert!(self.rules.contains_key(&rule_id), "unknown {rule_id}");
-        let index = initial_alternative(&self.rules[&rule_id], user);
-        self.users
+    pub fn force_activate(&self, now: Instant, user: &str, rule_id: RuleId) {
+        let table = self.rules.read().expect("rule table lock");
+        let rule = table
+            .rules
+            .get(&rule_id)
+            .unwrap_or_else(|| panic!("unknown {rule_id}"));
+        let index = initial_alternative(rule, user);
+        self.shard(user)
+            .lock()
+            .expect("shard lock")
+            .users
             .entry(user.to_owned())
             .or_default()
             .active
@@ -509,40 +747,68 @@ impl Oak {
     }
 
     /// Deactivates a rule for a user (no log entry; operator action).
-    pub fn force_deactivate(&mut self, user: &str, rule_id: RuleId) {
-        if let Some(state) = self.users.get_mut(user) {
+    pub fn force_deactivate(&self, user: &str, rule_id: RuleId) {
+        if let Some(state) = self
+            .shard(user)
+            .lock()
+            .expect("shard lock")
+            .users
+            .get_mut(user)
+        {
             state.active.remove(&rule_id);
         }
     }
+}
 
-    /// Expires TTL-bound activations; returns the expired rule ids.
-    fn expire_rules(&mut self, now: Instant, user: &str) -> Vec<RuleId> {
-        let Some(state) = self.users.get_mut(user) else {
-            return Vec::new();
+/// Expires TTL-bound activations for one user; returns the expired rule
+/// ids and appends the `Expired` events to the shard log.
+fn expire_user_rules(
+    rules: &BTreeMap<RuleId, Rule>,
+    users: &mut HashMap<String, UserState>,
+    log: &mut Vec<(u64, LogEvent)>,
+    log_seq: &AtomicU64,
+    now: Instant,
+    user: &str,
+) -> Vec<RuleId> {
+    let Some(state) = users.get_mut(user) else {
+        return Vec::new();
+    };
+    let mut expired = Vec::new();
+    state.active.retain(|rule_id, active| {
+        let ttl = match rules.get(rule_id).and_then(|r| r.ttl_ms) {
+            Some(ttl) => ttl,
+            None => return true,
         };
-        let mut expired = Vec::new();
-        state.active.retain(|rule_id, active| {
-            let ttl = match self.rules.get(rule_id).and_then(|r| r.ttl_ms) {
-                Some(ttl) => ttl,
-                None => return true,
-            };
-            if now.since(active.activated_at) >= ttl {
-                expired.push(*rule_id);
-                false
-            } else {
-                true
-            }
-        });
-        for rule_id in &expired {
-            self.log.push(LogEvent {
+        if now.since(active.activated_at) >= ttl {
+            expired.push(*rule_id);
+            false
+        } else {
+            true
+        }
+    });
+    for rule_id in &expired {
+        log.push((
+            log_seq.fetch_add(1, Ordering::Relaxed),
+            LogEvent {
                 time: now,
                 user: user.to_owned(),
                 rule: *rule_id,
                 action: LogAction::Expired,
-            });
-        }
-        expired
+            },
+        ));
     }
+    expired
+}
+
+/// FNV-1a over a string — shard selection and user-hash alternative
+/// selection share this.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The starting alternative index for an activation, per the rule's
@@ -554,13 +820,7 @@ fn initial_alternative(rule: &Rule, user: &str) -> usize {
             if rule.alternatives.is_empty() {
                 0
             } else {
-                // FNV-1a over the user id.
-                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-                for b in user.bytes() {
-                    h ^= u64::from(b);
-                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
-                }
-                (h % rule.alternatives.len() as u64) as usize
+                (fnv1a(user) % rule.alternatives.len() as u64) as usize
             }
         }
     }
@@ -576,7 +836,5 @@ fn host_swap(default_text: &str, alternative: &str) -> Option<(String, String)> 
 
 fn first_host(text: &str) -> Option<String> {
     let doc = Document::parse(text);
-    doc.external_refs()
-        .first()
-        .and_then(|r| url_host(&r.url))
+    doc.external_refs().first().and_then(|r| url_host(&r.url))
 }

@@ -40,7 +40,7 @@
 //!     r#"<script src="http://cdn-a.example/jquery.js">"#,
 //!     [r#"<script src="http://cdn-b.example/jquery.js">"#],
 //! );
-//! let mut oak = Oak::new(OakConfig::default());
+//! let oak = Oak::new(OakConfig::default());
 //! let rule_id = oak.add_rule(rule).unwrap();
 //!
 //! // A client report in which cdn-a.example is clearly the odd one out.

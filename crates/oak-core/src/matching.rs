@@ -172,14 +172,25 @@ impl RuleSurface {
         max_level: MatchLevel,
         fetcher: &dyn ScriptFetcher,
     ) -> Option<MatchOutcome> {
-        if violator_domains.is_empty() {
-            return None;
-        }
         let domains: Vec<String> = violator_domains
             .iter()
             .map(|d| d.to_ascii_lowercase())
             .collect();
+        self.matches_prelowered(&domains, max_level, fetcher)
+    }
 
+    /// As [`RuleSurface::matches`], but `domains` must already be
+    /// lowercased — the engine lowercases each report's violator domains
+    /// once and reuses them across every candidate rule.
+    pub fn matches_prelowered(
+        &self,
+        domains: &[String],
+        max_level: MatchLevel,
+        fetcher: &dyn ScriptFetcher,
+    ) -> Option<MatchOutcome> {
+        if domains.is_empty() {
+            return None;
+        }
         if self
             .direct_hosts
             .iter()
@@ -202,7 +213,7 @@ impl RuleSurface {
         }
         for script_url in &self.script_urls {
             if let Some(body) = fetcher.fetch_script(script_url) {
-                if text_hits(&body, &domains) {
+                if text_hits(&body, domains) {
                     return Some(MatchOutcome {
                         level: MatchLevel::ExternalJs,
                     });
@@ -210,6 +221,40 @@ impl RuleSurface {
             }
         }
         None
+    }
+
+    /// Every lowercased domain-shaped token this surface could match at
+    /// levels 1–2: the direct `src`/`href` hosts plus each maximal run of
+    /// host characters in the text. A violator domain made of host
+    /// characters can only satisfy [`contains_domain`] by *being* such a
+    /// maximal run (the boundary checks force non-host characters on both
+    /// sides), so an index over these tokens is exact for levels 1–2.
+    pub fn domain_tokens(&self) -> Vec<String> {
+        let mut tokens: Vec<String> = self.direct_hosts.clone();
+        let bytes = self.text_lower.as_bytes();
+        let mut start = None;
+        for (i, &b) in bytes.iter().enumerate() {
+            match (is_host_char(b), start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    tokens.push(self.text_lower[s..i].to_owned());
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            tokens.push(self.text_lower[s..].to_owned());
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
+    }
+
+    /// True when the surface references external scripts, i.e. level-3
+    /// matching could hit on fetched bodies no index can see.
+    pub fn needs_script_scan(&self) -> bool {
+        !self.script_urls.is_empty()
     }
 }
 
@@ -311,7 +356,7 @@ fn contains_domain(haystack: &str, domain: &str) -> bool {
 /// outside this set. Counting `.` and `-` as host characters rejects
 /// matches embedded in longer hosts (`badexample.com`,
 /// `example.com.evil.net`).
-fn is_host_char(b: u8) -> bool {
+pub(crate) fn is_host_char(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'.' || b == b'-'
 }
 
@@ -321,7 +366,9 @@ fn is_host_char(b: u8) -> bool {
 pub fn url_host(url: &str) -> Option<String> {
     let rest = if let Some((_scheme, rest)) = url.split_once("://") {
         rest
-    } else { url.strip_prefix("//")? };
+    } else {
+        url.strip_prefix("//")?
+    };
     let authority = rest.split(['/', '?', '#']).next()?;
     let host = authority.rsplit_once('@').map_or(authority, |(_, h)| h);
     let host = host.split(':').next()?;

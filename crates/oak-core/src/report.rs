@@ -45,7 +45,9 @@ impl ObjectTiming {
 
     /// The hostname portion of the URL, if the URL parses.
     pub fn host(&self) -> Option<String> {
-        oak_http::Url::parse(&self.url).ok().map(|u| u.host().to_owned())
+        oak_http::Url::parse(&self.url)
+            .ok()
+            .map(|u| u.host().to_owned())
     }
 }
 
@@ -146,7 +148,9 @@ impl PerfReport {
                 .as_f64()
                 .filter(|t| t.is_finite() && *t >= 0.0)
                 .ok_or_else(|| {
-                    ReportDecodeError(format!("entry {i}: time_ms not a finite non-negative number"))
+                    ReportDecodeError(format!(
+                        "entry {i}: time_ms not a finite non-negative number"
+                    ))
                 })?;
             entries.push(ObjectTiming::new(url, ip, bytes, time_ms));
         }

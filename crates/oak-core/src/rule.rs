@@ -83,8 +83,7 @@ pub enum SelectionPolicy {
 /// Restricts which clients a rule may activate for (§4.2.4: "it could
 /// further discriminate the activation of rules based on client
 /// information, for example by IP subnet").
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum ClientFilter {
     /// No restriction.
     #[default]
@@ -94,7 +93,6 @@ pub enum ClientFilter {
     IpPrefix(String),
 }
 
-
 impl ClientFilter {
     /// True if a client at `ip` (dotted quad; `None` when the transport
     /// did not supply one) passes the filter. Absent IPs only pass
@@ -103,9 +101,7 @@ impl ClientFilter {
     pub fn admits(&self, ip: Option<&str>) -> bool {
         match self {
             ClientFilter::Any => true,
-            ClientFilter::IpPrefix(prefix) => {
-                ip.is_some_and(|ip| ip.starts_with(prefix.as_str()))
-            }
+            ClientFilter::IpPrefix(prefix) => ip.is_some_and(|ip| ip.starts_with(prefix.as_str())),
         }
     }
 }

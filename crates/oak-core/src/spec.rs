@@ -372,9 +372,7 @@ impl<'a> Parser<'a> {
                             return Ok(alts);
                         }
                         other => {
-                            return Err(
-                                self.err(format!("expected ',' or ']', found {other:?}"))
-                            )
+                            return Err(self.err(format!("expected ',' or ']', found {other:?}")))
                         }
                     }
                 }

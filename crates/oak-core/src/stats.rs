@@ -6,6 +6,34 @@
 //! value of the deviation from the median of a population, providing a
 //! measure of variance that is less effected by outliers than a standard
 //! deviation."
+//!
+//! Order statistics here use `select_nth_unstable_by` (linear expected
+//! time) rather than a full sort: the detector computes a median and a
+//! MAD per server population per report, so these sit on the ingest hot
+//! path. Results are identical to the sort-based definitions.
+
+fn cmp(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.partial_cmp(b).expect("NaN in sample")
+}
+
+/// The median of `scratch`, reordering it in place.
+fn median_in_place(scratch: &mut [f64]) -> f64 {
+    let n = scratch.len();
+    debug_assert!(n > 0);
+    let (left, mid, _) = scratch.select_nth_unstable_by(n / 2, cmp);
+    let upper = *mid;
+    if n % 2 == 1 {
+        upper
+    } else {
+        // The lower middle is the largest element of the left partition.
+        let lower = left
+            .iter()
+            .copied()
+            .max_by(cmp)
+            .expect("non-empty left half");
+        (lower + upper) / 2.0
+    }
+}
 
 /// The median of a sample. Returns `None` on an empty slice; averages the
 /// middle pair for even lengths.
@@ -13,14 +41,7 @@ pub fn median(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
-    let n = sorted.len();
-    Some(if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-    })
+    Some(median_in_place(&mut values.to_vec()))
 }
 
 /// Median absolute deviation about `center`:
@@ -29,14 +50,23 @@ pub fn mad(values: &[f64], center: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    let deviations: Vec<f64> = values.iter().map(|x| (x - center).abs()).collect();
-    median(&deviations)
+    let mut deviations: Vec<f64> = values.iter().map(|x| (x - center).abs()).collect();
+    Some(median_in_place(&mut deviations))
 }
 
-/// Median and MAD in one call.
+/// Median and MAD in one call, sharing a single scratch buffer for both
+/// selections.
 pub fn median_and_mad(values: &[f64]) -> Option<(f64, f64)> {
-    let m = median(values)?;
-    Some((m, mad(values, m)?))
+    if values.is_empty() {
+        return None;
+    }
+    let mut scratch = values.to_vec();
+    let m = median_in_place(&mut scratch);
+    for (slot, x) in scratch.iter_mut().zip(values) {
+        *slot = (x - m).abs();
+    }
+    let d = median_in_place(&mut scratch);
+    Some((m, d))
 }
 
 /// Arithmetic mean; `None` on empty input.
@@ -62,11 +92,17 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
-    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let mut scratch = values.to_vec();
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (scratch.len() - 1) as f64;
     let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    let (_, lo_value, right) = scratch.select_nth_unstable_by(lo, cmp);
+    let lo_value = *lo_value;
+    let hi_value = if frac == 0.0 {
+        lo_value // rank is integral: hi == lo
+    } else {
+        // rank's ceiling is lo + 1: the smallest of the right partition.
+        right.iter().copied().min_by(cmp).expect("rank below max")
+    };
+    Some(lo_value * (1.0 - frac) + hi_value * frac)
 }

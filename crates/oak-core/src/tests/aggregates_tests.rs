@@ -22,8 +22,18 @@ fn report(user: &str, slow: bool) -> PerfReport {
         10_000,
         if slow { 900.0 } else { 90.0 },
     ));
-    r.push(ObjectTiming::new("http://cdn.example/big.bin", "10.0.0.1", 200_000, 400.0));
-    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 10_000, 80.0));
+    r.push(ObjectTiming::new(
+        "http://cdn.example/big.bin",
+        "10.0.0.1",
+        200_000,
+        400.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.2",
+        10_000,
+        80.0,
+    ));
     r
 }
 
@@ -72,10 +82,15 @@ fn engine_exposes_aggregates() {
     use crate::matching::NoFetch;
     use crate::Instant;
 
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     // Five servers so detection runs; one egregious outlier.
     let mut r = PerfReport::new("u-1", "/");
-    r.push(ObjectTiming::new("http://slow.example/x", "10.0.0.1", 10_000, 900.0));
+    r.push(ObjectTiming::new(
+        "http://slow.example/x",
+        "10.0.0.1",
+        10_000,
+        900.0,
+    ));
     for i in 2..6 {
         r.push(ObjectTiming::new(
             format!("http://ok{i}.example/x"),

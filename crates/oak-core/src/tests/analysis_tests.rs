@@ -33,8 +33,18 @@ fn groups_by_ip_not_domain() {
 #[test]
 fn splits_small_and_large_at_50kb() {
     let r = report_with(&[
-        ("http://h.example/small", "10.0.0.1", DEFAULT_SIZE_SPLIT - 1, 40.0),
-        ("http://h.example/large", "10.0.0.1", DEFAULT_SIZE_SPLIT, 100.0),
+        (
+            "http://h.example/small",
+            "10.0.0.1",
+            DEFAULT_SIZE_SPLIT - 1,
+            40.0,
+        ),
+        (
+            "http://h.example/large",
+            "10.0.0.1",
+            DEFAULT_SIZE_SPLIT,
+            100.0,
+        ),
     ]);
     let a = PageAnalysis::from_report(&r);
     let s = a.server("10.0.0.1").unwrap();

@@ -94,7 +94,7 @@ fn audit_from_live_engine_log() {
     use crate::report::{ObjectTiming, PerfReport};
     use crate::rule::Rule;
 
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let id = oak
         .add_rule(Rule::replace_identical(
             r#"<script src="http://cdn-a.example/jquery.js">"#,
@@ -102,14 +102,39 @@ fn audit_from_live_engine_log() {
         ))
         .unwrap();
     let mut report = PerfReport::new("u-1", "/");
-    report.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 900.0));
-    report.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
-    report.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
-    report.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
-    report.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+    report.push(ObjectTiming::new(
+        "http://cdn-a.example/jquery.js",
+        "10.0.0.1",
+        30_000,
+        900.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/a.png",
+        "10.0.0.2",
+        30_000,
+        80.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.2",
+        30_000,
+        95.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://fonts.example/f.woff",
+        "10.0.0.3",
+        30_000,
+        70.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://api.example/d.js",
+        "10.0.0.4",
+        30_000,
+        90.0,
+    ));
     oak.ingest_report(Instant::ZERO, &report, &NoFetch);
 
-    let summary = audit(oak.log());
+    let summary = audit(&oak.log());
     assert_eq!(summary.rules[&id].activations, 1);
     assert!(summary.rules[&id].mean_severity > 2.0);
 }

@@ -130,8 +130,18 @@ fn either_test_suffices() {
         ));
     }
     // Mixed server: small objects healthy, large objects starved.
-    r.push(ObjectTiming::new("http://mixed.example/s", "10.0.0.9", 1_000, 102.0));
-    r.push(ObjectTiming::new("http://mixed.example/l", "10.0.0.9", 200_000, 40_000.0));
+    r.push(ObjectTiming::new(
+        "http://mixed.example/s",
+        "10.0.0.9",
+        1_000,
+        102.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://mixed.example/l",
+        "10.0.0.9",
+        200_000,
+        40_000.0,
+    ));
     let a = PageAnalysis::from_report(&r);
     let v = detect_violators(&a, &DetectorConfig::default());
     assert_eq!(v.len(), 1);

@@ -12,31 +12,27 @@ use crate::time::Instant;
 /// pool of hosts and IPs.
 fn report_strategy() -> impl Strategy<Value = PerfReport> {
     let entry = (
-        0usize..8,           // host index
-        0usize..8,           // ip index
-        0u64..300_000,       // bytes
-        0.0f64..5_000.0,     // time
+        0usize..8,       // host index
+        0usize..8,       // ip index
+        0u64..300_000,   // bytes
+        0.0f64..5_000.0, // time
     );
-    (
-        "[a-z]{1,6}",
-        prop::collection::vec(entry, 0..10),
-    )
-        .prop_map(|(user, entries)| {
-            let mut report = PerfReport::new(format!("u-{user}"), "/p");
-            for (h, ip, bytes, time) in entries {
-                report.push(ObjectTiming::new(
-                    format!("http://host{h}.example/obj"),
-                    format!("10.0.0.{ip}"),
-                    bytes,
-                    time,
-                ));
-            }
-            report
-        })
+    ("[a-z]{1,6}", prop::collection::vec(entry, 0..10)).prop_map(|(user, entries)| {
+        let mut report = PerfReport::new(format!("u-{user}"), "/p");
+        for (h, ip, bytes, time) in entries {
+            report.push(ObjectTiming::new(
+                format!("http://host{h}.example/obj"),
+                format!("10.0.0.{ip}"),
+                bytes,
+                time,
+            ));
+        }
+        report
+    })
 }
 
 fn engine_with_rules() -> Oak {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     for h in 0..8 {
         oak.add_rule(Rule::replace_identical(
             format!("http://host{h}.example/"),
@@ -59,7 +55,7 @@ proptest! {
     fn engine_is_total_under_arbitrary_reports(
         reports in prop::collection::vec(report_strategy(), 1..20),
     ) {
-        let mut oak = engine_with_rules();
+        let oak = engine_with_rules();
         let mut last_log = 0;
         for (i, report) in reports.iter().enumerate() {
             oak.ingest_report(Instant(i as u64), report, &NoFetch);
@@ -79,7 +75,7 @@ proptest! {
     /// and pages are untouched.
     #[test]
     fn users_never_interfere(reports in prop::collection::vec(report_strategy(), 1..16)) {
-        let mut oak = engine_with_rules();
+        let oak = engine_with_rules();
         let bystander = "u-bystander";
         let page = r#"<script src="http://host1.example/a.js"></script>"#;
         let before = oak.modify_page(Instant::ZERO, bystander, "/p", page);
@@ -97,7 +93,7 @@ proptest! {
     /// validate that alternatives do not contain the default text).
     #[test]
     fn modification_is_idempotent(reports in prop::collection::vec(report_strategy(), 1..8)) {
-        let mut oak = engine_with_rules();
+        let oak = engine_with_rules();
         for (i, report) in reports.iter().enumerate() {
             oak.ingest_report(Instant(i as u64), report, &NoFetch);
         }
@@ -117,7 +113,7 @@ proptest! {
     /// activated rules are active afterwards, deactivated ones are not.
     #[test]
     fn outcome_matches_state(report in report_strategy()) {
-        let mut oak = engine_with_rules();
+        let oak = engine_with_rules();
         let outcome = oak.ingest_report(Instant::ZERO, &report, &NoFetch);
         let active: Vec<_> = oak.active_rules(&report.user).iter().map(|(id, _)| *id).collect();
         for id in &outcome.activated {

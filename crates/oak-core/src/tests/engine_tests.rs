@@ -19,15 +19,35 @@ fn report_with_slow(user: &str, slow_host: &str, slow_ip: &str, slow_ms: f64) ->
         30_000,
         slow_ms,
     ));
-    r.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
-    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
-    r.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
-    r.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+    r.push(ObjectTiming::new(
+        "http://img.example/a.png",
+        "10.0.0.2",
+        30_000,
+        80.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.2",
+        30_000,
+        95.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://fonts.example/f.woff",
+        "10.0.0.3",
+        30_000,
+        70.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://api.example/d.js",
+        "10.0.0.4",
+        30_000,
+        90.0,
+    ));
     r
 }
 
 fn engine_with_jq_rule(alternatives: &[&str]) -> (Oak, RuleId) {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let id = oak
         .add_rule(Rule::replace_identical(JQ_DEFAULT, alternatives.to_vec()))
         .unwrap();
@@ -36,7 +56,7 @@ fn engine_with_jq_rule(alternatives: &[&str]) -> (Oak, RuleId) {
 
 #[test]
 fn violation_activates_matching_rule() {
-    let (mut oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
     let report = report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 900.0);
     let outcome = oak.ingest_report(Instant::ZERO, &report, &NoFetch);
     assert_eq!(outcome.violations.len(), 1);
@@ -50,7 +70,7 @@ fn violation_activates_matching_rule() {
 
 #[test]
 fn healthy_report_activates_nothing() {
-    let (mut oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
     let report = report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 85.0);
     let outcome = oak.ingest_report(Instant::ZERO, &report, &NoFetch);
     assert!(outcome.violations.is_empty());
@@ -61,7 +81,7 @@ fn healthy_report_activates_nothing() {
 #[test]
 fn unrelated_violator_does_not_activate() {
     // fonts.example violates, but no rule references it.
-    let (mut oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
     let report = report_with_slow("u-1", "unrelated.example", "10.0.0.9", 900.0);
     let outcome = oak.ingest_report(Instant::ZERO, &report, &NoFetch);
     assert_eq!(outcome.violations.len(), 1);
@@ -70,11 +90,14 @@ fn unrelated_violator_does_not_activate() {
 
 #[test]
 fn activation_is_per_user() {
-    let (mut oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
     let report = report_with_slow("u-slow", "cdn-a.example", "10.0.0.1", 900.0);
     oak.ingest_report(Instant::ZERO, &report, &NoFetch);
     assert_eq!(oak.active_rules("u-slow").len(), 1);
-    assert!(oak.active_rules("u-other").is_empty(), "other users untouched");
+    assert!(
+        oak.active_rules("u-other").is_empty(),
+        "other users untouched"
+    );
 
     let page = format!("{JQ_DEFAULT}</script>");
     let slow_page = oak.modify_page(Instant::ZERO, "u-slow", "/index.html", &page);
@@ -85,7 +108,7 @@ fn activation_is_per_user() {
 
 #[test]
 fn modify_page_rewrites_and_reports_hints() {
-    let (mut oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
     oak.ingest_report(
         Instant::ZERO,
         &report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 900.0),
@@ -109,7 +132,7 @@ fn modify_page_rewrites_and_reports_hints() {
 
 #[test]
 fn type1_rule_removes_text() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let widget = r#"<script src="http://widget.example/w.js"></script>"#;
     oak.add_rule(Rule::remove(widget)).unwrap();
     let report = report_with_slow("u-1", "widget.example", "10.0.0.1", 900.0);
@@ -117,12 +140,15 @@ fn type1_rule_removes_text() {
     let page = format!("<html>{widget}<p>content</p></html>");
     let modified = oak.modify_page(Instant::ZERO, "u-1", "/index.html", &page);
     assert_eq!(modified.html, "<html><p>content</p></html>");
-    assert!(modified.cache_hints.is_empty(), "removals carry no cache hint");
+    assert!(
+        modified.cache_hints.is_empty(),
+        "removals carry no cache hint"
+    );
 }
 
 #[test]
 fn scope_limits_modification() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     oak.add_rule(
         Rule::replace_identical(JQ_DEFAULT, [JQ_ALT_B])
             .with_scope(Scope::parse("/shop/*").unwrap()),
@@ -141,7 +167,7 @@ fn scope_limits_modification() {
 
 #[test]
 fn ttl_expires_activations() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let id = oak
         .add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT_B]).with_ttl_ms(Some(10_000)))
         .unwrap();
@@ -166,14 +192,18 @@ fn ttl_expires_activations() {
 
 #[test]
 fn violations_required_policy_defers_activation() {
-    let mut oak = Oak::new(OakConfig::default());
-    oak.add_rule(
-        Rule::replace_identical(JQ_DEFAULT, [JQ_ALT_B]).with_violations_required(3),
-    )
-    .unwrap();
+    let oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT_B]).with_violations_required(3))
+        .unwrap();
     let report = report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 900.0);
-    assert!(oak.ingest_report(Instant(0), &report, &NoFetch).activated.is_empty());
-    assert!(oak.ingest_report(Instant(1), &report, &NoFetch).activated.is_empty());
+    assert!(oak
+        .ingest_report(Instant(0), &report, &NoFetch)
+        .activated
+        .is_empty());
+    assert!(oak
+        .ingest_report(Instant(1), &report, &NoFetch)
+        .activated
+        .is_empty());
     let third = oak.ingest_report(Instant(2), &report, &NoFetch);
     assert_eq!(third.activated.len(), 1, "third violation activates");
 }
@@ -182,7 +212,7 @@ fn violations_required_policy_defers_activation() {
 fn rule_history_keeps_better_alternate() {
     // Default violated with huge severity; alternate later violates mildly.
     // History keeps the alternate: it is still closer to the median.
-    let (mut oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
     oak.ingest_report(
         Instant(0),
         &report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 5_000.0),
@@ -203,7 +233,7 @@ fn rule_history_keeps_better_alternate() {
 fn rule_history_reverts_worse_alternate() {
     // Default violated mildly; alternate violates catastrophically →
     // deactivate (no further alternatives).
-    let (mut oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
     oak.ingest_report(
         Instant(0),
         &report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 280.0),
@@ -215,17 +245,14 @@ fn rule_history_reverts_worse_alternate() {
     let outcome = oak.ingest_report(Instant(1), &awful, &NoFetch);
     assert_eq!(outcome.deactivated.len(), 1);
     assert!(oak.active_rules("u-1").is_empty());
-    assert!(oak
-        .log()
-        .iter()
-        .any(|e| e.action == LogAction::Deactivated));
+    assert!(oak.log().iter().any(|e| e.action == LogAction::Deactivated));
 }
 
 #[test]
 fn alternatives_advance_linearly() {
     // Two alternatives: when B violates badly, advance to C (§4.2.4
     // "Oak progresses through the list linearly with each activation").
-    let (mut oak, id) = engine_with_jq_rule(&[JQ_ALT_B, JQ_ALT_C]);
+    let (oak, id) = engine_with_jq_rule(&[JQ_ALT_B, JQ_ALT_C]);
     oak.ingest_report(
         Instant(0),
         &report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 280.0),
@@ -248,7 +275,7 @@ fn alternatives_advance_linearly() {
 
 #[test]
 fn sub_rules_fire_with_parent() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     oak.add_rule(
         Rule::replace_identical(JQ_DEFAULT, [JQ_ALT_B])
             .with_sub_rule("<!-- jq-config: a -->", "<!-- jq-config: b -->"),
@@ -271,7 +298,7 @@ fn sub_rules_fire_with_parent() {
 
 #[test]
 fn force_activate_and_deactivate() {
-    let (mut oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
     oak.force_activate(Instant::ZERO, "u-x", id);
     let page = format!("{JQ_DEFAULT}</script>");
     assert!(oak
@@ -287,14 +314,16 @@ fn force_activate_and_deactivate() {
 
 #[test]
 fn add_rule_validates() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     assert!(oak.add_rule(Rule::replace_identical("", ["x"])).is_err());
     assert!(oak
         .add_rule(Rule::replace_identical("abc", Vec::<String>::new()))
         .is_err());
-    assert!(oak
-        .add_rule(Rule::replace_identical("abc", ["xxabcxx"]))
-        .is_err(), "alternative containing default is rejected");
+    assert!(
+        oak.add_rule(Rule::replace_identical("abc", ["xxabcxx"]))
+            .is_err(),
+        "alternative containing default is rejected"
+    );
     let mut bad_type1 = Rule::remove("abc");
     bad_type1.alternatives.push("x".into());
     assert!(oak.add_rule(bad_type1).is_err());
@@ -302,7 +331,7 @@ fn add_rule_validates() {
 
 #[test]
 fn modify_page_for_unknown_user_is_identity() {
-    let (mut oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
     let page = format!("{JQ_DEFAULT}</script>");
     let out = oak.modify_page(Instant::ZERO, "nobody", "/", &page);
     assert_eq!(
@@ -317,18 +346,22 @@ fn modify_page_for_unknown_user_is_identity() {
 
 #[test]
 fn log_records_the_activation_trail() {
-    let (mut oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
     oak.ingest_report(
         Instant(5),
         &report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 900.0),
         &NoFetch,
     );
-    let event = oak.log().last().unwrap();
+    let log = oak.log();
+    let event = log.last().unwrap();
     assert_eq!(event.rule, id);
     assert_eq!(event.user, "u-1");
     assert_eq!(event.time, Instant(5));
     match &event.action {
-        LogAction::Activated { violator_ip, severity } => {
+        LogAction::Activated {
+            violator_ip,
+            severity,
+        } => {
             assert_eq!(violator_ip, "10.0.0.1");
             assert!(*severity > 2.0);
         }
@@ -338,19 +371,50 @@ fn log_records_the_activation_trail() {
 
 #[test]
 fn multiple_rules_apply_in_one_pass() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let ad = r#"<iframe src="http://ads.example/banner"></iframe>"#;
-    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT_B])).unwrap();
+    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT_B]))
+        .unwrap();
     oak.add_rule(Rule::remove(ad)).unwrap();
 
     // One report in which both cdn-a and ads.example violate.
     let mut report = PerfReport::new("u-1", "/");
-    report.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 900.0));
-    report.push(ObjectTiming::new("http://ads.example/banner", "10.0.0.5", 30_000, 950.0));
-    report.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
-    report.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
-    report.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
-    report.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+    report.push(ObjectTiming::new(
+        "http://cdn-a.example/jquery.js",
+        "10.0.0.1",
+        30_000,
+        900.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://ads.example/banner",
+        "10.0.0.5",
+        30_000,
+        950.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/a.png",
+        "10.0.0.2",
+        30_000,
+        80.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.2",
+        30_000,
+        95.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://fonts.example/f.woff",
+        "10.0.0.3",
+        30_000,
+        70.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://api.example/d.js",
+        "10.0.0.4",
+        30_000,
+        90.0,
+    ));
     let outcome = oak.ingest_report(Instant::ZERO, &report, &NoFetch);
     assert_eq!(outcome.activated.len(), 2);
 
@@ -363,7 +427,7 @@ fn multiple_rules_apply_in_one_pass() {
 
 #[test]
 fn remove_rule_deactivates_everywhere_and_keeps_history() {
-    let (mut oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, id) = engine_with_jq_rule(&[JQ_ALT_B]);
     oak.ingest_report(
         Instant(0),
         &report_with_slow("u-1", "cdn-a.example", "10.0.0.1", 900.0),
@@ -391,7 +455,7 @@ fn remove_rule_deactivates_everywhere_and_keeps_history() {
 
 #[test]
 fn prune_inactive_users_drops_only_stale_state() {
-    let (mut oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
     oak.ingest_report(
         Instant(1_000),
         &report_with_slow("u-old", "cdn-a.example", "10.0.0.1", 900.0),
@@ -407,7 +471,10 @@ fn prune_inactive_users_drops_only_stale_state() {
     let pruned = oak.prune_inactive_users(Instant(10_000));
     assert_eq!(pruned, 1);
     assert_eq!(oak.user_count(), 1);
-    assert!(oak.active_rules("u-old").is_empty(), "stale profile dropped");
+    assert!(
+        oak.active_rules("u-old").is_empty(),
+        "stale profile dropped"
+    );
     assert_eq!(oak.active_rules("u-new").len(), 1, "fresh profile intact");
     // The log survives pruning: audit history is append-only.
     assert!(oak.log().iter().any(|e| e.user == "u-old"));
@@ -419,7 +486,7 @@ fn prune_inactive_users_drops_only_stale_state() {
 
 #[test]
 fn reactivation_after_deactivation_needs_fresh_violations() {
-    let (mut oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
     // Activate, then deactivate via terrible alternate.
     oak.ingest_report(
         Instant(0),
@@ -439,4 +506,76 @@ fn reactivation_after_deactivation_needs_fresh_violations() {
         &NoFetch,
     );
     assert_eq!(outcome.activated.len(), 1);
+}
+
+#[test]
+fn concurrent_disjoint_users_keep_independent_state() {
+    use std::sync::Arc;
+
+    let oak = Arc::new(Oak::new(OakConfig::default()));
+    let id = oak
+        .add_rule(Rule::replace_identical(JQ_DEFAULT, vec![JQ_ALT_B]))
+        .unwrap();
+
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let oak = Arc::clone(&oak);
+            std::thread::spawn(move || {
+                let user = format!("u-{t}");
+                let report = report_with_slow(&user, "cdn-a.example", "10.0.0.1", 900.0);
+                oak.ingest_report(Instant::ZERO, &report, &NoFetch);
+                let page = format!("{JQ_DEFAULT}</script>");
+                oak.modify_page(Instant::ZERO, &user, "/index.html", &page)
+            })
+        })
+        .collect();
+    for handle in handles {
+        let modified = handle.join().unwrap();
+        assert!(modified.html.contains("cdn-b.example"));
+    }
+
+    assert_eq!(oak.user_count(), 8);
+    for t in 0..8 {
+        assert_eq!(oak.active_rules(&format!("u-{t}")), oak.active_rules("u-0"));
+    }
+    let log = oak.log();
+    let activations = log
+        .iter()
+        .filter(|e| matches!(e.action, LogAction::Activated { .. }))
+        .count();
+    assert_eq!(activations, 8, "one activation per user, none lost");
+    assert!(log.iter().all(|e| e.rule == id));
+    assert_eq!(oak.aggregates().report_count(), 8);
+}
+
+#[test]
+fn log_merges_across_shards_in_ingestion_order() {
+    // Users land on different state shards, but the merged log must
+    // still read back in exact ingestion order.
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    let users = ["u-a", "u-b", "u-c", "u-d", "u-e"];
+    for user in users {
+        let report = report_with_slow(user, "cdn-a.example", "10.0.0.1", 900.0);
+        oak.ingest_report(Instant::ZERO, &report, &NoFetch);
+    }
+    let logged: Vec<String> = oak.log().iter().map(|e| e.user.clone()).collect();
+    assert_eq!(logged, users.map(str::to_owned).to_vec());
+}
+
+#[test]
+fn aggregates_merge_is_exact_across_shards() {
+    let (oak, _) = engine_with_jq_rule(&[JQ_ALT_B]);
+    for t in 0..20 {
+        let user = format!("agg-u{t}");
+        let report = report_with_slow(&user, "cdn-a.example", "10.0.0.1", 900.0);
+        oak.ingest_report(Instant::ZERO, &report, &NoFetch);
+        oak.ingest_report(Instant(1), &report, &NoFetch);
+    }
+    let agg = oak.aggregates();
+    assert_eq!(agg.report_count(), 40);
+    assert_eq!(agg.user_count(), 20);
+    let img = agg.domain("img.example").expect("seen in every report");
+    assert_eq!(img.users_seen, 20, "per-shard user sets are disjoint");
+    // 2 png objects x 2 reports x 20 users.
+    assert_eq!(img.small_time_ms.count, 80);
 }

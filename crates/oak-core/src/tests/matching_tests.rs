@@ -31,19 +31,43 @@ fn direct_include_matches_src_attribute() {
 fn direct_include_matches_img_and_link() {
     let img = r#"<img src="http://img.v.example/x.png">"#;
     let link = r#"<link rel="stylesheet" href="http://css.v.example/m.css">"#;
-    assert!(match_rule(img, &domains(&["img.v.example"]), MatchLevel::DirectInclude, &NoFetch).is_some());
-    assert!(match_rule(link, &domains(&["css.v.example"]), MatchLevel::DirectInclude, &NoFetch).is_some());
+    assert!(match_rule(
+        img,
+        &domains(&["img.v.example"]),
+        MatchLevel::DirectInclude,
+        &NoFetch
+    )
+    .is_some());
+    assert!(match_rule(
+        link,
+        &domains(&["css.v.example"]),
+        MatchLevel::DirectInclude,
+        &NoFetch
+    )
+    .is_some());
 }
 
 #[test]
 fn direct_include_requires_exact_host() {
     let rule = r#"<img src="http://sub.cdn.example/x.png">"#;
     assert!(
-        match_rule(rule, &domains(&["cdn.example"]), MatchLevel::DirectInclude, &NoFetch).is_none(),
+        match_rule(
+            rule,
+            &domains(&["cdn.example"]),
+            MatchLevel::DirectInclude,
+            &NoFetch
+        )
+        .is_none(),
         "parent domain must not match a sub-domain host"
     );
     assert!(
-        match_rule(rule, &domains(&["SUB.CDN.EXAMPLE"]), MatchLevel::DirectInclude, &NoFetch).is_some(),
+        match_rule(
+            rule,
+            &domains(&["SUB.CDN.EXAMPLE"]),
+            MatchLevel::DirectInclude,
+            &NoFetch
+        )
+        .is_some(),
         "comparison is case-insensitive"
     );
 }
@@ -56,22 +80,45 @@ fn text_match_finds_domains_in_inline_scripts() {
         var host = "tracker.ads.example";
         img.src = "http://" + host + "/pixel?" + Date.now();
     </script>"#;
-    let hit = match_rule(rule, &domains(&["tracker.ads.example"]), MatchLevel::TextMatch, &NoFetch);
+    let hit = match_rule(
+        rule,
+        &domains(&["tracker.ads.example"]),
+        MatchLevel::TextMatch,
+        &NoFetch,
+    );
     assert_eq!(hit.map(|m| m.level), Some(MatchLevel::TextMatch));
     // But NOT at the direct-include level.
-    assert!(match_rule(rule, &domains(&["tracker.ads.example"]), MatchLevel::DirectInclude, &NoFetch).is_none());
+    assert!(match_rule(
+        rule,
+        &domains(&["tracker.ads.example"]),
+        MatchLevel::DirectInclude,
+        &NoFetch
+    )
+    .is_none());
 }
 
 #[test]
 fn text_match_respects_host_boundaries() {
     let rule = "<script>connect('http://badcdn.example/x')</script>";
     assert!(
-        match_rule(rule, &domains(&["cdn.example"]), MatchLevel::TextMatch, &NoFetch).is_none(),
+        match_rule(
+            rule,
+            &domains(&["cdn.example"]),
+            MatchLevel::TextMatch,
+            &NoFetch
+        )
+        .is_none(),
         "cdn.example must not match inside badcdn.example"
     );
     let rule2 = "<script>connect('http://cdn.example.evil.net/x')</script>";
     assert!(
-        match_rule(rule2, &domains(&["cdn.example"]), MatchLevel::TextMatch, &NoFetch).is_none(),
+        match_rule(
+            rule2,
+            &domains(&["cdn.example"]),
+            MatchLevel::TextMatch,
+            &NoFetch
+        )
+        .is_none(),
         "cdn.example must not match a longer host"
     );
 }
@@ -89,14 +136,30 @@ fn external_js_expansion_matches_through_one_level() {
     );
     let fetcher = TableFetcher(table);
 
-    let hit = match_rule(rule, &domains(&["server3.example"]), MatchLevel::ExternalJs, &fetcher);
+    let hit = match_rule(
+        rule,
+        &domains(&["server3.example"]),
+        MatchLevel::ExternalJs,
+        &fetcher,
+    );
     assert_eq!(hit.map(|m| m.level), Some(MatchLevel::ExternalJs));
     // Level capped below ExternalJs: no match.
-    assert!(match_rule(rule, &domains(&["server3.example"]), MatchLevel::TextMatch, &fetcher).is_none());
+    assert!(match_rule(
+        rule,
+        &domains(&["server3.example"]),
+        MatchLevel::TextMatch,
+        &fetcher
+    )
+    .is_none());
     // The script's own host still matches at level 1.
     assert_eq!(
-        match_rule(rule, &domains(&["server1.example"]), MatchLevel::ExternalJs, &fetcher)
-            .map(|m| m.level),
+        match_rule(
+            rule,
+            &domains(&["server1.example"]),
+            MatchLevel::ExternalJs,
+            &fetcher
+        )
+        .map(|m| m.level),
         Some(MatchLevel::DirectInclude)
     );
 }
@@ -117,44 +180,84 @@ fn external_js_expansion_is_one_level_only() {
         r#"img("http://l3.example/pix.gif")"#.to_owned(),
     );
     let fetcher = TableFetcher(table);
-    assert!(match_rule(rule, &domains(&["l3.example"]), MatchLevel::ExternalJs, &fetcher).is_none());
+    assert!(match_rule(
+        rule,
+        &domains(&["l3.example"]),
+        MatchLevel::ExternalJs,
+        &fetcher
+    )
+    .is_none());
     // l2 appears in l1's body → matched at the ExternalJs level.
-    assert!(match_rule(rule, &domains(&["l2.example"]), MatchLevel::ExternalJs, &fetcher).is_some());
+    assert!(match_rule(
+        rule,
+        &domains(&["l2.example"]),
+        MatchLevel::ExternalJs,
+        &fetcher
+    )
+    .is_some());
 }
 
 #[test]
 fn weakest_level_wins() {
     // A rule that matches at both level 1 and level 2 reports level 1.
     let rule = r#"<img src="http://v.example/x.png"><script>var d="v.example";</script>"#;
-    let hit = match_rule(rule, &domains(&["v.example"]), MatchLevel::ExternalJs, &NoFetch);
+    let hit = match_rule(
+        rule,
+        &domains(&["v.example"]),
+        MatchLevel::ExternalJs,
+        &NoFetch,
+    );
     assert_eq!(hit.map(|m| m.level), Some(MatchLevel::DirectInclude));
 }
 
 #[test]
 fn no_domains_no_match() {
-    assert!(match_rule("<img src=\"http://a/x\">", &[], MatchLevel::ExternalJs, &NoFetch).is_none());
+    assert!(match_rule(
+        "<img src=\"http://a/x\">",
+        &[],
+        MatchLevel::ExternalJs,
+        &NoFetch
+    )
+    .is_none());
 }
 
 #[test]
 fn unfetchable_scripts_do_not_match() {
     let rule = r#"<script src="http://gone.example/a.js"></script>"#;
-    assert!(match_rule(rule, &domains(&["hidden.example"]), MatchLevel::ExternalJs, &NoFetch).is_none());
+    assert!(match_rule(
+        rule,
+        &domains(&["hidden.example"]),
+        MatchLevel::ExternalJs,
+        &NoFetch
+    )
+    .is_none());
 }
 
 #[test]
 fn closure_fetcher_works() {
     let rule = r#"<script src="http://s.example/a.js"></script>"#;
-    let fetcher = |url: &str| {
-        (url == "http://s.example/a.js").then(|| "ping('deep.example')".to_owned())
-    };
-    assert!(match_rule(rule, &domains(&["deep.example"]), MatchLevel::ExternalJs, &fetcher).is_some());
+    let fetcher =
+        |url: &str| (url == "http://s.example/a.js").then(|| "ping('deep.example')".to_owned());
+    assert!(match_rule(
+        rule,
+        &domains(&["deep.example"]),
+        MatchLevel::ExternalJs,
+        &fetcher
+    )
+    .is_some());
 }
 
 #[test]
 fn url_host_forms() {
     assert_eq!(url_host("http://A.B.example/x"), Some("a.b.example".into()));
-    assert_eq!(url_host("https://h.example:8443/p?q"), Some("h.example".into()));
-    assert_eq!(url_host("//proto.relative.example/y"), Some("proto.relative.example".into()));
+    assert_eq!(
+        url_host("https://h.example:8443/p?q"),
+        Some("h.example".into())
+    );
+    assert_eq!(
+        url_host("//proto.relative.example/y"),
+        Some("proto.relative.example".into())
+    );
     assert_eq!(url_host("/relative/path"), None);
     assert_eq!(url_host("relative.html"), None);
     assert_eq!(url_host("http:///nohost"), None);
@@ -172,8 +275,14 @@ fn caching_fetcher_memoizes_hits_and_misses() {
         (url == "http://has.example/a.js").then(|| "body".to_owned())
     });
 
-    assert_eq!(fetcher.fetch_script("http://has.example/a.js").as_deref(), Some("body"));
-    assert_eq!(fetcher.fetch_script("http://has.example/a.js").as_deref(), Some("body"));
+    assert_eq!(
+        fetcher.fetch_script("http://has.example/a.js").as_deref(),
+        Some("body")
+    );
+    assert_eq!(
+        fetcher.fetch_script("http://has.example/a.js").as_deref(),
+        Some("body")
+    );
     assert_eq!(fetcher.fetch_script("http://404.example/b.js"), None);
     assert_eq!(fetcher.fetch_script("http://404.example/b.js"), None);
     assert_eq!(calls.load(Ordering::SeqCst), 2, "one inner call per URL");
@@ -202,9 +311,8 @@ fn rule_surface_agrees_with_match_rule() {
         vec!["deep.example".into()],
         vec![],
     ];
-    let fetcher = |url: &str| {
-        (url == "http://l1.example/a.js").then(|| "go('deep.example')".to_owned())
-    };
+    let fetcher =
+        |url: &str| (url == "http://l1.example/a.js").then(|| "go('deep.example')".to_owned());
     for text in texts {
         let surface = RuleSurface::compile(text);
         for domains in &domain_sets {
@@ -226,4 +334,48 @@ fn match_levels_are_ordered() {
     assert!(MatchLevel::DirectInclude < MatchLevel::TextMatch);
     assert!(MatchLevel::TextMatch < MatchLevel::ExternalJs);
     assert_eq!(MatchLevel::ALL.len(), 3);
+}
+
+/// The domain→rule index is exact for levels 1–2 because a host-charactered
+/// domain can only pass `contains_domain`'s boundary checks by *being* a
+/// maximal host-character run — i.e. one of `domain_tokens()`.
+#[test]
+fn domain_tokens_cover_exactly_the_text_matchable_domains() {
+    use crate::matching::RuleSurface;
+
+    let texts = [
+        r#"<script src="http://cdn.v.example/lib.js"></script>"#,
+        r#"<script>var h = "tracker.example"; ping(h);</script>"#,
+        "plain text mentioning cdn.example here",
+        "edge-case cdn.example",           // token at end of text
+        "cdn.example starts the text",     // token at start
+        "embedded xcdn.example.evil host", // must NOT index cdn.example
+        "hyphen-host.example and trail-",
+        "UPPER.Example is lowercased",
+        "",
+    ];
+    let candidates = [
+        "cdn.v.example",
+        "tracker.example",
+        "cdn.example",
+        "xcdn.example.evil",
+        "cdn.example.evil",
+        "hyphen-host.example",
+        "upper.example",
+        "absent.example",
+    ];
+    for text in texts {
+        let surface = RuleSurface::compile(text);
+        let tokens = surface.domain_tokens();
+        for candidate in candidates {
+            let matched = surface
+                .matches(&[candidate.to_owned()], MatchLevel::TextMatch, &NoFetch)
+                .is_some();
+            assert_eq!(
+                matched,
+                tokens.iter().any(|t| t == candidate),
+                "index exactness violated: text={text:?} candidate={candidate:?}"
+            );
+        }
+    }
 }

@@ -13,11 +13,36 @@ const JQ: &str = r#"<script src="http://cdn-a.example/jquery.js">"#;
 
 fn violating_report(user: &str) -> PerfReport {
     let mut r = PerfReport::new(user, "/");
-    r.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 900.0));
-    r.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
-    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
-    r.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
-    r.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+    r.push(ObjectTiming::new(
+        "http://cdn-a.example/jquery.js",
+        "10.0.0.1",
+        30_000,
+        900.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://img.example/a.png",
+        "10.0.0.2",
+        30_000,
+        80.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.2",
+        30_000,
+        95.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://fonts.example/f.woff",
+        "10.0.0.3",
+        30_000,
+        70.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://api.example/d.js",
+        "10.0.0.4",
+        30_000,
+        90.0,
+    ));
     r
 }
 
@@ -31,14 +56,20 @@ fn client_filter_admits() {
     assert!(ClientFilter::Any.admits(Some("1.2.3.4")));
     let subnet = ClientFilter::IpPrefix("10.3.".into());
     assert!(subnet.admits(Some("10.3.7.9")));
-    assert!(!subnet.admits(Some("10.30.7.9")), "prefix is textual: dot included");
+    assert!(
+        !subnet.admits(Some("10.30.7.9")),
+        "prefix is textual: dot included"
+    );
     assert!(!subnet.admits(Some("192.168.0.1")));
-    assert!(!subnet.admits(None), "subnet rules never match unattributed traffic");
+    assert!(
+        !subnet.admits(None),
+        "subnet rules never match unattributed traffic"
+    );
 }
 
 #[test]
 fn subnet_scoped_rule_only_activates_for_matching_clients() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     oak.add_rule(
         Rule::replace_identical(JQ, [r#"<script src="http://cdn-b.example/jquery.js">"#])
             .with_client_prefix("10.3."),
@@ -60,10 +91,17 @@ fn subnet_scoped_rule_only_activates_for_matching_clients() {
         Some("10.4.0.77"),
     );
     assert!(outside.activated.is_empty());
-    assert_eq!(outside.violations.len(), 1, "violation is seen, rule just filtered");
+    assert_eq!(
+        outside.violations.len(),
+        1,
+        "violation is seen, rule just filtered"
+    );
 
     let anonymous = oak.ingest_report(Instant::ZERO, &violating_report("u-anon"), &NoFetch);
-    assert!(anonymous.activated.is_empty(), "no IP, no subnet-scoped activation");
+    assert!(
+        anonymous.activated.is_empty(),
+        "no IP, no subnet-scoped activation"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -75,7 +113,7 @@ fn user_hash_selection_spreads_users_across_alternatives() {
     let alts: Vec<String> = (0..4)
         .map(|i| format!(r#"<script src="http://mirror{i}.example/jquery.js">"#))
         .collect();
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let id = oak
         .add_rule(Rule::replace_identical(JQ, alts).with_selection(SelectionPolicy::UserHash))
         .unwrap();
@@ -101,9 +139,11 @@ fn user_hash_is_stable_per_user() {
         .map(|i| format!(r#"<script src="http://mirror{i}.example/jquery.js">"#))
         .collect();
     let index_for = |user: &str| {
-        let mut oak = Oak::new(OakConfig::default());
-        oak.add_rule(Rule::replace_identical(JQ, alts.clone()).with_selection(SelectionPolicy::UserHash))
-            .unwrap();
+        let oak = Oak::new(OakConfig::default());
+        oak.add_rule(
+            Rule::replace_identical(JQ, alts.clone()).with_selection(SelectionPolicy::UserHash),
+        )
+        .unwrap();
         oak.ingest_report(Instant::ZERO, &violating_report(user), &NoFetch);
         oak.active_rules(user)[0].1.alternative_index
     };
@@ -117,7 +157,7 @@ fn user_hash_advancement_wraps_and_exhausts() {
         r#"<script src="http://m1.example/jquery.js">"#,
         r#"<script src="http://m2.example/jquery.js">"#,
     ];
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     oak.add_rule(Rule::replace_identical(JQ, alts).with_selection(SelectionPolicy::UserHash))
         .unwrap();
     let user = "u-wrap";
@@ -136,10 +176,30 @@ fn user_hash_advancement_wraps_and_exhausts() {
             30_000,
             9_000.0,
         ));
-        bad.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
-        bad.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
-        bad.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
-        bad.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+        bad.push(ObjectTiming::new(
+            "http://img.example/a.png",
+            "10.0.0.2",
+            30_000,
+            80.0,
+        ));
+        bad.push(ObjectTiming::new(
+            "http://img.example/b.png",
+            "10.0.0.2",
+            30_000,
+            95.0,
+        ));
+        bad.push(ObjectTiming::new(
+            "http://fonts.example/f.woff",
+            "10.0.0.3",
+            30_000,
+            70.0,
+        ));
+        bad.push(ObjectTiming::new(
+            "http://api.example/d.js",
+            "10.0.0.4",
+            30_000,
+            90.0,
+        ));
         let outcome = oak.ingest_report(Instant(step), &bad, &NoFetch);
         assert_eq!(outcome.advanced.len(), 1, "step {step} should advance");
         let next = oak.active_rules(user)[0].1.alternative_index;
@@ -179,10 +239,25 @@ fn absolute_method_flags_by_fixed_bounds() {
         ..DetectorConfig::default()
     };
     let mut r = PerfReport::new("u", "/");
-    r.push(ObjectTiming::new("http://fast.example/s", "10.0.0.1", 10_000, 100.0));
-    r.push(ObjectTiming::new("http://slow.example/s", "10.0.0.2", 10_000, 350.0));
+    r.push(ObjectTiming::new(
+        "http://fast.example/s",
+        "10.0.0.1",
+        10_000,
+        100.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://slow.example/s",
+        "10.0.0.2",
+        10_000,
+        350.0,
+    ));
     // 100 KB in 2 s → 400 kbit/s, below the floor.
-    r.push(ObjectTiming::new("http://thin.example/l", "10.0.0.3", 100_000, 2_000.0));
+    r.push(ObjectTiming::new(
+        "http://thin.example/l",
+        "10.0.0.3",
+        100_000,
+        2_000.0,
+    ));
     let v = detect_violators(&PageAnalysis::from_report(&r), &config);
     let ips: Vec<&str> = v.iter().map(|v| v.ip.as_str()).collect();
     assert_eq!(ips, ["10.0.0.2", "10.0.0.3"]);

@@ -37,7 +37,10 @@ fn host_extraction() {
         ObjectTiming::new("http://A.Example/z", "1.1.1.1", 1, 1.0).host(),
         Some("a.example".to_owned())
     );
-    assert_eq!(ObjectTiming::new("not a url", "1.1.1.1", 1, 1.0).host(), None);
+    assert_eq!(
+        ObjectTiming::new("not a url", "1.1.1.1", 1, 1.0).host(),
+        None
+    );
 }
 
 #[test]
@@ -75,10 +78,20 @@ fn wire_size_tracks_entry_count() {
     let mut small = PerfReport::new("u", "/");
     let mut large = PerfReport::new("u", "/");
     for i in 0..5 {
-        small.push(ObjectTiming::new(format!("http://h/{i}"), "1.1.1.1", 100, 10.0));
+        small.push(ObjectTiming::new(
+            format!("http://h/{i}"),
+            "1.1.1.1",
+            100,
+            10.0,
+        ));
     }
     for i in 0..200 {
-        large.push(ObjectTiming::new(format!("http://h/{i}"), "1.1.1.1", 100, 10.0));
+        large.push(ObjectTiming::new(
+            format!("http://h/{i}"),
+            "1.1.1.1",
+            100,
+            10.0,
+        ));
     }
     assert!(large.wire_size() > small.wire_size() * 10);
 }

@@ -14,16 +14,23 @@ fn parses_the_papers_example() {
     )
     .unwrap();
     assert_eq!(rule.rule_type, RuleType::ReplaceIdentical);
-    assert_eq!(rule.default_text, r#"<script src="http://s1.com/jquery.js">"#);
-    assert_eq!(rule.alternatives, [r#"<script src="http://s2.net/jquery.js">"#]);
+    assert_eq!(
+        rule.default_text,
+        r#"<script src="http://s1.com/jquery.js">"#
+    );
+    assert_eq!(
+        rule.alternatives,
+        [r#"<script src="http://s2.net/jquery.js">"#]
+    );
     assert!(rule.ttl_ms.is_none(), "0 means never expire");
     assert!(rule.scope.applies_to("/any/page/at/all"));
 }
 
 #[test]
 fn parses_type1_with_no_alternative() {
-    let rule = parse_rule(r#"(1, "<iframe src=\"http://ads.example/b\"></iframe>", -, 60000, "/shop/*")"#)
-        .unwrap();
+    let rule =
+        parse_rule(r#"(1, "<iframe src=\"http://ads.example/b\"></iframe>", -, 60000, "/shop/*")"#)
+            .unwrap();
     assert_eq!(rule.rule_type, RuleType::Remove);
     assert!(rule.alternatives.is_empty());
     assert_eq!(rule.ttl_ms, Some(60_000));
@@ -85,11 +92,11 @@ fn reports_line_numbers() {
 #[test]
 fn rejects_syntax_errors() {
     for bad in [
-        "2, \"a\", \"b\", 0, *)",          // missing (
-        "(2 \"a\", \"b\", 0, *)",          // missing comma
-        "(2, \"a\", \"b\", 0, *",          // missing )
-        "(2, \"a\", \"b\", zero, *)",      // non-integer ttl
-        "(2, \"a, \"b\", 0, *)",           // unterminated-ish string
+        "2, \"a\", \"b\", 0, *)",     // missing (
+        "(2 \"a\", \"b\", 0, *)",     // missing comma
+        "(2, \"a\", \"b\", 0, *",     // missing )
+        "(2, \"a\", \"b\", zero, *)", // non-integer ttl
+        "(2, \"a, \"b\", 0, *)",      // unterminated-ish string
         "(2, \"a\", \"b\", 0, *) trailing",
         "(4, \"a\", \"b\", 0, *)",         // unknown type
         "(2, \"a\", [\"b\" \"c\"], 0, *)", // missing comma in list
@@ -243,8 +250,12 @@ mod format_properties {
 #[test]
 fn roundtrips_through_engine() {
     use crate::engine::{Oak, OakConfig};
-    let mut oak = Oak::new(OakConfig::default());
-    for rule in parse_rules(r#"(2, "<img src=\"http://a.example/x\">", "<img src=\"http://b.example/x\">", 0, *)"#).unwrap() {
+    let oak = Oak::new(OakConfig::default());
+    for rule in parse_rules(
+        r#"(2, "<img src=\"http://a.example/x\">", "<img src=\"http://b.example/x\">", 0, *)"#,
+    )
+    .unwrap()
+    {
         oak.add_rule(rule).unwrap();
     }
     assert_eq!(oak.rules().count(), 1);

@@ -76,8 +76,9 @@ impl Document {
                 TokenKind::StartTag { name, attrs, .. } => {
                     // `<base href>`: the first one wins, per HTML.
                     if name == "base" && base_href.is_none() {
-                        if let Some(attr) =
-                            attrs.iter().find(|a| a.name == "href" && !a.value.is_empty())
+                        if let Some(attr) = attrs
+                            .iter()
+                            .find(|a| a.name == "href" && !a.value.is_empty())
                         {
                             base_href = Some(decode_entities(attr.value.trim()));
                         }

@@ -128,9 +128,7 @@ impl<'s> Rewriter<'s> {
             return Err(RewriteError::NotCharBoundary { span });
         }
         // Find insertion point; verify the neighbours don't overlap.
-        let idx = self
-            .edits
-            .partition_point(|e| e.span.start < span.start);
+        let idx = self.edits.partition_point(|e| e.span.start < span.start);
         if let Some(prev) = idx.checked_sub(1).and_then(|i| self.edits.get(i)) {
             if prev.span.end > span.start {
                 return Err(RewriteError::Overlap {

@@ -20,7 +20,14 @@ fn kinds(source: &str) -> Vec<String> {
 fn tokenizes_simple_page() {
     assert_eq!(
         kinds("<!DOCTYPE html><html><body>Hi</body></html>"),
-        ["doctype", "start:html", "start:body", "text", "end:body", "end:html"]
+        [
+            "doctype",
+            "start:html",
+            "start:body",
+            "text",
+            "end:body",
+            "end:html"
+        ]
     );
 }
 
@@ -39,15 +46,28 @@ fn spans_cover_source_exactly() {
 #[test]
 fn parses_attributes() {
     let tokens = tokenize(r#"<img src="a.png" width=10 async data-x='q'>"#);
-    let TokenKind::StartTag { name, attrs, self_closing } = &tokens[0].kind else {
+    let TokenKind::StartTag {
+        name,
+        attrs,
+        self_closing,
+    } = &tokens[0].kind
+    else {
         panic!("expected start tag");
     };
     assert_eq!(name, "img");
     assert!(!self_closing);
-    let pairs: Vec<(&str, &str)> = attrs.iter().map(|a| (a.name.as_str(), a.value.as_str())).collect();
+    let pairs: Vec<(&str, &str)> = attrs
+        .iter()
+        .map(|a| (a.name.as_str(), a.value.as_str()))
+        .collect();
     assert_eq!(
         pairs,
-        [("src", "a.png"), ("width", "10"), ("async", ""), ("data-x", "q")]
+        [
+            ("src", "a.png"),
+            ("width", "10"),
+            ("async", ""),
+            ("data-x", "q")
+        ]
     );
 }
 
@@ -64,7 +84,12 @@ fn attribute_value_spans_are_exact() {
 #[test]
 fn self_closing_and_case_folding() {
     let tokens = tokenize("<IMG SRC='x'/><BR/>");
-    let TokenKind::StartTag { name, self_closing, attrs } = &tokens[0].kind else {
+    let TokenKind::StartTag {
+        name,
+        self_closing,
+        attrs,
+    } = &tokens[0].kind
+    else {
         panic!()
     };
     assert_eq!(name, "img");
@@ -162,7 +187,11 @@ fn document_reads_base_href() {
     let page = r#"<head><base href="http://assets.example/v2/"><base href="http://ignored.example/"></head>
 <img src="logo.png">"#;
     let doc = Document::parse(page);
-    assert_eq!(doc.base_href(), Some("http://assets.example/v2/"), "first base wins");
+    assert_eq!(
+        doc.base_href(),
+        Some("http://assets.example/v2/"),
+        "first base wins"
+    );
     assert_eq!(Document::parse("<img src=\"x.png\">").base_href(), None);
     assert_eq!(
         Document::parse("<base target=\"_blank\">").base_href(),
@@ -212,7 +241,10 @@ fn entity_decoding() {
     assert_eq!(decode_entities("&lt;tag&gt;"), "<tag>");
     assert_eq!(decode_entities("&quot;q&quot;&apos;"), "\"q\"'");
     assert_eq!(decode_entities("&#65;&#x42;&#x63;"), "ABc");
-    assert_eq!(decode_entities("&bogus; &#; &#xZZ; &"), "&bogus; &#; &#xZZ; &");
+    assert_eq!(
+        decode_entities("&bogus; &#; &#xZZ; &"),
+        "&bogus; &#; &#xZZ; &"
+    );
     assert_eq!(decode_entities(""), "");
     assert_eq!(decode_entities("no entities"), "no entities");
 }

@@ -151,8 +151,8 @@ impl Request {
         if !self.body.is_empty() && !headers.contains("content-length") {
             headers.set("Content-Length", self.body.len().to_string());
         }
-        let mut out = format!("{} {} HTTP/1.1\r\n{headers}\r\n", self.method, self.target)
-            .into_bytes();
+        let mut out =
+            format!("{} {} HTTP/1.1\r\n{headers}\r\n", self.method, self.target).into_bytes();
         out.extend_from_slice(&self.body);
         out
     }
@@ -395,7 +395,5 @@ pub fn encode_chunked(data: &[u8], chunk_size: usize) -> Vec<u8> {
 
 /// Naive subslice search (messages are small; no need for anything fancy).
 pub(crate) fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }

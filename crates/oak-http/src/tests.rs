@@ -24,7 +24,10 @@ fn url_defaults() {
     let u = Url::parse("http://h.example").unwrap();
     assert_eq!(u.path(), "/");
     assert_eq!(u.effective_port(), 80);
-    assert_eq!(Url::parse("https://h.example").unwrap().effective_port(), 443);
+    assert_eq!(
+        Url::parse("https://h.example").unwrap().effective_port(),
+        443
+    );
 }
 
 #[test]
@@ -170,8 +173,7 @@ fn parse_detects_truncation() {
 
 #[test]
 fn body_respects_content_length_exactly() {
-    let parsed =
-        Request::parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA").unwrap();
+    let parsed = Request::parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA").unwrap();
     assert_eq!(parsed.body, b"ab");
 }
 
@@ -198,7 +200,10 @@ fn cookie_parsing() {
 
 #[test]
 fn cookie_formatting() {
-    assert_eq!(format_set_cookie(OAK_USER_COOKIE, "u-1"), "oak_uid=u-1; Path=/");
+    assert_eq!(
+        format_set_cookie(OAK_USER_COOKIE, "u-1"),
+        "oak_uid=u-1; Path=/"
+    );
     assert_eq!(
         format_cookie_header(&[("a".into(), "1".into()), ("b".into(), "2".into())]),
         "a=1; b=2"
@@ -222,13 +227,23 @@ fn chunked_tolerates_extensions_and_rejects_garbage() {
     assert_eq!(Request::parse(ok).unwrap().body, b"hello");
 
     let bad_size = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nZZ\r\nhello\r\n0\r\n\r\n";
-    assert!(matches!(Request::parse(bad_size), Err(HttpError::Malformed(_))));
+    assert!(matches!(
+        Request::parse(bad_size),
+        Err(HttpError::Malformed(_))
+    ));
 
     let truncated = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel";
-    assert!(matches!(Request::parse(truncated), Err(HttpError::Truncated)));
+    assert!(matches!(
+        Request::parse(truncated),
+        Err(HttpError::Truncated)
+    ));
 
-    let missing_crlf = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhelloXX0\r\n\r\n";
-    assert!(matches!(Request::parse(missing_crlf), Err(HttpError::Malformed(_))));
+    let missing_crlf =
+        b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhelloXX0\r\n\r\n";
+    assert!(matches!(
+        Request::parse(missing_crlf),
+        Err(HttpError::Malformed(_))
+    ));
 }
 
 #[test]
@@ -238,7 +253,11 @@ fn chunked_roundtrip_various_chunk_sizes() {
     for chunk_size in [1, 13, 4096, 100_000] {
         let mut raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
         raw.extend_from_slice(&encode_chunked(&payload, chunk_size));
-        assert_eq!(Request::parse(&raw).unwrap().body, payload, "chunk={chunk_size}");
+        assert_eq!(
+            Request::parse(&raw).unwrap().body,
+            payload,
+            "chunk={chunk_size}"
+        );
     }
 }
 
@@ -276,7 +295,8 @@ fn tcp_server_round_trips_requests() {
     assert_eq!(resp.status, StatusCode::OK);
     assert_eq!(resp.body_text(), "you asked for /page");
     assert_eq!(
-        resp.header("set-cookie").and_then(|v| get_cookie(v, OAK_USER_COOKIE)),
+        resp.header("set-cookie")
+            .and_then(|v| get_cookie(v, OAK_USER_COOKIE)),
         Some("u-9")
     );
     server.shutdown();

@@ -56,7 +56,10 @@ fn parses_unicode_escapes() {
 fn rejects_bad_surrogates() {
     assert!(parse(r#""\ud83d""#).is_err(), "unpaired high surrogate");
     assert!(parse(r#""\ude00""#).is_err(), "unpaired low surrogate");
-    assert!(parse(r#""\ud83dx""#).is_err(), "high surrogate then raw char");
+    assert!(
+        parse(r#""\ud83dx""#).is_err(),
+        "high surrogate then raw char"
+    );
     assert!(parse(r#""\ud83dA""#).is_err(), "high then non-surrogate");
 }
 
@@ -68,8 +71,9 @@ fn rejects_control_chars_in_strings() {
 
 #[test]
 fn parses_nested_structures() {
-    let doc = parse(r#"{"objects": [{"url": "http://a.com/x", "bytes": 512, "ms": 12.5}], "ok": true}"#)
-        .unwrap();
+    let doc =
+        parse(r#"{"objects": [{"url": "http://a.com/x", "bytes": 512, "ms": 12.5}], "ok": true}"#)
+            .unwrap();
     let objects = doc.get("objects").and_then(Value::as_array).unwrap();
     assert_eq!(objects.len(), 1);
     assert_eq!(objects[0].get("bytes").and_then(Value::as_u64), Some(512));

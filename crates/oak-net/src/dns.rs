@@ -77,6 +77,8 @@ impl Dns {
 
     /// Iterates over `(domain, addresses)` pairs in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[IpAddr])> {
-        self.records.iter().map(|(d, ips)| (d.as_str(), ips.as_slice()))
+        self.records
+            .iter()
+            .map(|(d, ips)| (d.as_str(), ips.as_slice()))
     }
 }

@@ -20,7 +20,15 @@ fn ip_parse_and_display_roundtrip() {
 
 #[test]
 fn ip_parse_rejects_garbage() {
-    for bad in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "01x.0.0.0"] {
+    for bad in [
+        "",
+        "1.2.3",
+        "1.2.3.4.5",
+        "256.0.0.1",
+        "a.b.c.d",
+        "1..2.3",
+        "01x.0.0.0",
+    ] {
         assert!(IpAddr::parse(bad).is_none(), "{bad:?}");
     }
 }
@@ -86,7 +94,10 @@ fn rng_distributions_are_sane() {
     // Log-normal with median 1: about half the draws fall below 1.
     let below: usize = (0..n).filter(|_| rng.lognormal(0.3) < 1.0).count();
     let frac = below as f64 / n as f64;
-    assert!((frac - 0.5).abs() < 0.03, "lognormal median fraction {frac}");
+    assert!(
+        (frac - 0.5).abs() < 0.03,
+        "lognormal median fraction {frac}"
+    );
 
     let mut rng = StatelessRng::keyed(99, &[10]);
     for _ in 0..1000 {
@@ -99,7 +110,10 @@ fn rng_distributions_are_sane() {
 #[test]
 fn dns_single_and_missing() {
     let (world, client, near, _) = small_world(5);
-    assert_eq!(world.resolve("near.example", client), Some(world.ip_of(near)));
+    assert_eq!(
+        world.resolve("near.example", client),
+        Some(world.ip_of(near))
+    );
     assert_eq!(world.resolve("nosuch.example", client), None);
 }
 
@@ -173,8 +187,10 @@ fn fetch_large_objects_report_lower_time_higher_bits() {
     let small = world.fetch(t, client, world.ip_of(near), 10_000, 1);
     let large = world.fetch(t, client, world.ip_of(near), 500_000, 1);
     assert!(large.time_ms > small.time_ms);
-    assert!(large.throughput_kbps > small.throughput_kbps,
-        "throughput improves once transfer dominates the fixed costs");
+    assert!(
+        large.throughput_kbps > small.throughput_kbps,
+        "throughput improves once transfer dominates the fixed costs"
+    );
     assert_eq!(large.bytes, 500_000);
 }
 

@@ -135,8 +135,7 @@ impl World {
             pair_rng.uniform(0.75, 1.35)
         };
         let noise = rng.lognormal(0.04);
-        let time_ms =
-            (connect_ms + processing_ms + transfer_ms) * affinity * noise + injected_ms;
+        let time_ms = (connect_ms + processing_ms + transfer_ms) * affinity * noise + injected_ms;
 
         Fetch {
             time_ms,
@@ -154,7 +153,12 @@ impl World {
         let client = self.client(client);
         let mut rng = StatelessRng::keyed(
             self.seed,
-            &[0xdd, u64::from(client.id.0), domain_hash, t.as_millis() / NOISE_BUCKET_MS],
+            &[
+                0xdd,
+                u64::from(client.id.0),
+                domain_hash,
+                t.as_millis() / NOISE_BUCKET_MS,
+            ],
         );
         (client.last_mile_ms + rng.uniform(5.0, 30.0)) * rng.lognormal(0.3)
     }

@@ -48,11 +48,7 @@ impl Glob {
                         2 => tokens.push(Token::AnyPath),
                         _ => {
                             return Err(PatternError {
-                                offset: pattern
-                                    .char_indices()
-                                    .nth(i)
-                                    .map(|(o, _)| o)
-                                    .unwrap_or(0),
+                                offset: pattern.char_indices().nth(i).map(|(o, _)| o).unwrap_or(0),
                                 message: format!("{run} consecutive '*' (max 2)"),
                             })
                         }

@@ -158,7 +158,10 @@ impl Regex {
                             // `^a*$` on "aaa" consumes everything.
                             (_, true) => {
                                 if best.is_none_or(|b| end > b.end) {
-                                    best = Some(Match { start: th.start, end });
+                                    best = Some(Match {
+                                        start: th.start,
+                                        end,
+                                    });
                                 }
                             }
                             // Leftmost-first: every surviving thread is, by
@@ -167,24 +170,48 @@ impl Regex {
                             // Match overrides; lower-priority threads in the
                             // current step are cut.
                             (_, false) => {
-                                best = Some(Match { start: th.start, end });
+                                best = Some(Match {
+                                    start: th.start,
+                                    end,
+                                });
                                 clist.threads.truncate(i);
                             }
                         }
                     }
                     Inst::Char(c) => {
                         if ch == Some(*c) {
-                            self.add_thread_from(&mut nlist, th.pc + 1, th.start, step + 1, n, next_at);
+                            self.add_thread_from(
+                                &mut nlist,
+                                th.pc + 1,
+                                th.start,
+                                step + 1,
+                                n,
+                                next_at,
+                            );
                         }
                     }
                     Inst::Any => {
                         if ch.is_some() {
-                            self.add_thread_from(&mut nlist, th.pc + 1, th.start, step + 1, n, next_at);
+                            self.add_thread_from(
+                                &mut nlist,
+                                th.pc + 1,
+                                th.start,
+                                step + 1,
+                                n,
+                                next_at,
+                            );
                         }
                     }
                     Inst::Class(idx) => {
                         if ch.is_some_and(|c| self.classes[*idx].contains(c)) {
-                            self.add_thread_from(&mut nlist, th.pc + 1, th.start, step + 1, n, next_at);
+                            self.add_thread_from(
+                                &mut nlist,
+                                th.pc + 1,
+                                th.start,
+                                step + 1,
+                                n,
+                                next_at,
+                            );
                         }
                     }
                     // Epsilon instructions are resolved in add_thread.
@@ -558,8 +585,10 @@ impl<'a> Parser<'a> {
             Some('n') => Ok(Ast::Char('\n')),
             Some('r') => Ok(Ast::Char('\r')),
             Some('t') => Ok(Ast::Char('\t')),
-            Some(c @ ('\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|'
-            | '^' | '$' | '/' | '-')) => Ok(Ast::Char(c)),
+            Some(
+                c @ ('\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^'
+                | '$' | '/' | '-'),
+            ) => Ok(Ast::Char(c)),
             Some(c) => Err(self.err(format!("unknown escape '\\{c}'"))),
             None => Err(self.err("dangling backslash")),
         }
@@ -640,7 +669,13 @@ fn word_ranges() -> Vec<(char, char)> {
 }
 
 fn space_ranges() -> Vec<(char, char)> {
-    vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\u{b}', '\u{c}')]
+    vec![
+        (' ', ' '),
+        ('\t', '\t'),
+        ('\n', '\n'),
+        ('\r', '\r'),
+        ('\u{b}', '\u{c}'),
+    ]
 }
 
 fn class_digit(negated: bool) -> CharClass {

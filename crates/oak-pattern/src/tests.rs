@@ -64,7 +64,11 @@ fn anchors() {
 fn classes() {
     assert_eq!(m("[a-c]+", "zzabcz"), Some((2, 5)));
     assert_eq!(m("[^a-c]+", "abxyc"), Some((2, 4)));
-    assert_eq!(m("[-x]", "a-b"), Some((1, 2)), "leading/trailing dash is literal");
+    assert_eq!(
+        m("[-x]", "a-b"),
+        Some((1, 2)),
+        "leading/trailing dash is literal"
+    );
     assert_eq!(m("[x-]", "a-b"), Some((1, 2)));
     assert_eq!(m("[]x]", "]"), Some((0, 1)), "leading ] is literal");
     assert_eq!(m(r"[\d]+", "ab123"), Some((2, 5)));
@@ -109,7 +113,19 @@ fn groups_compose() {
 
 #[test]
 fn syntax_errors() {
-    for bad in ["(", ")", "(ab", "[a", "*a", "+", "?x"[0..1].as_ref(), r"\q", r"[\q]", "[z-a]", "a**"] {
+    for bad in [
+        "(",
+        ")",
+        "(ab",
+        "[a",
+        "*a",
+        "+",
+        "?x"[0..1].as_ref(),
+        r"\q",
+        r"[\q]",
+        "[z-a]",
+        "a**",
+    ] {
         assert!(Regex::new(bad).is_err(), "{bad:?} should fail to compile");
     }
 }
@@ -121,12 +137,19 @@ fn full_match() {
     assert!(re.is_full_match(""));
     assert!(!re.is_full_match("aab"));
     let re = Regex::new("ab|a").unwrap();
-    assert!(re.is_full_match("ab"), "full match ignores branch preference");
+    assert!(
+        re.is_full_match("ab"),
+        "full match ignores branch preference"
+    );
 }
 
 #[test]
 fn unicode_input() {
-    assert_eq!(m("é+", "caféé"), Some((3, 7)), "byte offsets span multibyte chars");
+    assert_eq!(
+        m("é+", "caféé"),
+        Some((3, 7)),
+        "byte offsets span multibyte chars"
+    );
     assert_eq!(m(".", "😀"), Some((0, 4)));
 }
 

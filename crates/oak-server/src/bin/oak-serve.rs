@@ -88,7 +88,11 @@ fn main() -> ExitCode {
     let oak = match &args.rules {
         Some(path) => match load_rules(path, OakConfig::default()) {
             Ok(oak) => {
-                eprintln!("loaded {} rule(s) from {}", oak.rules().count(), path.display());
+                eprintln!(
+                    "loaded {} rule(s) from {}",
+                    oak.rules().count(),
+                    path.display()
+                );
                 oak
             }
             Err(e) => {

@@ -87,7 +87,7 @@ pub fn load_rules(path: &Path, config: OakConfig) -> io::Result<Oak> {
     let text = fs::read_to_string(path)?;
     let rules = parse_rules(&text)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let mut oak = Oak::new(config);
+    let oak = Oak::new(config);
     for rule in rules {
         oak.add_rule(rule)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;

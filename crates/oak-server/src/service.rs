@@ -3,8 +3,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use oak_core::engine::Oak;
 use oak_core::matching::{NoFetch, ScriptFetcher};
 use oak_core::report::PerfReport;
@@ -29,19 +27,41 @@ pub struct ServiceStats {
     pub reports_rejected: u64,
 }
 
+/// Lock-free service counters; [`ServiceStats`] is the read snapshot.
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    pages_served: AtomicU64,
+    objects_served: AtomicU64,
+    reports_accepted: AtomicU64,
+    reports_rejected: AtomicU64,
+}
+
+impl ServiceCounters {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            pages_served: self.pages_served.load(Ordering::Relaxed),
+            objects_served: self.objects_served.load(Ordering::Relaxed),
+            reports_accepted: self.reports_accepted.load(Ordering::Relaxed),
+            reports_rejected: self.reports_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The Oak proxy: serves a [`SiteStore`] through the per-user rewriting
 /// engine and ingests client performance reports.
 ///
-/// Thread-safe: the engine sits behind a mutex, so one service instance
-/// can back a multi-threaded [`oak_http::TcpServer`] directly, matching
-/// the paper's "multi-threaded server in Python" deployment (§5).
+/// Thread-safe without an outer lock: the engine is internally sharded
+/// (see [`oak_core::engine::Oak`]'s concurrency docs) and the counters
+/// are atomics, so one service instance backs a multi-threaded
+/// [`oak_http::TcpServer`] directly and requests for different users
+/// proceed in parallel.
 pub struct OakService {
-    oak: Mutex<Oak>,
+    oak: Oak,
     store: SiteStore,
     clock: Box<dyn Fn() -> Instant + Send + Sync>,
     fetcher: Box<dyn ScriptFetcher + Send + Sync>,
     next_user: AtomicU64,
-    stats: Mutex<ServiceStats>,
+    stats: ServiceCounters,
 }
 
 impl OakService {
@@ -49,21 +69,18 @@ impl OakService {
     /// Use the builder methods to attach either.
     pub fn new(oak: Oak, store: SiteStore) -> OakService {
         OakService {
-            oak: Mutex::new(oak),
+            oak,
             store,
             clock: Box::new(|| Instant::ZERO),
             fetcher: Box::new(NoFetch),
             next_user: AtomicU64::new(1),
-            stats: Mutex::new(ServiceStats::default()),
+            stats: ServiceCounters::default(),
         }
     }
 
     /// Installs the clock the engine sees (wall time for live deployments,
     /// simulated time for experiments).
-    pub fn with_clock(
-        mut self,
-        clock: impl Fn() -> Instant + Send + Sync + 'static,
-    ) -> OakService {
+    pub fn with_clock(mut self, clock: impl Fn() -> Instant + Send + Sync + 'static) -> OakService {
         self.clock = Box::new(clock);
         self
     }
@@ -77,15 +94,16 @@ impl OakService {
         self
     }
 
-    /// Runs `f` against the engine under the lock (experiments add rules
-    /// and read logs this way).
-    pub fn with_oak<T>(&self, f: impl FnOnce(&mut Oak) -> T) -> T {
-        f(&mut self.oak.lock())
+    /// Runs `f` against the engine (experiments add rules and read logs
+    /// this way). The engine synchronizes internally, so `f` gets a
+    /// shared reference and no service-wide lock is held.
+    pub fn with_oak<T>(&self, f: impl FnOnce(&Oak) -> T) -> T {
+        f(&self.oak)
     }
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Wraps the service in an [`Arc`] ready for
@@ -108,7 +126,7 @@ impl OakService {
             }
         };
 
-        let modified = self.oak.lock().modify_page(now, &user, path, html);
+        let modified = self.oak.modify_page(now, &user, path, html);
         let alternate = modified.alternate_header_entry();
         let mut response = Response::html(modified.html);
         if minted {
@@ -119,16 +137,17 @@ impl OakService {
         if let Some((name, value)) = alternate {
             response.headers.set(name, value);
         }
-        self.stats.lock().pages_served += 1;
+        self.stats.pages_served.fetch_add(1, Ordering::Relaxed);
         response
     }
 
     /// Renders the §6 offline audit as plain text (`GET /oak/audit`).
     fn audit_view(&self) -> Response {
-        let oak = self.oak.lock();
-        let summary = oak_core::audit::audit(oak.log());
-        Response::new(StatusCode::OK)
-            .with_body(summary.to_string().into_bytes(), "text/plain; charset=utf-8")
+        let summary = oak_core::audit::audit(&self.oak.log());
+        Response::new(StatusCode::OK).with_body(
+            summary.to_string().into_bytes(),
+            "text/plain; charset=utf-8",
+        )
     }
 
     /// Serves service counters and aggregate site performance as JSON
@@ -141,8 +160,7 @@ impl OakService {
         doc.set("reports_accepted", stats.reports_accepted);
         doc.set("reports_rejected", stats.reports_rejected);
 
-        let oak = self.oak.lock();
-        let agg = oak.aggregates();
+        let agg = self.oak.aggregates();
         doc.set("reports", agg.report_count());
         doc.set("users", agg.user_count());
         let mut domains = oak_json::Value::array();
@@ -155,11 +173,17 @@ impl OakService {
             row.set("users_seen", entry.users_seen);
             row.set(
                 "avg_small_time_ms",
-                entry.small_time_ms.mean().map(|m| (m * 100.0).round() / 100.0),
+                entry
+                    .small_time_ms
+                    .mean()
+                    .map(|m| (m * 100.0).round() / 100.0),
             );
             row.set(
                 "avg_large_tput_kbps",
-                entry.large_tput_kbps.mean().map(|m| (m * 100.0).round() / 100.0),
+                entry
+                    .large_tput_kbps
+                    .mean()
+                    .map(|m| (m * 100.0).round() / 100.0),
             );
             domains.push(row);
         }
@@ -173,7 +197,7 @@ impl OakService {
         let mut report = match PerfReport::from_json(&body) {
             Ok(r) => r,
             Err(e) => {
-                self.stats.lock().reports_rejected += 1;
+                self.stats.reports_rejected.fetch_add(1, Ordering::Relaxed);
                 return Response::new(StatusCode::BAD_REQUEST)
                     .with_body(e.to_string().into_bytes(), "text/plain");
             }
@@ -190,9 +214,8 @@ impl OakService {
         // never client-forgeable) feeds subnet-scoped rule policies.
         let client_ip = request.header(oak_http::PEER_ADDR_HEADER);
         self.oak
-            .lock()
             .ingest_report_from(now, &report, &*self.fetcher, client_ip);
-        self.stats.lock().reports_accepted += 1;
+        self.stats.reports_accepted.fetch_add(1, Ordering::Relaxed);
         Response::new(StatusCode::NO_CONTENT)
     }
 }
@@ -209,13 +232,13 @@ impl Handler for OakService {
                     return self.serve_page(request, &path, html);
                 }
                 if let Some((content_type, bytes)) = self.store.object(&path) {
-                    self.stats.lock().objects_served += 1;
-                    return Response::new(StatusCode::OK)
-                        .with_body(bytes.to_vec(), content_type);
+                    self.stats.objects_served.fetch_add(1, Ordering::Relaxed);
+                    return Response::new(StatusCode::OK).with_body(bytes.to_vec(), content_type);
                 }
                 Response::not_found()
             }
-            _ => Response::new(StatusCode(405)).with_body(b"method not allowed".to_vec(), "text/plain"),
+            _ => Response::new(StatusCode(405))
+                .with_body(b"method not allowed".to_vec(), "text/plain"),
         }
     }
 }

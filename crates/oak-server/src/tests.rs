@@ -16,8 +16,9 @@ const JQ_ALT: &str = r#"<script src="http://cdn-b.example/jquery.js">"#;
 const PAGE: &str = r#"<html><head><script src="http://cdn-a.example/jquery.js"></script></head><body>shop</body></html>"#;
 
 fn service_with_rule() -> OakService {
-    let mut oak = Oak::new(OakConfig::default());
-    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT])).unwrap();
+    let oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]))
+        .unwrap();
     let mut store = SiteStore::new();
     store.add_page("/index.html", PAGE);
     store.add_object("/logo.png", "image/png", vec![0x89, 0x50, 0x4e, 0x47]);
@@ -27,11 +28,36 @@ fn service_with_rule() -> OakService {
 /// A report that makes cdn-a.example the clear violator.
 fn violating_report(user: &str) -> PerfReport {
     let mut r = PerfReport::new(user, "/index.html");
-    r.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 900.0));
-    r.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 80.0));
-    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 95.0));
-    r.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 70.0));
-    r.push(ObjectTiming::new("http://api.example/d.js", "10.0.0.4", 30_000, 90.0));
+    r.push(ObjectTiming::new(
+        "http://cdn-a.example/jquery.js",
+        "10.0.0.1",
+        30_000,
+        900.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://img.example/a.png",
+        "10.0.0.2",
+        30_000,
+        80.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.2",
+        30_000,
+        95.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://fonts.example/f.woff",
+        "10.0.0.3",
+        30_000,
+        70.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://api.example/d.js",
+        "10.0.0.4",
+        30_000,
+        90.0,
+    ));
     r
 }
 
@@ -112,7 +138,10 @@ fn serves_static_objects_and_404s() {
     let obj = get(&service, "/logo.png", None);
     assert_eq!(obj.status, StatusCode::OK);
     assert_eq!(obj.header("content-type"), Some("image/png"));
-    assert_eq!(get(&service, "/missing", None).status, StatusCode::NOT_FOUND);
+    assert_eq!(
+        get(&service, "/missing", None).status,
+        StatusCode::NOT_FOUND
+    );
     let put = service.handle(&Request::new(Method::Put, "/index.html"));
     assert_eq!(put.status, StatusCode(405));
 }
@@ -133,11 +162,9 @@ fn stats_count_all_traffic() {
 #[test]
 fn clock_drives_ttl_expiry() {
     use std::sync::atomic::{AtomicU64, Ordering};
-    let mut oak = Oak::new(OakConfig::default());
-    oak.add_rule(
-        Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]).with_ttl_ms(Some(60_000)),
-    )
-    .unwrap();
+    let oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]).with_ttl_ms(Some(60_000)))
+        .unwrap();
     let mut store = SiteStore::new();
     store.add_page("/index.html", PAGE);
     let now = Arc::new(AtomicU64::new(0));
@@ -146,11 +173,15 @@ fn clock_drives_ttl_expiry() {
         OakService::new(oak, store).with_clock(move || Instant(clock_now.load(Ordering::SeqCst)));
 
     post_report(&service, &violating_report("u-1"), Some("u-1"));
-    assert!(get(&service, "/index.html", Some("u-1")).body_text().contains("cdn-b.example"));
+    assert!(get(&service, "/index.html", Some("u-1"))
+        .body_text()
+        .contains("cdn-b.example"));
 
     now.store(120_000, Ordering::SeqCst);
     assert!(
-        get(&service, "/index.html", Some("u-1")).body_text().contains("cdn-a.example"),
+        get(&service, "/index.html", Some("u-1"))
+            .body_text()
+            .contains("cdn-a.example"),
         "rule expired after TTL"
     );
 }
@@ -164,7 +195,9 @@ fn full_loop_over_real_tcp() {
     // 1. First page fetch: default content + cookie.
     let resp = fetch_tcp(addr, &Request::new(Method::Get, "/index.html")).unwrap();
     let cookie_header = resp.header("set-cookie").unwrap().to_owned();
-    let user = get_cookie(&cookie_header, OAK_USER_COOKIE).unwrap().to_owned();
+    let user = get_cookie(&cookie_header, OAK_USER_COOKIE)
+        .unwrap()
+        .to_owned();
     assert!(resp.body_text().contains("cdn-a.example"));
 
     // 2. POST a violating report with the cookie.
@@ -201,7 +234,10 @@ fn admin_endpoints_render_audit_and_stats() {
     let stats = get(&service, crate::STATS_PATH, None);
     assert_eq!(stats.status, StatusCode::OK);
     let doc = oak_json::parse(&stats.body_text()).expect("stats is valid JSON");
-    assert_eq!(doc.get("reports_accepted").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        doc.get("reports_accepted").and_then(|v| v.as_u64()),
+        Some(1)
+    );
     assert_eq!(doc.get("pages_served").and_then(|v| v.as_u64()), Some(1));
     let domains = doc.get("domains").and_then(|d| d.as_array()).unwrap();
     assert!(!domains.is_empty());
@@ -210,7 +246,10 @@ fn admin_endpoints_render_audit_and_stats() {
         domains[0].get("domain").and_then(|v| v.as_str()),
         Some("cdn-a.example")
     );
-    assert_eq!(domains[0].get("violations").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        domains[0].get("violations").and_then(|v| v.as_u64()),
+        Some(1)
+    );
 }
 
 #[test]
@@ -266,11 +305,9 @@ fn subnet_scoped_rule_over_tcp_uses_peer_address() {
     use oak_core::rule::Rule;
     // A rule restricted to localhost's 127.0.0.x: the TCP peer address
     // stamped by the server admits it; a spoofed header could not.
-    let mut oak = Oak::new(OakConfig::default());
-    oak.add_rule(
-        Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]).with_client_prefix("127.0.0."),
-    )
-    .unwrap();
+    let oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]).with_client_prefix("127.0.0."))
+        .unwrap();
     let mut store = SiteStore::new();
     store.add_page("/index.html", PAGE);
     let service = OakService::new(oak, store).into_shared();
@@ -278,7 +315,10 @@ fn subnet_scoped_rule_over_tcp_uses_peer_address() {
     let addr = server.addr();
 
     let post = Request::new(Method::Post, REPORT_PATH)
-        .with_body(violating_report("u-local").to_json().into_bytes(), "application/json")
+        .with_body(
+            violating_report("u-local").to_json().into_bytes(),
+            "application/json",
+        )
         .with_header("Cookie", &format!("{OAK_USER_COOKIE}=u-local"));
     assert_eq!(fetch_tcp(addr, &post).unwrap().status.0, 204);
 

@@ -7,9 +7,7 @@ use oak_net::{
     WorldBuilder,
 };
 
-use crate::model::{
-    Category, Corpus, CorpusConfig, Inclusion, PageObject, Provider, Site,
-};
+use crate::model::{Category, Corpus, CorpusConfig, Inclusion, PageObject, Provider, Site};
 
 /// Number of shared tag-manager hosts serving sites' loader scripts.
 const TAG_MANAGERS: u64 = 4;
@@ -272,8 +270,7 @@ impl<'c> Generator<'c> {
                 if objects.len() >= total {
                     break;
                 }
-                let (path, bytes) =
-                    object_shape(provider.category, slot * 16 + j, &mut rng);
+                let (path, bytes) = object_shape(provider.category, slot * 16 + j, &mut rng);
                 let url = format!("http://{}{path}", provider.domain);
                 // Mechanism proportions calibrated to Fig. 8's medians:
                 // 42 % direct, +18 % text, +21 % external JS, ~19 % dynamic.
@@ -290,10 +287,7 @@ impl<'c> Generator<'c> {
                         .clone();
                     let loader_url = format!("http://{lh}/loader-{index}.js");
                     loader_lines.push(format!("  oakFetch(\"{url}\");"));
-                    (
-                        Inclusion::ExternalJs { loader_url },
-                        None,
-                    )
+                    (Inclusion::ExternalJs { loader_url }, None)
                 } else {
                     (Inclusion::Dynamic, None)
                 };
@@ -543,7 +537,9 @@ fn render_page(host: &str, objects: &[PageObject], loader_tag: Option<&str>) -> 
     let mut head = String::new();
     let mut body = String::new();
     for object in objects {
-        let Some(snippet) = &object.snippet else { continue };
+        let Some(snippet) = &object.snippet else {
+            continue;
+        };
         match object.category {
             Category::Fonts => {
                 head.push_str(snippet);

@@ -34,9 +34,7 @@ mod gen;
 mod model;
 
 pub use gen::standard_clients;
-pub use model::{
-    Category, Corpus, CorpusConfig, Inclusion, PageObject, Provider, Site,
-};
+pub use model::{Category, Corpus, CorpusConfig, Inclusion, PageObject, Provider, Site};
 
 #[cfg(test)]
 mod tests;

@@ -24,7 +24,10 @@ fn generation_is_deterministic() {
         assert_eq!(sa.objects.len(), sb.objects.len());
     }
     let c = small_corpus(8);
-    assert_ne!(a.sites[0].html, c.sites[0].html, "different seed, different corpus");
+    assert_ne!(
+        a.sites[0].html, c.sites[0].html,
+        "different seed, different corpus"
+    );
 }
 
 #[test]
@@ -34,7 +37,12 @@ fn standard_client_split_matches_paper() {
     let world = b.build();
     assert_eq!(clients.len(), 25);
     use oak_net::Region::*;
-    let count = |r| clients.iter().filter(|&&c| world.client(c).region == r).count();
+    let count = |r| {
+        clients
+            .iter()
+            .filter(|&&c| world.client(c).region == r)
+            .count()
+    };
     assert_eq!(count(NorthAmerica), 13, "half in North America");
     assert_eq!(count(Europe), 6);
     assert_eq!(count(Asia) + count(Oceania), 6);
@@ -172,10 +180,26 @@ fn inclusion_mix_is_near_calibration() {
         }
     }
     let frac = |c: usize| c as f64 / total as f64;
-    assert!((frac(counts[0]) - 0.42).abs() < 0.06, "direct {}", frac(counts[0]));
-    assert!((frac(counts[1]) - 0.18).abs() < 0.05, "inline {}", frac(counts[1]));
-    assert!((frac(counts[2]) - 0.21).abs() < 0.05, "ext-js {}", frac(counts[2]));
-    assert!((frac(counts[3]) - 0.19).abs() < 0.05, "dynamic {}", frac(counts[3]));
+    assert!(
+        (frac(counts[0]) - 0.42).abs() < 0.06,
+        "direct {}",
+        frac(counts[0])
+    );
+    assert!(
+        (frac(counts[1]) - 0.18).abs() < 0.05,
+        "inline {}",
+        frac(counts[1])
+    );
+    assert!(
+        (frac(counts[2]) - 0.21).abs() < 0.05,
+        "ext-js {}",
+        frac(counts[2])
+    );
+    assert!(
+        (frac(counts[3]) - 0.19).abs() < 0.05,
+        "dynamic {}",
+        frac(counts[3])
+    );
 }
 
 #[test]
@@ -187,14 +211,13 @@ fn ads_and_social_skew_toward_poor_quality() {
     });
     use oak_net::Quality;
     let poor_rate = |cat: Category| {
-        let (poor, total) = corpus
-            .providers
-            .iter()
-            .filter(|p| p.category == cat)
-            .fold((0usize, 0usize), |(p, t), prov| {
+        let (poor, total) = corpus.providers.iter().filter(|p| p.category == cat).fold(
+            (0usize, 0usize),
+            |(p, t), prov| {
                 let q = corpus.world.server(prov.server).quality;
                 (p + usize::from(q == Quality::Poor), t + 1)
-            });
+            },
+        );
         poor as f64 / total.max(1) as f64
     };
     assert!(poor_rate(Category::AdsAnalytics) > poor_rate(Category::Cdn));
@@ -255,7 +278,9 @@ fn popular_providers_are_well_run_and_distributed() {
     }
     // The tail contains single-homed and sub-Good providers.
     let tail = &corpus.providers[25..120];
-    assert!(tail.iter().any(|p| !corpus.world.server(p.server).distributed));
+    assert!(tail
+        .iter()
+        .any(|p| !corpus.world.server(p.server).distributed));
     assert!(tail
         .iter()
         .any(|p| corpus.world.server(p.server).quality != Quality::Good));
@@ -296,6 +321,10 @@ fn generated_pages_tokenize_cleanly() {
     let corpus = small_corpus(17);
     for site in &corpus.sites {
         let doc = Document::parse(&site.html);
-        assert!(doc.tokens().len() > 5, "{} should have structure", site.host);
+        assert!(
+            doc.tokens().len() > 5,
+            "{} should have structure",
+            site.host
+        );
     }
 }

@@ -1,0 +1,151 @@
+//! An offline, dependency-free property-testing shim.
+//!
+//! This workspace must build in environments with no access to crates.io,
+//! so this crate re-implements the *subset* of the `proptest` API the Oak
+//! test suites use: the [`proptest!`] macro, `Strategy` with `prop_map` /
+//! `prop_recursive`, regex-like string generation, numeric ranges,
+//! tuples, `Just`, `prop_oneof!`, collections (`vec`, `btree_map`),
+//! `option::of`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its test name, case index,
+//!   and seed; re-running is deterministic, so the case reproduces.
+//! - **Deterministic seeding.** Each test derives its RNG stream from a
+//!   hash of its own name, so runs are stable across machines and
+//!   parallel test orders.
+//! - **String patterns** support the regex subset the suites use:
+//!   literals, escapes, `\PC` (printable), classes with ranges, groups,
+//!   and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors `proptest::prelude::prop`: module-style access to the
+    /// strategy factories.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+        pub use crate::string;
+    }
+}
+
+/// Asserts a condition inside a property; failures panic with the
+/// formatted message (the harness adds the case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Discards the current case when the precondition does not hold. The
+/// shim simply skips the remainder of the case body (no global rejection
+/// budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Picks uniformly among the listed strategies (all must produce the same
+/// value type). Weighted arms are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` header, then `fn name(arg in strategy, ...)`
+/// items (attributes, including `#[test]`, are forwarded).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __seed = $crate::rng::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let __strategies = ( $( $strategy, )+ );
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::rng::TestRng::for_case(__seed, __case as u64);
+                    let ( $( $arg, )+ ) = {
+                        let ( $( ref $arg, )+ ) = __strategies;
+                        ( $( $crate::strategy::Strategy::generate($arg, &mut __rng), )+ )
+                    };
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body })
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest shim: {} failed at case {}/{} (seed {:#x})",
+                            stringify!($name), __case, __config.cases, __seed,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,26 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// `Some` three times out of four, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(3, 4) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Deterministic random numbers for case generation.
+
+/// FNV-1a over a string — used to derive a per-test seed from the test's
+/// fully qualified name, so streams are stable across runs and machines.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A splitmix64 generator: tiny, fast, and plenty for test-case
+/// generation (we are not doing statistics, just coverage).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The stream for one `(test, case)` pair.
+    pub fn for_case(seed: u64, case: u64) -> TestRng {
+        TestRng {
+            state: seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform usize in `[lo, hi)`; returns `lo` when the range is empty.
+    pub fn in_range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One coin flip with probability `num/denom` of `true`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+}

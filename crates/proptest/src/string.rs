@@ -1,0 +1,203 @@
+//! Regex-like string generation.
+//!
+//! Supports the pattern subset the workspace's suites use: literal
+//! characters, `\x` escapes, `\PC` (any printable character), character
+//! classes with ranges, groups, and the `{m}` / `{m,n}` / `?` / `*` /
+//! `+` quantifiers. Unsupported syntax panics with a clear message so a
+//! new pattern fails loudly rather than generating garbage.
+
+use crate::rng::TestRng;
+
+/// Upper repetition bound for the open-ended `*` and `+` quantifiers.
+const OPEN_REPEAT_MAX: u32 = 8;
+
+/// Printable non-ASCII characters mixed in by `\PC` to exercise UTF-8
+/// boundary handling in parsers under test.
+const WIDE_CHARS: [char; 6] = ['é', 'ß', 'λ', '→', '中', '🦀'];
+
+#[derive(Clone, Debug)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges (single chars are degenerate ranges).
+    Class(Vec<(char, char)>),
+    /// `\PC` — any printable character.
+    Printable,
+    Group(Vec<Repeat>),
+}
+
+#[derive(Clone, Debug)]
+struct Repeat {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let sequence = parse_sequence(&mut chars, pattern, false);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced ')' in string pattern {pattern:?}"
+    );
+    let mut out = String::new();
+    for repeat in &sequence {
+        emit(repeat, rng, &mut out);
+    }
+    out
+}
+
+fn emit(repeat: &Repeat, rng: &mut TestRng, out: &mut String) {
+    let count = repeat.min + rng.in_range(0, (repeat.max - repeat.min + 1) as usize) as u32;
+    for _ in 0..count {
+        match &repeat.node {
+            Node::Literal(c) => out.push(*c),
+            Node::Printable => out.push(printable(rng)),
+            Node::Class(ranges) => out.push(from_class(ranges, rng)),
+            Node::Group(nodes) => {
+                for inner in nodes {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    if rng.chance(1, 8) {
+        WIDE_CHARS[rng.in_range(0, WIDE_CHARS.len())]
+    } else {
+        char::from(b' ' + rng.in_range(0, (b'~' - b' ' + 1) as usize) as u8)
+    }
+}
+
+fn from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let (lo, hi) = ranges[rng.in_range(0, ranges.len())];
+    let span = hi as u32 - lo as u32 + 1;
+    char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+        .expect("class ranges stay within valid scalar values")
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut Chars<'_>, pattern: &str, in_group: bool) -> Vec<Repeat> {
+    let mut sequence = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unbalanced ')' in string pattern {pattern:?}");
+            return sequence;
+        }
+        chars.next();
+        let node = match c {
+            '\\' => parse_escape(chars, pattern),
+            '[' => parse_class(chars, pattern),
+            '(' => {
+                let inner = parse_sequence(chars, pattern, true);
+                assert_eq!(chars.next(), Some(')'), "unclosed '(' in {pattern:?}");
+                Node::Group(inner)
+            }
+            '|' | '*' | '+' | '?' | '{' => {
+                panic!("unsupported bare {c:?} in string pattern {pattern:?}")
+            }
+            literal => Node::Literal(literal),
+        };
+        let (min, max) = parse_quantifier(chars, pattern);
+        sequence.push(Repeat { node, min, max });
+    }
+    assert!(!in_group, "unclosed '(' in string pattern {pattern:?}");
+    sequence
+}
+
+fn parse_escape(chars: &mut Chars<'_>, pattern: &str) -> Node {
+    match chars.next() {
+        Some('P') => {
+            assert_eq!(
+                chars.next(),
+                Some('C'),
+                "only the \\PC character category is supported ({pattern:?})"
+            );
+            Node::Printable
+        }
+        Some(c) => Node::Literal(c),
+        None => panic!("dangling backslash in string pattern {pattern:?}"),
+    }
+}
+
+fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Node {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => {
+                assert!(
+                    !ranges.is_empty(),
+                    "empty class in string pattern {pattern:?}"
+                );
+                return Node::Class(ranges);
+            }
+            Some('\\') => chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling backslash in class ({pattern:?})")),
+            Some(c) => c,
+            None => panic!("unclosed '[' in string pattern {pattern:?}"),
+        };
+        // A '-' between two members is a range; elsewhere it is literal.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            if lookahead.peek().is_some_and(|&after| after != ']') {
+                chars.next();
+                let hi = match chars.next() {
+                    Some('\\') => chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling backslash in class ({pattern:?})")),
+                    Some(hi) => hi,
+                    None => panic!("unclosed '[' in string pattern {pattern:?}"),
+                };
+                assert!(c <= hi, "inverted range {c:?}-{hi:?} in {pattern:?}");
+                ranges.push((c, hi));
+                continue;
+            }
+        }
+        ranges.push((c, c));
+    }
+}
+
+fn parse_quantifier(chars: &mut Chars<'_>, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, OPEN_REPEAT_MAX)
+        }
+        Some('+') => {
+            chars.next();
+            (1, OPEN_REPEAT_MAX)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        Some((min, max)) => (
+                            min.parse().expect("integer in {m,n}"),
+                            max.parse().expect("integer in {m,n}"),
+                        ),
+                        None => {
+                            let exact = spec.parse().expect("integer in {m}");
+                            (exact, exact)
+                        }
+                    };
+                    assert!(min <= max, "inverted quantifier {{{spec}}} in {pattern:?}");
+                    return (min, max);
+                }
+                spec.push(c);
+            }
+            panic!("unclosed quantifier brace in string pattern {pattern:?}");
+        }
+        _ => (1, 1),
+    }
+}

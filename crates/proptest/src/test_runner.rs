@@ -1,0 +1,25 @@
+//! Test-runner configuration.
+
+/// How many cases each property runs. The shim keeps only the `cases`
+/// knob; everything else about the real `ProptestConfig` (forking,
+/// persistence, shrink budgets) has no equivalent here.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: deterministic seeding means extra runs add no variety
+    /// across CI invocations, so this favors suite latency.
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}

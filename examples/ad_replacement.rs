@@ -14,8 +14,7 @@
 
 use oak::core::prelude::*;
 
-const BEACON: &str =
-    r#"<script src="http://telemetry.adnet.example/beacon.js" async></script>"#;
+const BEACON: &str = r#"<script src="http://telemetry.adnet.example/beacon.js" async></script>"#;
 const AD_TAG: &str = r#"<iframe src="http://serve.ads.example/slot/17"></iframe>"#;
 const HOUSE_AD: &str = r#"<img src="/static/house-ad.png" alt="subscribe!">"#;
 
@@ -34,17 +33,47 @@ fn page() -> String {
 /// enough healthy company for the MAD statistics to bite.
 fn bad_day_report(user: &str) -> PerfReport {
     let mut r = PerfReport::new(user, "/article/42");
-    r.push(ObjectTiming::new("http://telemetry.adnet.example/beacon.js", "10.9.0.1", 4_000, 1_400.0));
-    r.push(ObjectTiming::new("http://serve.ads.example/slot/17", "10.9.0.2", 18_000, 1_900.0));
-    r.push(ObjectTiming::new("http://images.example/fig1.png", "10.0.0.3", 30_000, 90.0));
-    r.push(ObjectTiming::new("http://images.example/fig2.png", "10.0.0.3", 30_000, 95.0));
-    r.push(ObjectTiming::new("http://fonts.example/serif.woff", "10.0.0.4", 30_000, 84.0));
-    r.push(ObjectTiming::new("http://origin-static.example/app.js", "10.0.0.5", 30_000, 102.0));
+    r.push(ObjectTiming::new(
+        "http://telemetry.adnet.example/beacon.js",
+        "10.9.0.1",
+        4_000,
+        1_400.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://serve.ads.example/slot/17",
+        "10.9.0.2",
+        18_000,
+        1_900.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://images.example/fig1.png",
+        "10.0.0.3",
+        30_000,
+        90.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://images.example/fig2.png",
+        "10.0.0.3",
+        30_000,
+        95.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://fonts.example/serif.woff",
+        "10.0.0.4",
+        30_000,
+        84.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://origin-static.example/app.js",
+        "10.0.0.5",
+        30_000,
+        102.0,
+    ));
     r
 }
 
 fn main() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
 
     // Type 1: drop the beacon when its host violates. Ten-minute TTL —
     // transient congestion clears, and the beacon comes back.
@@ -76,7 +105,10 @@ fn main() {
 
     let after_one = oak.modify_page(Instant(1), "u-kim", "/article/42", &page());
     assert!(!after_one.html.contains("beacon.js"), "beacon removed");
-    assert!(after_one.html.contains("serve.ads.example"), "ad still live");
+    assert!(
+        after_one.html.contains("serve.ads.example"),
+        "ad still live"
+    );
 
     // Second bad report: the ad rule reaches its violation quota.
     let o2 = oak.ingest_report(Instant(2), &bad_day_report("u-kim"), &NoFetch);
@@ -84,8 +116,14 @@ fn main() {
     println!("report 2: activated {:?}", o2.activated);
 
     let after_two = oak.modify_page(Instant(3), "u-kim", "/article/42", &page());
-    assert!(after_two.html.contains("house-ad.png"), "house ad in the slot");
-    assert!(after_two.html.contains("<!-- ad-slot: house -->"), "sub-rule fired");
+    assert!(
+        after_two.html.contains("house-ad.png"),
+        "house ad in the slot"
+    );
+    assert!(
+        after_two.html.contains("<!-- ad-slot: house -->"),
+        "sub-rule fired"
+    );
     println!("\npage for u-kim now:\n{}", after_two.html);
 
     // TTL: eleven minutes later the beacon returns; the house ad stays

@@ -25,7 +25,7 @@ fn main() {
 
     // Operator: one Type 2 prefix rule per external domain per site,
     // pointing at the replica closest to our client (EU).
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let mut rule_count = 0;
     for site in &corpus.sites {
         for (_, rule) in rules::rules_for_site(site, rules::closest_replica(Region::Europe)) {
@@ -34,7 +34,10 @@ fn main() {
             }
         }
     }
-    println!("installed {rule_count} type-2 rules across {} sites", corpus.sites.len());
+    println!(
+        "installed {rule_count} type-2 rules across {} sites",
+        corpus.sites.len()
+    );
 
     // Pick a European vantage point.
     let client = *corpus

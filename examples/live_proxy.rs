@@ -19,7 +19,7 @@ const PAGE: &str = r#"<html><head>
 
 fn main() {
     // ── Server side ─────────────────────────────────────────────────
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     oak.add_rule(Rule::replace_identical(
         r#"<script src="http://cdn-a.example/jquery.js">"#,
         [r#"<script src="http://cdn-b.example/jquery.js">"#],
@@ -45,22 +45,54 @@ fn main() {
     let user = get_cookie(resp.header("set-cookie").unwrap(), OAK_USER_COOKIE)
         .unwrap()
         .to_owned();
-    println!("\nGET /index.html → {} bytes, cookie {OAK_USER_COOKIE}={user}", resp.body.len());
+    println!(
+        "\nGET /index.html → {} bytes, cookie {OAK_USER_COOKIE}={user}",
+        resp.body.len()
+    );
     assert!(resp.body_text().contains("cdn-a.example"));
 
     // 2. The "browser" measures its loads; cdn-a had a terrible day.
     let mut report = PerfReport::new(&user, "/index.html");
-    report.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 31_000, 1_210.0));
-    report.push(ObjectTiming::new("http://styles.example/site.css", "10.0.0.2", 12_000, 95.0));
-    report.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.3", 20_000, 102.0));
-    report.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.3", 22_000, 88.0));
-    report.push(ObjectTiming::new("http://api.example/data.json", "10.0.0.4", 9_000, 110.0));
+    report.push(ObjectTiming::new(
+        "http://cdn-a.example/jquery.js",
+        "10.0.0.1",
+        31_000,
+        1_210.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://styles.example/site.css",
+        "10.0.0.2",
+        12_000,
+        95.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/a.png",
+        "10.0.0.3",
+        20_000,
+        102.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.3",
+        22_000,
+        88.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://api.example/data.json",
+        "10.0.0.4",
+        9_000,
+        110.0,
+    ));
 
     let post = Request::new(Method::Post, REPORT_PATH)
         .with_body(report.to_json().into_bytes(), "application/json")
         .with_header("Cookie", &format!("{OAK_USER_COOKIE}={user}"));
     let resp = fetch_tcp(addr, &post).unwrap();
-    println!("POST {REPORT_PATH} ({} bytes) → {}", report.wire_size(), resp.status.0);
+    println!(
+        "POST {REPORT_PATH} ({} bytes) → {}",
+        report.wire_size(),
+        resp.status.0
+    );
 
     // 3. Reload: the page is personalized.
     let reload = Request::new(Method::Get, "/index.html")

@@ -24,16 +24,41 @@ const MIRRORS: [&str; 3] = [
 /// A report where the primary CDN is the clear violator for `user`.
 fn primary_down(user: &str) -> PerfReport {
     let mut r = PerfReport::new(user, "/");
-    r.push(ObjectTiming::new("http://cdn-primary.example/app.js", "10.0.0.1", 30_000, 1_100.0));
-    r.push(ObjectTiming::new("http://img.example/a.png", "10.0.0.2", 30_000, 82.0));
-    r.push(ObjectTiming::new("http://img.example/b.png", "10.0.0.2", 30_000, 91.0));
-    r.push(ObjectTiming::new("http://fonts.example/f.woff", "10.0.0.3", 30_000, 77.0));
-    r.push(ObjectTiming::new("http://api.example/v1", "10.0.0.4", 30_000, 95.0));
+    r.push(ObjectTiming::new(
+        "http://cdn-primary.example/app.js",
+        "10.0.0.1",
+        30_000,
+        1_100.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://img.example/a.png",
+        "10.0.0.2",
+        30_000,
+        82.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.2",
+        30_000,
+        91.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://fonts.example/f.woff",
+        "10.0.0.3",
+        30_000,
+        77.0,
+    ));
+    r.push(ObjectTiming::new(
+        "http://api.example/v1",
+        "10.0.0.4",
+        30_000,
+        95.0,
+    ));
     r
 }
 
 fn main() {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let rule_id = oak
         .add_rule(
             Rule::replace_identical(PRIMARY, MIRRORS).with_selection(SelectionPolicy::UserHash),
@@ -65,8 +90,12 @@ fn main() {
         .next()
         .unwrap();
     let mut mirror_down = primary_down(victim);
-    mirror_down.entries[0] =
-        ObjectTiming::new(format!("http://{mirror_host}/app.js"), "10.0.0.9", 30_000, 2_500.0);
+    mirror_down.entries[0] = ObjectTiming::new(
+        format!("http://{mirror_host}/app.js"),
+        "10.0.0.9",
+        30_000,
+        2_500.0,
+    );
     let outcome = oak.ingest_report(Instant(99), &mirror_down, &NoFetch);
     assert_eq!(outcome.advanced, vec![rule_id]);
     let after = oak.active_rules(victim)[0].1.alternative_index;

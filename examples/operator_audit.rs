@@ -32,8 +32,12 @@ fn main() {
     // wide-scope deployment). Each rule lists all three regional
     // replicas; the engine's linear alternative walk finds each user a
     // viable mirror on its own.
-    let replicas = ["replica-na.example", "replica-eu.example", "replica-as.example"];
-    let mut oak = Oak::new(OakConfig::default());
+    let replicas = [
+        "replica-na.example",
+        "replica-eu.example",
+        "replica-as.example",
+    ];
+    let oak = Oak::new(OakConfig::default());
     let mut domains = std::collections::BTreeMap::new();
     let mut seen = std::collections::BTreeSet::new();
     for site in &corpus.sites {
@@ -59,7 +63,7 @@ fn main() {
         }
     }
 
-    let summary = audit(session.oak.log());
+    let summary = audit(&session.oak.log());
     println!("{summary}");
 
     // Fold per-rule entries into per-domain rows (a provider may have an

@@ -23,18 +23,43 @@ fn main() {
     )
     .expect("rule spec parses");
 
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     let rule_id = oak.add_rule(rule).expect("rule is valid");
     println!("operator registered {rule_id}: cdn-a.example → cdn-b.example");
 
     // ── A client's performance report arrives ───────────────────────
     // Five servers; cdn-a is an order of magnitude slower than the rest.
     let mut report = PerfReport::new("u-alice", "/index.html");
-    report.push(ObjectTiming::new("http://cdn-a.example/jquery.js", "10.0.0.1", 30_000, 950.0));
-    report.push(ObjectTiming::new("http://img.example/hero.png", "10.0.0.2", 30_000, 88.0));
-    report.push(ObjectTiming::new("http://img.example/icons.png", "10.0.0.2", 30_000, 74.0));
-    report.push(ObjectTiming::new("http://fonts.example/sans.woff", "10.0.0.3", 30_000, 81.0));
-    report.push(ObjectTiming::new("http://api.example/boot.js", "10.0.0.4", 30_000, 95.0));
+    report.push(ObjectTiming::new(
+        "http://cdn-a.example/jquery.js",
+        "10.0.0.1",
+        30_000,
+        950.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/hero.png",
+        "10.0.0.2",
+        30_000,
+        88.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/icons.png",
+        "10.0.0.2",
+        30_000,
+        74.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://fonts.example/sans.woff",
+        "10.0.0.3",
+        30_000,
+        81.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://api.example/boot.js",
+        "10.0.0.4",
+        30_000,
+        95.0,
+    ));
 
     println!(
         "\nu-alice reports {} objects ({} bytes on the wire)",

@@ -17,7 +17,7 @@ fn corpus() -> Corpus {
 }
 
 fn session_with_rules(corpus: &Corpus, region: Region) -> SimSession<'_> {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     for site in &corpus.sites {
         for (_, rule) in rules::rules_for_site(site, rules::closest_replica(region)) {
             oak.add_rule(rule).expect("generated rules validate");
@@ -105,18 +105,18 @@ fn rewritten_pages_change_the_fetch_targets() {
             }
         }
     }
-    assert!(verified, "an activated rule must redirect fetches to the replica");
+    assert!(
+        verified,
+        "an activated rule must redirect fetches to the replica"
+    );
 }
 
 #[test]
 fn reports_round_trip_the_wire_format() {
     let corpus = corpus();
     let universe = Universe::new(&corpus);
-    let mut browser = oak::client::Browser::new(
-        corpus.clients[2],
-        "u-wire",
-        BrowserConfig::default(),
-    );
+    let mut browser =
+        oak::client::Browser::new(corpus.clients[2], "u-wire", BrowserConfig::default());
     let site = &corpus.sites[0];
     let load = browser.load_page(&universe, site, &site.html, &[], SimTime::from_hours(1));
     let json = load.report.to_json();

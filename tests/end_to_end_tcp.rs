@@ -22,7 +22,7 @@ fn run_site(corpus: &Corpus, site_index: usize) -> (usize, bool) {
 
     // Engine with this site's rules; corpus-backed script fetching so
     // level-3 matching works across the wire, too.
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     for (_, rule) in rules::rules_for_site(site, rules::closest_replica(region)) {
         oak.add_rule(rule).unwrap();
     }

@@ -2,13 +2,12 @@
 //! The Oak server faces the public Internet; every decoding layer must
 //! shrug off garbage without panicking or corrupting engine state.
 
-
 use oak::core::prelude::*;
 use oak::http::{fetch_tcp, Method, Request, StatusCode, TcpServer};
 use oak::server::{OakService, SiteStore, REPORT_PATH};
 
 fn service() -> OakService {
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     oak.add_rule(Rule::replace_identical(
         r#"<script src="http://cdn-a.example/jquery.js">"#,
         [r#"<script src="http://cdn-b.example/jquery.js">"#],
@@ -27,8 +26,10 @@ fn hostile_report_bodies_never_poison_the_engine() {
         b"".to_vec(),
         b"{".to_vec(),
         b"null".to_vec(),
-        br#"{"user":"u","page":"/","entries":[{"url":"x","ip":"i","bytes":1,"time_ms":1e999}]}"#.to_vec(),
-        br#"{"user":"u","page":"/","entries":[{"url":"x","ip":"i","bytes":-1,"time_ms":1}]}"#.to_vec(),
+        br#"{"user":"u","page":"/","entries":[{"url":"x","ip":"i","bytes":1,"time_ms":1e999}]}"#
+            .to_vec(),
+        br#"{"user":"u","page":"/","entries":[{"url":"x","ip":"i","bytes":-1,"time_ms":1}]}"#
+            .to_vec(),
         vec![0xff, 0xfe, 0x00, 0x80],
         br#"{"user":"u","page":"/","entries":"not-a-list"}"#.to_vec(),
         // Deep nesting: the JSON parser bounds recursion.
@@ -109,7 +110,7 @@ fn hostile_rule_text_cannot_stall_matching() {
 fn engine_survives_randomized_report_storms() {
     use oak::core::matching::NoFetch;
 
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     oak.add_rule(Rule::replace_identical(
         "http://target.example/",
         ["http://mirror.example/target.example/"],
@@ -139,7 +140,12 @@ fn engine_survives_randomized_report_storms() {
         }
         let _ = oak.ingest_report(Instant(i), &report, &NoFetch);
         // Pages keep rendering whatever the state.
-        let page = oak.modify_page(Instant(i), "u-3", "/p", "<html>x http://target.example/a.js</html>");
+        let page = oak.modify_page(
+            Instant(i),
+            "u-3",
+            "/p",
+            "<html>x http://target.example/a.js</html>",
+        );
         assert!(page.html.contains("<html>"));
     }
 }

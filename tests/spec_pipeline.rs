@@ -46,7 +46,7 @@ fn spec_authored_rules_drive_the_full_loop() {
     assert_eq!(rules.len(), domains.len());
     assert_eq!(rules[0].policy.violations_required, 2);
 
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     for rule in rules {
         oak.add_rule(rule).expect("spec rules validate");
     }
@@ -69,7 +69,7 @@ fn spec_authored_rules_drive_the_full_loop() {
     );
 
     // The audit view reflects what happened.
-    let summary = audit(session.oak.log());
+    let summary = audit(&session.oak.log());
     assert!(summary.total_activations() > 0);
     assert!(summary.users > 0);
     assert!(summary.to_string().contains("oak audit"));
@@ -86,7 +86,7 @@ fn per_user_isolation_end_to_end() {
         persistent_impairment_rate: 0.6,
         ..CorpusConfig::default()
     });
-    let mut oak = Oak::new(OakConfig::default());
+    let oak = Oak::new(OakConfig::default());
     for site in &corpus.sites {
         for (_, rule) in oak::client::rules::rules_for_site(site, "replica-na.example") {
             let _ = oak.add_rule(rule);
@@ -104,11 +104,11 @@ fn per_user_isolation_end_to_end() {
         session.oak.active_rules(user_b).is_empty(),
         "a user who never reported must have no active rules"
     );
-    let page = session.oak.modify_page(
-        Instant::ZERO,
-        user_b,
-        "/index.html",
-        &corpus.sites[0].html,
+    let page = session
+        .oak
+        .modify_page(Instant::ZERO, user_b, "/index.html", &corpus.sites[0].html);
+    assert_eq!(
+        page.html, corpus.sites[0].html,
+        "other users see the default page"
     );
-    assert_eq!(page.html, corpus.sites[0].html, "other users see the default page");
 }
