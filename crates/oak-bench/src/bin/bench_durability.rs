@@ -1,0 +1,104 @@
+//! The persistence tax, measured: ingest throughput with the WAL on vs.
+//! off across fsync policies, and recovery time vs. log length.
+//!
+//! Prints both tables and records them in `BENCH_durability.json`. Run
+//! with `cargo run --release -p oak-bench --bin bench_durability`; pass
+//! `--smoke` for the fast CI variant (same shape, smaller sizes).
+
+use std::sync::Arc;
+
+use oak_bench::durability::{
+    build_wal, ingest_duration, recovery_duration, scratch_dir, wal_only_options, BENCH_USERS,
+};
+use oak_store::{FsyncPolicy, OakStore};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ingest_ops: u64 = if smoke { 300 } else { 3_000 };
+    let log_lengths: &[u64] = if smoke {
+        &[200, 1_000]
+    } else {
+        &[1_000, 5_000, 20_000]
+    };
+
+    // --- Part 1: ingest events/sec, WAL off vs. on -------------------
+    println!("Ingest throughput vs. durability policy ({ingest_ops} ops)\n");
+    println!("{:<22} {:>14} {:>10}", "mode", "events/s", "tax");
+
+    let modes: &[(&str, Option<FsyncPolicy>)] = &[
+        ("wal_off", None),
+        ("wal_fsync_never", Some(FsyncPolicy::Never)),
+        ("wal_fsync_every_64", Some(FsyncPolicy::EveryN(64))),
+        ("wal_fsync_always", Some(FsyncPolicy::Always)),
+    ];
+    let mut ingest_rows = oak_json::Value::array();
+    let mut baseline = 0.0f64;
+    for (name, fsync) in modes {
+        // Warm run to fault in code paths, then the measured run.
+        let run = |ops: u64| match fsync {
+            None => ingest_duration(ops, None),
+            Some(policy) => {
+                let dir = scratch_dir("ingest");
+                let store =
+                    Arc::new(OakStore::open(&dir, wal_only_options(*policy)).expect("open store"));
+                let elapsed = ingest_duration(ops, Some(store));
+                let _ = std::fs::remove_dir_all(&dir);
+                elapsed
+            }
+        };
+        run(ingest_ops / 4);
+        let elapsed = run(ingest_ops);
+        let events_per_sec = ingest_ops as f64 / elapsed.as_secs_f64();
+        if fsync.is_none() {
+            baseline = events_per_sec;
+        }
+        let tax = 1.0 - events_per_sec / baseline;
+        println!(
+            "{name:<22} {events_per_sec:>14.0} {:>9.1}%",
+            (tax * 1000.0).round() / 10.0
+        );
+        let mut row = oak_json::Value::object();
+        row.set("mode", *name);
+        row.set("ops", ingest_ops);
+        row.set("events_per_sec", (events_per_sec * 10.0).round() / 10.0);
+        row.set("overhead_fraction", (tax * 1000.0).round() / 1000.0);
+        ingest_rows.push(row);
+    }
+
+    // --- Part 2: recovery time vs. log length ------------------------
+    println!("\nRecovery time vs. WAL length\n");
+    println!(
+        "{:<12} {:>14} {:>12} {:>14}",
+        "events", "recovery ms", "replayed", "events/s"
+    );
+    let mut recovery_rows = oak_json::Value::array();
+    for &ops in log_lengths {
+        let dir = scratch_dir("recover");
+        build_wal(&dir, ops);
+        let (elapsed, recovery) = recovery_duration(&dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(recovery.torn_segments, 0, "bench WAL must be clean");
+        let ms = elapsed.as_secs_f64() * 1_000.0;
+        let replay_rate = recovery.events_replayed as f64 / elapsed.as_secs_f64();
+        println!(
+            "{ops:<12} {ms:>14.1} {:>12} {replay_rate:>14.0}",
+            recovery.events_replayed
+        );
+        let mut row = oak_json::Value::object();
+        row.set("wal_events", ops);
+        row.set("recovery_ms", (ms * 10.0).round() / 10.0);
+        row.set("events_replayed", recovery.events_replayed);
+        row.set("replay_events_per_sec", (replay_rate * 10.0).round() / 10.0);
+        recovery_rows.push(row);
+    }
+
+    let mut doc = oak_json::Value::object();
+    doc.set("benchmark", "durability_wal_and_recovery");
+    doc.set("smoke", smoke);
+    doc.set("ingest_ops", ingest_ops);
+    doc.set("bench_users", BENCH_USERS as u64);
+    doc.set("ingest", ingest_rows);
+    doc.set("recovery", recovery_rows);
+    std::fs::write("BENCH_durability.json", doc.to_string()).expect("write BENCH_durability.json");
+    println!("\nwrote BENCH_durability.json");
+}

@@ -19,6 +19,7 @@
 
 pub mod benchworld;
 pub mod contention;
+pub mod durability;
 pub mod matchrate;
 pub mod replicated;
 pub mod support;

@@ -147,3 +147,11 @@ fn site_selection_respects_host_bounds() {
         assert!(!h2.contains(i));
     }
 }
+
+#[test]
+fn durability_bench_workload_round_trips() {
+    assert!(
+        crate::durability::roundtrip_check(40),
+        "bench WAL must recover cleanly with every event replayed"
+    );
+}

@@ -9,7 +9,10 @@
 
 use std::collections::BTreeMap;
 
+use oak_json::Value;
+
 use crate::analysis::PageAnalysis;
+use crate::events::{f64_from_value, f64_to_value};
 use crate::report::PerfReport;
 
 /// Streaming mean/min/max without storing samples.
@@ -91,8 +94,45 @@ impl DomainAggregate {
     }
 }
 
+/// One server's contribution to the aggregates from a single report —
+/// the distilled, replayable form of a fold. The engine derives these
+/// from the report's [`PageAnalysis`] once per ingest; the same values
+/// feed the live accumulator and the durable
+/// [`crate::events::IngestEffect`], so replay folds the exact float
+/// sequence the live engine folded.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServerFold {
+    /// Domain names resolving to the server (analysis order).
+    pub domains: Vec<String>,
+    /// Objects fetched from it in this report.
+    pub objects: u64,
+    /// Bytes fetched from it in this report.
+    pub bytes: u64,
+    /// Small-object download times, ms (report order).
+    pub small_times_ms: Vec<f64>,
+    /// Large-object throughputs, kbit/s (report order).
+    pub large_tputs_kbps: Vec<f64>,
+    /// Whether the detector flagged the server as a violator.
+    pub violated: bool,
+}
+
+/// Distills a report's per-server analysis into replayable folds.
+pub fn distill(analysis: &PageAnalysis, violator_ips: &[String]) -> Vec<ServerFold> {
+    analysis
+        .iter()
+        .map(|server| ServerFold {
+            domains: server.domains.iter().cloned().collect(),
+            objects: server.object_count as u64,
+            bytes: server.total_bytes,
+            small_times_ms: server.small_times_ms.clone(),
+            large_tputs_kbps: server.large_tputs_kbps.clone(),
+            violated: violator_ips.contains(&server.ip),
+        })
+        .collect()
+}
+
 /// Whole-site aggregates, updated per report.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SiteAggregates {
     domains: BTreeMap<String, DomainAggregate>,
     users: BTreeMap<String, u64>,
@@ -113,29 +153,38 @@ impl SiteAggregates {
     }
 
     /// Folds one report (and the violations its analysis produced).
+    /// Convenience wrapper over [`distill`] + [`SiteAggregates::fold_distilled`].
     pub fn fold(&mut self, report: &PerfReport, violator_ips: &[String]) {
-        self.reports += 1;
-        *self.users.entry(report.user.clone()).or_insert(0) += 1;
-
         let analysis = PageAnalysis::from_report(report);
-        for server in analysis.iter() {
+        self.fold_distilled(&report.user, &distill(&analysis, violator_ips));
+    }
+
+    /// Folds pre-distilled per-server increments. This is the canonical
+    /// fold path: the live engine and WAL replay both call it with the
+    /// same [`ServerFold`] values, so the floating-point accumulation
+    /// order — and therefore every recovered sum — is bit-identical.
+    pub fn fold_distilled(&mut self, user: &str, folds: &[ServerFold]) {
+        self.reports += 1;
+        *self.users.entry(user.to_owned()).or_insert(0) += 1;
+
+        for server in folds {
             for domain in &server.domains {
                 let agg = self.domains.entry(domain.clone()).or_default();
-                agg.objects += server.object_count as u64;
-                agg.bytes += server.total_bytes;
+                agg.objects += server.objects;
+                agg.bytes += server.bytes;
                 for &t in &server.small_times_ms {
                     agg.small_time_ms.push(t);
                 }
                 for &t in &server.large_tputs_kbps {
                     agg.large_tput_kbps.push(t);
                 }
-                if violator_ips.contains(&server.ip) {
+                if server.violated {
                     agg.violations += 1;
                 }
                 if self.user_samples.len() < Self::USER_SAMPLE_CAP
                     && self
                         .user_samples
-                        .insert((domain.clone(), report.user.clone()), ())
+                        .insert((domain.clone(), user.to_owned()), ())
                         .is_none()
                 {
                     agg.users_seen += 1;
@@ -190,5 +239,133 @@ impl SiteAggregates {
         let mut rows: Vec<(&str, &DomainAggregate)> = self.iter().collect();
         rows.sort_by(|a, b| b.1.violations.cmp(&a.1.violations).then(a.0.cmp(b.0)));
         rows
+    }
+
+    /// Encodes the accumulator for an engine snapshot. All maps are
+    /// ordered, so equal accumulators encode byte-identically; float
+    /// fields use the exact string codec (see [`crate::events`]).
+    pub fn to_value(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("reports", self.reports);
+        let mut users = Value::array();
+        for (user, count) in &self.users {
+            let mut pair = Value::array();
+            pair.push(user.as_str());
+            pair.push(*count);
+            users.push(pair);
+        }
+        doc.set("users", users);
+        let mut domains = Value::array();
+        for (domain, agg) in &self.domains {
+            let mut row = Value::object();
+            row.set("domain", domain.as_str());
+            row.set("objects", agg.objects);
+            row.set("bytes", agg.bytes);
+            row.set("violations", agg.violations);
+            row.set("users_seen", agg.users_seen);
+            row.set("small", agg.small_time_ms.to_value());
+            row.set("large", agg.large_tput_kbps.to_value());
+            domains.push(row);
+        }
+        doc.set("domains", domains);
+        let mut samples = Value::array();
+        for (domain, user) in self.user_samples.keys() {
+            let mut pair = Value::array();
+            pair.push(domain.as_str());
+            pair.push(user.as_str());
+            samples.push(pair);
+        }
+        doc.set("samples", samples);
+        doc
+    }
+
+    /// Inverse of [`SiteAggregates::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field.
+    pub fn from_value(v: &Value) -> Result<SiteAggregates, String> {
+        let mut out = SiteAggregates {
+            reports: v
+                .get("reports")
+                .and_then(Value::as_u64)
+                .ok_or("missing \"reports\"")?,
+            ..SiteAggregates::default()
+        };
+        for pair in v
+            .get("users")
+            .and_then(Value::as_array)
+            .ok_or("missing \"users\"")?
+        {
+            let user = pair.at(0).and_then(Value::as_str).ok_or("bad user entry")?;
+            let count = pair.at(1).and_then(Value::as_u64).ok_or("bad user count")?;
+            out.users.insert(user.to_owned(), count);
+        }
+        for row in v
+            .get("domains")
+            .and_then(Value::as_array)
+            .ok_or("missing \"domains\"")?
+        {
+            let domain = row
+                .get("domain")
+                .and_then(Value::as_str)
+                .ok_or("bad domain row")?;
+            let field = |key: &str| row.get(key).and_then(Value::as_u64).ok_or("bad domain row");
+            out.domains.insert(
+                domain.to_owned(),
+                DomainAggregate {
+                    objects: field("objects")?,
+                    bytes: field("bytes")?,
+                    violations: field("violations")?,
+                    users_seen: field("users_seen")?,
+                    small_time_ms: RunningStat::from_value(
+                        row.get("small").ok_or("missing \"small\"")?,
+                    )?,
+                    large_tput_kbps: RunningStat::from_value(
+                        row.get("large").ok_or("missing \"large\"")?,
+                    )?,
+                },
+            );
+        }
+        for pair in v
+            .get("samples")
+            .and_then(Value::as_array)
+            .ok_or("missing \"samples\"")?
+        {
+            let domain = pair.at(0).and_then(Value::as_str).ok_or("bad sample")?;
+            let user = pair.at(1).and_then(Value::as_str).ok_or("bad sample")?;
+            out.user_samples
+                .insert((domain.to_owned(), user.to_owned()), ());
+        }
+        Ok(out)
+    }
+}
+
+impl RunningStat {
+    /// Encodes the accumulator with exact float strings.
+    pub fn to_value(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("count", self.count);
+        doc.set("sum", f64_to_value(self.sum));
+        doc.set("min", f64_to_value(self.min));
+        doc.set("max", f64_to_value(self.max));
+        doc
+    }
+
+    /// Inverse of [`RunningStat::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field.
+    pub fn from_value(v: &Value) -> Result<RunningStat, String> {
+        Ok(RunningStat {
+            count: v
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or("missing \"count\"")?,
+            sum: f64_from_value(v.get("sum").ok_or("missing \"sum\"")?)?,
+            min: f64_from_value(v.get("min").ok_or("missing \"min\"")?)?,
+            max: f64_from_value(v.get("max").ok_or("missing \"max\"")?)?,
+        })
     }
 }

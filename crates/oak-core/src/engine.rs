@@ -31,12 +31,15 @@
 //! deadlock against itself.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use oak_html::{Document, Rewriter};
+use oak_json::Value;
 
 use crate::detect::{detect_violators, DetectorConfig, Violation};
+use crate::events::{EngineEvent, EventSink, IngestEffect, SequencedEvent};
 use crate::matching::{url_host, MatchLevel, RuleSurface, ScriptFetcher};
 use crate::report::PerfReport;
 use crate::rule::{Rule, RuleId, RuleType};
@@ -57,6 +60,12 @@ pub struct OakConfig {
     /// [`MatchLevel::ExternalJs`] — the full mechanism — by default;
     /// lower settings exist for the Fig. 8 ablation.
     pub max_match_level: MatchLevel,
+    /// In-memory activity-log retention, as entries *per shard*
+    /// ([`Oak::log`] therefore returns at most `SHARD_COUNT ×` this).
+    /// `None` retains everything — right for experiments, wrong for a
+    /// long-running server: with a retention cap, old entries fall out
+    /// of RAM while remaining durable in the write-ahead log.
+    pub log_retention: Option<usize>,
 }
 
 impl Default for OakConfig {
@@ -64,6 +73,7 @@ impl Default for OakConfig {
         OakConfig {
             detector: DetectorConfig::default(),
             max_match_level: MatchLevel::ExternalJs,
+            log_retention: None,
         }
     }
 }
@@ -294,7 +304,10 @@ struct Shard {
 /// activity log. Transport-agnostic: hand it decoded reports and pages.
 /// Internally synchronized — share one instance across threads with
 /// `Arc<Oak>`; see the module docs for the locking layout.
-#[derive(Debug)]
+///
+/// With an [`EventSink`] attached ([`Oak::set_event_sink`]), every
+/// mutation additionally emits a replayable [`EngineEvent`]; see
+/// [`crate::events`] and [`Oak::apply_event`] for the recovery side.
 pub struct Oak {
     config: OakConfig,
     rules: RwLock<RuleTable>,
@@ -302,6 +315,24 @@ pub struct Oak {
     /// Allocates the per-event sequence numbers that order the sharded
     /// activity log.
     log_seq: AtomicU64,
+    /// Allocates the sequence numbers that order emitted [`EngineEvent`]s
+    /// (allocated under the emitting operation's locks, so sequence order
+    /// is application order wherever it matters).
+    event_seq: AtomicU64,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl fmt::Debug for Oak {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Oak")
+            .field("config", &self.config)
+            .field("rules", &self.rules)
+            .field("shards", &self.shards)
+            .field("log_seq", &self.log_seq)
+            .field("event_seq", &self.event_seq)
+            .field("sink", &self.sink.as_ref().map(|_| "EventSink"))
+            .finish()
+    }
 }
 
 impl Default for Oak {
@@ -320,6 +351,8 @@ impl Oak {
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             log_seq: AtomicU64::new(0),
+            event_seq: AtomicU64::new(0),
+            sink: None,
         }
     }
 
@@ -328,9 +361,49 @@ impl Oak {
         &self.config
     }
 
+    /// Attaches the sink that will receive every future mutation as a
+    /// [`SequencedEvent`] — typically the `oak-store` write-ahead log.
+    /// Takes `&mut self` so it can only happen before the engine is
+    /// shared (at boot, after recovery and before serving).
+    pub fn set_event_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the event sink, if any.
+    pub fn clear_event_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Whether mutations are being recorded to a sink.
+    pub fn has_event_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits one event to the sink, allocating its sequence number.
+    /// Call sites hold the locks their mutation took, which is what makes
+    /// sequence order meaningful; the closure defers payload construction
+    /// to the sinked case.
+    fn emit_with(&self, shard: Option<usize>, build: impl FnOnce() -> EngineEvent) {
+        if let Some(sink) = &self.sink {
+            let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
+            sink.record(
+                shard,
+                &SequencedEvent {
+                    seq,
+                    event: build(),
+                },
+            );
+        }
+    }
+
+    /// The shard index holding `user`'s state.
+    fn shard_index(&self, user: &str) -> usize {
+        fnv1a(user) as usize % SHARD_COUNT
+    }
+
     /// The shard holding `user`'s state.
     fn shard(&self, user: &str) -> &Mutex<Shard> {
-        &self.shards[fnv1a(user) as usize % SHARD_COUNT]
+        &self.shards[self.shard_index(user)]
     }
 
     /// The next global log sequence number.
@@ -358,6 +431,12 @@ impl Oak {
         table.index.insert(id, &default_surface, &alt_surfaces);
         table.surfaces.insert(id, (default_surface, alt_surfaces));
         table.rules.insert(id, rule);
+        // Emitted under the write lock: no ingest that can see this rule
+        // sequences before it.
+        self.emit_with(None, || EngineEvent::RuleAdded {
+            id,
+            rule: table.rules[&id].clone(),
+        });
         Ok(id)
     }
 
@@ -398,6 +477,7 @@ impl Oak {
                 state.pending.remove(&id);
             }
         }
+        self.emit_with(None, || EngineEvent::RuleRemoved { id });
         Some(rule)
     }
 
@@ -449,11 +529,23 @@ impl Oak {
     /// forever. The activity log and aggregates are unaffected.
     pub fn prune_inactive_users(&self, cutoff: Instant) -> usize {
         let mut pruned = 0;
-        for shard in &self.shards {
+        for (index, shard) in self.shards.iter().enumerate() {
             let mut shard = shard.lock().expect("shard lock");
-            let before = shard.users.len();
-            shard.users.retain(|_, state| state.last_seen >= cutoff);
-            pruned += before - shard.users.len();
+            let mut removed: Vec<String> = Vec::new();
+            shard.users.retain(|user, state| {
+                let keep = state.last_seen >= cutoff;
+                if !keep {
+                    removed.push(user.clone());
+                }
+                keep
+            });
+            pruned += removed.len();
+            if !removed.is_empty() {
+                // Sorted so the durable event (and replay) is independent
+                // of HashMap iteration order.
+                removed.sort_unstable();
+                self.emit_with(Some(index), || EngineEvent::Pruned { users: removed });
+            }
         }
         pruned
     }
@@ -503,12 +595,36 @@ impl Oak {
             Candidates::Subset(set) => set.into_iter().collect(),
         };
 
-        let mut shard = self.shard(&report.user).lock().expect("shard lock");
+        let shard_index = self.shard_index(&report.user);
+        let mut shard = self.shards[shard_index].lock().expect("shard lock");
         let shard = &mut *shard;
-        shard.aggregates.fold(report, &violator_ips);
+        // Distilled once: the same per-server increments feed the live
+        // accumulator and (when a sink is attached) the durable event, so
+        // WAL replay folds bit-identical floats.
+        let folds = crate::aggregates::distill(&analysis, &violator_ips);
+        shard.aggregates.fold_distilled(&report.user, &folds);
         let Shard { users, log, .. } = shard;
-        outcome.expired =
+        // The replayable effect of this ingest, assembled as decisions are
+        // made; only populated when a sink will consume it.
+        let collect = self.sink.is_some();
+        let mut records: Vec<(u64, LogEvent)> = Vec::new();
+        let mut pending_incr: Vec<RuleId> = Vec::new();
+        let expired_pairs =
             expire_user_rules(&table.rules, users, log, &self.log_seq, now, &report.user);
+        outcome.expired = expired_pairs.iter().map(|(_, id)| *id).collect();
+        if collect {
+            for (seq, rule) in &expired_pairs {
+                records.push((
+                    *seq,
+                    LogEvent {
+                        time: now,
+                        user: report.user.clone(),
+                        rule: *rule,
+                        action: LogAction::Expired,
+                    },
+                ));
+            }
+        }
         // One user-state resolution per report, not one per rule.
         let user = users.entry(report.user.clone()).or_default();
         user.last_seen = now;
@@ -533,6 +649,7 @@ impl Oak {
                     let pending = user.pending.entry(rule_id).or_insert(0);
                     *pending += 1;
                     if *pending < rule.policy.violations_required {
+                        pending_incr.push(rule_id);
                         continue;
                     }
                     user.pending.remove(&rule_id);
@@ -546,18 +663,20 @@ impl Oak {
                         },
                     );
                     outcome.activated.push(rule_id);
-                    log.push((
-                        self.next_seq(),
-                        LogEvent {
-                            time: now,
-                            user: report.user.clone(),
-                            rule: rule_id,
-                            action: LogAction::Activated {
-                                violator_ip: violation.ip.clone(),
-                                severity: violation.kind.severity(),
-                            },
+                    let seq = self.next_seq();
+                    let entry = LogEvent {
+                        time: now,
+                        user: report.user.clone(),
+                        rule: rule_id,
+                        action: LogAction::Activated {
+                            violator_ip: violation.ip.clone(),
+                            severity: violation.kind.severity(),
                         },
-                    ));
+                    };
+                    if collect {
+                        records.push((seq, entry.clone()));
+                    }
+                    log.push((seq, entry));
                 }
                 Some(active) => {
                     // Rule history (§4.2.3): has the *current alternate*
@@ -604,31 +723,45 @@ impl Oak {
                         // original default's recorded distance.
                         outcome.advanced.push(rule_id);
                         let to_index = user_active.alternative_index;
-                        log.push((
-                            self.next_seq(),
-                            LogEvent {
-                                time: now,
-                                user: report.user.clone(),
-                                rule: rule_id,
-                                action: LogAction::Advanced { to_index },
-                            },
-                        ));
+                        let seq = self.next_seq();
+                        let entry = LogEvent {
+                            time: now,
+                            user: report.user.clone(),
+                            rule: rule_id,
+                            action: LogAction::Advanced { to_index },
+                        };
+                        if collect {
+                            records.push((seq, entry.clone()));
+                        }
+                        log.push((seq, entry));
                     } else {
                         user.active.remove(&rule_id);
                         outcome.deactivated.push(rule_id);
-                        log.push((
-                            self.next_seq(),
-                            LogEvent {
-                                time: now,
-                                user: report.user.clone(),
-                                rule: rule_id,
-                                action: LogAction::Deactivated,
-                            },
-                        ));
+                        let seq = self.next_seq();
+                        let entry = LogEvent {
+                            time: now,
+                            user: report.user.clone(),
+                            rule: rule_id,
+                            action: LogAction::Deactivated,
+                        };
+                        if collect {
+                            records.push((seq, entry.clone()));
+                        }
+                        log.push((seq, entry));
                     }
                 }
             }
         }
+        trim_shard_log(log, self.config.log_retention);
+        self.emit_with(Some(shard_index), || {
+            EngineEvent::Ingest(IngestEffect {
+                time: now,
+                user: report.user.clone(),
+                folds,
+                pending: pending_incr,
+                records,
+            })
+        });
         outcome
     }
 
@@ -647,10 +780,21 @@ impl Oak {
         };
 
         let table = self.rules.read().expect("rule table lock");
-        let mut shard = self.shard(user).lock().expect("shard lock");
+        let shard_index = self.shard_index(user);
+        let mut shard = self.shards[shard_index].lock().expect("shard lock");
         let shard = &mut *shard;
         let Shard { users, log, .. } = shard;
-        expire_user_rules(&table.rules, users, log, &self.log_seq, now, user);
+        let expired_pairs = expire_user_rules(&table.rules, users, log, &self.log_seq, now, user);
+        if !expired_pairs.is_empty() {
+            // Serving is otherwise read-only; TTL expiry is the one page
+            // path that mutates durable state, so it gets its own event.
+            trim_shard_log(log, self.config.log_retention);
+            self.emit_with(Some(shard_index), || EngineEvent::ServeExpiry {
+                time: now,
+                user: user.to_owned(),
+                expired: expired_pairs,
+            });
+        }
         let Some(state) = users.get_mut(user) else {
             return unmodified(html);
         };
@@ -728,9 +872,9 @@ impl Oak {
             .get(&rule_id)
             .unwrap_or_else(|| panic!("unknown {rule_id}"));
         let index = initial_alternative(rule, user);
-        self.shard(user)
-            .lock()
-            .expect("shard lock")
+        let shard_index = self.shard_index(user);
+        let mut shard = self.shards[shard_index].lock().expect("shard lock");
+        shard
             .users
             .entry(user.to_owned())
             .or_default()
@@ -744,24 +888,423 @@ impl Oak {
                     default_severity: f64::INFINITY,
                 },
             );
+        self.emit_with(Some(shard_index), || EngineEvent::ForceActivate {
+            time: now,
+            user: user.to_owned(),
+            rule: rule_id,
+        });
     }
 
     /// Deactivates a rule for a user (no log entry; operator action).
     pub fn force_deactivate(&self, user: &str, rule_id: RuleId) {
-        if let Some(state) = self
-            .shard(user)
-            .lock()
-            .expect("shard lock")
+        let shard_index = self.shard_index(user);
+        let mut shard = self.shards[shard_index].lock().expect("shard lock");
+        let removed = shard
             .users
             .get_mut(user)
-        {
-            state.active.remove(&rule_id);
+            .is_some_and(|state| state.active.remove(&rule_id).is_some());
+        if removed {
+            self.emit_with(Some(shard_index), || EngineEvent::ForceDeactivate {
+                user: user.to_owned(),
+                rule: rule_id,
+            });
         }
+    }
+
+    /// Applies one recorded event — the recovery half of the event API.
+    ///
+    /// Replaying a WAL's events in ascending sequence order onto the
+    /// engine they were recorded from (or a snapshot of it) rebuilds
+    /// byte-identical [`Oak::rules`], [`Oak::active_rules`],
+    /// [`Oak::aggregates`], and [`Oak::log`] observables: events carry
+    /// resolved decisions (never detector/matcher inputs), so no fetcher
+    /// or clock is consulted. Application is total and tolerant — an
+    /// event referencing a rule whose `RuleAdded` was lost to an unsynced
+    /// WAL tail is applied as far as state allows and never panics.
+    ///
+    /// Events are *not* re-emitted to an attached sink; recovery attaches
+    /// the sink after replay.
+    pub fn apply_event(&self, ev: &SequencedEvent) {
+        bump_to(&self.event_seq, ev.seq + 1);
+        match &ev.event {
+            EngineEvent::RuleAdded { id, rule } => {
+                let mut table = self.rules.write().expect("rule table lock");
+                let default_surface = RuleSurface::compile(&rule.default_text);
+                let alt_surfaces: Vec<RuleSurface> = rule
+                    .alternatives
+                    .iter()
+                    .map(|a| RuleSurface::compile(a))
+                    .collect();
+                table.index.insert(*id, &default_surface, &alt_surfaces);
+                table.surfaces.insert(*id, (default_surface, alt_surfaces));
+                table.rules.insert(*id, rule.clone());
+                // Ids are allocator-ordered; keep the allocator ahead so
+                // post-recovery additions never reuse an id.
+                table.next_rule_id = table.next_rule_id.max(id.0 + 1);
+            }
+            EngineEvent::RuleRemoved { id } => {
+                let mut table = self.rules.write().expect("rule table lock");
+                if table.rules.remove(id).is_some() {
+                    table.surfaces.remove(id);
+                    table.index = DomainIndex::rebuild(&table.surfaces);
+                    for shard in &self.shards {
+                        let mut shard = shard.lock().expect("shard lock");
+                        for state in shard.users.values_mut() {
+                            state.active.remove(id);
+                            state.pending.remove(id);
+                        }
+                    }
+                }
+            }
+            EngineEvent::Ingest(effect) => {
+                let table = self.rules.read().expect("rule table lock");
+                let mut shard = self.shard(&effect.user).lock().expect("shard lock");
+                let shard = &mut *shard;
+                shard.aggregates.fold_distilled(&effect.user, &effect.folds);
+                let Shard { users, log, .. } = shard;
+                let user = users.entry(effect.user.clone()).or_default();
+                user.last_seen = effect.time;
+                for id in &effect.pending {
+                    *user.pending.entry(*id).or_insert(0) += 1;
+                }
+                for (seq, entry) in &effect.records {
+                    bump_to(&self.log_seq, seq + 1);
+                    match &entry.action {
+                        LogAction::Activated { severity, .. } => {
+                            user.pending.remove(&entry.rule);
+                            if let Some(rule) = table.rules.get(&entry.rule) {
+                                user.active.insert(
+                                    entry.rule,
+                                    ActiveRule {
+                                        alternative_index: initial_alternative(rule, &effect.user),
+                                        alternatives_tried: 1,
+                                        activated_at: entry.time,
+                                        default_severity: *severity,
+                                    },
+                                );
+                            }
+                        }
+                        LogAction::Advanced { to_index } => {
+                            if let Some(active) = user.active.get_mut(&entry.rule) {
+                                active.alternative_index = *to_index;
+                                active.alternatives_tried += 1;
+                            }
+                        }
+                        LogAction::Deactivated | LogAction::Expired => {
+                            user.active.remove(&entry.rule);
+                        }
+                    }
+                    log.push((*seq, entry.clone()));
+                }
+                trim_shard_log(log, self.config.log_retention);
+            }
+            EngineEvent::ForceActivate { time, user, rule } => {
+                let table = self.rules.read().expect("rule table lock");
+                let Some(r) = table.rules.get(rule) else {
+                    return;
+                };
+                let index = initial_alternative(r, user);
+                self.shard(user)
+                    .lock()
+                    .expect("shard lock")
+                    .users
+                    .entry(user.clone())
+                    .or_default()
+                    .active
+                    .insert(
+                        *rule,
+                        ActiveRule {
+                            alternative_index: index,
+                            alternatives_tried: 1,
+                            activated_at: *time,
+                            default_severity: f64::INFINITY,
+                        },
+                    );
+            }
+            EngineEvent::ForceDeactivate { user, rule } => {
+                if let Some(state) = self
+                    .shard(user)
+                    .lock()
+                    .expect("shard lock")
+                    .users
+                    .get_mut(user)
+                {
+                    state.active.remove(rule);
+                }
+            }
+            EngineEvent::ServeExpiry {
+                time,
+                user,
+                expired,
+            } => {
+                let mut shard = self.shard(user).lock().expect("shard lock");
+                let shard = &mut *shard;
+                let Shard { users, log, .. } = shard;
+                if let Some(state) = users.get_mut(user) {
+                    for (_, rule) in expired {
+                        state.active.remove(rule);
+                    }
+                    state.last_seen = *time;
+                }
+                for (seq, rule) in expired {
+                    bump_to(&self.log_seq, *seq + 1);
+                    log.push((
+                        *seq,
+                        LogEvent {
+                            time: *time,
+                            user: user.clone(),
+                            rule: *rule,
+                            action: LogAction::Expired,
+                        },
+                    ));
+                }
+                trim_shard_log(log, self.config.log_retention);
+            }
+            EngineEvent::Pruned { users } => {
+                for user in users {
+                    self.shard(user)
+                        .lock()
+                        .expect("shard lock")
+                        .users
+                        .remove(user);
+                }
+            }
+        }
+    }
+
+    /// A consistent point-in-time snapshot of the full engine state as a
+    /// JSON document, ready for compaction storage.
+    ///
+    /// Takes the rule-table read lock and then every shard lock in
+    /// ascending order (the engine's lock order), so mutations are
+    /// quiesced for the duration and the cut is exact: every event with a
+    /// sequence number below the recorded `event_seq` watermark is
+    /// reflected, every later one is not. [`Oak::from_snapshot_json`]
+    /// inverts it byte-identically.
+    pub fn snapshot_json(&self) -> Value {
+        let table = self.rules.read().expect("rule table lock");
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock"))
+            .collect();
+
+        let mut doc = Value::object();
+        doc.set("version", 1u64);
+        doc.set("shard_count", SHARD_COUNT as u64);
+        doc.set("next_rule_id", u64::from(table.next_rule_id));
+        doc.set("log_seq", self.log_seq.load(Ordering::SeqCst));
+        doc.set("event_seq", self.event_seq.load(Ordering::SeqCst));
+
+        let mut rules = Value::array();
+        for (id, rule) in &table.rules {
+            let mut row = Value::object();
+            row.set("id", u64::from(id.0));
+            row.set("spec", crate::spec::format_rule(rule));
+            rules.push(row);
+        }
+        doc.set("rules", rules);
+
+        let mut shards = Value::array();
+        for guard in &guards {
+            let mut shard_doc = Value::object();
+            let mut users: Vec<(&String, &UserState)> = guard.users.iter().collect();
+            users.sort_by_key(|(name, _)| *name);
+            let mut user_rows = Value::array();
+            for (name, state) in users {
+                let mut row = Value::object();
+                row.set("user", name.as_str());
+                row.set("last_seen", state.last_seen.as_millis());
+                let mut active = Value::array();
+                for (rule, a) in &state.active {
+                    let mut entry = Value::object();
+                    entry.set("rule", u64::from(rule.0));
+                    entry.set("alt", a.alternative_index as u64);
+                    entry.set("tried", a.alternatives_tried as u64);
+                    entry.set("at", a.activated_at.as_millis());
+                    entry.set("severity", crate::events::f64_to_value(a.default_severity));
+                    active.push(entry);
+                }
+                row.set("active", active);
+                let mut pending = Value::array();
+                for (rule, count) in &state.pending {
+                    let mut pair = Value::array();
+                    pair.push(u64::from(rule.0));
+                    pair.push(u64::from(*count));
+                    pending.push(pair);
+                }
+                row.set("pending", pending);
+                user_rows.push(row);
+            }
+            shard_doc.set("users", user_rows);
+            let mut log_rows = Value::array();
+            for (seq, entry) in &guard.log {
+                let mut row = entry.to_value();
+                row.set("seq", *seq);
+                log_rows.push(row);
+            }
+            shard_doc.set("log", log_rows);
+            shard_doc.set("aggregates", guard.aggregates.to_value());
+            shards.push(shard_doc);
+        }
+        doc.set("shards", shards);
+        doc
+    }
+
+    /// Reconstructs an engine from a [`Oak::snapshot_json`] document.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed field; also rejects snapshots from
+    /// an engine with a different [`SHARD_COUNT`] (user→shard placement
+    /// would not line up).
+    pub fn from_snapshot_json(config: OakConfig, doc: &Value) -> Result<Oak, String> {
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer {key:?}"))
+        };
+        let version = field("version")?;
+        if version != 1 {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        let shard_count = field("shard_count")?;
+        if shard_count != SHARD_COUNT as u64 {
+            return Err(format!(
+                "snapshot has {shard_count} shards, engine has {SHARD_COUNT}"
+            ));
+        }
+
+        let oak = Oak::new(config);
+        oak.log_seq.store(field("log_seq")?, Ordering::SeqCst);
+        oak.event_seq.store(field("event_seq")?, Ordering::SeqCst);
+        {
+            let mut table = oak.rules.write().expect("rule table lock");
+            for row in doc
+                .get("rules")
+                .and_then(Value::as_array)
+                .ok_or("missing \"rules\"")?
+            {
+                let raw = row.get("id").and_then(Value::as_u64).ok_or("bad rule id")?;
+                let id = RuleId(u32::try_from(raw).map_err(|_| "rule id out of range")?);
+                let spec = row
+                    .get("spec")
+                    .and_then(Value::as_str)
+                    .ok_or("bad rule spec")?;
+                let rule = crate::spec::parse_rule(spec).map_err(|e| e.to_string())?;
+                let default_surface = RuleSurface::compile(&rule.default_text);
+                let alt_surfaces: Vec<RuleSurface> = rule
+                    .alternatives
+                    .iter()
+                    .map(|a| RuleSurface::compile(a))
+                    .collect();
+                table.index.insert(id, &default_surface, &alt_surfaces);
+                table.surfaces.insert(id, (default_surface, alt_surfaces));
+                table.rules.insert(id, rule);
+            }
+            let next = field("next_rule_id")?;
+            table.next_rule_id = u32::try_from(next).map_err(|_| "next_rule_id out of range")?;
+        }
+
+        let shard_docs = doc
+            .get("shards")
+            .and_then(Value::as_array)
+            .ok_or("missing \"shards\"")?;
+        if shard_docs.len() != SHARD_COUNT {
+            return Err(format!(
+                "snapshot carries {} shard records, expected {SHARD_COUNT}",
+                shard_docs.len()
+            ));
+        }
+        for (index, shard_doc) in shard_docs.iter().enumerate() {
+            let mut shard = oak.shards[index].lock().expect("shard lock");
+            for row in shard_doc
+                .get("users")
+                .and_then(Value::as_array)
+                .ok_or("missing shard \"users\"")?
+            {
+                let name = row
+                    .get("user")
+                    .and_then(Value::as_str)
+                    .ok_or("bad user row")?;
+                let mut state = UserState {
+                    last_seen: Instant(
+                        row.get("last_seen")
+                            .and_then(Value::as_u64)
+                            .ok_or("bad last_seen")?,
+                    ),
+                    ..UserState::default()
+                };
+                for entry in row
+                    .get("active")
+                    .and_then(Value::as_array)
+                    .ok_or("missing \"active\"")?
+                {
+                    let rule_raw = entry
+                        .get("rule")
+                        .and_then(Value::as_u64)
+                        .ok_or("bad active rule")?;
+                    let int = |key: &str| {
+                        entry
+                            .get(key)
+                            .and_then(Value::as_u64)
+                            .ok_or("bad active entry")
+                    };
+                    state.active.insert(
+                        RuleId(u32::try_from(rule_raw).map_err(|_| "active rule out of range")?),
+                        ActiveRule {
+                            alternative_index: int("alt")? as usize,
+                            alternatives_tried: int("tried")? as usize,
+                            activated_at: Instant(int("at")?),
+                            default_severity: crate::events::f64_from_value(
+                                entry.get("severity").ok_or("missing severity")?,
+                            )?,
+                        },
+                    );
+                }
+                for pair in row
+                    .get("pending")
+                    .and_then(Value::as_array)
+                    .ok_or("missing \"pending\"")?
+                {
+                    let rule_raw = pair.at(0).and_then(Value::as_u64).ok_or("bad pending")?;
+                    let count = pair.at(1).and_then(Value::as_u64).ok_or("bad pending")?;
+                    state.pending.insert(
+                        RuleId(u32::try_from(rule_raw).map_err(|_| "pending rule out of range")?),
+                        u32::try_from(count).map_err(|_| "pending count out of range")?,
+                    );
+                }
+                shard.users.insert(name.to_owned(), state);
+            }
+            for row in shard_doc
+                .get("log")
+                .and_then(Value::as_array)
+                .ok_or("missing shard \"log\"")?
+            {
+                let seq = row
+                    .get("seq")
+                    .and_then(Value::as_u64)
+                    .ok_or("bad log seq")?;
+                shard.log.push((seq, LogEvent::from_value(row)?));
+            }
+            shard.aggregates = crate::aggregates::SiteAggregates::from_value(
+                shard_doc
+                    .get("aggregates")
+                    .ok_or("missing \"aggregates\"")?,
+            )?;
+        }
+        Ok(oak)
     }
 }
 
-/// Expires TTL-bound activations for one user; returns the expired rule
-/// ids and appends the `Expired` events to the shard log.
+/// Monotonically raises an atomic counter to at least `target`.
+fn bump_to(counter: &AtomicU64, target: u64) {
+    counter.fetch_max(target, Ordering::Relaxed);
+}
+
+/// Expires TTL-bound activations for one user, appending the `Expired`
+/// events to the shard log; returns `(log sequence, rule)` per expiry so
+/// callers can record the durable event.
 fn expire_user_rules(
     rules: &BTreeMap<RuleId, Rule>,
     users: &mut HashMap<String, UserState>,
@@ -769,7 +1312,7 @@ fn expire_user_rules(
     log_seq: &AtomicU64,
     now: Instant,
     user: &str,
-) -> Vec<RuleId> {
+) -> Vec<(u64, RuleId)> {
     let Some(state) = users.get_mut(user) else {
         return Vec::new();
     };
@@ -786,18 +1329,34 @@ fn expire_user_rules(
             true
         }
     });
-    for rule_id in &expired {
-        log.push((
-            log_seq.fetch_add(1, Ordering::Relaxed),
-            LogEvent {
-                time: now,
-                user: user.to_owned(),
-                rule: *rule_id,
-                action: LogAction::Expired,
-            },
-        ));
-    }
     expired
+        .into_iter()
+        .map(|rule_id| {
+            let seq = log_seq.fetch_add(1, Ordering::Relaxed);
+            log.push((
+                seq,
+                LogEvent {
+                    time: now,
+                    user: user.to_owned(),
+                    rule: rule_id,
+                    action: LogAction::Expired,
+                },
+            ));
+            (seq, rule_id)
+        })
+        .collect()
+}
+
+/// Enforces [`OakConfig::log_retention`] on one shard's log slice:
+/// drops the oldest entries (per-shard appends are sequence-ordered, so
+/// the front is the oldest) once the cap is exceeded. Dropped entries
+/// remain durable in the write-ahead log when a sink is attached.
+fn trim_shard_log(log: &mut Vec<(u64, LogEvent)>, retention: Option<usize>) {
+    if let Some(cap) = retention {
+        if log.len() > cap {
+            log.drain(..log.len() - cap);
+        }
+    }
 }
 
 /// FNV-1a over a string — shard selection and user-hash alternative

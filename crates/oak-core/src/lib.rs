@@ -65,6 +65,7 @@ pub mod analysis;
 pub mod audit;
 pub mod detect;
 pub mod engine;
+pub mod events;
 pub mod matching;
 pub mod report;
 pub mod rule;

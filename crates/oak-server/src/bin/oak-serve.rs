@@ -6,6 +6,9 @@
 //!
 //! ```text
 //! oak-serve --root ./site --rules ./site.oakrules [--port 8080]
+//!           [--store ./oak-state] [--fsync always|never|<n>]
+//!           [--snapshot-every <events>] [--audit-retention <entries>]
+//!           [--prune-idle-ms <ms>] [--prune-every <requests>]
 //! ```
 //!
 //! `--rules` takes the §4.1 spec format (see `oak_core::spec`), e.g.:
@@ -14,6 +17,13 @@
 //! (2, "<script src=\"http://s1.com/jquery.js\">",
 //!     "<script src=\"http://s2.net/jquery.js\">", 0, *)
 //! ```
+//!
+//! With `--store`, engine state (rules, activations, aggregates, audit
+//! log) survives restarts: mutations are journaled to a write-ahead log
+//! in the given directory and compacted into snapshots; on boot the
+//! newest valid snapshot is loaded and the WAL tail replayed. When the
+//! recovered engine already holds rules, `--rules` is skipped — the
+//! journal, not the file, is authoritative after the first run.
 //!
 //! Clients POST performance reports to `/oak/report`; pages are
 //! personalized per user via the `oak_uid` cookie.
@@ -24,23 +34,41 @@ use std::process::ExitCode;
 use oak_core::engine::OakConfig;
 use oak_core::Instant;
 use oak_http::TcpServer;
-use oak_server::{load_root, load_rules, OakService, REPORT_PATH};
+use oak_server::{load_root, load_rules_into, OakService, PrunePolicy, REPORT_PATH};
+use oak_store::{FsyncPolicy, OakStore, StoreOptions};
 
 struct Args {
     root: PathBuf,
     rules: Option<PathBuf>,
     port: u16,
+    store: Option<PathBuf>,
+    store_options: StoreOptions,
+    audit_retention: Option<usize>,
+    prune: Option<PrunePolicy>,
 }
+
+const USAGE: &str = "usage: oak-serve --root <dir> [--rules <file>] [--port <n>] \
+[--store <dir>] [--fsync always|never|<n>] [--snapshot-every <events>] \
+[--audit-retention <entries>] [--prune-idle-ms <ms>] [--prune-every <requests>]";
 
 fn parse_args() -> Result<Args, String> {
     let mut root = None;
     let mut rules = None;
     let mut port = 8080u16;
+    let mut store = None;
+    let mut store_options = StoreOptions::default();
+    let mut audit_retention = None;
+    let mut prune_idle_ms = None;
+    let mut prune_every = 1024u64;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
             argv.next()
                 .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let number = |name: &str, raw: String| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("{name} requires a number"))
         };
         match flag.as_str() {
             "--root" => root = Some(PathBuf::from(value("--root")?)),
@@ -50,9 +78,29 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--port requires a number".to_owned())?;
             }
-            "--help" | "-h" => {
-                return Err("usage: oak-serve --root <dir> [--rules <file>] [--port <n>]".into())
+            "--store" => store = Some(PathBuf::from(value("--store")?)),
+            "--fsync" => {
+                store_options.fsync = match value("--fsync")?.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "never" => FsyncPolicy::Never,
+                    n => FsyncPolicy::EveryN(number("--fsync", n.to_owned())?.max(1)),
+                };
             }
+            "--snapshot-every" => {
+                store_options.snapshot_every_events =
+                    number("--snapshot-every", value("--snapshot-every")?)?.max(1);
+            }
+            "--audit-retention" => {
+                audit_retention =
+                    Some(number("--audit-retention", value("--audit-retention")?)? as usize);
+            }
+            "--prune-idle-ms" => {
+                prune_idle_ms = Some(number("--prune-idle-ms", value("--prune-idle-ms")?)?);
+            }
+            "--prune-every" => {
+                prune_every = number("--prune-every", value("--prune-every")?)?.max(1);
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
@@ -60,6 +108,13 @@ fn parse_args() -> Result<Args, String> {
         root: root.ok_or("--root is required (try --help)")?,
         rules,
         port,
+        store,
+        store_options,
+        audit_retention,
+        prune: prune_idle_ms.map(|idle_ms| PrunePolicy {
+            idle_ms,
+            every_requests: prune_every,
+        }),
     })
 }
 
@@ -85,31 +140,75 @@ fn main() -> ExitCode {
         args.root.display()
     );
 
-    let oak = match &args.rules {
-        Some(path) => match load_rules(path, OakConfig::default()) {
-            Ok(oak) => {
+    let config = OakConfig {
+        log_retention: args.audit_retention,
+        ..OakConfig::default()
+    };
+
+    // With --store, the journal is the source of truth: recover first,
+    // then only seed rules from --rules on a virgin store.
+    let (oak, durable) = match &args.store {
+        Some(dir) => match OakStore::boot(dir, config, args.store_options) {
+            Ok(boot) => {
                 eprintln!(
-                    "loaded {} rule(s) from {}",
-                    oak.rules().count(),
-                    path.display()
+                    "recovered {} rule(s), {} user(s) from {} ({} event(s) replayed{}{})",
+                    boot.oak.rules().count(),
+                    boot.oak.user_count(),
+                    dir.display(),
+                    boot.events_replayed,
+                    if boot.snapshot_loaded {
+                        ", snapshot loaded"
+                    } else {
+                        ""
+                    },
+                    if boot.torn_segments > 0 {
+                        ", torn WAL tail truncated"
+                    } else {
+                        ""
+                    },
                 );
-                oak
+                (boot.oak, Some(boot.store))
             }
+            Err(e) => {
+                eprintln!("failed to open --store {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => (oak_core::engine::Oak::new(config), None),
+    };
+
+    match &args.rules {
+        Some(path) if oak.rules().count() == 0 => match load_rules_into(&oak, path) {
+            Ok(count) => eprintln!("loaded {count} rule(s) from {}", path.display()),
             Err(e) => {
                 eprintln!("failed to load --rules {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
         },
-        None => {
+        Some(path) => eprintln!(
+            "--rules {} skipped: recovered store already holds rules",
+            path.display()
+        ),
+        None if durable.is_none() => {
             eprintln!("no --rules given: serving without rewriting (reports still ingested)");
-            oak_core::engine::Oak::new(OakConfig::default())
         }
-    };
+        None => {}
+    }
 
     let t0 = std::time::Instant::now();
-    let service = OakService::new(oak, store)
-        .with_clock(move || Instant(t0.elapsed().as_millis() as u64))
-        .into_shared();
+    let mut service =
+        OakService::new(oak, store).with_clock(move || Instant(t0.elapsed().as_millis() as u64));
+    if let Some(store) = durable {
+        service = service.with_durability(store);
+    }
+    if let Some(policy) = args.prune {
+        eprintln!(
+            "pruning users idle > {} ms (sweep every {} requests)",
+            policy.idle_ms, policy.every_requests
+        );
+        service = service.with_pruning(policy);
+    }
+    let service = service.into_shared();
 
     let server = match TcpServer::start(args.port, service) {
         Ok(s) => s,

@@ -84,13 +84,27 @@ pub fn load_root(root: &Path) -> io::Result<SiteStore> {
 /// [`io::ErrorKind::InvalidData`] with the line number preserved in the
 /// message.
 pub fn load_rules(path: &Path, config: OakConfig) -> io::Result<Oak> {
+    let oak = Oak::new(config);
+    load_rules_into(&oak, path)?;
+    Ok(oak)
+}
+
+/// Loads a rules file into an existing engine — the recovery-aware
+/// variant: a durable server boots its engine from the store first
+/// ([`oak_store::OakStore::boot`]) and only then registers any rules the
+/// operator's file adds. Returns how many rules were registered.
+///
+/// # Errors
+///
+/// Same as [`load_rules`].
+pub fn load_rules_into(oak: &Oak, path: &Path) -> io::Result<usize> {
     let text = fs::read_to_string(path)?;
     let rules = parse_rules(&text)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    let oak = Oak::new(config);
+    let count = rules.len();
     for rule in rules {
         oak.add_rule(rule)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     }
-    Ok(oak)
+    Ok(count)
 }

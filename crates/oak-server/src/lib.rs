@@ -36,8 +36,8 @@ mod fileroot;
 mod service;
 mod store;
 
-pub use fileroot::{content_type_for, load_root, load_rules};
-pub use service::{OakService, ServiceStats};
+pub use fileroot::{content_type_for, load_root, load_rules, load_rules_into};
+pub use service::{OakService, PrunePolicy, ServiceStats};
 pub use store::SiteStore;
 
 /// The endpoint clients POST performance reports to.

@@ -25,6 +25,9 @@ pub struct ServiceStats {
     pub reports_accepted: u64,
     /// Reports rejected (malformed or cookie-less).
     pub reports_rejected: u64,
+    /// Users evicted by the idle-pruning sweep (see
+    /// [`OakService::with_pruning`]).
+    pub users_pruned: u64,
 }
 
 /// Lock-free service counters; [`ServiceStats`] is the read snapshot.
@@ -34,6 +37,7 @@ struct ServiceCounters {
     objects_served: AtomicU64,
     reports_accepted: AtomicU64,
     reports_rejected: AtomicU64,
+    users_pruned: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -43,8 +47,19 @@ impl ServiceCounters {
             objects_served: self.objects_served.load(Ordering::Relaxed),
             reports_accepted: self.reports_accepted.load(Ordering::Relaxed),
             reports_rejected: self.reports_rejected.load(Ordering::Relaxed),
+            users_pruned: self.users_pruned.load(Ordering::Relaxed),
         }
     }
+}
+
+/// When and how aggressively [`OakService`] evicts idle per-user state
+/// (see [`OakService::with_pruning`]).
+#[derive(Clone, Copy, Debug)]
+pub struct PrunePolicy {
+    /// A user whose last report or serve is older than this is evicted.
+    pub idle_ms: u64,
+    /// The sweep runs once every this many requests (any method).
+    pub every_requests: u64,
 }
 
 /// The Oak proxy: serves a [`SiteStore`] through the per-user rewriting
@@ -62,6 +77,9 @@ pub struct OakService {
     fetcher: Box<dyn ScriptFetcher + Send + Sync>,
     next_user: AtomicU64,
     stats: ServiceCounters,
+    durable: Option<Arc<oak_store::OakStore>>,
+    prune: Option<PrunePolicy>,
+    requests: AtomicU64,
 }
 
 impl OakService {
@@ -75,6 +93,9 @@ impl OakService {
             fetcher: Box::new(NoFetch),
             next_user: AtomicU64::new(1),
             stats: ServiceCounters::default(),
+            durable: None,
+            prune: None,
+            requests: AtomicU64::new(0),
         }
     }
 
@@ -91,6 +112,27 @@ impl OakService {
         fetcher: impl ScriptFetcher + Send + Sync + 'static,
     ) -> OakService {
         self.fetcher = Box::new(fetcher);
+        self
+    }
+
+    /// Attaches the durability store so ingest triggers snapshot
+    /// compaction ([`oak_store::OakStore::maybe_snapshot`]) once enough
+    /// events accumulate. The store must already be the engine's event
+    /// sink — [`oak_store::OakStore::boot`] wires both and recovers prior
+    /// state, so the typical durable service is
+    /// `OakService::new(boot.oak, site).with_durability(boot.store)`.
+    pub fn with_durability(mut self, store: Arc<oak_store::OakStore>) -> OakService {
+        self.durable = Some(store);
+        self
+    }
+
+    /// Enables the idle-user sweep: every `every_requests` requests,
+    /// users idle longer than `idle_ms` are evicted via
+    /// [`Oak::prune_inactive_users`] (their audit history stays in the
+    /// log and, when durability is on, in the WAL). Evictions land in
+    /// [`ServiceStats::users_pruned`].
+    pub fn with_pruning(mut self, policy: PrunePolicy) -> OakService {
+        self.prune = Some(policy);
         self
     }
 
@@ -142,6 +184,11 @@ impl OakService {
     }
 
     /// Renders the §6 offline audit as plain text (`GET /oak/audit`).
+    ///
+    /// The audit covers the engine's in-memory log window. With
+    /// [`oak_core::engine::OakConfig::log_retention`] set, older entries
+    /// rotate out of memory; when durability is on they remain in the
+    /// WAL and snapshots for offline analysis.
     fn audit_view(&self) -> Response {
         let summary = oak_core::audit::audit(&self.oak.log());
         Response::new(StatusCode::OK).with_body(
@@ -159,6 +206,7 @@ impl OakService {
         doc.set("objects_served", stats.objects_served);
         doc.set("reports_accepted", stats.reports_accepted);
         doc.set("reports_rejected", stats.reports_rejected);
+        doc.set("users_pruned", stats.users_pruned);
 
         let agg = self.oak.aggregates();
         doc.set("reports", agg.report_count());
@@ -216,12 +264,33 @@ impl OakService {
         self.oak
             .ingest_report_from(now, &report, &*self.fetcher, client_ip);
         self.stats.reports_accepted.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.durable {
+            // Compaction errors must not fail the client's report; the
+            // store's write_errors counter carries them to the operator.
+            let _ = store.maybe_snapshot(&self.oak);
+        }
         Response::new(StatusCode::NO_CONTENT)
+    }
+
+    /// The request-cadence idle-user sweep (no-op unless configured).
+    fn maybe_prune(&self) {
+        let Some(policy) = &self.prune else { return };
+        let count = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        if !count.is_multiple_of(policy.every_requests.max(1)) {
+            return;
+        }
+        let now = (self.clock)();
+        let cutoff = Instant(now.as_millis().saturating_sub(policy.idle_ms));
+        let pruned = self.oak.prune_inactive_users(cutoff) as u64;
+        if pruned > 0 {
+            self.stats.users_pruned.fetch_add(pruned, Ordering::Relaxed);
+        }
     }
 }
 
 impl Handler for OakService {
     fn handle(&self, request: &Request) -> Response {
+        self.maybe_prune();
         let path = request.path().to_owned();
         match (request.method, path.as_str()) {
             (Method::Post, REPORT_PATH) => self.accept_report(request),

@@ -354,3 +354,126 @@ fn concurrent_reports_do_not_lose_updates() {
         }
     });
 }
+
+#[test]
+fn pruning_sweep_evicts_idle_users_and_counts_them() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let clock = Arc::new(AtomicU64::new(0));
+    let clock_ref = Arc::clone(&clock);
+    let service = service_with_rule()
+        .with_clock(move || Instant(clock_ref.load(Ordering::Relaxed)))
+        .with_pruning(crate::PrunePolicy {
+            idle_ms: 1_000,
+            every_requests: 4,
+        });
+
+    // Two users report at t=0; both hold per-user state.
+    assert_eq!(
+        post_report(&service, &violating_report("u-old"), Some("u-old"))
+            .status
+            .0,
+        204
+    );
+    assert_eq!(
+        post_report(&service, &violating_report("u-new"), Some("u-new"))
+            .status
+            .0,
+        204
+    );
+    service.with_oak(|oak| assert_eq!(oak.user_count(), 2));
+
+    // u-new stays active; u-old goes idle. The 4th request lands on the
+    // sweep cadence with the clock far past u-old's horizon.
+    clock.store(5_000, Ordering::Relaxed);
+    assert_eq!(
+        post_report(&service, &violating_report("u-new"), Some("u-new"))
+            .status
+            .0,
+        204
+    );
+    get(&service, "/index.html", Some("u-new"));
+
+    assert_eq!(service.stats().users_pruned, 1, "idle u-old swept");
+    service.with_oak(|oak| {
+        assert_eq!(oak.user_count(), 1);
+        assert!(oak.active_rules("u-old").is_empty());
+        assert!(!oak.active_rules("u-new").is_empty());
+    });
+}
+
+#[test]
+fn log_retention_bounds_the_audit_window() {
+    let oak = Oak::new(OakConfig {
+        log_retention: Some(3),
+        ..OakConfig::default()
+    });
+    oak.add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]))
+        .unwrap();
+    let mut store = SiteStore::new();
+    store.add_page("/index.html", PAGE);
+    let service = OakService::new(oak, store);
+
+    // One user cycling activate → deactivate appends two log entries per
+    // round, all in the same shard (retention is per shard — the
+    // worst-case memory bound is `cap × SHARD_COUNT`).
+    let alt_violating = |user: &str| {
+        let mut r = violating_report(user);
+        r.entries[0] =
+            ObjectTiming::new("http://cdn-b.example/jquery.js", "10.0.9.9", 30_000, 900.0);
+        r
+    };
+    for _ in 0..4 {
+        post_report(&service, &violating_report("u-r"), Some("u-r"));
+        post_report(&service, &alt_violating("u-r"), Some("u-r"));
+    }
+    service.with_oak(|oak| {
+        let log = oak.log();
+        assert_eq!(log.len(), 3, "retention caps the in-memory log");
+    });
+}
+
+#[test]
+fn durable_service_recovers_state_across_boots() {
+    let dir = std::env::temp_dir().join(format!("oak-server-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = oak_store::StoreOptions {
+        fsync: oak_store::FsyncPolicy::Always,
+        ..oak_store::StoreOptions::default()
+    };
+
+    // First life: a rule, a violating report, an activation.
+    {
+        let boot = oak_store::OakStore::boot(&dir, OakConfig::default(), options).unwrap();
+        boot.oak
+            .add_rule(Rule::replace_identical(JQ_DEFAULT, [JQ_ALT]))
+            .unwrap();
+        let mut store = SiteStore::new();
+        store.add_page("/index.html", PAGE);
+        let service = OakService::new(boot.oak, store).with_durability(boot.store);
+        assert_eq!(
+            post_report(&service, &violating_report("u-d"), Some("u-d"))
+                .status
+                .0,
+            204
+        );
+        service.with_oak(|oak| assert_eq!(oak.active_rules("u-d").len(), 1));
+    } // crash: everything in memory dropped
+
+    // Second life: state is back and the page is personalized.
+    let boot = oak_store::OakStore::boot(&dir, OakConfig::default(), options).unwrap();
+    let mut store = SiteStore::new();
+    store.add_page("/index.html", PAGE);
+    let service = OakService::new(boot.oak, store).with_durability(boot.store);
+    service.with_oak(|oak| {
+        assert_eq!(oak.rules().count(), 1);
+        assert_eq!(oak.active_rules("u-d").len(), 1);
+        assert_eq!(oak.aggregates().report_count(), 1);
+    });
+    let resp = get(&service, "/index.html", Some("u-d"));
+    assert!(
+        resp.body_text().contains("cdn-b.example"),
+        "recovered activation still rewrites the page"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,53 @@
+//! Durability for the Oak engine: a write-ahead log, compacted
+//! snapshots, and crash recovery.
+//!
+//! Oak's value compounds over time — per-user activations and per-server
+//! aggregates are learned from weeks of client reports (paper §3) — yet
+//! the engine itself is memory-only. This crate makes that state durable
+//! without touching the engine's hot paths:
+//!
+//! 1. Every `&self` mutation on [`oak_core::engine::Oak`] emits a
+//!    serializable [`oak_core::events::EngineEvent`] carrying the
+//!    *decision* it made (which rules activated, what the aggregates
+//!    folded), never the raw inputs — so replay needs no script fetcher
+//!    and no clock, and is bit-for-bit deterministic.
+//! 2. [`OakStore`] is an [`oak_core::events::EventSink`] that journals
+//!    those events into CRC-framed, per-shard WAL segments
+//!    ([`segment`]), fsyncing on a configurable policy.
+//! 3. [`OakStore::snapshot`] compacts history into one JSON document
+//!    (encoded with the in-tree `oak-json`), after which superseded
+//!    segments are deleted.
+//! 4. [`recover`] (or [`OakStore::boot`]) loads the newest valid
+//!    snapshot and replays the WAL tail in global sequence order,
+//!    truncating at the first torn or corrupt frame instead of failing.
+//!
+//! # Examples
+//!
+//! ```
+//! use oak_core::prelude::*;
+//! use oak_store::{FsyncPolicy, OakStore, StoreOptions};
+//!
+//! let dir = std::env::temp_dir().join(format!("oak-doc-{}", std::process::id()));
+//! let options = StoreOptions { fsync: FsyncPolicy::Always, ..StoreOptions::default() };
+//!
+//! // First life: learn something, then "crash" (drop everything).
+//! {
+//!     let boot = OakStore::boot(&dir, OakConfig::default(), options).unwrap();
+//!     let rule = Rule::remove(r#"<script src="http://slow.example/t.js">"#);
+//!     let id = boot.oak.add_rule(rule).unwrap();
+//!     boot.oak.force_activate(Instant::ZERO, "u-1", id);
+//! }
+//!
+//! // Second life: the rule and the activation survived.
+//! let boot = OakStore::boot(&dir, OakConfig::default(), options).unwrap();
+//! assert_eq!(boot.events_replayed, 2); // RuleAdded + ForceActivate
+//! assert_eq!(boot.oak.rules().count(), 1);
+//! assert_eq!(boot.oak.active_rules("u-1").len(), 1);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod crc32;
+pub mod segment;
+pub mod store;
+
+pub use store::{recover, Boot, FsyncPolicy, OakStore, Recovery, StoreOptions};

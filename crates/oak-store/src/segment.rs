@@ -1,0 +1,180 @@
+//! WAL segment files: a fixed header followed by CRC-framed records.
+//!
+//! Layout:
+//!
+//! ```text
+//! [magic "OAKSEG01": 8 bytes][shard: u32 LE]          ← segment header
+//! [len: u32 LE][crc32: u32 LE][payload: len bytes]    ← frame, repeated
+//! ```
+//!
+//! The shard field names the engine shard whose events the segment holds;
+//! [`META_SHARD`] marks the global segment (rule-table events). Frames are
+//! self-delimiting and check-summed, so a reader can walk a segment and
+//! stop at the first frame whose length or CRC does not hold — everything
+//! before that point is valid history, everything after is a torn tail.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc32::crc32;
+
+/// Magic prefix of every WAL segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"OAKSEG01";
+/// Shard field value naming the global (rule-table) segment.
+pub const META_SHARD: u32 = u32::MAX;
+/// Upper bound on one frame's payload; a larger length is corruption.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+/// Fixed per-frame overhead: `[len: u32][crc: u32]`.
+pub const FRAME_OVERHEAD: usize = 8;
+/// Fixed segment header size: magic plus the shard field.
+pub const SEGMENT_HEADER: usize = SEGMENT_MAGIC.len() + 4;
+
+/// Frames `payload` as `[len: u32 LE][crc32: u32 LE][payload]`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decodes the frame starting at `offset` in `buf`.
+///
+/// Returns the payload and the offset one past the frame, or `None` when
+/// the bytes at `offset` are not a whole, checksum-valid frame — a clean
+/// end of segment and a torn tail look the same to the decoder; callers
+/// that care compare `offset` against `buf.len()`.
+pub fn decode_frame(buf: &[u8], offset: usize) -> Option<(&[u8], usize)> {
+    let header = buf.get(offset..offset + FRAME_OVERHEAD)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return None;
+    }
+    let expected = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    let start = offset + FRAME_OVERHEAD;
+    let payload = buf.get(start..start + len as usize)?;
+    if crc32(payload) != expected {
+        return None;
+    }
+    Some((payload, start + len as usize))
+}
+
+/// Everything salvageable from one segment file.
+#[derive(Debug)]
+pub struct SegmentContents {
+    /// The engine shard the segment belongs to; `None` for the global
+    /// segment.
+    pub shard: Option<usize>,
+    /// Valid frame payloads, in file order.
+    pub payloads: Vec<Vec<u8>>,
+    /// `false` when reading stopped at a torn or corrupt frame (or the
+    /// header itself was damaged) before the end of the file.
+    pub clean: bool,
+}
+
+/// Reads a segment file, salvaging the valid frame prefix.
+///
+/// Corruption — a damaged header, a torn final frame, a bit-flip anywhere
+/// — is not an error: the contents up to the first bad frame come back
+/// with `clean == false`. Only real I/O failures surface as `Err`.
+pub fn read_segment(path: &Path) -> io::Result<SegmentContents> {
+    let buf = std::fs::read(path)?;
+    let mut contents = SegmentContents {
+        shard: None,
+        payloads: Vec::new(),
+        clean: false,
+    };
+    let Some(header) = buf.get(..SEGMENT_HEADER) else {
+        return Ok(contents);
+    };
+    if &header[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Ok(contents);
+    }
+    let shard = u32::from_le_bytes(header[SEGMENT_MAGIC.len()..].try_into().expect("4 bytes"));
+    contents.shard = if shard == META_SHARD {
+        None
+    } else {
+        Some(shard as usize)
+    };
+    let mut offset = SEGMENT_HEADER;
+    while let Some((payload, next)) = decode_frame(&buf, offset) {
+        contents.payloads.push(payload.to_vec());
+        offset = next;
+    }
+    contents.clean = offset == buf.len();
+    Ok(contents)
+}
+
+/// An open, append-only segment file.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    max_seq: u64,
+    appended_since_sync: u64,
+}
+
+impl SegmentWriter {
+    /// Creates the file at `path` and writes the segment header.
+    pub fn create(path: PathBuf, shard: Option<usize>) -> io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let shard_field = match shard {
+            Some(index) => index as u32,
+            None => META_SHARD,
+        };
+        file.write_all(SEGMENT_MAGIC)?;
+        file.write_all(&shard_field.to_le_bytes())?;
+        Ok(SegmentWriter {
+            file,
+            path,
+            bytes: SEGMENT_HEADER as u64,
+            max_seq: 0,
+            appended_since_sync: 0,
+        })
+    }
+
+    /// Appends one framed record carrying the event with sequence `seq`.
+    pub fn append(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        let frame = encode_frame(payload);
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        self.max_seq = self.max_seq.max(seq);
+        self.appended_since_sync += 1;
+        Ok(())
+    }
+
+    /// Flushes appended frames to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.appended_since_sync > 0 {
+            self.file.sync_data()?;
+            self.appended_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Records appended since the last [`SegmentWriter::sync`].
+    pub fn appended_since_sync(&self) -> u64 {
+        self.appended_since_sync
+    }
+
+    /// Current file size in bytes, header included.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Highest event sequence number appended to this segment.
+    pub fn max_seq(&self) -> u64 {
+        self.max_seq
+    }
+
+    /// The segment's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}

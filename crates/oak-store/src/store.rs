@@ -1,0 +1,546 @@
+//! The store proper: per-shard WAL writers, snapshots, compaction, and
+//! crash recovery.
+//!
+//! One [`OakStore`] owns a directory. Inside it live:
+//!
+//! - `seg-SS-NNNNNNNN.wal` — WAL segments, one live segment per engine
+//!   shard plus one global segment (`SS` = shard slot, `16` for global;
+//!   `NNNNNNNN` = allocation counter). Events land in the segment of the
+//!   shard they mutate, so shard-parallel ingest never contends on one
+//!   file; recovery merges segments by global sequence number.
+//! - `snap-WWWWWWWWWWWWWWWWWWWW.snap` — compacted snapshots, named by
+//!   their event-sequence watermark `W`: every event with `seq < W` is
+//!   reflected in the snapshot, every event with `seq >= W` is replayed
+//!   from the WAL on recovery.
+//!
+//! Segments are never appended across process restarts: a fresh store
+//! opens fresh segments, and the boot snapshot supersedes (and deletes)
+//! everything older. That keeps the write path free of any
+//! truncate-then-append handling — torn tails exist only for readers.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use oak_core::engine::{Oak, OakConfig, SHARD_COUNT};
+use oak_core::events::{EventSink, SequencedEvent};
+use oak_json::Value;
+
+use crate::segment::{decode_frame, encode_frame, read_segment, SegmentWriter};
+
+/// Magic prefix of a snapshot file (the framed JSON document follows).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"OAKSNAP1";
+
+/// When appended WAL frames are pushed to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every event. Survives power loss; slowest.
+    Always,
+    /// `fdatasync` once every N events per segment. Bounds loss to the
+    /// last N events of each shard.
+    EveryN(u64),
+    /// Never fsync explicitly; the OS flushes on its own schedule.
+    /// Survives process crashes (the page cache persists), not power
+    /// loss.
+    Never,
+}
+
+/// Durability and compaction policy for an [`OakStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// WAL fsync cadence.
+    pub fsync: FsyncPolicy,
+    /// [`OakStore::maybe_snapshot`] triggers after this many events.
+    pub snapshot_every_events: u64,
+    /// A segment is rotated out once it grows past this many bytes.
+    pub rotate_segment_bytes: u64,
+    /// How many snapshots to keep; older ones are deleted at compaction.
+    pub keep_snapshots: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            fsync: FsyncPolicy::EveryN(64),
+            snapshot_every_events: 10_000,
+            rotate_segment_bytes: 16 * 1024 * 1024,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// A rotated-out segment we still know the max sequence number of.
+#[derive(Debug)]
+struct ClosedSegment {
+    path: PathBuf,
+    max_seq: u64,
+}
+
+/// The write half: an [`EventSink`] that journals engine events into
+/// per-shard WAL segments and periodically compacts them into snapshots.
+#[derive(Debug)]
+pub struct OakStore {
+    dir: PathBuf,
+    options: StoreOptions,
+    /// One slot per engine shard plus the global slot at `SHARD_COUNT`.
+    /// Writers open lazily on first use so idle shards cost nothing.
+    slots: Vec<Mutex<Option<SegmentWriter>>>,
+    closed: Mutex<Vec<ClosedSegment>>,
+    segment_ids: AtomicU64,
+    events_recorded: AtomicU64,
+    events_since_snapshot: AtomicU64,
+    write_errors: AtomicU64,
+    snapshot_lock: Mutex<()>,
+}
+
+impl OakStore {
+    /// Opens (creating if needed) a store over `dir`.
+    ///
+    /// The store writes fresh segments; it never appends to files left by
+    /// an earlier process. Pair with [`recover`] — or use
+    /// [`OakStore::boot`], which sequences the two correctly. A directory
+    /// must be owned by at most one live store.
+    pub fn open(dir: impl Into<PathBuf>, options: StoreOptions) -> io::Result<OakStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        // Start segment ids past everything on disk so fresh files never
+        // collide with (not-yet-compacted) files from an earlier run.
+        let mut next_id = 0;
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = parse_segment_name(name).map(|(_, id)| id) {
+                next_id = next_id.max(id + 1);
+            }
+        }
+        Ok(OakStore {
+            dir,
+            options,
+            slots: (0..=SHARD_COUNT).map(|_| Mutex::new(None)).collect(),
+            closed: Mutex::new(Vec::new()),
+            segment_ids: AtomicU64::new(next_id),
+            events_recorded: AtomicU64::new(0),
+            events_since_snapshot: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            snapshot_lock: Mutex::new(()),
+        })
+    }
+
+    /// Recovers engine state from `dir` and opens the store for writing:
+    /// loads the newest valid snapshot, replays the WAL tail, writes a
+    /// fresh boot snapshot (compacting every prior segment away), and
+    /// attaches the store to the engine as its event sink.
+    pub fn boot(
+        dir: impl Into<PathBuf>,
+        config: OakConfig,
+        options: StoreOptions,
+    ) -> io::Result<Boot> {
+        let dir = dir.into();
+        let recovery = recover(&dir, config)?;
+        let store = Arc::new(OakStore::open(&dir, options)?);
+        store.snapshot(&recovery.oak)?;
+        let mut oak = recovery.oak;
+        oak.set_event_sink(store.clone());
+        Ok(Boot {
+            oak,
+            store,
+            snapshot_loaded: recovery.snapshot_loaded,
+            events_replayed: recovery.events_replayed,
+            torn_segments: recovery.torn_segments,
+        })
+    }
+
+    /// The directory this store owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total events journaled by this store instance.
+    pub fn events_recorded(&self) -> u64 {
+        self.events_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events journaled since the last snapshot.
+    pub fn events_since_snapshot(&self) -> u64 {
+        self.events_since_snapshot.load(Ordering::Relaxed)
+    }
+
+    /// WAL append failures. The sink swallows I/O errors (the engine's
+    /// hot path cannot surface them); operators watch this counter.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Flushes every open segment to stable storage regardless of the
+    /// fsync policy.
+    pub fn sync_all(&self) -> io::Result<()> {
+        for slot in &self.slots {
+            if let Some(writer) = self.lock_slot(slot).as_mut() {
+                writer.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes a snapshot if `snapshot_every_events` have accumulated.
+    ///
+    /// Cheap when under threshold or when another thread is already
+    /// snapshotting; call freely from the serving path. Returns whether a
+    /// snapshot was written.
+    pub fn maybe_snapshot(&self, oak: &Oak) -> io::Result<bool> {
+        if self.events_since_snapshot.load(Ordering::Relaxed) < self.options.snapshot_every_events {
+            return Ok(false);
+        }
+        if self.snapshot_lock.try_lock().is_err() {
+            return Ok(false);
+        }
+        self.snapshot(oak)?;
+        Ok(true)
+    }
+
+    /// Writes a compacted snapshot of `oak` and retires superseded files.
+    ///
+    /// The engine quiesces (all shard locks) only while the state is
+    /// encoded; the write, fsync, and atomic rename happen outside the
+    /// locks. Afterwards every live segment is rotated, snapshots beyond
+    /// `keep_snapshots` are pruned, and every segment whose events all
+    /// predate the *oldest kept* snapshot's watermark is deleted — so if
+    /// the newest snapshot ever fails its checksum, the previous one
+    /// plus the retained segments still recover the full state (with
+    /// `keep_snapshots: 1` that safety margin is waived and segments
+    /// compact up to the newest watermark).
+    pub fn snapshot(&self, oak: &Oak) -> io::Result<PathBuf> {
+        let _guard = self.snapshot_lock.lock().expect("snapshot lock");
+        let doc = oak.snapshot_json();
+        let watermark = doc
+            .get("event_seq")
+            .and_then(Value::as_u64)
+            .expect("snapshot carries event_seq");
+
+        let payload = doc.to_string();
+        let tmp = self.dir.join(format!("snap-{watermark:020}.tmp"));
+        let path = self.dir.join(snapshot_name(watermark));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(SNAPSHOT_MAGIC)?;
+            file.write_all(&encode_frame(payload.as_bytes()))?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Make the rename itself durable where the platform allows.
+        if let Ok(dir) = fs::File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        self.events_since_snapshot.store(0, Ordering::Relaxed);
+
+        // Rotate every live segment out; new ones open lazily.
+        for slot in &self.slots {
+            let mut slot = self.lock_slot(slot);
+            if let Some(mut writer) = slot.take() {
+                writer.sync()?;
+                self.closed
+                    .lock()
+                    .expect("closed list")
+                    .push(ClosedSegment {
+                        path: writer.path().to_path_buf(),
+                        max_seq: writer.max_seq(),
+                    });
+            }
+        }
+
+        // Prune snapshots beyond the retention count (names sort by
+        // watermark), then compact segments up to the oldest survivor.
+        let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(w) = parse_snapshot_name(name) {
+                snaps.push((w, entry.path()));
+            }
+        }
+        snaps.sort();
+        let keep_from = snaps
+            .len()
+            .saturating_sub(self.options.keep_snapshots.max(1));
+        for (_, old) in &snaps[..keep_from] {
+            let _ = fs::remove_file(old);
+        }
+        let compact_below = snaps[keep_from..]
+            .first()
+            .map_or(watermark, |(w, _)| *w)
+            .min(watermark);
+
+        let mut closed = self.closed.lock().expect("closed list");
+        let mut keep = Vec::new();
+        for segment in closed.drain(..) {
+            if segment.max_seq >= compact_below {
+                keep.push(segment);
+            } else {
+                let _ = fs::remove_file(&segment.path);
+            }
+        }
+        let known: Vec<PathBuf> = keep.iter().map(|s| s.path.clone()).collect();
+        *closed = keep;
+        drop(closed);
+        // Segments this store didn't write (leftovers from the run the
+        // engine recovered from) don't carry an in-memory max_seq; read
+        // it off the frames before deciding.
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_segment_name(name).is_none() || known.iter().any(|p| p == &entry.path()) {
+                continue;
+            }
+            if segment_max_seq(&entry.path()) < compact_below {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(path)
+    }
+
+    fn lock_slot<'a>(
+        &self,
+        slot: &'a Mutex<Option<SegmentWriter>>,
+    ) -> std::sync::MutexGuard<'a, Option<SegmentWriter>> {
+        slot.lock().expect("segment slot lock")
+    }
+
+    fn append_to_slot(&self, index: usize, seq: u64, payload: &[u8]) -> io::Result<()> {
+        let slot = &self.slots[index];
+        let mut guard = self.lock_slot(slot);
+        if guard.is_none() {
+            let id = self.segment_ids.fetch_add(1, Ordering::Relaxed);
+            let path = self.dir.join(segment_name(index, id));
+            let shard = if index == SHARD_COUNT {
+                None
+            } else {
+                Some(index)
+            };
+            *guard = Some(SegmentWriter::create(path, shard)?);
+        }
+        let writer = guard.as_mut().expect("just opened");
+        writer.append(seq, payload)?;
+        match self.options.fsync {
+            FsyncPolicy::Always => writer.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if writer.appended_since_sync() >= n.max(1) {
+                    writer.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        if writer.bytes() >= self.options.rotate_segment_bytes {
+            let mut writer = guard.take().expect("just used");
+            writer.sync()?;
+            self.closed
+                .lock()
+                .expect("closed list")
+                .push(ClosedSegment {
+                    path: writer.path().to_path_buf(),
+                    max_seq: writer.max_seq(),
+                });
+        }
+        Ok(())
+    }
+}
+
+impl EventSink for OakStore {
+    fn record(&self, shard: Option<usize>, event: &SequencedEvent) {
+        let index = shard.unwrap_or(SHARD_COUNT).min(SHARD_COUNT);
+        let payload = event.to_value().to_string();
+        if let Err(_err) = self.append_to_slot(index, event.seq, payload.as_bytes()) {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.events_recorded.fetch_add(1, Ordering::Relaxed);
+        self.events_since_snapshot.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// What [`recover`] rebuilt.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered engine. Attach a sink (or use [`OakStore::boot`])
+    /// before mutating it if changes should keep being journaled.
+    pub oak: Oak,
+    /// Whether a valid snapshot was found and loaded.
+    pub snapshot_loaded: bool,
+    /// WAL events applied on top of the snapshot.
+    pub events_replayed: u64,
+    /// Segments that ended in a torn or corrupt frame (their valid prefix
+    /// was still replayed).
+    pub torn_segments: usize,
+}
+
+/// What [`OakStore::boot`] produced: a recovered engine already wired to
+/// a fresh store.
+#[derive(Debug)]
+pub struct Boot {
+    /// The recovered engine, journaling into `store`.
+    pub oak: Oak,
+    /// The open store (also installed as the engine's event sink).
+    pub store: Arc<OakStore>,
+    /// Whether a valid snapshot was found and loaded.
+    pub snapshot_loaded: bool,
+    /// WAL events applied on top of the snapshot.
+    pub events_replayed: u64,
+    /// Segments that ended in a torn or corrupt frame.
+    pub torn_segments: usize,
+}
+
+/// Rebuilds an engine from the newest valid snapshot plus the WAL tail.
+///
+/// Snapshots are tried newest-first; one that fails its CRC or decode is
+/// skipped (recovery falls back to the next, or to replaying the full
+/// WAL from an empty engine). Segment events below the snapshot's
+/// watermark are skipped; the rest are merged across all segments in
+/// global sequence order and applied. A torn or corrupt segment tail
+/// truncates that segment's contribution, never the recovery.
+///
+/// Replay is deterministic: events carry resolved decisions, so the
+/// rebuilt engine's `rules()`, `active_rules()`, `aggregates()`, and
+/// `log()` are byte-identical to the state that was journaled.
+pub fn recover(dir: &Path, config: OakConfig) -> io::Result<Recovery> {
+    if !dir.exists() {
+        return Ok(Recovery {
+            oak: Oak::new(config),
+            snapshot_loaded: false,
+            events_replayed: 0,
+            torn_segments: 0,
+        });
+    }
+
+    let mut snapshots: Vec<(u64, PathBuf)> = Vec::new();
+    let mut segments: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(watermark) = parse_snapshot_name(name) {
+            snapshots.push((watermark, entry.path()));
+        } else if parse_segment_name(name).is_some() {
+            segments.push(entry.path());
+        }
+    }
+    snapshots.sort();
+
+    let mut oak = None;
+    let mut watermark = 0;
+    let mut snapshot_loaded = false;
+    for (snap_watermark, path) in snapshots.iter().rev() {
+        match load_snapshot(path, config) {
+            Ok(recovered) => {
+                oak = Some(recovered);
+                watermark = *snap_watermark;
+                snapshot_loaded = true;
+                break;
+            }
+            Err(_) => continue, // corrupt snapshot: fall back to an older one
+        }
+    }
+    let oak = oak.unwrap_or_else(|| Oak::new(config));
+
+    let mut events: Vec<SequencedEvent> = Vec::new();
+    let mut torn_segments = 0;
+    for path in &segments {
+        let contents = read_segment(path)?;
+        let mut clean = contents.clean;
+        for payload in &contents.payloads {
+            // A frame that passes its CRC but fails to decode is
+            // corruption the checksum missed; stop salvaging this
+            // segment there, like any other torn tail.
+            let Ok(text) = std::str::from_utf8(payload) else {
+                clean = false;
+                break;
+            };
+            let Ok(doc) = oak_json::parse(text) else {
+                clean = false;
+                break;
+            };
+            let Ok(event) = SequencedEvent::from_value(&doc) else {
+                clean = false;
+                break;
+            };
+            if event.seq >= watermark {
+                events.push(event);
+            }
+        }
+        if !clean {
+            torn_segments += 1;
+        }
+    }
+    events.sort_by_key(|e| e.seq);
+    let events_replayed = events.len() as u64;
+    for event in &events {
+        oak.apply_event(event);
+    }
+    Ok(Recovery {
+        oak,
+        snapshot_loaded,
+        events_replayed,
+        torn_segments,
+    })
+}
+
+/// Loads and validates one snapshot file.
+fn load_snapshot(path: &Path, config: OakConfig) -> io::Result<Oak> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+    let buf = fs::read(path)?;
+    if buf.get(..SNAPSHOT_MAGIC.len()) != Some(&SNAPSHOT_MAGIC[..]) {
+        return Err(bad("snapshot magic mismatch"));
+    }
+    let Some((payload, end)) = decode_frame(&buf, SNAPSHOT_MAGIC.len()) else {
+        return Err(bad("snapshot frame torn or corrupt"));
+    };
+    if end != buf.len() {
+        return Err(bad("trailing bytes after snapshot frame"));
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| bad("snapshot is not UTF-8"))?;
+    let doc = oak_json::parse(text).map_err(|e| bad(&e.to_string()))?;
+    Oak::from_snapshot_json(config, &doc).map_err(|e| bad(&e))
+}
+
+/// The highest event sequence number readable from a segment file; 0
+/// when nothing decodes (frames carry their seq in the JSON payload).
+fn segment_max_seq(path: &Path) -> u64 {
+    let Ok(contents) = read_segment(path) else {
+        return 0;
+    };
+    let mut max_seq = 0;
+    for payload in &contents.payloads {
+        let seq = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| oak_json::parse(text).ok())
+            .and_then(|doc| doc.get("seq").and_then(Value::as_u64));
+        if let Some(seq) = seq {
+            max_seq = max_seq.max(seq);
+        }
+    }
+    max_seq
+}
+
+fn segment_name(slot: usize, id: u64) -> String {
+    format!("seg-{slot:02}-{id:08}.wal")
+}
+
+fn snapshot_name(watermark: u64) -> String {
+    format!("snap-{watermark:020}.snap")
+}
+
+/// Parses `seg-SS-NNNNNNNN.wal` into `(slot, id)`.
+fn parse_segment_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".wal")?;
+    let (slot, id) = rest.split_once('-')?;
+    Some((slot.parse().ok()?, id.parse().ok()?))
+}
+
+/// Parses `snap-W...W.snap` into the watermark.
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}

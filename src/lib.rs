@@ -24,6 +24,7 @@
 //! | [`webgen`] | `oak-webgen` | synthetic Alexa-like site corpus generator |
 //! | [`json`] | `oak-json` | from-scratch JSON used by the report wire format |
 //! | [`pattern`] | `oak-pattern` | regex/glob engine for rule scopes |
+//! | [`store`] | `oak-store` | durability: write-ahead log, snapshots, crash recovery |
 //!
 //! ## Quickstart
 //!
@@ -38,4 +39,5 @@ pub use oak_json as json;
 pub use oak_net as net;
 pub use oak_pattern as pattern;
 pub use oak_server as server;
+pub use oak_store as store;
 pub use oak_webgen as webgen;
