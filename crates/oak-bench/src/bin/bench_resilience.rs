@@ -1,0 +1,122 @@
+//! The guard tax and the breaker dividend, measured: edge throughput
+//! with production limits vs. none, report ingest against a hanging
+//! script host with the circuit breaker on vs. off, and the
+//! deterministic breaker-recovery trace.
+//!
+//! Prints all three tables and records them in `BENCH_resilience.json`.
+//! Run with `cargo run --release -p oak-bench --bin bench_resilience`;
+//! pass `--smoke` for the fast CI variant (same shape, smaller sizes).
+
+use std::time::Duration;
+
+use oak_bench::resilience::{
+    breaker_recovery_trace, edge_duration, flaky_ingest_duration, permissive_limits,
+};
+use oak_core::fetch::FetchPolicy;
+use oak_http::ServerLimits;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let edge_requests: u64 = if smoke { 200 } else { 2_000 };
+    let flaky_reports: u64 = if smoke { 20 } else { 100 };
+
+    // --- Part 1: the guard tax ---------------------------------------
+    println!("Edge throughput, production limits vs. none ({edge_requests} requests)\n");
+    println!("{:<18} {:>14} {:>10}", "limits", "requests/s", "tax");
+    let mut edge_rows = oak_json::Value::array();
+    let mut baseline = 0.0f64;
+    for (name, limits) in [
+        ("permissive", permissive_limits()),
+        ("production", ServerLimits::default()),
+    ] {
+        edge_duration(limits, edge_requests / 4); // warm
+        let elapsed = edge_duration(limits, edge_requests);
+        let rps = edge_requests as f64 / elapsed.as_secs_f64();
+        if baseline == 0.0 {
+            baseline = rps;
+        }
+        let tax = 1.0 - rps / baseline;
+        println!(
+            "{name:<18} {rps:>14.0} {:>9.1}%",
+            (tax * 1000.0).round() / 10.0
+        );
+        let mut row = oak_json::Value::object();
+        row.set("limits", name);
+        row.set("requests", edge_requests);
+        row.set("requests_per_sec", (rps * 10.0).round() / 10.0);
+        row.set("overhead_fraction", (tax * 1000.0).round() / 1000.0);
+        edge_rows.push(row);
+    }
+
+    // --- Part 2: the breaker dividend --------------------------------
+    // Every level-3 fetch hangs 20 ms past a 10 ms deadline; the naive
+    // policy pays the deadline per report, the guarded one only until
+    // the circuit opens (then the negative cache and breaker absorb it).
+    let hang = Duration::from_millis(20);
+    let naive = FetchPolicy {
+        deadline: Some(Duration::from_millis(10)),
+        retries: 0,
+        backoff_base: Duration::ZERO,
+        negative_ttl_ms: 0,
+        breaker_threshold: u32::MAX,
+        breaker_cooldown_ms: 0,
+    };
+    let guarded = FetchPolicy {
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 60_000,
+        ..naive
+    };
+    println!("\nIngest vs. a hanging script host ({flaky_reports} reports, 20 ms hang)\n");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>12}",
+        "breaker", "total ms", "attempts", "skips", "reports/s"
+    );
+    let mut ingest_rows = oak_json::Value::array();
+    for (name, policy) in [("off", naive), ("on", guarded)] {
+        let (elapsed, fetches) = flaky_ingest_duration(flaky_reports, hang, policy);
+        let ms = elapsed.as_secs_f64() * 1_000.0;
+        let rps = flaky_reports as f64 / elapsed.as_secs_f64();
+        println!(
+            "{name:<12} {ms:>12.1} {:>10} {:>10} {rps:>12.0}",
+            fetches.attempts, fetches.breaker_open_skips
+        );
+        let mut row = oak_json::Value::object();
+        row.set("breaker", name);
+        row.set("reports", flaky_reports);
+        row.set("total_ms", (ms * 10.0).round() / 10.0);
+        row.set("fetch_attempts", fetches.attempts);
+        row.set("breaker_open_skips", fetches.breaker_open_skips);
+        row.set("timeouts", fetches.timeouts);
+        row.set("reports_per_sec", (rps * 10.0).round() / 10.0);
+        ingest_rows.push(row);
+    }
+
+    // --- Part 3: deterministic breaker recovery ----------------------
+    // Threshold 3, 1 s cooldown; the host stays dead through two probes
+    // and heals on the third. Engine-clock recovery is exact: 3 000 ms.
+    let policy = FetchPolicy {
+        deadline: None,
+        retries: 0,
+        backoff_base: Duration::ZERO,
+        negative_ttl_ms: 0,
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 1_000,
+    };
+    let (recovery_ms, attempts, skips) = breaker_recovery_trace(policy, 5);
+    println!("\nBreaker recovery (fake clock; threshold 3, 1 s cooldown, heal on 3rd probe)\n");
+    println!("recovery: {recovery_ms} engine-ms, {attempts} attempts, {skips} skips");
+    assert_eq!(recovery_ms, 3_000, "recovery trace must be deterministic");
+    let mut recovery = oak_json::Value::object();
+    recovery.set("recovery_engine_ms", recovery_ms);
+    recovery.set("attempts", attempts);
+    recovery.set("breaker_open_skips", skips);
+
+    let mut doc = oak_json::Value::object();
+    doc.set("benchmark", "edge_resilience");
+    doc.set("smoke", smoke);
+    doc.set("edge", edge_rows);
+    doc.set("flaky_ingest", ingest_rows);
+    doc.set("breaker_recovery", recovery);
+    std::fs::write("BENCH_resilience.json", doc.to_string()).expect("write BENCH_resilience.json");
+    println!("\nwrote BENCH_resilience.json");
+}

@@ -22,6 +22,7 @@ pub mod contention;
 pub mod durability;
 pub mod matchrate;
 pub mod replicated;
+pub mod resilience;
 pub mod support;
 
 #[cfg(test)]

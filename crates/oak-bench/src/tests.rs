@@ -155,3 +155,40 @@ fn durability_bench_workload_round_trips() {
         "bench WAL must recover cleanly with every event replayed"
     );
 }
+
+#[test]
+fn resilience_bench_breaker_trace_is_deterministic() {
+    use oak_core::fetch::FetchPolicy;
+    let policy = FetchPolicy {
+        deadline: None,
+        retries: 0,
+        backoff_base: std::time::Duration::ZERO,
+        negative_ttl_ms: 0,
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 1_000,
+    };
+    // Host heals on the third probe: exactly three cooldowns of
+    // engine time, every run.
+    let (ms, attempts, skips) = crate::resilience::breaker_recovery_trace(policy, 5);
+    assert_eq!((ms, attempts, skips), (3_000, 6, 0));
+    // Heal on the first probe: one cooldown.
+    let (ms, attempts, _) = crate::resilience::breaker_recovery_trace(policy, 3);
+    assert_eq!((ms, attempts), (1_000, 4));
+}
+
+#[test]
+fn resilience_bench_flaky_ingest_opens_the_breaker() {
+    use oak_core::fetch::FetchPolicy;
+    let policy = FetchPolicy {
+        deadline: Some(std::time::Duration::from_millis(5)),
+        retries: 0,
+        backoff_base: std::time::Duration::ZERO,
+        negative_ttl_ms: 0,
+        breaker_threshold: 2,
+        breaker_cooldown_ms: 60_000,
+    };
+    let (_, fetches) =
+        crate::resilience::flaky_ingest_duration(6, std::time::Duration::from_millis(30), policy);
+    assert_eq!(fetches.attempts, 2, "breaker caps attempts at threshold");
+    assert_eq!(fetches.breaker_open_skips, 4);
+}

@@ -66,6 +66,7 @@ pub mod audit;
 pub mod detect;
 pub mod engine;
 pub mod events;
+pub mod fetch;
 pub mod matching;
 pub mod report;
 pub mod rule;
@@ -86,6 +87,7 @@ pub mod prelude {
     pub use crate::analysis::{PageAnalysis, ServerStats};
     pub use crate::detect::{DetectorConfig, OutlierMethod, Violation, ViolationKind};
     pub use crate::engine::{IngestOutcome, ModifiedPage, Oak, OakConfig};
+    pub use crate::fetch::{FetchPolicy, FetchSnapshot, FetchStats, ResilientFetcher};
     pub use crate::matching::{MatchLevel, NoFetch, ScriptFetcher};
     pub use crate::report::{ObjectTiming, PerfReport};
     pub use crate::rule::{

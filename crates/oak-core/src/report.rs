@@ -75,6 +75,23 @@ impl fmt::Display for ReportDecodeError {
 impl Error for ReportDecodeError {}
 
 impl PerfReport {
+    /// Most entries one report may carry. A real page loads hundreds of
+    /// objects at the extreme (Fig. 15 sizes the median report under
+    /// 10 KB); tens of thousands is a hostile client inflating per-user
+    /// state.
+    pub const MAX_ENTRIES: usize = 10_000;
+
+    /// Largest accepted `bytes` value: 2^53, the biggest integer the
+    /// JSON double carries exactly. Beyond it the value is both
+    /// physically implausible for one object and imprecise, so it is
+    /// rejected rather than rounded into the throughput statistics.
+    pub const MAX_BYTES: u64 = 1 << 53;
+
+    /// Largest accepted `time_ms`: about a year. MAD detection compares
+    /// medians, but aggregates average raw values — one absurd timing
+    /// must not be able to drag a server's mean.
+    pub const MAX_TIME_MS: f64 = 3.2e10;
+
     /// An empty report.
     pub fn new(user: impl Into<String>, page: impl Into<String>) -> PerfReport {
         PerfReport {
@@ -111,9 +128,11 @@ impl PerfReport {
     ///
     /// # Errors
     ///
-    /// Returns [`ReportDecodeError`] on JSON errors, missing fields, or
+    /// Returns [`ReportDecodeError`] on JSON errors, missing fields,
     /// non-finite/negative numbers (a hostile client must not be able to
-    /// poison the MAD statistics with NaN).
+    /// poison the MAD statistics with NaN), values beyond
+    /// [`PerfReport::MAX_BYTES`]/[`PerfReport::MAX_TIME_MS`], or more
+    /// than [`PerfReport::MAX_ENTRIES`] entries.
     pub fn from_json(text: &str) -> Result<PerfReport, ReportDecodeError> {
         let doc = parse(text).map_err(|e| ReportDecodeError(e.to_string()))?;
         let user = doc
@@ -128,6 +147,13 @@ impl PerfReport {
             .get("entries")
             .and_then(Value::as_array)
             .ok_or_else(|| ReportDecodeError("missing entries".into()))?;
+        if raw_entries.len() > PerfReport::MAX_ENTRIES {
+            return Err(ReportDecodeError(format!(
+                "{} entries exceed the {} limit",
+                raw_entries.len(),
+                PerfReport::MAX_ENTRIES
+            )));
+        }
         let mut entries = Vec::with_capacity(raw_entries.len());
         for (i, entry) in raw_entries.iter().enumerate() {
             let field = |name: &str| {
@@ -143,13 +169,18 @@ impl PerfReport {
                 .ok_or_else(|| ReportDecodeError(format!("entry {i}: ip not a string")))?;
             let bytes = field("bytes")?
                 .as_u64()
-                .ok_or_else(|| ReportDecodeError(format!("entry {i}: bytes not a u64")))?;
-            let time_ms = field("time_ms")?
-                .as_f64()
-                .filter(|t| t.is_finite() && *t >= 0.0)
+                .filter(|b| *b <= PerfReport::MAX_BYTES)
                 .ok_or_else(|| {
                     ReportDecodeError(format!(
-                        "entry {i}: time_ms not a finite non-negative number"
+                        "entry {i}: bytes not a non-negative integer within 2^53"
+                    ))
+                })?;
+            let time_ms = field("time_ms")?
+                .as_f64()
+                .filter(|t| t.is_finite() && (0.0..=PerfReport::MAX_TIME_MS).contains(t))
+                .ok_or_else(|| {
+                    ReportDecodeError(format!(
+                        "entry {i}: time_ms not a finite non-negative number within bounds"
                     ))
                 })?;
             entries.push(ObjectTiming::new(url, ip, bytes, time_ms));

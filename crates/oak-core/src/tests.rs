@@ -6,6 +6,7 @@ mod audit_tests;
 mod detect_tests;
 mod engine_props;
 mod engine_tests;
+mod fetch_tests;
 mod matching_tests;
 mod policy_tests;
 mod report_tests;

@@ -1,0 +1,257 @@
+//! Resilient-fetcher tests: deadlines, retries, negative cache, and the
+//! per-host circuit breaker — all on a fake clock, so breaker transitions
+//! are asserted deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::{Oak, OakConfig};
+use crate::fetch::{FetchPolicy, FetchStep, FlakyFetcher, ResilientFetcher};
+use crate::matching::ScriptFetcher;
+use crate::report::{ObjectTiming, PerfReport};
+use crate::rule::Rule;
+use crate::Instant;
+
+/// A policy with no deadline thread and no sleeps, for pure
+/// state-machine tests.
+fn instant_policy() -> FetchPolicy {
+    FetchPolicy {
+        deadline: None,
+        retries: 0,
+        backoff_base: Duration::ZERO,
+        negative_ttl_ms: 0,
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 1_000,
+    }
+}
+
+/// A shared fake clock the fetcher reads through its closure.
+fn fake_clock() -> (Arc<AtomicU64>, impl Fn() -> Instant + Send + Sync) {
+    let time = Arc::new(AtomicU64::new(0));
+    let handle = Arc::clone(&time);
+    (time, move || Instant(handle.load(Ordering::SeqCst)))
+}
+
+#[test]
+fn passes_through_successes_and_failures() {
+    let inner = FlakyFetcher::new([
+        FetchStep::Ok("body one".into()),
+        FetchStep::Fail,
+        FetchStep::Ok("body two".into()),
+    ]);
+    let fetcher = ResilientFetcher::new(inner, instant_policy());
+    assert_eq!(
+        fetcher.fetch_script("http://a.example/x.js").as_deref(),
+        Some("body one")
+    );
+    assert_eq!(fetcher.fetch_script("http://a.example/x.js"), None);
+    assert_eq!(
+        fetcher.fetch_script("http://a.example/x.js").as_deref(),
+        Some("body two")
+    );
+    let stats = fetcher.stats();
+    assert_eq!(stats.attempts, 3);
+    assert_eq!(stats.successes, 2);
+    assert_eq!(stats.failures, 1);
+    assert_eq!(stats.timeouts, 0);
+}
+
+#[test]
+fn retries_until_success_within_budget() {
+    let inner = FlakyFetcher::new([
+        FetchStep::Fail,
+        FetchStep::Fail,
+        FetchStep::Ok("third time lucky".into()),
+    ]);
+    let policy = FetchPolicy {
+        retries: 2,
+        breaker_threshold: 10,
+        ..instant_policy()
+    };
+    let fetcher = ResilientFetcher::new(inner, policy);
+    assert_eq!(
+        fetcher.fetch_script("http://a.example/x.js").as_deref(),
+        Some("third time lucky")
+    );
+    assert_eq!(fetcher.stats().attempts, 3);
+}
+
+#[test]
+fn deadline_bounds_a_hanging_inner_fetcher() {
+    let inner = FlakyFetcher::new([FetchStep::Hang(Duration::from_secs(5))]);
+    let policy = FetchPolicy {
+        deadline: Some(Duration::from_millis(50)),
+        ..instant_policy()
+    };
+    let fetcher = ResilientFetcher::new(inner, policy);
+    let started = std::time::Instant::now();
+    assert_eq!(fetcher.fetch_script("http://dead.example/x.js"), None);
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "fetch must return at the deadline, not after the 5 s hang"
+    );
+    let stats = fetcher.stats();
+    assert_eq!(stats.timeouts, 1);
+    assert_eq!(stats.failures, 1);
+}
+
+#[test]
+fn negative_cache_absorbs_repeat_failures_until_ttl() {
+    let (time, clock) = fake_clock();
+    let inner = FlakyFetcher::new([FetchStep::Fail, FetchStep::Ok("revived".into())]);
+    let policy = FetchPolicy {
+        negative_ttl_ms: 500,
+        breaker_threshold: 100,
+        ..instant_policy()
+    };
+    let fetcher = ResilientFetcher::new(inner, policy).with_clock(clock);
+    assert_eq!(fetcher.fetch_script("http://a.example/x.js"), None);
+    // Within the TTL: answered from the cache, no inner attempt.
+    assert_eq!(fetcher.fetch_script("http://a.example/x.js"), None);
+    assert_eq!(fetcher.fetch_script("http://a.example/x.js"), None);
+    let stats = fetcher.stats();
+    assert_eq!(stats.attempts, 1);
+    assert_eq!(stats.negative_cache_hits, 2);
+    // Past the TTL: the next fetch goes through and succeeds.
+    time.store(501, Ordering::SeqCst);
+    assert_eq!(
+        fetcher.fetch_script("http://a.example/x.js").as_deref(),
+        Some("revived")
+    );
+}
+
+#[test]
+fn breaker_opens_after_threshold_and_heals_via_half_open_probe() {
+    let (time, clock) = fake_clock();
+    // 3 failures open the circuit; the first probe fails (re-arming the
+    // cooldown); the second probe succeeds and closes it.
+    let inner = FlakyFetcher::new([
+        FetchStep::Fail,
+        FetchStep::Fail,
+        FetchStep::Fail,
+        FetchStep::Fail,
+        FetchStep::Ok("healed".into()),
+        FetchStep::Ok("steady".into()),
+    ]);
+    let policy = FetchPolicy {
+        breaker_threshold: 3,
+        breaker_cooldown_ms: 1_000,
+        ..instant_policy()
+    };
+    let fetcher = ResilientFetcher::new(inner, policy).with_clock(clock);
+    let url = "http://flaky.example/lib.js";
+
+    for _ in 0..3 {
+        assert_eq!(fetcher.fetch_script(url), None);
+    }
+    assert!(fetcher.circuit_open("flaky.example"));
+    assert_eq!(fetcher.stats().breaker_opens, 1);
+
+    // While cooling down, fetches are skipped without touching the host.
+    assert_eq!(fetcher.fetch_script(url), None);
+    assert_eq!(fetcher.fetch_script(url), None);
+    let stats = fetcher.stats();
+    assert_eq!(stats.breaker_open_skips, 2);
+    assert_eq!(stats.attempts, 3, "open circuit must not attempt fetches");
+
+    // Cooldown elapses: the half-open probe runs — and fails, so the
+    // circuit re-opens with a fresh cooldown from t=1000.
+    time.store(1_000, Ordering::SeqCst);
+    assert_eq!(fetcher.fetch_script(url), None);
+    assert_eq!(fetcher.stats().attempts, 4);
+    assert!(fetcher.circuit_open("flaky.example"));
+    time.store(1_500, Ordering::SeqCst);
+    assert_eq!(fetcher.fetch_script(url), None, "still cooling down");
+    assert_eq!(fetcher.stats().attempts, 4);
+
+    // Second probe succeeds: circuit closes, traffic flows again.
+    time.store(2_000, Ordering::SeqCst);
+    assert_eq!(fetcher.fetch_script(url).as_deref(), Some("healed"));
+    assert!(!fetcher.circuit_open("flaky.example"));
+    assert_eq!(fetcher.fetch_script(url).as_deref(), Some("steady"));
+}
+
+#[test]
+fn breaker_is_per_host() {
+    let inner = FlakyFetcher::new([FetchStep::Fail]); // repeats forever
+    let policy = FetchPolicy {
+        breaker_threshold: 2,
+        ..instant_policy()
+    };
+    let fetcher = ResilientFetcher::new(inner, policy);
+    for _ in 0..2 {
+        fetcher.fetch_script("http://down.example/a.js");
+    }
+    assert!(fetcher.circuit_open("down.example"));
+    assert!(!fetcher.circuit_open("fine.example"));
+    // The healthy host is still attempted (then skipped only once ITS
+    // failures accumulate).
+    fetcher.fetch_script("http://fine.example/b.js");
+    assert_eq!(fetcher.stats().attempts, 3);
+}
+
+/// A report whose page pulls the rule's script from a clearly violating
+/// server, forcing level-3 (external JS) matching to fetch.
+fn violating_report() -> PerfReport {
+    let mut report = PerfReport::new("u-1", "/index.html");
+    report.push(ObjectTiming::new(
+        "http://loader.example/loader.js",
+        "10.0.0.1",
+        30_000,
+        900.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/a.png",
+        "10.0.0.2",
+        30_000,
+        80.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://img.example/b.png",
+        "10.0.0.2",
+        30_000,
+        95.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://fonts.example/f.woff",
+        "10.0.0.3",
+        30_000,
+        70.0,
+    ));
+    report.push(ObjectTiming::new(
+        "http://api.example/d.js",
+        "10.0.0.4",
+        30_000,
+        90.0,
+    ));
+    report
+}
+
+#[test]
+fn ingest_with_hanging_fetcher_completes_within_the_deadline() {
+    let oak = Oak::new(OakConfig::default());
+    // The rule references the loader only through an external script, so
+    // matching must fetch — and the host hangs.
+    oak.add_rule(Rule::replace_identical(
+        r#"<script src="http://cdn-a.example/veneer.js">"#,
+        [r#"<script src="http://cdn-b.example/veneer.js">"#],
+    ))
+    .unwrap();
+    let inner = FlakyFetcher::new([FetchStep::Hang(Duration::from_secs(30))]);
+    let policy = FetchPolicy {
+        deadline: Some(Duration::from_millis(100)),
+        retries: 0,
+        ..instant_policy()
+    };
+    let fetcher = ResilientFetcher::new(inner, policy);
+    let started = std::time::Instant::now();
+    let outcome = oak.ingest_report_from(Instant::ZERO, &violating_report(), &fetcher, None);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "ingest stalled on a hanging script host: {:?}",
+        started.elapsed()
+    );
+    assert!(outcome.activated.is_empty());
+    assert!(fetcher.stats().timeouts >= 1);
+}

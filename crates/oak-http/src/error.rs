@@ -11,6 +11,20 @@ pub enum HttpError {
     Malformed(String),
     /// The message was cut off before `Content-Length` was satisfied.
     Truncated,
+    /// The request head exceeded the server's configured limit (→ 431).
+    HeadTooLarge {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+    /// The declared or accumulated body exceeded the server's configured
+    /// limit (→ 413).
+    BodyTooLarge {
+        /// The configured cap in bytes.
+        limit: usize,
+    },
+    /// The peer failed to produce a complete request within the read
+    /// deadline (→ 408 on a slowloris).
+    TimedOut,
     /// A URL failed to parse.
     BadUrl(String),
     /// An underlying socket error.
@@ -22,6 +36,13 @@ impl fmt::Display for HttpError {
         match self {
             HttpError::Malformed(what) => write!(f, "malformed HTTP message: {what}"),
             HttpError::Truncated => write!(f, "message truncated before body completed"),
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds the {limit}-byte limit")
+            }
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            HttpError::TimedOut => write!(f, "deadline elapsed before the message completed"),
             HttpError::BadUrl(url) => write!(f, "invalid URL: {url}"),
             HttpError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -49,6 +70,9 @@ impl PartialEq for HttpError {
         match (self, other) {
             (HttpError::Malformed(a), HttpError::Malformed(b)) => a == b,
             (HttpError::Truncated, HttpError::Truncated) => true,
+            (HttpError::HeadTooLarge { limit: a }, HttpError::HeadTooLarge { limit: b }) => a == b,
+            (HttpError::BodyTooLarge { limit: a }, HttpError::BodyTooLarge { limit: b }) => a == b,
+            (HttpError::TimedOut, HttpError::TimedOut) => true,
             (HttpError::BadUrl(a), HttpError::BadUrl(b)) => a == b,
             (HttpError::Io(a), HttpError::Io(b)) => a.kind() == b.kind(),
             _ => false,

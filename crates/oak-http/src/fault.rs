@@ -1,0 +1,161 @@
+//! Deterministic fault injection for the TCP edge.
+//!
+//! The torture suite (and any embedder's resilience tests) drives a live
+//! [`crate::TcpServer`] through the abuse patterns a public origin sees:
+//! byte-dribbling slowloris clients, connections dropped mid-body,
+//! oversized heads and bodies, and permit-hogging idle connections. Every
+//! helper is scripted — fixed byte schedules and delays, no randomness —
+//! so a failing run replays identically.
+//!
+//! These helpers are *clients*: they speak raw bytes at a real socket, so
+//! the server under test exercises exactly the code path production
+//! traffic hits.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::error::HttpError;
+use crate::message::Response;
+
+/// A scripted abusive client aimed at one server address.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosClient {
+    addr: SocketAddr,
+    /// How long to wait for the server's answer before giving up.
+    read_timeout: Duration,
+}
+
+impl ChaosClient {
+    /// Targets `addr` with a 5-second response-read timeout.
+    pub fn new(addr: SocketAddr) -> ChaosClient {
+        ChaosClient {
+            addr,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Overrides the response-read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> ChaosClient {
+        self.read_timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> Result<TcpStream, HttpError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        Ok(stream)
+    }
+
+    /// Slowloris: sends `bytes` in `chunk`-byte pieces with `delay`
+    /// between pieces, then reads whatever the server answers. Stops
+    /// dribbling early if the server closes the connection (broken
+    /// pipe), which is exactly what a deadline-enforcing server does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors; response parse errors mean the server
+    /// closed without answering.
+    pub fn dribble(
+        &self,
+        bytes: &[u8],
+        chunk: usize,
+        delay: Duration,
+    ) -> Result<Response, HttpError> {
+        let mut stream = self.connect()?;
+        for piece in bytes.chunks(chunk.max(1)) {
+            if stream.write_all(piece).is_err() {
+                break; // server hung up mid-dribble; go read its verdict
+            }
+            let _ = stream.flush();
+            std::thread::sleep(delay);
+        }
+        let _ = stream.shutdown(Shutdown::Write);
+        read_response(&mut stream)
+    }
+
+    /// Declares a `Content-Length` of `declared` bytes on a POST to
+    /// `path`, sends only `sent` of them, and drops the connection —
+    /// the mid-body disconnect pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/write errors.
+    pub fn disconnect_mid_body(
+        &self,
+        path: &str,
+        declared: usize,
+        sent: usize,
+    ) -> Result<(), HttpError> {
+        let mut stream = self.connect()?;
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {declared}\r\nContent-Type: application/json\r\n\r\n"
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&vec![b'x'; sent.min(declared)])?;
+        stream.flush()?;
+        drop(stream); // RST or FIN mid-body; the server must shrug
+        Ok(())
+    }
+
+    /// Sends a request whose head (one giant padding header) is
+    /// `head_bytes` long and returns the server's verdict (431 when over
+    /// the limit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors; parse errors mean no answer arrived.
+    pub fn oversized_head(&self, head_bytes: usize) -> Result<Response, HttpError> {
+        let mut stream = self.connect()?;
+        let mut head = b"GET / HTTP/1.1\r\nX-Padding: ".to_vec();
+        head.resize(head_bytes.max(head.len()), b'a');
+        head.extend_from_slice(b"\r\n\r\n");
+        let _ = stream.write_all(&head);
+        let _ = stream.shutdown(Shutdown::Write);
+        read_response(&mut stream)
+    }
+
+    /// Declares an oversized body via `Content-Length` (no body bytes are
+    /// actually sent) and returns the server's verdict (413 when over
+    /// the limit — *before* the server buffers anything).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors; parse errors mean no answer arrived.
+    pub fn oversized_body(&self, path: &str, declared: usize) -> Result<Response, HttpError> {
+        let mut stream = self.connect()?;
+        let head = format!("POST {path} HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        read_response(&mut stream)
+    }
+
+    /// Sends raw `bytes` verbatim, half-closes, and returns the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors; parse errors mean no answer arrived.
+    pub fn send_raw(&self, bytes: &[u8]) -> Result<Response, HttpError> {
+        let mut stream = self.connect()?;
+        let _ = stream.write_all(bytes);
+        let _ = stream.shutdown(Shutdown::Write);
+        read_response(&mut stream)
+    }
+
+    /// Opens a connection and holds it without sending a byte; the
+    /// returned stream keeps a server permit occupied until dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    pub fn hold_open(&self) -> Result<TcpStream, HttpError> {
+        self.connect()
+    }
+}
+
+/// Reads to EOF and parses whatever the server sent.
+fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes)?;
+    Response::parse(&bytes)
+}

@@ -14,7 +14,11 @@
 //!   to users,
 //! - [`TcpServer`] / [`fetch_tcp`]: a threaded server and blocking client
 //!   over real `std::net` sockets (used by the live-proxy example and
-//!   integration tests),
+//!   integration tests) — bounded by [`ServerLimits`] (connection cap,
+//!   head/body byte ceilings, read/write deadlines) with handler-panic
+//!   isolation and [`TransportStats`] counters,
+//! - [`fault`]: a scripted chaos client (slowloris, mid-body disconnects,
+//!   oversized heads/bodies) for deterministic resilience testing,
 //! - [`Handler`]: the request-handling trait shared by the TCP server and
 //!   the in-memory transport that experiments use for determinism.
 //!
@@ -38,6 +42,7 @@
 
 pub mod cookie;
 mod error;
+pub mod fault;
 mod headers;
 mod message;
 mod tcp;
@@ -46,7 +51,10 @@ mod url;
 pub use error::HttpError;
 pub use headers::Headers;
 pub use message::{encode_chunked, Method, Request, Response, StatusCode};
-pub use tcp::{fetch_tcp, Handler, TcpServer, PEER_ADDR_HEADER};
+pub use tcp::{
+    fetch_tcp, Handler, ServerLimits, TcpServer, TransportSnapshot, TransportStats,
+    PEER_ADDR_HEADER,
+};
 pub use url::Url;
 
 #[cfg(test)]

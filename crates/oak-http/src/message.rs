@@ -67,8 +67,18 @@ impl StatusCode {
     pub const BAD_REQUEST: StatusCode = StatusCode(400);
     /// 404 Not Found.
     pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 408 Request Timeout (slowloris and half-sent requests).
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
+    /// 413 Content Too Large (body over the server's limit).
+    pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    /// 429 Too Many Requests (report admission control).
+    pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
+    /// 431 Request Header Fields Too Large (head over the server's limit).
+    pub const HEADERS_TOO_LARGE: StatusCode = StatusCode(431);
     /// 500 Internal Server Error.
     pub const INTERNAL_ERROR: StatusCode = StatusCode(500);
+    /// 503 Service Unavailable (connection limit reached).
+    pub const UNAVAILABLE: StatusCode = StatusCode(503);
 
     /// The standard reason phrase (a fixed subset; anything unknown says
     /// "Unknown").
@@ -83,6 +93,10 @@ impl StatusCode {
             403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Content Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
             503 => "Service Unavailable",

@@ -5,16 +5,24 @@
 //! The [`Handler`] trait is the seam between transport and logic — the Oak
 //! proxy implements it once and runs identically over TCP (live example)
 //! and direct in-memory calls (deterministic experiments).
+//!
+//! The server is *bounded* ([`ServerLimits`]): concurrent connections are
+//! capped by a permit gauge (over → 503), the request head and body have
+//! byte ceilings (over → 431/413), reads and writes carry deadlines (a
+//! slowloris gets a 408, not a parked thread), and handler panics are
+//! caught and turned into 500s instead of silently killing the connection
+//! thread. Every limit trip lands in a [`TransportStats`] counter so the
+//! operator's `/oak/stats` view shows what the edge is absorbing.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::HttpError;
-use crate::message::{Request, Response};
+use crate::message::{Request, Response, StatusCode};
 
 /// Header the TCP server sets on inbound requests with the connection's
 /// observed peer IP, overriding any client-supplied value. Handlers that
@@ -38,41 +46,221 @@ where
     }
 }
 
+/// Resource bounds for a [`TcpServer`].
+///
+/// The defaults reproduce the crate's historical behavior (10 s socket
+/// timeouts, 64 KiB heads, 16 MiB bodies) with a generous connection cap;
+/// deployments facing the open Internet tighten them via `oak-serve`
+/// flags.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerLimits {
+    /// Maximum concurrently served connections; one more gets a 503 and
+    /// an immediate close.
+    pub max_connections: usize,
+    /// Maximum request-head bytes (request line + headers + terminator);
+    /// over yields a 431.
+    pub max_head_bytes: usize,
+    /// Maximum body bytes, whether declared via `Content-Length` or
+    /// accumulated from chunks; over yields a 413 without reading the
+    /// rest.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for reading one complete request. Enforced both
+    /// per socket read and across reads, so byte-dribbling (slowloris)
+    /// cannot hold a thread past it; tripping mid-request yields a 408.
+    pub read_timeout: Duration,
+    /// Per-write socket deadline; a peer that stops draining its receive
+    /// window gets disconnected.
+    pub write_timeout: Duration,
+    /// How long [`TcpServer::shutdown`] waits for in-flight connections
+    /// to finish before giving up on the stragglers.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerLimits {
+    fn default() -> ServerLimits {
+        ServerLimits {
+            max_connections: 1024,
+            max_head_bytes: 64 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Transport-level counters, shared between the server and whoever
+/// renders them (the Oak service exports these under `transport` in
+/// `/oak/stats`).
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    accepts_failed: AtomicU64,
+    requests_served: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
+    heads_too_large: AtomicU64,
+    bodies_too_large: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+/// A point-in-time copy of [`TransportStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Connections that got a permit and a serving thread.
+    pub connections_accepted: u64,
+    /// Connections turned away with a 503 at the connection cap.
+    pub connections_rejected: u64,
+    /// `accept()` failures (the loop backs off instead of hot-spinning).
+    pub accepts_failed: u64,
+    /// Requests that reached the handler and were answered.
+    pub requests_served: u64,
+    /// Handler panics converted to 500s.
+    pub panics: u64,
+    /// Requests that timed out mid-read (408).
+    pub timeouts: u64,
+    /// Request heads over the limit (431).
+    pub heads_too_large: u64,
+    /// Request bodies over the limit (413).
+    pub bodies_too_large: u64,
+    /// Requests rejected as malformed or truncated (400).
+    pub bad_requests: u64,
+}
+
+impl TransportStats {
+    /// Reads every counter.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            accepts_failed: self.accepts_failed.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            heads_too_large: self.heads_too_large.load(Ordering::Relaxed),
+            bodies_too_large: self.bodies_too_large.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counts live connections against [`ServerLimits::max_connections`].
+#[derive(Debug)]
+struct Gauge {
+    active: AtomicUsize,
+    limit: usize,
+}
+
+impl Gauge {
+    fn try_acquire(self: &Arc<Gauge>) -> Option<Permit> {
+        let mut current = self.active.load(Ordering::Relaxed);
+        loop {
+            if current >= self.limit {
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit(Arc::clone(self))),
+                Err(now) => current = now,
+            }
+        }
+    }
+}
+
+/// RAII connection permit: returned to the gauge on drop, which runs even
+/// when the owning thread unwinds — permits cannot leak past a panic.
+struct Permit(Arc<Gauge>);
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// A running HTTP server; dropped or [`TcpServer::shutdown`] stops it.
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    gauge: Arc<Gauge>,
+    stats: Arc<TransportStats>,
+    drain_timeout: Duration,
 }
 
 impl TcpServer {
     /// Binds to `127.0.0.1:port` (port 0 picks a free port) and starts
-    /// accepting, one thread per connection.
+    /// accepting with [`ServerLimits::default`].
     ///
     /// # Errors
     ///
     /// Propagates the bind error.
     pub fn start(port: u16, handler: Arc<dyn Handler>) -> Result<TcpServer, HttpError> {
+        TcpServer::start_with(
+            port,
+            handler,
+            ServerLimits::default(),
+            Arc::new(TransportStats::default()),
+        )
+    }
+
+    /// As [`TcpServer::start`] with explicit limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn start_with_limits(
+        port: u16,
+        handler: Arc<dyn Handler>,
+        limits: ServerLimits,
+    ) -> Result<TcpServer, HttpError> {
+        TcpServer::start_with(port, handler, limits, Arc::new(TransportStats::default()))
+    }
+
+    /// As [`TcpServer::start`] with explicit limits and a caller-owned
+    /// stats block (so a service can render transport counters alongside
+    /// its own).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn start_with(
+        port: u16,
+        handler: Arc<dyn Handler>,
+        limits: ServerLimits,
+        stats: Arc<TransportStats>,
+    ) -> Result<TcpServer, HttpError> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let gauge = Arc::new(Gauge {
+            active: AtomicUsize::new(0),
+            limit: limits.max_connections.max(1),
+        });
         let stop_flag = Arc::clone(&stop);
+        let gauge_accept = Arc::clone(&gauge);
+        let stats_accept = Arc::clone(&stats);
         let accept_thread = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let handler = Arc::clone(&handler);
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, handler);
-                });
-            }
+            accept_loop(
+                &listener,
+                &stop_flag,
+                &gauge_accept,
+                &stats_accept,
+                handler,
+                limits,
+            );
         });
         Ok(TcpServer {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            gauge,
+            stats,
+            drain_timeout: limits.drain_timeout,
         })
     }
 
@@ -81,8 +269,19 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting and joins the accept thread. In-flight connection
-    /// threads finish their current exchange.
+    /// The transport counters (shared with the accept loop).
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Connections currently holding a permit.
+    pub fn active_connections(&self) -> usize {
+        self.gauge.active.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, joins the accept thread, then drains: waits up to
+    /// [`ServerLimits::drain_timeout`] for in-flight connections to
+    /// return their permits before giving up on the stragglers.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
@@ -91,6 +290,10 @@ impl TcpServer {
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.active_connections() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 }
@@ -101,17 +304,118 @@ impl Drop for TcpServer {
     }
 }
 
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    gauge: &Arc<Gauge>,
+    stats: &Arc<TransportStats>,
+    handler: Arc<dyn Handler>,
+    limits: ServerLimits,
+) {
+    // Consecutive accept failures back off up to this ceiling instead of
+    // hot-spinning on e.g. EMFILE, which only the passage of time fixes.
+    const MAX_BACKOFF: Duration = Duration::from_millis(100);
+    let mut backoff = Duration::from_millis(1);
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => {
+                backoff = Duration::from_millis(1);
+                s
+            }
+            Err(_) => {
+                stats.accepts_failed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(MAX_BACKOFF);
+                continue;
+            }
+        };
+        let Some(permit) = gauge.try_acquire() else {
+            stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
+            reject_over_capacity(stream, &limits);
+            continue;
+        };
+        stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        let handler = Arc::clone(&handler);
+        let stats = Arc::clone(stats);
+        std::thread::spawn(move || {
+            // The permit lives exactly as long as this thread's work and
+            // is returned even if `serve_connection` itself unwinds.
+            let _permit = permit;
+            let _ = serve_connection(stream, handler, &limits, &stats);
+        });
+    }
+}
+
+/// Answers a connection that arrived over the cap: a terse 503, written
+/// under a short deadline so a non-draining peer cannot stall accepting.
+fn reject_over_capacity(stream: TcpStream, limits: &ServerLimits) {
+    let _ = stream.set_write_timeout(Some(limits.write_timeout.min(Duration::from_secs(1))));
+    let mut stream = stream;
+    let response = Response::new(StatusCode::UNAVAILABLE)
+        .with_body(b"connection limit reached".to_vec(), "text/plain")
+        .with_header("Connection", "close");
+    let _ = response.write_to(&mut stream);
+    drain_then_close(&stream);
+}
+
+/// Closes after an error response without nuking it: a close with unread
+/// request bytes queued makes the kernel send RST, which discards the
+/// response from the peer's receive buffer. Half-close the write side,
+/// then briefly drain (bounded in time) so the FIN lands clean.
+fn drain_then_close(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut sink = [0u8; 8192];
+    let mut stream = stream;
+    while let Ok(n) = stream.read(&mut sink) {
+        if n == 0 || Instant::now() >= deadline {
+            break;
+        }
+    }
+}
+
+/// How one request read attempt ended, beyond a clean request.
+enum ReadOutcome {
+    /// A complete, parseable request.
+    Request(Box<Request>),
+    /// Clean EOF (or idle keep-alive timeout) between requests.
+    Closed,
+    /// The peer broke the connection mid-request; nothing to answer.
+    Lost,
+    /// The request was rejected; answer with this status and close.
+    Reject(StatusCode),
+}
+
 /// Reads requests off one connection until EOF/error, handling keep-alive.
-fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>) -> Result<(), HttpError> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+/// Limit violations are answered with their status code before closing;
+/// handler panics become 500s and the connection survives to report it.
+fn serve_connection(
+    stream: TcpStream,
+    handler: Arc<dyn Handler>,
+    limits: &ServerLimits,
+    stats: &TransportStats,
+) -> Result<(), HttpError> {
+    stream.set_write_timeout(Some(limits.write_timeout))?;
     let peer_ip = stream.peer_addr().ok().map(|a| a.ip().to_string());
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let mut request = match read_request(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => return Ok(()), // clean EOF between requests
-            Err(e) => return Err(e),
+        let mut request = match read_request_outcome(&mut reader, limits, stats) {
+            ReadOutcome::Request(r) => *r,
+            ReadOutcome::Closed | ReadOutcome::Lost => return Ok(()),
+            ReadOutcome::Reject(status) => {
+                let response = Response::new(status)
+                    .with_body(status.reason().as_bytes().to_vec(), "text/plain")
+                    .with_header("Connection", "close");
+                let _ = response.write_to(&mut writer);
+                let _ = writer.flush();
+                drain_then_close(&writer);
+                return Ok(());
+            }
         };
         // Surface the observed peer address to handlers (Oak's
         // subnet-scoped rule policies key on it). Set last, so a spoofed
@@ -122,7 +426,20 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>) -> Result<(), 
         let close = request
             .header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        let response = handler.handle(&request);
+        // A panicking handler must cost one response, not the thread: the
+        // permit and keep-alive loop survive, the client gets a 500, and
+        // the panic is visible in the stats instead of a dead silence.
+        let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handler.handle(&request)
+        })) {
+            Ok(response) => response,
+            Err(_) => {
+                stats.panics.fetch_add(1, Ordering::Relaxed);
+                Response::new(StatusCode::INTERNAL_ERROR)
+                    .with_body(b"handler panicked".to_vec(), "text/plain")
+            }
+        };
+        stats.requests_served.fetch_add(1, Ordering::Relaxed);
         response.write_to(&mut writer)?;
         writer.flush()?;
         if close {
@@ -131,19 +448,103 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>) -> Result<(), 
     }
 }
 
-/// Reads one request; `None` on immediate EOF.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
-    let head = match read_head(reader)? {
-        Some(h) => h,
-        None => return Ok(None),
+/// Classifies one [`read_request`] attempt into the connection's next
+/// action, bumping the matching counter.
+fn read_request_outcome(
+    reader: &mut BufReader<TcpStream>,
+    limits: &ServerLimits,
+    stats: &TransportStats,
+) -> ReadOutcome {
+    match read_request(reader, limits) {
+        Ok(Some(request)) => ReadOutcome::Request(Box::new(request)),
+        Ok(None) => ReadOutcome::Closed,
+        Err(HttpError::TimedOut) => {
+            stats.timeouts.fetch_add(1, Ordering::Relaxed);
+            ReadOutcome::Reject(StatusCode::REQUEST_TIMEOUT)
+        }
+        Err(HttpError::HeadTooLarge { .. }) => {
+            stats.heads_too_large.fetch_add(1, Ordering::Relaxed);
+            ReadOutcome::Reject(StatusCode::HEADERS_TOO_LARGE)
+        }
+        Err(HttpError::BodyTooLarge { .. }) => {
+            stats.bodies_too_large.fetch_add(1, Ordering::Relaxed);
+            ReadOutcome::Reject(StatusCode::PAYLOAD_TOO_LARGE)
+        }
+        Err(HttpError::Malformed(_)) => {
+            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            ReadOutcome::Reject(StatusCode::BAD_REQUEST)
+        }
+        // The peer vanished mid-request (reset, or EOF inside a body);
+        // there is nobody left to answer.
+        Err(HttpError::Truncated | HttpError::Io(_)) => ReadOutcome::Lost,
+        Err(HttpError::BadUrl(_)) => {
+            stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            ReadOutcome::Reject(StatusCode::BAD_REQUEST)
+        }
+    }
+}
+
+/// The wall-clock budget for reading one request: socket timeouts are
+/// re-armed with the *remaining* budget before every read, so a client
+/// dribbling one byte per second exhausts the deadline instead of
+/// resetting a per-read timer (the slowloris defense).
+struct ReadDeadline {
+    deadline: Instant,
+    /// True once any request byte arrived: a deadline before the first
+    /// byte is an idle keep-alive connection, not a slow request.
+    started: bool,
+}
+
+impl ReadDeadline {
+    fn new(budget: Duration) -> ReadDeadline {
+        ReadDeadline {
+            deadline: Instant::now() + budget,
+            started: false,
+        }
+    }
+
+    /// Arms the socket with the remaining budget; `TimedOut` when spent.
+    fn arm(&self, stream: &TcpStream) -> Result<(), HttpError> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(HttpError::TimedOut);
+        }
+        stream
+            .set_read_timeout(Some(remaining))
+            .map_err(HttpError::Io)?;
+        Ok(())
+    }
+
+    /// Maps a socket timeout (`WouldBlock`/`TimedOut`) to [`HttpError::TimedOut`].
+    fn classify(&self, e: std::io::Error) -> HttpError {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::TimedOut,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// Reads one request; `None` on immediate EOF or an idle keep-alive
+/// timeout before any byte arrived.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    limits: &ServerLimits,
+) -> Result<Option<Request>, HttpError> {
+    let mut deadline = ReadDeadline::new(limits.read_timeout);
+    let head = match read_head(reader, limits, &mut deadline) {
+        Ok(Some(h)) => h,
+        Ok(None) => return Ok(None),
+        Err(HttpError::TimedOut) if !deadline.started => return Ok(None),
+        Err(e) => return Err(e),
     };
     let mut bytes = head;
     if head_is_chunked(&bytes)? {
-        // Accumulate until the zero-size terminating chunk.
+        // Accumulate until the zero-size terminating chunk, bounding the
+        // running total by the body limit.
         let mut body = Vec::new();
         loop {
             let mut line = Vec::new();
-            if read_until_lf(reader, &mut line)? == 0 {
+            if read_until_lf(reader, &mut line, &mut deadline)? == 0 {
                 return Err(HttpError::Truncated);
             }
             body.extend_from_slice(&line);
@@ -152,7 +553,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, Ht
                 let mut blank = Vec::new();
                 loop {
                     blank.clear();
-                    if read_until_lf(reader, &mut blank)? == 0 {
+                    if read_until_lf(reader, &mut blank, &mut deadline)? == 0 {
                         return Err(HttpError::Truncated);
                     }
                     body.extend_from_slice(&blank);
@@ -167,19 +568,28 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, Ht
             let size_text = text.trim_end().split(';').next().unwrap_or("").trim();
             let size = usize::from_str_radix(size_text, 16)
                 .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_text:?}")))?;
-            if size > 16 * 1024 * 1024 {
-                return Err(HttpError::Malformed("chunk exceeds 16 MiB".into()));
+            if body.len().saturating_add(size) > limits.max_body_bytes {
+                return Err(HttpError::BodyTooLarge {
+                    limit: limits.max_body_bytes,
+                });
             }
             let mut chunk = vec![0u8; size + 2];
-            reader.read_exact(&mut chunk).map_err(HttpError::Io)?;
+            read_exact_deadlined(reader, &mut chunk, &deadline)?;
             body.extend_from_slice(&chunk);
         }
         bytes.extend_from_slice(&body);
     } else {
-        // Learn Content-Length, then complete the body.
+        // Learn Content-Length, then complete the body. The declared
+        // length is checked against the limit *before* any body byte is
+        // read, so an attacker cannot make the server buffer it.
         let needed = content_length_of(&bytes)?;
+        if needed > limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge {
+                limit: limits.max_body_bytes,
+            });
+        }
         let mut body = vec![0u8; needed];
-        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+        read_exact_deadlined(reader, &mut body, &deadline)?;
         bytes.extend_from_slice(&body);
     }
     Request::parse(&bytes).map(Some)
@@ -198,11 +608,15 @@ fn head_is_chunked(head: &[u8]) -> Result<bool, HttpError> {
 }
 
 /// Reads up to and including the `\r\n\r\n` header terminator.
-fn read_head(reader: &mut impl BufRead) -> Result<Option<Vec<u8>>, HttpError> {
+fn read_head(
+    reader: &mut BufReader<TcpStream>,
+    limits: &ServerLimits,
+    deadline: &mut ReadDeadline,
+) -> Result<Option<Vec<u8>>, HttpError> {
     let mut head = Vec::with_capacity(512);
     loop {
         let mut line = Vec::with_capacity(64);
-        let n = read_until_lf(reader, &mut line)?;
+        let n = read_until_lf(reader, &mut line, deadline)?;
         if n == 0 {
             return if head.is_empty() {
                 Ok(None)
@@ -213,37 +627,90 @@ fn read_head(reader: &mut impl BufRead) -> Result<Option<Vec<u8>>, HttpError> {
         let blank = line == b"\r\n" || line == b"\n";
         head.extend_from_slice(&line);
         if blank {
-            // Normalize a bare-LF blank line so the parser's CRLF split works.
-            if head.ends_with(b"\n") && !head.ends_with(b"\r\n\r\n") {
-                // Tolerated: requests from hand-rolled clients.
-            }
             return Ok(Some(head));
         }
-        if head.len() > 64 * 1024 {
-            return Err(HttpError::Malformed("header block exceeds 64 KiB".into()));
+        if head.len() > limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge {
+                limit: limits.max_head_bytes,
+            });
         }
     }
 }
 
-fn read_until_lf(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> Result<usize, HttpError> {
-    reader.read_until(b'\n', buf).map_err(HttpError::Io)
+fn read_until_lf(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    deadline: &mut ReadDeadline,
+) -> Result<usize, HttpError> {
+    deadline.arm(reader.get_ref())?;
+    let before = buf.len();
+    let result = reader.read_until(b'\n', buf);
+    // Partial bytes before an error still mean a request is in flight —
+    // a stalled half-line is a slow request (408), not an idle close.
+    if buf.len() > before {
+        deadline.started = true;
+    }
+    result.map_err(|e| deadline.classify(e))
+}
+
+/// `read_exact` under the request deadline, in pieces so the remaining
+/// budget is re-armed as the body trickles in.
+fn read_exact_deadlined(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut [u8],
+    deadline: &ReadDeadline,
+) -> Result<(), HttpError> {
+    const STRIDE: usize = 8 * 1024;
+    let mut filled = 0;
+    while filled < buf.len() {
+        deadline.arm(reader.get_ref())?;
+        let end = (filled + STRIDE).min(buf.len());
+        reader
+            .read_exact(&mut buf[filled..end])
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => HttpError::Truncated,
+                _ => deadline.classify(e),
+            })?;
+        filled = end;
+    }
+    Ok(())
 }
 
 /// Extracts Content-Length from a raw head block (0 when absent).
+///
+/// Strict by design — the body length decides how many bytes the server
+/// buffers, so anything ambiguous is rejected rather than defaulted:
+/// non-digit values (including signs and whitespace padding beyond a
+/// trim) and duplicate declarations that disagree are malformed.
+/// Duplicate *identical* declarations are tolerated per RFC 9110 §8.6.
 fn content_length_of(head: &[u8]) -> Result<usize, HttpError> {
     let text = std::str::from_utf8(head)
         .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
+    let mut found: Option<usize> = None;
     for line in text.split("\r\n") {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                return value
-                    .trim()
+                let value = value.trim();
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(HttpError::Malformed(format!(
+                        "bad content-length {value:?}"
+                    )));
+                }
+                let parsed: usize = value
                     .parse()
-                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")));
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+                match found {
+                    Some(prior) if prior != parsed => {
+                        return Err(HttpError::Malformed(format!(
+                            "conflicting content-length declarations ({prior} vs {parsed})"
+                        )));
+                    }
+                    _ => found = Some(parsed),
+                }
             }
         }
     }
-    Ok(0)
+    Ok(found.unwrap_or(0))
 }
 
 /// Performs one blocking HTTP exchange over a fresh TCP connection.

@@ -9,6 +9,10 @@
 //!           [--store ./oak-state] [--fsync always|never|<n>]
 //!           [--snapshot-every <events>] [--audit-retention <entries>]
 //!           [--prune-idle-ms <ms>] [--prune-every <requests>]
+//!           [--max-connections <n>] [--max-head-bytes <n>]
+//!           [--max-body-bytes <n>] [--read-timeout-ms <ms>]
+//!           [--write-timeout-ms <ms>] [--max-report-bytes <n>]
+//!           [--report-rate <per-sec>] [--report-burst <n>]
 //! ```
 //!
 //! `--rules` takes the §4.1 spec format (see `oak_core::spec`), e.g.:
@@ -30,11 +34,15 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use oak_core::engine::OakConfig;
 use oak_core::Instant;
-use oak_http::TcpServer;
-use oak_server::{load_root, load_rules_into, OakService, PrunePolicy, REPORT_PATH};
+use oak_http::{ServerLimits, TcpServer, TransportStats};
+use oak_server::{
+    load_root, load_rules_into, AdmissionPolicy, OakService, PrunePolicy, REPORT_PATH,
+};
 use oak_store::{FsyncPolicy, OakStore, StoreOptions};
 
 struct Args {
@@ -45,11 +53,28 @@ struct Args {
     store_options: StoreOptions,
     audit_retention: Option<usize>,
     prune: Option<PrunePolicy>,
+    limits: ServerLimits,
+    admission: AdmissionPolicy,
 }
 
 const USAGE: &str = "usage: oak-serve --root <dir> [--rules <file>] [--port <n>] \
 [--store <dir>] [--fsync always|never|<n>] [--snapshot-every <events>] \
-[--audit-retention <entries>] [--prune-idle-ms <ms>] [--prune-every <requests>]";
+[--audit-retention <entries>] [--prune-idle-ms <ms>] [--prune-every <requests>] \
+[--max-connections <n>] [--max-head-bytes <n>] [--max-body-bytes <n>] \
+[--read-timeout-ms <ms>] [--write-timeout-ms <ms>] [--max-report-bytes <n>] \
+[--report-rate <per-sec>] [--report-burst <n>]
+
+transport limits (served with 503/431/413/408 when exceeded):
+  --max-connections <n>    concurrent connections before 503 (default 1024)
+  --max-head-bytes <n>     request-head cap before 431 (default 65536)
+  --max-body-bytes <n>     request-body cap before 413 (default 16 MiB)
+  --read-timeout-ms <ms>   per-request read budget before 408 (default 10000)
+  --write-timeout-ms <ms>  socket write timeout (default 10000)
+
+report admission (at /oak/report):
+  --max-report-bytes <n>   report-body cap before 413 (default 1 MiB)
+  --report-rate <per-sec>  sustained reports/s per user; 0 = unlimited (default)
+  --report-burst <n>       burst allowance above the sustained rate (default 10)";
 
 fn parse_args() -> Result<Args, String> {
     let mut root = None;
@@ -60,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
     let mut audit_retention = None;
     let mut prune_idle_ms = None;
     let mut prune_every = 1024u64;
+    let mut limits = ServerLimits::default();
+    let mut admission = AdmissionPolicy::default();
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
@@ -100,6 +127,46 @@ fn parse_args() -> Result<Args, String> {
             "--prune-every" => {
                 prune_every = number("--prune-every", value("--prune-every")?)?.max(1);
             }
+            "--max-connections" => {
+                limits.max_connections =
+                    number("--max-connections", value("--max-connections")?)?.max(1) as usize;
+            }
+            "--max-head-bytes" => {
+                limits.max_head_bytes =
+                    number("--max-head-bytes", value("--max-head-bytes")?)?.max(1) as usize;
+            }
+            "--max-body-bytes" => {
+                limits.max_body_bytes =
+                    number("--max-body-bytes", value("--max-body-bytes")?)? as usize;
+            }
+            "--read-timeout-ms" => {
+                limits.read_timeout = Duration::from_millis(
+                    number("--read-timeout-ms", value("--read-timeout-ms")?)?.max(1),
+                );
+            }
+            "--write-timeout-ms" => {
+                limits.write_timeout = Duration::from_millis(
+                    number("--write-timeout-ms", value("--write-timeout-ms")?)?.max(1),
+                );
+            }
+            "--max-report-bytes" => {
+                admission.max_report_bytes =
+                    number("--max-report-bytes", value("--max-report-bytes")?)? as usize;
+            }
+            "--report-rate" => {
+                admission.report_rate = value("--report-rate")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r >= 0.0)
+                    .ok_or("--report-rate requires a non-negative number")?;
+            }
+            "--report-burst" => {
+                admission.report_burst = value("--report-burst")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|b| b.is_finite() && *b >= 1.0)
+                    .ok_or("--report-burst requires a number >= 1")?;
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
@@ -115,6 +182,8 @@ fn parse_args() -> Result<Args, String> {
             idle_ms,
             every_requests: prune_every,
         }),
+        limits,
+        admission,
     })
 }
 
@@ -196,8 +265,11 @@ fn main() -> ExitCode {
     }
 
     let t0 = std::time::Instant::now();
-    let mut service =
-        OakService::new(oak, store).with_clock(move || Instant(t0.elapsed().as_millis() as u64));
+    let transport_stats = Arc::new(TransportStats::default());
+    let mut service = OakService::new(oak, store)
+        .with_clock(move || Instant(t0.elapsed().as_millis() as u64))
+        .with_admission(args.admission)
+        .with_transport_stats(Arc::clone(&transport_stats));
     if let Some(store) = durable {
         service = service.with_durability(store);
     }
@@ -210,7 +282,7 @@ fn main() -> ExitCode {
     }
     let service = service.into_shared();
 
-    let server = match TcpServer::start(args.port, service) {
+    let server = match TcpServer::start_with(args.port, service, args.limits, transport_stats) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind port {}: {e}", args.port);

@@ -37,7 +37,7 @@ mod service;
 mod store;
 
 pub use fileroot::{content_type_for, load_root, load_rules, load_rules_into};
-pub use service::{OakService, PrunePolicy, ServiceStats};
+pub use service::{AdmissionPolicy, OakService, PrunePolicy, ServiceStats};
 pub use store::SiteStore;
 
 /// The endpoint clients POST performance reports to.

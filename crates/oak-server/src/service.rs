@@ -1,14 +1,16 @@
 //! The HTTP-facing Oak service.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use oak_core::engine::Oak;
+use oak_core::fetch::FetchStats;
 use oak_core::matching::{NoFetch, ScriptFetcher};
 use oak_core::report::PerfReport;
 use oak_core::Instant;
 use oak_http::cookie::{format_set_cookie, get_cookie, OAK_USER_COOKIE};
-use oak_http::{Handler, Method, Request, Response, StatusCode};
+use oak_http::{Handler, Method, Request, Response, StatusCode, TransportStats};
 
 use crate::store::SiteStore;
 use crate::REPORT_PATH;
@@ -23,8 +25,11 @@ pub struct ServiceStats {
     pub objects_served: u64,
     /// Reports accepted.
     pub reports_accepted: u64,
-    /// Reports rejected (malformed or cookie-less).
+    /// Reports rejected (malformed, oversized, or cookie-less).
     pub reports_rejected: u64,
+    /// Reports turned away with 429 by the per-user rate limit (see
+    /// [`OakService::with_admission`]).
+    pub reports_throttled: u64,
     /// Users evicted by the idle-pruning sweep (see
     /// [`OakService::with_pruning`]).
     pub users_pruned: u64,
@@ -37,6 +42,7 @@ struct ServiceCounters {
     objects_served: AtomicU64,
     reports_accepted: AtomicU64,
     reports_rejected: AtomicU64,
+    reports_throttled: AtomicU64,
     users_pruned: AtomicU64,
 }
 
@@ -47,10 +53,52 @@ impl ServiceCounters {
             objects_served: self.objects_served.load(Ordering::Relaxed),
             reports_accepted: self.reports_accepted.load(Ordering::Relaxed),
             reports_rejected: self.reports_rejected.load(Ordering::Relaxed),
+            reports_throttled: self.reports_throttled.load(Ordering::Relaxed),
             users_pruned: self.users_pruned.load(Ordering::Relaxed),
         }
     }
 }
+
+/// Report admission limits (see [`OakService::with_admission`]).
+///
+/// Reports are client-supplied input on an unauthenticated endpoint, so
+/// one misbehaving client must not be able to inflate per-user state or
+/// monopolize ingest. Oversized bodies get 413 before parsing; clients
+/// reporting faster than the token bucket refills get 429.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionPolicy {
+    /// Largest report body accepted, in bytes (Fig. 15 sizes the median
+    /// real report under 10 KB; the default leaves two orders of margin).
+    pub max_report_bytes: usize,
+    /// Sustained reports per second allowed per user; 0 disables the
+    /// rate limit.
+    pub report_rate: f64,
+    /// Bucket capacity — how many reports a user may burst before the
+    /// sustained rate applies.
+    pub report_burst: f64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_report_bytes: 1 << 20,
+            report_rate: 0.0,
+            report_burst: 10.0,
+        }
+    }
+}
+
+/// One user's token bucket.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// Bound on tracked buckets; at capacity, idle (full) buckets are shed
+/// first, and if every bucket is mid-burst new users are admitted
+/// without tracking rather than evicting an active limiter.
+const BUCKET_CAPACITY: usize = 65_536;
 
 /// When and how aggressively [`OakService`] evicts idle per-user state
 /// (see [`OakService::with_pruning`]).
@@ -80,6 +128,10 @@ pub struct OakService {
     durable: Option<Arc<oak_store::OakStore>>,
     prune: Option<PrunePolicy>,
     requests: AtomicU64,
+    admission: AdmissionPolicy,
+    buckets: Mutex<HashMap<String, Bucket>>,
+    transport: Option<Arc<TransportStats>>,
+    fetch: Option<Arc<FetchStats>>,
 }
 
 impl OakService {
@@ -96,6 +148,10 @@ impl OakService {
             durable: None,
             prune: None,
             requests: AtomicU64::new(0),
+            admission: AdmissionPolicy::default(),
+            buckets: Mutex::new(HashMap::new()),
+            transport: None,
+            fetch: None,
         }
     }
 
@@ -123,6 +179,32 @@ impl OakService {
     /// `OakService::new(boot.oak, site).with_durability(boot.store)`.
     pub fn with_durability(mut self, store: Arc<oak_store::OakStore>) -> OakService {
         self.durable = Some(store);
+        self
+    }
+
+    /// Installs report admission limits (body-size cap and per-user
+    /// token-bucket rate limit). The bucket clock is the service clock,
+    /// so throttling is deterministic under a fake clock.
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> OakService {
+        self.admission = policy;
+        self
+    }
+
+    /// Attaches the transport counters of the [`oak_http::TcpServer`]
+    /// fronting this service, so `/oak/stats` exports them under
+    /// `"transport"`. Create the [`TransportStats`] first, hand one clone
+    /// here and one to [`oak_http::TcpServer::start_with`].
+    pub fn with_transport_stats(mut self, stats: Arc<TransportStats>) -> OakService {
+        self.transport = Some(stats);
+        self
+    }
+
+    /// Attaches the fetch-outcome counters of a
+    /// [`oak_core::fetch::ResilientFetcher`] (its
+    /// [`stats_handle`](oak_core::fetch::ResilientFetcher::stats_handle)),
+    /// so `/oak/stats` exports them under `"fetch"`.
+    pub fn with_fetch_stats(mut self, stats: Arc<FetchStats>) -> OakService {
+        self.fetch = Some(stats);
         self
     }
 
@@ -206,7 +288,35 @@ impl OakService {
         doc.set("objects_served", stats.objects_served);
         doc.set("reports_accepted", stats.reports_accepted);
         doc.set("reports_rejected", stats.reports_rejected);
+        doc.set("reports_throttled", stats.reports_throttled);
         doc.set("users_pruned", stats.users_pruned);
+
+        if let Some(transport) = &self.transport {
+            let t = transport.snapshot();
+            let mut row = oak_json::Value::object();
+            row.set("connections_accepted", t.connections_accepted);
+            row.set("connections_rejected", t.connections_rejected);
+            row.set("accepts_failed", t.accepts_failed);
+            row.set("requests_served", t.requests_served);
+            row.set("panics", t.panics);
+            row.set("timeouts", t.timeouts);
+            row.set("heads_too_large", t.heads_too_large);
+            row.set("bodies_too_large", t.bodies_too_large);
+            row.set("bad_requests", t.bad_requests);
+            doc.set("transport", row);
+        }
+        if let Some(fetch) = &self.fetch {
+            let f = fetch.snapshot();
+            let mut row = oak_json::Value::object();
+            row.set("attempts", f.attempts);
+            row.set("successes", f.successes);
+            row.set("failures", f.failures);
+            row.set("timeouts", f.timeouts);
+            row.set("negative_cache_hits", f.negative_cache_hits);
+            row.set("breaker_open_skips", f.breaker_open_skips);
+            row.set("breaker_opens", f.breaker_opens);
+            doc.set("fetch", row);
+        }
 
         let agg = self.oak.aggregates();
         doc.set("reports", agg.report_count());
@@ -239,8 +349,60 @@ impl OakService {
         Response::new(StatusCode::OK).with_body(doc.to_string().into_bytes(), "application/json")
     }
 
+    /// Spends one token from `key`'s bucket; `false` means throttled.
+    fn admit_report(&self, key: &str, now: Instant) -> bool {
+        let rate = self.admission.report_rate;
+        if rate <= 0.0 {
+            return true;
+        }
+        let burst = self.admission.report_burst.max(1.0);
+        let mut buckets = self.buckets.lock().expect("bucket lock");
+        if buckets.len() >= BUCKET_CAPACITY && !buckets.contains_key(key) {
+            buckets.retain(|_, b| b.tokens + now.since(b.refilled) as f64 * rate / 1_000.0 < burst);
+            if buckets.len() >= BUCKET_CAPACITY {
+                return true;
+            }
+        }
+        let bucket = buckets.entry(key.to_owned()).or_insert(Bucket {
+            tokens: burst,
+            refilled: now,
+        });
+        bucket.tokens =
+            (bucket.tokens + now.since(bucket.refilled) as f64 * rate / 1_000.0).min(burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
     fn accept_report(&self, request: &Request) -> Response {
         let now = (self.clock)();
+        if request.body.len() > self.admission.max_report_bytes {
+            self.stats.reports_rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::new(StatusCode::PAYLOAD_TOO_LARGE).with_body(
+                format!(
+                    "report exceeds the {}-byte limit",
+                    self.admission.max_report_bytes
+                )
+                .into_bytes(),
+                "text/plain",
+            );
+        }
+        // Rate-limit on the transport-observed identity (cookie, else
+        // peer address) before spending any parsing work on the body.
+        let throttle_key = request
+            .header("cookie")
+            .and_then(|v| get_cookie(v, OAK_USER_COOKIE))
+            .or_else(|| request.header(oak_http::PEER_ADDR_HEADER))
+            .unwrap_or("-");
+        if !self.admit_report(throttle_key, now) {
+            self.stats.reports_throttled.fetch_add(1, Ordering::Relaxed);
+            return Response::new(StatusCode::TOO_MANY_REQUESTS)
+                .with_body(b"report rate limit exceeded".to_vec(), "text/plain");
+        }
         let body = String::from_utf8_lossy(&request.body);
         let mut report = match PerfReport::from_json(&body) {
             Ok(r) => r,

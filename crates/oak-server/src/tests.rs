@@ -434,6 +434,145 @@ fn log_retention_bounds_the_audit_window() {
 }
 
 #[test]
+fn oversized_reports_get_413_before_parsing() {
+    let service = service_with_rule().with_admission(crate::AdmissionPolicy {
+        max_report_bytes: 64,
+        ..crate::AdmissionPolicy::default()
+    });
+    let resp = post_report(&service, &violating_report("u-big"), Some("u-big"));
+    assert_eq!(resp.status, StatusCode::PAYLOAD_TOO_LARGE);
+    let stats = service.stats();
+    assert_eq!(stats.reports_rejected, 1);
+    assert_eq!(stats.reports_accepted, 0);
+}
+
+#[test]
+fn report_rate_limit_throttles_per_user_and_refills_with_the_clock() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let clock = Arc::new(AtomicU64::new(0));
+    let clock_ref = Arc::clone(&clock);
+    let service = service_with_rule()
+        .with_clock(move || Instant(clock_ref.load(Ordering::SeqCst)))
+        .with_admission(crate::AdmissionPolicy {
+            report_rate: 1.0, // one sustained report per second
+            report_burst: 2.0,
+            ..crate::AdmissionPolicy::default()
+        });
+
+    // The burst admits two; the third is throttled.
+    assert_eq!(
+        post_report(&service, &violating_report("u-spam"), Some("u-spam"))
+            .status
+            .0,
+        204
+    );
+    assert_eq!(
+        post_report(&service, &violating_report("u-spam"), Some("u-spam"))
+            .status
+            .0,
+        204
+    );
+    let throttled = post_report(&service, &violating_report("u-spam"), Some("u-spam"));
+    assert_eq!(throttled.status, StatusCode::TOO_MANY_REQUESTS);
+
+    // Buckets are per user: a different cookie still gets through.
+    assert_eq!(
+        post_report(&service, &violating_report("u-calm"), Some("u-calm"))
+            .status
+            .0,
+        204
+    );
+
+    // One simulated second refills one token for the noisy user.
+    clock.store(1_000, Ordering::SeqCst);
+    assert_eq!(
+        post_report(&service, &violating_report("u-spam"), Some("u-spam"))
+            .status
+            .0,
+        204
+    );
+    assert_eq!(
+        post_report(&service, &violating_report("u-spam"), Some("u-spam")).status,
+        StatusCode::TOO_MANY_REQUESTS
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.reports_throttled, 2);
+    assert_eq!(stats.reports_accepted, 4);
+    assert_eq!(stats.reports_rejected, 0, "throttled is not rejected");
+}
+
+#[test]
+fn stats_view_exports_admission_transport_and_fetch_counters() {
+    use oak_core::fetch::{FetchPolicy, FetchStep, FlakyFetcher, ResilientFetcher};
+    use oak_http::TransportStats;
+
+    let transport = Arc::new(TransportStats::default());
+    let fetcher = ResilientFetcher::new(
+        FlakyFetcher::new([FetchStep::Ok("x".into())]),
+        FetchPolicy {
+            deadline: None,
+            ..FetchPolicy::default()
+        },
+    );
+    let fetch_stats = fetcher.stats_handle();
+    let service = service_with_rule()
+        .with_admission(crate::AdmissionPolicy {
+            report_rate: 1.0,
+            report_burst: 1.0,
+            ..crate::AdmissionPolicy::default()
+        })
+        .with_transport_stats(Arc::clone(&transport))
+        .with_fetch_stats(fetch_stats)
+        .with_fetcher(fetcher)
+        .into_shared();
+
+    let mut server = TcpServer::start_with(
+        0,
+        service.clone(),
+        oak_http::ServerLimits::default(),
+        Arc::clone(&transport),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // One accepted report, one throttled.
+    let post = |user: &str| {
+        Request::new(Method::Post, REPORT_PATH)
+            .with_body(
+                violating_report(user).to_json().into_bytes(),
+                "application/json",
+            )
+            .with_header("Cookie", &format!("{OAK_USER_COOKIE}={user}"))
+    };
+    assert_eq!(fetch_tcp(addr, &post("u-1")).unwrap().status.0, 204);
+    assert_eq!(fetch_tcp(addr, &post("u-1")).unwrap().status.0, 429);
+
+    let resp = fetch_tcp(addr, &Request::new(Method::Get, crate::STATS_PATH)).unwrap();
+    let doc = oak_json::parse(&resp.body_text()).expect("stats is valid JSON");
+    assert_eq!(
+        doc.get("reports_throttled").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    let transport_doc = doc.get("transport").expect("transport block");
+    assert!(
+        transport_doc
+            .get("requests_served")
+            .and_then(|v| v.as_u64())
+            .is_some_and(|n| n >= 2),
+        "transport counters track the served requests"
+    );
+    assert_eq!(
+        transport_doc.get("panics").and_then(|v| v.as_u64()),
+        Some(0)
+    );
+    let fetch_doc = doc.get("fetch").expect("fetch block");
+    assert!(fetch_doc.get("attempts").and_then(|v| v.as_u64()).is_some());
+    server.shutdown();
+}
+
+#[test]
 fn durable_service_recovers_state_across_boots() {
     let dir = std::env::temp_dir().join(format!("oak-server-durable-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
