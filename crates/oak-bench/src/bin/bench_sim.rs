@@ -1,0 +1,111 @@
+//! Simulation throughput, measured: how many whole-system fault
+//! scenarios per second the deterministic harness executes, what mix of
+//! faults a seed range injects, and what fraction of the time goes to
+//! invariant checking (the oracle overhead).
+//!
+//! Prints the tables and records them in `BENCH_sim.json`. Run with
+//! `cargo run --release -p oak-bench --bin bench_sim`; pass `--smoke`
+//! for the fast CI variant (same shape, fewer seeds).
+
+use oak_sim::{run_scenario, RunStats, Scenario, SimFsOptions};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seeds: u64 = if smoke { 40 } else { 250 };
+
+    // Warm run to fault in code paths, then the measured sweep.
+    for seed in 0..seeds / 8 {
+        run_scenario(&Scenario::generate(seed), SimFsOptions::default())
+            .expect("warmup scenario is clean");
+    }
+
+    let mut totals = RunStats::default();
+    let mut scheduled_crashes = 0usize;
+    let started = std::time::Instant::now();
+    for seed in 0..seeds {
+        let scenario = Scenario::generate(seed);
+        scheduled_crashes += scenario.crash_count();
+        let stats = run_scenario(&scenario, SimFsOptions::default())
+            .unwrap_or_else(|failure| panic!("bench sweep must be clean: {failure}"));
+        totals.steps += stats.steps;
+        totals.requests += stats.requests;
+        totals.events += stats.events;
+        totals.recoveries += stats.recoveries;
+        totals.invariant_checks += stats.invariant_checks;
+        totals.invariant_ns += stats.invariant_ns;
+        totals.fs.crashes += stats.fs.crashes;
+        totals.fs.torn_files += stats.fs.torn_files;
+        totals.fs.lost_dir_entries += stats.fs.lost_dir_entries;
+        totals.fs.garbled_bytes += stats.fs.garbled_bytes;
+        totals.fs.failed_ops += stats.fs.failed_ops;
+        totals.fetch.served += stats.fetch.served;
+        totals.fetch.failed += stats.fetch.failed;
+        totals.fetch.hung += stats.fetch.hung;
+    }
+    let elapsed = started.elapsed();
+
+    let scenarios_per_sec = seeds as f64 / elapsed.as_secs_f64();
+    let steps_per_sec = totals.steps as f64 / elapsed.as_secs_f64();
+    let oracle_fraction = totals.invariant_ns as f64 / elapsed.as_nanos() as f64;
+
+    println!("Deterministic simulation throughput ({seeds} seeds)\n");
+    println!("{:<28} {:>14}", "metric", "value");
+    println!("{:<28} {:>14.1}", "scenarios/s", scenarios_per_sec);
+    println!("{:<28} {:>14.0}", "steps/s", steps_per_sec);
+    println!("{:<28} {:>14}", "recoveries", totals.recoveries);
+    println!("{:<28} {:>14}", "invariant checks", totals.invariant_checks);
+    println!(
+        "{:<28} {:>13.1}%",
+        "oracle overhead",
+        oracle_fraction * 100.0
+    );
+
+    println!("\nInjected faults across the sweep\n");
+    println!("{:<28} {:>14}", "fault", "count");
+    println!("{:<28} {:>14}", "crashes", totals.fs.crashes);
+    println!("{:<28} {:>14}", "torn files", totals.fs.torn_files);
+    println!(
+        "{:<28} {:>14}",
+        "dir entries lost", totals.fs.lost_dir_entries
+    );
+    println!("{:<28} {:>14}", "bytes garbled", totals.fs.garbled_bytes);
+    println!("{:<28} {:>14}", "storage ops failed", totals.fs.failed_ops);
+    println!("{:<28} {:>14}", "fetches failed", totals.fetch.failed);
+    println!("{:<28} {:>14}", "fetches hung", totals.fetch.hung);
+
+    let mut doc = oak_json::Value::object();
+    doc.set("benchmark", "deterministic_simulation");
+    doc.set("smoke", smoke);
+    doc.set("seeds", seeds);
+    doc.set(
+        "elapsed_ms",
+        (elapsed.as_secs_f64() * 1_000.0 * 10.0).round() / 10.0,
+    );
+    doc.set(
+        "scenarios_per_sec",
+        (scenarios_per_sec * 10.0).round() / 10.0,
+    );
+    doc.set("steps_per_sec", (steps_per_sec * 10.0).round() / 10.0);
+    doc.set("steps", totals.steps);
+    doc.set("requests", totals.requests);
+    doc.set("events", totals.events);
+    doc.set("scheduled_crashes", scheduled_crashes as u64);
+    doc.set("recoveries", totals.recoveries);
+    doc.set("invariant_checks", totals.invariant_checks);
+    doc.set(
+        "oracle_overhead_fraction",
+        (oracle_fraction * 1000.0).round() / 1000.0,
+    );
+    let mut faults = oak_json::Value::object();
+    faults.set("crashes", totals.fs.crashes);
+    faults.set("torn_files", totals.fs.torn_files);
+    faults.set("lost_dir_entries", totals.fs.lost_dir_entries);
+    faults.set("garbled_bytes", totals.fs.garbled_bytes);
+    faults.set("failed_storage_ops", totals.fs.failed_ops);
+    faults.set("fetches_served", totals.fetch.served);
+    faults.set("fetches_failed", totals.fetch.failed);
+    faults.set("fetches_hung", totals.fetch.hung);
+    doc.set("faults", faults);
+    std::fs::write("BENCH_sim.json", doc.to_string()).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json");
+}

@@ -396,6 +396,13 @@ impl Oak {
         }
     }
 
+    /// The next event sequence number the engine will allocate — equal to
+    /// one past the highest seq already emitted. External oracles
+    /// (oak-sim's invariant checkers) compare this across crash-recovery.
+    pub fn event_seq(&self) -> u64 {
+        self.event_seq.load(Ordering::SeqCst)
+    }
+
     /// The shard index holding `user`'s state.
     fn shard_index(&self, user: &str) -> usize {
         fnv1a(user) as usize % SHARD_COUNT

@@ -41,7 +41,7 @@ use oak_core::engine::OakConfig;
 use oak_core::Instant;
 use oak_http::{ServerLimits, TcpServer, TransportStats};
 use oak_server::{
-    load_root, load_rules_into, AdmissionPolicy, OakService, PrunePolicy, REPORT_PATH,
+    load_root, load_rules_into, AdmissionPolicy, HealthState, OakService, PrunePolicy, REPORT_PATH,
 };
 use oak_store::{FsyncPolicy, OakStore, StoreOptions};
 
@@ -266,7 +266,10 @@ fn main() -> ExitCode {
 
     let t0 = std::time::Instant::now();
     let transport_stats = Arc::new(TransportStats::default());
+    // Health starts at Booting so a probe racing the listener bind gets
+    // 503, not 200; the flip to Serving happens after the bind succeeds.
     let mut service = OakService::new(oak, store)
+        .with_health(HealthState::Booting)
         .with_clock(move || Instant(t0.elapsed().as_millis() as u64))
         .with_admission(args.admission)
         .with_transport_stats(Arc::clone(&transport_stats));
@@ -282,13 +285,15 @@ fn main() -> ExitCode {
     }
     let service = service.into_shared();
 
-    let server = match TcpServer::start_with(args.port, service, args.limits, transport_stats) {
+    let handler: Arc<dyn oak_http::Handler> = service.clone();
+    let server = match TcpServer::start_with(args.port, handler, args.limits, transport_stats) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind port {}: {e}", args.port);
             return ExitCode::FAILURE;
         }
     };
+    service.set_health(HealthState::Serving);
     eprintln!(
         "oak-serve listening on http://{} (reports at {REPORT_PATH}); ctrl-c to stop",
         server.addr()

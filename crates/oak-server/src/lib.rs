@@ -37,7 +37,7 @@ mod service;
 mod store;
 
 pub use fileroot::{content_type_for, load_root, load_rules, load_rules_into};
-pub use service::{AdmissionPolicy, OakService, PrunePolicy, ServiceStats};
+pub use service::{AdmissionPolicy, HealthState, OakService, PrunePolicy, ServiceStats};
 pub use store::SiteStore;
 
 /// The endpoint clients POST performance reports to.
@@ -49,6 +49,10 @@ pub const AUDIT_PATH: &str = "/oak/audit";
 /// Operator endpoint serving service counters and aggregate site
 /// performance (§5) as JSON.
 pub const STATS_PATH: &str = "/oak/stats";
+
+/// Load-balancer endpoint reporting the node's lifecycle state
+/// ([`HealthState`]); 503 until recovery completes, 200 while serving.
+pub const HEALTH_PATH: &str = "/oak/health";
 
 #[cfg(test)]
 mod tests;

@@ -1,7 +1,7 @@
 //! The HTTP-facing Oak service.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 use oak_core::engine::Oak;
@@ -100,6 +100,56 @@ struct Bucket {
 /// without tracking rather than evicting an active limiter.
 const BUCKET_CAPACITY: usize = 65_536;
 
+/// Where a node is in its lifecycle, as reported by `GET /oak/health`.
+///
+/// A replaying node answers requests correctly but from *stale* state —
+/// activations it has not yet replayed look inactive — so load balancers
+/// must not send it traffic until it reports [`HealthState::Serving`].
+/// The endpoint returns 200 only then; every other state is a 503 whose
+/// body still names the state, so an operator can tell a booting node
+/// from a draining one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Process is up; recovery has not started.
+    Booting,
+    /// Replaying the snapshot + WAL tail.
+    Recovering,
+    /// Fully caught up and accepting traffic.
+    Serving,
+    /// Shutting down gracefully; finish in-flight work, send no more.
+    Draining,
+}
+
+impl HealthState {
+    /// The wire name used in the health body.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Booting => "booting",
+            HealthState::Recovering => "recovering",
+            HealthState::Serving => "serving",
+            HealthState::Draining => "draining",
+        }
+    }
+
+    fn from_u8(raw: u8) -> HealthState {
+        match raw {
+            0 => HealthState::Booting,
+            1 => HealthState::Recovering,
+            3 => HealthState::Draining,
+            _ => HealthState::Serving,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            HealthState::Booting => 0,
+            HealthState::Recovering => 1,
+            HealthState::Serving => 2,
+            HealthState::Draining => 3,
+        }
+    }
+}
+
 /// When and how aggressively [`OakService`] evicts idle per-user state
 /// (see [`OakService::with_pruning`]).
 #[derive(Clone, Copy, Debug)]
@@ -132,6 +182,7 @@ pub struct OakService {
     buckets: Mutex<HashMap<String, Bucket>>,
     transport: Option<Arc<TransportStats>>,
     fetch: Option<Arc<FetchStats>>,
+    health: AtomicU8,
 }
 
 impl OakService {
@@ -152,6 +203,9 @@ impl OakService {
             buckets: Mutex::new(HashMap::new()),
             transport: None,
             fetch: None,
+            // Serving by default: a service constructed without a boot
+            // sequence (tests, experiments) is ready the moment it exists.
+            health: AtomicU8::new(HealthState::Serving.as_u8()),
         }
     }
 
@@ -216,6 +270,26 @@ impl OakService {
     pub fn with_pruning(mut self, policy: PrunePolicy) -> OakService {
         self.prune = Some(policy);
         self
+    }
+
+    /// Sets the initial lifecycle state (builder form of
+    /// [`OakService::set_health`]). A daemon that recovers before its
+    /// listener opens starts at [`HealthState::Booting`] and advances as
+    /// the boot sequence does.
+    pub fn with_health(self, state: HealthState) -> OakService {
+        self.set_health(state);
+        self
+    }
+
+    /// Moves the node to `state`; `GET /oak/health` reflects it on the
+    /// next request.
+    pub fn set_health(&self, state: HealthState) {
+        self.health.store(state.as_u8(), Ordering::Relaxed);
+    }
+
+    /// The node's current lifecycle state.
+    pub fn health(&self) -> HealthState {
+        HealthState::from_u8(self.health.load(Ordering::Relaxed))
     }
 
     /// Runs `f` against the engine (experiments add rules and read logs
@@ -349,6 +423,20 @@ impl OakService {
         Response::new(StatusCode::OK).with_body(doc.to_string().into_bytes(), "application/json")
     }
 
+    /// Answers `GET /oak/health`: 200 while serving, 503 in every other
+    /// state, with the state named in a small JSON body either way.
+    fn health_view(&self) -> Response {
+        let state = self.health();
+        let status = if state == HealthState::Serving {
+            StatusCode::OK
+        } else {
+            StatusCode::UNAVAILABLE
+        };
+        let mut doc = oak_json::Value::object();
+        doc.set("state", state.as_str());
+        Response::new(status).with_body(doc.to_string().into_bytes(), "application/json")
+    }
+
     /// Spends one token from `key`'s bucket; `false` means throttled.
     fn admit_report(&self, key: &str, now: Instant) -> bool {
         let rate = self.admission.report_rate;
@@ -458,6 +546,7 @@ impl Handler for OakService {
             (Method::Post, REPORT_PATH) => self.accept_report(request),
             (Method::Get, crate::AUDIT_PATH) => self.audit_view(),
             (Method::Get, crate::STATS_PATH) => self.stats_view(),
+            (Method::Get | Method::Head, crate::HEALTH_PATH) => self.health_view(),
             (Method::Get | Method::Head, _) => {
                 if let Some(html) = self.store.page(&path) {
                     return self.serve_page(request, &path, html);

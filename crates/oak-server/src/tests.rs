@@ -616,3 +616,51 @@ fn durable_service_recovers_state_across_boots() {
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn health_endpoint_reflects_lifecycle_states() {
+    let service = service_with_rule().with_health(crate::HealthState::Booting);
+
+    // Not serving yet: load balancers must see 503, with the state named.
+    let resp = get(&service, crate::HEALTH_PATH, None);
+    assert_eq!(resp.status, StatusCode::UNAVAILABLE);
+    assert!(resp.body_text().contains("booting"));
+
+    service.set_health(crate::HealthState::Recovering);
+    let resp = get(&service, crate::HEALTH_PATH, None);
+    assert_eq!(resp.status, StatusCode::UNAVAILABLE);
+    assert!(resp.body_text().contains("recovering"));
+
+    // Recovery done: only Serving answers 200.
+    service.set_health(crate::HealthState::Serving);
+    let resp = get(&service, crate::HEALTH_PATH, None);
+    assert_eq!(resp.status, StatusCode::OK);
+    assert!(resp.body_text().contains("serving"));
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+
+    service.set_health(crate::HealthState::Draining);
+    let resp = get(&service, crate::HEALTH_PATH, None);
+    assert_eq!(resp.status, StatusCode::UNAVAILABLE);
+    assert!(resp.body_text().contains("draining"));
+}
+
+#[test]
+fn health_defaults_to_serving_and_other_routes_ignore_it() {
+    let service = service_with_rule();
+    assert_eq!(service.health(), crate::HealthState::Serving);
+    assert_eq!(
+        get(&service, crate::HEALTH_PATH, None).status,
+        StatusCode::OK
+    );
+
+    // Health gates nothing but its own endpoint: a draining node still
+    // finishes the traffic already routed to it.
+    service.set_health(crate::HealthState::Draining);
+    assert!(get(&service, "/index.html", None).status.is_success());
+    assert_eq!(
+        post_report(&service, &violating_report("u-h"), None)
+            .status
+            .0,
+        204
+    );
+}

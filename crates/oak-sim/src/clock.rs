@@ -1,0 +1,56 @@
+//! Simulated time: a shared millisecond counter the whole world reads.
+//!
+//! Every component that would consult a wall clock — the service's
+//! `with_clock`, rule-TTL expiry, the rate-limiter's token refill, the
+//! fetcher's hang accounting — reads this counter instead, so time is
+//! part of the seed-determined schedule and a hang "takes" exactly as
+//! long as the scenario says, in zero real time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use oak_core::Instant;
+
+/// A shared, manually advanced millisecond clock.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> Instant {
+        Instant(self.now_ms.load(Ordering::SeqCst))
+    }
+
+    /// Advances time by `ms`. Time never rewinds.
+    pub fn advance(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// A closure suitable for [`oak_server::OakService::with_clock`].
+    pub fn reader(&self) -> impl Fn() -> Instant + Send + Sync + 'static {
+        let clock = self.clone();
+        move || clock.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SimClock;
+
+    #[test]
+    fn clones_share_the_same_time() {
+        let clock = SimClock::new();
+        let view = clock.clone();
+        clock.advance(250);
+        assert_eq!(view.now().as_millis(), 250);
+        view.advance(50);
+        assert_eq!(clock.now().as_millis(), 300);
+    }
+}

@@ -1,0 +1,190 @@
+//! Simulated CDN hosts: a [`ScriptFetcher`] whose per-host behavior —
+//! healthy, unreachable, hanging, flaky — is part of the fault plan.
+//!
+//! A hang costs no real time: the fetcher advances the shared
+//! [`SimClock`] by the configured stall and returns `None`, exactly what
+//! a deadline-bounded fetch against a black-holed host looks like from
+//! the engine's side. Healthy fetches return a body that is a pure
+//! function of the URL, so two fetches of one script always agree.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use oak_core::matching::ScriptFetcher;
+
+use crate::clock::SimClock;
+use crate::rng::SimRng;
+
+/// How one simulated host answers fetches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostMode {
+    /// Answers every fetch with the script body.
+    Healthy,
+    /// Connection refused: every fetch fails immediately.
+    Unreachable,
+    /// Black hole: every fetch stalls for this many simulated
+    /// milliseconds, then fails.
+    Hanging(u64),
+    /// Answers with probability `num`/`den`, seeded per-fetch.
+    Flaky { num: u64, den: u64 },
+}
+
+/// Fetch outcomes, for the bench and run summaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FetchFaults {
+    /// Fetches answered with a body.
+    pub served: u64,
+    /// Fetches refused (unreachable or a flaky miss).
+    pub failed: u64,
+    /// Fetches that hung until their simulated deadline.
+    pub hung: u64,
+}
+
+/// The simulated CDN: per-host modes over a shared clock.
+#[derive(Debug)]
+pub struct SimFetcher {
+    clock: SimClock,
+    modes: Mutex<(HashMap<String, HostMode>, SimRng)>,
+    served: AtomicU64,
+    failed: AtomicU64,
+    hung: AtomicU64,
+}
+
+impl SimFetcher {
+    /// Every host healthy; flaky coin flips draw from `seed`.
+    pub fn new(clock: SimClock, seed: u64) -> SimFetcher {
+        SimFetcher {
+            clock,
+            modes: Mutex::new((HashMap::new(), SimRng::new(seed))),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            hung: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets `host`'s behavior for subsequent fetches.
+    pub fn set_host(&self, host: impl Into<String>, mode: HostMode) {
+        self.modes
+            .lock()
+            .expect("fetch modes")
+            .0
+            .insert(host.into(), mode);
+    }
+
+    /// Outcome counts so far.
+    pub fn faults(&self) -> FetchFaults {
+        FetchFaults {
+            served: self.served.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            hung: self.hung.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The deterministic body every healthy fetch of `url` returns.
+    pub fn body_for(url: &str) -> String {
+        format!("// sim script at {url}\n")
+    }
+}
+
+/// The `host[:port]` part of an http(s) URL, or the whole string.
+fn host_of(url: &str) -> &str {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))
+        .unwrap_or(url);
+    rest.split('/').next().unwrap_or(rest)
+}
+
+impl ScriptFetcher for SimFetcher {
+    fn fetch_script(&self, url: &str) -> Option<String> {
+        let mode = {
+            let mut modes = self.modes.lock().expect("fetch modes");
+            match modes.0.get(host_of(url)).copied() {
+                Some(HostMode::Flaky { num, den }) => {
+                    // Resolve the coin here so the lock isn't held while
+                    // counting; the draw order is deterministic because
+                    // the simulation calls fetches in schedule order.
+                    let hit = modes.1.chance(num, den);
+                    if hit {
+                        Some(HostMode::Healthy)
+                    } else {
+                        Some(HostMode::Unreachable)
+                    }
+                }
+                other => other,
+            }
+        };
+        match mode.unwrap_or(HostMode::Healthy) {
+            HostMode::Healthy => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                Some(SimFetcher::body_for(url))
+            }
+            HostMode::Unreachable => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            HostMode::Hanging(stall_ms) => {
+                self.clock.advance(stall_ms);
+                self.hung.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            HostMode::Flaky { .. } => unreachable!("resolved above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use oak_core::matching::ScriptFetcher;
+
+    use super::{host_of, HostMode, SimFetcher};
+    use crate::clock::SimClock;
+
+    #[test]
+    fn hangs_advance_simulated_time_only() {
+        let clock = SimClock::new();
+        let fetcher = SimFetcher::new(clock.clone(), 1);
+        fetcher.set_host("slow.example", HostMode::Hanging(2_500));
+        assert!(fetcher.fetch_script("http://slow.example/a.js").is_none());
+        assert_eq!(clock.now().as_millis(), 2_500);
+        assert_eq!(fetcher.faults().hung, 1);
+    }
+
+    #[test]
+    fn healthy_bodies_are_a_pure_function_of_the_url() {
+        let fetcher = SimFetcher::new(SimClock::new(), 2);
+        let a = fetcher.fetch_script("http://cdn.example/lib.js").unwrap();
+        let b = fetcher.fetch_script("http://cdn.example/lib.js").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            fetcher.fetch_script("http://cdn.example/other.js").unwrap()
+        );
+    }
+
+    #[test]
+    fn host_parsing_strips_scheme_and_path() {
+        assert_eq!(host_of("http://cdn.example/a/b.js"), "cdn.example");
+        assert_eq!(host_of("https://x.example"), "x.example");
+        assert_eq!(host_of("cdn.example"), "cdn.example");
+    }
+
+    #[test]
+    fn flaky_hosts_fail_some_of_the_time_deterministically() {
+        let run = || {
+            let fetcher = SimFetcher::new(SimClock::new(), 9);
+            fetcher.set_host("f.example", HostMode::Flaky { num: 1, den: 2 });
+            (0..32)
+                .map(|i| {
+                    fetcher
+                        .fetch_script(&format!("http://f.example/{i}.js"))
+                        .is_some()
+                })
+                .collect::<Vec<_>>()
+        };
+        let outcomes = run();
+        assert!(outcomes.iter().any(|o| *o) && outcomes.iter().any(|o| !*o));
+        assert_eq!(outcomes, run(), "same seed, same outcomes");
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic whole-system fault simulation for Oak.
+//!
+//! FoundationDB-style testing: the **real** `oak-core` engine, the real
+//! `oak-store` WAL/snapshot stack, and the real `oak-server` service
+//! logic run against simulated storage ([`SimFs`]), simulated time
+//! ([`SimClock`]), and simulated CDN hosts ([`SimFetcher`]) — all
+//! driven by one seed. A [`Scenario`] generated from that seed mixes
+//! report ingest, page serves, rule churn, clock advances, fetch-target
+//! partitions, and crash-recovery cycles; [`run_scenario`] executes it
+//! and audits invariants at every step and every recovery:
+//!
+//! 1. **Durability** — under `FsyncPolicy::Always`, no event the store
+//!    acknowledged before a crash may be missing after recovery.
+//! 2. **Consistency** — the recovered engine must equal, byte for byte,
+//!    the replay of exactly the event set it claims to reflect
+//!    (`watermark` + `replayed_seqs`), as recorded by an independent
+//!    mirror of everything the engine emitted.
+//! 3. **Health gating** — a recovering node answers 503 on
+//!    `/oak/health`; a serving one answers 200.
+//! 4. **Rule integrity** — no user is ever left active on a rule that
+//!    no longer exists.
+//! 5. **Bounded memory** — a closed user pool and a configured log
+//!    retention keep shard state and the audit log bounded under any
+//!    schedule.
+//!
+//! A failing seed is shrunk by [`minimize`] (delta debugging over the
+//! step list) and the result round-trips through JSON, so CI uploads a
+//! replayable artifact and `oak-sim --replay` reproduces it locally.
+//!
+//! Everything here is deterministic: same scenario, same outcome, every
+//! time, on every platform. No real disk, no real sockets, no real
+//! sleeps — a hang costs simulated milliseconds and zero wall time.
+
+pub mod clock;
+pub mod fetch;
+pub mod fs;
+pub mod minimize;
+pub mod rng;
+pub mod scenario;
+pub mod world;
+
+pub use clock::SimClock;
+pub use fetch::{FetchFaults, HostMode, SimFetcher};
+pub use fs::{FaultCounters, SimFs, SimFsOptions};
+pub use minimize::{minimize, Minimized};
+pub use rng::SimRng;
+pub use scenario::{Scenario, Step};
+pub use world::{fingerprint, run_scenario, RunStats, SimFailure};

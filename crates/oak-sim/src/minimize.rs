@@ -1,0 +1,78 @@
+//! Failure minimization: shrink a failing scenario to the smallest step
+//! list that still reproduces the violation.
+//!
+//! Classic delta debugging (ddmin): partition the step list into chunks,
+//! try deleting each chunk, keep any deletion that still fails, and
+//! refine the partition until single steps can't be removed. Every
+//! candidate is a full deterministic re-run, so the result is not a
+//! heuristic — the minimized scenario *provably* still violates an
+//! invariant, and its JSON form replays anywhere.
+
+use crate::fs::SimFsOptions;
+use crate::scenario::Scenario;
+use crate::world::{run_scenario, SimFailure};
+
+/// A minimization result.
+#[derive(Clone, Debug)]
+pub struct Minimized {
+    /// The smallest failing scenario found.
+    pub scenario: Scenario,
+    /// The violation the minimized scenario reproduces.
+    pub failure: SimFailure,
+    /// Steps the original scenario had.
+    pub original_steps: usize,
+    /// Re-runs the search spent.
+    pub runs: usize,
+}
+
+/// Upper bound on minimization re-runs; ddmin converges long before
+/// this on the step counts scenarios have.
+const MAX_RUNS: usize = 600;
+
+/// Shrinks `scenario` (which must fail under `fs_options`) to a minimal
+/// failing step list. Returns `None` if the scenario does not fail.
+pub fn minimize(scenario: &Scenario, fs_options: SimFsOptions) -> Option<Minimized> {
+    let mut runs = 1;
+    let mut failure = run_scenario(scenario, fs_options).err()?;
+    let original_steps = scenario.steps.len();
+    let mut current = scenario.clone();
+
+    let mut chunks = 2usize;
+    while current.steps.len() > 1 && runs < MAX_RUNS {
+        let len = current.steps.len();
+        let chunk = len.div_ceil(chunks.min(len));
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.steps.len() && runs < MAX_RUNS {
+            let end = (start + chunk).min(current.steps.len());
+            let mut candidate = current.clone();
+            candidate.steps.drain(start..end);
+            runs += 1;
+            match run_scenario(&candidate, fs_options) {
+                Err(found) => {
+                    // Still fails without this chunk: drop it for good.
+                    current = candidate;
+                    failure = found;
+                    reduced = true;
+                    // `start` now points at the steps that followed the
+                    // deleted chunk; don't advance.
+                }
+                Ok(_) => start = end,
+            }
+        }
+        if reduced {
+            chunks = 2.max(chunks - 1);
+        } else if chunk <= 1 {
+            break; // single steps, none removable: minimal
+        } else {
+            chunks = (chunks * 2).min(current.steps.len());
+        }
+    }
+
+    Some(Minimized {
+        scenario: current,
+        failure,
+        original_steps,
+        runs,
+    })
+}

@@ -1,0 +1,142 @@
+//! The injectable storage backend: everything the store asks of a
+//! filesystem, as a trait.
+//!
+//! `oak-store`'s durability argument rests on a handful of POSIX
+//! contracts — appends become durable at `fdatasync`, renames are atomic,
+//! a rename (or a freshly created name) survives a crash only once the
+//! *directory* is synced. Testing those contracts against a real disk is
+//! slow and non-deterministic, so the store talks to storage exclusively
+//! through [`StorageBackend`]:
+//!
+//! - [`RealFs`] forwards to `std::fs` — the production backend, and the
+//!   default behind [`crate::OakStore::open`] / [`crate::OakStore::boot`]
+//!   / [`crate::recover`];
+//! - `oak-sim`'s `SimFs` implements the same trait in memory with
+//!   *pessimal* crash semantics (torn unsynced tails, independently
+//!   lost un-synced directory entries, seeded crash points at every
+//!   write/rename/sync boundary), which is what lets the simulation
+//!   harness prove recovery correct under every fault schedule a seed
+//!   can produce.
+//!
+//! The trait is deliberately narrow: the store only ever creates files
+//! (never re-opens for append across restarts), reads them whole, renames
+//! within one directory, deletes, and syncs — so that is all a backend
+//! must model.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An open, append-only file handle issued by a [`StorageBackend`].
+pub trait StorageFile: Send + fmt::Debug {
+    /// Appends `buf` at the end of the file.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Pushes every appended byte to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem surface `oak-store` requires.
+///
+/// All paths are absolute or process-relative, exactly as the store was
+/// configured; a backend must not canonicalize or otherwise alias them.
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Creates `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Whether `dir` exists.
+    fn dir_exists(&self, dir: &Path) -> bool;
+
+    /// The file names (not paths) directly inside `dir`.
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates (truncating if present) a writable file.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+
+    /// Atomically renames `from` to `to` (same directory). The rename is
+    /// durable only after [`StorageBackend::sync_dir`] on the parent.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Deletes a file. Like a rename, durable only after the parent
+    /// directory is synced.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Makes `dir`'s entries (creations, renames, removals) durable —
+    /// `fsync` on the directory fd. Without this, a crash can orphan a
+    /// rename: the file's *data* is on disk but no directory entry
+    /// survives to name it.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production backend: `std::fs` on the real filesystem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealFs;
+
+/// A real file wrapped as a [`StorageFile`].
+#[derive(Debug)]
+struct RealFile(fs::File);
+
+impl StorageFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl StorageBackend for RealFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn dir_exists(&self, dir: &Path) -> bool {
+        dir.exists()
+    }
+
+    fn list_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_owned());
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Some platforms cannot open a directory for syncing; treat that
+        // as "the platform gives no stronger guarantee" rather than an
+        // error, matching what fsync-on-dir means elsewhere.
+        match fs::File::open(dir) {
+            Ok(handle) => handle.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+}

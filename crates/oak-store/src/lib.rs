@@ -46,8 +46,10 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod backend;
 pub mod crc32;
 pub mod segment;
 pub mod store;
 
-pub use store::{recover, Boot, FsyncPolicy, OakStore, Recovery, StoreOptions};
+pub use backend::{RealFs, StorageBackend, StorageFile};
+pub use store::{recover, recover_with, Boot, FsyncPolicy, OakStore, Recovery, StoreOptions};

@@ -13,10 +13,10 @@
 //! stop at the first frame whose length or CRC does not hold — everything
 //! before that point is valid history, everything after is a torn tail.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::backend::{RealFs, StorageBackend, StorageFile};
 use crate::crc32::crc32;
 
 /// Magic prefix of every WAL segment file.
@@ -73,13 +73,20 @@ pub struct SegmentContents {
     pub clean: bool,
 }
 
-/// Reads a segment file, salvaging the valid frame prefix.
+/// Reads a segment file from the real filesystem, salvaging the valid
+/// frame prefix. See [`read_segment_with`] for the backend-generic form.
+pub fn read_segment(path: &Path) -> io::Result<SegmentContents> {
+    read_segment_with(&RealFs, path)
+}
+
+/// Reads a segment file through `backend`, salvaging the valid frame
+/// prefix.
 ///
 /// Corruption — a damaged header, a torn final frame, a bit-flip anywhere
 /// — is not an error: the contents up to the first bad frame come back
 /// with `clean == false`. Only real I/O failures surface as `Err`.
-pub fn read_segment(path: &Path) -> io::Result<SegmentContents> {
-    let buf = std::fs::read(path)?;
+pub fn read_segment_with(backend: &dyn StorageBackend, path: &Path) -> io::Result<SegmentContents> {
+    let buf = backend.read(path)?;
     let mut contents = SegmentContents {
         shard: None,
         payloads: Vec::new(),
@@ -109,7 +116,7 @@ pub fn read_segment(path: &Path) -> io::Result<SegmentContents> {
 /// An open, append-only segment file.
 #[derive(Debug)]
 pub struct SegmentWriter {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     bytes: u64,
     max_seq: u64,
@@ -117,13 +124,21 @@ pub struct SegmentWriter {
 }
 
 impl SegmentWriter {
-    /// Creates the file at `path` and writes the segment header.
+    /// Creates the file at `path` on the real filesystem and writes the
+    /// segment header. See [`SegmentWriter::create_with`].
     pub fn create(path: PathBuf, shard: Option<usize>) -> io::Result<Self> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
+        SegmentWriter::create_with(&RealFs, path, shard)
+    }
+
+    /// Creates the file at `path` through `backend` and writes the
+    /// segment header. The new directory entry is durable only once the
+    /// caller syncs the parent directory.
+    pub fn create_with(
+        backend: &dyn StorageBackend,
+        path: PathBuf,
+        shard: Option<usize>,
+    ) -> io::Result<Self> {
+        let mut file = backend.create(&path)?;
         let shard_field = match shard {
             Some(index) => index as u32,
             None => META_SHARD,

@@ -18,8 +18,7 @@
 //! everything older. That keeps the write path free of any
 //! truncate-then-append handling — torn tails exist only for readers.
 
-use std::fs;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -28,7 +27,8 @@ use oak_core::engine::{Oak, OakConfig, SHARD_COUNT};
 use oak_core::events::{EventSink, SequencedEvent};
 use oak_json::Value;
 
-use crate::segment::{decode_frame, encode_frame, read_segment, SegmentWriter};
+use crate::backend::{RealFs, StorageBackend};
+use crate::segment::{decode_frame, encode_frame, read_segment_with, SegmentWriter};
 
 /// Magic prefix of a snapshot file (the framed JSON document follows).
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"OAKSNAP1";
@@ -82,6 +82,7 @@ struct ClosedSegment {
 /// per-shard WAL segments and periodically compacts them into snapshots.
 #[derive(Debug)]
 pub struct OakStore {
+    backend: Arc<dyn StorageBackend>,
     dir: PathBuf,
     options: StoreOptions,
     /// One slot per engine shard plus the global slot at `SHARD_COUNT`.
@@ -96,26 +97,35 @@ pub struct OakStore {
 }
 
 impl OakStore {
-    /// Opens (creating if needed) a store over `dir`.
+    /// Opens (creating if needed) a store over `dir` on the real
+    /// filesystem. See [`OakStore::open_with`].
+    pub fn open(dir: impl Into<PathBuf>, options: StoreOptions) -> io::Result<OakStore> {
+        OakStore::open_with(Arc::new(RealFs), dir, options)
+    }
+
+    /// Opens (creating if needed) a store over `dir` on `backend`.
     ///
     /// The store writes fresh segments; it never appends to files left by
-    /// an earlier process. Pair with [`recover`] — or use
-    /// [`OakStore::boot`], which sequences the two correctly. A directory
-    /// must be owned by at most one live store.
-    pub fn open(dir: impl Into<PathBuf>, options: StoreOptions) -> io::Result<OakStore> {
+    /// an earlier process. Pair with [`recover_with`] — or use
+    /// [`OakStore::boot_with`], which sequences the two correctly. A
+    /// directory must be owned by at most one live store.
+    pub fn open_with(
+        backend: Arc<dyn StorageBackend>,
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+    ) -> io::Result<OakStore> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        backend.create_dir_all(&dir)?;
         // Start segment ids past everything on disk so fresh files never
         // collide with (not-yet-compacted) files from an earlier run.
         let mut next_id = 0;
-        for entry in fs::read_dir(&dir)? {
-            let name = entry?.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(id) = parse_segment_name(name).map(|(_, id)| id) {
+        for name in backend.list_dir(&dir)? {
+            if let Some(id) = parse_segment_name(&name).map(|(_, id)| id) {
                 next_id = next_id.max(id + 1);
             }
         }
         Ok(OakStore {
+            backend,
             dir,
             options,
             slots: (0..=SHARD_COUNT).map(|_| Mutex::new(None)).collect(),
@@ -128,18 +138,29 @@ impl OakStore {
         })
     }
 
-    /// Recovers engine state from `dir` and opens the store for writing:
-    /// loads the newest valid snapshot, replays the WAL tail, writes a
-    /// fresh boot snapshot (compacting every prior segment away), and
-    /// attaches the store to the engine as its event sink.
+    /// Recovers engine state from `dir` on the real filesystem and opens
+    /// the store for writing. See [`OakStore::boot_with`].
     pub fn boot(
         dir: impl Into<PathBuf>,
         config: OakConfig,
         options: StoreOptions,
     ) -> io::Result<Boot> {
+        OakStore::boot_with(Arc::new(RealFs), dir, config, options)
+    }
+
+    /// Recovers engine state from `dir` on `backend` and opens the store
+    /// for writing: loads the newest valid snapshot, replays the WAL
+    /// tail, writes a fresh boot snapshot (compacting every prior segment
+    /// away), and attaches the store to the engine as its event sink.
+    pub fn boot_with(
+        backend: Arc<dyn StorageBackend>,
+        dir: impl Into<PathBuf>,
+        config: OakConfig,
+        options: StoreOptions,
+    ) -> io::Result<Boot> {
         let dir = dir.into();
-        let recovery = recover(&dir, config)?;
-        let store = Arc::new(OakStore::open(&dir, options)?);
+        let recovery = recover_with(backend.clone(), &dir, config)?;
+        let store = Arc::new(OakStore::open_with(backend, &dir, options)?);
         store.snapshot(&recovery.oak)?;
         let mut oak = recovery.oak;
         oak.set_event_sink(store.clone());
@@ -149,6 +170,8 @@ impl OakStore {
             snapshot_loaded: recovery.snapshot_loaded,
             events_replayed: recovery.events_replayed,
             torn_segments: recovery.torn_segments,
+            watermark: recovery.watermark,
+            replayed_seqs: recovery.replayed_seqs,
         })
     }
 
@@ -223,16 +246,18 @@ impl OakStore {
         let tmp = self.dir.join(format!("snap-{watermark:020}.tmp"));
         let path = self.dir.join(snapshot_name(watermark));
         {
-            let mut file = fs::File::create(&tmp)?;
+            let mut file = self.backend.create(&tmp)?;
             file.write_all(SNAPSHOT_MAGIC)?;
             file.write_all(&encode_frame(payload.as_bytes()))?;
             file.sync_data()?;
         }
-        fs::rename(&tmp, &path)?;
-        // Make the rename itself durable where the platform allows.
-        if let Ok(dir) = fs::File::open(&self.dir) {
-            let _ = dir.sync_all();
-        }
+        self.backend.rename(&tmp, &path)?;
+        // The rename must be *directory-durable* before anything it
+        // supersedes is deleted: without this fsync a crash can persist
+        // the deletions but not the rename, orphaning the snapshot and
+        // losing acknowledged events. (The oak-sim SimFs regression suite
+        // exercises exactly that schedule.)
+        self.backend.sync_dir(&self.dir)?;
         self.events_since_snapshot.store(0, Ordering::Relaxed);
 
         // Rotate every live segment out; new ones open lazily.
@@ -253,12 +278,9 @@ impl OakStore {
         // Prune snapshots beyond the retention count (names sort by
         // watermark), then compact segments up to the oldest survivor.
         let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(w) = parse_snapshot_name(name) {
-                snaps.push((w, entry.path()));
+        for name in self.backend.list_dir(&self.dir)? {
+            if let Some(w) = parse_snapshot_name(&name) {
+                snaps.push((w, self.dir.join(name)));
             }
         }
         snaps.sort();
@@ -266,7 +288,7 @@ impl OakStore {
             .len()
             .saturating_sub(self.options.keep_snapshots.max(1));
         for (_, old) in &snaps[..keep_from] {
-            let _ = fs::remove_file(old);
+            let _ = self.backend.remove_file(old);
         }
         let compact_below = snaps[keep_from..]
             .first()
@@ -279,7 +301,7 @@ impl OakStore {
             if segment.max_seq >= compact_below {
                 keep.push(segment);
             } else {
-                let _ = fs::remove_file(&segment.path);
+                let _ = self.backend.remove_file(&segment.path);
             }
         }
         let known: Vec<PathBuf> = keep.iter().map(|s| s.path.clone()).collect();
@@ -288,15 +310,13 @@ impl OakStore {
         // Segments this store didn't write (leftovers from the run the
         // engine recovered from) don't carry an in-memory max_seq; read
         // it off the frames before deciding.
-        for entry in fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if parse_segment_name(name).is_none() || known.iter().any(|p| p == &entry.path()) {
+        for name in self.backend.list_dir(&self.dir)? {
+            let candidate = self.dir.join(&name);
+            if parse_segment_name(&name).is_none() || known.iter().any(|p| p == &candidate) {
                 continue;
             }
-            if segment_max_seq(&entry.path()) < compact_below {
-                let _ = fs::remove_file(entry.path());
+            if segment_max_seq(&*self.backend, &candidate) < compact_below {
+                let _ = self.backend.remove_file(&candidate);
             }
         }
         Ok(path)
@@ -320,7 +340,11 @@ impl OakStore {
             } else {
                 Some(index)
             };
-            *guard = Some(SegmentWriter::create(path, shard)?);
+            *guard = Some(SegmentWriter::create_with(&*self.backend, path, shard)?);
+            // The new segment's directory entry must be durable before
+            // any frame in it is acknowledged: data-only fsyncs pin the
+            // bytes to an inode a crash could otherwise leave nameless.
+            self.backend.sync_dir(&self.dir)?;
         }
         let writer = guard.as_mut().expect("just opened");
         writer.append(seq, payload)?;
@@ -373,6 +397,14 @@ pub struct Recovery {
     /// Segments that ended in a torn or corrupt frame (their valid prefix
     /// was still replayed).
     pub torn_segments: usize,
+    /// Watermark of the snapshot that was loaded (0 when none was): every
+    /// event with `seq < watermark` is reflected in the recovered state.
+    pub watermark: u64,
+    /// Sequence numbers of the WAL events applied on top of the snapshot,
+    /// ascending. Together with `watermark` this names exactly the event
+    /// set the recovered engine reflects — which is what lets an external
+    /// oracle (oak-sim) rebuild the expected state and compare.
+    pub replayed_seqs: Vec<u64>,
 }
 
 /// What [`OakStore::boot`] produced: a recovered engine already wired to
@@ -389,6 +421,10 @@ pub struct Boot {
     pub events_replayed: u64,
     /// Segments that ended in a torn or corrupt frame.
     pub torn_segments: usize,
+    /// Watermark of the snapshot recovery loaded (0 when none was).
+    pub watermark: u64,
+    /// Sequence numbers of the WAL events replayed on top of it.
+    pub replayed_seqs: Vec<u64>,
 }
 
 /// Rebuilds an engine from the newest valid snapshot plus the WAL tail.
@@ -404,25 +440,35 @@ pub struct Boot {
 /// rebuilt engine's `rules()`, `active_rules()`, `aggregates()`, and
 /// `log()` are byte-identical to the state that was journaled.
 pub fn recover(dir: &Path, config: OakConfig) -> io::Result<Recovery> {
-    if !dir.exists() {
+    recover_with(Arc::new(RealFs), dir, config)
+}
+
+/// [`recover`] over an arbitrary [`StorageBackend`].
+pub fn recover_with(
+    backend: Arc<dyn StorageBackend>,
+    dir: &Path,
+    config: OakConfig,
+) -> io::Result<Recovery> {
+    if !backend.dir_exists(dir) {
         return Ok(Recovery {
             oak: Oak::new(config),
             snapshot_loaded: false,
             events_replayed: 0,
             torn_segments: 0,
+            watermark: 0,
+            replayed_seqs: Vec::new(),
         });
     }
 
     let mut snapshots: Vec<(u64, PathBuf)> = Vec::new();
     let mut segments: Vec<PathBuf> = Vec::new();
-    for entry in fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if let Some(watermark) = parse_snapshot_name(name) {
-            snapshots.push((watermark, entry.path()));
-        } else if parse_segment_name(name).is_some() {
-            segments.push(entry.path());
+    let mut names = backend.list_dir(dir)?;
+    names.sort();
+    for name in names {
+        if let Some(watermark) = parse_snapshot_name(&name) {
+            snapshots.push((watermark, dir.join(name)));
+        } else if parse_segment_name(&name).is_some() {
+            segments.push(dir.join(name));
         }
     }
     snapshots.sort();
@@ -431,7 +477,7 @@ pub fn recover(dir: &Path, config: OakConfig) -> io::Result<Recovery> {
     let mut watermark = 0;
     let mut snapshot_loaded = false;
     for (snap_watermark, path) in snapshots.iter().rev() {
-        match load_snapshot(path, config) {
+        match load_snapshot(&*backend, path, config) {
             Ok(recovered) => {
                 oak = Some(recovered);
                 watermark = *snap_watermark;
@@ -446,7 +492,7 @@ pub fn recover(dir: &Path, config: OakConfig) -> io::Result<Recovery> {
     let mut events: Vec<SequencedEvent> = Vec::new();
     let mut torn_segments = 0;
     for path in &segments {
-        let contents = read_segment(path)?;
+        let contents = read_segment_with(&*backend, path)?;
         let mut clean = contents.clean;
         for payload in &contents.payloads {
             // A frame that passes its CRC but fails to decode is
@@ -473,7 +519,9 @@ pub fn recover(dir: &Path, config: OakConfig) -> io::Result<Recovery> {
         }
     }
     events.sort_by_key(|e| e.seq);
+    events.dedup_by_key(|e| e.seq);
     let events_replayed = events.len() as u64;
+    let replayed_seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
     for event in &events {
         oak.apply_event(event);
     }
@@ -482,13 +530,15 @@ pub fn recover(dir: &Path, config: OakConfig) -> io::Result<Recovery> {
         snapshot_loaded,
         events_replayed,
         torn_segments,
+        watermark,
+        replayed_seqs,
     })
 }
 
 /// Loads and validates one snapshot file.
-fn load_snapshot(path: &Path, config: OakConfig) -> io::Result<Oak> {
+fn load_snapshot(backend: &dyn StorageBackend, path: &Path, config: OakConfig) -> io::Result<Oak> {
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
-    let buf = fs::read(path)?;
+    let buf = backend.read(path)?;
     if buf.get(..SNAPSHOT_MAGIC.len()) != Some(&SNAPSHOT_MAGIC[..]) {
         return Err(bad("snapshot magic mismatch"));
     }
@@ -505,8 +555,8 @@ fn load_snapshot(path: &Path, config: OakConfig) -> io::Result<Oak> {
 
 /// The highest event sequence number readable from a segment file; 0
 /// when nothing decodes (frames carry their seq in the JSON payload).
-fn segment_max_seq(path: &Path) -> u64 {
-    let Ok(contents) = read_segment(path) else {
+fn segment_max_seq(backend: &dyn StorageBackend, path: &Path) -> u64 {
+    let Ok(contents) = read_segment_with(backend, path) else {
         return 0;
     };
     let mut max_seq = 0;
