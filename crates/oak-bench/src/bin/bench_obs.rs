@@ -1,0 +1,146 @@
+//! Observability tax, measured: what the always-on instrumentation
+//! (stage histograms + counters, spans inert) costs on the report-ingest
+//! hot path, what full span tracing adds on top, and how long one
+//! `/oak/metrics` registry scrape takes.
+//!
+//! Prints the table and records it in `BENCH_obs.json`; the always-on
+//! tax must stay under 5% or the run fails. Run with
+//! `cargo run --release -p oak-bench --bin bench_obs`; pass `--smoke`
+//! for the fast CI variant (same shape, fewer reports).
+
+use std::sync::Arc;
+
+use oak_core::engine::{Oak, OakConfig};
+use oak_core::matching::NoFetch;
+use oak_core::obs::CoreMetrics;
+use oak_core::report::{ObjectTiming, PerfReport};
+use oak_core::rule::Rule;
+use oak_core::Instant;
+use oak_obs::{wall_clock, Registry, Tracer};
+
+/// Users in the closed pool; reports round-robin over them.
+const USERS: usize = 64;
+
+fn report(user: usize, violating: bool) -> PerfReport {
+    let mut r = PerfReport::new(format!("u-{user}"), "/p");
+    if violating {
+        r.push(ObjectTiming::new(
+            "http://cdn0.example/lib.js",
+            "10.0.0.1",
+            30_000,
+            900.0,
+        ));
+    }
+    for good in 0..4u64 {
+        r.push(ObjectTiming::new(
+            format!("http://good{good}.example/obj"),
+            format!("10.1.{good}.1"),
+            30_000,
+            80.0 + good as f64 * 5.0,
+        ));
+    }
+    r
+}
+
+fn engine() -> Oak {
+    let oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::remove(r#"<script src="http://cdn0.example/lib.js">"#))
+        .expect("valid rule");
+    oak
+}
+
+/// Nanoseconds per ingest for one full pass over `reports`.
+fn measure(oak: &Oak, reports: &[PerfReport], tracer: Option<&Arc<Tracer>>) -> f64 {
+    let started = std::time::Instant::now();
+    for (i, report) in reports.iter().enumerate() {
+        let _trace = tracer.map(|t| t.begin("bench ingest"));
+        oak.ingest_report_from(Instant(i as u64), report, &NoFetch, None);
+    }
+    started.elapsed().as_nanos() as f64 / reports.len() as f64
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reports_per_trial: usize = if smoke { 20_000 } else { 100_000 };
+    let trials = 5usize;
+
+    let reports: Vec<PerfReport> = (0..reports_per_trial)
+        .map(|i| report(i % USERS, i % 7 == 0))
+        .collect();
+
+    // Fresh engines per configuration; interleaved trials so drift hits
+    // every configuration equally; min-of-trials defeats noise spikes.
+    let registry = Arc::new(Registry::new());
+    let metrics = CoreMetrics::new(&registry, wall_clock());
+    let tracer = Tracer::new(wall_clock(), 256, 0);
+
+    let plain_oak = engine();
+    let mut obs_oak = engine();
+    obs_oak.set_obs(Arc::clone(&metrics));
+    let mut traced_oak = engine();
+    traced_oak.set_obs(Arc::clone(&metrics));
+
+    // Warm every path once before measuring.
+    measure(&plain_oak, &reports[..reports.len() / 10], None);
+    measure(&obs_oak, &reports[..reports.len() / 10], None);
+    measure(&traced_oak, &reports[..reports.len() / 10], Some(&tracer));
+
+    let mut plain = f64::INFINITY;
+    let mut with_obs = f64::INFINITY;
+    let mut traced = f64::INFINITY;
+    for _ in 0..trials {
+        plain = plain.min(measure(&plain_oak, &reports, None));
+        with_obs = with_obs.min(measure(&obs_oak, &reports, None));
+        traced = traced.min(measure(&traced_oak, &reports, Some(&tracer)));
+    }
+
+    let tax = (with_obs - plain) / plain;
+    let traced_tax = (traced - plain) / plain;
+
+    // One registry scrape (families snapshot + exposition encode).
+    let scrape_started = std::time::Instant::now();
+    let exposition = oak_obs::encode(registry.families());
+    let scrape_us = scrape_started.elapsed().as_nanos() as f64 / 1_000.0;
+    let families = exposition
+        .lines()
+        .filter(|l| l.starts_with("# TYPE "))
+        .count();
+
+    println!("Observability tax on report ingest ({reports_per_trial} reports × {trials} trials, best)\n");
+    println!("{:<34} {:>12}", "configuration", "ns/ingest");
+    println!("{:<34} {:>12.0}", "bare engine", plain);
+    println!(
+        "{:<34} {:>12.0}",
+        "histograms+counters (spans inert)", with_obs
+    );
+    println!("{:<34} {:>12.0}", "full span tracing", traced);
+    println!();
+    println!("{:<34} {:>11.2}%", "always-on tax", tax * 100.0);
+    println!("{:<34} {:>11.2}%", "tracing tax", traced_tax * 100.0);
+    println!("{:<34} {:>10.1}us", "registry scrape", scrape_us);
+    println!("{:<34} {:>12}", "families scraped", families);
+
+    let mut doc = oak_json::Value::object();
+    doc.set("benchmark", "observability_tax");
+    doc.set("smoke", smoke);
+    doc.set("reports_per_trial", reports_per_trial as u64);
+    doc.set("trials", trials as u64);
+    doc.set("plain_ns_per_ingest", (plain * 10.0).round() / 10.0);
+    doc.set("obs_ns_per_ingest", (with_obs * 10.0).round() / 10.0);
+    doc.set("traced_ns_per_ingest", (traced * 10.0).round() / 10.0);
+    doc.set("tax_fraction", (tax * 10_000.0).round() / 10_000.0);
+    doc.set(
+        "traced_tax_fraction",
+        (traced_tax * 10_000.0).round() / 10_000.0,
+    );
+    doc.set("scrape_us", (scrape_us * 10.0).round() / 10.0);
+    doc.set("families", families as u64);
+    std::fs::write("BENCH_obs.json", doc.to_string()).expect("write BENCH_obs.json");
+    println!("\nwrote BENCH_obs.json");
+
+    assert!(
+        tax < 0.05,
+        "always-on instrumentation tax {:.2}% breaches the 5% budget",
+        tax * 100.0
+    );
+}

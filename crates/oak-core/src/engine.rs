@@ -320,6 +320,8 @@ pub struct Oak {
     /// is application order wherever it matters).
     event_seq: AtomicU64,
     sink: Option<Arc<dyn EventSink>>,
+    /// Stage-latency instrumentation; `None` costs nothing on hot paths.
+    obs: Option<Arc<crate::obs::CoreMetrics>>,
 }
 
 impl fmt::Debug for Oak {
@@ -353,6 +355,7 @@ impl Oak {
             log_seq: AtomicU64::new(0),
             event_seq: AtomicU64::new(0),
             sink: None,
+            obs: None,
         }
     }
 
@@ -372,6 +375,14 @@ impl Oak {
     /// Detaches the event sink, if any.
     pub fn clear_event_sink(&mut self) {
         self.sink = None;
+    }
+
+    /// Attaches stage-latency instrumentation. Like
+    /// [`Oak::set_event_sink`], takes `&mut self` so it can only happen
+    /// before the engine is shared. With no metrics attached the hot
+    /// paths read no clock and record nothing.
+    pub fn set_obs(&mut self, obs: Arc<crate::obs::CoreMetrics>) {
+        self.obs = Some(obs);
     }
 
     /// Whether mutations are being recorded to a sink.
@@ -581,6 +592,9 @@ impl Oak {
         fetcher: &dyn ScriptFetcher,
         client_ip: Option<&str>,
     ) -> IngestOutcome {
+        let _ingest_span = oak_obs::span("ingest");
+        let ingest_start = self.obs.as_ref().map(|o| o.now());
+        let detect_span = oak_obs::span("detect");
         let analysis = PageAnalysis::from_report(report);
         let violations = detect_violators(&analysis, &self.config.detector);
         let violator_ips: Vec<String> = violations.iter().map(|v| v.ip.clone()).collect();
@@ -590,11 +604,14 @@ impl Oak {
             .iter()
             .map(|v| v.domains.iter().map(|d| d.to_ascii_lowercase()).collect())
             .collect();
+        drop(detect_span);
+        let detect_end = self.obs.as_ref().map(|o| o.now());
         let mut outcome = IngestOutcome {
             violations: violations.clone(),
             ..IngestOutcome::default()
         };
 
+        let _match_span = oak_obs::span("match");
         let max_level = self.config.max_match_level;
         let table = self.rules.read().expect("rule table lock");
         let candidate_ids: Vec<RuleId> = match table.index.candidates(&lowered, max_level) {
@@ -769,6 +786,14 @@ impl Oak {
                 records,
             })
         });
+        if let Some(obs) = &self.obs {
+            let end = obs.now();
+            let start = ingest_start.unwrap_or(end);
+            crate::obs::CoreMetrics::record(&obs.detect, start, detect_end.unwrap_or(end));
+            crate::obs::CoreMetrics::record(&obs.rule_match, detect_end.unwrap_or(end), end);
+            crate::obs::CoreMetrics::record(&obs.ingest, start, end);
+            obs.reports.inc();
+        }
         outcome
     }
 
@@ -780,6 +805,7 @@ impl Oak {
     /// failing the page). Sub-rules run after their parent applied at
     /// least one edit.
     pub fn modify_page(&self, now: Instant, user: &str, path: &str, html: &str) -> ModifiedPage {
+        let _span = oak_obs::span("modify_page");
         let unmodified = |html: &str| ModifiedPage {
             html: html.to_owned(),
             applied: Vec::new(),
@@ -817,6 +843,7 @@ impl Oak {
             return unmodified(html);
         }
 
+        let rewrite_start = self.obs.as_ref().map(|o| o.now());
         let mut rewriter = Rewriter::new(html);
         let mut applied = Vec::new();
         let mut cache_hints = Vec::new();
@@ -857,6 +884,9 @@ impl Oak {
                     html = html.replace(&sub.find, &sub.replace);
                 }
             }
+        }
+        if let (Some(obs), Some(start)) = (&self.obs, rewrite_start) {
+            crate::obs::CoreMetrics::record(&obs.rewrite, start, obs.now());
         }
 
         ModifiedPage {

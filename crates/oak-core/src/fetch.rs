@@ -154,6 +154,9 @@ pub struct ResilientFetcher {
     negative: Mutex<HashMap<String, Instant>>,
     /// Host → breaker state.
     circuits: Mutex<HashMap<String, HostCircuit>>,
+    /// Attempt-duration instrumentation: a nanosecond clock (finer than
+    /// the engine `Instant` above) and the histogram attempts land in.
+    obs: Option<(oak_obs::Clock, Arc<oak_obs::Histogram>)>,
 }
 
 /// Bound on remembered failures, mirroring
@@ -175,6 +178,7 @@ impl ResilientFetcher {
             stats: Arc::new(FetchStats::default()),
             negative: Mutex::new(HashMap::new()),
             circuits: Mutex::new(HashMap::new()),
+            obs: None,
         }
     }
 
@@ -185,6 +189,18 @@ impl ResilientFetcher {
         clock: impl Fn() -> Instant + Send + Sync + 'static,
     ) -> ResilientFetcher {
         self.clock = Box::new(clock);
+        self
+    }
+
+    /// Installs attempt-duration instrumentation: each inner fetch
+    /// attempt's wall time (measured with `clock`, nanoseconds) is
+    /// recorded into `histogram` in microseconds.
+    pub fn with_obs(
+        mut self,
+        clock: oak_obs::Clock,
+        histogram: Arc<oak_obs::Histogram>,
+    ) -> ResilientFetcher {
+        self.obs = Some((clock, histogram));
         self
     }
 
@@ -241,6 +257,8 @@ impl ResilientFetcher {
     /// One attempt against the inner fetcher, deadline enforced.
     fn attempt(&self, url: &str) -> Option<String> {
         self.stats.attempts.fetch_add(1, Ordering::Relaxed);
+        let _span = oak_obs::span("fetch");
+        let start = self.obs.as_ref().map(|(clock, _)| clock());
         let result = match self.policy.deadline {
             None => self.inner.fetch_script(url),
             Some(deadline) => {
@@ -263,6 +281,9 @@ impl ResilientFetcher {
             Some(_) => self.stats.successes.fetch_add(1, Ordering::Relaxed),
             None => self.stats.failures.fetch_add(1, Ordering::Relaxed),
         };
+        if let (Some((clock, histogram)), Some(start)) = (&self.obs, start) {
+            histogram.record(oak_obs::elapsed_us(start, clock()));
+        }
         result
     }
 

@@ -68,6 +68,7 @@ pub mod engine;
 pub mod events;
 pub mod fetch;
 pub mod matching;
+pub mod obs;
 pub mod report;
 pub mod rule;
 pub mod spec;
@@ -89,6 +90,7 @@ pub mod prelude {
     pub use crate::engine::{IngestOutcome, ModifiedPage, Oak, OakConfig};
     pub use crate::fetch::{FetchPolicy, FetchSnapshot, FetchStats, ResilientFetcher};
     pub use crate::matching::{MatchLevel, NoFetch, ScriptFetcher};
+    pub use crate::obs::CoreMetrics;
     pub use crate::report::{ObjectTiming, PerfReport};
     pub use crate::rule::{
         ActivationPolicy, ClientFilter, Rule, RuleId, RuleType, SelectionPolicy, SubRule,

@@ -1,0 +1,90 @@
+//! Engine instrumentation: the oak-core metric bundle.
+//!
+//! [`CoreMetrics`] registers every engine-side family once and holds
+//! pre-resolved handles; the engine ([`crate::Oak::set_obs`]), the
+//! serving layer (report parse), and the resilient fetcher record into
+//! them without ever touching the registry again. All durations come
+//! from the embedder's [`Clock`], which is what keeps them reproducible
+//! under `oak-sim`.
+
+use std::sync::Arc;
+
+use oak_obs::{elapsed_us, Clock, Counter, Histogram, Registry, DURATION_BOUNDS_US};
+
+/// Pre-resolved handles for the engine's metric families.
+pub struct CoreMetrics {
+    clock: Clock,
+    /// `oak_core_ingest_duration_us` — one whole `ingest_report_from`.
+    pub ingest: Arc<Histogram>,
+    /// `oak_core_detect_duration_us` — page analysis + violator detection.
+    pub detect: Arc<Histogram>,
+    /// `oak_core_rule_match_duration_us` — candidate lookup + rule loop.
+    pub rule_match: Arc<Histogram>,
+    /// `oak_core_report_parse_duration_us` — JSON → `PerfReport`
+    /// (recorded by the serving layer, which owns the parse).
+    pub report_parse: Arc<Histogram>,
+    /// `oak_html_rewrite_duration_us` — rewriter construction through
+    /// sub-rule application in `modify_page`.
+    pub rewrite: Arc<Histogram>,
+    /// `oak_fetch_attempt_duration_us` — one inner fetch attempt
+    /// (recorded by [`crate::fetch::ResilientFetcher`]).
+    pub fetch_attempt: Arc<Histogram>,
+    /// `oak_core_reports_ingested_total`.
+    pub reports: Arc<Counter>,
+}
+
+impl CoreMetrics {
+    /// Registers the engine families in `registry`; durations are
+    /// measured with `clock`.
+    pub fn new(registry: &Registry, clock: Clock) -> Arc<CoreMetrics> {
+        let duration =
+            |name: &str, help: &str| registry.histogram(name, help, &[], DURATION_BOUNDS_US);
+        Arc::new(CoreMetrics {
+            clock,
+            ingest: duration(
+                "oak_core_ingest_duration_us",
+                "Time to ingest one client performance report.",
+            ),
+            detect: duration(
+                "oak_core_detect_duration_us",
+                "Time to analyze a report and detect violators.",
+            ),
+            rule_match: duration(
+                "oak_core_rule_match_duration_us",
+                "Time to match detected violators against the rule table.",
+            ),
+            report_parse: duration(
+                "oak_core_report_parse_duration_us",
+                "Time to parse a performance report from JSON.",
+            ),
+            rewrite: duration(
+                "oak_html_rewrite_duration_us",
+                "Time to apply active rules to an outgoing page.",
+            ),
+            fetch_attempt: duration(
+                "oak_fetch_attempt_duration_us",
+                "Time per external-script fetch attempt.",
+            ),
+            reports: registry.counter(
+                "oak_core_reports_ingested_total",
+                "Client performance reports ingested by the engine.",
+                &[],
+            ),
+        })
+    }
+
+    /// The current clock reading, nanoseconds.
+    pub fn now(&self) -> u64 {
+        (self.clock)()
+    }
+
+    /// The clock these metrics are measured with.
+    pub fn clock(&self) -> Clock {
+        Arc::clone(&self.clock)
+    }
+
+    /// Records `start_ns..end_ns` into `histogram` in microseconds.
+    pub fn record(histogram: &Histogram, start_ns: u64, end_ns: u64) {
+        histogram.record(elapsed_us(start_ns, end_ns));
+    }
+}

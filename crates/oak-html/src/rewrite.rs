@@ -203,6 +203,9 @@ impl<'s> Rewriter<'s> {
     /// Infallible in practice (edits are validated on entry); the `Result`
     /// is kept so the signature survives future streaming output.
     pub fn apply(self) -> Result<String, RewriteError> {
+        // Visible in request traces as its own stage; inert (one
+        // thread-local read) when no trace is active.
+        let _span = oak_obs::span("rewrite");
         let grow: usize = self
             .edits
             .iter()

@@ -45,12 +45,14 @@ mod error;
 pub mod fault;
 mod headers;
 mod message;
+mod obs;
 mod tcp;
 mod url;
 
 pub use error::HttpError;
 pub use headers::Headers;
 pub use message::{encode_chunked, Method, Request, Response, StatusCode};
+pub use obs::HttpMetrics;
 pub use tcp::{
     fetch_tcp, Handler, ServerLimits, TcpServer, TransportSnapshot, TransportStats,
     PEER_ADDR_HEADER,

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use crate::error::HttpError;
 use crate::message::{Request, Response, StatusCode};
+use crate::obs::{HttpMetrics, Stage};
 
 /// Header the TCP server sets on inbound requests with the connection's
 /// observed peer IP, overriding any client-supplied value. Handlers that
@@ -234,6 +235,22 @@ impl TcpServer {
         limits: ServerLimits,
         stats: Arc<TransportStats>,
     ) -> Result<TcpServer, HttpError> {
+        TcpServer::start_with_obs(port, handler, limits, stats, None)
+    }
+
+    /// As [`TcpServer::start_with`], additionally recording per-stage
+    /// latencies (read/parse/handle/write) into `obs` when given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn start_with_obs(
+        port: u16,
+        handler: Arc<dyn Handler>,
+        limits: ServerLimits,
+        stats: Arc<TransportStats>,
+        obs: Option<Arc<HttpMetrics>>,
+    ) -> Result<TcpServer, HttpError> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -252,6 +269,7 @@ impl TcpServer {
                 &stats_accept,
                 handler,
                 limits,
+                obs,
             );
         });
         Ok(TcpServer {
@@ -311,6 +329,7 @@ fn accept_loop(
     stats: &Arc<TransportStats>,
     handler: Arc<dyn Handler>,
     limits: ServerLimits,
+    obs: Option<Arc<HttpMetrics>>,
 ) {
     // Consecutive accept failures back off up to this ceiling instead of
     // hot-spinning on e.g. EMFILE, which only the passage of time fixes.
@@ -340,11 +359,12 @@ fn accept_loop(
         stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
         let handler = Arc::clone(&handler);
         let stats = Arc::clone(stats);
+        let obs = obs.clone();
         std::thread::spawn(move || {
             // The permit lives exactly as long as this thread's work and
             // is returned even if `serve_connection` itself unwinds.
             let _permit = permit;
-            let _ = serve_connection(stream, handler, &limits, &stats);
+            let _ = serve_connection(stream, handler, &limits, &stats, obs.as_deref());
         });
     }
 }
@@ -398,13 +418,14 @@ fn serve_connection(
     handler: Arc<dyn Handler>,
     limits: &ServerLimits,
     stats: &TransportStats,
+    obs: Option<&HttpMetrics>,
 ) -> Result<(), HttpError> {
     stream.set_write_timeout(Some(limits.write_timeout))?;
     let peer_ip = stream.peer_addr().ok().map(|a| a.ip().to_string());
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let mut request = match read_request_outcome(&mut reader, limits, stats) {
+        let mut request = match read_request_outcome(&mut reader, limits, stats, obs) {
             ReadOutcome::Request(r) => *r,
             ReadOutcome::Closed | ReadOutcome::Lost => return Ok(()),
             ReadOutcome::Reject(status) => {
@@ -429,6 +450,7 @@ fn serve_connection(
         // A panicking handler must cost one response, not the thread: the
         // permit and keep-alive loop survive, the client gets a 500, and
         // the panic is visible in the stats instead of a dead silence.
+        let handle_start = obs.map(|o| o.now());
         let response = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             handler.handle(&request)
         })) {
@@ -439,9 +461,16 @@ fn serve_connection(
                     .with_body(b"handler panicked".to_vec(), "text/plain")
             }
         };
+        if let (Some(obs), Some(start)) = (obs, handle_start) {
+            obs.record(Stage::Handle, start, obs.now());
+        }
         stats.requests_served.fetch_add(1, Ordering::Relaxed);
+        let write_start = obs.map(|o| o.now());
         response.write_to(&mut writer)?;
         writer.flush()?;
+        if let (Some(obs), Some(start)) = (obs, write_start) {
+            obs.record(Stage::Write, start, obs.now());
+        }
         if close {
             return Ok(());
         }
@@ -454,8 +483,9 @@ fn read_request_outcome(
     reader: &mut BufReader<TcpStream>,
     limits: &ServerLimits,
     stats: &TransportStats,
+    obs: Option<&HttpMetrics>,
 ) -> ReadOutcome {
-    match read_request(reader, limits) {
+    match read_request(reader, limits, obs) {
         Ok(Some(request)) => ReadOutcome::Request(Box::new(request)),
         Ok(None) => ReadOutcome::Closed,
         Err(HttpError::TimedOut) => {
@@ -529,7 +559,13 @@ impl ReadDeadline {
 fn read_request(
     reader: &mut BufReader<TcpStream>,
     limits: &ServerLimits,
+    obs: Option<&HttpMetrics>,
 ) -> Result<Option<Request>, HttpError> {
+    // Read time covers socket entry to a complete byte buffer (including
+    // any keep-alive idle wait before the first byte); parse time covers
+    // turning those bytes into a Request. Only successful requests are
+    // recorded — rejects have no stage to attribute.
+    let read_start = obs.map(|o| o.now());
     let mut deadline = ReadDeadline::new(limits.read_timeout);
     let head = match read_head(reader, limits, &mut deadline) {
         Ok(Some(h)) => h,
@@ -592,7 +628,13 @@ fn read_request(
         read_exact_deadlined(reader, &mut body, &deadline)?;
         bytes.extend_from_slice(&body);
     }
-    Request::parse(&bytes).map(Some)
+    let parse_start = obs.map(|o| o.now());
+    let request = Request::parse(&bytes)?;
+    if let (Some(obs), Some(read_start), Some(parse_start)) = (obs, read_start, parse_start) {
+        obs.record(Stage::Read, read_start, parse_start);
+        obs.record(Stage::Parse, parse_start, obs.now());
+    }
+    Ok(Some(request))
 }
 
 /// True if the raw head block declares `Transfer-Encoding: chunked`.

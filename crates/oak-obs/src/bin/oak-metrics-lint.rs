@@ -1,0 +1,74 @@
+//! Validates a Prometheus text exposition scrape.
+//!
+//! Usage: `oak-metrics-lint [--min-families N] [FILE]`
+//!
+//! Reads FILE (or stdin when omitted), runs the same line-grammar
+//! validator the conformance tests use, and exits nonzero on any
+//! violation — CI pipes a live `/oak/metrics` scrape through this.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut min_families = 0usize;
+    let mut path: Option<String> = None;
+    let mut arguments = std::env::args().skip(1);
+    while let Some(argument) = arguments.next() {
+        match argument.as_str() {
+            "--min-families" => {
+                let Some(n) = arguments.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--min-families needs a number");
+                    return ExitCode::from(2);
+                };
+                min_families = n;
+            }
+            "--help" | "-h" => {
+                println!("usage: oak-metrics-lint [--min-families N] [FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let text = match &path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("oak-metrics-lint: {path}: {error}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let mut text = String::new();
+            if let Err(error) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("oak-metrics-lint: stdin: {error}");
+                return ExitCode::from(2);
+            }
+            text
+        }
+    };
+
+    let errors = oak_obs::validate_exposition(&text);
+    for error in &errors {
+        eprintln!("oak-metrics-lint: {error}");
+    }
+    let families = text
+        .lines()
+        .filter(|line| line.starts_with("# TYPE "))
+        .count();
+    if families < min_families {
+        eprintln!("oak-metrics-lint: {families} families, expected at least {min_families}");
+        return ExitCode::FAILURE;
+    }
+    if errors.is_empty() {
+        let samples = oak_obs::parse_samples(&text).len();
+        println!("oak-metrics-lint: ok — {families} families, {samples} samples");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,187 @@
+//! Prometheus text exposition format v0.0.4 rendering.
+//!
+//! [`encode`] turns a list of [`Family`] snapshots into the classic
+//! `# HELP` / `# TYPE` / sample-line format. Output is fully
+//! deterministic: families are sorted by name, series by their (already
+//! name-sorted) label sets, and numbers are formatted through one shared
+//! routine — two scrapes of identical state are byte-identical.
+
+use crate::metrics::HistogramSnapshot;
+
+/// What kind of metric a family is; controls the `# TYPE` line and how
+/// its series render.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotonically increasing; renders one sample line per series.
+    Counter,
+    /// Free-moving value; renders one sample line per series.
+    Gauge,
+    /// Bucketed distribution; renders cumulative `_bucket` lines plus
+    /// `_sum` and `_count`.
+    Histogram,
+}
+
+impl FamilyKind {
+    fn type_name(self) -> &'static str {
+        match self {
+            FamilyKind::Counter => "counter",
+            FamilyKind::Gauge => "gauge",
+            FamilyKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One series' value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeriesValue {
+    /// A counter or gauge reading.
+    Scalar(f64),
+    /// A histogram's state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One labeled series of a family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+    /// The series value.
+    pub value: SeriesValue,
+}
+
+/// A metric family: one name, one kind, any number of labeled series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Family {
+    /// The family name, e.g. `oak_http_read_duration_us`.
+    pub name: String,
+    /// The `# HELP` text.
+    pub help: String,
+    /// The family kind.
+    pub kind: FamilyKind,
+    /// The series, each with a distinct label set.
+    pub series: Vec<Series>,
+}
+
+/// Renders `families` as Prometheus text exposition format v0.0.4.
+///
+/// Families are sorted by name and each family's series by label set, so
+/// the output is independent of input order.
+pub fn encode(mut families: Vec<Family>) -> String {
+    families.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    for family in &families {
+        out.push_str("# HELP ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(&escape_help(&family.help));
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(&family.name);
+        out.push(' ');
+        out.push_str(family.kind.type_name());
+        out.push('\n');
+        let mut series: Vec<&Series> = family.series.iter().collect();
+        series.sort_by(|a, b| a.labels.cmp(&b.labels));
+        for s in series {
+            match &s.value {
+                SeriesValue::Scalar(v) => {
+                    sample_line(&mut out, &family.name, &s.labels, None, *v);
+                }
+                SeriesValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (index, bucket) in h.buckets.iter().enumerate() {
+                        cumulative += bucket;
+                        let le = h
+                            .bounds
+                            .get(index)
+                            .map_or_else(|| "+Inf".to_owned(), |b| format_value(*b));
+                        let mut labels = s.labels.clone();
+                        labels.push(("le".to_owned(), le));
+                        labels.sort();
+                        sample_line(
+                            &mut out,
+                            &format!("{}_bucket", family.name),
+                            &labels,
+                            None,
+                            cumulative as f64,
+                        );
+                    }
+                    sample_line(
+                        &mut out,
+                        &format!("{}_sum", family.name),
+                        &s.labels,
+                        None,
+                        h.sum,
+                    );
+                    sample_line(
+                        &mut out,
+                        &format!("{}_count", family.name),
+                        &s.labels,
+                        None,
+                        cumulative as f64,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    timestamp: Option<i64>,
+    value: f64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (index, (key, val)) in labels.iter().enumerate() {
+            if index > 0 {
+                out.push(',');
+            }
+            out.push_str(key);
+            out.push_str("=\"");
+            out.push_str(&escape_label(val));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&format_value(value));
+    if let Some(ts) = timestamp {
+        out.push(' ');
+        out.push_str(&ts.to_string());
+    }
+    out.push('\n');
+}
+
+/// Formats a sample value: integers without a decimal point, everything
+/// else via Rust's shortest-roundtrip `Display`, infinities as
+/// `+Inf`/`-Inf`, NaN as `NaN` (the format's spellings).
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".to_owned()
+        } else {
+            "-Inf".to_owned()
+        }
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}

@@ -1,0 +1,424 @@
+//! Metric primitives and the lock-striped registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s over plain
+//! atomics: the registry lock is taken only at registration and at
+//! scrape, never on the record path. Striping keeps concurrent
+//! registration from different subsystems off one mutex; scrape walks
+//! every stripe and merges.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::expo::{Family, FamilyKind, Series, SeriesValue};
+
+/// Default log-scale duration buckets, in microseconds: a 1–2–5 ladder
+/// from 1 µs to 10 s. Fixed at registration; every histogram of one
+/// family shares them, which is what makes merges well-defined.
+pub const DURATION_BOUNDS_US: &[f64] = &[
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    20.0,
+    50.0,
+    100.0,
+    200.0,
+    500.0,
+    1_000.0,
+    2_000.0,
+    5_000.0,
+    10_000.0,
+    20_000.0,
+    50_000.0,
+    100_000.0,
+    200_000.0,
+    500_000.0,
+    1_000_000.0,
+    2_000_000.0,
+    5_000_000.0,
+    10_000_000.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. Buckets hold *per-bucket* (not cumulative)
+/// counts; the sample count is derived from the buckets at read time, so
+/// `count` can never disagree with the bucket totals, even when a scrape
+/// races a record.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds, ascending; an implicit `+Inf` bucket follows.
+    bounds: Arc<[f64]>,
+    /// One slot per bound plus the `+Inf` overflow slot.
+    buckets: Box<[AtomicU64]>,
+    /// Sum of recorded values, as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (must be finite, ascending, non-empty).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The bucket upper bounds (exclusive of the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one observation. The value lands in the first bucket whose
+    /// upper bound is `>= v` (Prometheus `le` semantics), so it is always
+    /// strictly above the previous bound.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        let index = self.bounds.partition_point(|b| *b < v);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: Arc::clone(&self.bounds),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], and the unit of merging.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, ascending (the implicit `+Inf` slot follows them).
+    pub bounds: Arc<[f64]>,
+    /// Per-bucket counts; `buckets[bounds.len()]` is the `+Inf` slot.
+    pub buckets: Vec<u64>,
+    /// Sum of recorded values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot over `bounds`.
+    pub fn empty(bounds: &[f64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: bounds.into(),
+            buckets: vec![0; bounds.len() + 1],
+            sum: 0.0,
+        }
+    }
+
+    /// Total observations — always exactly the bucket totals.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Merges another snapshot in. Merging is associative and
+    /// commutative (bucket-wise addition over identical bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds differ — cross-family merges are meaningless.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            &*self.bounds, &*other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) as the upper bound of the bucket
+    /// holding the rank-`⌈q·count⌉` observation; `None` when empty.
+    /// Monotone in `q` by construction (cumulative counts are monotone).
+    /// The overflow bucket reports `+Inf`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                return Some(self.bounds.get(index).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+/// Label pairs, sorted by name at registration so series identity — and
+/// exposition order — is independent of call-site argument order.
+type LabelSet = Vec<(String, String)>;
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    set.sort();
+    set
+}
+
+/// One registered family's live series.
+#[derive(Debug)]
+enum FamilyCell {
+    Counter {
+        help: String,
+        series: BTreeMap<LabelSet, Arc<Counter>>,
+    },
+    Gauge {
+        help: String,
+        series: BTreeMap<LabelSet, Arc<Gauge>>,
+    },
+    Histogram {
+        help: String,
+        bounds: Arc<[f64]>,
+        series: BTreeMap<LabelSet, Arc<Histogram>>,
+    },
+}
+
+/// How many stripes the registry spreads families over. Registration is
+/// rare; this only keeps unrelated subsystems registering concurrently
+/// off one mutex.
+const STRIPES: usize = 8;
+
+/// The metric registry: families keyed by name, striped by name hash.
+///
+/// Handles returned by [`Registry::counter`] / [`Registry::gauge`] /
+/// [`Registry::histogram`] are cached by callers and recorded to without
+/// any registry involvement; [`Registry::families`] snapshots everything
+/// for exposition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    stripes: [Mutex<BTreeMap<String, FamilyCell>>; STRIPES],
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn stripe(&self, name: &str) -> &Mutex<BTreeMap<String, FamilyCell>> {
+        &self.stripes[fnv1a(name) as usize % STRIPES]
+    }
+
+    /// The counter series `name{labels}`, registering the family (with
+    /// `help`) on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind
+    /// — that is a programming error, not an operational condition.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut stripe = self.stripe(name).lock().expect("registry stripe");
+        let cell = stripe
+            .entry(name.to_owned())
+            .or_insert_with(|| FamilyCell::Counter {
+                help: help.to_owned(),
+                series: BTreeMap::new(),
+            });
+        match cell {
+            FamilyCell::Counter { series, .. } => {
+                Arc::clone(series.entry(label_set(labels)).or_default())
+            }
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge series `name{labels}`; see [`Registry::counter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind conflict with an existing family.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut stripe = self.stripe(name).lock().expect("registry stripe");
+        let cell = stripe
+            .entry(name.to_owned())
+            .or_insert_with(|| FamilyCell::Gauge {
+                help: help.to_owned(),
+                series: BTreeMap::new(),
+            });
+        match cell {
+            FamilyCell::Gauge { series, .. } => {
+                Arc::clone(series.entry(label_set(labels)).or_default())
+            }
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The histogram series `name{labels}` over `bounds`; see
+    /// [`Registry::counter`]. Bounds are fixed by the first registration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind or bounds conflict with an existing family.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let mut stripe = self.stripe(name).lock().expect("registry stripe");
+        let cell = stripe
+            .entry(name.to_owned())
+            .or_insert_with(|| FamilyCell::Histogram {
+                help: help.to_owned(),
+                bounds: bounds.into(),
+                series: BTreeMap::new(),
+            });
+        match cell {
+            FamilyCell::Histogram {
+                bounds: registered,
+                series,
+                ..
+            } => {
+                assert_eq!(
+                    &**registered, bounds,
+                    "metric {name:?} already registered with different bounds"
+                );
+                Arc::clone(
+                    series
+                        .entry(label_set(labels))
+                        .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+                )
+            }
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Snapshots every registered family for exposition. Order is
+    /// deterministic (sorted by name); [`crate::expo::encode`] re-sorts
+    /// anyway after synthetic families are appended.
+    pub fn families(&self) -> Vec<Family> {
+        let mut families = Vec::new();
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().expect("registry stripe");
+            for (name, cell) in stripe.iter() {
+                families.push(match cell {
+                    FamilyCell::Counter { help, series } => Family {
+                        name: name.clone(),
+                        help: help.clone(),
+                        kind: FamilyKind::Counter,
+                        series: series
+                            .iter()
+                            .map(|(labels, c)| Series {
+                                labels: labels.clone(),
+                                value: SeriesValue::Scalar(c.get() as f64),
+                            })
+                            .collect(),
+                    },
+                    FamilyCell::Gauge { help, series } => Family {
+                        name: name.clone(),
+                        help: help.clone(),
+                        kind: FamilyKind::Gauge,
+                        series: series
+                            .iter()
+                            .map(|(labels, g)| Series {
+                                labels: labels.clone(),
+                                value: SeriesValue::Scalar(g.get() as f64),
+                            })
+                            .collect(),
+                    },
+                    FamilyCell::Histogram { help, series, .. } => Family {
+                        name: name.clone(),
+                        help: help.clone(),
+                        kind: FamilyKind::Histogram,
+                        series: series
+                            .iter()
+                            .map(|(labels, h)| Series {
+                                labels: labels.clone(),
+                                value: SeriesValue::Histogram(h.snapshot()),
+                            })
+                            .collect(),
+                    },
+                });
+            }
+        }
+        families.sort_by(|a, b| a.name.cmp(&b.name));
+        families
+    }
+}
+
+/// FNV-1a, for stripe selection.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

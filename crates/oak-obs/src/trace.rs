@@ -1,0 +1,278 @@
+//! Lightweight span tracing.
+//!
+//! A request opens a trace with [`Tracer::begin`]; while the returned
+//! [`TraceGuard`] lives, any code on the same thread can call [`span`]
+//! to time a stage. Spans carry `(name, start, dur, depth)` and nest by
+//! guard scope. Completed traces land in a bounded ring buffer
+//! ([`Tracer::recent`]); traces slower than the tracer's threshold are
+//! logged to stderr with their full span tree.
+//!
+//! The active trace lives in a thread local, so instrumented stages deep
+//! in the stack (`oak-core`, `oak-html`) never need a handle threaded
+//! through their APIs: [`span`] is free when no trace is active (one
+//! thread-local read, no clock read, no allocation).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::Clock;
+
+/// Hard cap on spans per trace: a runaway stage can't balloon a trace.
+/// Opens past the cap are counted in [`Trace::dropped`].
+pub const MAX_SPANS_PER_TRACE: usize = 128;
+
+/// One timed stage inside a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Stage name, e.g. `ingest` or `rewrite`.
+    pub name: &'static str,
+    /// Nesting depth below the trace root (0 = top level).
+    pub depth: u16,
+    /// Clock reading at open, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A completed request trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Trace id, unique per tracer, assigned in `begin` order.
+    pub id: u64,
+    /// What the trace covers, e.g. `POST /oak/report`.
+    pub name: String,
+    /// Clock reading at begin, nanoseconds.
+    pub start_ns: u64,
+    /// Total duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Spans in open order.
+    pub spans: Vec<Span>,
+    /// Span opens discarded after [`MAX_SPANS_PER_TRACE`] was reached.
+    pub dropped: u32,
+}
+
+impl Trace {
+    /// Renders the span tree as indented text — one line per span with
+    /// start offset and duration in whole microseconds. Deterministic
+    /// given deterministic clock readings; `oak-sim` byte-compares this
+    /// across runs of one seed.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "trace {} {} dur={}us spans={}",
+            self.id,
+            self.name,
+            us(self.dur_ns),
+            self.spans.len()
+        );
+        if self.dropped > 0 {
+            out.push_str(&format!(" dropped={}", self.dropped));
+        }
+        out.push('\n');
+        for span in &self.spans {
+            for _ in 0..=span.depth {
+                out.push_str("  ");
+            }
+            out.push_str(&format!(
+                "{} start=+{}us dur={}us\n",
+                span.name,
+                us(span.start_ns.saturating_sub(self.start_ns)),
+                us(span.dur_ns)
+            ));
+        }
+        out
+    }
+}
+
+/// Whole nanoseconds → whole microseconds, rounding up (matches
+/// [`crate::elapsed_us`]).
+fn us(ns: u64) -> u64 {
+    if ns == 0 {
+        0
+    } else {
+        ns.div_ceil(1000)
+    }
+}
+
+struct ActiveTrace {
+    tracer: Arc<Tracer>,
+    trace: Trace,
+    depth: u16,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Collects traces into a ring buffer and hands out ids.
+pub struct Tracer {
+    clock: Clock,
+    capacity: usize,
+    slow_ns: u64,
+    ring: Mutex<VecDeque<Trace>>,
+    next_id: AtomicU64,
+    completed: AtomicU64,
+    slow: AtomicU64,
+    dropped_spans: AtomicU64,
+}
+
+impl Tracer {
+    /// A tracer reading `clock`, keeping the last `capacity` traces, and
+    /// logging traces slower than `slow_ms` milliseconds (0 disables
+    /// slow logging).
+    pub fn new(clock: Clock, capacity: usize, slow_ms: u64) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            clock,
+            capacity: capacity.max(1),
+            slow_ns: slow_ms.saturating_mul(1_000_000),
+            ring: Mutex::new(VecDeque::new()),
+            next_id: AtomicU64::new(1),
+            completed: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            dropped_spans: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens a trace named `name` on the current thread. While the guard
+    /// lives, [`span`] calls on this thread record into it. Nested
+    /// `begin` on one thread is a no-op (the inner guard is inert) —
+    /// a request is one trace.
+    pub fn begin(self: &Arc<Tracer>, name: &str) -> TraceGuard {
+        let installed = ACTIVE.with(|active| {
+            let mut active = active.borrow_mut();
+            if active.is_some() {
+                return false;
+            }
+            let now = (self.clock)();
+            *active = Some(ActiveTrace {
+                tracer: Arc::clone(self),
+                trace: Trace {
+                    id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                    name: name.to_owned(),
+                    start_ns: now,
+                    dur_ns: 0,
+                    spans: Vec::new(),
+                    dropped: 0,
+                },
+                depth: 0,
+            });
+            true
+        });
+        TraceGuard {
+            installed,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The buffered traces, oldest first.
+    pub fn recent(&self) -> Vec<Trace> {
+        self.ring
+            .lock()
+            .expect("trace ring")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Traces completed (including ones since evicted from the ring).
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Traces that exceeded the slow threshold.
+    pub fn slow(&self) -> u64 {
+        self.slow.load(Ordering::Relaxed)
+    }
+
+    /// Span opens dropped across all traces by the per-trace cap.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans.load(Ordering::Relaxed)
+    }
+
+    fn finish(&self, mut trace: Trace) {
+        trace.dur_ns = (self.clock)().saturating_sub(trace.start_ns);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.dropped_spans
+            .fetch_add(u64::from(trace.dropped), Ordering::Relaxed);
+        if self.slow_ns > 0 && trace.dur_ns >= self.slow_ns {
+            self.slow.fetch_add(1, Ordering::Relaxed);
+            eprint!("[oak-obs] slow {}", trace.to_text());
+        }
+        let mut ring = self.ring.lock().expect("trace ring");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+}
+
+/// Closes the trace opened by [`Tracer::begin`] when dropped.
+///
+/// Not `Send`: the trace lives in this thread's thread local.
+pub struct TraceGuard {
+    installed: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !self.installed {
+            return;
+        }
+        let done = ACTIVE.with(|active| active.borrow_mut().take());
+        if let Some(done) = done {
+            done.tracer.finish(done.trace);
+        }
+    }
+}
+
+/// Opens a span named `name` in the current thread's active trace; the
+/// span closes when the guard drops. Inert (and nearly free) when no
+/// trace is active.
+pub fn span(name: &'static str) -> SpanGuard {
+    let index = ACTIVE.with(|active| {
+        let mut active = active.borrow_mut();
+        let active = active.as_mut()?;
+        if active.trace.spans.len() >= MAX_SPANS_PER_TRACE {
+            active.trace.dropped += 1;
+            return None;
+        }
+        let start = (active.tracer.clock)();
+        active.trace.spans.push(Span {
+            name,
+            depth: active.depth,
+            start_ns: start,
+            dur_ns: 0,
+        });
+        active.depth += 1;
+        Some(active.trace.spans.len() - 1)
+    });
+    SpanGuard {
+        index,
+        _not_send: PhantomData,
+    }
+}
+
+/// Closes its span when dropped. Not `Send`.
+pub struct SpanGuard {
+    index: Option<usize>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(index) = self.index else { return };
+        ACTIVE.with(|active| {
+            let mut active = active.borrow_mut();
+            if let Some(active) = active.as_mut() {
+                let now = (active.tracer.clock)();
+                active.depth = active.depth.saturating_sub(1);
+                if let Some(span) = active.trace.spans.get_mut(index) {
+                    span.dur_ns = now.saturating_sub(span.start_ns);
+                }
+            }
+        });
+    }
+}

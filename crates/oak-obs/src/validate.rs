@@ -1,0 +1,464 @@
+//! A line-grammar validator for the Prometheus text exposition format.
+//!
+//! [`validate_exposition`] checks an entire scrape: every line must be a
+//! well-formed `# HELP`, `# TYPE`, or sample line; `HELP`/`TYPE` must
+//! precede their family's samples; a family's samples must be contiguous
+//! and their label sets sorted and duplicate-free; histogram `_bucket`
+//! series must be cumulative and end at `+Inf`. The conformance tests
+//! and the `oak-metrics-lint` binary share this code, so "the tests
+//! pass" and "the lint passes" can never drift apart.
+
+use std::collections::HashSet;
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// The sample name as written (histogram samples keep their
+    /// `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs, in written order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses every sample line of an exposition, ignoring comments.
+/// Use after [`validate_exposition`]; this does not validate.
+pub fn parse_samples(text: &str) -> Vec<Sample> {
+    text.lines()
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .filter_map(|line| parse_sample(line).ok())
+        .collect()
+}
+
+/// Validates `text` as Prometheus text exposition format v0.0.4.
+/// Returns every violation as `"line N: message"`; empty means valid.
+pub fn validate_exposition(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    // Family currently being emitted: name, declared type, and state.
+    let mut current: Option<FamilyState> = None;
+    // Family names already closed out — reopening one is a violation.
+    let mut finished: HashSet<String> = HashSet::new();
+
+    for (number, line) in text.lines().enumerate() {
+        let number = number + 1;
+        macro_rules! fail {
+            ($($arg:tt)*) => {
+                errors.push(format!("line {number}: {}", format!($($arg)*)))
+            };
+        }
+
+        if line.is_empty() {
+            fail!("empty line");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (keyword, rest) = match rest.split_once(' ') {
+                Some(pair) => pair,
+                None => {
+                    fail!("comment is neither HELP nor TYPE");
+                    continue;
+                }
+            };
+            match keyword {
+                "HELP" => {
+                    let name = rest.split(' ').next().unwrap_or("");
+                    if !valid_name(name) {
+                        fail!("bad metric name {name:?} in HELP");
+                        continue;
+                    }
+                    if let Some(done) = current.take() {
+                        done.close(&mut finished, &mut errors);
+                    }
+                    if finished.contains(name) {
+                        fail!("family {name:?} reopened after other samples");
+                    }
+                    current = Some(FamilyState::new(name));
+                }
+                "TYPE" => {
+                    let mut parts = rest.split(' ');
+                    let name = parts.next().unwrap_or("");
+                    let kind = parts.next().unwrap_or("");
+                    if parts.next().is_some() {
+                        fail!("trailing tokens after TYPE");
+                    }
+                    match &mut current {
+                        Some(state) if state.name == name => {
+                            if state.kind.is_some() {
+                                fail!("duplicate TYPE for {name:?}");
+                            } else if state.samples_seen {
+                                fail!("TYPE for {name:?} after its samples");
+                            }
+                            match kind {
+                                "counter" | "gauge" | "histogram" | "summary" | "untyped" => {
+                                    state.kind = Some(kind.to_owned());
+                                }
+                                other => fail!("unknown metric type {other:?}"),
+                            }
+                        }
+                        _ => fail!("TYPE for {name:?} without preceding HELP"),
+                    }
+                }
+                other => fail!("unknown comment keyword {other:?}"),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            fail!("comment must start with \"# \"");
+            continue;
+        }
+
+        let sample = match parse_sample(line) {
+            Ok(sample) => sample,
+            Err(msg) => {
+                fail!("{msg}");
+                continue;
+            }
+        };
+        match &mut current {
+            Some(state) if state.owns(&sample.name) => {
+                state.observe(&sample, number, &mut errors);
+            }
+            _ => {
+                fail!(
+                    "sample {:?} outside its family's HELP/TYPE block",
+                    sample.name
+                );
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        done.close(&mut finished, &mut errors);
+    }
+    errors
+}
+
+struct FamilyState {
+    name: String,
+    kind: Option<String>,
+    samples_seen: bool,
+    /// Label sets seen per sample name, to catch duplicates and order.
+    seen: HashSet<String>,
+    last_series: Option<String>,
+    /// For histograms: per-series running `_bucket` state.
+    bucket_last: Option<(String, f64, f64)>, // (series key, last le, last cumulative)
+    bucket_closed: bool,
+}
+
+impl FamilyState {
+    fn new(name: &str) -> FamilyState {
+        FamilyState {
+            name: name.to_owned(),
+            kind: None,
+            samples_seen: false,
+            seen: HashSet::new(),
+            last_series: None,
+            bucket_last: None,
+            bucket_closed: false,
+        }
+    }
+
+    /// Whether `sample_name` belongs to this family, honoring histogram
+    /// suffixes when the family is a histogram.
+    fn owns(&self, sample_name: &str) -> bool {
+        if sample_name == self.name {
+            return true;
+        }
+        if self.kind.as_deref() == Some("histogram") {
+            if let Some(stem) = sample_name
+                .strip_suffix("_bucket")
+                .or_else(|| sample_name.strip_suffix("_sum"))
+                .or_else(|| sample_name.strip_suffix("_count"))
+            {
+                return stem == self.name;
+            }
+        }
+        false
+    }
+
+    fn observe(&mut self, sample: &Sample, number: usize, errors: &mut Vec<String>) {
+        let mut fail = |msg: String| errors.push(format!("line {number}: {msg}"));
+        self.samples_seen = true;
+        if self.kind.is_none() {
+            fail(format!("sample for {:?} before its TYPE", self.name));
+        }
+        let mut names = HashSet::new();
+        for (key, _) in &sample.labels {
+            if !valid_label_name(key) {
+                fail(format!("bad label name {key:?}"));
+            }
+            if !names.insert(key) {
+                fail(format!("duplicate label {key:?}"));
+            }
+        }
+        let sorted = sample.labels.windows(2).all(|pair| pair[0].0 <= pair[1].0);
+        if !sorted {
+            fail(format!("labels not sorted by name in {:?}", sample.name));
+        }
+        let key = series_key(sample);
+        if !self.seen.insert(key.clone()) {
+            fail(format!("duplicate series {key}"));
+        }
+
+        if self.kind.as_deref() == Some("histogram") {
+            self.observe_histogram(sample, number, errors);
+        } else {
+            let non_le: String = series_key_without_le(sample);
+            if let Some(last) = &self.last_series {
+                if *last > non_le {
+                    errors.push(format!(
+                        "line {number}: series {non_le} out of order within family"
+                    ));
+                }
+            }
+            self.last_series = Some(non_le);
+            if self.kind.as_deref() == Some("counter") && sample.value < 0.0 {
+                errors.push(format!("line {number}: negative counter {key}"));
+            }
+        }
+    }
+
+    fn observe_histogram(&mut self, sample: &Sample, number: usize, errors: &mut Vec<String>) {
+        let mut fail = |msg: String| errors.push(format!("line {number}: {msg}"));
+        let series = series_key_without_le(sample);
+        if sample.name.ends_with("_bucket") {
+            let le = match sample.label("le") {
+                Some("+Inf") => f64::INFINITY,
+                Some(text) => match text.parse::<f64>() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        fail(format!("unparseable le {text:?}"));
+                        return;
+                    }
+                },
+                None => {
+                    fail("_bucket sample without le label".to_owned());
+                    return;
+                }
+            };
+            match &mut self.bucket_last {
+                Some((open, last_le, last_cum)) if *open == series => {
+                    if le <= *last_le {
+                        fail(format!("le {le} not ascending in {series}"));
+                    }
+                    if sample.value < *last_cum {
+                        fail(format!("bucket counts not cumulative in {series}"));
+                    }
+                    *last_le = le;
+                    *last_cum = sample.value;
+                }
+                Some((open, ..)) => {
+                    fail(format!(
+                        "bucket series {series} interleaved with open series {open}"
+                    ));
+                }
+                None => {
+                    if self.bucket_closed {
+                        fail(format!(
+                            "new bucket series {series} after _sum/_count of previous"
+                        ));
+                    }
+                    self.bucket_last = Some((series, le, sample.value));
+                }
+            }
+        } else if sample.name.ends_with("_sum") {
+            match self.bucket_last.take() {
+                Some((open, last_le, _)) => {
+                    if open != series {
+                        fail(format!("_sum for {series} but open buckets are {open}"));
+                    }
+                    if last_le.is_finite() {
+                        fail(format!("bucket series {open} did not end at +Inf"));
+                    }
+                    self.bucket_closed = true;
+                }
+                None => fail(format!("_sum for {series} without preceding buckets")),
+            }
+        } else if sample.name.ends_with("_count") {
+            if self.bucket_last.is_some() {
+                fail(format!("_count for {series} before its +Inf bucket"));
+            }
+            if sample.value < 0.0 || sample.value.fract() != 0.0 {
+                fail(format!("non-integral histogram count {}", sample.value));
+            }
+            self.bucket_closed = false;
+        } else {
+            fail(format!("bare sample {:?} in histogram family", sample.name));
+        }
+    }
+
+    fn close(self, finished: &mut HashSet<String>, errors: &mut Vec<String>) {
+        if !self.samples_seen {
+            errors.push(format!(
+                "family {:?} declared but has no samples",
+                self.name
+            ));
+        }
+        if let Some((open, ..)) = self.bucket_last {
+            errors.push(format!(
+                "bucket series {open} never closed with _sum/_count"
+            ));
+        }
+        finished.insert(self.name);
+    }
+}
+
+/// The full series identity: name plus every label.
+fn series_key(sample: &Sample) -> String {
+    let labels: Vec<String> = sample
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect();
+    format!("{}{{{}}}", sample.name, labels.join(","))
+}
+
+/// Series identity ignoring `le` — groups a histogram's bucket lines.
+fn series_key_without_le(sample: &Sample) -> String {
+    let labels: Vec<String> = sample
+        .labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect();
+    let stem = sample
+        .name
+        .strip_suffix("_bucket")
+        .or_else(|| sample.name.strip_suffix("_sum"))
+        .or_else(|| sample.name.strip_suffix("_count"))
+        .unwrap_or(&sample.name);
+    format!("{stem}{{{}}}", labels.join(","))
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses one sample line: `name[{labels}] value [timestamp]`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let line = line.trim_end();
+    let (name_end, has_labels) = match line.find(['{', ' ']) {
+        Some(index) => (index, line.as_bytes()[index] == b'{'),
+        None => return Err("sample line has no value".to_owned()),
+    };
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    let rest = if has_labels {
+        let body_start = name_end + 1;
+        let close = line[body_start..]
+            .find('}')
+            .ok_or_else(|| "unterminated label set".to_owned())?
+            + body_start;
+        let body = &line[body_start..close];
+        if !body.is_empty() {
+            for pair in split_labels(body)? {
+                labels.push(pair);
+            }
+        }
+        &line[close + 1..]
+    } else {
+        &line[name_end..]
+    };
+    let rest = rest.trim_start();
+    let mut parts = rest.split(' ').filter(|part| !part.is_empty());
+    let value_text = parts
+        .next()
+        .ok_or_else(|| "sample line has no value".to_owned())?;
+    let value = parse_value(value_text)?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("bad timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after sample value".to_owned());
+    }
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {other:?}")),
+    }
+}
+
+/// Splits `k1="v1",k2="v2"` respecting escapes inside quoted values.
+fn split_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label name".to_owned());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key:?} value is not quoted"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label value")),
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated value for label {key:?}"));
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => break,
+            Some(',') => {
+                if chars.peek().is_none() {
+                    break; // trailing comma is tolerated by scrapers
+                }
+            }
+            Some(other) => return Err(format!("unexpected {other:?} after label value")),
+        }
+    }
+    Ok(labels)
+}

@@ -13,6 +13,7 @@
 //!           [--max-body-bytes <n>] [--read-timeout-ms <ms>]
 //!           [--write-timeout-ms <ms>] [--max-report-bytes <n>]
 //!           [--report-rate <per-sec>] [--report-burst <n>]
+//!           [--slow-ms <ms>] [--trace-ring <n>]
 //! ```
 //!
 //! `--rules` takes the §4.1 spec format (see `oak_core::spec`), e.g.:
@@ -41,7 +42,8 @@ use oak_core::engine::OakConfig;
 use oak_core::Instant;
 use oak_http::{ServerLimits, TcpServer, TransportStats};
 use oak_server::{
-    load_root, load_rules_into, AdmissionPolicy, HealthState, OakService, PrunePolicy, REPORT_PATH,
+    load_root, load_rules_into, AdmissionPolicy, HealthState, OakService, PrunePolicy, ServiceObs,
+    METRICS_PATH, REPORT_PATH,
 };
 use oak_store::{FsyncPolicy, OakStore, StoreOptions};
 
@@ -55,6 +57,8 @@ struct Args {
     prune: Option<PrunePolicy>,
     limits: ServerLimits,
     admission: AdmissionPolicy,
+    slow_ms: u64,
+    trace_ring: usize,
 }
 
 const USAGE: &str = "usage: oak-serve --root <dir> [--rules <file>] [--port <n>] \
@@ -62,7 +66,7 @@ const USAGE: &str = "usage: oak-serve --root <dir> [--rules <file>] [--port <n>]
 [--audit-retention <entries>] [--prune-idle-ms <ms>] [--prune-every <requests>] \
 [--max-connections <n>] [--max-head-bytes <n>] [--max-body-bytes <n>] \
 [--read-timeout-ms <ms>] [--write-timeout-ms <ms>] [--max-report-bytes <n>] \
-[--report-rate <per-sec>] [--report-burst <n>]
+[--report-rate <per-sec>] [--report-burst <n>] [--slow-ms <ms>] [--trace-ring <n>]
 
 transport limits (served with 503/431/413/408 when exceeded):
   --max-connections <n>    concurrent connections before 503 (default 1024)
@@ -74,7 +78,11 @@ transport limits (served with 503/431/413/408 when exceeded):
 report admission (at /oak/report):
   --max-report-bytes <n>   report-body cap before 413 (default 1 MiB)
   --report-rate <per-sec>  sustained reports/s per user; 0 = unlimited (default)
-  --report-burst <n>       burst allowance above the sustained rate (default 10)";
+  --report-burst <n>       burst allowance above the sustained rate (default 10)
+
+observability (scrape /oak/metrics, traces at /oak/trace/recent):
+  --slow-ms <ms>           log traces slower than this (default 500)
+  --trace-ring <n>         completed traces kept for /oak/trace/recent (default 256)";
 
 fn parse_args() -> Result<Args, String> {
     let mut root = None;
@@ -87,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
     let mut prune_every = 1024u64;
     let mut limits = ServerLimits::default();
     let mut admission = AdmissionPolicy::default();
+    let mut slow_ms = 500u64;
+    let mut trace_ring = 256usize;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
@@ -167,6 +177,10 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|b| b.is_finite() && *b >= 1.0)
                     .ok_or("--report-burst requires a number >= 1")?;
             }
+            "--slow-ms" => slow_ms = number("--slow-ms", value("--slow-ms")?)?,
+            "--trace-ring" => {
+                trace_ring = number("--trace-ring", value("--trace-ring")?)?.max(1) as usize;
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
@@ -184,6 +198,8 @@ fn parse_args() -> Result<Args, String> {
         }),
         limits,
         admission,
+        slow_ms,
+        trace_ring,
     })
 }
 
@@ -266,14 +282,20 @@ fn main() -> ExitCode {
 
     let t0 = std::time::Instant::now();
     let transport_stats = Arc::new(TransportStats::default());
+    // One observability bundle spans the whole stack: the engine gets
+    // its handles via with_obs, the WAL via set_obs, the transport via
+    // start_with_obs, and /oak/metrics scrapes them all.
+    let obs = ServiceObs::wall(args.trace_ring, args.slow_ms);
     // Health starts at Booting so a probe racing the listener bind gets
     // 503, not 200; the flip to Serving happens after the bind succeeds.
     let mut service = OakService::new(oak, store)
         .with_health(HealthState::Booting)
         .with_clock(move || Instant(t0.elapsed().as_millis() as u64))
         .with_admission(args.admission)
-        .with_transport_stats(Arc::clone(&transport_stats));
+        .with_transport_stats(Arc::clone(&transport_stats))
+        .with_obs(Arc::clone(&obs));
     if let Some(store) = durable {
+        store.set_obs(Arc::clone(&obs.store));
         service = service.with_durability(store);
     }
     if let Some(policy) = args.prune {
@@ -286,7 +308,13 @@ fn main() -> ExitCode {
     let service = service.into_shared();
 
     let handler: Arc<dyn oak_http::Handler> = service.clone();
-    let server = match TcpServer::start_with(args.port, handler, args.limits, transport_stats) {
+    let server = match TcpServer::start_with_obs(
+        args.port,
+        handler,
+        args.limits,
+        transport_stats,
+        Some(Arc::clone(&obs.http)),
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind port {}: {e}", args.port);
@@ -295,7 +323,8 @@ fn main() -> ExitCode {
     };
     service.set_health(HealthState::Serving);
     eprintln!(
-        "oak-serve listening on http://{} (reports at {REPORT_PATH}); ctrl-c to stop",
+        "oak-serve listening on http://{} (reports at {REPORT_PATH}, \
+metrics at {METRICS_PATH}); ctrl-c to stop",
         server.addr()
     );
     // Serve until killed.

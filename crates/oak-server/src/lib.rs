@@ -33,10 +33,12 @@
 //! ```
 
 mod fileroot;
+mod obs;
 mod service;
 mod store;
 
 pub use fileroot::{content_type_for, load_root, load_rules, load_rules_into};
+pub use obs::ServiceObs;
 pub use service::{AdmissionPolicy, HealthState, OakService, PrunePolicy, ServiceStats};
 pub use store::SiteStore;
 
@@ -53,6 +55,15 @@ pub const STATS_PATH: &str = "/oak/stats";
 /// Load-balancer endpoint reporting the node's lifecycle state
 /// ([`HealthState`]); 503 until recovery completes, 200 while serving.
 pub const HEALTH_PATH: &str = "/oak/health";
+
+/// Scrape endpoint serving every metric family in Prometheus text
+/// exposition format v0.0.4 (404 unless [`OakService::with_obs`] is
+/// attached).
+pub const METRICS_PATH: &str = "/oak/metrics";
+
+/// Operator endpoint serving the tracer's ring of recently completed
+/// request traces as JSON, oldest first (404 without observability).
+pub const TRACE_PATH: &str = "/oak/trace/recent";
 
 #[cfg(test)]
 mod tests;

@@ -11,7 +11,9 @@ use oak_core::report::PerfReport;
 use oak_core::Instant;
 use oak_http::cookie::{format_set_cookie, get_cookie, OAK_USER_COOKIE};
 use oak_http::{Handler, Method, Request, Response, StatusCode, TransportStats};
+use oak_obs::{Family, FamilyKind, Series, SeriesValue};
 
+use crate::obs::ServiceObs;
 use crate::store::SiteStore;
 use crate::REPORT_PATH;
 
@@ -183,6 +185,13 @@ pub struct OakService {
     transport: Option<Arc<TransportStats>>,
     fetch: Option<Arc<FetchStats>>,
     health: AtomicU8,
+    obs: Option<Arc<ServiceObs>>,
+    /// One aggregates pass shared by `/oak/stats` and `/oak/metrics`:
+    /// the merged [`oak_core::aggregates::SiteAggregates`] is cached
+    /// against the ingest generation (reports accepted + users pruned),
+    /// so back-to-back scrapes reuse the same snapshot instead of
+    /// re-merging every engine shard per endpoint.
+    aggregates_cache: Mutex<Option<(u64, Arc<oak_core::aggregates::SiteAggregates>)>>,
 }
 
 impl OakService {
@@ -206,6 +215,8 @@ impl OakService {
             // Serving by default: a service constructed without a boot
             // sequence (tests, experiments) is ready the moment it exists.
             health: AtomicU8::new(HealthState::Serving.as_u8()),
+            obs: None,
+            aggregates_cache: Mutex::new(None),
         }
     }
 
@@ -260,6 +271,25 @@ impl OakService {
     pub fn with_fetch_stats(mut self, stats: Arc<FetchStats>) -> OakService {
         self.fetch = Some(stats);
         self
+    }
+
+    /// Attaches the observability bundle: every request runs under a
+    /// trace, responses are counted by status, `GET /oak/metrics`
+    /// serves the registry in Prometheus text exposition format, and
+    /// `GET /oak/trace/recent` serves the trace ring as JSON. The
+    /// engine's stage metrics ([`ServiceObs::core`]) are wired into the
+    /// engine here; the HTTP and store handles must still be handed to
+    /// their owners ([`oak_http::TcpServer::start_with_obs`],
+    /// [`oak_store::OakStore::set_obs`]).
+    pub fn with_obs(mut self, obs: Arc<ServiceObs>) -> OakService {
+        self.oak.set_obs(Arc::clone(&obs.core));
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn obs(&self) -> Option<&Arc<ServiceObs>> {
+        self.obs.as_ref()
     }
 
     /// Enables the idle-user sweep: every `every_requests` requests,
@@ -392,7 +422,7 @@ impl OakService {
             doc.set("fetch", row);
         }
 
-        let agg = self.oak.aggregates();
+        let agg = self.aggregates_snapshot();
         doc.set("reports", agg.report_count());
         doc.set("users", agg.user_count());
         let mut domains = oak_json::Value::array();
@@ -420,6 +450,190 @@ impl OakService {
             domains.push(row);
         }
         doc.set("domains", domains);
+        Response::new(StatusCode::OK).with_body(doc.to_string().into_bytes(), "application/json")
+    }
+
+    /// One merged [`oak_core::aggregates::SiteAggregates`] pass shared
+    /// by `/oak/stats` and `/oak/metrics`. The merge walks every engine
+    /// shard, so the result is cached against an ingest generation —
+    /// the engine's ingest counter when observability is attached, the
+    /// service's otherwise — and back-to-back scrapes reuse it.
+    fn aggregates_snapshot(&self) -> Arc<oak_core::aggregates::SiteAggregates> {
+        let generation = match &self.obs {
+            Some(obs) => obs.core.reports.get(),
+            None => self.stats.reports_accepted.load(Ordering::Relaxed),
+        }
+        .wrapping_add(
+            self.stats
+                .users_pruned
+                .load(Ordering::Relaxed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut cache = self.aggregates_cache.lock().expect("aggregates cache");
+        if let Some((cached_generation, agg)) = cache.as_ref() {
+            if *cached_generation == generation {
+                return Arc::clone(agg);
+            }
+        }
+        let agg = Arc::new(self.oak.aggregates());
+        *cache = Some((generation, Arc::clone(&agg)));
+        agg
+    }
+
+    /// Serves every registered metric family — plus families synthesized
+    /// from the transport, fetch, service, engine, and tracer snapshots —
+    /// as Prometheus text exposition format v0.0.4 (`GET /oak/metrics`).
+    fn metrics_view(&self) -> Response {
+        let Some(obs) = &self.obs else {
+            return Response::not_found();
+        };
+        let mut families = obs.registry.families();
+        let stats = self.stats();
+        families.push(scalar_family(
+            "oak_server_served_total",
+            "Pages and static objects served, by kind.",
+            FamilyKind::Counter,
+            vec![
+                scalar_series(&[("kind", "page")], stats.pages_served as f64),
+                scalar_series(&[("kind", "object")], stats.objects_served as f64),
+            ],
+        ));
+        families.push(scalar_family(
+            "oak_server_reports_total",
+            "Client performance reports, by admission outcome.",
+            FamilyKind::Counter,
+            vec![
+                scalar_series(&[("outcome", "accepted")], stats.reports_accepted as f64),
+                scalar_series(&[("outcome", "rejected")], stats.reports_rejected as f64),
+                scalar_series(&[("outcome", "throttled")], stats.reports_throttled as f64),
+            ],
+        ));
+        families.push(scalar_family(
+            "oak_server_users_pruned_total",
+            "Users evicted by the idle-pruning sweep.",
+            FamilyKind::Counter,
+            vec![scalar_series(&[], stats.users_pruned as f64)],
+        ));
+        if let Some(transport) = &self.transport {
+            let t = transport.snapshot();
+            families.push(scalar_family(
+                "oak_http_transport_events_total",
+                "Transport-level connection and request outcomes, by event.",
+                FamilyKind::Counter,
+                vec![
+                    scalar_series(
+                        &[("event", "connections_accepted")],
+                        t.connections_accepted as f64,
+                    ),
+                    scalar_series(
+                        &[("event", "connections_rejected")],
+                        t.connections_rejected as f64,
+                    ),
+                    scalar_series(&[("event", "accepts_failed")], t.accepts_failed as f64),
+                    scalar_series(&[("event", "requests_served")], t.requests_served as f64),
+                    scalar_series(&[("event", "panics")], t.panics as f64),
+                    scalar_series(&[("event", "timeouts")], t.timeouts as f64),
+                    scalar_series(&[("event", "heads_too_large")], t.heads_too_large as f64),
+                    scalar_series(&[("event", "bodies_too_large")], t.bodies_too_large as f64),
+                    scalar_series(&[("event", "bad_requests")], t.bad_requests as f64),
+                ],
+            ));
+        }
+        if let Some(fetch) = &self.fetch {
+            let f = fetch.snapshot();
+            families.push(scalar_family(
+                "oak_fetch_outcomes_total",
+                "External script fetch attempts, by outcome.",
+                FamilyKind::Counter,
+                vec![
+                    scalar_series(&[("outcome", "attempts")], f.attempts as f64),
+                    scalar_series(&[("outcome", "successes")], f.successes as f64),
+                    scalar_series(&[("outcome", "failures")], f.failures as f64),
+                    scalar_series(&[("outcome", "timeouts")], f.timeouts as f64),
+                    scalar_series(
+                        &[("outcome", "negative_cache_hits")],
+                        f.negative_cache_hits as f64,
+                    ),
+                    scalar_series(
+                        &[("outcome", "breaker_open_skips")],
+                        f.breaker_open_skips as f64,
+                    ),
+                    scalar_series(&[("outcome", "breaker_opens")], f.breaker_opens as f64),
+                ],
+            ));
+        }
+        let agg = self.aggregates_snapshot();
+        families.push(scalar_family(
+            "oak_engine_users",
+            "Users with live per-user engine state.",
+            FamilyKind::Gauge,
+            vec![scalar_series(&[], self.oak.user_count() as f64)],
+        ));
+        families.push(scalar_family(
+            "oak_engine_rules",
+            "Rules in the engine's rule table.",
+            FamilyKind::Gauge,
+            vec![scalar_series(&[], self.oak.rules().count() as f64)],
+        ));
+        families.push(scalar_family(
+            "oak_engine_reports_aggregated",
+            "Reports folded into the aggregate site-performance record.",
+            FamilyKind::Gauge,
+            vec![scalar_series(&[], agg.report_count() as f64)],
+        ));
+        families.push(scalar_family(
+            "oak_trace_completed_total",
+            "Request traces completed.",
+            FamilyKind::Counter,
+            vec![scalar_series(&[], obs.tracer.completed() as f64)],
+        ));
+        families.push(scalar_family(
+            "oak_trace_slow_total",
+            "Request traces slower than the slow threshold.",
+            FamilyKind::Counter,
+            vec![scalar_series(&[], obs.tracer.slow() as f64)],
+        ));
+        families.push(scalar_family(
+            "oak_trace_dropped_spans_total",
+            "Spans dropped by the per-trace cap.",
+            FamilyKind::Counter,
+            vec![scalar_series(&[], obs.tracer.dropped_spans() as f64)],
+        ));
+        Response::new(StatusCode::OK).with_body(
+            oak_obs::encode(families).into_bytes(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+    }
+
+    /// Serves the tracer's ring of recently completed traces as JSON,
+    /// oldest first (`GET /oak/trace/recent`).
+    fn trace_view(&self) -> Response {
+        let Some(obs) = &self.obs else {
+            return Response::not_found();
+        };
+        let mut doc = oak_json::Value::array();
+        for trace in obs.tracer.recent() {
+            let mut row = oak_json::Value::object();
+            row.set("id", trace.id);
+            row.set("name", trace.name.as_str());
+            row.set("start_us", trace.start_ns / 1_000);
+            row.set("dur_us", trace.dur_ns / 1_000);
+            row.set("dropped", trace.dropped as u64);
+            let mut spans = oak_json::Value::array();
+            for span in &trace.spans {
+                let mut s = oak_json::Value::object();
+                s.set("name", span.name);
+                s.set("depth", span.depth as u64);
+                s.set(
+                    "start_us",
+                    span.start_ns.saturating_sub(trace.start_ns) / 1_000,
+                );
+                s.set("dur_us", span.dur_ns / 1_000);
+                spans.push(s);
+            }
+            row.set("spans", spans);
+            doc.push(row);
+        }
         Response::new(StatusCode::OK).with_body(doc.to_string().into_bytes(), "application/json")
     }
 
@@ -492,7 +706,14 @@ impl OakService {
                 .with_body(b"report rate limit exceeded".to_vec(), "text/plain");
         }
         let body = String::from_utf8_lossy(&request.body);
-        let mut report = match PerfReport::from_json(&body) {
+        let parse_start = self.obs.as_ref().map(|o| o.now());
+        let parse_span = oak_obs::span("parse_report");
+        let parsed = PerfReport::from_json(&body);
+        drop(parse_span);
+        if let (Some(obs), Some(start)) = (&self.obs, parse_start) {
+            oak_core::obs::CoreMetrics::record(&obs.core.report_parse, start, obs.now());
+        }
+        let mut report = match parsed {
             Ok(r) => r,
             Err(e) => {
                 self.stats.reports_rejected.fetch_add(1, Ordering::Relaxed);
@@ -538,14 +759,16 @@ impl OakService {
     }
 }
 
-impl Handler for OakService {
-    fn handle(&self, request: &Request) -> Response {
+impl OakService {
+    fn dispatch(&self, request: &Request) -> Response {
         self.maybe_prune();
         let path = request.path().to_owned();
         match (request.method, path.as_str()) {
             (Method::Post, REPORT_PATH) => self.accept_report(request),
             (Method::Get, crate::AUDIT_PATH) => self.audit_view(),
             (Method::Get, crate::STATS_PATH) => self.stats_view(),
+            (Method::Get, crate::METRICS_PATH) => self.metrics_view(),
+            (Method::Get, crate::TRACE_PATH) => self.trace_view(),
             (Method::Get | Method::Head, crate::HEALTH_PATH) => self.health_view(),
             (Method::Get | Method::Head, _) => {
                 if let Some(html) = self.store.page(&path) {
@@ -560,5 +783,48 @@ impl Handler for OakService {
             _ => Response::new(StatusCode(405))
                 .with_body(b"method not allowed".to_vec(), "text/plain"),
         }
+    }
+}
+
+impl Handler for OakService {
+    fn handle(&self, request: &Request) -> Response {
+        // The trace guard opens before dispatch and closes after the
+        // response is built, so every stage span a layer below pushes
+        // (parse_report, ingest, detect, match, modify_page, rewrite,
+        // wal_append, fetch) nests under this request's trace.
+        let trace = self.obs.as_ref().map(|obs| {
+            obs.tracer
+                .begin(&format!("{} {}", request.method.as_str(), request.path()))
+        });
+        let response = self.dispatch(request);
+        if let Some(obs) = &self.obs {
+            obs.count_response(response.status.0);
+        }
+        drop(trace);
+        response
+    }
+}
+
+/// A one-value series with its labels sorted, for synthesized families.
+fn scalar_series(labels: &[(&str, &str)], value: f64) -> Series {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    labels.sort();
+    Series {
+        labels,
+        value: SeriesValue::Scalar(value),
+    }
+}
+
+/// A family synthesized from an existing stats snapshot (transport,
+/// fetch, service counters) rather than registered in the registry.
+fn scalar_family(name: &str, help: &str, kind: FamilyKind, series: Vec<Series>) -> Family {
+    Family {
+        name: name.to_owned(),
+        help: help.to_owned(),
+        kind,
+        series,
     }
 }

@@ -22,6 +22,11 @@
 //! 5. **Bounded memory** — a closed user pool and a configured log
 //!    retention keep shard state and the audit log bounded under any
 //!    schedule.
+//! 6. **Observability consistency** — the end-of-run `/oak/metrics`
+//!    scrape passes the exposition-grammar validator,
+//!    `oak_wal_append_count` covers every event the store acknowledged
+//!    while the machine was up, and `oak_http_responses_total` sums
+//!    across status labels to exactly the requests handled.
 //!
 //! A failing seed is shrunk by [`minimize`] (delta debugging over the
 //! step list) and the result round-trips through JSON, so CI uploads a
@@ -45,4 +50,6 @@ pub use fs::{FaultCounters, SimFs, SimFsOptions};
 pub use minimize::{minimize, Minimized};
 pub use rng::SimRng;
 pub use scenario::{Scenario, Step};
-pub use world::{fingerprint, run_scenario, RunStats, SimFailure};
+pub use world::{
+    fingerprint, run_scenario, run_scenario_observed, ObservedRun, RunStats, SimFailure,
+};

@@ -15,6 +15,7 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use oak_core::engine::{Oak, OakConfig, SHARD_COUNT};
@@ -24,7 +25,9 @@ use oak_core::rule::Rule;
 use oak_core::Instant;
 use oak_http::cookie::OAK_USER_COOKIE;
 use oak_http::{Handler, Method, Request, StatusCode};
-use oak_server::{HealthState, OakService, SiteStore, HEALTH_PATH, REPORT_PATH};
+use oak_server::{
+    HealthState, OakService, ServiceObs, SiteStore, HEALTH_PATH, METRICS_PATH, REPORT_PATH,
+};
 use oak_store::{FsyncPolicy, OakStore, StorageBackend, StoreOptions};
 
 use crate::clock::SimClock;
@@ -35,6 +38,10 @@ use crate::scenario::{Scenario, Step, HOSTS, USERS};
 /// Per-shard in-memory audit-log retention for simulated engines; small
 /// so the bounded-memory invariant bites.
 const LOG_RETENTION: usize = 32;
+
+/// Completed traces the simulated tracer retains; small so ring
+/// eviction is exercised by longer scenarios.
+const TRACE_RING: usize = 64;
 
 /// One invariant violation, replayable from `seed` alone.
 #[derive(Clone, Debug)]
@@ -94,6 +101,10 @@ struct MirrorEntry {
 #[derive(Default)]
 struct Mirror {
     entries: Mutex<Vec<MirrorEntry>>,
+    /// Events acknowledged while the machine was up, over the whole run
+    /// (never rebased): the observability invariant's lower bound on
+    /// `oak_wal_append_count`.
+    acked: AtomicU64,
 }
 
 /// [`EventSink`] that forwards to the real store, then mirrors.
@@ -109,6 +120,9 @@ impl EventSink for TeeSink {
         // Crash state is read *after* the store returns: if the machine
         // died mid-append, the event was never acknowledged durable.
         let post_crash = self.fs.crashed();
+        if !post_crash {
+            self.mirror.acked.fetch_add(1, Ordering::Relaxed);
+        }
         self.mirror
             .entries
             .lock()
@@ -216,6 +230,7 @@ struct World<'a> {
     clock: SimClock,
     fetcher: Arc<SimFetcher>,
     mirror: Arc<Mirror>,
+    obs: Arc<ServiceObs>,
     service: Arc<OakService>,
     store: Arc<OakStore>,
     config: OakConfig,
@@ -547,6 +562,10 @@ impl World<'_> {
             fs: self.fs.clone(),
         }));
         self.store = boot.store;
+        // Re-attach the run's one observability bundle: the rebuilt
+        // store is a fresh instance, and the rebuilt service keeps
+        // recording into the same registry, so counters span lives.
+        self.store.set_obs(Arc::clone(&self.obs.store));
         let mut site = SiteStore::new();
         site.add_page("/p", sim_page());
         self.service = OakService::new(oak, site)
@@ -554,6 +573,7 @@ impl World<'_> {
             .with_clock(self.clock.reader())
             .with_fetcher(SharedFetcher(Arc::clone(&self.fetcher)))
             .with_durability(Arc::clone(&self.store))
+            .with_obs(Arc::clone(&self.obs))
             .into_shared();
 
         // Health gating: a recovering node must refuse traffic…
@@ -584,6 +604,87 @@ impl World<'_> {
         self.stats.recoveries += 1;
         Ok(())
     }
+
+    /// Invariant #6 — observability consistency: the end-of-run scrape
+    /// of `/oak/metrics` must pass the exposition-grammar validator,
+    /// `oak_wal_append_count` must cover every event the store
+    /// acknowledged while the machine was up, and
+    /// `oak_http_responses_total` must sum across its status labels to
+    /// exactly the requests the scenario pushed through the handler.
+    ///
+    /// Returns the scrape text and the rendered trace ring, so callers
+    /// can assert cross-run determinism byte for byte.
+    fn check_observability(&mut self) -> Result<(String, String), SimFailure> {
+        let started = std::time::Instant::now();
+        self.stats.invariant_checks += 3;
+        // Scrape through the real endpoint, bypassing the request
+        // counter so the body reflects every counted request and the
+        // scrape itself is not in its own denominator.
+        let response = self
+            .service
+            .handle(&Request::new(Method::Get, METRICS_PATH));
+        let text = response.body_text();
+        let result = (|| {
+            if response.status != StatusCode::OK {
+                return Err((
+                    "observability",
+                    format!("{METRICS_PATH} answered {}", response.status.0),
+                ));
+            }
+            let errors = oak_obs::validate_exposition(&text);
+            if !errors.is_empty() {
+                return Err((
+                    "observability",
+                    format!(
+                        "{METRICS_PATH} failed exposition validation: {}",
+                        errors.join("; ")
+                    ),
+                ));
+            }
+            let samples = oak_obs::parse_samples(&text);
+            let wal_appends = samples
+                .iter()
+                .find(|s| s.name == "oak_wal_append_count")
+                .map(|s| s.value)
+                .unwrap_or(-1.0);
+            let acked = self.mirror.acked.load(Ordering::Relaxed);
+            if (wal_appends as u64) < acked || wal_appends < 0.0 {
+                return Err((
+                    "observability",
+                    format!(
+                        "oak_wal_append_count {wal_appends} below the {acked} events \
+                         the store acknowledged"
+                    ),
+                ));
+            }
+            let responses: f64 = samples
+                .iter()
+                .filter(|s| s.name == "oak_http_responses_total")
+                .map(|s| s.value)
+                .sum();
+            if responses as u64 != self.stats.requests {
+                return Err((
+                    "observability",
+                    format!(
+                        "oak_http_responses_total sums to {responses} across status \
+                         labels, handler served {} requests",
+                        self.stats.requests
+                    ),
+                ));
+            }
+            Ok(())
+        })();
+        self.stats.invariant_ns += started.elapsed().as_nanos() as u64;
+        result.map_err(|(invariant, detail)| self.fail(invariant, detail))?;
+        let traces = self
+            .obs
+            .tracer
+            .recent()
+            .iter()
+            .map(|t| t.to_text())
+            .collect::<String>();
+        Ok((text, traces))
+    }
 }
 
 /// [`ScriptFetcher`] by shared reference, so the service and the world
@@ -596,8 +697,32 @@ impl oak_core::matching::ScriptFetcher for SharedFetcher {
     }
 }
 
+/// A clean run plus its observability artifacts: the end-of-run
+/// `/oak/metrics` scrape and the rendered trace ring. Both are fully
+/// determined by the scenario, so two runs of one seed must produce
+/// byte-identical artifacts.
+#[derive(Clone, Debug)]
+pub struct ObservedRun {
+    /// What the run did.
+    pub stats: RunStats,
+    /// The end-of-run `/oak/metrics` body (Prometheus text exposition).
+    pub exposition: String,
+    /// Every trace still in the ring, rendered via `Trace::to_text`,
+    /// oldest first.
+    pub traces: String,
+}
+
 /// Runs one scenario to completion, auditing invariants throughout.
 pub fn run_scenario(scenario: &Scenario, fs_options: SimFsOptions) -> Result<RunStats, SimFailure> {
+    run_scenario_observed(scenario, fs_options).map(|run| run.stats)
+}
+
+/// [`run_scenario`], also returning the end-of-run metrics scrape and
+/// trace ring for determinism assertions.
+pub fn run_scenario_observed(
+    scenario: &Scenario,
+    fs_options: SimFsOptions,
+) -> Result<ObservedRun, SimFailure> {
     let fs = SimFs::new(
         scenario.seed.wrapping_mul(0x5851_f42d_4c95_7f2d),
         fs_options,
@@ -636,12 +761,27 @@ pub fn run_scenario(scenario: &Scenario, fs_options: SimFsOptions) -> Result<Run
         mirror: Arc::clone(&mirror),
         fs: fs.clone(),
     }));
+    // One observability bundle for the whole run, on simulated time:
+    // histograms and spans read SimClock milliseconds as nanoseconds×1e6,
+    // so every recorded duration is seed-determined.
+    let obs = {
+        let clock = clock.clone();
+        ServiceObs::new(
+            Arc::new(move || clock.now().as_millis().saturating_mul(1_000_000)),
+            TRACE_RING,
+            // Slow-trace logging off: simulated clock advances would
+            // flag arbitrary traces as slow and spam stderr.
+            0,
+        )
+    };
+    boot.store.set_obs(Arc::clone(&obs.store));
     let mut site = SiteStore::new();
     site.add_page("/p", sim_page());
     let service = OakService::new(oak, site)
         .with_clock(clock.reader())
         .with_fetcher(SharedFetcher(Arc::clone(&fetcher)))
         .with_durability(Arc::clone(&boot.store))
+        .with_obs(Arc::clone(&obs))
         .into_shared();
 
     let mut world = World {
@@ -651,6 +791,7 @@ pub fn run_scenario(scenario: &Scenario, fs_options: SimFsOptions) -> Result<Run
         clock,
         fetcher,
         mirror,
+        obs,
         service,
         store: boot.store,
         config,
@@ -674,9 +815,14 @@ pub fn run_scenario(scenario: &Scenario, fs_options: SimFsOptions) -> Result<Run
     world.step = scenario.steps.len();
     world.fs.crash_now();
     world.recover()?;
+    let (exposition, traces) = world.check_observability()?;
 
     world.stats.events = world.mirror.entries.lock().expect("mirror").len() as u64;
     world.stats.fs = world.fs.counters();
     world.stats.fetch = world.fetcher.faults();
-    Ok(world.stats)
+    Ok(ObservedRun {
+        stats: world.stats,
+        exposition,
+        traces,
+    })
 }

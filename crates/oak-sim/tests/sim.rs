@@ -2,7 +2,7 @@
 //! reintroduced durability bug caught + minimized, and the snapshot
 //! compaction vs. concurrent-ingest race.
 
-use oak_sim::{minimize, run_scenario, Scenario, SimFsOptions};
+use oak_sim::{minimize, run_scenario, run_scenario_observed, Scenario, SimFsOptions};
 
 /// The fixed fs (dir fsyncs honored), as shipped.
 fn fixed() -> SimFsOptions {
@@ -39,6 +39,29 @@ fn runs_are_deterministic_in_the_seed() {
         a.invariant_ns = 0;
         b.invariant_ns = 0;
         assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed} diverged");
+    }
+}
+
+#[test]
+fn observability_is_deterministic_in_the_seed() {
+    // Metrics and traces are read off simulated time, so the end-of-run
+    // `/oak/metrics` scrape and the rendered trace ring must match byte
+    // for byte across runs of one seed — including histogram buckets,
+    // span durations, and trace ids.
+    for seed in [5, 23] {
+        let scenario = Scenario::generate(seed);
+        let a = run_scenario_observed(&scenario, fixed()).expect("clean seed");
+        let b = run_scenario_observed(&scenario, fixed()).expect("clean seed");
+        assert_eq!(a.exposition, b.exposition, "seed {seed} scrape diverged");
+        assert_eq!(a.traces, b.traces, "seed {seed} traces diverged");
+        assert!(
+            !a.traces.is_empty(),
+            "seed {seed} left no traces in the ring"
+        );
+        assert!(
+            a.exposition.contains("# TYPE oak_wal_append_count counter"),
+            "seed {seed} scrape is missing store families"
+        );
     }
 }
 

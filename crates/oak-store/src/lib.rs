@@ -48,8 +48,10 @@
 
 pub mod backend;
 pub mod crc32;
+pub mod obs;
 pub mod segment;
 pub mod store;
 
 pub use backend::{RealFs, StorageBackend, StorageFile};
+pub use obs::StoreMetrics;
 pub use store::{recover, recover_with, Boot, FsyncPolicy, OakStore, Recovery, StoreOptions};

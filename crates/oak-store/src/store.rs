@@ -94,6 +94,9 @@ pub struct OakStore {
     events_since_snapshot: AtomicU64,
     write_errors: AtomicU64,
     snapshot_lock: Mutex<()>,
+    /// WAL/snapshot instrumentation, set at most once per store instance
+    /// ([`OakStore::set_obs`]); empty costs one atomic read per append.
+    obs: std::sync::OnceLock<Arc<crate::obs::StoreMetrics>>,
 }
 
 impl OakStore {
@@ -135,7 +138,15 @@ impl OakStore {
             events_since_snapshot: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
             snapshot_lock: Mutex::new(()),
+            obs: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attaches WAL/snapshot instrumentation to this store instance.
+    /// Callable through the shared `Arc` (boot hands the store out
+    /// already shared); a second call is ignored.
+    pub fn set_obs(&self, obs: Arc<crate::obs::StoreMetrics>) {
+        let _ = self.obs.set(obs);
     }
 
     /// Recovers engine state from `dir` on the real filesystem and opens
@@ -235,6 +246,8 @@ impl OakStore {
     /// `keep_snapshots: 1` that safety margin is waived and segments
     /// compact up to the newest watermark).
     pub fn snapshot(&self, oak: &Oak) -> io::Result<PathBuf> {
+        let _span = oak_obs::span("snapshot");
+        let snapshot_start = self.obs.get().map(|o| o.now());
         let _guard = self.snapshot_lock.lock().expect("snapshot lock");
         let doc = oak.snapshot_json();
         let watermark = doc
@@ -319,6 +332,10 @@ impl OakStore {
                 let _ = self.backend.remove_file(&candidate);
             }
         }
+        if let (Some(obs), Some(start)) = (self.obs.get(), snapshot_start) {
+            obs.snapshots.inc();
+            crate::obs::StoreMetrics::record(&obs.snapshot, start, obs.now());
+        }
         Ok(path)
     }
 
@@ -348,11 +365,19 @@ impl OakStore {
         }
         let writer = guard.as_mut().expect("just opened");
         writer.append(seq, payload)?;
+        let fsync_timed = |writer: &mut SegmentWriter| -> io::Result<()> {
+            let start = self.obs.get().map(|o| o.now());
+            writer.sync()?;
+            if let (Some(obs), Some(start)) = (self.obs.get(), start) {
+                crate::obs::StoreMetrics::record(&obs.fsync, start, obs.now());
+            }
+            Ok(())
+        };
         match self.options.fsync {
-            FsyncPolicy::Always => writer.sync()?,
+            FsyncPolicy::Always => fsync_timed(writer)?,
             FsyncPolicy::EveryN(n) => {
                 if writer.appended_since_sync() >= n.max(1) {
-                    writer.sync()?;
+                    fsync_timed(writer)?;
                 }
             }
             FsyncPolicy::Never => {}
@@ -376,7 +401,19 @@ impl EventSink for OakStore {
     fn record(&self, shard: Option<usize>, event: &SequencedEvent) {
         let index = shard.unwrap_or(SHARD_COUNT).min(SHARD_COUNT);
         let payload = event.to_value().to_string();
-        if let Err(_err) = self.append_to_slot(index, event.seq, payload.as_bytes()) {
+        let _span = oak_obs::span("wal_append");
+        let start = self.obs.get().map(|o| o.now());
+        let result = self.append_to_slot(index, event.seq, payload.as_bytes());
+        if let Some(obs) = self.obs.get() {
+            obs.wal_appends.inc();
+            if result.is_err() {
+                obs.wal_append_errors.inc();
+            }
+            if let Some(start) = start {
+                crate::obs::StoreMetrics::record(&obs.append, start, obs.now());
+            }
+        }
+        if result.is_err() {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
         }
         self.events_recorded.fetch_add(1, Ordering::Relaxed);

@@ -25,6 +25,7 @@
 //! | [`json`] | `oak-json` | from-scratch JSON used by the report wire format |
 //! | [`pattern`] | `oak-pattern` | regex/glob engine for rule scopes |
 //! | [`store`] | `oak-store` | durability: write-ahead log, snapshots, crash recovery |
+//! | [`obs`] | `oak-obs` | observability: histograms, counters, span traces, Prometheus exposition |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@ pub use oak_html as html;
 pub use oak_http as http;
 pub use oak_json as json;
 pub use oak_net as net;
+pub use oak_obs as obs;
 pub use oak_pattern as pattern;
 pub use oak_server as server;
 pub use oak_store as store;

@@ -1,0 +1,229 @@
+//! Conformance suite for `GET /oak/metrics`: a seeded deterministic
+//! workload driven through the real service, its full Prometheus text
+//! exposition pinned against a golden file, every scrape run through
+//! the line-grammar validator, and a concurrent-scrape torture check.
+//!
+//! Regenerate the golden file after an intentional metrics change with
+//! `OAK_BLESS=1 cargo test --test metrics_conformance`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use oak::core::engine::{Oak, OakConfig};
+use oak::core::rule::Rule;
+use oak::core::Instant;
+use oak::http::{Handler, Method, Request};
+use oak::obs::step_clock;
+use oak::server::{OakService, ServiceObs, SiteStore, METRICS_PATH, REPORT_PATH, STATS_PATH};
+
+const PAGE: &str = r#"<html><head><script src="http://cdn-a.example/lib.js"></script></head><body>hi</body></html>"#;
+
+fn report_json(user: &str) -> String {
+    let mut report = oak::core::report::PerfReport::new(user, "/index.html");
+    report.push(oak::core::report::ObjectTiming::new(
+        "http://cdn-a.example/lib.js",
+        "10.0.0.1",
+        30_000,
+        900.0,
+    ));
+    for good in 0..4u64 {
+        report.push(oak::core::report::ObjectTiming::new(
+            format!("http://good{good}.example/obj"),
+            format!("10.1.{good}.1"),
+            30_000,
+            80.0 + good as f64 * 5.0,
+        ));
+    }
+    report.to_json()
+}
+
+fn get(service: &OakService, path: &str, user: Option<&str>) -> oak::http::Response {
+    let mut request = Request::new(Method::Get, path);
+    if let Some(user) = user {
+        request.headers.set("Cookie", format!("oak_uid={user}"));
+    }
+    service.handle(&request)
+}
+
+fn post_report(service: &OakService, user: &str) -> oak::http::Response {
+    let mut request = Request::new(Method::Post, REPORT_PATH)
+        .with_body(report_json(user).into_bytes(), "application/json");
+    request.headers.set("Cookie", format!("oak_uid={user}"));
+    service.handle(&request)
+}
+
+/// The seeded workload: every duration comes from a step clock (each
+/// reading advances exactly 50µs), so two runs are byte-identical.
+fn seeded_service() -> Arc<OakService> {
+    let obs = ServiceObs::new(step_clock(50_000), 32, 0);
+    let oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::remove(
+        r#"<script src="http://cdn-a.example/lib.js">"#,
+    ))
+    .expect("valid rule");
+    let mut site = SiteStore::new();
+    site.add_page("/index.html", PAGE);
+    let service = OakService::new(oak, site)
+        .with_clock(|| Instant(1_000))
+        .with_obs(obs)
+        .into_shared();
+
+    // Deterministic traffic mix: three reporting users, page loads,
+    // a malformed report (400), a miss (404), and a health probe.
+    for user in ["u-1", "u-2", "u-3"] {
+        assert_eq!(post_report(&service, user).status.0, 204);
+        assert_eq!(get(&service, "/index.html", Some(user)).status.0, 200);
+    }
+    assert_eq!(get(&service, "/index.html", Some("u-1")).status.0, 200);
+    let bad = Request::new(Method::Post, REPORT_PATH)
+        .with_body(b"{not json".to_vec(), "application/json");
+    assert_eq!(service.handle(&bad).status.0, 400);
+    assert_eq!(get(&service, "/missing.html", None).status.0, 404);
+    assert_eq!(get(&service, "/oak/health", None).status.0, 200);
+    service
+}
+
+fn scrape(service: &OakService) -> String {
+    let response = get(service, METRICS_PATH, None);
+    assert_eq!(response.status.0, 200);
+    assert_eq!(
+        response.header("content-type"),
+        Some("text/plain; version=0.0.4; charset=utf-8")
+    );
+    response.body_text()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_conformance.prom")
+}
+
+#[test]
+fn seeded_workload_exposition_matches_the_golden_file() {
+    let service = seeded_service();
+    let text = scrape(&service);
+
+    if std::env::var_os("OAK_BLESS").is_some() {
+        std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+        std::fs::write(golden_path(), &text).unwrap();
+    }
+    let expected = std::fs::read_to_string(golden_path()).expect(
+        "golden file missing — regenerate with OAK_BLESS=1 cargo test --test metrics_conformance",
+    );
+    assert_eq!(
+        text, expected,
+        "exposition drifted from the golden file; if intentional, \
+         regenerate with OAK_BLESS=1"
+    );
+}
+
+#[test]
+fn exposition_passes_the_grammar_validator_and_spans_the_stack() {
+    let service = seeded_service();
+    let text = scrape(&service);
+
+    let errors = oak::obs::validate_exposition(&text);
+    assert!(errors.is_empty(), "grammar violations: {errors:?}");
+
+    let families: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    assert!(
+        families.len() >= 12,
+        "only {} metric families exposed: {families:?}",
+        families.len()
+    );
+    for subsystem in ["oak_http_", "oak_core_", "oak_wal_", "oak_fetch_"] {
+        assert!(
+            families.iter().any(|f| f.starts_with(subsystem)),
+            "no {subsystem}* family in {families:?}"
+        );
+    }
+
+    // The workload is visible in the samples, not just the families.
+    let samples = oak::obs::parse_samples(&text);
+    let find = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no {name} sample"))
+            .value
+    };
+    assert_eq!(find("oak_core_reports_ingested_total"), 3.0);
+    assert_eq!(find("oak_core_ingest_duration_us_count"), 3.0);
+    assert_eq!(find("oak_core_report_parse_duration_us_count"), 4.0);
+    assert_eq!(find("oak_html_rewrite_duration_us_count"), 4.0);
+    let responses: f64 = samples
+        .iter()
+        .filter(|s| s.name == "oak_http_responses_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(responses, 10.0, "10 requests preceded the scrape");
+}
+
+#[test]
+fn two_scrapes_of_identical_state_are_byte_identical() {
+    let service = seeded_service();
+    // Scraping is itself a counted, traced request, so the response
+    // counter and trace counters legitimately move between scrapes;
+    // mask those families and require everything else — bucket lines,
+    // sums, label order — identical.
+    let strip = |text: String| {
+        text.lines()
+            .filter(|l| !l.contains("oak_http_responses_total") && !l.contains("oak_trace_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = strip(scrape(&service));
+    let b = strip(scrape(&service));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn scrapes_under_concurrent_ingest_never_panic_or_tear() {
+    let service = seeded_service();
+    let writer_service = Arc::clone(&service);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer_stop = Arc::clone(&stop);
+    let writer = std::thread::spawn(move || {
+        let mut sent = 0u64;
+        while !writer_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            let user = format!("u-{}", sent % 7);
+            post_report(&writer_service, &user);
+            get(&writer_service, "/index.html", Some(&user));
+            sent += 1;
+        }
+        sent
+    });
+
+    // Both scrape endpoints share the aggregates snapshot pass; hammer
+    // them while ingest runs and require valid, monotone output.
+    let mut last_reports = 0.0f64;
+    for _ in 0..200 {
+        let text = scrape(&service);
+        let errors = oak::obs::validate_exposition(&text);
+        assert!(errors.is_empty(), "scrape under ingest invalid: {errors:?}");
+        let samples = oak::obs::parse_samples(&text);
+        let reports = samples
+            .iter()
+            .find(|s| s.name == "oak_core_reports_ingested_total")
+            .expect("ingest counter present")
+            .value;
+        assert!(
+            reports >= last_reports,
+            "ingest counter went backwards: {reports} < {last_reports}"
+        );
+        last_reports = reports;
+        for sample in samples.iter().filter(|s| s.name.ends_with("_count")) {
+            assert!(sample.value >= 0.0 && sample.value.fract() == 0.0);
+        }
+        let stats = get(&service, STATS_PATH, None);
+        assert_eq!(stats.status.0, 200);
+        oak::json::parse(&stats.body_text()).expect("stats JSON stays well-formed under ingest");
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let sent = writer.join().expect("writer thread must not panic");
+    assert!(sent > 0, "writer made progress");
+}

@@ -1,0 +1,138 @@
+//! End-to-end span-trace test: one report POST and one page GET driven
+//! through `OakService::handle` on a deterministic step clock, with the
+//! exact span tree — names, nesting, and durations — asserted against
+//! what the stack is wired to record.
+
+use std::sync::Arc;
+
+use oak::core::engine::{Oak, OakConfig};
+use oak::core::rule::Rule;
+use oak::core::Instant;
+use oak::http::{Handler, Method, Request};
+use oak::obs::step_clock;
+use oak::server::{OakService, ServiceObs, SiteStore, REPORT_PATH, TRACE_PATH};
+
+const PAGE: &str = r#"<html><head><script src="http://cdn-a.example/lib.js"></script></head><body>hi</body></html>"#;
+
+fn violating_report(user: &str) -> String {
+    let mut report = oak::core::report::PerfReport::new(user, "/index.html");
+    report.push(oak::core::report::ObjectTiming::new(
+        "http://cdn-a.example/lib.js",
+        "10.0.0.1",
+        30_000,
+        900.0,
+    ));
+    for good in 0..4u64 {
+        report.push(oak::core::report::ObjectTiming::new(
+            format!("http://good{good}.example/obj"),
+            format!("10.1.{good}.1"),
+            30_000,
+            80.0 + good as f64 * 5.0,
+        ));
+    }
+    report.to_json()
+}
+
+/// Flattens a trace into `(name, depth, dur_us)` rows.
+fn tree(trace: &oak::obs::Trace) -> Vec<(&'static str, u16, u64)> {
+    trace
+        .spans
+        .iter()
+        .map(|s| (s.name, s.depth, s.dur_ns / 1_000))
+        .collect()
+}
+
+#[test]
+fn report_post_and_page_get_produce_the_exact_span_tree() {
+    // Every clock reading advances 1ms, so span durations count the
+    // clock reads between a span's open and close — pinned below.
+    let obs = ServiceObs::new(step_clock(1_000_000), 8, 0);
+    let oak = Oak::new(OakConfig::default());
+    oak.add_rule(Rule::remove(
+        r#"<script src="http://cdn-a.example/lib.js">"#,
+    ))
+    .expect("valid rule");
+    let mut site = SiteStore::new();
+    site.add_page("/index.html", PAGE);
+    let service = OakService::new(oak, site)
+        .with_clock(|| Instant(1_000))
+        .with_obs(Arc::clone(&obs))
+        .into_shared();
+
+    let mut post = Request::new(Method::Post, REPORT_PATH)
+        .with_body(violating_report("u-1").into_bytes(), "application/json");
+    post.headers.set("Cookie", "oak_uid=u-1");
+    assert_eq!(service.handle(&post).status.0, 204);
+
+    let mut get = Request::new(Method::Get, "/index.html");
+    get.headers.set("Cookie", "oak_uid=u-1");
+    let page = service.handle(&get);
+    assert_eq!(page.status.0, 200);
+    assert!(
+        !page.body_text().contains("cdn-a.example"),
+        "the activated rule removes the violator tag"
+    );
+
+    let traces = obs.tracer.recent();
+    assert_eq!(traces.len(), 2, "two requests, two traces");
+
+    // The report's trace: body parse, then ingest with detection and
+    // rule matching nested inside it.
+    let post_trace = &traces[0];
+    assert_eq!(post_trace.id, 1);
+    assert_eq!(post_trace.name, "POST /oak/report");
+    assert_eq!(post_trace.dropped, 0);
+    assert_eq!(
+        tree(post_trace),
+        vec![
+            ("parse_report", 0, 1_000),
+            ("ingest", 0, 8_000),
+            ("detect", 1, 1_000),
+            ("match", 1, 2_000),
+        ]
+    );
+    assert_eq!(
+        post_trace.to_text(),
+        "trace 1 POST /oak/report dur=14000us spans=4\n\
+         \x20 parse_report start=+2000us dur=1000us\n\
+         \x20 ingest start=+5000us dur=8000us\n\
+         \x20   detect start=+7000us dur=1000us\n\
+         \x20   match start=+10000us dur=2000us\n"
+    );
+
+    // The page's trace: the engine's modify_page with the HTML
+    // rewriter's span nested inside it.
+    let get_trace = &traces[1];
+    assert_eq!(get_trace.id, 2);
+    assert_eq!(get_trace.name, "GET /index.html");
+    assert_eq!(get_trace.dropped, 0);
+    assert_eq!(
+        tree(get_trace),
+        vec![("modify_page", 0, 5_000), ("rewrite", 1, 1_000)]
+    );
+    assert_eq!(
+        get_trace.to_text(),
+        "trace 2 GET /index.html dur=7000us spans=2\n\
+         \x20 modify_page start=+1000us dur=5000us\n\
+         \x20   rewrite start=+3000us dur=1000us\n"
+    );
+
+    // Traces are served over the wire too; the scrape's own trace only
+    // completes after its response is built, so it sees exactly two.
+    let recent = service.handle(&Request::new(Method::Get, TRACE_PATH));
+    assert_eq!(recent.status.0, 200);
+    let doc = oak::json::parse(&recent.body_text()).expect("trace JSON");
+    let rows = doc.as_array().expect("array of traces");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(
+        rows[0].get("name").and_then(|v| v.as_str()),
+        Some("POST /oak/report")
+    );
+    assert_eq!(
+        rows[1]
+            .get("spans")
+            .and_then(|v| v.as_array())
+            .map(|s| s.len()),
+        Some(2)
+    );
+}
