@@ -1,0 +1,69 @@
+//! A counting global allocator for allocs-per-op benchmarks.
+//!
+//! Benchmark binaries opt in by registering the wrapper:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: oak_bench::alloc::CountingAlloc = oak_bench::alloc::CountingAlloc;
+//! ```
+//!
+//! then bracket a measured region with [`snapshot`] and subtract. The
+//! counters are process-global relaxed atomics — cheap enough (one
+//! `fetch_add` per allocation) that they don't distort the throughput
+//! numbers they annotate, but *not* per-thread: run the measured region
+//! single-threaded when attributing allocations to an operation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] plus two relaxed counters: allocation calls and bytes
+/// requested. `realloc` counts as one allocation of the new size;
+/// `dealloc` is uncounted (the benchmarks report allocation pressure,
+/// not live-heap size).
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// The running totals `(allocation_calls, bytes_requested)` since process
+/// start. Diff two snapshots to price a region.
+pub fn snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// `end - start` per-op costs for `ops` operations between two
+/// [`snapshot`]s, as `(allocs_per_op, bytes_per_op)`.
+pub fn per_op(start: (u64, u64), end: (u64, u64), ops: u64) -> (f64, f64) {
+    let ops = ops.max(1) as f64;
+    (
+        end.0.saturating_sub(start.0) as f64 / ops,
+        end.1.saturating_sub(start.1) as f64 / ops,
+    )
+}

@@ -17,6 +17,7 @@
 //! the full index and EXPERIMENTS.md for recorded paper-vs-measured
 //! results.
 
+pub mod alloc;
 pub mod benchworld;
 pub mod contention;
 pub mod durability;

@@ -1,0 +1,42 @@
+//! Report emission: choosing and producing a wire encoding.
+//!
+//! The browser assembles a [`PerfReport`]; this module turns it into the
+//! bytes + `Content-Type` pair a client POSTs to `/oak/report`. Clients
+//! default to [`ReportEncoding::Binary`] — the length-prefixed format is
+//! both smaller on the wire and cheaper for the server to admit — while
+//! [`ReportEncoding::Json`] remains available for debugging and for
+//! clients without the binary encoder.
+
+use oak_core::report::PerfReport;
+use oak_core::wire::OAK_REPORT_CONTENT_TYPE;
+
+/// A wire encoding for outgoing performance reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReportEncoding {
+    /// `application/json` — the original human-readable format.
+    Json,
+    /// `application/x-oak-report` — the length-prefixed binary format
+    /// (DESIGN.md §12). The default.
+    #[default]
+    Binary,
+}
+
+impl ReportEncoding {
+    /// The `Content-Type` header value to send with [`encode`]d bytes.
+    ///
+    /// [`encode`]: ReportEncoding::encode
+    pub fn content_type(&self) -> &'static str {
+        match self {
+            ReportEncoding::Json => "application/json",
+            ReportEncoding::Binary => OAK_REPORT_CONTENT_TYPE,
+        }
+    }
+
+    /// Serializes `report` in this encoding.
+    pub fn encode(&self, report: &PerfReport) -> Vec<u8> {
+        match self {
+            ReportEncoding::Json => report.to_json().into_bytes(),
+            ReportEncoding::Binary => report.to_binary(),
+        }
+    }
+}

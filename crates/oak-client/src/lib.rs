@@ -26,11 +26,13 @@
 //! evaluation's replicated-site experiments use (§5.3).
 
 mod browser;
+mod encode;
 pub mod rules;
 mod session;
 mod universe;
 
 pub use browser::{Browser, BrowserConfig, ObjectFetch, PageLoad, ReportingMode};
+pub use encode::ReportEncoding;
 pub use session::SimSession;
 pub use universe::{original_url, replica_url, Universe};
 

@@ -7,12 +7,14 @@
 //! aggregates over every ingested report, independent of any rule — the
 //! raw material for dashboards and for the §6 auditing workflow.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use oak_json::Value;
 
 use crate::analysis::PageAnalysis;
 use crate::events::{f64_from_value, f64_to_value};
+use crate::intern::Interner;
 use crate::report::PerfReport;
 
 /// Streaming mean/min/max without storing samples.
@@ -102,8 +104,9 @@ impl DomainAggregate {
 /// sequence the live engine folded.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServerFold {
-    /// Domain names resolving to the server (analysis order).
-    pub domains: Vec<String>,
+    /// Domain names resolving to the server (analysis order), as shared
+    /// interned handles — folding a report clones refcounts, not bytes.
+    pub domains: Vec<Arc<str>>,
     /// Objects fetched from it in this report.
     pub objects: u64,
     /// Bytes fetched from it in this report.
@@ -117,11 +120,21 @@ pub struct ServerFold {
 }
 
 /// Distills a report's per-server analysis into replayable folds.
-pub fn distill(analysis: &PageAnalysis, violator_ips: &[String]) -> Vec<ServerFold> {
+/// Domain names go through `interner`, so steady-state traffic naming
+/// known domains allocates nothing here.
+pub fn distill(
+    analysis: &PageAnalysis,
+    violator_ips: &[String],
+    interner: &Interner,
+) -> Vec<ServerFold> {
     analysis
         .iter()
         .map(|server| ServerFold {
-            domains: server.domains.iter().cloned().collect(),
+            domains: server
+                .domains
+                .iter()
+                .map(|d| interner.intern_lower(d))
+                .collect(),
             objects: server.object_count as u64,
             bytes: server.total_bytes,
             small_times_ms: server.small_times_ms.clone(),
@@ -134,12 +147,17 @@ pub fn distill(analysis: &PageAnalysis, violator_ips: &[String]) -> Vec<ServerFo
 /// Whole-site aggregates, updated per report.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SiteAggregates {
-    domains: BTreeMap<String, DomainAggregate>,
+    domains: BTreeMap<Arc<str>, DomainAggregate>,
     users: BTreeMap<String, u64>,
     reports: u64,
-    /// Per-domain user sampling stops growing past this many distinct
-    /// users per domain (bounded memory under adversarial user churn).
-    user_samples: BTreeMap<(String, String), ()>,
+    /// Distinct users sampled per domain, capped in total by
+    /// [`SiteAggregates::USER_SAMPLE_CAP`] (bounded memory under
+    /// adversarial user churn). Nested rather than keyed by
+    /// `(domain, user)` pairs so the membership probe on the hot fold
+    /// path needs no key allocation.
+    user_samples: BTreeMap<Arc<str>, BTreeSet<String>>,
+    /// Total `(domain, user)` pairs across `user_samples`.
+    sample_count: usize,
 }
 
 impl SiteAggregates {
@@ -156,7 +174,8 @@ impl SiteAggregates {
     /// Convenience wrapper over [`distill`] + [`SiteAggregates::fold_distilled`].
     pub fn fold(&mut self, report: &PerfReport, violator_ips: &[String]) {
         let analysis = PageAnalysis::from_report(report);
-        self.fold_distilled(&report.user, &distill(&analysis, violator_ips));
+        let interner = Interner::new();
+        self.fold_distilled(&report.user, &distill(&analysis, violator_ips, &interner));
     }
 
     /// Folds pre-distilled per-server increments. This is the canonical
@@ -165,13 +184,22 @@ impl SiteAggregates {
     /// order — and therefore every recovered sum — is bit-identical.
     pub fn fold_distilled(&mut self, user: &str, folds: &[ServerFold]) {
         self.reports += 1;
-        *self.users.entry(user.to_owned()).or_insert(0) += 1;
+        // A returning user (the steady state) costs a lookup, not a key
+        // allocation.
+        match self.users.get_mut(user) {
+            Some(count) => *count += 1,
+            None => {
+                self.users.insert(user.to_owned(), 1);
+            }
+        }
 
         for server in folds {
             for domain in &server.domains {
-                let agg = self.domains.entry(domain.clone()).or_default();
+                let agg = self.domains.entry(Arc::clone(domain)).or_default();
                 agg.objects += server.objects;
                 agg.bytes += server.bytes;
+                // Per-sample push order is load-bearing: WAL replay must
+                // reproduce bit-identical float sums.
                 for &t in &server.small_times_ms {
                     agg.small_time_ms.push(t);
                 }
@@ -181,13 +209,13 @@ impl SiteAggregates {
                 if server.violated {
                     agg.violations += 1;
                 }
-                if self.user_samples.len() < Self::USER_SAMPLE_CAP
-                    && self
-                        .user_samples
-                        .insert((domain.clone(), user.to_owned()), ())
-                        .is_none()
-                {
-                    agg.users_seen += 1;
+                if self.sample_count < Self::USER_SAMPLE_CAP {
+                    let sampled = self.user_samples.entry(Arc::clone(domain)).or_default();
+                    if !sampled.contains(user) {
+                        sampled.insert(user.to_owned());
+                        self.sample_count += 1;
+                        agg.users_seen += 1;
+                    }
                 }
             }
         }
@@ -205,10 +233,18 @@ impl SiteAggregates {
             *self.users.entry(user.clone()).or_insert(0) += count;
         }
         for (domain, agg) in &other.domains {
-            self.domains.entry(domain.clone()).or_default().merge(agg);
+            self.domains
+                .entry(Arc::clone(domain))
+                .or_default()
+                .merge(agg);
         }
-        for key in other.user_samples.keys() {
-            self.user_samples.insert(key.clone(), ());
+        for (domain, users) in &other.user_samples {
+            let sampled = self.user_samples.entry(Arc::clone(domain)).or_default();
+            for user in users {
+                if sampled.insert(user.clone()) {
+                    self.sample_count += 1;
+                }
+            }
         }
     }
 
@@ -229,7 +265,7 @@ impl SiteAggregates {
 
     /// Iterates over `(domain, aggregate)` in domain order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &DomainAggregate)> {
-        self.domains.iter().map(|(d, a)| (d.as_str(), a))
+        self.domains.iter().map(|(d, a)| (&**d, a))
     }
 
     /// Domains ordered by violation count, worst first — the §6 "which
@@ -258,7 +294,7 @@ impl SiteAggregates {
         let mut domains = Value::array();
         for (domain, agg) in &self.domains {
             let mut row = Value::object();
-            row.set("domain", domain.as_str());
+            row.set("domain", &**domain);
             row.set("objects", agg.objects);
             row.set("bytes", agg.bytes);
             row.set("violations", agg.violations);
@@ -268,12 +304,17 @@ impl SiteAggregates {
             domains.push(row);
         }
         doc.set("domains", domains);
+        // Flat `[domain, user]` pairs, exactly the order the old flat
+        // map produced (domain then user, both sorted) — the snapshot
+        // byte format is unchanged by the nested representation.
         let mut samples = Value::array();
-        for (domain, user) in self.user_samples.keys() {
-            let mut pair = Value::array();
-            pair.push(domain.as_str());
-            pair.push(user.as_str());
-            samples.push(pair);
+        for (domain, users) in &self.user_samples {
+            for user in users {
+                let mut pair = Value::array();
+                pair.push(&**domain);
+                pair.push(user.as_str());
+                samples.push(pair);
+            }
         }
         doc.set("samples", samples);
         doc
@@ -312,7 +353,7 @@ impl SiteAggregates {
                 .ok_or("bad domain row")?;
             let field = |key: &str| row.get(key).and_then(Value::as_u64).ok_or("bad domain row");
             out.domains.insert(
-                domain.to_owned(),
+                Arc::from(domain),
                 DomainAggregate {
                     objects: field("objects")?,
                     bytes: field("bytes")?,
@@ -334,8 +375,10 @@ impl SiteAggregates {
         {
             let domain = pair.at(0).and_then(Value::as_str).ok_or("bad sample")?;
             let user = pair.at(1).and_then(Value::as_str).ok_or("bad sample")?;
-            out.user_samples
-                .insert((domain.to_owned(), user.to_owned()), ());
+            let sampled = out.user_samples.entry(Arc::from(domain)).or_default();
+            if sampled.insert(user.to_owned()) {
+                out.sample_count += 1;
+            }
         }
         Ok(out)
     }

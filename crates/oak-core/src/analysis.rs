@@ -77,7 +77,14 @@ impl PageAnalysis {
                     object_count: 0,
                 });
             if let Some(host) = entry.host() {
-                stats.domains.insert(host);
+                // Domains are tracked lowercase (URL hosts are
+                // case-insensitive); fold here, allocating only when the
+                // client actually sent uppercase or a new name.
+                if host.bytes().any(|b| b.is_ascii_uppercase()) {
+                    stats.domains.insert(host.to_ascii_lowercase());
+                } else if !stats.domains.contains(host) {
+                    stats.domains.insert(host.to_owned());
+                }
             }
             if entry.bytes < size_split {
                 stats.small_times_ms.push(entry.time_ms);

@@ -139,22 +139,61 @@ impl ModifiedPage {
     /// The `X-Oak-Alternate` header value, or `None` when no Type 2 rule
     /// applied.
     pub fn alternate_header(&self) -> Option<String> {
-        if self.cache_hints.is_empty() {
-            return None;
-        }
-        Some(
-            self.cache_hints
-                .iter()
-                .map(|(old, new)| format!("{old}={new}"))
-                .collect::<Vec<_>>()
-                .join(","),
-        )
+        alternate_header(&self.cache_hints)
     }
 
     /// Header name/value pair ready to attach to a response.
     pub fn alternate_header_entry(&self) -> Option<(&'static str, String)> {
         self.alternate_header().map(|v| (OAK_ALTERNATE_HEADER, v))
     }
+}
+
+/// A page after per-user modification, borrowing the input when no rule
+/// edited it — the zero-copy twin of [`ModifiedPage`] used on the serve
+/// hot path, where most users run rule-free (§5's steady state).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModifiedPageRef<'h> {
+    /// The page: `Cow::Borrowed` when untouched, owned when rewritten.
+    pub html: std::borrow::Cow<'h, str>,
+    /// Rules that made at least one edit.
+    pub applied: Vec<RuleId>,
+    /// `(old_host, new_host)` pairs for Type 2 replacements.
+    pub cache_hints: Vec<(String, String)>,
+}
+
+impl ModifiedPageRef<'_> {
+    /// The `X-Oak-Alternate` header value, or `None` when no Type 2 rule
+    /// applied.
+    pub fn alternate_header(&self) -> Option<String> {
+        alternate_header(&self.cache_hints)
+    }
+
+    /// Header name/value pair ready to attach to a response.
+    pub fn alternate_header_entry(&self) -> Option<(&'static str, String)> {
+        self.alternate_header().map(|v| (OAK_ALTERNATE_HEADER, v))
+    }
+
+    /// Materializes into the owned form (copying only if still borrowed).
+    pub fn into_owned(self) -> ModifiedPage {
+        ModifiedPage {
+            html: self.html.into_owned(),
+            applied: self.applied,
+            cache_hints: self.cache_hints,
+        }
+    }
+}
+
+fn alternate_header(cache_hints: &[(String, String)]) -> Option<String> {
+    if cache_hints.is_empty() {
+        return None;
+    }
+    Some(
+        cache_hints
+            .iter()
+            .map(|(old, new)| format!("{old}={new}"))
+            .collect::<Vec<_>>()
+            .join(","),
+    )
 }
 
 /// What happened to a rule for a user, for the activity log (§5 logs
@@ -262,11 +301,13 @@ impl DomainIndex {
     }
 
     /// The rules that could match any of the (already lowercased)
-    /// violator domain lists at `max_level`.
-    fn candidates(&self, lowered: &[Vec<String>], max_level: MatchLevel) -> Candidates {
+    /// violator domain lists at `max_level`. Generic over the string
+    /// handle so interned `Arc<str>` lists need no conversion.
+    fn candidates<S: AsRef<str>>(&self, lowered: &[Vec<S>], max_level: MatchLevel) -> Candidates {
         let mut set = BTreeSet::new();
         for domains in lowered {
             for domain in domains {
+                let domain = domain.as_ref();
                 // The maximal-run argument only covers domains made of
                 // host characters; anything else (unexpected in DNS
                 // names, but reports are client-supplied) falls back to
@@ -322,6 +363,10 @@ pub struct Oak {
     sink: Option<Arc<dyn EventSink>>,
     /// Stage-latency instrumentation; `None` costs nothing on hot paths.
     obs: Option<Arc<crate::obs::CoreMetrics>>,
+    /// Shared lowercase domain/host handles: the per-report violator
+    /// domains and every aggregate fold reuse one `Arc<str>` per distinct
+    /// name instead of allocating fresh lowercased strings per report.
+    interner: crate::intern::Interner,
 }
 
 impl fmt::Debug for Oak {
@@ -356,6 +401,7 @@ impl Oak {
             event_seq: AtomicU64::new(0),
             sink: None,
             obs: None,
+            interner: crate::intern::Interner::new(),
         }
     }
 
@@ -598,11 +644,18 @@ impl Oak {
         let analysis = PageAnalysis::from_report(report);
         let violations = detect_violators(&analysis, &self.config.detector);
         let violator_ips: Vec<String> = violations.iter().map(|v| v.ip.clone()).collect();
-        // Violator domains are lowercased once per report; every surface
-        // comparison below reuses them.
-        let lowered: Vec<Vec<String>> = violations
+        // Violator domains are lowercased once per report via the
+        // interner; for already-seen domains (the steady state) this is
+        // allocation-free, and every surface comparison below reuses the
+        // shared handles.
+        let lowered: Vec<Vec<Arc<str>>> = violations
             .iter()
-            .map(|v| v.domains.iter().map(|d| d.to_ascii_lowercase()).collect())
+            .map(|v| {
+                v.domains
+                    .iter()
+                    .map(|d| self.interner.intern_lower(d))
+                    .collect()
+            })
             .collect();
         drop(detect_span);
         let detect_end = self.obs.as_ref().map(|o| o.now());
@@ -625,7 +678,7 @@ impl Oak {
         // Distilled once: the same per-server increments feed the live
         // accumulator and (when a sink is attached) the durable event, so
         // WAL replay folds bit-identical floats.
-        let folds = crate::aggregates::distill(&analysis, &violator_ips);
+        let folds = crate::aggregates::distill(&analysis, &violator_ips, &self.interner);
         shard.aggregates.fold_distilled(&report.user, &folds);
         let Shard { users, log, .. } = shard;
         // The replayable effect of this ingest, assembled as decisions are
@@ -649,8 +702,12 @@ impl Oak {
                 ));
             }
         }
-        // One user-state resolution per report, not one per rule.
-        let user = users.entry(report.user.clone()).or_default();
+        // One user-state resolution per report, not one per rule — and
+        // no key allocation for a returning user.
+        if !users.contains_key(&report.user) {
+            users.insert(report.user.clone(), UserState::default());
+        }
+        let user = users.get_mut(&report.user).expect("just inserted");
         user.last_seen = now;
 
         for rule_id in candidate_ids {
@@ -805,9 +862,22 @@ impl Oak {
     /// failing the page). Sub-rules run after their parent applied at
     /// least one edit.
     pub fn modify_page(&self, now: Instant, user: &str, path: &str, html: &str) -> ModifiedPage {
+        self.modify_page_cow(now, user, path, html).into_owned()
+    }
+
+    /// As [`Oak::modify_page`], but borrowing: when no active rule edits
+    /// the page (the common case) the returned HTML is a `Cow::Borrowed`
+    /// of the input and nothing is copied.
+    pub fn modify_page_cow<'h>(
+        &self,
+        now: Instant,
+        user: &str,
+        path: &str,
+        html: &'h str,
+    ) -> ModifiedPageRef<'h> {
         let _span = oak_obs::span("modify_page");
-        let unmodified = |html: &str| ModifiedPage {
-            html: html.to_owned(),
+        let unmodified = |html: &'h str| ModifiedPageRef {
+            html: std::borrow::Cow::Borrowed(html),
             applied: Vec::new(),
             cache_hints: Vec::new(),
         };
@@ -876,12 +946,13 @@ impl Oak {
             }
         }
 
-        let mut html = rewriter.apply().expect("validated edits");
-        // Sub-rules are plain find/replace over the already-rewritten page.
+        let mut html = rewriter.apply_cow();
+        // Sub-rules are plain find/replace over the already-rewritten
+        // page; a sub-rule that matches nothing costs no copy.
         for rule in sub_rule_batches {
             for sub in &rule.sub_rules {
-                if !sub.find.is_empty() {
-                    html = html.replace(&sub.find, &sub.replace);
+                if !sub.find.is_empty() && html.contains(&sub.find) {
+                    html = std::borrow::Cow::Owned(html.replace(&sub.find, &sub.replace));
                 }
             }
         }
@@ -889,7 +960,7 @@ impl Oak {
             crate::obs::CoreMetrics::record(&obs.rewrite, start, obs.now());
         }
 
-        ModifiedPage {
+        ModifiedPageRef {
             html,
             applied,
             cache_hints,

@@ -245,7 +245,7 @@ impl ServerFold {
         let mut doc = Value::object();
         let mut domains = Value::array();
         for d in &self.domains {
-            domains.push(d.as_str());
+            domains.push(&**d);
         }
         doc.set("domains", domains);
         doc.set("objects", self.objects);
@@ -283,7 +283,7 @@ impl ServerFold {
         };
         for d in array_field(v, "domains")? {
             fold.domains
-                .push(d.as_str().ok_or("non-string domain")?.to_owned());
+                .push(std::sync::Arc::from(d.as_str().ok_or("non-string domain")?));
         }
         for t in array_field(v, "small")? {
             fold.small_times_ms.push(f64_from_value(t)?);

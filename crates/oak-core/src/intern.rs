@@ -1,0 +1,106 @@
+//! FNV-bucketed string interning for domain/host names.
+//!
+//! Ingest touches the same handful of domain strings millions of times:
+//! every violating report names the same CDN hosts, every fold carries
+//! the same per-server domain sets, and the rule table indexes the same
+//! rule domains. Interning collapses those to shared `Arc<str>` handles —
+//! one allocation the first time a (case-folded) name is seen, a hash +
+//! refcount bump every time after.
+//!
+//! Two hostile-input properties are load-bearing:
+//!
+//! - [`Interner::intern_lower`] hashes and compares *as if lowercased*
+//!   without allocating, so the per-report cost for an already-known
+//!   domain is zero allocations regardless of the case the client sent.
+//! - The table is capacity-capped: past [`Interner::CAPACITY`] distinct
+//!   strings, new names are still returned as fresh `Arc`s but are not
+//!   retained, so a client spraying unique domains cannot grow the
+//!   coordinator's memory without bound.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Lock stripes; must be a power of two. Matches the engine's shard
+/// count so contention behaves the same under the bench workloads.
+const STRIPES: usize = 16;
+
+/// A concurrent, capacity-capped intern table keyed by FNV-1a of the
+/// lowercased bytes.
+pub struct Interner {
+    stripes: Vec<Mutex<HashMap<u64, Vec<Arc<str>>>>>,
+    interned: AtomicUsize,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+impl Interner {
+    /// Most distinct strings retained. A real deployment sees thousands
+    /// of domains; 65,536 leaves headroom while bounding hostile growth
+    /// (beyond it, interning degrades to plain allocation, never errors).
+    pub const CAPACITY: usize = 65_536;
+
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner {
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            interned: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns the shared lowercase form of `s`, allocating only the
+    /// first time this name (compared ASCII-case-insensitively) is seen.
+    pub fn intern_lower(&self, s: &str) -> Arc<str> {
+        let hash = fnv1a_lower(s);
+        let stripe = &self.stripes[(hash as usize) & (STRIPES - 1)];
+        let mut table = stripe.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(bucket) = table.get(&hash) {
+            if let Some(hit) = bucket.iter().find(|c| eq_lower(c, s)) {
+                return Arc::clone(hit);
+            }
+        }
+        let fresh: Arc<str> = if s.bytes().any(|b| b.is_ascii_uppercase()) {
+            Arc::from(s.to_ascii_lowercase())
+        } else {
+            Arc::from(s)
+        };
+        if self.interned.load(Ordering::Relaxed) < Interner::CAPACITY {
+            self.interned.fetch_add(1, Ordering::Relaxed);
+            table.entry(hash).or_default().push(Arc::clone(&fresh));
+        }
+        fresh
+    }
+
+    /// Distinct strings currently retained (diagnostics and tests).
+    pub fn len(&self) -> usize {
+        self.interned.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FNV-1a over the ASCII-lowercased bytes of `s`, no allocation.
+fn fnv1a_lower(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= u64::from(b.to_ascii_lowercase());
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Is `candidate` (already lowercase) the ASCII-case-folded form of `s`?
+fn eq_lower(candidate: &str, s: &str) -> bool {
+    candidate.len() == s.len()
+        && candidate
+            .bytes()
+            .zip(s.bytes())
+            .all(|(c, b)| c == b.to_ascii_lowercase())
+}

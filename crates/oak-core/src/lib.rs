@@ -67,12 +67,14 @@ pub mod detect;
 pub mod engine;
 pub mod events;
 pub mod fetch;
+pub mod intern;
 pub mod matching;
 pub mod obs;
 pub mod report;
 pub mod rule;
 pub mod spec;
 pub mod stats;
+pub mod wire;
 
 mod time;
 

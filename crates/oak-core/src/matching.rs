@@ -181,10 +181,12 @@ impl RuleSurface {
 
     /// As [`RuleSurface::matches`], but `domains` must already be
     /// lowercased — the engine lowercases each report's violator domains
-    /// once and reuses them across every candidate rule.
-    pub fn matches_prelowered(
+    /// once (through its interner) and reuses them across every
+    /// candidate rule. Generic over the string handle so interned
+    /// `Arc<str>` lists are matched without conversion.
+    pub fn matches_prelowered<S: AsRef<str>>(
         &self,
-        domains: &[String],
+        domains: &[S],
         max_level: MatchLevel,
         fetcher: &dyn ScriptFetcher,
     ) -> Option<MatchOutcome> {
@@ -194,7 +196,7 @@ impl RuleSurface {
         if self
             .direct_hosts
             .iter()
-            .any(|host| domains.iter().any(|d| host == d))
+            .any(|host| domains.iter().any(|d| host == d.as_ref()))
         {
             return Some(MatchOutcome {
                 level: MatchLevel::DirectInclude,
@@ -203,7 +205,10 @@ impl RuleSurface {
         if max_level == MatchLevel::DirectInclude {
             return None;
         }
-        if domains.iter().any(|d| contains_domain(&self.text_lower, d)) {
+        if domains
+            .iter()
+            .any(|d| contains_domain(&self.text_lower, d.as_ref()))
+        {
             return Some(MatchOutcome {
                 level: MatchLevel::TextMatch,
             });
@@ -328,9 +333,9 @@ fn direct_include_hits(doc: &Document, domains: &[String]) -> bool {
 
 /// True if any domain appears as a substring of `text`, case-insensitively,
 /// bounded so `cdn.example` does not match inside `xcdn.example.evil`.
-fn text_hits(text: &str, domains: &[String]) -> bool {
+fn text_hits<S: AsRef<str>>(text: &str, domains: &[S]) -> bool {
     let lower = text.to_ascii_lowercase();
-    domains.iter().any(|d| contains_domain(&lower, d))
+    domains.iter().any(|d| contains_domain(&lower, d.as_ref()))
 }
 
 /// Substring search with host-boundary checks on both sides.

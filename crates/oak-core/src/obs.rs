@@ -31,6 +31,15 @@ pub struct CoreMetrics {
     pub fetch_attempt: Arc<Histogram>,
     /// `oak_core_reports_ingested_total`.
     pub reports: Arc<Counter>,
+    /// `oak_report_decode_total{encoding="json"}` — reports decoded from
+    /// the JSON wire format (recorded by the serving layer).
+    pub decode_json: Arc<Counter>,
+    /// `oak_report_decode_total{encoding="binary"}`.
+    pub decode_binary: Arc<Counter>,
+    /// `oak_report_decode_errors_total{encoding="json"}`.
+    pub decode_errors_json: Arc<Counter>,
+    /// `oak_report_decode_errors_total{encoding="binary"}`.
+    pub decode_errors_binary: Arc<Counter>,
 }
 
 impl CoreMetrics {
@@ -69,6 +78,26 @@ impl CoreMetrics {
                 "oak_core_reports_ingested_total",
                 "Client performance reports ingested by the engine.",
                 &[],
+            ),
+            decode_json: registry.counter(
+                "oak_report_decode_total",
+                "Performance reports decoded, by wire encoding.",
+                &[("encoding", "json")],
+            ),
+            decode_binary: registry.counter(
+                "oak_report_decode_total",
+                "Performance reports decoded, by wire encoding.",
+                &[("encoding", "binary")],
+            ),
+            decode_errors_json: registry.counter(
+                "oak_report_decode_errors_total",
+                "Performance reports rejected at decode, by wire encoding.",
+                &[("encoding", "json")],
+            ),
+            decode_errors_binary: registry.counter(
+                "oak_report_decode_errors_total",
+                "Performance reports rejected at decode, by wire encoding.",
+                &[("encoding", "binary")],
             ),
         })
     }

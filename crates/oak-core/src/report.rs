@@ -8,10 +8,11 @@
 //! the loaded object, and the timing information of that object" (§5) —
 //! deliberately small, since Fig. 15 sizes the median report under 10 KB.
 
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 
-use oak_json::{parse, Value};
+use oak_json::{Event, ParseError, Scanner, Value};
 
 /// One fetched object, as measured by the client.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,11 +44,13 @@ impl ObjectTiming {
         self.bytes as f64 * 8.0 / self.time_ms.max(1e-9)
     }
 
-    /// The hostname portion of the URL, if the URL parses.
-    pub fn host(&self) -> Option<String> {
-        oak_http::Url::parse(&self.url)
-            .ok()
-            .map(|u| u.host().to_owned())
+    /// The hostname portion of the URL, if the URL parses — borrowed
+    /// from the URL string, in its original case. Callers that need the
+    /// canonical lowercase form fold it themselves (and the analysis
+    /// layer does so without allocating when the host is already
+    /// lowercase, the overwhelmingly common case).
+    pub fn host(&self) -> Option<&str> {
+        oak_http::host_of(&self.url)
     }
 }
 
@@ -65,6 +68,19 @@ pub struct PerfReport {
 /// A report that failed to decode.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReportDecodeError(String);
+
+impl ReportDecodeError {
+    /// Crate-internal constructor (the JSON and binary decoders live in
+    /// separate modules but share this error type).
+    pub(crate) fn new(message: impl Into<String>) -> ReportDecodeError {
+        ReportDecodeError(message.into())
+    }
+
+    /// Prefixes the message with the entry index it occurred in.
+    pub(crate) fn in_entry(self, i: usize) -> ReportDecodeError {
+        ReportDecodeError(format!("entry {i}: {}", self.0))
+    }
+}
 
 impl fmt::Display for ReportDecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -126,6 +142,12 @@ impl PerfReport {
 
     /// Decodes the JSON wire format.
     ///
+    /// Implemented over the streaming [`Scanner`] rather than a
+    /// [`Value`] tree: escape-free strings are borrowed from the input
+    /// and only the four fields a report actually carries are ever
+    /// materialized, so a well-formed report costs one allocation per
+    /// kept string instead of one per JSON token.
+    ///
     /// # Errors
     ///
     /// Returns [`ReportDecodeError`] on JSON errors, missing fields,
@@ -134,66 +156,269 @@ impl PerfReport {
     /// [`PerfReport::MAX_BYTES`]/[`PerfReport::MAX_TIME_MS`], or more
     /// than [`PerfReport::MAX_ENTRIES`] entries.
     pub fn from_json(text: &str) -> Result<PerfReport, ReportDecodeError> {
-        let doc = parse(text).map_err(|e| ReportDecodeError(e.to_string()))?;
-        let user = doc
-            .get("user")
-            .and_then(Value::as_str)
-            .ok_or_else(|| ReportDecodeError("missing user".into()))?;
-        let page = doc
-            .get("page")
-            .and_then(Value::as_str)
-            .ok_or_else(|| ReportDecodeError("missing page".into()))?;
-        let raw_entries = doc
-            .get("entries")
-            .and_then(Value::as_array)
-            .ok_or_else(|| ReportDecodeError("missing entries".into()))?;
-        if raw_entries.len() > PerfReport::MAX_ENTRIES {
-            return Err(ReportDecodeError(format!(
-                "{} entries exceed the {} limit",
-                raw_entries.len(),
-                PerfReport::MAX_ENTRIES
-            )));
+        let mut scanner = Scanner::new(text);
+        let mut user: Option<String> = None;
+        let mut page: Option<String> = None;
+        let mut entries: Option<Vec<ObjectTiming>> = None;
+        match next(&mut scanner)? {
+            Some(Event::ObjectStart) => {}
+            // Any other well-formed document has no fields at all.
+            Some(_) => {
+                scanner.skip_value().ok();
+                return Err(ReportDecodeError("missing user".into()));
+            }
+            None => return Err(ReportDecodeError("empty report".into())),
         }
-        let mut entries = Vec::with_capacity(raw_entries.len());
-        for (i, entry) in raw_entries.iter().enumerate() {
-            let field = |name: &str| {
-                entry
-                    .get(name)
-                    .ok_or_else(|| ReportDecodeError(format!("entry {i}: missing {name}")))
-            };
-            let url = field("url")?
-                .as_str()
-                .ok_or_else(|| ReportDecodeError(format!("entry {i}: url not a string")))?;
-            let ip = field("ip")?
-                .as_str()
-                .ok_or_else(|| ReportDecodeError(format!("entry {i}: ip not a string")))?;
-            let bytes = field("bytes")?
-                .as_u64()
-                .filter(|b| *b <= PerfReport::MAX_BYTES)
-                .ok_or_else(|| {
-                    ReportDecodeError(format!(
-                        "entry {i}: bytes not a non-negative integer within 2^53"
-                    ))
-                })?;
-            let time_ms = field("time_ms")?
-                .as_f64()
-                .filter(|t| t.is_finite() && (0.0..=PerfReport::MAX_TIME_MS).contains(t))
-                .ok_or_else(|| {
-                    ReportDecodeError(format!(
-                        "entry {i}: time_ms not a finite non-negative number within bounds"
-                    ))
-                })?;
-            entries.push(ObjectTiming::new(url, ip, bytes, time_ms));
+        loop {
+            match next(&mut scanner)? {
+                Some(Event::Key(key)) => match key.as_ref() {
+                    // Duplicate keys behave like the old tree parser:
+                    // the last occurrence wins, whatever its type.
+                    "user" => user = scan_string_value(&mut scanner)?,
+                    "page" => page = scan_string_value(&mut scanner)?,
+                    "entries" => entries = scan_entries(&mut scanner)?,
+                    _ => scanner
+                        .skip_value()
+                        .map_err(|e| ReportDecodeError(e.to_string()))?,
+                },
+                Some(Event::ObjectEnd) => break,
+                _ => return Err(ReportDecodeError("malformed report object".into())),
+            }
         }
+        // Rejects trailing garbage, exactly as the tree parser does.
+        next(&mut scanner)?;
+        let user = user.ok_or_else(|| ReportDecodeError("missing user".into()))?;
+        let page = page.ok_or_else(|| ReportDecodeError("missing page".into()))?;
+        let entries = entries.ok_or_else(|| ReportDecodeError("missing entries".into()))?;
         Ok(PerfReport {
-            user: user.to_owned(),
-            page: page.to_owned(),
+            user,
+            page,
             entries,
         })
+    }
+
+    /// Decodes a JSON report straight from request-body bytes, without
+    /// the lossy UTF-8 copy the server used to make.
+    ///
+    /// # Errors
+    ///
+    /// As [`PerfReport::from_json`], plus invalid UTF-8 is rejected
+    /// outright (previously it was silently replaced with U+FFFD).
+    pub fn from_json_bytes(body: &[u8]) -> Result<PerfReport, ReportDecodeError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ReportDecodeError("report body is not valid UTF-8".into()))?;
+        PerfReport::from_json(text)
+    }
+
+    /// Encodes into the binary wire format (`application/x-oak-report`).
+    pub fn to_binary(&self) -> Vec<u8> {
+        crate::wire::encode(self)
+    }
+
+    /// Decodes the binary wire format; see [`crate::wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReportDecodeError`] on malformed frames or any value
+    /// [`PerfReport::from_json`] would reject.
+    pub fn from_binary(bytes: &[u8]) -> Result<PerfReport, ReportDecodeError> {
+        crate::wire::decode(bytes)
     }
 
     /// Serialized size in bytes — the quantity Fig. 15 distributes.
     pub fn wire_size(&self) -> usize {
         self.to_json().len()
     }
+}
+
+/// Pulls one event, converting parse errors.
+fn next<'a>(scanner: &mut Scanner<'a>) -> Result<Option<Event<'a>>, ReportDecodeError> {
+    scanner
+        .next_event()
+        .map_err(|e: ParseError| ReportDecodeError(e.to_string()))
+}
+
+/// Reads one value in value position; container values are consumed to
+/// their matching end so the scanner stays aligned.
+fn next_value<'a>(scanner: &mut Scanner<'a>) -> Result<Event<'a>, ReportDecodeError> {
+    let event = next(scanner)?.ok_or_else(|| ReportDecodeError("truncated report".into()))?;
+    if matches!(event, Event::ObjectStart | Event::ArrayStart) {
+        skip_open_container(scanner)?;
+    }
+    Ok(event)
+}
+
+/// Consumes a container whose opening bracket was already read.
+fn skip_open_container(scanner: &mut Scanner<'_>) -> Result<(), ReportDecodeError> {
+    let mut depth = 1usize;
+    loop {
+        match next(scanner)? {
+            Some(Event::ObjectStart | Event::ArrayStart) => depth += 1,
+            Some(Event::ObjectEnd | Event::ArrayEnd) => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(());
+                }
+            }
+            Some(_) => {}
+            None => return Err(ReportDecodeError("truncated report".into())),
+        }
+    }
+}
+
+/// A string field value, or `None` if the value has another type (which
+/// surfaces later as the field's "missing" error, like the tree parser).
+fn scan_string_value(scanner: &mut Scanner<'_>) -> Result<Option<String>, ReportDecodeError> {
+    match next_value(scanner)? {
+        Event::Str(s) => Ok(Some(s.into_owned())),
+        _ => Ok(None),
+    }
+}
+
+/// The `entries` array, or `None` when the value is not an array.
+fn scan_entries(scanner: &mut Scanner<'_>) -> Result<Option<Vec<ObjectTiming>>, ReportDecodeError> {
+    match next(scanner)?.ok_or_else(|| ReportDecodeError("truncated report".into()))? {
+        Event::ArrayStart => {}
+        Event::ObjectStart => {
+            skip_open_container(scanner)?;
+            return Ok(None);
+        }
+        _ => return Ok(None),
+    }
+    let mut entries = Vec::new();
+    loop {
+        match next(scanner)?.ok_or_else(|| ReportDecodeError("truncated report".into()))? {
+            Event::ArrayEnd => return Ok(Some(entries)),
+            Event::ObjectStart => {
+                let i = entries.len();
+                if i >= PerfReport::MAX_ENTRIES {
+                    // Count the rest so the error names the real total.
+                    skip_open_container(scanner)?;
+                    let mut total = i + 1;
+                    loop {
+                        match next(scanner)?
+                            .ok_or_else(|| ReportDecodeError("truncated report".into()))?
+                        {
+                            Event::ArrayEnd => break,
+                            Event::ObjectStart | Event::ArrayStart => {
+                                skip_open_container(scanner)?;
+                                total += 1;
+                            }
+                            _ => total += 1,
+                        }
+                    }
+                    return Err(ReportDecodeError(format!(
+                        "{total} entries exceed the {} limit",
+                        PerfReport::MAX_ENTRIES
+                    )));
+                }
+                entries.push(scan_entry(scanner, i)?);
+            }
+            Event::ArrayStart => {
+                // A non-object entry has no fields at all.
+                skip_open_container(scanner)?;
+                return Err(ReportDecodeError(format!(
+                    "entry {}: missing url",
+                    entries.len()
+                )));
+            }
+            _ => {
+                return Err(ReportDecodeError(format!(
+                    "entry {}: missing url",
+                    entries.len()
+                )))
+            }
+        }
+    }
+}
+
+/// One entry object (its `{` already consumed), validated field-by-field
+/// with the same bounds and error text as the binary decoder.
+fn scan_entry(scanner: &mut Scanner<'_>, i: usize) -> Result<ObjectTiming, ReportDecodeError> {
+    // `Some(value)` once seen with the right type; `bad` marks a field
+    // present with the wrong type (distinct error from "missing").
+    let mut url: (Option<Cow<'_, str>>, bool) = (None, false);
+    let mut ip: (Option<Cow<'_, str>>, bool) = (None, false);
+    let mut bytes: (Option<f64>, bool) = (None, false);
+    let mut time_ms: (Option<f64>, bool) = (None, false);
+    loop {
+        match next(scanner)?.ok_or_else(|| ReportDecodeError("truncated report".into()))? {
+            Event::ObjectEnd => break,
+            Event::Key(key) => {
+                let name = key.into_owned();
+                let value = next_value(scanner)?;
+                match name.as_str() {
+                    "url" => {
+                        url = match value {
+                            Event::Str(s) => (Some(s), false),
+                            _ => (None, true),
+                        }
+                    }
+                    "ip" => {
+                        ip = match value {
+                            Event::Str(s) => (Some(s), false),
+                            _ => (None, true),
+                        }
+                    }
+                    "bytes" => {
+                        bytes = match value {
+                            Event::Number(n) => (Some(n), false),
+                            _ => (None, true),
+                        }
+                    }
+                    "time_ms" => {
+                        time_ms = match value {
+                            Event::Number(n) => (Some(n), false),
+                            _ => (None, true),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => return Err(ReportDecodeError("malformed entry object".into())),
+        }
+    }
+    let require = |field: &str, pair: &(Option<Cow<'_, str>>, bool)| match pair {
+        (Some(_), _) => Ok(()),
+        (None, true) => Err(ReportDecodeError(format!(
+            "entry {i}: {field} not a string"
+        ))),
+        (None, false) => Err(ReportDecodeError(format!("entry {i}: missing {field}"))),
+    };
+    require("url", &url)?;
+    require("ip", &ip)?;
+    // Mirrors `Value::as_u64`: a non-negative integer representable
+    // exactly in an f64, then the report's own cap.
+    let object_bytes = match bytes {
+        (Some(n), _) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+            let b = n as u64;
+            if b > PerfReport::MAX_BYTES {
+                return Err(ReportDecodeError(format!(
+                    "entry {i}: bytes not a non-negative integer within 2^53"
+                )));
+            }
+            b
+        }
+        (None, false) => return Err(ReportDecodeError(format!("entry {i}: missing bytes"))),
+        _ => {
+            return Err(ReportDecodeError(format!(
+                "entry {i}: bytes not a non-negative integer within 2^53"
+            )))
+        }
+    };
+    let time = match time_ms {
+        (Some(t), _) if t.is_finite() && (0.0..=PerfReport::MAX_TIME_MS).contains(&t) => t,
+        (None, false) => return Err(ReportDecodeError(format!("entry {i}: missing time_ms"))),
+        _ => {
+            return Err(ReportDecodeError(format!(
+                "entry {i}: time_ms not a finite non-negative number within bounds"
+            )))
+        }
+    };
+    Ok(ObjectTiming::new(
+        url.0.expect("validated above").into_owned(),
+        ip.0.expect("validated above").into_owned(),
+        object_bytes,
+        time,
+    ))
 }

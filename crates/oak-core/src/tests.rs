@@ -7,8 +7,10 @@ mod detect_tests;
 mod engine_props;
 mod engine_tests;
 mod fetch_tests;
+mod intern_tests;
 mod matching_tests;
 mod policy_tests;
 mod report_tests;
 mod spec_tests;
 mod stats_tests;
+mod wire_tests;

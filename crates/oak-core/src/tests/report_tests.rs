@@ -33,14 +33,43 @@ fn throughput_is_bits_per_ms() {
 
 #[test]
 fn host_extraction() {
+    // `host()` borrows from the URL in its original case; the analysis
+    // layer folds to lowercase where domains are tracked.
     assert_eq!(
         ObjectTiming::new("http://A.Example/z", "1.1.1.1", 1, 1.0).host(),
-        Some("a.example".to_owned())
+        Some("A.Example")
     );
     assert_eq!(
         ObjectTiming::new("not a url", "1.1.1.1", 1, 1.0).host(),
         None
     );
+}
+
+#[test]
+fn host_agrees_with_url_parse() {
+    // The borrowed extractor must accept/reject exactly what Url::parse
+    // does, and agree (case-folded) on the host when both accept.
+    for url in [
+        "http://a.example/z",
+        "http://A.Example:8080/z?q=1#frag",
+        "https://x.y.z.example",
+        "http://user@host/",
+        "http://host:notaport/",
+        "http://:80/",
+        "http:///path",
+        "ftp+ssh://mixed.example/x",
+        "nocolon.example/x",
+        "://empty.scheme/",
+        "http://sp ace.example/",
+    ] {
+        let timing = ObjectTiming::new(url, "1.1.1.1", 1, 1.0);
+        let parsed = oak_http::Url::parse(url).ok();
+        assert_eq!(
+            timing.host().map(str::to_ascii_lowercase),
+            parsed.map(|u| u.host().to_owned()),
+            "host_of and Url::parse disagree on {url:?}"
+        );
+    }
 }
 
 #[test]

@@ -57,7 +57,7 @@ pub use tcp::{
     fetch_tcp, Handler, ServerLimits, TcpServer, TransportSnapshot, TransportStats,
     PEER_ADDR_HEADER,
 };
-pub use url::Url;
+pub use url::{host_of, Url};
 
 #[cfg(test)]
 mod tests;

@@ -155,6 +155,44 @@ impl Url {
     }
 }
 
+/// The hostname slice of an absolute URL, borrowed from the input and in
+/// its original case, or `None` exactly when [`Url::parse`] would fail.
+///
+/// This is the allocation-free companion to `Url::parse(..).map(Url::host)`
+/// for the report-ingest hot path, which only needs the host. The two
+/// must accept and reject identical inputs; the structural checks below
+/// deliberately mirror [`Url::parse`] clause for clause.
+pub fn host_of(text: &str) -> Option<&str> {
+    let (scheme, rest) = text.split_once("://")?;
+    if scheme.is_empty()
+        || !scheme
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.')
+    {
+        return None;
+    }
+    let rest = rest.split('#').next().unwrap_or(rest);
+    let authority_path = rest.split('?').next().unwrap_or(rest);
+    let authority = match authority_path.find('/') {
+        Some(i) => &authority_path[..i],
+        None => authority_path,
+    };
+    if authority.contains('@') {
+        return None;
+    }
+    let host = match authority.rsplit_once(':') {
+        Some((h, p)) => {
+            p.parse::<u16>().ok()?;
+            h
+        }
+        None => authority,
+    };
+    if host.is_empty() || host.contains(['/', '?', '#', ' ']) {
+        return None;
+    }
+    Some(host)
+}
+
 /// Last-two-labels site key (see [`Url::site`]).
 pub(crate) fn site_of(host: &str) -> &str {
     let mut dots = host.rmatch_indices('.');

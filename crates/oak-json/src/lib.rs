@@ -27,10 +27,12 @@
 //! ```
 
 mod parser;
+pub mod scan;
 mod value;
 mod writer;
 
 pub use parser::{parse, ParseError};
+pub use scan::{Event, Scanner};
 pub use value::Value;
 
 #[cfg(test)]

@@ -53,9 +53,7 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     Ok(value)
 }
 
-/// Nesting deeper than this is rejected to keep recursion bounded; real
-/// performance reports nest exactly three levels.
-const MAX_DEPTH: usize = 128;
+use crate::scan::MAX_DEPTH;
 
 struct Parser<'a> {
     bytes: &'a [u8],
@@ -194,126 +192,15 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            // Fast path: copy a run of plain bytes in one go.
-            while let Some(b) = self.peek() {
-                if b == b'"' || b == b'\\' || b < 0x20 {
-                    break;
-                }
-                self.pos += 1;
-            }
-            if self.pos > start {
-                // The input is a &str, so this slice is valid UTF-8 as long
-                // as it starts and ends on char boundaries, which it does:
-                // we only stop on ASCII bytes.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
-            }
-            match self.bump() {
-                Some(b'"') => return Ok(out),
-                Some(b'\\') => self.escape(&mut out)?,
-                Some(_) => {
-                    self.pos -= 1;
-                    return Err(self.err("raw control character in string"));
-                }
-                None => return Err(self.err("unterminated string")),
-            }
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected '\"'"));
         }
-    }
-
-    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
-        match self.bump() {
-            Some(b'"') => out.push('"'),
-            Some(b'\\') => out.push('\\'),
-            Some(b'/') => out.push('/'),
-            Some(b'b') => out.push('\u{0008}'),
-            Some(b'f') => out.push('\u{000C}'),
-            Some(b'n') => out.push('\n'),
-            Some(b'r') => out.push('\r'),
-            Some(b't') => out.push('\t'),
-            Some(b'u') => {
-                let first = self.hex4()?;
-                let scalar = if (0xD800..0xDC00).contains(&first) {
-                    // High surrogate: a low surrogate escape must follow.
-                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
-                        return Err(self.err("high surrogate not followed by \\u escape"));
-                    }
-                    let second = self.hex4()?;
-                    if !(0xDC00..0xE000).contains(&second) {
-                        return Err(self.err("invalid low surrogate"));
-                    }
-                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
-                } else if (0xDC00..0xE000).contains(&first) {
-                    return Err(self.err("unpaired low surrogate"));
-                } else {
-                    first
-                };
-                match char::from_u32(scalar) {
-                    Some(c) => out.push(c),
-                    None => return Err(self.err("escape is not a Unicode scalar")),
-                }
-            }
-            _ => return Err(self.err("invalid escape sequence")),
-        }
-        Ok(())
-    }
-
-    fn hex4(&mut self) -> Result<u32, ParseError> {
-        let mut v = 0u32;
-        for _ in 0..4 {
-            let d = match self.bump() {
-                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
-                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
-                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
-                _ => return Err(self.err("expected four hex digits")),
-            };
-            v = v * 16 + d;
-        }
-        Ok(v)
+        // Shared lexer with the streaming scanner: escape-free strings come
+        // back borrowed, so the `into_owned` below is the only copy.
+        crate::scan::scan_string(self.bytes, &mut self.pos).map(std::borrow::Cow::into_owned)
     }
 
     fn number(&mut self) -> Result<Value, ParseError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        // Integer part: a lone zero or a nonzero digit followed by digits.
-        match self.peek() {
-            Some(b'0') => self.pos += 1,
-            Some(b'1'..=b'9') => {
-                while matches!(self.peek(), Some(b'0'..=b'9')) {
-                    self.pos += 1;
-                }
-            }
-            _ => return Err(self.err("expected digit")),
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            if !matches!(self.peek(), Some(b'0'..=b'9')) {
-                return Err(self.err("expected digit after decimal point"));
-            }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            if !matches!(self.peek(), Some(b'0'..=b'9')) {
-                return Err(self.err("expected digit in exponent"));
-            }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        match text.parse::<f64>() {
-            Ok(n) if n.is_finite() => Ok(Value::Number(n)),
-            _ => Err(self.err("number out of range")),
-        }
+        crate::scan::scan_number(self.bytes, &mut self.pos).map(Value::Number)
     }
 }

@@ -354,9 +354,9 @@ impl OakService {
             }
         };
 
-        let modified = self.oak.modify_page(now, &user, path, html);
+        let modified = self.oak.modify_page_cow(now, &user, path, html);
         let alternate = modified.alternate_header_entry();
-        let mut response = Response::html(modified.html);
+        let mut response = Response::html(modified.html.into_owned());
         if minted {
             response
                 .headers
@@ -705,13 +705,37 @@ impl OakService {
             return Response::new(StatusCode::TOO_MANY_REQUESTS)
                 .with_body(b"report rate limit exceeded".to_vec(), "text/plain");
         }
-        let body = String::from_utf8_lossy(&request.body);
+        // Wire-format negotiation: the media type (parameters stripped)
+        // selects the decoder; everything else — bounds, error surface,
+        // admission — is identical across encodings.
+        let binary = request
+            .header("content-type")
+            .and_then(|ct| ct.split(';').next())
+            .map(|media| {
+                media
+                    .trim()
+                    .eq_ignore_ascii_case(oak_core::wire::OAK_REPORT_CONTENT_TYPE)
+            })
+            .unwrap_or(false);
         let parse_start = self.obs.as_ref().map(|o| o.now());
         let parse_span = oak_obs::span("parse_report");
-        let parsed = PerfReport::from_json(&body);
+        let parsed = if binary {
+            PerfReport::from_binary(&request.body)
+        } else {
+            PerfReport::from_json_bytes(&request.body)
+        };
         drop(parse_span);
         if let (Some(obs), Some(start)) = (&self.obs, parse_start) {
             oak_core::obs::CoreMetrics::record(&obs.core.report_parse, start, obs.now());
+        }
+        if let Some(obs) = &self.obs {
+            let counter = match (&parsed, binary) {
+                (Ok(_), true) => &obs.core.decode_binary,
+                (Ok(_), false) => &obs.core.decode_json,
+                (Err(_), true) => &obs.core.decode_errors_binary,
+                (Err(_), false) => &obs.core.decode_errors_json,
+            };
+            counter.inc();
         }
         let mut report = match parsed {
             Ok(r) => r,

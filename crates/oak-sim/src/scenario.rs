@@ -27,11 +27,14 @@ pub enum Step {
     /// Retire the `nth` live rule (modulo the table size).
     RemoveRule { nth: u64 },
     /// POST a performance report for `u-{user}`; a violating one names
-    /// `cdn{host}` as the slow server.
+    /// `cdn{host}` as the slow server. `binary` selects the
+    /// `application/x-oak-report` wire encoding over JSON, so every
+    /// scenario exercises both decode paths against the same invariants.
     Ingest {
         user: u64,
         host: u64,
         violating: bool,
+        binary: bool,
     },
     /// GET the page as `u-{user}` (exercises rewrite + TTL expiry).
     Serve { user: u64 },
@@ -124,6 +127,7 @@ impl Scenario {
                     user: rng.below(USERS as u64),
                     host: rng.below(HOSTS as u64),
                     violating: rng.chance(3, 4),
+                    binary: rng.chance(1, 2),
                 },
                 30..=44 => Step::Serve {
                     user: rng.below(USERS as u64),
@@ -220,10 +224,12 @@ impl Scenario {
                     user,
                     host,
                     violating,
+                    binary,
                 } => {
                     arg("user", *user);
                     arg("host", *host);
                     arg("violating", u64::from(*violating));
+                    arg("binary", u64::from(*binary));
                 }
                 Step::Serve { user } => arg("user", *user),
                 Step::ForceActivate { user, nth } | Step::ForceDeactivate { user, nth } => {
@@ -289,6 +295,12 @@ impl Scenario {
                     user: field(row, "user")?,
                     host: field(row, "host")?,
                     violating: field(row, "violating")? != 0,
+                    // Absent in scenarios minimized before the binary
+                    // encoding existed; those replay as JSON ingests.
+                    binary: match row.get("binary") {
+                        Some(_) => field(row, "binary")? != 0,
+                        None => false,
+                    },
                 },
                 "serve" => Step::Serve {
                     user: field(row, "user")?,

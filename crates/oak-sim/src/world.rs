@@ -261,9 +261,13 @@ impl World<'_> {
         self.request(&req)
     }
 
-    fn post_report(&mut self, report: &PerfReport) -> oak_http::Response {
-        let mut req = Request::new(Method::Post, REPORT_PATH)
-            .with_body(report.to_json().into_bytes(), "application/json");
+    fn post_report(&mut self, report: &PerfReport, binary: bool) -> oak_http::Response {
+        let (body, content_type) = if binary {
+            (report.to_binary(), oak_core::wire::OAK_REPORT_CONTENT_TYPE)
+        } else {
+            (report.to_json().into_bytes(), "application/json")
+        };
+        let mut req = Request::new(Method::Post, REPORT_PATH).with_body(body, content_type);
         req.headers
             .set("Cookie", format!("{OAK_USER_COOKIE}={}", report.user));
         self.request(&req)
@@ -324,13 +328,14 @@ impl World<'_> {
                 user,
                 host,
                 violating,
+                binary,
             } => {
                 let report = if *violating {
                     violating_report(*user, *host)
                 } else {
                     benign_report(*user)
                 };
-                let response = self.post_report(&report);
+                let response = self.post_report(&report, *binary);
                 // The machine may die mid-request; any other non-2xx is
                 // a service bug the harness should surface.
                 if response.status.0 != 204 && !self.fs.crashed() {

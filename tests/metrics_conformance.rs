@@ -52,6 +52,15 @@ fn post_report(service: &OakService, user: &str) -> oak::http::Response {
     service.handle(&request)
 }
 
+fn post_report_binary(service: &OakService, user: &str) -> oak::http::Response {
+    let report =
+        oak::core::report::PerfReport::from_json(&report_json(user)).expect("fixture parses");
+    let mut request = Request::new(Method::Post, REPORT_PATH)
+        .with_body(report.to_binary(), oak::core::wire::OAK_REPORT_CONTENT_TYPE);
+    request.headers.set("Cookie", format!("oak_uid={user}"));
+    service.handle(&request)
+}
+
 /// The seeded workload: every duration comes from a step clock (each
 /// reading advances exactly 50µs), so two runs are byte-identical.
 fn seeded_service() -> Arc<OakService> {
@@ -68,12 +77,15 @@ fn seeded_service() -> Arc<OakService> {
         .with_obs(obs)
         .into_shared();
 
-    // Deterministic traffic mix: three reporting users, page loads,
-    // a malformed report (400), a miss (404), and a health probe.
+    // Deterministic traffic mix: three JSON-reporting users and one
+    // binary-reporting user, page loads, a malformed report (400), a
+    // miss (404), and a health probe.
     for user in ["u-1", "u-2", "u-3"] {
         assert_eq!(post_report(&service, user).status.0, 204);
         assert_eq!(get(&service, "/index.html", Some(user)).status.0, 200);
     }
+    assert_eq!(post_report_binary(&service, "u-4").status.0, 204);
+    assert_eq!(get(&service, "/index.html", Some("u-4")).status.0, 200);
     assert_eq!(get(&service, "/index.html", Some("u-1")).status.0, 200);
     let bad = Request::new(Method::Post, REPORT_PATH)
         .with_body(b"{not json".to_vec(), "application/json");
@@ -150,16 +162,23 @@ fn exposition_passes_the_grammar_validator_and_spans_the_stack() {
             .unwrap_or_else(|| panic!("no {name} sample"))
             .value
     };
-    assert_eq!(find("oak_core_reports_ingested_total"), 3.0);
-    assert_eq!(find("oak_core_ingest_duration_us_count"), 3.0);
-    assert_eq!(find("oak_core_report_parse_duration_us_count"), 4.0);
-    assert_eq!(find("oak_html_rewrite_duration_us_count"), 4.0);
-    let responses: f64 = samples
-        .iter()
-        .filter(|s| s.name == "oak_http_responses_total")
-        .map(|s| s.value)
-        .sum();
-    assert_eq!(responses, 10.0, "10 requests preceded the scrape");
+    assert_eq!(find("oak_core_reports_ingested_total"), 4.0);
+    assert_eq!(find("oak_core_ingest_duration_us_count"), 4.0);
+    assert_eq!(find("oak_core_report_parse_duration_us_count"), 5.0);
+    assert_eq!(find("oak_html_rewrite_duration_us_count"), 5.0);
+    // Decode outcomes carry the wire encoding: 3 JSON + 1 binary
+    // succeeded, the malformed JSON report is the one error.
+    let labeled_sum = |name: &str| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    };
+    assert_eq!(labeled_sum("oak_report_decode_total"), 4.0);
+    assert_eq!(labeled_sum("oak_report_decode_errors_total"), 1.0);
+    let responses: f64 = labeled_sum("oak_http_responses_total");
+    assert_eq!(responses, 12.0, "12 requests preceded the scrape");
 }
 
 #[test]
