@@ -43,7 +43,10 @@ fn non_ascii_names_intern_verbatim() {
     // must round-trip exactly.
     let name = interner.intern_lower("bücher.example");
     assert_eq!(&*name, "bücher.example");
-    assert!(!Arc::ptr_eq(&name, &interner.intern_lower("BÜCHER.example")));
+    assert!(!Arc::ptr_eq(
+        &name,
+        &interner.intern_lower("BÜCHER.example")
+    ));
 }
 
 /// Past [`Interner::CAPACITY`] distinct names the table stops retaining:

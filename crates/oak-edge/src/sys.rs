@@ -1,0 +1,356 @@
+//! Thin OS readiness layer, dependency-free.
+//!
+//! Linux gets edge-triggered epoll through four `extern "C"`
+//! declarations (no libc crate); every other unix falls back to
+//! level-triggered poll(2). The [`Poller`] surface is identical either
+//! way: register/reregister/deregister a raw fd under a `u64` token and
+//! wait for [`Event`]s. Non-unix targets compile the crate but
+//! [`crate::EdgeServer`] refuses to start there.
+
+#![allow(unsafe_code)]
+
+/// One readiness notification. `readable` folds in error/hangup states
+/// so the read path discovers the close (as EOF or an error) instead of
+/// the reactor needing a separate teardown path.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// What a registration wants to hear about.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+pub(crate) use imp::Poller;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+
+    // The kernel reads/writes this layout directly; on x86 it is packed
+    // (no padding between `events` and `data`), elsewhere naturally
+    // aligned — mirroring the kernel's own definition.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    /// Edge-triggered epoll instance.
+    pub(crate) struct Poller {
+        epfd: c_int,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            // Always edge-triggered; RDHUP so a peer half-close surfaces
+            // as readability (read returns 0) rather than silence.
+            let mut m = EPOLLET | EPOLLRDHUP;
+            if interest.readable {
+                m |= EPOLLIN;
+            }
+            if interest.writable {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: Poller::mask(interest),
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            // Pre-2.6.9 kernels insist on a non-null event for DEL.
+            self.ctl(
+                EPOLL_CTL_DEL,
+                fd,
+                0,
+                Interest {
+                    readable: false,
+                    writable: false,
+                },
+            )
+        }
+
+        /// Waits up to `timeout_ms` (-1 blocks) and appends readiness
+        /// into `out`. A signal interruption returns empty, not an error.
+        pub fn wait(&mut self, timeout_ms: i32, out: &mut Vec<Event>) -> io::Result<()> {
+            out.clear();
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in &self.buf[..n as usize] {
+                // Copy fields out of the (possibly packed) struct by value.
+                let events = { ev.events };
+                let token = { ev.data };
+                out.push(Event {
+                    token,
+                    readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_short, c_uint};
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    /// Level-triggered poll(2) fallback; the reactor's progress
+    /// functions drain to `WouldBlock`, so level semantics only cost
+    /// spurious wakeups, never stalls.
+    pub(crate) struct Poller {
+        registered: Vec<(RawFd, u64, Interest)>,
+        fds: Vec<PollFd>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Vec::new(),
+                fds: Vec::new(),
+            })
+        }
+
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            for slot in &mut self.registered {
+                if slot.0 == fd {
+                    *slot = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            self.register(fd, token, interest)
+        }
+
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.registered.retain(|&(f, _, _)| f != fd);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, timeout_ms: i32, out: &mut Vec<Event>) -> io::Result<()> {
+            out.clear();
+            self.fds.clear();
+            for &(fd, _, interest) in &self.registered {
+                let mut events = 0;
+                if interest.readable {
+                    events |= POLLIN;
+                }
+                if interest.writable {
+                    events |= POLLOUT;
+                }
+                self.fds.push(PollFd {
+                    fd,
+                    events,
+                    revents: 0,
+                });
+            }
+            let n = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as c_uint, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(_, token, _)) in self.fds.iter().zip(&self.registered) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                    writable: pfd.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    /// Stub so the crate compiles off-unix; `EdgeServer::start*` refuses
+    /// before ever constructing one.
+    pub(crate) struct Poller;
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "oak-edge reactor requires a unix target",
+            ))
+        }
+
+        pub fn register(&mut self, _: RawFd, _: u64, _: Interest) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn reregister(&mut self, _: RawFd, _: u64, _: Interest) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn deregister(&mut self, _: RawFd) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+
+        pub fn wait(&mut self, _: i32, _: &mut Vec<Event>) -> io::Result<()> {
+            unreachable!("stub Poller cannot be constructed")
+        }
+    }
+}
+
+/// Raises the process soft fd limit to the hard limit (Linux), returning
+/// the soft limit now in force. The latency bench opens thousands of
+/// simultaneous sockets — client and server ends both count — so default
+/// 1024-fd environments (bare CI runners) need the headroom.
+#[cfg(target_os = "linux")]
+pub fn raise_fd_limit() -> u64 {
+    use std::os::raw::c_int;
+
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    }
+
+    const RLIMIT_NOFILE: c_int = 7;
+
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    if lim.cur < lim.max {
+        let raised = Rlimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+            return lim.max;
+        }
+    }
+    lim.cur
+}
+
+/// Non-Linux targets: no-op, returns 0 (callers treat that as unknown).
+#[cfg(not(target_os = "linux"))]
+pub fn raise_fd_limit() -> u64 {
+    0
+}

@@ -11,12 +11,13 @@
 //! the server under test exercises exactly the code path production
 //! traffic hits.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
 
 use crate::error::HttpError;
-use crate::message::Response;
+use crate::framing::content_length_of;
+use crate::message::{Request, Response};
 
 /// A scripted abusive client aimed at one server address.
 #[derive(Clone, Copy, Debug)]
@@ -151,6 +152,121 @@ impl ChaosClient {
     pub fn hold_open(&self) -> Result<TcpStream, HttpError> {
         self.connect()
     }
+
+    /// Opens `n` simultaneous keep-alive connections and returns the
+    /// driver holding them all.
+    ///
+    /// This is the concurrency primitive behind `bench_edge_latency`
+    /// (thousands of open keep-alive connections per client thread) and
+    /// the multi-connection slowloris torture (every connection dribbles
+    /// at once, so the server must time each one out independently
+    /// without stalling the rest).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first connect error; on failure no connections are
+    /// leaked.
+    pub fn concurrent(&self, n: usize) -> Result<ConnPool, HttpError> {
+        let mut conns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stream = self.connect()?;
+            // Request/response ping-pong across many connections is
+            // latency-bound, not throughput-bound; Nagle would serialize
+            // it against delayed ACKs.
+            let _ = stream.set_nodelay(true);
+            conns.push(BufReader::new(stream));
+        }
+        Ok(ConnPool { conns })
+    }
+}
+
+/// `n` simultaneously open keep-alive connections to one server, driven
+/// from a single thread (see [`ChaosClient::concurrent`]).
+pub struct ConnPool {
+    conns: Vec<BufReader<TcpStream>>,
+}
+
+impl ConnPool {
+    /// How many connections the pool holds open.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when the pool holds no connections.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// Performs one keep-alive request/response exchange on connection
+    /// `i`. The connection stays open for the next exchange, so a loop
+    /// over `exchange` measures steady-state keep-alive latency with no
+    /// per-request connect cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/read failures (a closed or timed-out connection
+    /// surfaces as an I/O or parse error; reopen via a fresh pool).
+    pub fn exchange(&mut self, i: usize, request: &Request) -> Result<Response, HttpError> {
+        let conn = &mut self.conns[i];
+        conn.get_mut().write_all(&request.to_bytes())?;
+        conn.get_mut().flush()?;
+        read_keepalive_response(conn)
+    }
+
+    /// Multi-connection slowloris: dribbles `bytes` in `chunk`-byte
+    /// pieces on *every* pooled connection simultaneously (one piece per
+    /// connection per round, `delay` between rounds), then half-closes
+    /// each and collects every server verdict. A deadline-enforcing
+    /// server answers each connection 408 independently; a server with a
+    /// shared read loop would stall them all behind the first.
+    pub fn dribble_all(
+        &mut self,
+        bytes: &[u8],
+        chunk: usize,
+        delay: Duration,
+    ) -> Vec<Result<Response, HttpError>> {
+        for piece in bytes.chunks(chunk.max(1)) {
+            for conn in &mut self.conns {
+                // A write error means the server already hung up on this
+                // connection; its verdict is read below regardless.
+                let _ = conn.get_mut().write_all(piece);
+                let _ = conn.get_mut().flush();
+            }
+            std::thread::sleep(delay);
+        }
+        self.conns
+            .iter_mut()
+            .map(|conn| {
+                let _ = conn.get_mut().shutdown(Shutdown::Write);
+                let mut bytes = Vec::new();
+                conn.read_to_end(&mut bytes)?;
+                Response::parse(&bytes)
+            })
+            .collect()
+    }
+}
+
+/// Reads exactly one `Content-Length`-framed response off a keep-alive
+/// connection, leaving the stream open for the next exchange.
+fn read_keepalive_response(conn: &mut BufReader<TcpStream>) -> Result<Response, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    loop {
+        let start = head.len();
+        let n = conn.read_until(b'\n', &mut head)?;
+        if n == 0 {
+            return Err(HttpError::Truncated);
+        }
+        let line = &head[start..];
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    let body_len = content_length_of(&head)?;
+    let mut bytes = head;
+    let body_start = bytes.len();
+    bytes.resize(body_start + body_len, 0);
+    conn.read_exact(&mut bytes[body_start..])?;
+    Response::parse(&bytes)
 }
 
 /// Reads to EOF and parses whatever the server sent.

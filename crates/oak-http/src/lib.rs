@@ -43,6 +43,7 @@
 pub mod cookie;
 mod error;
 pub mod fault;
+pub mod framing;
 mod headers;
 mod message;
 mod obs;
@@ -52,10 +53,10 @@ mod url;
 pub use error::HttpError;
 pub use headers::Headers;
 pub use message::{encode_chunked, Method, Request, Response, StatusCode};
-pub use obs::HttpMetrics;
+pub use obs::{HttpMetrics, Stage};
 pub use tcp::{
-    fetch_tcp, Handler, ServerLimits, TcpServer, TransportSnapshot, TransportStats,
-    PEER_ADDR_HEADER,
+    fetch_tcp, over_capacity_response, Handler, ServerLimits, TcpServer, TransportEvent,
+    TransportSnapshot, TransportStats, PEER_ADDR_HEADER,
 };
 pub use url::{host_of, Url};
 

@@ -36,21 +36,31 @@ impl HttpMetrics {
         Arc::new(HttpMetrics { clock, stages })
     }
 
-    /// The current clock reading, nanoseconds.
-    pub(crate) fn now(&self) -> u64 {
+    /// The current clock reading, nanoseconds. Public so out-of-crate
+    /// server backends (`oak-edge`) can timestamp their stages against
+    /// the same clock.
+    pub fn now(&self) -> u64 {
         (self.clock)()
     }
 
-    pub(crate) fn record(&self, stage: Stage, start_ns: u64, end_ns: u64) {
+    /// Records one stage duration. Every backend sharing this handle
+    /// lands in the same `oak_http_stage_duration_us` family, so the
+    /// operator's latency view is backend-agnostic.
+    pub fn record(&self, stage: Stage, start_ns: u64, end_ns: u64) {
         self.stages[stage as usize].record(elapsed_us(start_ns, end_ns));
     }
 }
 
-/// Index into [`HttpMetrics::stages`]; order matches [`STAGES`].
-#[derive(Clone, Copy)]
-pub(crate) enum Stage {
+/// Index into [`HttpMetrics`]'s stage histograms; order matches [`STAGES`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Socket entry to a complete request byte buffer (includes any
+    /// keep-alive idle wait before the first byte).
     Read = 0,
+    /// Turning buffered bytes into a [`crate::Request`].
     Parse = 1,
+    /// Running the [`crate::Handler`].
     Handle = 2,
+    /// Writing the response to the socket.
     Write = 3,
 }

@@ -22,6 +22,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::error::HttpError;
+use crate::framing::{content_length_of, head_is_chunked};
 use crate::message::{Request, Response, StatusCode};
 use crate::obs::{HttpMetrics, Stage};
 
@@ -129,7 +130,51 @@ pub struct TransportSnapshot {
     pub bad_requests: u64,
 }
 
+/// One transport-level occurrence worth counting, for backends that
+/// share a [`TransportStats`] block without living in this module (the
+/// `oak-edge` reactor records through this; the in-module threaded
+/// server touches the counters directly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// A connection got a permit and is being served.
+    ConnectionAccepted,
+    /// A connection was turned away with a 503 at the connection cap.
+    ConnectionRejected,
+    /// `accept()` failed.
+    AcceptFailed,
+    /// A request reached the handler and was answered.
+    RequestServed,
+    /// A handler panic was converted to a 500.
+    Panic,
+    /// A request timed out mid-read (408).
+    Timeout,
+    /// A request head exceeded the limit (431).
+    HeadTooLarge,
+    /// A request body exceeded the limit (413).
+    BodyTooLarge,
+    /// A request was rejected as malformed or truncated (400).
+    BadRequest,
+}
+
 impl TransportStats {
+    /// Counts one transport event. Every server backend sharing this
+    /// stats block reports through the same counters, so the operator's
+    /// `/oak/stats` view is backend-agnostic.
+    pub fn record(&self, event: TransportEvent) {
+        let counter = match event {
+            TransportEvent::ConnectionAccepted => &self.connections_accepted,
+            TransportEvent::ConnectionRejected => &self.connections_rejected,
+            TransportEvent::AcceptFailed => &self.accepts_failed,
+            TransportEvent::RequestServed => &self.requests_served,
+            TransportEvent::Panic => &self.panics,
+            TransportEvent::Timeout => &self.timeouts,
+            TransportEvent::HeadTooLarge => &self.heads_too_large,
+            TransportEvent::BodyTooLarge => &self.bodies_too_large,
+            TransportEvent::BadRequest => &self.bad_requests,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads every counter.
     pub fn snapshot(&self) -> TransportSnapshot {
         TransportSnapshot {
@@ -369,15 +414,21 @@ fn accept_loop(
     }
 }
 
+/// The terse 503 every backend answers with at the connection cap.
+/// Shared so a client cannot tell the serving backends apart by the
+/// rejection they receive.
+pub fn over_capacity_response() -> Response {
+    Response::new(StatusCode::UNAVAILABLE)
+        .with_body(b"connection limit reached".to_vec(), "text/plain")
+        .with_header("Connection", "close")
+}
+
 /// Answers a connection that arrived over the cap: a terse 503, written
 /// under a short deadline so a non-draining peer cannot stall accepting.
 fn reject_over_capacity(stream: TcpStream, limits: &ServerLimits) {
     let _ = stream.set_write_timeout(Some(limits.write_timeout.min(Duration::from_secs(1))));
     let mut stream = stream;
-    let response = Response::new(StatusCode::UNAVAILABLE)
-        .with_body(b"connection limit reached".to_vec(), "text/plain")
-        .with_header("Connection", "close");
-    let _ = response.write_to(&mut stream);
+    let _ = over_capacity_response().write_to(&mut stream);
     drain_then_close(&stream);
 }
 
@@ -637,18 +688,6 @@ fn read_request(
     Ok(Some(request))
 }
 
-/// True if the raw head block declares `Transfer-Encoding: chunked`.
-fn head_is_chunked(head: &[u8]) -> Result<bool, HttpError> {
-    let text = std::str::from_utf8(head)
-        .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
-    Ok(text.split("\r\n").any(|line| {
-        line.split_once(':').is_some_and(|(name, value)| {
-            name.eq_ignore_ascii_case("transfer-encoding")
-                && value.trim().eq_ignore_ascii_case("chunked")
-        })
-    }))
-}
-
 /// Reads up to and including the `\r\n\r\n` header terminator.
 fn read_head(
     reader: &mut BufReader<TcpStream>,
@@ -716,43 +755,6 @@ fn read_exact_deadlined(
         filled = end;
     }
     Ok(())
-}
-
-/// Extracts Content-Length from a raw head block (0 when absent).
-///
-/// Strict by design — the body length decides how many bytes the server
-/// buffers, so anything ambiguous is rejected rather than defaulted:
-/// non-digit values (including signs and whitespace padding beyond a
-/// trim) and duplicate declarations that disagree are malformed.
-/// Duplicate *identical* declarations are tolerated per RFC 9110 §8.6.
-fn content_length_of(head: &[u8]) -> Result<usize, HttpError> {
-    let text = std::str::from_utf8(head)
-        .map_err(|_| HttpError::Malformed("non-UTF-8 header block".into()))?;
-    let mut found: Option<usize> = None;
-    for line in text.split("\r\n") {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                let value = value.trim();
-                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
-                    return Err(HttpError::Malformed(format!(
-                        "bad content-length {value:?}"
-                    )));
-                }
-                let parsed: usize = value
-                    .parse()
-                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
-                match found {
-                    Some(prior) if prior != parsed => {
-                        return Err(HttpError::Malformed(format!(
-                            "conflicting content-length declarations ({prior} vs {parsed})"
-                        )));
-                    }
-                    _ => found = Some(parsed),
-                }
-            }
-        }
-    }
-    Ok(found.unwrap_or(0))
 }
 
 /// Performs one blocking HTTP exchange over a fresh TCP connection.

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! oak-serve --root ./site --rules ./site.oakrules [--port 8080]
+//!           [--edge threads|epoll] [--edge-workers <n>]
 //!           [--store ./oak-state] [--fsync always|never|<n>]
 //!           [--snapshot-every <events>] [--audit-retention <entries>]
 //!           [--prune-idle-ms <ms>] [--prune-every <requests>]
@@ -15,6 +16,13 @@
 //!           [--report-rate <per-sec>] [--report-burst <n>]
 //!           [--slow-ms <ms>] [--trace-ring <n>]
 //! ```
+//!
+//! `--edge` selects the transport backend: `threads` (default) spends
+//! one blocking OS thread per connection; `epoll` serves every
+//! connection from one non-blocking reactor thread plus a small worker
+//! pool (see `oak_edge`), which is the right choice for thousands of
+//! mostly-idle keep-alive clients. Behavior over the wire is identical
+//! either way.
 //!
 //! `--rules` takes the §4.1 spec format (see `oak_core::spec`), e.g.:
 //!
@@ -40,7 +48,8 @@ use std::time::Duration;
 
 use oak_core::engine::OakConfig;
 use oak_core::Instant;
-use oak_http::{ServerLimits, TcpServer, TransportStats};
+use oak_edge::{AnyServer, Backend, EdgeConfig};
+use oak_http::{ServerLimits, TransportStats};
 use oak_server::{
     load_root, load_rules_into, AdmissionPolicy, HealthState, OakService, PrunePolicy, ServiceObs,
     METRICS_PATH, REPORT_PATH,
@@ -51,6 +60,8 @@ struct Args {
     root: PathBuf,
     rules: Option<PathBuf>,
     port: u16,
+    backend: Backend,
+    edge: EdgeConfig,
     store: Option<PathBuf>,
     store_options: StoreOptions,
     audit_retention: Option<usize>,
@@ -62,11 +73,22 @@ struct Args {
 }
 
 const USAGE: &str = "usage: oak-serve --root <dir> [--rules <file>] [--port <n>] \
+[--edge threads|epoll] [--edge-workers <n>] \
 [--store <dir>] [--fsync always|never|<n>] [--snapshot-every <events>] \
 [--audit-retention <entries>] [--prune-idle-ms <ms>] [--prune-every <requests>] \
 [--max-connections <n>] [--max-head-bytes <n>] [--max-body-bytes <n>] \
 [--read-timeout-ms <ms>] [--write-timeout-ms <ms>] [--max-report-bytes <n>] \
 [--report-rate <per-sec>] [--report-burst <n>] [--slow-ms <ms>] [--trace-ring <n>]
+
+transport backend:
+  --edge threads|epoll     threads = one blocking thread per connection
+                           (default); epoll = one non-blocking reactor
+                           thread + a small worker pool, for thousands of
+                           mostly-idle keep-alive connections. Protocol
+                           behavior is identical; /oak/stats and
+                           /oak/health grow reactor gauges under epoll.
+  --edge-workers <n>       handler threads for the epoll backend
+                           (default 0 = size from available cores)
 
 transport limits (served with 503/431/413/408 when exceeded):
   --max-connections <n>    concurrent connections before 503 (default 1024)
@@ -88,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
     let mut root = None;
     let mut rules = None;
     let mut port = 8080u16;
+    let mut backend = Backend::Threads;
+    let mut edge = EdgeConfig::default();
     let mut store = None;
     let mut store_options = StoreOptions::default();
     let mut audit_retention = None;
@@ -114,6 +138,14 @@ fn parse_args() -> Result<Args, String> {
                 port = value("--port")?
                     .parse()
                     .map_err(|_| "--port requires a number".to_owned())?;
+            }
+            "--edge" => {
+                let raw = value("--edge")?;
+                backend = Backend::parse(&raw)
+                    .ok_or_else(|| format!("--edge must be threads or epoll, got {raw:?}"))?;
+            }
+            "--edge-workers" => {
+                edge.workers = number("--edge-workers", value("--edge-workers")?)? as usize;
             }
             "--store" => store = Some(PathBuf::from(value("--store")?)),
             "--fsync" => {
@@ -189,6 +221,8 @@ fn parse_args() -> Result<Args, String> {
         root: root.ok_or("--root is required (try --help)")?,
         rules,
         port,
+        backend,
+        edge,
         store,
         store_options,
         audit_retention,
@@ -306,14 +340,17 @@ fn main() -> ExitCode {
         service = service.with_pruning(policy);
     }
     let service = service.into_shared();
+    service.set_edge_backend(args.backend);
 
     let handler: Arc<dyn oak_http::Handler> = service.clone();
-    let server = match TcpServer::start_with_obs(
+    let server = match AnyServer::start_with_config(
+        args.backend,
         args.port,
         handler,
         args.limits,
         transport_stats,
         Some(Arc::clone(&obs.http)),
+        args.edge,
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -321,11 +358,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The reactor owns its gauges; hand them to the service so the
+    // operator endpoints can render them.
+    if let Some(edge_stats) = server.edge_stats() {
+        service.set_edge_stats(edge_stats);
+    }
     service.set_health(HealthState::Serving);
     eprintln!(
-        "oak-serve listening on http://{} (reports at {REPORT_PATH}, \
+        "oak-serve listening on http://{} ({} backend; reports at {REPORT_PATH}, \
 metrics at {METRICS_PATH}); ctrl-c to stop",
-        server.addr()
+        server.addr(),
+        server.backend(),
     );
     // Serve until killed.
     loop {

@@ -2,13 +2,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use oak_core::engine::Oak;
 use oak_core::fetch::FetchStats;
 use oak_core::matching::{NoFetch, ScriptFetcher};
 use oak_core::report::PerfReport;
 use oak_core::Instant;
+use oak_edge::{Backend, EdgeStats};
 use oak_http::cookie::{format_set_cookie, get_cookie, OAK_USER_COOKIE};
 use oak_http::{Handler, Method, Request, Response, StatusCode, TransportStats};
 use oak_obs::{Family, FamilyKind, Series, SeriesValue};
@@ -184,6 +185,14 @@ pub struct OakService {
     buckets: Mutex<HashMap<String, Bucket>>,
     transport: Option<Arc<TransportStats>>,
     fetch: Option<Arc<FetchStats>>,
+    /// Which transport backend fronts the service (named by `/oak/health`
+    /// and `/oak/stats` so an operator can tell an epoll node from a
+    /// threads node at a glance).
+    edge_backend: OnceLock<Backend>,
+    /// Reactor gauges, present only when the epoll backend serves. Set
+    /// after the server starts (the reactor owns its gauges), hence a
+    /// `OnceLock` rather than a builder field.
+    edge: OnceLock<Arc<EdgeStats>>,
     health: AtomicU8,
     obs: Option<Arc<ServiceObs>>,
     /// One aggregates pass shared by `/oak/stats` and `/oak/metrics`:
@@ -212,6 +221,8 @@ impl OakService {
             buckets: Mutex::new(HashMap::new()),
             transport: None,
             fetch: None,
+            edge_backend: OnceLock::new(),
+            edge: OnceLock::new(),
             // Serving by default: a service constructed without a boot
             // sequence (tests, experiments) is ready the moment it exists.
             health: AtomicU8::new(HealthState::Serving.as_u8()),
@@ -262,6 +273,24 @@ impl OakService {
     pub fn with_transport_stats(mut self, stats: Arc<TransportStats>) -> OakService {
         self.transport = Some(stats);
         self
+    }
+
+    /// Names the transport backend fronting this service; `/oak/health`
+    /// and `/oak/stats` report it. First call wins (the backend cannot
+    /// change while the process lives).
+    pub fn set_edge_backend(&self, backend: Backend) {
+        let _ = self.edge_backend.set(backend);
+    }
+
+    /// Attaches the reactor gauges of the [`oak_edge::EdgeServer`]
+    /// fronting this service, so `/oak/stats` exports them under
+    /// `"edge"`, `/oak/health` carries the load-bearing ones (loop lag,
+    /// ready batch, worker-queue depth), and `/oak/metrics` grows an
+    /// `oak_edge_gauge` family. The gauges belong to the server, which
+    /// starts *after* the service is built and shared — so this is a
+    /// post-start setter, not a builder: first call wins.
+    pub fn set_edge_stats(&self, stats: Arc<EdgeStats>) {
+        let _ = self.edge.set(stats);
     }
 
     /// Attaches the fetch-outcome counters of a
@@ -408,6 +437,22 @@ impl OakService {
             row.set("bodies_too_large", t.bodies_too_large);
             row.set("bad_requests", t.bad_requests);
             doc.set("transport", row);
+        }
+        if let Some(backend) = self.edge_backend.get() {
+            doc.set("backend", backend.as_str());
+        }
+        if let Some(edge) = self.edge.get() {
+            let e = edge.snapshot();
+            let mut row = oak_json::Value::object();
+            row.set("loop_lag_us", e.loop_lag_us);
+            row.set("max_loop_lag_us", e.max_loop_lag_us);
+            row.set("ready_batch", e.ready_batch);
+            row.set("max_ready_batch", e.max_ready_batch);
+            row.set("worker_queue_depth", e.worker_queue_depth);
+            row.set("connections_open", e.connections_open);
+            row.set("timers_pending", e.timers_pending);
+            row.set("wakeups", e.wakeups);
+            doc.set("edge", row);
         }
         if let Some(fetch) = &self.fetch {
             let f = fetch.snapshot();
@@ -562,6 +607,27 @@ impl OakService {
                 ],
             ));
         }
+        if let Some(edge) = self.edge.get() {
+            let e = edge.snapshot();
+            families.push(scalar_family(
+                "oak_edge_gauge",
+                "Reactor vitals of the epoll edge backend, by gauge.",
+                FamilyKind::Gauge,
+                vec![
+                    scalar_series(&[("gauge", "loop_lag_us")], e.loop_lag_us as f64),
+                    scalar_series(&[("gauge", "max_loop_lag_us")], e.max_loop_lag_us as f64),
+                    scalar_series(&[("gauge", "ready_batch")], e.ready_batch as f64),
+                    scalar_series(&[("gauge", "max_ready_batch")], e.max_ready_batch as f64),
+                    scalar_series(
+                        &[("gauge", "worker_queue_depth")],
+                        e.worker_queue_depth as f64,
+                    ),
+                    scalar_series(&[("gauge", "connections_open")], e.connections_open as f64),
+                    scalar_series(&[("gauge", "timers_pending")], e.timers_pending as f64),
+                    scalar_series(&[("gauge", "wakeups")], e.wakeups as f64),
+                ],
+            ));
+        }
         let agg = self.aggregates_snapshot();
         families.push(scalar_family(
             "oak_engine_users",
@@ -648,6 +714,21 @@ impl OakService {
         };
         let mut doc = oak_json::Value::object();
         doc.set("state", state.as_str());
+        if let Some(backend) = self.edge_backend.get() {
+            doc.set("backend", backend.as_str());
+        }
+        // A probe watching an epoll node gets the reactor vitals inline:
+        // a rising loop lag or worker-queue depth says the node is
+        // saturating before any request actually fails.
+        if let Some(edge) = self.edge.get() {
+            let e = edge.snapshot();
+            let mut row = oak_json::Value::object();
+            row.set("loop_lag_us", e.loop_lag_us);
+            row.set("ready_batch", e.ready_batch);
+            row.set("worker_queue_depth", e.worker_queue_depth);
+            row.set("connections_open", e.connections_open);
+            doc.set("edge", row);
+        }
         Response::new(status).with_body(doc.to_string().into_bytes(), "application/json")
     }
 

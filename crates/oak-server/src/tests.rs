@@ -664,3 +664,56 @@ fn health_defaults_to_serving_and_other_routes_ignore_it() {
         204
     );
 }
+
+#[test]
+fn edge_gauges_surface_only_when_attached() {
+    let obs = crate::ServiceObs::wall(16, 500);
+    let service = service_with_rule().with_obs(Arc::clone(&obs)).into_shared();
+
+    // Unattached (threads backend, or epoll before start): none of the
+    // operator surfaces mention the reactor, so exposition goldens and
+    // existing scrapers see byte-identical output.
+    let doc = oak_json::parse(&get(&service, crate::STATS_PATH, None).body_text()).unwrap();
+    assert!(doc.get("backend").is_none());
+    assert!(doc.get("edge").is_none());
+    let health = oak_json::parse(&get(&service, crate::HEALTH_PATH, None).body_text()).unwrap();
+    assert!(health.get("edge").is_none());
+    let metrics = get(&service, crate::METRICS_PATH, None).body_text();
+    assert!(!metrics.contains("oak_edge_gauge"));
+
+    // Attached: every surface names the backend and renders the gauges.
+    service.set_edge_backend(oak_edge::Backend::Epoll);
+    let edge = Arc::new(oak_edge::EdgeStats::default());
+    service.set_edge_stats(Arc::clone(&edge));
+
+    let doc = oak_json::parse(&get(&service, crate::STATS_PATH, None).body_text()).unwrap();
+    assert_eq!(doc.get("backend").and_then(|v| v.as_str()), Some("epoll"));
+    let block = doc.get("edge").expect("edge block in /oak/stats");
+    assert_eq!(
+        block.get("connections_open").and_then(|v| v.as_u64()),
+        Some(0)
+    );
+    assert!(block.get("loop_lag_us").is_some());
+    assert!(block.get("worker_queue_depth").is_some());
+
+    let health = oak_json::parse(&get(&service, crate::HEALTH_PATH, None).body_text()).unwrap();
+    assert_eq!(
+        health.get("backend").and_then(|v| v.as_str()),
+        Some("epoll")
+    );
+    let vitals = health.get("edge").expect("edge vitals in /oak/health");
+    assert!(vitals.get("loop_lag_us").is_some());
+    assert!(vitals.get("ready_batch").is_some());
+    assert!(vitals.get("worker_queue_depth").is_some());
+
+    let metrics = get(&service, crate::METRICS_PATH, None).body_text();
+    assert!(metrics.contains("# TYPE oak_edge_gauge gauge"));
+    assert!(metrics.contains("oak_edge_gauge{gauge=\"loop_lag_us\"}"));
+    assert!(metrics.contains("oak_edge_gauge{gauge=\"connections_open\"}"));
+
+    // First call wins: a second attach cannot swap the gauges out from
+    // under a scraper.
+    service.set_edge_backend(oak_edge::Backend::Threads);
+    let doc = oak_json::parse(&get(&service, crate::STATS_PATH, None).body_text()).unwrap();
+    assert_eq!(doc.get("backend").and_then(|v| v.as_str()), Some("epoll"));
+}

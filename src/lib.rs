@@ -20,6 +20,7 @@
 //! | [`server`] | `oak-server` | Oak proxy daemon over HTTP |
 //! | [`net`] | `oak-net` | deterministic network/latency model with DNS and diurnal load |
 //! | [`http`] | `oak-http` | from-scratch HTTP/1.1 (TCP and in-memory transports) |
+//! | [`edge`] | `oak-edge` | non-blocking epoll/poll reactor backend for the HTTP edge |
 //! | [`html`] | `oak-html` | HTML tokenizer and span rewriter |
 //! | [`webgen`] | `oak-webgen` | synthetic Alexa-like site corpus generator |
 //! | [`json`] | `oak-json` | from-scratch JSON used by the report wire format |
@@ -34,6 +35,7 @@
 
 pub use oak_client as client;
 pub use oak_core as core;
+pub use oak_edge as edge;
 pub use oak_html as html;
 pub use oak_http as http;
 pub use oak_json as json;

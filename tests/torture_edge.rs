@@ -1,21 +1,28 @@
-//! Torture: the hardened edge under deterministic abuse.
+//! Torture: the hardened edge under deterministic abuse — over BOTH
+//! transport backends.
 //!
-//! A live `TcpServer` fronting the full Oak service is driven through
-//! the `oak::http::fault` chaos clients — slowloris dribbles, oversized
-//! heads and bodies, mid-body disconnects, permit hogs, panicking
-//! handlers, report floods. After every abuse pattern the suite asserts
-//! the three invariants of a resilient edge: the right status code came
-//! back, no permit leaked (`active_connections` returns to zero), and a
-//! plain request still succeeds.
+//! A live server fronting the full Oak service is driven through the
+//! `oak::http::fault` chaos clients — slowloris dribbles (single- and
+//! multi-connection), oversized heads and bodies, mid-body disconnects,
+//! permit hogs, panicking handlers, report floods. After every abuse
+//! pattern the suite asserts the three invariants of a resilient edge:
+//! the right status code came back, no permit leaked
+//! (`active_connections` returns to zero), and a plain request still
+//! succeeds.
+//!
+//! Every scenario runs twice — once over the blocking
+//! thread-per-connection backend, once over the epoll reactor — proving
+//! the two backends are observably equivalent on every guard status
+//! (400/408/413/429/431/500/503) and every recovery path.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use oak::core::prelude::*;
+use oak::edge::{AnyServer, Backend};
 use oak::http::fault::ChaosClient;
 use oak::http::{
-    fetch_tcp, Handler, Method, Request, Response, ServerLimits, StatusCode, TcpServer,
-    TransportStats,
+    fetch_tcp, Handler, Method, Request, Response, ServerLimits, StatusCode, TransportStats,
 };
 use oak::server::{AdmissionPolicy, OakService, SiteStore, REPORT_PATH};
 
@@ -45,6 +52,17 @@ fn tight_limits() -> ServerLimits {
     }
 }
 
+/// Starts `handler` on the selected backend with shared stats.
+fn start(
+    backend: Backend,
+    handler: Arc<dyn Handler>,
+    limits: ServerLimits,
+    stats: Arc<TransportStats>,
+) -> AnyServer {
+    AnyServer::start_with_obs(backend, 0, handler, limits, stats, None)
+        .unwrap_or_else(|e| panic!("{backend} backend failed to start: {e}"))
+}
+
 /// The normal-service probe: a plain page fetch must succeed.
 fn assert_still_serving(addr: std::net::SocketAddr, context: &str) {
     let resp = fetch_tcp(addr, &Request::new(Method::Get, "/index.html"))
@@ -57,7 +75,7 @@ fn assert_still_serving(addr: std::net::SocketAddr, context: &str) {
 }
 
 /// Spin-waits (bounded) for permits to drain back to zero.
-fn assert_permits_recover(server: &TcpServer, context: &str) {
+fn assert_permits_recover(server: &AnyServer, context: &str) {
     for _ in 0..100 {
         if server.active_connections() == 0 {
             return;
@@ -65,21 +83,20 @@ fn assert_permits_recover(server: &TcpServer, context: &str) {
         std::thread::sleep(Duration::from_millis(20));
     }
     panic!(
-        "{} connection permit(s) still held after {context}",
-        server.active_connections()
+        "{} connection permit(s) still held after {context} ({} backend)",
+        server.active_connections(),
+        server.backend()
     );
 }
 
-#[test]
-fn edge_survives_the_full_abuse_gauntlet() {
+fn abuse_gauntlet(backend: Backend) {
     let stats = Arc::new(TransportStats::default());
-    let mut server = TcpServer::start_with(
-        0,
+    let mut server = start(
+        backend,
         service().into_shared(),
         tight_limits(),
         Arc::clone(&stats),
-    )
-    .unwrap();
+    );
     let addr = server.addr();
     let chaos = ChaosClient::new(addr);
 
@@ -113,10 +130,21 @@ fn edge_survives_the_full_abuse_gauntlet() {
     assert_still_serving(addr, "oversized body");
 
     // 4. Mid-body disconnects: declared 4 KiB, sent 100 bytes, hung up.
+    // Fire-and-forget: the clients never read a verdict, so wait until
+    // the accept loop has actually absorbed all four zombies before
+    // probing — otherwise the probe can be admitted alongside them and
+    // draw a spurious 503 off the still-held permits.
+    let accepted_before = stats.snapshot().connections_accepted;
     for _ in 0..4 {
         chaos
             .disconnect_mid_body(REPORT_PATH, 4_096, 100)
             .expect("disconnect client connects");
+    }
+    for _ in 0..100 {
+        if stats.snapshot().connections_accepted >= accepted_before + 4 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
     }
     assert_permits_recover(&server, "mid-body disconnects");
     assert_still_serving(addr, "mid-body disconnects");
@@ -163,6 +191,61 @@ fn edge_survives_the_full_abuse_gauntlet() {
     server.shutdown();
 }
 
+#[test]
+fn edge_survives_the_full_abuse_gauntlet_over_threads() {
+    abuse_gauntlet(Backend::Threads);
+}
+
+#[test]
+fn edge_survives_the_full_abuse_gauntlet_over_epoll() {
+    abuse_gauntlet(Backend::Epoll);
+}
+
+/// Multi-connection slowloris: eight connections dribbling in lockstep.
+/// Each must be answered 408 *independently* — a reactor that serialized
+/// deadline handling behind a stalled read would fail several of them —
+/// and every permit must come back.
+fn concurrent_slowloris(backend: Backend) {
+    let limits = ServerLimits {
+        max_connections: 16,
+        ..tight_limits()
+    };
+    let stats = Arc::new(TransportStats::default());
+    let mut server = start(backend, service().into_shared(), limits, Arc::clone(&stats));
+    let chaos = ChaosClient::new(server.addr());
+
+    let mut pool = chaos.concurrent(8).expect("8 connections open");
+    let verdicts = pool.dribble_all(
+        b"GET /index.html HTTP/1.1\r\nX-Slow: crawl",
+        2,
+        Duration::from_millis(60),
+    );
+    assert_eq!(verdicts.len(), 8);
+    for (i, verdict) in verdicts.into_iter().enumerate() {
+        let resp = verdict.unwrap_or_else(|e| panic!("connection {i} got no verdict: {e}"));
+        assert_eq!(
+            resp.status,
+            StatusCode::REQUEST_TIMEOUT,
+            "connection {i} must time out independently"
+        );
+    }
+    assert!(stats.snapshot().timeouts >= 8);
+    drop(pool);
+    assert_permits_recover(&server, "concurrent slowloris");
+    assert_still_serving(server.addr(), "concurrent slowloris");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_slowloris_each_answered_independently_over_threads() {
+    concurrent_slowloris(Backend::Threads);
+}
+
+#[test]
+fn concurrent_slowloris_each_answered_independently_over_epoll() {
+    concurrent_slowloris(Backend::Epoll);
+}
+
 /// A handler that panics on demand, proving panic isolation end to end
 /// over a real socket.
 struct Grenade;
@@ -176,15 +259,18 @@ impl Handler for Grenade {
     }
 }
 
-#[test]
-fn handler_panics_become_500s_and_service_continues() {
+fn panics_become_500s(backend: Backend) {
     // Silence the default panic backtrace spew for the intentional panics.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
 
     let stats = Arc::new(TransportStats::default());
-    let mut server =
-        TcpServer::start_with(0, Arc::new(Grenade), tight_limits(), Arc::clone(&stats)).unwrap();
+    let mut server = start(
+        backend,
+        Arc::new(Grenade),
+        tight_limits(),
+        Arc::clone(&stats),
+    );
     let addr = server.addr();
 
     for _ in 0..3 {
@@ -202,7 +288,16 @@ fn handler_panics_become_500s_and_service_continues() {
 }
 
 #[test]
-fn report_floods_are_throttled_with_429_and_recover() {
+fn handler_panics_become_500s_and_service_continues_over_threads() {
+    panics_become_500s(Backend::Threads);
+}
+
+#[test]
+fn handler_panics_become_500s_and_service_continues_over_epoll() {
+    panics_become_500s(Backend::Epoll);
+}
+
+fn report_floods_throttled(backend: Backend) {
     let service = service()
         .with_admission(AdmissionPolicy {
             report_rate: 1.0,
@@ -210,7 +305,8 @@ fn report_floods_are_throttled_with_429_and_recover() {
             ..AdmissionPolicy::default()
         })
         .into_shared();
-    let mut server = TcpServer::start_with_limits(0, service.clone(), tight_limits()).unwrap();
+    let stats = Arc::new(TransportStats::default());
+    let mut server = start(backend, service.clone(), tight_limits(), stats);
     let addr = server.addr();
 
     let mut report = PerfReport::new("u-flood", "/index.html");
@@ -239,8 +335,19 @@ fn report_floods_are_throttled_with_429_and_recover() {
 }
 
 #[test]
+fn report_floods_are_throttled_with_429_and_recover_over_threads() {
+    report_floods_throttled(Backend::Threads);
+}
+
+#[test]
+fn report_floods_are_throttled_with_429_and_recover_over_epoll() {
+    report_floods_throttled(Backend::Epoll);
+}
+
+#[test]
 fn hanging_script_host_cannot_stall_report_ingest() {
     use oak::core::fetch::{FetchPolicy, FetchStep, FlakyFetcher, ResilientFetcher};
+    use oak::http::TcpServer;
 
     // Every external-script fetch hangs for 30 s; the resilient fetcher
     // caps each attempt at 100 ms.
