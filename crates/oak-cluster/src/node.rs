@@ -1,0 +1,883 @@
+//! One cluster node: engines, stores, leases, and WAL shipping for
+//! every partition the node hosts.
+//!
+//! [`ClusterNode`] is sans-io like everything else in this crate: the
+//! caller owns the clock and the wires. Two entry points drive it —
+//! [`ClusterNode::tick`] (time passed) and [`ClusterNode::handle`] (a
+//! message arrived) — and both return the envelopes to deliver. oak-sim
+//! pumps them through its simulated network; `oak-serve --cluster`
+//! pumps them through TCP. Identical bytes, identical decisions.
+//!
+//! # Replication protocol (per partition)
+//!
+//! - The primary stamps every emitted event with its lease epoch
+//!   ([`Oak::set_epoch`]) and ships its WAL tail to each follower from
+//!   that follower's acked head ([`OakStore::tail`]) — WAL shipping in
+//!   the literal sense: the frames a follower applies are decoded from
+//!   the same bytes recovery would replay.
+//! - A follower applies strictly in sequence (a gap ends the batch),
+//!   journals each event to its *own* WAL before applying it, and acks
+//!   its durable head.
+//! - The **replication watermark** (`commit`) is the highest sequence
+//!   number durable on a majority of replicas. Client acks release at
+//!   the watermark and never before — so "acked" *means* "survives any
+//!   single failover", which is exactly the invariant oak-sim checks.
+//! - On winning an election a primary snapshot-transfers its full
+//!   engine state to every follower before shipping appends. This
+//!   clears any divergence a deposed primary accumulated (its unacked
+//!   tail is simply discarded by the install) without log rollback
+//!   machinery; the cost — one state transfer per follower per epoch —
+//!   is the deliberate simplicity trade, measured in EXPERIMENTS.md.
+//! - The durable lease slice (epoch + vote) is persisted to the
+//!   partition directory *before* any produced message is returned, so
+//!   a crash-and-restart cannot double-vote inside one epoch.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use oak_core::engine::{Oak, OakConfig};
+use oak_core::events::EventSink;
+use oak_json::Value;
+use oak_store::{OakStore, StorageBackend, StoreOptions, Tail};
+
+use crate::lease::{Durable, Lease, LeaseConfig, Role};
+use crate::msg::{Envelope, Message};
+use crate::ring::Topology;
+use crate::NodeId;
+
+/// Node-level configuration.
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// Engine configuration (every replica must agree).
+    pub oak: OakConfig,
+    /// Store durability policy. Replication acks assert durability, so
+    /// cluster deployments should run `FsyncPolicy::Always`; a looser
+    /// policy weakens "acked" to "applied, probably durable".
+    pub store: StoreOptions,
+    /// Lease/heartbeat timing.
+    pub lease: LeaseConfig,
+    /// Max events per `Append` message.
+    pub append_batch: usize,
+    /// Resend an unacked snapshot transfer after this long.
+    pub snapshot_resend_ms: u64,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        NodeOptions {
+            oak: OakConfig::default(),
+            store: StoreOptions {
+                fsync: oak_store::FsyncPolicy::Always,
+                ..StoreOptions::default()
+            },
+            lease: LeaseConfig::default(),
+            append_batch: 64,
+            snapshot_resend_ms: 200,
+        }
+    }
+}
+
+/// Why a request cannot be served here right now. The router maps this
+/// to `503 Retry-After`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPrimary {
+    /// The partition the request belongs to.
+    pub partition: u32,
+}
+
+/// A point-in-time view of one hosted partition, for health/stats.
+#[derive(Debug, Clone)]
+pub struct PartitionStatus {
+    pub partition: u32,
+    pub role: Role,
+    pub epoch: u64,
+    /// This replica's applied (and journaled) head.
+    pub head: u64,
+    /// The replication watermark: primary's computed commit, or the
+    /// last commit heard from a primary on a follower.
+    pub commit: u64,
+    /// Replication lag in events: on a primary, the worst follower's
+    /// distance from head; on a follower, its own distance from the
+    /// last heard commit.
+    pub lag: u64,
+}
+
+/// Replication bookkeeping the primary keeps per partition.
+#[derive(Debug, Default)]
+struct Shipping {
+    /// Follower → highest head acked under the current epoch.
+    acked: BTreeMap<NodeId, u64>,
+    /// Followers still owed the epoch-start snapshot transfer.
+    needs_snapshot: BTreeSet<NodeId>,
+    /// When each pending snapshot was last sent.
+    snapshot_sent_ms: BTreeMap<NodeId, u64>,
+}
+
+/// One hosted partition: engine, store, lease, shipping state.
+struct Partition {
+    id: u32,
+    oak: Arc<Oak>,
+    store: Arc<OakStore>,
+    lease: Lease,
+    shipping: Shipping,
+    /// Replication watermark (monotone). On a follower this is the
+    /// highest commit heard from a live primary.
+    commit: u64,
+    /// Highest epoch whose snapshot transfer this replica installed —
+    /// install at most once per epoch, or a duplicated transfer could
+    /// regress an already-advanced follower.
+    installed_epoch: u64,
+}
+
+impl Partition {
+    fn head(&self) -> u64 {
+        self.oak.event_seq()
+    }
+}
+
+impl std::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Partition")
+            .field("id", &self.id)
+            .field("role", &self.lease.role())
+            .field("epoch", &self.lease.epoch())
+            .field("head", &self.head())
+            .field("commit", &self.commit)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cluster node hosting every partition the topology assigns it.
+#[derive(Debug)]
+pub struct ClusterNode {
+    id: NodeId,
+    topology: Topology,
+    options: NodeOptions,
+    backend: Arc<dyn StorageBackend>,
+    root: PathBuf,
+    partitions: BTreeMap<u32, Partition>,
+}
+
+/// Name of the durable lease file inside a partition directory.
+const LEASE_FILE: &str = "lease.json";
+
+impl ClusterNode {
+    /// Boots (or re-boots after a crash) node `id`: recovers engine +
+    /// store for every hosted partition from `root/part-PP/`, restores
+    /// the durable lease slice, and starts everyone as a follower.
+    pub fn new(
+        id: NodeId,
+        topology: Topology,
+        backend: Arc<dyn StorageBackend>,
+        root: impl Into<PathBuf>,
+        options: NodeOptions,
+        now_ms: u64,
+    ) -> io::Result<ClusterNode> {
+        let root = root.into();
+        let mut partitions = BTreeMap::new();
+        for partition in topology.partitions_of(id) {
+            let dir = root.join(format!("part-{partition:02}"));
+            let boot = OakStore::boot_with(backend.clone(), &dir, options.oak, options.store)?;
+            let replicas = topology.replicas(partition);
+            let mut lease = Lease::new(id, replicas, options.lease, now_ms);
+            if let Some(durable) = read_lease_file(&*backend, &dir) {
+                lease.restore(durable, now_ms);
+            }
+            partitions.insert(
+                partition,
+                Partition {
+                    id: partition,
+                    oak: Arc::new(boot.oak),
+                    store: boot.store,
+                    lease,
+                    shipping: Shipping::default(),
+                    commit: 0,
+                    installed_epoch: 0,
+                },
+            );
+        }
+        Ok(ClusterNode {
+            id,
+            topology,
+            options,
+            backend,
+            root,
+            partitions,
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The shared placement contract.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The partition holding `user`'s state.
+    pub fn partition_of(&self, user: &str) -> u32 {
+        self.topology.partition_of(user)
+    }
+
+    /// The partitions this node hosts.
+    pub fn hosted_partitions(&self) -> Vec<u32> {
+        self.partitions.keys().copied().collect()
+    }
+
+    /// The engine for `partition` **iff this node currently holds its
+    /// lease** — the only handle through which client traffic (reports,
+    /// page serves, rule changes) may reach an engine. Everything
+    /// mutated through it is stamped with the lease epoch and ships to
+    /// followers on the next tick.
+    pub fn primary_engine(&self, partition: u32) -> Result<Arc<Oak>, NotPrimary> {
+        match self.partitions.get(&partition) {
+            Some(p) if p.lease.is_primary() => Ok(p.oak.clone()),
+            _ => Err(NotPrimary { partition }),
+        }
+    }
+
+    /// The local engine replica regardless of role — for observability
+    /// and the sim oracle only, never for serving client traffic.
+    pub fn replica_engine(&self, partition: u32) -> Option<Arc<Oak>> {
+        self.partitions.get(&partition).map(|p| p.oak.clone())
+    }
+
+    /// The durable store behind a hosted partition, so a serving edge
+    /// can drive snapshot compaction
+    /// ([`oak_store::OakStore::maybe_snapshot`]) from its ingest path.
+    pub fn partition_store(&self, partition: u32) -> Option<Arc<OakStore>> {
+        self.partitions.get(&partition).map(|p| p.store.clone())
+    }
+
+    /// Current role for a hosted partition.
+    pub fn role(&self, partition: u32) -> Option<Role> {
+        self.partitions.get(&partition).map(|p| p.lease.role())
+    }
+
+    /// The replication watermark for a hosted partition: the highest
+    /// sequence number durable on a majority. A client ack for an event
+    /// batch ending at `seq` may be released once `commit >= seq`.
+    pub fn commit(&self, partition: u32) -> Option<u64> {
+        self.partitions.get(&partition).map(|p| p.commit)
+    }
+
+    /// Point-in-time status of every hosted partition, for
+    /// health/stats surfaces.
+    pub fn status(&self) -> Vec<PartitionStatus> {
+        self.partitions
+            .values()
+            .map(|p| {
+                let head = p.head();
+                let lag = if p.lease.is_primary() {
+                    self.followers(p.id)
+                        .into_iter()
+                        .map(|f| {
+                            head.saturating_sub(p.shipping.acked.get(&f).copied().unwrap_or(0))
+                        })
+                        .max()
+                        .unwrap_or(0)
+                } else {
+                    p.commit.saturating_sub(head)
+                };
+                PartitionStatus {
+                    partition: p.id,
+                    role: p.lease.role(),
+                    epoch: p.lease.epoch(),
+                    head,
+                    commit: p.commit,
+                    lag,
+                }
+            })
+            .collect()
+    }
+
+    fn followers(&self, partition: u32) -> Vec<NodeId> {
+        self.topology
+            .replicas(partition)
+            .into_iter()
+            .filter(|&n| n != self.id)
+            .collect()
+    }
+
+    /// Advances time for every hosted partition: lease ticks (
+    /// elections, heartbeats, lease expiry) and, on primaries, WAL
+    /// shipping and snapshot transfer.
+    pub fn tick(&mut self, now_ms: u64) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        let ids: Vec<u32> = self.partitions.keys().copied().collect();
+        for partition in ids {
+            self.tick_partition(now_ms, partition, &mut out);
+        }
+        out
+    }
+
+    fn tick_partition(&mut self, now_ms: u64, partition: u32, out: &mut Vec<Envelope>) {
+        let followers = self.followers(partition);
+        let me = self.id;
+        let dir = self.partition_dir(partition);
+        let backend = self.backend.clone();
+        let append_batch = self.options.append_batch;
+        let snapshot_resend_ms = self.options.snapshot_resend_ms;
+        let Some(p) = self.partitions.get_mut(&partition) else {
+            return;
+        };
+
+        let before = (p.lease.role(), p.lease.epoch(), p.lease.durable());
+        let head = p.head();
+        let lease_out = p.lease.tick(now_ms, head, p.commit);
+        Self::apply_transition(p, &followers, before.0, before.1);
+        if p.lease.durable() != before.2 {
+            write_lease_file(&*backend, &dir, p.lease.durable());
+        }
+        for (to, msg) in lease_out {
+            out.push(Envelope {
+                from: me,
+                to,
+                msg: Message::Lease { partition, msg },
+            });
+        }
+
+        if !p.lease.is_primary() {
+            return;
+        }
+        let epoch = p.lease.epoch();
+        // Snapshot transfers owed (epoch start, or a compacted tail).
+        let pending: Vec<NodeId> = p.shipping.needs_snapshot.iter().copied().collect();
+        let mut snapshot_doc: Option<(u64, Value)> = None;
+        for follower in pending {
+            let sent = p.shipping.snapshot_sent_ms.get(&follower).copied();
+            if let Some(at) = sent {
+                if now_ms.saturating_sub(at) < snapshot_resend_ms {
+                    continue;
+                }
+            }
+            let (watermark, state) = match &snapshot_doc {
+                Some((w, doc)) => (*w, doc.clone()),
+                None => {
+                    let doc = p.oak.snapshot_json();
+                    let w = p.head();
+                    snapshot_doc = Some((w, doc.clone()));
+                    (w, doc)
+                }
+            };
+            p.shipping.snapshot_sent_ms.insert(follower, now_ms);
+            out.push(Envelope {
+                from: me,
+                to: follower,
+                msg: Message::Snapshot {
+                    partition,
+                    epoch,
+                    watermark,
+                    state,
+                },
+            });
+        }
+        // WAL shipping to caught-up followers.
+        let head = p.head();
+        for &follower in &followers {
+            if p.shipping.needs_snapshot.contains(&follower) {
+                continue;
+            }
+            let acked = p.shipping.acked.get(&follower).copied().unwrap_or(0);
+            if acked >= head {
+                continue;
+            }
+            match p.store.tail(acked) {
+                Ok(Tail::Events(mut events)) => {
+                    if events.is_empty() {
+                        continue;
+                    }
+                    events.truncate(append_batch);
+                    out.push(Envelope {
+                        from: me,
+                        to: follower,
+                        msg: Message::Append {
+                            partition,
+                            epoch,
+                            commit: p.commit,
+                            events,
+                        },
+                    });
+                }
+                Ok(Tail::Compacted { .. }) => {
+                    // The follower fell behind our own compaction
+                    // horizon: back to snapshot transfer.
+                    p.shipping.needs_snapshot.insert(follower);
+                    p.shipping.snapshot_sent_ms.remove(&follower);
+                }
+                Err(_) => {}
+            }
+        }
+        Self::recompute_commit(p, &followers);
+    }
+
+    /// Role/epoch transition bookkeeping around any lease step.
+    fn apply_transition(p: &mut Partition, followers: &[NodeId], prev_role: Role, prev_epoch: u64) {
+        let took_office =
+            p.lease.is_primary() && (prev_role != Role::Primary || prev_epoch != p.lease.epoch());
+        if took_office {
+            // New epoch, new authority: stamp emitted events, forget
+            // stale shipping state, owe every follower a snapshot so
+            // any divergence they carry is overwritten.
+            p.oak.set_epoch(p.lease.epoch());
+            p.shipping.acked.clear();
+            p.shipping.snapshot_sent_ms.clear();
+            p.shipping.needs_snapshot = followers.iter().copied().collect();
+        }
+    }
+
+    /// Recomputes the replication watermark: the highest seq durable on
+    /// a majority (self head counts as one replica). Monotone.
+    fn recompute_commit(p: &mut Partition, followers: &[NodeId]) {
+        if !p.lease.is_primary() {
+            return;
+        }
+        let mut heads: Vec<u64> = vec![p.head()];
+        for follower in followers {
+            heads.push(p.shipping.acked.get(follower).copied().unwrap_or(0));
+        }
+        heads.sort_unstable_by(|a, b| b.cmp(a));
+        let majority = heads.len() / 2 + 1;
+        let durable_on_majority = heads[majority - 1];
+        p.commit = p.commit.max(durable_on_majority);
+    }
+
+    /// Handles one incoming envelope, returning replies to deliver.
+    /// Envelopes addressed elsewhere or for unhosted partitions are
+    /// dropped (a healing cluster sees plenty of those).
+    pub fn handle(&mut self, now_ms: u64, envelope: &Envelope) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        if envelope.to != self.id {
+            return out;
+        }
+        let partition = envelope.msg.partition();
+        if !self.partitions.contains_key(&partition) {
+            return out;
+        }
+        let followers = self.followers(partition);
+        let me = self.id;
+        let dir = self.partition_dir(partition);
+        let backend = self.backend.clone();
+        let oak_config = self.options.oak;
+        let p = self.partitions.get_mut(&partition).expect("checked");
+        let from = envelope.from;
+
+        let before = (p.lease.role(), p.lease.epoch(), p.lease.durable());
+        match &envelope.msg {
+            Message::Lease { msg, .. } => {
+                let head = p.head();
+                let replies = p.lease.on_msg(now_ms, from, msg, head);
+                // Track the commit hint a heartbeat carries.
+                if let crate::lease::LeaseMsg::Heartbeat { commit, .. } = msg {
+                    if !p.lease.is_primary() {
+                        p.commit = p.commit.max(*commit);
+                    }
+                }
+                for (to, msg) in replies {
+                    out.push(Envelope {
+                        from: me,
+                        to,
+                        msg: Message::Lease { partition, msg },
+                    });
+                }
+            }
+            Message::Append {
+                epoch,
+                commit,
+                events,
+                ..
+            } => {
+                p.lease.observe_primary(now_ms, *epoch);
+                if *epoch >= p.lease.epoch() && !p.lease.is_primary() {
+                    p.commit = p.commit.max(*commit);
+                    for event in events {
+                        let head = p.head();
+                        if event.seq < head {
+                            continue;
+                        }
+                        if event.seq > head {
+                            break; // gap: wait for backfill
+                        }
+                        // Journal to our own WAL *before* applying:
+                        // what we ack must be what our recovery
+                        // replays.
+                        p.store.record(None, event);
+                        p.oak.apply_event(event);
+                    }
+                    out.push(Envelope {
+                        from: me,
+                        to: from,
+                        msg: Message::AppendAck {
+                            partition,
+                            epoch: *epoch,
+                            acked: p.head(),
+                        },
+                    });
+                }
+            }
+            Message::AppendAck { epoch, acked, .. } => {
+                if *epoch > p.lease.epoch() {
+                    p.lease.observe_primary(now_ms, *epoch);
+                } else if p.lease.is_primary() && *epoch == p.lease.epoch() {
+                    let entry = p.shipping.acked.entry(from).or_insert(0);
+                    *entry = (*entry).max(*acked);
+                    p.lease.note_contact(now_ms, from);
+                    Self::recompute_commit(p, &followers);
+                }
+            }
+            Message::Snapshot {
+                epoch,
+                watermark,
+                state,
+                ..
+            } => {
+                p.lease.observe_primary(now_ms, *epoch);
+                if *epoch >= p.lease.epoch() && !p.lease.is_primary() {
+                    let mut acked = None;
+                    if *epoch > p.installed_epoch {
+                        // Install: replace the engine wholesale. Any
+                        // divergence this replica carried (it may be a
+                        // deposed primary) is discarded here.
+                        if let Ok(mut fresh) = Oak::from_snapshot_json(oak_config, state) {
+                            fresh.set_event_sink(p.store.clone());
+                            let fresh = Arc::new(fresh);
+                            if p.store.snapshot(&fresh).is_ok() {
+                                p.oak = fresh;
+                                p.installed_epoch = *epoch;
+                                acked = Some(*watermark);
+                            }
+                        }
+                    } else {
+                        // Duplicate transfer for an epoch we already
+                        // installed: just re-ack our head.
+                        acked = Some(p.head());
+                    }
+                    if let Some(watermark) = acked {
+                        out.push(Envelope {
+                            from: me,
+                            to: from,
+                            msg: Message::SnapshotAck {
+                                partition,
+                                epoch: *epoch,
+                                watermark,
+                            },
+                        });
+                    }
+                }
+            }
+            Message::SnapshotAck {
+                epoch, watermark, ..
+            } => {
+                if *epoch > p.lease.epoch() {
+                    p.lease.observe_primary(now_ms, *epoch);
+                } else if p.lease.is_primary() && *epoch == p.lease.epoch() {
+                    p.shipping.needs_snapshot.remove(&from);
+                    p.shipping.snapshot_sent_ms.remove(&from);
+                    let entry = p.shipping.acked.entry(from).or_insert(0);
+                    *entry = (*entry).max(*watermark);
+                    p.lease.note_contact(now_ms, from);
+                    Self::recompute_commit(p, &followers);
+                }
+            }
+        }
+        Self::apply_transition(p, &followers, before.0, before.1);
+        if p.lease.durable() != before.2 {
+            // Persist before the replies (grants!) leave this node.
+            write_lease_file(&*backend, &dir, p.lease.durable());
+        }
+        out
+    }
+
+    fn partition_dir(&self, partition: u32) -> PathBuf {
+        self.root.join(format!("part-{partition:02}"))
+    }
+}
+
+/// Reads the durable lease slice; `None` on absence or damage (the
+/// protocol then conservatively restarts from epoch 0 — safe, because
+/// the file is written before any grant is sent, and rename+dir-sync
+/// makes that write atomic-or-absent).
+fn read_lease_file(backend: &dyn StorageBackend, dir: &std::path::Path) -> Option<Durable> {
+    let buf = backend.read(&dir.join(LEASE_FILE)).ok()?;
+    let text = std::str::from_utf8(&buf).ok()?;
+    let doc = oak_json::parse(text).ok()?;
+    let epoch = doc.get("epoch").and_then(Value::as_u64)?;
+    let voted_for = doc
+        .get("voted_for")
+        .and_then(Value::as_u64)
+        .map(|n| NodeId(n as u32));
+    Some(Durable { epoch, voted_for })
+}
+
+/// Persists the durable lease slice with the same write-rename-syncdir
+/// dance snapshots use, so a crash leaves either the old record or the
+/// new one, never a torn half.
+fn write_lease_file(backend: &dyn StorageBackend, dir: &std::path::Path, durable: Durable) {
+    let mut doc = Value::object();
+    doc.set("epoch", durable.epoch);
+    if let Some(node) = durable.voted_for {
+        doc.set("voted_for", u64::from(node.0));
+    }
+    let tmp = dir.join("lease.json.tmp");
+    let path = dir.join(LEASE_FILE);
+    let write = || -> io::Result<()> {
+        let mut file = backend.create(&tmp)?;
+        file.write_all(doc.to_string().as_bytes())?;
+        file.sync_data()?;
+        backend.rename(&tmp, &path)?;
+        backend.sync_dir(dir)
+    };
+    // A node that cannot persist its vote is a node about to crash in
+    // the sim (SimFs fails everything once a crash fires); the swallow
+    // here mirrors the WAL sink's policy of keeping the hot path alive.
+    let _ = write();
+}
+
+// Keep the unused-field warning away until the TCP transport reads it.
+impl ClusterNode {
+    /// Node options in effect.
+    pub fn options(&self) -> &NodeOptions {
+        &self.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use oak_core::rule::Rule;
+    use oak_core::Instant;
+    use oak_store::RealFs;
+
+    use super::*;
+
+    fn topology(nodes: u32, partitions: u32, replication: usize) -> Topology {
+        Topology::new((0..nodes).map(NodeId).collect(), partitions, replication)
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("oak-cluster-{tag}-{}", std::process::id()))
+    }
+
+    struct Harness {
+        nodes: Vec<ClusterNode>,
+    }
+
+    impl Harness {
+        fn new(tag: &str, n: u32, partitions: u32, replication: usize) -> Harness {
+            let root = temp_root(tag);
+            let _ = std::fs::remove_dir_all(&root);
+            let topo = topology(n, partitions, replication);
+            let nodes = (0..n)
+                .map(|i| {
+                    ClusterNode::new(
+                        NodeId(i),
+                        topo.clone(),
+                        Arc::new(RealFs),
+                        root.join(format!("node-{i}")),
+                        NodeOptions::default(),
+                        0,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            Harness { nodes }
+        }
+
+        /// Ticks every node then delivers all traffic to quiescence.
+        fn settle(&mut self, now_ms: u64) {
+            let mut inbox: Vec<Envelope> = Vec::new();
+            for node in &mut self.nodes {
+                inbox.extend(node.tick(now_ms));
+            }
+            let mut rounds = 0;
+            while !inbox.is_empty() {
+                rounds += 1;
+                assert!(rounds < 100, "cluster message storm");
+                let mut next = Vec::new();
+                for envelope in &inbox {
+                    let node = &mut self.nodes[envelope.to.0 as usize];
+                    next.extend(node.handle(now_ms, envelope));
+                }
+                inbox = next;
+            }
+        }
+
+        fn primary_of(&self, partition: u32) -> Option<usize> {
+            let mut found = None;
+            for (i, node) in self.nodes.iter().enumerate() {
+                if node.role(partition) == Some(Role::Primary) {
+                    assert!(found.is_none(), "two primaries for partition {partition}");
+                    found = Some(i);
+                }
+            }
+            found
+        }
+    }
+
+    #[test]
+    fn elects_replicates_and_commits() {
+        let mut h = Harness::new("basic", 3, 1, 3);
+        let mut now = 0;
+        while h.primary_of(0).is_none() {
+            now += 50;
+            assert!(now < 10_000, "no primary elected");
+            h.settle(now);
+        }
+        let primary = h.primary_of(0).unwrap();
+
+        // Write through the primary; followers must converge and the
+        // commit watermark must cover the write.
+        let oak = h.nodes[primary].primary_engine(0).unwrap();
+        let rule = Rule::remove(r#"<script src="http://slow.example/t.js">"#);
+        let id = oak.add_rule(rule).unwrap();
+        oak.force_activate(Instant::ZERO, "u-1", id);
+        let head = oak.event_seq();
+
+        for _ in 0..20 {
+            now += 50;
+            h.settle(now);
+            if h.nodes[primary].commit(0) == Some(head) {
+                break;
+            }
+        }
+        assert_eq!(
+            h.nodes[primary].commit(0),
+            Some(head),
+            "write never committed"
+        );
+        for (i, node) in h.nodes.iter().enumerate() {
+            let replica = node.replica_engine(0).unwrap();
+            assert_eq!(replica.event_seq(), head, "node {i} lagging");
+            assert_eq!(replica.active_rules("u-1").len(), 1, "node {i} diverged");
+        }
+        // Events shipped under the primary's epoch carry that epoch.
+        let status = h.nodes[primary].status();
+        assert_eq!(status[0].role, Role::Primary);
+        assert!(status[0].epoch >= 1);
+    }
+
+    #[test]
+    fn non_primary_refuses_client_traffic() {
+        let mut h = Harness::new("refuse", 3, 1, 3);
+        let mut now = 0;
+        while h.primary_of(0).is_none() {
+            now += 50;
+            h.settle(now);
+        }
+        let primary = h.primary_of(0).unwrap();
+        for (i, node) in h.nodes.iter().enumerate() {
+            if i == primary {
+                assert!(node.primary_engine(0).is_ok());
+            } else {
+                assert!(matches!(
+                    node.primary_engine(0),
+                    Err(NotPrimary { partition: 0 })
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn failover_preserves_committed_writes() {
+        let mut h = Harness::new("failover", 3, 1, 3);
+        let mut now = 0;
+        while h.primary_of(0).is_none() {
+            now += 50;
+            h.settle(now);
+        }
+        let old_primary = h.primary_of(0).unwrap();
+        let oak = h.nodes[old_primary].primary_engine(0).unwrap();
+        let id = oak
+            .add_rule(Rule::remove(r#"<script src="http://slow.example/t.js">"#))
+            .unwrap();
+        oak.force_activate(Instant::ZERO, "u-1", id);
+        let head = oak.event_seq();
+        while h.nodes[old_primary].commit(0) != Some(head) {
+            now += 50;
+            assert!(now < 20_000, "write never committed");
+            h.settle(now);
+        }
+
+        // Kill the primary (stop ticking it / delivering to it).
+        let survivors: Vec<usize> = (0..3).filter(|&i| i != old_primary).collect();
+        let mut new_primary = None;
+        for _ in 0..200 {
+            now += 50;
+            let mut inbox = Vec::new();
+            for &i in &survivors {
+                inbox.extend(h.nodes[i].tick(now));
+            }
+            while !inbox.is_empty() {
+                let mut next = Vec::new();
+                for envelope in &inbox {
+                    let to = envelope.to.0 as usize;
+                    if to == old_primary {
+                        continue; // dead node
+                    }
+                    next.extend(h.nodes[to].handle(now, envelope));
+                }
+                inbox = next;
+            }
+            new_primary = survivors
+                .iter()
+                .copied()
+                .find(|&i| h.nodes[i].role(0) == Some(Role::Primary));
+            if let Some(np) = new_primary {
+                if h.nodes[np].commit(0).unwrap_or(0) >= head {
+                    break;
+                }
+            }
+        }
+        let new_primary = new_primary.expect("no failover happened");
+        assert_ne!(new_primary, old_primary);
+        let promoted = h.nodes[new_primary].primary_engine(0).unwrap();
+        assert!(
+            promoted.event_seq() >= head,
+            "promoted follower lost committed events"
+        );
+        assert_eq!(promoted.active_rules("u-1").len(), 1);
+    }
+
+    #[test]
+    fn restart_recovers_state_and_lease() {
+        let root = temp_root("restart");
+        let _ = std::fs::remove_dir_all(&root);
+        let topo = topology(1, 1, 1);
+        let head;
+        {
+            let mut node = ClusterNode::new(
+                NodeId(0),
+                topo.clone(),
+                Arc::new(RealFs),
+                root.join("node-0"),
+                NodeOptions::default(),
+                0,
+            )
+            .unwrap();
+            node.tick(1_000);
+            assert_eq!(node.role(0), Some(Role::Primary));
+            let oak = node.primary_engine(0).unwrap();
+            oak.add_rule(Rule::remove(r#"<script src="http://slow.example/t.js">"#))
+                .unwrap();
+            head = oak.event_seq();
+        }
+        let node = ClusterNode::new(
+            NodeId(0),
+            topo,
+            Arc::new(RealFs),
+            root.join("node-0"),
+            NodeOptions::default(),
+            0,
+        )
+        .unwrap();
+        let oak = node.replica_engine(0).unwrap();
+        assert_eq!(oak.event_seq(), head, "events lost across restart");
+        // The durable lease epoch survived: a restarted node can only
+        // move *forward* in epochs.
+        assert!(node.partitions[&0].lease.epoch() >= 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

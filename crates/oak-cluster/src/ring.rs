@@ -1,0 +1,202 @@
+//! Consistent-hash placement: users → partitions → replica sets.
+//!
+//! Placement is two pure functions, both keyed off the engine's own
+//! shard hash ([`oak_core::engine::shard_key`]):
+//!
+//! 1. `partition_of(user)` — FNV-1a of the user id modulo the partition
+//!    count. A user's partition is stable for the life of the topology,
+//!    and users in the same partition always share a primary, so a
+//!    user's rule state lives on exactly one replication group.
+//! 2. [`Ring::nodes_for`] — a classic consistent-hash ring with virtual
+//!    nodes: each node contributes `vnodes` points, a partition's
+//!    replica set is the first `n` *distinct* nodes clockwise from the
+//!    partition's hash. Adding or removing one node moves only the
+//!    partitions whose arcs it owned (the Routing-Aware Partitioning
+//!    motivation from PAPERS.md).
+//!
+//! [`Topology`] bundles the two with a replication factor and is the one
+//! value every cluster participant (nodes, router, simulator) agrees on.
+
+use oak_core::engine::shard_key;
+
+use crate::NodeId;
+
+/// Splitmix64 — mixes ring point indices into well-spread u64s.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over cluster nodes.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, node)` sorted by point; each node owns `vnodes` points.
+    points: Vec<(u64, NodeId)>,
+}
+
+impl Ring {
+    /// Builds a ring where each of `nodes` contributes `vnodes` points.
+    pub fn new(nodes: &[NodeId], vnodes: usize) -> Ring {
+        let mut points = Vec::with_capacity(nodes.len() * vnodes.max(1));
+        for &node in nodes {
+            for v in 0..vnodes.max(1) as u64 {
+                points.push((mix((u64::from(node.0) << 32) | v), node));
+            }
+        }
+        points.sort();
+        Ring { points }
+    }
+
+    /// The first `n` distinct nodes clockwise from `key`'s position.
+    pub fn nodes_for(&self, key: u64, n: usize) -> Vec<NodeId> {
+        let mut picked: Vec<NodeId> = Vec::with_capacity(n);
+        if self.points.is_empty() {
+            return picked;
+        }
+        let start = self.points.partition_point(|(p, _)| *p < key);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !picked.contains(&node) {
+                picked.push(node);
+                if picked.len() == n {
+                    break;
+                }
+            }
+        }
+        picked
+    }
+}
+
+/// The cluster-wide placement contract: partition count, replication
+/// factor, and the node ring. Every participant derives the same
+/// placement from the same `Topology`.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeId>,
+    partitions: u32,
+    replication: usize,
+    ring: Ring,
+}
+
+/// Virtual nodes per physical node on the ring.
+const VNODES: usize = 16;
+
+impl Topology {
+    /// A topology over `nodes` with `partitions` replication groups of
+    /// `replication` replicas each (capped at the node count).
+    pub fn new(nodes: Vec<NodeId>, partitions: u32, replication: usize) -> Topology {
+        let ring = Ring::new(&nodes, VNODES);
+        let replication = replication.clamp(1, nodes.len().max(1));
+        Topology {
+            nodes,
+            partitions: partitions.max(1),
+            replication,
+            ring,
+        }
+    }
+
+    /// All cluster nodes.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of partitions (replication groups).
+    pub fn partitions(&self) -> u32 {
+        self.partitions
+    }
+
+    /// Replicas per partition.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The partition holding `user`'s state — the engine shard hash
+    /// modulo the partition count.
+    pub fn partition_of(&self, user: &str) -> u32 {
+        (shard_key(user) % u64::from(self.partitions)) as u32
+    }
+
+    /// The replica set of `partition`, in ring (preference) order. The
+    /// first entry is only a *preference*: the lease protocol, not the
+    /// ring, decides who is primary.
+    pub fn replicas(&self, partition: u32) -> Vec<NodeId> {
+        self.ring
+            .nodes_for(mix(u64::from(partition) ^ PARTITION_SALT), self.replication)
+    }
+
+    /// Whether `node` hosts (is a replica of) `partition`.
+    pub fn hosts(&self, node: NodeId, partition: u32) -> bool {
+        self.replicas(partition).contains(&node)
+    }
+
+    /// The partitions `node` hosts.
+    pub fn partitions_of(&self, node: NodeId) -> Vec<u32> {
+        (0..self.partitions)
+            .filter(|&p| self.hosts(node, p))
+            .collect()
+    }
+}
+
+/// Fixed salt separating partition-placement hashes from node points.
+const PARTITION_SALT: u64 = 0x6f61_6b5f_7061_7274; // "oak_part"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn replica_sets_are_distinct_and_sized() {
+        let topo = Topology::new(nodes(5), 8, 3);
+        for p in 0..8 {
+            let replicas = topo.replicas(p);
+            assert_eq!(replicas.len(), 3);
+            let mut dedup = replicas.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn replication_caps_at_node_count() {
+        let topo = Topology::new(nodes(2), 4, 3);
+        assert_eq!(topo.replication(), 2);
+        for p in 0..4 {
+            assert_eq!(topo.replicas(p).len(), 2);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_stable_under_node_add() {
+        let before = Topology::new(nodes(4), 32, 2);
+        let after = Topology::new(nodes(5), 32, 2);
+        let mut moved = 0;
+        for p in 0..32 {
+            assert_eq!(before.replicas(p), before.replicas(p));
+            if before.replicas(p) != after.replicas(p) {
+                moved += 1;
+            }
+        }
+        // Consistent hashing: adding one node must not reshuffle
+        // everything. (Exact count depends on the ring, but "all of it
+        // moved" would mean the ring is broken.)
+        assert!(moved < 32, "adding a node moved every partition");
+    }
+
+    #[test]
+    fn partition_of_matches_shard_key() {
+        let topo = Topology::new(nodes(3), 7, 2);
+        for user in ["u-1", "u-2", "alice", "bob"] {
+            assert_eq!(
+                topo.partition_of(user),
+                (oak_core::engine::shard_key(user) % 7) as u32
+            );
+        }
+    }
+}

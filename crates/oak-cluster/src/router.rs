@@ -1,0 +1,159 @@
+//! The thin routing layer in front of the serving edge.
+//!
+//! A router maps a request's user to a partition (the shard hash) and
+//! the partition to its *believed* current primary. The belief is
+//! gossip, not authority: the lease protocol decides primacy, the
+//! router just caches the latest `(epoch, node)` claim it has observed
+//! (from heartbeats it can see, health probes, or redirect responses)
+//! and always prefers the highest epoch. During a failover there is a
+//! window with no credible primary — the router answers
+//! [`RouteDecision::Unavailable`] and the edge translates that to
+//! `503` + `Retry-After:` [`RETRY_AFTER_HINT_SECS`], which is exactly
+//! the paper-faithful behavior: briefly refusing a report beats
+//! acking it into a node that may not survive.
+//!
+//! Misrouting is safe by construction: a node that lost (or never had)
+//! the lease refuses client traffic
+//! ([`crate::node::ClusterNode::primary_engine`] errs), the edge
+//! reports the refusal, and the router invalidates the entry.
+
+use std::collections::BTreeMap;
+
+use crate::ring::Topology;
+use crate::NodeId;
+
+/// `Retry-After` seconds suggested to clients during failover — one
+/// election timeout rounded up: by the time a polite client retries,
+/// the new primary is normally seated.
+pub const RETRY_AFTER_HINT_SECS: u64 = 1;
+
+/// Where a request should go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Forward to this node, believed primary of the partition.
+    Forward { partition: u32, node: NodeId },
+    /// No credible primary right now: 503 + Retry-After.
+    Unavailable { partition: u32 },
+}
+
+/// A primary-tracking router over a fixed topology.
+#[derive(Debug, Clone)]
+pub struct Router {
+    topology: Topology,
+    /// Partition → highest-epoch primary claim observed.
+    primaries: BTreeMap<u32, (u64, NodeId)>,
+}
+
+impl Router {
+    /// A router that has observed nothing yet (everything 503s until
+    /// the first primary observation arrives).
+    pub fn new(topology: Topology) -> Router {
+        Router {
+            topology,
+            primaries: BTreeMap::new(),
+        }
+    }
+
+    /// The placement contract this router routes over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Records a primacy observation: `node` claims (or is seen
+    /// heartbeating as) primary of `partition` in `epoch`. Higher
+    /// epochs win; equal-epoch claims refresh the entry.
+    pub fn observe_primary(&mut self, partition: u32, epoch: u64, node: NodeId) {
+        let entry = self.primaries.entry(partition).or_insert((epoch, node));
+        if epoch >= entry.0 {
+            *entry = (epoch, node);
+        }
+    }
+
+    /// Drops the belief for `partition` — called when a forward bounced
+    /// off a node that refused (stepped down, crashed, partitioned).
+    /// Requests 503 until a fresh observation lands.
+    pub fn invalidate(&mut self, partition: u32) {
+        self.primaries.remove(&partition);
+    }
+
+    /// Routes a request for `user`.
+    pub fn route(&self, user: &str) -> RouteDecision {
+        let partition = self.topology.partition_of(user);
+        self.route_partition(partition)
+    }
+
+    /// Routes a request already resolved to a partition.
+    pub fn route_partition(&self, partition: u32) -> RouteDecision {
+        match self.primaries.get(&partition) {
+            Some(&(_, node)) => RouteDecision::Forward { partition, node },
+            None => RouteDecision::Unavailable { partition },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(vec![NodeId(0), NodeId(1), NodeId(2)], 4, 3)
+    }
+
+    #[test]
+    fn unknown_partition_is_unavailable() {
+        let router = Router::new(topo());
+        for user in ["u-1", "u-2", "u-3"] {
+            assert!(matches!(
+                router.route(user),
+                RouteDecision::Unavailable { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn higher_epoch_claims_win_and_stale_ones_lose() {
+        let mut router = Router::new(topo());
+        router.observe_primary(1, 3, NodeId(0));
+        assert_eq!(
+            router.route_partition(1),
+            RouteDecision::Forward {
+                partition: 1,
+                node: NodeId(0)
+            }
+        );
+        // A healed stale primary re-announcing an old epoch must not
+        // steal the route back.
+        router.observe_primary(1, 2, NodeId(2));
+        assert_eq!(
+            router.route_partition(1),
+            RouteDecision::Forward {
+                partition: 1,
+                node: NodeId(0)
+            }
+        );
+        router.observe_primary(1, 4, NodeId(1));
+        assert_eq!(
+            router.route_partition(1),
+            RouteDecision::Forward {
+                partition: 1,
+                node: NodeId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn invalidate_forces_503_until_reobserved() {
+        let mut router = Router::new(topo());
+        router.observe_primary(0, 1, NodeId(2));
+        router.invalidate(0);
+        assert_eq!(
+            router.route_partition(0),
+            RouteDecision::Unavailable { partition: 0 }
+        );
+        router.observe_primary(0, 2, NodeId(1));
+        assert!(matches!(
+            router.route_partition(0),
+            RouteDecision::Forward { .. }
+        ));
+    }
+}

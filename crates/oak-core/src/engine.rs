@@ -360,6 +360,9 @@ pub struct Oak {
     /// (allocated under the emitting operation's locks, so sequence order
     /// is application order wherever it matters).
     event_seq: AtomicU64,
+    /// Replication epoch stamped on every emitted event (see
+    /// [`Oak::set_epoch`]); 0 outside a cluster.
+    epoch: AtomicU64,
     sink: Option<Arc<dyn EventSink>>,
     /// Stage-latency instrumentation; `None` costs nothing on hot paths.
     obs: Option<Arc<crate::obs::CoreMetrics>>,
@@ -399,6 +402,7 @@ impl Oak {
                 .collect(),
             log_seq: AtomicU64::new(0),
             event_seq: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
             sink: None,
             obs: None,
             interner: crate::intern::Interner::new(),
@@ -447,10 +451,25 @@ impl Oak {
                 shard,
                 &SequencedEvent {
                     seq,
+                    epoch: self.epoch.load(Ordering::Relaxed),
                     event: build(),
                 },
             );
         }
+    }
+
+    /// Sets the replication epoch stamped on every event emitted from
+    /// now on. A cluster primary calls this with its lease epoch when it
+    /// wins an election, so followers tailing the WAL stream can tell
+    /// frames from the current leaseholder apart from a deposed one's.
+    /// Single-node deployments never call it and emit epoch 0.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The replication epoch currently stamped on emitted events.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The next event sequence number the engine will allocate — equal to
@@ -1203,6 +1222,12 @@ impl Oak {
         doc.set("next_rule_id", u64::from(table.next_rule_id));
         doc.set("log_seq", self.log_seq.load(Ordering::SeqCst));
         doc.set("event_seq", self.event_seq.load(Ordering::SeqCst));
+        // Emitted only under replication, like the per-event field: a
+        // single-node snapshot stays byte-identical to version 1 files.
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        if epoch > 0 {
+            doc.set("epoch", epoch);
+        }
 
         let mut rules = Value::array();
         for (id, rule) in &table.rules {
@@ -1286,6 +1311,8 @@ impl Oak {
         let oak = Oak::new(config);
         oak.log_seq.store(field("log_seq")?, Ordering::SeqCst);
         oak.event_seq.store(field("event_seq")?, Ordering::SeqCst);
+        let epoch = doc.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+        oak.epoch.store(epoch, Ordering::Relaxed);
         {
             let mut table = oak.rules.write().expect("rule table lock");
             for row in doc
@@ -1465,6 +1492,14 @@ fn trim_shard_log(log: &mut Vec<(u64, LogEvent)>, retention: Option<usize>) {
             log.drain(..log.len() - cap);
         }
     }
+}
+
+/// The stable hash behind user→shard placement ([`SHARD_COUNT`] modulo
+/// of this value). Public so cluster partitioning (`oak-cluster`) can
+/// key its consistent-hash ring off the *same* bytes: a user's shard and
+/// partition are then both pure functions of the user id.
+pub fn shard_key(user: &str) -> u64 {
+    fnv1a(user)
 }
 
 /// FNV-1a over a string — shard selection and user-hash alternative

@@ -68,6 +68,13 @@ pub trait EventSink: Send + Sync {
 pub struct SequencedEvent {
     /// Global event order; replay applies events ascending.
     pub seq: u64,
+    /// Replication epoch the event was emitted under (see
+    /// [`crate::engine::Oak::set_epoch`]). Single-node deployments leave
+    /// it 0; `oak-cluster` stamps the primary's lease epoch so a
+    /// follower tailing the WAL stream can reject frames from a deposed
+    /// primary. Events journaled before the field existed decode as
+    /// epoch 0.
+    pub epoch: u64,
     /// What happened.
     pub event: EngineEvent,
 }
@@ -319,6 +326,9 @@ impl SequencedEvent {
     pub fn to_value(&self) -> Value {
         let mut doc = Value::object();
         doc.set("seq", self.seq);
+        if self.epoch > 0 {
+            doc.set("epoch", self.epoch);
+        }
         match &self.event {
             EngineEvent::RuleAdded { id, rule } => {
                 doc.set("t", "rule_added");
@@ -396,6 +406,9 @@ impl SequencedEvent {
     /// failures.
     pub fn from_value(v: &Value) -> Result<SequencedEvent, String> {
         let seq = u64_field(v, "seq")?;
+        // Absent on events journaled before replication existed (and on
+        // every single-node WAL): those are epoch 0 by definition.
+        let epoch = v.get("epoch").and_then(Value::as_u64).unwrap_or(0);
         let event = match str_field(v, "t")? {
             "rule_added" => EngineEvent::RuleAdded {
                 id: rule_id_field(v, "id")?,
@@ -460,6 +473,6 @@ impl SequencedEvent {
             }
             other => return Err(format!("unknown event type {other:?}")),
         };
-        Ok(SequencedEvent { seq, event })
+        Ok(SequencedEvent { seq, epoch, event })
     }
 }

@@ -8,6 +8,7 @@
 //! oak-serve --root ./site --rules ./site.oakrules [--port 8080]
 //!           [--edge threads|epoll] [--edge-workers <n>]
 //!           [--store ./oak-state] [--fsync always|never|<n>]
+//!           [--cluster --peers <a:p,b:p,c:p> --role <n>]
 //!           [--snapshot-every <events>] [--audit-retention <entries>]
 //!           [--prune-idle-ms <ms>] [--prune-every <requests>]
 //!           [--max-connections <n>] [--max-head-bytes <n>]
@@ -17,12 +18,21 @@
 //!           [--slow-ms <ms>] [--trace-ring <n>]
 //! ```
 //!
-//! `--edge` selects the transport backend: `threads` (default) spends
-//! one blocking OS thread per connection; `epoll` serves every
-//! connection from one non-blocking reactor thread plus a small worker
-//! pool (see `oak_edge`), which is the right choice for thousands of
-//! mostly-idle keep-alive clients. Behavior over the wire is identical
-//! either way.
+//! `--edge` selects the transport backend: `epoll` (the default on
+//! unix) serves every connection from one non-blocking reactor thread
+//! plus a small worker pool (see `oak_edge`), the right choice for
+//! thousands of mostly-idle keep-alive clients; `--edge threads` is
+//! the escape hatch that spends one blocking OS thread per connection.
+//! Behavior over the wire is identical either way.
+//!
+//! `--cluster` replicates the engine across the `--peers` list (this
+//! node is entry `--role`): the primary journals every mutation and
+//! ships WAL frames to followers, a heartbeat/lease protocol elects a
+//! new primary on node death, and followers refuse client traffic with
+//! `503 Retry-After` until they hold the lease. Requires `--store`
+//! (the replication journal lives there). See `oak_server::ClusterRuntime`
+//! and the `oak-cluster` crate; `oak-sim --cluster` proves the same
+//! protocol lossless under crashes and partitions.
 //!
 //! `--rules` takes the §4.1 spec format (see `oak_core::spec`), e.g.:
 //!
@@ -51,15 +61,22 @@ use oak_core::Instant;
 use oak_edge::{AnyServer, Backend, EdgeConfig};
 use oak_http::{ServerLimits, TransportStats};
 use oak_server::{
-    load_root, load_rules_into, AdmissionPolicy, HealthState, OakService, PrunePolicy, ServiceObs,
-    METRICS_PATH, REPORT_PATH,
+    load_root, load_rules_into, AdmissionPolicy, ClusterRuntime, HealthState, OakService,
+    PrunePolicy, ServiceObs, METRICS_PATH, REPORT_PATH,
 };
 use oak_store::{FsyncPolicy, OakStore, StoreOptions};
+
+/// `--cluster` settings: the peer list and this node's index in it.
+struct ClusterConfig {
+    peers: Vec<String>,
+    role: u32,
+}
 
 struct Args {
     root: PathBuf,
     rules: Option<PathBuf>,
     port: u16,
+    cluster: Option<ClusterConfig>,
     backend: Backend,
     edge: EdgeConfig,
     store: Option<PathBuf>,
@@ -75,20 +92,30 @@ struct Args {
 const USAGE: &str = "usage: oak-serve --root <dir> [--rules <file>] [--port <n>] \
 [--edge threads|epoll] [--edge-workers <n>] \
 [--store <dir>] [--fsync always|never|<n>] [--snapshot-every <events>] \
+[--cluster --peers <a:p,b:p,...> --role <n>] \
 [--audit-retention <entries>] [--prune-idle-ms <ms>] [--prune-every <requests>] \
 [--max-connections <n>] [--max-head-bytes <n>] [--max-body-bytes <n>] \
 [--read-timeout-ms <ms>] [--write-timeout-ms <ms>] [--max-report-bytes <n>] \
 [--report-rate <per-sec>] [--report-burst <n>] [--slow-ms <ms>] [--trace-ring <n>]
 
 transport backend:
-  --edge threads|epoll     threads = one blocking thread per connection
-                           (default); epoll = one non-blocking reactor
-                           thread + a small worker pool, for thousands of
-                           mostly-idle keep-alive connections. Protocol
-                           behavior is identical; /oak/stats and
+  --edge threads|epoll     epoll = one non-blocking reactor thread + a
+                           small worker pool, for thousands of mostly-idle
+                           keep-alive connections (default on unix);
+                           threads = one blocking thread per connection
+                           (the escape hatch, and the default elsewhere).
+                           Protocol behavior is identical; /oak/stats and
                            /oak/health grow reactor gauges under epoll.
   --edge-workers <n>       handler threads for the epoll backend
                            (default 0 = size from available cores)
+
+replication (requires --store; see the README cluster quickstart):
+  --cluster                replicate the engine across --peers: WAL
+                           shipping, heartbeat/lease failover, and
+                           503+Retry-After from followers
+  --peers <a:p,b:p,...>    every node's replication address, in node-id
+                           order (this node binds its own entry)
+  --role <n>               this node's index into --peers
 
 transport limits (served with 503/431/413/408 when exceeded):
   --max-connections <n>    concurrent connections before 503 (default 1024)
@@ -110,7 +137,17 @@ fn parse_args() -> Result<Args, String> {
     let mut root = None;
     let mut rules = None;
     let mut port = 8080u16;
-    let mut backend = Backend::Threads;
+    // Epoll by default where it exists (ROADMAP item 1 follow-on; the
+    // nightly sweeps have been green); --edge threads is the escape
+    // hatch.
+    let mut backend = if cfg!(unix) {
+        Backend::Epoll
+    } else {
+        Backend::Threads
+    };
+    let mut cluster = false;
+    let mut peers: Vec<String> = Vec::new();
+    let mut role = 0u32;
     let mut edge = EdgeConfig::default();
     let mut store = None;
     let mut store_options = StoreOptions::default();
@@ -147,6 +184,15 @@ fn parse_args() -> Result<Args, String> {
             "--edge-workers" => {
                 edge.workers = number("--edge-workers", value("--edge-workers")?)? as usize;
             }
+            "--cluster" => cluster = true,
+            "--peers" => {
+                peers = value("--peers")?
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--role" => role = number("--role", value("--role")?)? as u32,
             "--store" => store = Some(PathBuf::from(value("--store")?)),
             "--fsync" => {
                 store_options.fsync = match value("--fsync")?.as_str() {
@@ -217,10 +263,31 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
+    let cluster = if cluster {
+        if peers.len() < 2 {
+            return Err("--cluster requires --peers with at least two addresses".into());
+        }
+        if role as usize >= peers.len() {
+            return Err(format!(
+                "--role {role} is out of range for {} peer(s)",
+                peers.len()
+            ));
+        }
+        if store.is_none() {
+            return Err("--cluster requires --store (the replication journal lives there)".into());
+        }
+        Some(ClusterConfig { peers, role })
+    } else {
+        if !peers.is_empty() {
+            return Err("--peers requires --cluster".into());
+        }
+        None
+    };
     Ok(Args {
         root: root.ok_or("--root is required (try --help)")?,
         rules,
         port,
+        cluster,
         backend,
         edge,
         store,
@@ -264,54 +331,109 @@ fn main() -> ExitCode {
         ..OakConfig::default()
     };
 
-    // With --store, the journal is the source of truth: recover first,
-    // then only seed rules from --rules on a virgin store.
-    let (oak, durable) = match &args.store {
-        Some(dir) => match OakStore::boot(dir, config, args.store_options) {
-            Ok(boot) => {
-                eprintln!(
-                    "recovered {} rule(s), {} user(s) from {} ({} event(s) replayed{}{})",
-                    boot.oak.rules().count(),
-                    boot.oak.user_count(),
-                    dir.display(),
-                    boot.events_replayed,
-                    if boot.snapshot_loaded {
-                        ", snapshot loaded"
-                    } else {
-                        ""
-                    },
-                    if boot.torn_segments > 0 {
-                        ", torn WAL tail truncated"
-                    } else {
-                        ""
-                    },
-                );
-                (boot.oak, Some(boot.store))
+    // --cluster: the replication runtime owns the store directory and
+    // the engine; the service resolves the live replica per request via
+    // its ClusterStatusSource, so the engine built below is only the
+    // single-node fallback.
+    let cluster_runtime = match &args.cluster {
+        Some(cfg) => {
+            let dir = args.store.as_ref().expect("validated in parse_args");
+            match ClusterRuntime::start(
+                cfg.role,
+                cfg.peers.clone(),
+                dir,
+                config,
+                args.store_options,
+            ) {
+                Ok(runtime) => {
+                    if let Some(engine) = runtime.boot_engine() {
+                        eprintln!(
+                            "cluster node {} of {}: recovered {} rule(s), {} user(s) from {}",
+                            cfg.role,
+                            cfg.peers.len(),
+                            engine.rules().count(),
+                            engine.user_count(),
+                            dir.display(),
+                        );
+                    }
+                    if let Some(path) = &args.rules {
+                        // Seeding a follower replica directly would
+                        // diverge it; the runtime applies the file once
+                        // this node first holds the lease, so the rules
+                        // ship through the WAL like any mutation.
+                        eprintln!(
+                            "--rules {} deferred until this node holds the primary lease",
+                            path.display()
+                        );
+                        runtime.seed_rules_when_primary(path.clone());
+                    }
+                    Some(runtime)
+                }
+                Err(e) => {
+                    eprintln!("failed to start the cluster runtime: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("failed to open --store {}: {e}", dir.display());
-                return ExitCode::FAILURE;
-            }
-        },
-        None => (oak_core::engine::Oak::new(config), None),
+        }
+        None => None,
     };
 
-    match &args.rules {
-        Some(path) if oak.rules().count() == 0 => match load_rules_into(&oak, path) {
-            Ok(count) => eprintln!("loaded {count} rule(s) from {}", path.display()),
-            Err(e) => {
-                eprintln!("failed to load --rules {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        },
-        Some(path) => eprintln!(
-            "--rules {} skipped: recovered store already holds rules",
-            path.display()
-        ),
-        None if durable.is_none() => {
-            eprintln!("no --rules given: serving without rewriting (reports still ingested)");
+    // With --store, the journal is the source of truth: recover first,
+    // then only seed rules from --rules on a virgin store.
+    let (oak, durable) = if let Some(runtime) = &cluster_runtime {
+        (oak_core::engine::Oak::new(config), runtime.store())
+    } else {
+        match &args.store {
+            Some(dir) => match OakStore::boot(dir, config, args.store_options) {
+                Ok(boot) => {
+                    eprintln!(
+                        "recovered {} rule(s), {} user(s) from {} ({} event(s) replayed{}{})",
+                        boot.oak.rules().count(),
+                        boot.oak.user_count(),
+                        dir.display(),
+                        boot.events_replayed,
+                        if boot.snapshot_loaded {
+                            ", snapshot loaded"
+                        } else {
+                            ""
+                        },
+                        if boot.torn_segments > 0 {
+                            ", torn WAL tail truncated"
+                        } else {
+                            ""
+                        },
+                    );
+                    (boot.oak, Some(boot.store))
+                }
+                Err(e) => {
+                    eprintln!("failed to open --store {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => (oak_core::engine::Oak::new(config), None),
         }
-        None => {}
+    };
+
+    // In cluster mode --rules was handed to the runtime above; seeding
+    // the fallback engine here would bypass replication.
+    if args.cluster.is_none() {
+        match &args.rules {
+            Some(path) if oak.rules().count() == 0 => match load_rules_into(&oak, path) {
+                Ok(count) => eprintln!("loaded {count} rule(s) from {}", path.display()),
+                Err(e) => {
+                    eprintln!("failed to load --rules {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Some(path) => eprintln!(
+                "--rules {} skipped: recovered store already holds rules",
+                path.display()
+            ),
+            None if durable.is_none() => {
+                eprintln!("no --rules given: serving without rewriting (reports still ingested)");
+            }
+            None => {}
+        }
     }
 
     let t0 = std::time::Instant::now();
@@ -362,6 +484,17 @@ fn main() -> ExitCode {
     // operator endpoints can render them.
     if let Some(edge_stats) = server.edge_stats() {
         service.set_edge_stats(edge_stats);
+    }
+    if let Some(runtime) = cluster_runtime {
+        let cfg = args.cluster.as_ref().expect("runtime implies config");
+        eprintln!(
+            "cluster node {} replicating with peers on {} ({} member(s); \
+non-primaries answer 503 + Retry-After)",
+            cfg.role,
+            cfg.peers[cfg.role as usize],
+            cfg.peers.len(),
+        );
+        service.set_cluster_status(runtime);
     }
     service.set_health(HealthState::Serving);
     eprintln!(

@@ -1,0 +1,296 @@
+//! The live TCP cluster runtime behind `oak-serve --cluster`.
+//!
+//! Wires one [`oak_cluster::ClusterNode`] to real sockets and the real
+//! filesystem: the same protocol the simulator proves lossless
+//! (`oak-sim --cluster`), with `SimNet` swapped for TCP and `SimFs` for
+//! [`oak_store::RealFs`]. Envelopes travel as the CRC-framed JSON of
+//! [`oak_cluster::Envelope::encode`] — the exact frames the sim codec
+//! round-trips — so a corrupt or truncated frame drops the connection
+//! instead of being applied.
+//!
+//! The live topology is one replication group: every peer replicates
+//! every partition (`replication = peers`), which makes the daemon a
+//! primary/standby HA pair (or triple) — the N-way partitioned layout,
+//! elections under partitions, and the loss oracles are exercised in
+//! `oak-sim`, which runs this same [`ClusterNode`] state machine.
+//!
+//! Threads:
+//! - a **ticker** advances the lease/shipping state machine every
+//!   [`TICK_MS`] and flushes outbound envelopes,
+//! - an **acceptor** takes peer connections on this node's `--peers`
+//!   entry; each connection gets a reader thread that decodes frames
+//!   and feeds [`ClusterNode::handle`].
+//!
+//! Loss is fine everywhere: an unreachable peer just drops envelopes,
+//! exactly like a cut `SimNet` link, and the lease protocol rides it
+//! out. Outbound sends reuse one connection per peer and reconnect
+//! (with a short timeout) when it breaks.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use oak_cluster::{ClusterNode, Envelope, NodeId, NodeOptions, PartitionStatus, Role, Topology};
+use oak_core::engine::{Oak, OakConfig};
+use oak_store::{OakStore, RealFs, StoreOptions};
+
+use crate::service::ClusterStatusSource;
+
+/// Wall-clock cadence of the lease/shipping tick, matching the sim's
+/// cluster world.
+const TICK_MS: u64 = 20;
+
+/// How long an outbound reconnect may block the ticker. Short on
+/// purpose: a dead peer must cost less than one heartbeat interval.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(40);
+
+/// The single replication group the live runtime hosts (see module
+/// docs): every user hashes here, every peer replicates it.
+const GROUP: u32 = 0;
+
+/// One live cluster member: the replicated node, its peer addresses,
+/// and the outbound connection cache.
+pub struct ClusterRuntime {
+    node: Mutex<ClusterNode>,
+    peers: Vec<String>,
+    me: NodeId,
+    conns: Mutex<Vec<Option<TcpStream>>>,
+    /// Rules file to seed through the WAL once this node first holds
+    /// the lease (never written directly into a follower replica).
+    seed_rules: Mutex<Option<std::path::PathBuf>>,
+    started: std::time::Instant,
+}
+
+impl ClusterRuntime {
+    /// Boots node `role` of the `peers` replication group rooted at
+    /// `root` and starts the ticker and acceptor threads. Fails fast if
+    /// this node's own peer entry cannot be bound or the store cannot
+    /// recover.
+    pub fn start(
+        role: u32,
+        peers: Vec<String>,
+        root: &Path,
+        oak: OakConfig,
+        store: StoreOptions,
+    ) -> std::io::Result<Arc<ClusterRuntime>> {
+        let me = NodeId(role);
+        let nodes: Vec<NodeId> = (0..peers.len() as u32).map(NodeId).collect();
+        let replication = peers.len();
+        let topology = Topology::new(nodes, 1, replication);
+        let options = NodeOptions {
+            oak,
+            store,
+            ..NodeOptions::default()
+        };
+        let listener = TcpListener::bind(&peers[role as usize])?;
+        let started = std::time::Instant::now();
+        let node = ClusterNode::new(me, topology, Arc::new(RealFs), root, options, 0)?;
+        let runtime = Arc::new(ClusterRuntime {
+            node: Mutex::new(node),
+            conns: Mutex::new((0..peers.len()).map(|_| None).collect()),
+            peers,
+            me,
+            seed_rules: Mutex::new(None),
+            started,
+        });
+
+        let acceptor = Arc::clone(&runtime);
+        std::thread::Builder::new()
+            .name("oak-cluster-accept".into())
+            .spawn(move || acceptor.accept_loop(listener))?;
+        let ticker = Arc::clone(&runtime);
+        std::thread::Builder::new()
+            .name("oak-cluster-tick".into())
+            .spawn(move || ticker.tick_loop())?;
+        Ok(runtime)
+    }
+
+    /// Defers `--rules` until this node first holds the lease, so the
+    /// seed rules enter through the primary engine and ship to
+    /// followers over the WAL like any other mutation.
+    pub fn seed_rules_when_primary(&self, path: std::path::PathBuf) {
+        *self.seed_rules.lock().expect("seed rules lock") = Some(path);
+    }
+
+    /// The durable store behind the replication group, for the ingest
+    /// path's snapshot compaction.
+    pub fn store(&self) -> Option<Arc<OakStore>> {
+        self.node
+            .lock()
+            .expect("cluster node lock")
+            .partition_store(GROUP)
+    }
+
+    /// The replica engine at boot (recovery report, rule counts).
+    pub fn boot_engine(&self) -> Option<Arc<Oak>> {
+        self.node
+            .lock()
+            .expect("cluster node lock")
+            .replica_engine(GROUP)
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn tick_loop(self: Arc<Self>) {
+        loop {
+            std::thread::sleep(Duration::from_millis(TICK_MS));
+            let now = self.now_ms();
+            let out = {
+                let mut node = self.node.lock().expect("cluster node lock");
+                let out = node.tick(now);
+                self.maybe_seed_rules(&node);
+                out
+            };
+            self.send_all(out);
+        }
+    }
+
+    /// Applies the deferred `--rules` file the first time this node is
+    /// primary of a virgin group.
+    fn maybe_seed_rules(&self, node: &ClusterNode) {
+        let mut seed = self.seed_rules.lock().expect("seed rules lock");
+        let Some(path) = seed.as_ref() else { return };
+        let Ok(oak) = node.primary_engine(GROUP) else {
+            return;
+        };
+        if oak.rules().count() == 0 {
+            match crate::load_rules_into(&oak, path) {
+                Ok(count) => eprintln!(
+                    "oak-cluster: seeded {count} rule(s) from {} as primary",
+                    path.display()
+                ),
+                Err(e) => eprintln!(
+                    "oak-cluster: failed to seed --rules {}: {e}",
+                    path.display()
+                ),
+            }
+        } else {
+            eprintln!(
+                "oak-cluster: --rules {} skipped: replicated group already holds rules",
+                path.display()
+            );
+        }
+        *seed = None;
+    }
+
+    fn accept_loop(self: Arc<Self>, listener: TcpListener) {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let _ = stream.set_nodelay(true);
+            let reader = Arc::clone(&self);
+            let spawned = std::thread::Builder::new()
+                .name("oak-cluster-read".into())
+                .spawn(move || reader.read_loop(stream));
+            if spawned.is_err() {
+                // Thread exhaustion: drop the connection, the peer
+                // reconnects.
+                continue;
+            }
+        }
+    }
+
+    /// Decodes envelopes off one inbound peer connection until it
+    /// closes or sends a frame that fails the CRC.
+    fn read_loop(&self, mut stream: TcpStream) {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let n = match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => n,
+            };
+            buf.extend_from_slice(&chunk[..n]);
+            let mut offset = 0;
+            while let Some((envelope, next)) = Envelope::decode(&buf, offset) {
+                offset = next;
+                let now = self.now_ms();
+                let replies = {
+                    let mut node = self.node.lock().expect("cluster node lock");
+                    node.handle(now, &envelope)
+                };
+                self.send_all(replies);
+            }
+            buf.drain(..offset);
+            // A full frame should decode once its bytes are all here; a
+            // buffer past any sane envelope size without one is a bad
+            // peer — drop the connection rather than grow forever.
+            if buf.len() > 64 << 20 {
+                return;
+            }
+        }
+    }
+
+    /// Ships envelopes to their recipients, reusing cached connections
+    /// and dropping whatever cannot be delivered (the protocol treats
+    /// loss like a cut link).
+    fn send_all(&self, envelopes: Vec<Envelope>) {
+        for envelope in envelopes {
+            let to = envelope.to.0 as usize;
+            if to >= self.peers.len() || envelope.to == self.me {
+                continue;
+            }
+            let bytes = envelope.encode();
+            let mut conns = self.conns.lock().expect("cluster conn lock");
+            let mut delivered = false;
+            if let Some(stream) = conns[to].as_mut() {
+                delivered = stream.write_all(&bytes).is_ok();
+            }
+            if !delivered {
+                conns[to] = self.connect(&self.peers[to]);
+                if let Some(stream) = conns[to].as_mut() {
+                    delivered = stream.write_all(&bytes).is_ok();
+                }
+                if !delivered {
+                    conns[to] = None;
+                }
+            }
+        }
+    }
+
+    fn connect(&self, addr: &str) -> Option<TcpStream> {
+        let resolved: Vec<SocketAddr> = addr.to_socket_addrs().ok()?.collect();
+        for candidate in resolved {
+            if let Ok(stream) = TcpStream::connect_timeout(&candidate, CONNECT_TIMEOUT) {
+                let _ = stream.set_nodelay(true);
+                return Some(stream);
+            }
+        }
+        None
+    }
+}
+
+impl ClusterStatusSource for ClusterRuntime {
+    fn partitions(&self) -> Vec<PartitionStatus> {
+        self.node.lock().expect("cluster node lock").status()
+    }
+
+    fn is_primary_for(&self, user: &str) -> bool {
+        let node = self.node.lock().expect("cluster node lock");
+        let partition = node.partition_of(user);
+        node.role(partition) == Some(Role::Primary)
+    }
+
+    fn live_engine(&self) -> Option<Arc<Oak>> {
+        self.node
+            .lock()
+            .expect("cluster node lock")
+            .replica_engine(GROUP)
+    }
+
+    fn leads_maintenance(&self) -> bool {
+        self.node.lock().expect("cluster node lock").role(GROUP) == Some(Role::Primary)
+    }
+}
+
+impl std::fmt::Debug for ClusterRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterRuntime")
+            .field("me", &self.me)
+            .field("peers", &self.peers)
+            .finish_non_exhaustive()
+    }
+}

@@ -32,14 +32,18 @@
 //! assert!(response.header("set-cookie").is_some(), "first visit gets a cookie");
 //! ```
 
+mod cluster;
 mod fileroot;
 mod obs;
 mod service;
 mod store;
 
+pub use cluster::ClusterRuntime;
 pub use fileroot::{content_type_for, load_root, load_rules, load_rules_into};
 pub use obs::ServiceObs;
-pub use service::{AdmissionPolicy, HealthState, OakService, PrunePolicy, ServiceStats};
+pub use service::{
+    AdmissionPolicy, ClusterStatusSource, HealthState, OakService, PrunePolicy, ServiceStats,
+};
 pub use store::SiteStore;
 
 /// The endpoint clients POST performance reports to.

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use oak_cluster::{PartitionStatus, RETRY_AFTER_HINT_SECS};
 use oak_core::engine::Oak;
 use oak_core::fetch::FetchStats;
 use oak_core::matching::{NoFetch, ScriptFetcher};
@@ -36,6 +37,11 @@ pub struct ServiceStats {
     /// Users evicted by the idle-pruning sweep (see
     /// [`OakService::with_pruning`]).
     pub users_pruned: u64,
+    /// Requests refused with 503 + Retry-After because this node does
+    /// not hold the primary lease for the user's partition (see
+    /// [`OakService::set_cluster_status`]). Always zero on a
+    /// single-node deployment.
+    pub cluster_refused: u64,
 }
 
 /// Lock-free service counters; [`ServiceStats`] is the read snapshot.
@@ -47,6 +53,7 @@ struct ServiceCounters {
     reports_rejected: AtomicU64,
     reports_throttled: AtomicU64,
     users_pruned: AtomicU64,
+    cluster_refused: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -58,7 +65,42 @@ impl ServiceCounters {
             reports_rejected: self.reports_rejected.load(Ordering::Relaxed),
             reports_throttled: self.reports_throttled.load(Ordering::Relaxed),
             users_pruned: self.users_pruned.load(Ordering::Relaxed),
+            cluster_refused: self.cluster_refused.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// What the service needs to know about local replication when the
+/// node is one of several in an `oak-cluster` deployment. Implemented
+/// by the serving edge's cluster runtime and attached with
+/// [`OakService::set_cluster_status`]; absent on single-node
+/// deployments, where every operator surface stays byte-identical to
+/// the pre-cluster wire format.
+pub trait ClusterStatusSource: Send + Sync {
+    /// Point-in-time status of every partition this node hosts.
+    fn partitions(&self) -> Vec<PartitionStatus>;
+    /// Whether this node currently holds the primary lease for `user`'s
+    /// partition. `false` turns the request away with 503 +
+    /// `Retry-After` — briefly refusing a report beats acking it into a
+    /// replica whose write would be silently discarded.
+    fn is_primary_for(&self, user: &str) -> bool;
+
+    /// The replicated engine the service should serve from, when the
+    /// cluster runtime owns it. A snapshot install during failover can
+    /// replace the engine object wholesale, so the service resolves it
+    /// per request instead of capturing an `Arc` at boot. `None` (the
+    /// default) keeps the service on its own engine.
+    fn live_engine(&self) -> Option<Arc<Oak>> {
+        None
+    }
+
+    /// Whether this node currently leads the replica group behind
+    /// [`ClusterStatusSource::live_engine`]. Node-local maintenance
+    /// mutations (idle-user pruning) run only then: pruning emits a
+    /// journaled `Pruned` event, which must originate on the primary
+    /// and ship through the WAL rather than diverge a follower.
+    fn leads_maintenance(&self) -> bool {
+        true
     }
 }
 
@@ -193,6 +235,10 @@ pub struct OakService {
     /// after the server starts (the reactor owns its gauges), hence a
     /// `OnceLock` rather than a builder field.
     edge: OnceLock<Arc<EdgeStats>>,
+    /// The node's replication status source, present only in a cluster
+    /// deployment. Set after the cluster runtime boots (it owns the
+    /// leases), hence a `OnceLock` like the edge gauges.
+    cluster: OnceLock<Arc<dyn ClusterStatusSource>>,
     health: AtomicU8,
     obs: Option<Arc<ServiceObs>>,
     /// One aggregates pass shared by `/oak/stats` and `/oak/metrics`:
@@ -223,6 +269,7 @@ impl OakService {
             fetch: None,
             edge_backend: OnceLock::new(),
             edge: OnceLock::new(),
+            cluster: OnceLock::new(),
             // Serving by default: a service constructed without a boot
             // sequence (tests, experiments) is ready the moment it exists.
             health: AtomicU8::new(HealthState::Serving.as_u8()),
@@ -291,6 +338,19 @@ impl OakService {
     /// post-start setter, not a builder: first call wins.
     pub fn set_edge_stats(&self, stats: Arc<EdgeStats>) {
         let _ = self.edge.set(stats);
+    }
+
+    /// Attaches the node's replication status source, so `/oak/stats`
+    /// and `/oak/health` report per-partition role, epoch, and
+    /// replication lag, `/oak/metrics` grows `oak_cluster_role` and
+    /// `oak_cluster_replication_lag` gauge families, and user-scoped
+    /// traffic (page serves, report ingest) for partitions this node
+    /// does not lead is refused with 503 + `Retry-After`. The cluster
+    /// runtime boots after the service is built and shared, so this is
+    /// a post-start setter like [`OakService::set_edge_stats`]: first
+    /// call wins.
+    pub fn set_cluster_status(&self, source: Arc<dyn ClusterStatusSource>) {
+        let _ = self.cluster.set(source);
     }
 
     /// Attaches the fetch-outcome counters of a
@@ -369,6 +429,34 @@ impl OakService {
         Arc::new(self)
     }
 
+    /// The engine this request should run against: the cluster
+    /// runtime's live replica when one is attached (resolved per
+    /// request — failover can swap the engine object), the service's
+    /// own engine otherwise.
+    fn live_engine(&self) -> Option<Arc<Oak>> {
+        self.cluster.get().and_then(|c| c.live_engine())
+    }
+
+    /// Refuses `user`'s request when a cluster status source is
+    /// attached and this node does not hold the lease for the user's
+    /// partition: 503 + `Retry-After`, so a polite client retries after
+    /// the failover window instead of writing into a replica.
+    fn cluster_gate(&self, user: &str) -> Option<Response> {
+        let source = self.cluster.get()?;
+        if source.is_primary_for(user) {
+            return None;
+        }
+        self.stats.cluster_refused.fetch_add(1, Ordering::Relaxed);
+        let mut response = Response::new(StatusCode::UNAVAILABLE).with_body(
+            b"partition is failing over or served elsewhere; retry".to_vec(),
+            "text/plain",
+        );
+        response
+            .headers
+            .set("Retry-After", RETRY_AFTER_HINT_SECS.to_string());
+        Some(response)
+    }
+
     fn serve_page(&self, request: &Request, path: &str, html: &str) -> Response {
         let now = (self.clock)();
         // Identify the user by cookie; first contact mints a fresh id.
@@ -383,7 +471,16 @@ impl OakService {
             }
         };
 
-        let modified = self.oak.modify_page_cow(now, &user, path, html);
+        // Per-user rewriting state lives on the partition's primary;
+        // serving (and mutating) it here on a follower would diverge
+        // the replicas outside the WAL stream.
+        if let Some(refusal) = self.cluster_gate(&user) {
+            return refusal;
+        }
+
+        let live = self.live_engine();
+        let oak = live.as_deref().unwrap_or(&self.oak);
+        let modified = oak.modify_page_cow(now, &user, path, html);
         let alternate = modified.alternate_header_entry();
         let mut response = Response::html(modified.html.into_owned());
         if minted {
@@ -405,7 +502,9 @@ impl OakService {
     /// rotate out of memory; when durability is on they remain in the
     /// WAL and snapshots for offline analysis.
     fn audit_view(&self) -> Response {
-        let summary = oak_core::audit::audit(&self.oak.log());
+        let live = self.live_engine();
+        let oak = live.as_deref().unwrap_or(&self.oak);
+        let summary = oak_core::audit::audit(&oak.log());
         Response::new(StatusCode::OK).with_body(
             summary.to_string().into_bytes(),
             "text/plain; charset=utf-8",
@@ -453,6 +552,23 @@ impl OakService {
             row.set("timers_pending", e.timers_pending);
             row.set("wakeups", e.wakeups);
             doc.set("edge", row);
+        }
+        if let Some(cluster) = self.cluster.get() {
+            let mut row = oak_json::Value::object();
+            row.set("refused", stats.cluster_refused);
+            let mut partitions = oak_json::Value::array();
+            for p in cluster.partitions() {
+                let mut entry = oak_json::Value::object();
+                entry.set("partition", p.partition as u64);
+                entry.set("role", p.role.as_str());
+                entry.set("epoch", p.epoch);
+                entry.set("head", p.head);
+                entry.set("commit", p.commit);
+                entry.set("lag", p.lag);
+                partitions.push(entry);
+            }
+            row.set("partitions", partitions);
+            doc.set("cluster", row);
         }
         if let Some(fetch) = &self.fetch {
             let f = fetch.snapshot();
@@ -520,7 +636,9 @@ impl OakService {
                 return Arc::clone(agg);
             }
         }
-        let agg = Arc::new(self.oak.aggregates());
+        let live = self.live_engine();
+        let oak = live.as_deref().unwrap_or(&self.oak);
+        let agg = Arc::new(oak.aggregates());
         *cache = Some((generation, Arc::clone(&agg)));
         agg
     }
@@ -628,18 +746,58 @@ impl OakService {
                 ],
             ));
         }
+        if let Some(cluster) = self.cluster.get() {
+            let status = cluster.partitions();
+            let mut roles = Vec::new();
+            let mut lags = Vec::new();
+            for p in &status {
+                let partition = p.partition.to_string();
+                roles.push(scalar_series(
+                    &[("partition", partition.as_str()), ("role", p.role.as_str())],
+                    1.0,
+                ));
+                lags.push(scalar_series(
+                    &[("partition", partition.as_str())],
+                    p.lag as f64,
+                ));
+            }
+            families.push(scalar_family(
+                "oak_cluster_role",
+                "Current replication role per hosted partition (value is always 1; \
+                 the role label carries the state).",
+                FamilyKind::Gauge,
+                roles,
+            ));
+            families.push(scalar_family(
+                "oak_cluster_replication_lag",
+                "Replication lag in events per hosted partition: worst follower \
+                 distance from head on a primary, own distance from the heard \
+                 commit on a follower.",
+                FamilyKind::Gauge,
+                lags,
+            ));
+            families.push(scalar_family(
+                "oak_cluster_refused_total",
+                "Requests refused with 503 + Retry-After because this node does \
+                 not lead the user's partition.",
+                FamilyKind::Counter,
+                vec![scalar_series(&[], stats.cluster_refused as f64)],
+            ));
+        }
         let agg = self.aggregates_snapshot();
+        let live = self.live_engine();
+        let engine = live.as_deref().unwrap_or(&self.oak);
         families.push(scalar_family(
             "oak_engine_users",
             "Users with live per-user engine state.",
             FamilyKind::Gauge,
-            vec![scalar_series(&[], self.oak.user_count() as f64)],
+            vec![scalar_series(&[], engine.user_count() as f64)],
         ));
         families.push(scalar_family(
             "oak_engine_rules",
             "Rules in the engine's rule table.",
             FamilyKind::Gauge,
-            vec![scalar_series(&[], self.oak.rules().count() as f64)],
+            vec![scalar_series(&[], engine.rules().count() as f64)],
         ));
         families.push(scalar_family(
             "oak_engine_reports_aggregated",
@@ -728,6 +886,22 @@ impl OakService {
             row.set("worker_queue_depth", e.worker_queue_depth);
             row.set("connections_open", e.connections_open);
             doc.set("edge", row);
+        }
+        // A load balancer probing a cluster node sees each partition's
+        // role and replication lag inline: a follower falling behind,
+        // or a partition with no primary, shows up here before any
+        // client request is refused.
+        if let Some(cluster) = self.cluster.get() {
+            let mut partitions = oak_json::Value::array();
+            for p in cluster.partitions() {
+                let mut entry = oak_json::Value::object();
+                entry.set("partition", p.partition as u64);
+                entry.set("role", p.role.as_str());
+                entry.set("epoch", p.epoch);
+                entry.set("lag", p.lag);
+                partitions.push(entry);
+            }
+            doc.set("cluster", partitions);
         }
         Response::new(status).with_body(doc.to_string().into_bytes(), "application/json")
     }
@@ -834,16 +1008,22 @@ impl OakService {
         {
             report.user = user.to_owned();
         }
+        // Gate on the resolved identity — the partition key — after
+        // parsing: only now is the user this report would mutate known.
+        if let Some(refusal) = self.cluster_gate(&report.user) {
+            return refusal;
+        }
         // The transport-observed peer address (set by the TCP server,
         // never client-forgeable) feeds subnet-scoped rule policies.
         let client_ip = request.header(oak_http::PEER_ADDR_HEADER);
-        self.oak
-            .ingest_report_from(now, &report, &*self.fetcher, client_ip);
+        let live = self.live_engine();
+        let oak = live.as_deref().unwrap_or(&self.oak);
+        oak.ingest_report_from(now, &report, &*self.fetcher, client_ip);
         self.stats.reports_accepted.fetch_add(1, Ordering::Relaxed);
         if let Some(store) = &self.durable {
             // Compaction errors must not fail the client's report; the
             // store's write_errors counter carries them to the operator.
-            let _ = store.maybe_snapshot(&self.oak);
+            let _ = store.maybe_snapshot(oak);
         }
         Response::new(StatusCode::NO_CONTENT)
     }
@@ -855,9 +1035,16 @@ impl OakService {
         if !count.is_multiple_of(policy.every_requests.max(1)) {
             return;
         }
+        if let Some(cluster) = self.cluster.get() {
+            if !cluster.leads_maintenance() {
+                return;
+            }
+        }
         let now = (self.clock)();
         let cutoff = Instant(now.as_millis().saturating_sub(policy.idle_ms));
-        let pruned = self.oak.prune_inactive_users(cutoff) as u64;
+        let live = self.live_engine();
+        let oak = live.as_deref().unwrap_or(&self.oak);
+        let pruned = oak.prune_inactive_users(cutoff) as u64;
         if pruned > 0 {
             self.stats.users_pruned.fetch_add(pruned, Ordering::Relaxed);
         }

@@ -717,3 +717,114 @@ fn edge_gauges_surface_only_when_attached() {
     let doc = oak_json::parse(&get(&service, crate::STATS_PATH, None).body_text()).unwrap();
     assert_eq!(doc.get("backend").and_then(|v| v.as_str()), Some("epoll"));
 }
+
+/// A fixed two-partition replication view: primary of partition 0,
+/// lagging follower of partition 1, and anything named `u-remote` lives
+/// on some other node.
+struct FakeCluster;
+
+impl crate::ClusterStatusSource for FakeCluster {
+    fn partitions(&self) -> Vec<oak_cluster::PartitionStatus> {
+        vec![
+            oak_cluster::PartitionStatus {
+                partition: 0,
+                role: oak_cluster::Role::Primary,
+                epoch: 3,
+                head: 12,
+                commit: 12,
+                lag: 0,
+            },
+            oak_cluster::PartitionStatus {
+                partition: 1,
+                role: oak_cluster::Role::Follower,
+                epoch: 2,
+                head: 5,
+                commit: 8,
+                lag: 3,
+            },
+        ]
+    }
+
+    fn is_primary_for(&self, user: &str) -> bool {
+        user != "u-remote"
+    }
+}
+
+#[test]
+fn cluster_surfaces_appear_only_when_attached_and_followers_refuse() {
+    let obs = crate::ServiceObs::wall(16, 500);
+    let service = service_with_rule().with_obs(Arc::clone(&obs)).into_shared();
+
+    // Single-node: no surface mentions the cluster and nothing is
+    // gated, so pre-cluster scrapers and goldens see identical bytes.
+    let doc = oak_json::parse(&get(&service, crate::STATS_PATH, None).body_text()).unwrap();
+    assert!(doc.get("cluster").is_none());
+    let health = oak_json::parse(&get(&service, crate::HEALTH_PATH, None).body_text()).unwrap();
+    assert!(health.get("cluster").is_none());
+    let metrics = get(&service, crate::METRICS_PATH, None).body_text();
+    assert!(!metrics.contains("oak_cluster_"));
+    assert_eq!(
+        post_report(&service, &violating_report("u-remote"), Some("u-remote"))
+            .status
+            .0,
+        204,
+        "without a cluster source every user is local"
+    );
+
+    service.set_cluster_status(Arc::new(FakeCluster));
+
+    // Locally led partition: traffic flows exactly as before.
+    assert_eq!(
+        post_report(&service, &violating_report("u-local"), Some("u-local"))
+            .status
+            .0,
+        204
+    );
+    assert!(get(&service, "/index.html", Some("u-local"))
+        .status
+        .is_success());
+
+    // Remote partition: 503 + Retry-After for both ingest and serving.
+    let refused = post_report(&service, &violating_report("u-remote"), Some("u-remote"));
+    assert_eq!(refused.status, StatusCode::UNAVAILABLE);
+    assert_eq!(
+        refused.header("retry-after"),
+        Some(oak_cluster::RETRY_AFTER_HINT_SECS.to_string().as_str())
+    );
+    let refused_page = get(&service, "/index.html", Some("u-remote"));
+    assert_eq!(refused_page.status, StatusCode::UNAVAILABLE);
+    assert!(refused_page.header("retry-after").is_some());
+    assert_eq!(service.stats().cluster_refused, 2);
+
+    // /oak/stats carries the full per-partition replication picture.
+    let doc = oak_json::parse(&get(&service, crate::STATS_PATH, None).body_text()).unwrap();
+    let cluster = doc.get("cluster").expect("cluster block in /oak/stats");
+    assert_eq!(cluster.get("refused").and_then(|v| v.as_u64()), Some(2));
+    let parts = cluster.get("partitions").expect("partitions array");
+    let p0 = parts.at(0).expect("partition 0 row");
+    assert_eq!(p0.get("role").and_then(|v| v.as_str()), Some("primary"));
+    assert_eq!(p0.get("epoch").and_then(|v| v.as_u64()), Some(3));
+    let p1 = parts.at(1).expect("partition 1 row");
+    assert_eq!(p1.get("role").and_then(|v| v.as_str()), Some("follower"));
+    assert_eq!(p1.get("lag").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(p1.get("commit").and_then(|v| v.as_u64()), Some(8));
+
+    // /oak/health carries the load-bearing subset: role and lag.
+    let health = oak_json::parse(&get(&service, crate::HEALTH_PATH, None).body_text()).unwrap();
+    let rows = health.get("cluster").expect("cluster rows in /oak/health");
+    assert_eq!(
+        rows.at(1)
+            .and_then(|r| r.get("lag"))
+            .and_then(|v| v.as_u64()),
+        Some(3)
+    );
+
+    // /oak/metrics grows the gauge families, well-formed for Prometheus.
+    let metrics = get(&service, crate::METRICS_PATH, None).body_text();
+    assert!(metrics.contains("# TYPE oak_cluster_role gauge"));
+    assert!(metrics.contains("oak_cluster_role{partition=\"0\",role=\"primary\"} 1"));
+    assert!(metrics.contains("oak_cluster_role{partition=\"1\",role=\"follower\"} 1"));
+    assert!(metrics.contains("# TYPE oak_cluster_replication_lag gauge"));
+    assert!(metrics.contains("oak_cluster_replication_lag{partition=\"1\"} 3"));
+    assert!(metrics.contains("oak_cluster_refused_total 2"));
+}

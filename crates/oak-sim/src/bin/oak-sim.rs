@@ -6,13 +6,22 @@
 //! artifact, prints the replay command, and exits nonzero — so a red CI
 //! run always leaves behind a file that reproduces the bug locally.
 //!
+//! `--cluster` generates replicated-cluster scenarios (WAL shipping,
+//! elections, network partitions); `--mixed` alternates single-node and
+//! cluster shapes through one seed range, which is what CI soaks.
+//!
+//! Two self-check faults prove the harness has teeth:
 //! `--buggy-dirsync` drops directory fsyncs in the simulated filesystem
-//! (the pre-fix behavior of the store); it exists to prove the harness
-//! still has teeth and is what the CI self-check runs.
+//! (the pre-fix store behavior); `--buggy-promotion` grants election
+//! votes without the replication-watermark check, the classic failover
+//! bug that silently loses acknowledged writes.
 
 use std::process::ExitCode;
 
-use oak_sim::{minimize, run_scenario, RunStats, Scenario, SimFailure, SimFsOptions};
+use oak_sim::{
+    minimize_with, run_any_scenario, ClusterSimOptions, RunStats, Scenario, SimFailure,
+    SimFsOptions,
+};
 
 struct Args {
     seeds: u64,
@@ -20,6 +29,9 @@ struct Args {
     seed: Option<u64>,
     replay: Option<String>,
     buggy_dirsync: bool,
+    buggy_promotion: bool,
+    cluster: bool,
+    mixed: bool,
     out: String,
 }
 
@@ -30,6 +42,9 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         replay: None,
         buggy_dirsync: false,
+        buggy_promotion: false,
+        cluster: false,
+        mixed: false,
         out: "SIM_FAILURE.json".to_owned(),
     };
     let mut it = std::env::args().skip(1);
@@ -42,6 +57,9 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(value("--replay")?),
             "--out" => args.out = value("--out")?,
             "--buggy-dirsync" => args.buggy_dirsync = true,
+            "--buggy-promotion" => args.buggy_promotion = true,
+            "--cluster" => args.cluster = true,
+            "--mixed" => args.mixed = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -49,17 +67,24 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
+    if args.cluster && args.mixed {
+        return Err("--cluster and --mixed are mutually exclusive".to_owned());
+    }
     Ok(args)
 }
 
 const USAGE: &str = "usage: oak-sim [--seeds N] [--start S] [--seed X] [--replay FILE]\n\
-                \x20              [--buggy-dirsync] [--out FILE]\n\
-    --seeds N         sweep N consecutive seeds (default 200)\n\
-    --start S         first seed of the sweep (default 0)\n\
-    --seed X          run exactly one generated seed\n\
-    --replay FILE     run a scenario JSON written by a previous failure\n\
-    --buggy-dirsync   simulate a disk that drops directory fsyncs\n\
-    --out FILE        failure artifact path (default SIM_FAILURE.json)";
+                \x20              [--cluster | --mixed] [--buggy-dirsync]\n\
+                \x20              [--buggy-promotion] [--out FILE]\n\
+    --seeds N           sweep N consecutive seeds (default 200)\n\
+    --start S           first seed of the sweep (default 0)\n\
+    --seed X            run exactly one generated seed\n\
+    --replay FILE       run a scenario JSON written by a previous failure\n\
+    --cluster           generate replicated-cluster scenarios\n\
+    --mixed             alternate single-node and cluster scenarios\n\
+    --buggy-dirsync     simulate a disk that drops directory fsyncs\n\
+    --buggy-promotion   grant election votes without the watermark check\n\
+    --out FILE          failure artifact path (default SIM_FAILURE.json)";
 
 fn parse_u64(text: &str) -> Result<u64, String> {
     text.parse::<u64>()
@@ -74,8 +99,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let fs_options = SimFsOptions {
-        ignore_dir_sync: args.buggy_dirsync,
+    let options = ClusterSimOptions {
+        fs: SimFsOptions {
+            ignore_dir_sync: args.buggy_dirsync,
+        },
+        buggy_promotion: args.buggy_promotion,
+    };
+    let generate = |seed: u64| -> Scenario {
+        if args.cluster {
+            Scenario::generate_cluster(seed)
+        } else if args.mixed {
+            Scenario::generate_mixed(seed)
+        } else {
+            Scenario::generate(seed)
+        }
     };
 
     let scenarios: Vec<Scenario> = if let Some(path) = &args.replay {
@@ -104,10 +141,10 @@ fn main() -> ExitCode {
             }
         }
     } else if let Some(seed) = args.seed {
-        vec![Scenario::generate(seed)]
+        vec![generate(seed)]
     } else {
         (args.start..args.start.saturating_add(args.seeds))
-            .map(Scenario::generate)
+            .map(generate)
             .collect()
     };
 
@@ -115,12 +152,12 @@ fn main() -> ExitCode {
     let mut ran = 0u64;
     let started = std::time::Instant::now();
     for scenario in &scenarios {
-        match run_scenario(scenario, fs_options) {
+        match run_any_scenario(scenario, options) {
             Ok(stats) => {
                 ran += 1;
                 accumulate(&mut totals, &stats);
             }
-            Err(failure) => return report_failure(scenario, &failure, fs_options, &args.out),
+            Err(failure) => return report_failure(scenario, &failure, options, &args.out),
         }
     }
 
@@ -133,6 +170,10 @@ fn main() -> ExitCode {
     println!(
         "  steps {}  requests {}  events {}  recoveries {}  invariant checks {}",
         totals.steps, totals.requests, totals.events, totals.recoveries, totals.invariant_checks,
+    );
+    println!(
+        "  cluster: {} failovers, {} requests refused (503)",
+        totals.failovers, totals.refused,
     );
     println!(
         "  storage faults: {} crashes, {} torn files, {} dir entries lost, \
@@ -155,6 +196,8 @@ fn accumulate(totals: &mut RunStats, stats: &RunStats) {
     totals.requests += stats.requests;
     totals.events += stats.events;
     totals.recoveries += stats.recoveries;
+    totals.failovers += stats.failovers;
+    totals.refused += stats.refused;
     totals.invariant_checks += stats.invariant_checks;
     totals.invariant_ns += stats.invariant_ns;
     totals.fs.crashes += stats.fs.crashes;
@@ -172,12 +215,13 @@ fn accumulate(totals: &mut RunStats, stats: &RunStats) {
 fn report_failure(
     scenario: &Scenario,
     failure: &SimFailure,
-    fs_options: SimFsOptions,
+    options: ClusterSimOptions,
     out: &str,
 ) -> ExitCode {
     eprintln!("oak-sim: FAILURE: {failure}");
     eprintln!("oak-sim: minimizing ({} steps)...", scenario.steps.len());
-    let (minimal, min_failure, runs) = match minimize(scenario, fs_options) {
+    let run = |candidate: &Scenario| run_any_scenario(candidate, options).err();
+    let (minimal, min_failure, runs) = match minimize_with(scenario, &run) {
         Some(result) => (result.scenario, result.failure, result.runs),
         // A flaky environment (not the simulation) is the only way the
         // re-run can pass; fall back to the original scenario.
@@ -193,21 +237,29 @@ fn report_failure(
     doc.set("invariant", min_failure.invariant.as_str());
     doc.set("detail", min_failure.detail.as_str());
     doc.set("failing_step", min_failure.step as u64);
-    doc.set("buggy_dirsync", fs_options.ignore_dir_sync);
+    doc.set("buggy_dirsync", options.fs.ignore_dir_sync);
+    doc.set("buggy_promotion", options.buggy_promotion);
     doc.set("scenario", minimal.to_value());
     if let Err(err) = std::fs::write(out, doc.to_string()) {
         eprintln!("oak-sim: cannot write artifact {out}: {err}");
         return ExitCode::from(2);
     }
-    let buggy = if fs_options.ignore_dir_sync {
-        " --buggy-dirsync"
+    let mut faults = String::new();
+    if options.fs.ignore_dir_sync {
+        faults.push_str(" --buggy-dirsync");
+    }
+    if options.buggy_promotion {
+        faults.push_str(" --buggy-promotion");
+    }
+    eprintln!("oak-sim: wrote {out}");
+    eprintln!("oak-sim: replay with `oak-sim --replay {out}{faults}`");
+    let shape = if minimal.cluster.is_some() {
+        " --cluster"
     } else {
         ""
     };
-    eprintln!("oak-sim: wrote {out}");
-    eprintln!("oak-sim: replay with `oak-sim --replay {out}{buggy}`");
     eprintln!(
-        "oak-sim: or regenerate with `oak-sim --seed {}{buggy}`",
+        "oak-sim: or regenerate with `oak-sim --seed {}{shape}{faults}`",
         min_failure.seed,
     );
     ExitCode::FAILURE

@@ -28,28 +28,52 @@
 //!    while the machine was up, and `oak_http_responses_total` sums
 //!    across status labels to exactly the requests handled.
 //!
+//! Scenarios tagged with a [`ClusterSpec`] run the same engine/store
+//! stack replicated across simulated nodes instead
+//! ([`run_cluster_scenario`]): WAL-shipping replication with
+//! heartbeat/lease failover (`oak-cluster`), wired through a simulated
+//! network ([`SimNet`] — seeded delay, reordering, duplication, loss,
+//! and scripted link cuts) with one [`SimFs`] per node. The cluster
+//! oracle checks, at every tick and at a forced end-of-run heal:
+//!
+//! 1. **Losslessness** — no event acked at the replication watermark is
+//!    ever missing from the authoritative (highest-epoch) primary, across
+//!    any schedule of crashes, partitions, and failovers.
+//! 2. **Election safety** — at most one primary per (partition, epoch).
+//! 3. **Step-down and convergence** — after healing every link and
+//!    reviving every node, each partition settles to exactly one
+//!    primary and byte-identical replicas.
+//!
 //! A failing seed is shrunk by [`minimize`] (delta debugging over the
-//! step list) and the result round-trips through JSON, so CI uploads a
-//! replayable artifact and `oak-sim --replay` reproduces it locally.
+//! step list; [`minimize_with`] for the cluster runner) and the result
+//! round-trips through JSON, so CI uploads a replayable artifact and
+//! `oak-sim --replay` reproduces it locally. Two deliberate faults prove
+//! the harness has teeth: `--buggy-dirsync` (dropped directory fsyncs)
+//! trips the durability oracle, and `--buggy-promotion` (election votes
+//! granted without the watermark check) trips the losslessness oracle.
 //!
 //! Everything here is deterministic: same scenario, same outcome, every
 //! time, on every platform. No real disk, no real sockets, no real
 //! sleeps — a hang costs simulated milliseconds and zero wall time.
 
 pub mod clock;
+pub mod cluster_world;
 pub mod fetch;
 pub mod fs;
 pub mod minimize;
+pub mod net;
 pub mod rng;
 pub mod scenario;
 pub mod world;
 
 pub use clock::SimClock;
+pub use cluster_world::{run_any_scenario, run_cluster_scenario, ClusterSimOptions};
 pub use fetch::{FetchFaults, HostMode, SimFetcher};
 pub use fs::{FaultCounters, SimFs, SimFsOptions};
-pub use minimize::{minimize, Minimized};
+pub use minimize::{minimize, minimize_with, Minimized};
+pub use net::{NetCounters, SimNet, SimNetOptions};
 pub use rng::SimRng;
-pub use scenario::{Scenario, Step};
+pub use scenario::{ClusterSpec, Scenario, Step, SCENARIO_VERSION};
 pub use world::{
     fingerprint, run_scenario, run_scenario_observed, ObservedRun, RunStats, SimFailure,
 };

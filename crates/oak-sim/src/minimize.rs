@@ -32,8 +32,21 @@ const MAX_RUNS: usize = 600;
 /// Shrinks `scenario` (which must fail under `fs_options`) to a minimal
 /// failing step list. Returns `None` if the scenario does not fail.
 pub fn minimize(scenario: &Scenario, fs_options: SimFsOptions) -> Option<Minimized> {
+    minimize_with(scenario, &|candidate| {
+        run_scenario(candidate, fs_options).err()
+    })
+}
+
+/// [`minimize`] over any runner — the cluster world minimizes through
+/// the same ddmin by passing its own `run` (which carries its extra
+/// options in the closure). `run` returns `Some(failure)` when the
+/// candidate still fails, `None` when it passes.
+pub fn minimize_with(
+    scenario: &Scenario,
+    run: &dyn Fn(&Scenario) -> Option<SimFailure>,
+) -> Option<Minimized> {
     let mut runs = 1;
-    let mut failure = run_scenario(scenario, fs_options).err()?;
+    let mut failure = run(scenario)?;
     let original_steps = scenario.steps.len();
     let mut current = scenario.clone();
 
@@ -48,8 +61,8 @@ pub fn minimize(scenario: &Scenario, fs_options: SimFsOptions) -> Option<Minimiz
             let mut candidate = current.clone();
             candidate.steps.drain(start..end);
             runs += 1;
-            match run_scenario(&candidate, fs_options) {
-                Err(found) => {
+            match run(&candidate) {
+                Some(found) => {
                     // Still fails without this chunk: drop it for good.
                     current = candidate;
                     failure = found;
@@ -57,7 +70,7 @@ pub fn minimize(scenario: &Scenario, fs_options: SimFsOptions) -> Option<Minimiz
                     // `start` now points at the steps that followed the
                     // deleted chunk; don't advance.
                 }
-                Ok(_) => start = end,
+                None => start = end,
             }
         }
         if reduced {

@@ -7,6 +7,15 @@
 //! shrink a failure to its essence. Scenarios round-trip through JSON so
 //! CI can upload a failing one as an artifact and a developer can replay
 //! it locally with `oak-sim --replay`.
+//!
+//! Two scenario shapes share the format. **v1** (no `"v"` field) is the
+//! original single-node shape: one engine, one disk, crash-recovery
+//! cycles. **v2** (`"v": 2`) adds an optional `"cluster"` spec and
+//! cluster fault steps — node crashes/restarts and link partitions —
+//! and runs through the replicated world instead. Every v1 document
+//! ever written by this tool still decodes and replays unchanged; v2
+//! encoders only emit the new fields when a cluster is present, so
+//! single-node scenarios round-trip byte-identically to v1.
 
 use oak_json::Value;
 use oak_store::FsyncPolicy;
@@ -17,6 +26,20 @@ use crate::rng::SimRng;
 pub const USERS: usize = 6;
 /// Simulated CDN hosts (and the rule-per-host pool).
 pub const HOSTS: usize = 4;
+
+/// Highest scenario format version this build decodes.
+pub const SCENARIO_VERSION: u64 = 2;
+
+/// The replicated deployment a v2 scenario runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Cluster size (node ids `0..nodes`).
+    pub nodes: u32,
+    /// User-space partitions.
+    pub partitions: u32,
+    /// Replicas per partition (clamped to `nodes` by the topology).
+    pub replication: usize,
+}
 
 /// One scheduled action.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,6 +80,26 @@ pub enum Step {
     Crash { ops_ahead: u64, survival_seed: u64 },
     /// Probe `/oak/health` and assert it matches the node's lifecycle.
     CheckHealth,
+    /// (v2) Crash cluster node `node % nodes`: its disk stops
+    /// `ops_ahead` storage operations from now (`0` = immediately),
+    /// `survival_seed` decides what the disk keeps. The node stays down
+    /// until a [`Step::RestartNode`] (or the end-of-run audit) revives
+    /// it, so failover has to happen without it.
+    CrashNode {
+        node: u64,
+        ops_ahead: u64,
+        survival_seed: u64,
+    },
+    /// (v2) Power a crashed node back on: recover its partitions from
+    /// surviving disk and rejoin as a follower.
+    RestartNode { node: u64 },
+    /// (v2) Cut the network link between two cluster nodes (both
+    /// directions). Messages already in flight still arrive.
+    PartitionLink { a: u64, b: u64 },
+    /// (v2) Restore one cut link.
+    HealLink { a: u64, b: u64 },
+    /// (v2) Restore every cut link.
+    HealAll,
 }
 
 impl Step {
@@ -74,6 +117,11 @@ impl Step {
             Step::Prune { .. } => "prune",
             Step::Crash { .. } => "crash",
             Step::CheckHealth => "check_health",
+            Step::CrashNode { .. } => "crash_node",
+            Step::RestartNode { .. } => "restart_node",
+            Step::PartitionLink { .. } => "partition_link",
+            Step::HealLink { .. } => "heal_link",
+            Step::HealAll => "heal_all",
         }
     }
 }
@@ -91,6 +139,10 @@ pub struct Scenario {
     /// Snapshot-compaction threshold (events), kept small so compaction
     /// races the workload.
     pub snapshot_every: u64,
+    /// `Some` makes this a v2 cluster scenario: the step list runs
+    /// against a replicated deployment (the cluster world forces
+    /// `FsyncPolicy::Always` — replication acks assert durability).
+    pub cluster: Option<ClusterSpec>,
     /// The schedule.
     pub steps: Vec<Step>,
 }
@@ -181,7 +233,109 @@ impl Scenario {
             seed,
             fsync,
             snapshot_every: rng.range(8, 64),
+            cluster: None,
             steps,
+        }
+    }
+
+    /// The canonical **cluster** scenario for `seed`: client traffic
+    /// and rule churn interleaved with node crashes, restarts, and link
+    /// partitions against a 3–5 node replicated deployment. Fsync is
+    /// always `Always` — a replication ack asserts durability, so a
+    /// looser policy would make the losslessness invariant vacuous.
+    pub fn generate_cluster(seed: u64) -> Scenario {
+        let mut rng = SimRng::new(seed ^ 0x636c_7573_7465_7232);
+        let nodes = rng.range(3, 6) as u32;
+        let spec = ClusterSpec {
+            nodes,
+            partitions: rng.range(1, 4) as u32,
+            // Majority quorums need 3 replicas to survive one failure.
+            replication: 3,
+        };
+        let mut steps = Vec::new();
+        // Let the first elections seat before traffic arrives.
+        steps.push(Step::AdvanceClock {
+            ms: rng.range(600, 1200),
+        });
+        for host in 0..2 {
+            steps.push(Step::AddRule {
+                host,
+                kind: rng.below(3),
+                ttl_ms: 0,
+            });
+        }
+        let body = rng.range(40, 140);
+        for _ in 0..body {
+            steps.push(match rng.below(100) {
+                0..=27 => Step::Ingest {
+                    user: rng.below(USERS as u64),
+                    host: rng.below(HOSTS as u64),
+                    violating: rng.chance(3, 4),
+                    binary: rng.chance(1, 2),
+                },
+                28..=38 => Step::Serve {
+                    user: rng.below(USERS as u64),
+                },
+                // Cluster schedules lean on time: heartbeats, elections,
+                // and WAL shipping all ride the tick cadence.
+                39..=58 => Step::AdvanceClock {
+                    ms: rng.range(20, 600),
+                },
+                59..=62 => Step::AddRule {
+                    host: rng.below(HOSTS as u64),
+                    kind: rng.below(3),
+                    ttl_ms: 0,
+                },
+                63..=64 => Step::RemoveRule { nth: rng.below(8) },
+                65..=68 => {
+                    if rng.chance(1, 2) {
+                        Step::ForceActivate {
+                            user: rng.below(USERS as u64),
+                            nth: rng.below(8),
+                        }
+                    } else {
+                        Step::ForceDeactivate {
+                            user: rng.below(USERS as u64),
+                            nth: rng.below(8),
+                        }
+                    }
+                }
+                69..=76 => Step::PartitionLink {
+                    a: rng.below(nodes as u64),
+                    b: rng.below(nodes as u64),
+                },
+                77..=80 => Step::HealLink {
+                    a: rng.below(nodes as u64),
+                    b: rng.below(nodes as u64),
+                },
+                81..=83 => Step::HealAll,
+                84..=90 => Step::CrashNode {
+                    node: rng.below(nodes as u64),
+                    ops_ahead: rng.range(0, 60),
+                    survival_seed: rng.next_u64(),
+                },
+                91..=96 => Step::RestartNode {
+                    node: rng.below(nodes as u64),
+                },
+                _ => Step::CheckHealth,
+            });
+        }
+        Scenario {
+            seed,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: rng.range(8, 64),
+            cluster: Some(spec),
+            steps,
+        }
+    }
+
+    /// The mixed CI pool: even seeds replay the single-node shape, odd
+    /// seeds the cluster shape, so one sweep covers both worlds.
+    pub fn generate_mixed(seed: u64) -> Scenario {
+        if seed.is_multiple_of(2) {
+            Scenario::generate(seed)
+        } else {
+            Scenario::generate_cluster(seed)
         }
     }
 
@@ -189,7 +343,7 @@ impl Scenario {
     pub fn crash_count(&self) -> usize {
         self.steps
             .iter()
-            .filter(|s| matches!(s, Step::Crash { .. }))
+            .filter(|s| matches!(s, Step::Crash { .. } | Step::CrashNode { .. }))
             .count()
     }
 
@@ -198,6 +352,17 @@ impl Scenario {
     /// which `f64` numbers would not.
     pub fn to_value(&self) -> Value {
         let mut doc = Value::object();
+        // Single-node scenarios stay in the v1 shape (no "v" field) so
+        // artifacts from older builds and this one are byte-compatible;
+        // only an actual cluster needs the v2 envelope.
+        if let Some(spec) = &self.cluster {
+            doc.set("v", SCENARIO_VERSION);
+            let mut cluster = Value::object();
+            cluster.set("nodes", spec.nodes.to_string());
+            cluster.set("partitions", spec.partitions.to_string());
+            cluster.set("replication", spec.replication.to_string());
+            doc.set("cluster", cluster);
+        }
         doc.set("seed", self.seed.to_string());
         doc.set(
             "fsync",
@@ -241,7 +406,7 @@ impl Scenario {
                     arg("host", *host);
                     arg("mode", *mode);
                 }
-                Step::Snapshot | Step::CheckHealth => {}
+                Step::Snapshot | Step::CheckHealth | Step::HealAll => {}
                 Step::Prune { idle_ms } => arg("idle_ms", *idle_ms),
                 Step::Crash {
                     ops_ahead,
@@ -249,6 +414,20 @@ impl Scenario {
                 } => {
                     arg("ops_ahead", *ops_ahead);
                     arg("survival_seed", *survival_seed);
+                }
+                Step::CrashNode {
+                    node,
+                    ops_ahead,
+                    survival_seed,
+                } => {
+                    arg("node", *node);
+                    arg("ops_ahead", *ops_ahead);
+                    arg("survival_seed", *survival_seed);
+                }
+                Step::RestartNode { node } => arg("node", *node),
+                Step::PartitionLink { a, b } | Step::HealLink { a, b } => {
+                    arg("a", *a);
+                    arg("b", *b);
                 }
             }
             steps.push(row);
@@ -265,6 +444,26 @@ impl Scenario {
                 .ok_or_else(|| format!("missing field {key:?}"))?
                 .parse::<u64>()
                 .map_err(|_| format!("field {key:?} is not a u64"))
+        };
+        let version = match doc.get("v") {
+            None => 1,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| "field \"v\" is not a version number".to_owned())?,
+        };
+        if version > SCENARIO_VERSION {
+            return Err(format!(
+                "scenario version {version} is newer than this build understands \
+                 (max {SCENARIO_VERSION})"
+            ));
+        }
+        let cluster = match doc.get("cluster") {
+            None => None,
+            Some(spec) => Some(ClusterSpec {
+                nodes: field(spec, "nodes")? as u32,
+                partitions: field(spec, "partitions")? as u32,
+                replication: field(spec, "replication")? as usize,
+            }),
         };
         let fsync = match doc.get("fsync").and_then(Value::as_str) {
             Some("always") => FsyncPolicy::Always,
@@ -329,6 +528,23 @@ impl Scenario {
                     survival_seed: field(row, "survival_seed")?,
                 },
                 "check_health" => Step::CheckHealth,
+                "crash_node" => Step::CrashNode {
+                    node: field(row, "node")?,
+                    ops_ahead: field(row, "ops_ahead")?,
+                    survival_seed: field(row, "survival_seed")?,
+                },
+                "restart_node" => Step::RestartNode {
+                    node: field(row, "node")?,
+                },
+                "partition_link" => Step::PartitionLink {
+                    a: field(row, "a")?,
+                    b: field(row, "b")?,
+                },
+                "heal_link" => Step::HealLink {
+                    a: field(row, "a")?,
+                    b: field(row, "b")?,
+                },
+                "heal_all" => Step::HealAll,
                 other => return Err(format!("unknown step op {other:?}")),
             });
         }
@@ -336,6 +552,7 @@ impl Scenario {
             seed: field(doc, "seed")?,
             fsync,
             snapshot_every: field(doc, "snapshot_every")?,
+            cluster,
             steps,
         })
     }
@@ -367,5 +584,41 @@ mod tests {
             let parsed = Scenario::from_value(&oak_json::parse(&text).unwrap()).unwrap();
             assert_eq!(scenario, parsed);
         }
+    }
+
+    #[test]
+    fn cluster_scenarios_round_trip_with_version_tag() {
+        for seed in [0, 1, 9, 77] {
+            let scenario = Scenario::generate_cluster(seed);
+            assert!(scenario.cluster.is_some());
+            let text = scenario.to_value().to_string();
+            assert!(text.contains("\"v\":2"), "v2 envelope missing: {text}");
+            let parsed = Scenario::from_value(&oak_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(scenario, parsed);
+        }
+    }
+
+    #[test]
+    fn single_node_scenarios_still_encode_as_v1() {
+        // No "v", no "cluster": byte-compatible with artifacts written
+        // before the cluster existed.
+        let text = Scenario::generate(5).to_value().to_string();
+        assert!(!text.contains("\"v\""));
+        assert!(!text.contains("\"cluster\""));
+    }
+
+    #[test]
+    fn future_versions_are_rejected_with_a_clear_error() {
+        let mut doc = Scenario::generate(1).to_value();
+        doc.set("v", 3u64);
+        let err = Scenario::from_value(&doc).unwrap_err();
+        assert!(err.contains("version 3"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn mixed_pool_alternates_shapes() {
+        assert!(Scenario::generate_mixed(0).cluster.is_none());
+        assert!(Scenario::generate_mixed(1).cluster.is_some());
+        assert_eq!(Scenario::generate_mixed(3), Scenario::generate_cluster(3));
     }
 }

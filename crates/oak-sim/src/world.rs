@@ -37,7 +37,7 @@ use crate::scenario::{Scenario, Step, HOSTS, USERS};
 
 /// Per-shard in-memory audit-log retention for simulated engines; small
 /// so the bounded-memory invariant bites.
-const LOG_RETENTION: usize = 32;
+pub(crate) const LOG_RETENTION: usize = 32;
 
 /// Completed traces the simulated tracer retains; small so ring
 /// eviction is exercised by longer scenarios.
@@ -87,6 +87,12 @@ pub struct RunStats {
     pub fs: FaultCounters,
     /// Fetch fault counts.
     pub fetch: FetchFaults,
+    /// (cluster runs) Primary epochs seated beyond each partition's
+    /// first — i.e. completed failovers.
+    pub failovers: u64,
+    /// (cluster runs) Client operations refused with 503 + Retry-After
+    /// because no credible primary was routable.
+    pub refused: u64,
 }
 
 /// A mirrored event plus whether the machine was already down when the
@@ -136,46 +142,49 @@ impl EventSink for TeeSink {
 
 /// A canonical fingerprint of every durable engine observable.
 /// `last_seen` is masked: serves refresh it in memory but are by design
-/// not journaled (see the store's recovery guarantee).
+/// not journaled (see the store's recovery guarantee). `epoch` is
+/// masked too — the replication-epoch stamp is coordination metadata a
+/// primary carries ahead of its followers, not replicated user state.
 pub fn fingerprint(oak: &Oak) -> String {
     let mut doc = oak.snapshot_json();
-    mask_last_seen(&mut doc);
+    mask_metadata(&mut doc);
     doc.to_string()
 }
 
-fn mask_last_seen(value: &mut oak_json::Value) {
+fn mask_metadata(value: &mut oak_json::Value) {
     use oak_json::Value;
     match value {
         Value::Object(members) => {
+            members.retain(|key, _| key != "epoch");
             for (key, member) in members.iter_mut() {
                 if key == "last_seen" {
                     *member = Value::Number(0.0);
                 } else {
-                    mask_last_seen(member);
+                    mask_metadata(member);
                 }
             }
         }
         Value::Array(items) => {
             for item in items.iter_mut() {
-                mask_last_seen(item);
+                mask_metadata(item);
             }
         }
         _ => {}
     }
 }
 
-fn user_name(user: u64) -> String {
+pub(crate) fn user_name(user: u64) -> String {
     format!("u-{}", user % USERS as u64)
 }
 
-fn script_tag(host: u64) -> String {
+pub(crate) fn script_tag(host: u64) -> String {
     format!(
         r#"<script src="http://cdn{}.example/lib.js">"#,
         host % HOSTS as u64
     )
 }
 
-fn sim_page() -> String {
+pub(crate) fn sim_page() -> String {
     let mut page = String::from("<html><head>");
     for h in 0..HOSTS {
         page.push_str(&format!(
@@ -186,7 +195,40 @@ fn sim_page() -> String {
     page
 }
 
-fn violating_report(user: u64, host: u64) -> PerfReport {
+/// The rule a `Step::AddRule { host, kind, ttl_ms }` registers — shared
+/// by the single-node and cluster worlds so one step means one thing.
+pub(crate) fn step_rule(host: u64, kind: u64, ttl_ms: u64) -> Rule {
+    let tag = script_tag(host);
+    let mut rule = match kind % 3 {
+        0 => Rule::remove(tag),
+        1 => Rule::replace_identical(
+            tag,
+            [
+                format!(
+                    r#"<script src="http://m1.example/cdn{}/lib.js">"#,
+                    host % HOSTS as u64
+                ),
+                format!(
+                    r#"<script src="http://m2.example/cdn{}/lib.js">"#,
+                    host % HOSTS as u64
+                ),
+            ],
+        ),
+        _ => Rule::replace_different(
+            tag,
+            [format!(
+                r#"<script src="http://alt.example/cdn{}/lib.js">"#,
+                host % HOSTS as u64
+            )],
+        ),
+    };
+    if ttl_ms > 0 {
+        rule = rule.with_ttl_ms(Some(ttl_ms));
+    }
+    rule
+}
+
+pub(crate) fn violating_report(user: u64, host: u64) -> PerfReport {
     let mut report = PerfReport::new(user_name(user), "/p");
     report.push(ObjectTiming::new(
         format!("http://cdn{}.example/lib.js", host % HOSTS as u64),
@@ -205,7 +247,7 @@ fn violating_report(user: u64, host: u64) -> PerfReport {
     report
 }
 
-fn benign_report(user: u64) -> PerfReport {
+pub(crate) fn benign_report(user: u64) -> PerfReport {
     let mut report = PerfReport::new(user_name(user), "/p");
     for good in 0..5u64 {
         report.push(ObjectTiming::new(
@@ -288,35 +330,8 @@ impl World<'_> {
     fn execute(&mut self, step: &Step) -> Result<(), SimFailure> {
         match step {
             Step::AddRule { host, kind, ttl_ms } => {
-                let tag = script_tag(*host);
-                let mut rule = match kind % 3 {
-                    0 => Rule::remove(tag),
-                    1 => Rule::replace_identical(
-                        tag,
-                        [
-                            format!(
-                                r#"<script src="http://m1.example/cdn{}/lib.js">"#,
-                                host % HOSTS as u64
-                            ),
-                            format!(
-                                r#"<script src="http://m2.example/cdn{}/lib.js">"#,
-                                host % HOSTS as u64
-                            ),
-                        ],
-                    ),
-                    _ => Rule::replace_different(
-                        tag,
-                        [format!(
-                            r#"<script src="http://alt.example/cdn{}/lib.js">"#,
-                            host % HOSTS as u64
-                        )],
-                    ),
-                };
-                if *ttl_ms > 0 {
-                    rule = rule.with_ttl_ms(Some(*ttl_ms));
-                }
                 self.service
-                    .with_oak(|oak| oak.add_rule(rule))
+                    .with_oak(|oak| oak.add_rule(step_rule(*host, *kind, *ttl_ms)))
                     .expect("generated rules are valid");
             }
             Step::RemoveRule { nth } => {
@@ -395,6 +410,16 @@ impl World<'_> {
                 survival_seed,
             } => {
                 self.fs.schedule_crash(*ops_ahead, *survival_seed);
+            }
+            Step::CrashNode { .. }
+            | Step::RestartNode { .. }
+            | Step::PartitionLink { .. }
+            | Step::HealLink { .. }
+            | Step::HealAll => {
+                // Cluster steps are inert on a single node: there is no
+                // peer to cut off and "crash node 0" is the v1 Crash
+                // step's job. Tolerated (not an error) so a hand-pruned
+                // v2 scenario replays against both worlds.
             }
             Step::CheckHealth => {
                 let response = self.get(HEALTH_PATH, 0);
@@ -693,8 +718,9 @@ impl World<'_> {
 }
 
 /// [`ScriptFetcher`] by shared reference, so the service and the world
-/// can watch the same simulated CDN.
-struct SharedFetcher(Arc<SimFetcher>);
+/// (or every node of a simulated cluster) can watch the same simulated
+/// CDN.
+pub(crate) struct SharedFetcher(pub(crate) Arc<SimFetcher>);
 
 impl oak_core::matching::ScriptFetcher for SharedFetcher {
     fn fetch_script(&self, url: &str) -> Option<String> {
@@ -728,6 +754,16 @@ pub fn run_scenario_observed(
     scenario: &Scenario,
     fs_options: SimFsOptions,
 ) -> Result<ObservedRun, SimFailure> {
+    if scenario.cluster.is_some() {
+        return Err(SimFailure {
+            seed: scenario.seed,
+            step: 0,
+            invariant: "setup".into(),
+            detail: "cluster scenario given to the single-node world; \
+                     use run_cluster_scenario (or oak-sim, which dispatches)"
+                .into(),
+        });
+    }
     let fs = SimFs::new(
         scenario.seed.wrapping_mul(0x5851_f42d_4c95_7f2d),
         fs_options,

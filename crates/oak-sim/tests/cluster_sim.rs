@@ -1,0 +1,142 @@
+//! Cluster-simulation conformance: replicated scenarios hold their
+//! invariants across a seed sweep, runs are deterministic, the v1
+//! scenario wire format stays replayable, and the deliberately broken
+//! failover (`buggy_promotion`) is caught and ddmin-minimized — the
+//! proof the losslessness oracle has teeth.
+
+use oak_sim::{
+    minimize_with, run_any_scenario, run_cluster_scenario, ClusterSimOptions, Scenario,
+    SimFsOptions,
+};
+
+fn healthy() -> ClusterSimOptions {
+    ClusterSimOptions::default()
+}
+
+fn buggy_promotion() -> ClusterSimOptions {
+    ClusterSimOptions {
+        fs: SimFsOptions::default(),
+        buggy_promotion: true,
+    }
+}
+
+#[test]
+fn cluster_invariants_hold_across_a_seed_sweep() {
+    for seed in 0..25 {
+        let scenario = Scenario::generate_cluster(seed);
+        if let Err(failure) = run_cluster_scenario(&scenario, healthy()) {
+            panic!("cluster seed {seed} violated an invariant: {failure}");
+        }
+    }
+}
+
+#[test]
+fn mixed_pool_runs_through_the_same_entry_point() {
+    for seed in 0..10 {
+        let scenario = Scenario::generate_mixed(seed);
+        assert_eq!(
+            scenario.cluster.is_some(),
+            seed % 2 == 1,
+            "mixed pool must alternate shapes"
+        );
+        if let Err(failure) = run_any_scenario(&scenario, healthy()) {
+            panic!("mixed seed {seed} violated an invariant: {failure}");
+        }
+    }
+}
+
+#[test]
+fn cluster_runs_are_deterministic_in_the_seed() {
+    for seed in [3, 7, 11] {
+        let scenario = Scenario::generate_cluster(seed);
+        let a = run_cluster_scenario(&scenario, healthy()).expect("clean seed");
+        let b = run_cluster_scenario(&scenario, healthy()).expect("clean seed");
+        assert_eq!(a.steps, b.steps, "seed {seed}: steps diverged");
+        assert_eq!(a.events, b.events, "seed {seed}: events diverged");
+        assert_eq!(a.requests, b.requests, "seed {seed}: requests diverged");
+        assert_eq!(a.failovers, b.failovers, "seed {seed}: failovers diverged");
+        assert_eq!(a.refused, b.refused, "seed {seed}: refusals diverged");
+        assert_eq!(
+            a.recoveries, b.recoveries,
+            "seed {seed}: recoveries diverged"
+        );
+        assert_eq!(
+            a.fs.crashes, b.fs.crashes,
+            "seed {seed}: crash schedule diverged"
+        );
+    }
+}
+
+/// A pre-cluster (v1) failure artifact checked in verbatim: the exact
+/// JSON `oak-sim --buggy-dirsync` wrote before the scenario format grew
+/// its version tag and cluster steps. It must keep decoding and must
+/// still reproduce the recorded invariant under the recorded fault —
+/// and pass clean without it.
+#[test]
+fn checked_in_v1_artifact_still_decodes_and_replays() {
+    let text = include_str!("../testdata/SIM_FAILURE_v1.json");
+    let doc = oak_json::parse(text).expect("artifact is valid JSON");
+    let scenario = Scenario::from_value(doc.get("scenario").expect("artifact nests a scenario"))
+        .expect("v1 scenario decodes without a version tag");
+    assert!(
+        scenario.cluster.is_none(),
+        "v1 artifacts predate cluster scenarios"
+    );
+
+    let recorded_invariant = doc
+        .get("invariant")
+        .and_then(oak_json::Value::as_str)
+        .expect("artifact records the invariant");
+    let buggy = ClusterSimOptions {
+        fs: SimFsOptions {
+            ignore_dir_sync: true,
+        },
+        buggy_promotion: false,
+    };
+    let failure = run_any_scenario(&scenario, buggy).expect_err("recorded fault still reproduces");
+    assert_eq!(
+        failure.invariant, recorded_invariant,
+        "replay must reproduce the recorded invariant"
+    );
+    run_any_scenario(&scenario, healthy()).expect("fixed code passes the same schedule");
+}
+
+fn find_promotion_failure() -> (u64, Scenario, oak_sim::SimFailure) {
+    for seed in 0..200 {
+        let scenario = Scenario::generate_cluster(seed);
+        if let Err(failure) = run_cluster_scenario(&scenario, buggy_promotion()) {
+            return (seed, scenario, failure);
+        }
+    }
+    panic!("no seed in 0..200 catches the buggy promotion — the oracle has lost its teeth");
+}
+
+/// The self-check the ISSUE demands: promote-without-watermark must be
+/// caught by the losslessness/election oracles, and ddmin must shrink
+/// the failing schedule to a smaller one that provably still fails.
+#[test]
+fn buggy_promotion_is_caught_and_minimized() {
+    let (seed, scenario, failure) = find_promotion_failure();
+    assert!(
+        failure.invariant == "acked_loss" || failure.invariant == "single_primary",
+        "seed {seed}: expected a replication-safety violation, got {}",
+        failure.invariant
+    );
+
+    let run = |candidate: &Scenario| run_cluster_scenario(candidate, buggy_promotion()).err();
+    let minimized = minimize_with(&scenario, &run).expect("failing scenario minimizes");
+    assert!(
+        minimized.scenario.steps.len() <= scenario.steps.len(),
+        "minimization may never grow the schedule"
+    );
+
+    // The minimized scenario round-trips through JSON and still fails —
+    // exactly what the CI artifact relies on.
+    let replayed = Scenario::from_value(&minimized.scenario.to_value())
+        .expect("minimized scenario round-trips");
+    run_cluster_scenario(&replayed, buggy_promotion())
+        .expect_err("minimized scenario still catches the bug");
+    // And the healthy protocol survives the exact same schedule.
+    run_cluster_scenario(&replayed, healthy())
+        .expect("watermark-gated promotion passes the minimized schedule");
+}

@@ -51,7 +51,11 @@ pub mod crc32;
 pub mod obs;
 pub mod segment;
 pub mod store;
+pub mod stream;
 
 pub use backend::{RealFs, StorageBackend, StorageFile};
 pub use obs::StoreMetrics;
-pub use store::{recover, recover_with, Boot, FsyncPolicy, OakStore, Recovery, StoreOptions};
+pub use store::{
+    recover, recover_with, Boot, FsyncPolicy, OakStore, Recovery, StoreOptions, RECENT_TAIL_CAP,
+};
+pub use stream::{tail_wal, wal_watermark, Tail};

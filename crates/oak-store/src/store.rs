@@ -18,6 +18,7 @@
 //! everything older. That keeps the write path free of any
 //! truncate-then-append handling — torn tails exist only for readers.
 
+use std::collections::VecDeque;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +33,14 @@ use crate::segment::{decode_frame, encode_frame, read_segment_with, SegmentWrite
 
 /// Magic prefix of a snapshot file (the framed JSON document follows).
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"OAKSNAP1";
+
+/// Events kept in the in-memory recent ring that serves [`OakStore::tail`]
+/// without touching disk. WAL shipping polls `tail` once per follower
+/// per protocol tick; without the ring each poll decodes every live
+/// segment, which is quadratic while a follower catches up. A follower
+/// further behind than the ring reaches falls back to the full log scan
+/// (or snapshot transfer, past the compaction horizon).
+pub const RECENT_TAIL_CAP: usize = 1024;
 
 /// When appended WAL frames are pushed to stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +106,10 @@ pub struct OakStore {
     /// WAL/snapshot instrumentation, set at most once per store instance
     /// ([`OakStore::set_obs`]); empty costs one atomic read per append.
     obs: std::sync::OnceLock<Arc<crate::obs::StoreMetrics>>,
+    /// Journaled events in seq order, at most [`RECENT_TAIL_CAP`] of
+    /// them, so `tail` can ship the common case from memory. Starts
+    /// empty on every boot — the first poll after recovery scans disk.
+    recent: Mutex<VecDeque<SequencedEvent>>,
 }
 
 impl OakStore {
@@ -139,6 +152,7 @@ impl OakStore {
             write_errors: AtomicU64::new(0),
             snapshot_lock: Mutex::new(()),
             obs: std::sync::OnceLock::new(),
+            recent: Mutex::new(VecDeque::new()),
         })
     }
 
@@ -205,6 +219,46 @@ impl OakStore {
     /// hot path cannot surface them); operators watch this counter.
     pub fn write_errors(&self) -> u64 {
         self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Tails this store's WAL: every event with `seq >= from_seq` the
+    /// log contiguously covers, or [`crate::stream::Tail::Compacted`]
+    /// when that range was compacted into a snapshot. The read half of
+    /// WAL shipping — see [`crate::stream`].
+    pub fn tail(&self, from_seq: u64) -> io::Result<crate::stream::Tail> {
+        if let Some(events) = self.recent_tail(from_seq) {
+            return Ok(crate::stream::Tail::Events(events));
+        }
+        crate::stream::tail_wal(&*self.backend, &self.dir, from_seq)
+    }
+
+    /// Serves [`OakStore::tail`] from the recent ring when it reaches
+    /// back to `from_seq`; `None` falls through to the full log scan.
+    /// Ring events below the compaction horizon are still served — they
+    /// are correct copies, and shipping them spares the follower a
+    /// snapshot transfer.
+    fn recent_tail(&self, from_seq: u64) -> Option<Vec<SequencedEvent>> {
+        let recent = self.recent.lock().expect("recent ring lock");
+        let first = recent.front()?.seq;
+        if from_seq < first {
+            return None;
+        }
+        let mut events = Vec::new();
+        let mut expect = from_seq;
+        for event in recent.iter() {
+            if event.seq < expect {
+                continue;
+            }
+            if event.seq != expect {
+                // A lower seq is still mid-append in another shard;
+                // shipping past the hole would let a follower apply out
+                // of order.
+                break;
+            }
+            events.push(event.clone());
+            expect += 1;
+        }
+        Some(events)
     }
 
     /// Flushes every open segment to stable storage regardless of the
@@ -415,6 +469,16 @@ impl EventSink for OakStore {
         }
         if result.is_err() {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Only journaled events enter the ring: `tail` asserts
+            // what is on (or queued for) disk, never more.
+            let mut recent = self.recent.lock().expect("recent ring lock");
+            // Concurrent shard appends can land slightly out of order.
+            let at = recent.partition_point(|e| e.seq < event.seq);
+            recent.insert(at, event.clone());
+            while recent.len() > RECENT_TAIL_CAP {
+                recent.pop_front();
+            }
         }
         self.events_recorded.fetch_add(1, Ordering::Relaxed);
         self.events_since_snapshot.fetch_add(1, Ordering::Relaxed);
@@ -555,8 +619,26 @@ pub fn recover_with(
             torn_segments += 1;
         }
     }
-    events.sort_by_key(|e| e.seq);
+    // Raft-style log matching, enforced at recovery time: a replica
+    // that installed a newer primary's snapshot may still hold WAL
+    // frames journaled on a dead branch — events a deposed primary
+    // emitted past the snapshot watermark that never committed. Merging
+    // by sequence number alone would replay them over the installed
+    // state. Among duplicate seqs the highest epoch wins, and any frame
+    // whose epoch is below the highest epoch already on the branch
+    // (seeded by the snapshot's own epoch) is a conflicting suffix and
+    // is dropped. Single-node WALs are uniformly epoch 0, where this
+    // reduces to the plain seq merge.
+    events.sort_by(|a, b| a.seq.cmp(&b.seq).then(b.epoch.cmp(&a.epoch)));
     events.dedup_by_key(|e| e.seq);
+    let mut branch_epoch = oak.epoch();
+    events.retain(|e| {
+        if e.epoch < branch_epoch {
+            return false;
+        }
+        branch_epoch = e.epoch;
+        true
+    });
     let events_replayed = events.len() as u64;
     let replayed_seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
     for event in &events {
@@ -618,14 +700,14 @@ fn snapshot_name(watermark: u64) -> String {
 }
 
 /// Parses `seg-SS-NNNNNNNN.wal` into `(slot, id)`.
-fn parse_segment_name(name: &str) -> Option<(usize, u64)> {
+pub(crate) fn parse_segment_name(name: &str) -> Option<(usize, u64)> {
     let rest = name.strip_prefix("seg-")?.strip_suffix(".wal")?;
     let (slot, id) = rest.split_once('-')?;
     Some((slot.parse().ok()?, id.parse().ok()?))
 }
 
 /// Parses `snap-W...W.snap` into the watermark.
-fn parse_snapshot_name(name: &str) -> Option<u64> {
+pub(crate) fn parse_snapshot_name(name: &str) -> Option<u64> {
     name.strip_prefix("snap-")?
         .strip_suffix(".snap")?
         .parse()
