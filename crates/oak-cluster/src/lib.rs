@@ -48,7 +48,7 @@ impl std::fmt::Display for NodeId {
 }
 
 pub use lease::{Durable, Lease, LeaseConfig, LeaseMsg, Role};
-pub use msg::{Envelope, Message};
+pub use msg::{DecodeStep, Envelope, Message};
 pub use node::{ClusterNode, NodeOptions, PartitionStatus};
 pub use ring::{Ring, Topology};
 pub use router::{RouteDecision, Router, RETRY_AFTER_HINT_SECS};

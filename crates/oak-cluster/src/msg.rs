@@ -15,7 +15,7 @@
 
 use oak_core::events::SequencedEvent;
 use oak_json::Value;
-use oak_store::segment::{decode_frame, encode_frame};
+use oak_store::segment::{decode_frame_step, encode_frame, FrameStep};
 
 use crate::lease::LeaseMsg;
 use crate::NodeId;
@@ -239,21 +239,58 @@ impl Envelope {
         encode_frame(doc.to_string().as_bytes())
     }
 
-    /// Decodes one framed envelope starting at `offset`; returns the
-    /// envelope and the offset one past the frame. `None` means the
-    /// bytes at `offset` are not yet a whole valid frame (stream short
-    /// read) — corrupt JSON inside a valid frame is an `Err` by way of
-    /// the decode failing, surfaced as `None` too so stream readers
-    /// simply drop the connection.
-    pub fn decode(buf: &[u8], offset: usize) -> Option<(Envelope, usize)> {
-        let (payload, next) = decode_frame(buf, offset)?;
-        let text = std::str::from_utf8(payload).ok()?;
-        let doc = oak_json::parse(text).ok()?;
-        let from = NodeId(doc.get("from").and_then(Value::as_u64)? as u32);
-        let to = NodeId(doc.get("to").and_then(Value::as_u64)? as u32);
-        let msg = Message::from_value(doc.get("msg")?).ok()?;
-        Some((Envelope { from, to, msg }, next))
+    /// Classifies the bytes at `offset` as an incomplete, whole, or
+    /// corrupt envelope frame. A stream reader keeps buffering on
+    /// [`DecodeStep::Incomplete`] and drops the connection on
+    /// [`DecodeStep::Corrupt`] — the two must not be conflated, or a
+    /// single corrupt frame wedges the link forever (the reader waits
+    /// for bytes that can never help while the peer's writes keep
+    /// succeeding, so it never reconnects).
+    pub fn decode_step(buf: &[u8], offset: usize) -> DecodeStep {
+        let (payload, next) = match decode_frame_step(buf, offset) {
+            FrameStep::Incomplete => return DecodeStep::Incomplete,
+            FrameStep::Corrupt => return DecodeStep::Corrupt,
+            FrameStep::Frame(payload, next) => (payload, next),
+        };
+        // The frame is whole and CRC-valid, so undecodable contents are
+        // corruption (a buggy or hostile peer), never a short read.
+        let parse = || -> Option<Envelope> {
+            let text = std::str::from_utf8(payload).ok()?;
+            let doc = oak_json::parse(text).ok()?;
+            let from = NodeId(doc.get("from").and_then(Value::as_u64)? as u32);
+            let to = NodeId(doc.get("to").and_then(Value::as_u64)? as u32);
+            let msg = Message::from_value(doc.get("msg")?).ok()?;
+            Some(Envelope { from, to, msg })
+        };
+        match parse() {
+            Some(envelope) => DecodeStep::Frame(envelope, next),
+            None => DecodeStep::Corrupt,
+        }
     }
+
+    /// Decodes one framed envelope starting at `offset`; returns the
+    /// envelope and the offset one past the frame. `None` collapses
+    /// [`DecodeStep::Incomplete`] and [`DecodeStep::Corrupt`] — callers
+    /// that must tell them apart (the TCP read loop) use
+    /// [`Envelope::decode_step`].
+    pub fn decode(buf: &[u8], offset: usize) -> Option<(Envelope, usize)> {
+        match Envelope::decode_step(buf, offset) {
+            DecodeStep::Frame(envelope, next) => Some((envelope, next)),
+            DecodeStep::Incomplete | DecodeStep::Corrupt => None,
+        }
+    }
+}
+
+/// Outcome of [`Envelope::decode_step`] on an in-progress byte stream.
+#[derive(Debug)]
+pub enum DecodeStep {
+    /// A valid prefix of a frame still in flight: read more bytes.
+    Incomplete,
+    /// A whole envelope and the offset one past its frame.
+    Frame(Envelope, usize),
+    /// Bytes that can never decode (bad length, CRC mismatch, or a
+    /// valid frame around undecodable JSON): drop the connection.
+    Corrupt,
 }
 
 #[cfg(test)]
@@ -354,6 +391,50 @@ mod tests {
         let last = corrupt.len() - 1;
         corrupt[last] ^= 0x40;
         assert!(Envelope::decode(&corrupt, 0).is_none());
+    }
+
+    #[test]
+    fn decode_step_separates_short_reads_from_corruption() {
+        let envelope = Envelope {
+            from: NodeId(0),
+            to: NodeId(1),
+            msg: Message::AppendAck {
+                partition: 0,
+                epoch: 1,
+                acked: 2,
+            },
+        };
+        let bytes = envelope.encode();
+        // Every truncation could still complete: keep reading.
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                Envelope::decode_step(&bytes[..cut], 0),
+                DecodeStep::Incomplete
+            ));
+        }
+        // A flipped payload byte fails the CRC: the link is poisoned.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert!(matches!(
+            Envelope::decode_step(&corrupt, 0),
+            DecodeStep::Corrupt
+        ));
+        // An impossible length can never complete, even with one byte
+        // of header visible past the length field.
+        let mut bad_len = bytes.clone();
+        bad_len[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Envelope::decode_step(&bad_len, 0),
+            DecodeStep::Corrupt
+        ));
+        // A CRC-valid frame around non-envelope JSON is corruption too,
+        // not a short read.
+        let junk = encode_frame(b"{\"not\":\"an envelope\"}");
+        assert!(matches!(
+            Envelope::decode_step(&junk, 0),
+            DecodeStep::Corrupt
+        ));
     }
 
     #[test]

@@ -163,6 +163,12 @@ pub struct ClusterNode {
 /// Name of the durable lease file inside a partition directory.
 const LEASE_FILE: &str = "lease.json";
 
+/// Name of the durable installed-snapshot-epoch file. Without it a
+/// restarted follower would forget which epoch's snapshot it already
+/// installed, and a duplicated `Snapshot` frame still in flight could
+/// regress its engine below events it has journaled and acked.
+const INSTALLED_FILE: &str = "installed.json";
+
 impl ClusterNode {
     /// Boots (or re-boots after a crash) node `id`: recovers engine +
     /// store for every hosted partition from `root/part-PP/`, restores
@@ -194,7 +200,7 @@ impl ClusterNode {
                     lease,
                     shipping: Shipping::default(),
                     commit: 0,
-                    installed_epoch: 0,
+                    installed_epoch: read_installed_epoch(&*backend, &dir),
                 },
             );
         }
@@ -494,6 +500,7 @@ impl ClusterNode {
                 p.lease.observe_primary(now_ms, *epoch);
                 if *epoch >= p.lease.epoch() && !p.lease.is_primary() {
                     p.commit = p.commit.max(*commit);
+                    let errors_before = p.store.write_errors();
                     for event in events {
                         let head = p.head();
                         if event.seq < head {
@@ -506,6 +513,14 @@ impl ClusterNode {
                         // what we ack must be what our recovery
                         // replays.
                         p.store.record(None, event);
+                        if p.store.write_errors() > errors_before {
+                            // The journal refused the write: applying
+                            // anyway would ack an event our recovery
+                            // cannot replay. Stop here — the ack below
+                            // reports only the durable prefix and the
+                            // primary re-ships from it.
+                            break;
+                        }
                         p.oak.apply_event(event);
                     }
                     out.push(Envelope {
@@ -523,8 +538,16 @@ impl ClusterNode {
                 if *epoch > p.lease.epoch() {
                     p.lease.observe_primary(now_ms, *epoch);
                 } else if p.lease.is_primary() && *epoch == p.lease.epoch() {
-                    let entry = p.shipping.acked.entry(from).or_insert(0);
-                    *entry = (*entry).max(*acked);
+                    // Assign, never max: a follower that regressed (a
+                    // restart raced a duplicated stale snapshot, or its
+                    // journal refused writes) must be able to *lower*
+                    // its acked head, or every subsequent Append starts
+                    // past its head — a permanent gap that wedges the
+                    // replica. The commit watermark itself stays
+                    // monotone in `recompute_commit`, and followers
+                    // skip already-journaled seqs, so re-shipping an
+                    // overlap is merely extra traffic.
+                    p.shipping.acked.insert(from, *acked);
                     p.lease.note_contact(now_ms, from);
                     Self::recompute_commit(p, &followers);
                 }
@@ -548,6 +571,10 @@ impl ClusterNode {
                             if p.store.snapshot(&fresh).is_ok() {
                                 p.oak = fresh;
                                 p.installed_epoch = *epoch;
+                                // Persist before acking: the ack tells
+                                // the primary this install happened, so
+                                // a restart must not forget it.
+                                write_installed_epoch(&*backend, &dir, *epoch);
                                 acked = Some(*watermark);
                             }
                         }
@@ -577,8 +604,9 @@ impl ClusterNode {
                 } else if p.lease.is_primary() && *epoch == p.lease.epoch() {
                     p.shipping.needs_snapshot.remove(&from);
                     p.shipping.snapshot_sent_ms.remove(&from);
-                    let entry = p.shipping.acked.entry(from).or_insert(0);
-                    *entry = (*entry).max(*watermark);
+                    // Assign for the same reason as AppendAck: the
+                    // follower reports where it actually is.
+                    p.shipping.acked.insert(from, *watermark);
                     p.lease.note_contact(now_ms, from);
                     Self::recompute_commit(p, &followers);
                 }
@@ -634,6 +662,40 @@ fn write_lease_file(backend: &dyn StorageBackend, dir: &std::path::Path, durable
     // A node that cannot persist its vote is a node about to crash in
     // the sim (SimFs fails everything once a crash fires); the swallow
     // here mirrors the WAL sink's policy of keeping the hot path alive.
+    let _ = write();
+}
+
+/// Reads the installed-snapshot epoch; 0 on absence or damage. Losing
+/// it is safe-but-slower in one direction only: the follower would
+/// accept a *fresh* same-epoch transfer it already has. The dangerous
+/// direction — forgetting and reinstalling a *stale* duplicate — is
+/// what persisting this guards against, and a damaged file merely
+/// reopens that window until the next install rewrites it.
+fn read_installed_epoch(backend: &dyn StorageBackend, dir: &std::path::Path) -> u64 {
+    let Ok(buf) = backend.read(&dir.join(INSTALLED_FILE)) else {
+        return 0;
+    };
+    std::str::from_utf8(&buf)
+        .ok()
+        .and_then(|text| oak_json::parse(text).ok())
+        .and_then(|doc| doc.get("epoch").and_then(Value::as_u64))
+        .unwrap_or(0)
+}
+
+/// Persists the installed-snapshot epoch (write-rename-syncdir, same
+/// atomicity dance as the lease file; failures swallowed likewise).
+fn write_installed_epoch(backend: &dyn StorageBackend, dir: &std::path::Path, epoch: u64) {
+    let mut doc = Value::object();
+    doc.set("epoch", epoch);
+    let tmp = dir.join("installed.json.tmp");
+    let path = dir.join(INSTALLED_FILE);
+    let write = || -> io::Result<()> {
+        let mut file = backend.create(&tmp)?;
+        file.write_all(doc.to_string().as_bytes())?;
+        file.sync_data()?;
+        backend.rename(&tmp, &path)?;
+        backend.sync_dir(dir)
+    };
     let _ = write();
 }
 
@@ -839,6 +901,267 @@ mod tests {
             "promoted follower lost committed events"
         );
         assert_eq!(promoted.active_rules("u-1").len(), 1);
+    }
+
+    #[test]
+    fn restarted_follower_ignores_stale_duplicated_snapshot() {
+        let mut h = Harness::new("stale-snap", 2, 1, 2);
+        let mut now = 0;
+        while h.primary_of(0).is_none() {
+            now += 50;
+            assert!(now < 10_000, "no primary elected");
+            h.settle(now);
+        }
+        let pri = h.primary_of(0).unwrap();
+        let fol = 1 - pri;
+        let epoch = h.nodes[pri].status()[0].epoch;
+
+        // First write, fully replicated: its snapshot-equivalent state
+        // is what a delayed duplicate transfer would carry.
+        let oak = h.nodes[pri].primary_engine(0).unwrap();
+        let id = oak
+            .add_rule(Rule::remove(r#"<script src="http://slow.example/t.js">"#))
+            .unwrap();
+        oak.force_activate(Instant::ZERO, "u-1", id);
+        let head1 = oak.event_seq();
+        while h.nodes[pri].commit(0) != Some(head1)
+            || h.nodes[fol].replica_engine(0).unwrap().event_seq() != head1
+        {
+            now += 50;
+            assert!(now < 20_000, "first write never replicated");
+            h.settle(now);
+        }
+        let stale_state = h.nodes[fol].replica_engine(0).unwrap().snapshot_json();
+
+        // Second write, also journaled and acked by the follower.
+        let id2 = oak
+            .add_rule(Rule::remove(r#"<script src="http://slow2.example/u.js">"#))
+            .unwrap();
+        oak.force_activate(Instant::ZERO, "u-2", id2);
+        let head2 = oak.event_seq();
+        while h.nodes[fol].replica_engine(0).unwrap().event_seq() != head2 {
+            now += 50;
+            assert!(now < 30_000, "second write never replicated");
+            h.settle(now);
+        }
+
+        // Restart the follower (its installed-epoch memory must be on
+        // disk, not only in the dropped value)...
+        let topo = topology(2, 1, 2);
+        let root = temp_root("stale-snap").join(format!("node-{fol}"));
+        h.nodes[fol] = ClusterNode::new(
+            NodeId(fol as u32),
+            topo,
+            Arc::new(RealFs),
+            root,
+            NodeOptions::default(),
+            now,
+        )
+        .unwrap();
+        assert_eq!(
+            h.nodes[fol].replica_engine(0).unwrap().event_seq(),
+            head2,
+            "restart lost journaled events"
+        );
+
+        // ...then hit it with a duplicated stale transfer for the same
+        // epoch. It must be recognized as already installed: re-acked
+        // at the current head, never re-applied.
+        let stale = Envelope {
+            from: NodeId(pri as u32),
+            to: NodeId(fol as u32),
+            msg: Message::Snapshot {
+                partition: 0,
+                epoch,
+                watermark: head1,
+                state: stale_state,
+            },
+        };
+        let replies = h.nodes[fol].handle(now, &stale);
+        assert_eq!(
+            h.nodes[fol].replica_engine(0).unwrap().event_seq(),
+            head2,
+            "stale snapshot regressed a restarted follower"
+        );
+        let acked = replies.iter().find_map(|e| match e.msg {
+            Message::SnapshotAck { watermark, .. } => Some(watermark),
+            _ => None,
+        });
+        assert_eq!(
+            acked,
+            Some(head2),
+            "duplicate transfer must re-ack the head"
+        );
+    }
+
+    /// A [`StorageBackend`] whose writes and syncs start failing when
+    /// the flag flips — the disk-full / dying-disk case on a follower.
+    #[derive(Debug)]
+    struct BrokenDisk {
+        broken: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    #[derive(Debug)]
+    struct BrokenFile {
+        inner: Box<dyn oak_store::StorageFile>,
+        broken: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl BrokenFile {
+        fn check(&self) -> io::Result<()> {
+            if self.broken.load(std::sync::atomic::Ordering::Relaxed) {
+                Err(io::Error::other("broken disk"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl oak_store::StorageFile for BrokenFile {
+        fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+            self.check()?;
+            self.inner.write_all(buf)
+        }
+
+        fn sync_data(&mut self) -> io::Result<()> {
+            self.check()?;
+            self.inner.sync_data()
+        }
+    }
+
+    impl StorageBackend for BrokenDisk {
+        fn create_dir_all(&self, dir: &std::path::Path) -> io::Result<()> {
+            RealFs.create_dir_all(dir)
+        }
+
+        fn dir_exists(&self, dir: &std::path::Path) -> bool {
+            RealFs.dir_exists(dir)
+        }
+
+        fn list_dir(&self, dir: &std::path::Path) -> io::Result<Vec<String>> {
+            RealFs.list_dir(dir)
+        }
+
+        fn read(&self, path: &std::path::Path) -> io::Result<Vec<u8>> {
+            RealFs.read(path)
+        }
+
+        fn create(&self, path: &std::path::Path) -> io::Result<Box<dyn oak_store::StorageFile>> {
+            Ok(Box::new(BrokenFile {
+                inner: RealFs.create(path)?,
+                broken: self.broken.clone(),
+            }))
+        }
+
+        fn rename(&self, from: &std::path::Path, to: &std::path::Path) -> io::Result<()> {
+            RealFs.rename(from, to)
+        }
+
+        fn remove_file(&self, path: &std::path::Path) -> io::Result<()> {
+            RealFs.remove_file(path)
+        }
+
+        fn sync_dir(&self, dir: &std::path::Path) -> io::Result<()> {
+            RealFs.sync_dir(dir)
+        }
+    }
+
+    #[test]
+    fn follower_withholds_ack_while_its_journal_fails() {
+        let root = temp_root("broken-disk");
+        let _ = std::fs::remove_dir_all(&root);
+        let topo = topology(2, 1, 2);
+        let broken = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut nodes = vec![
+            ClusterNode::new(
+                NodeId(0),
+                topo.clone(),
+                Arc::new(RealFs),
+                root.join("node-0"),
+                NodeOptions::default(),
+                0,
+            )
+            .unwrap(),
+            ClusterNode::new(
+                NodeId(1),
+                topo,
+                Arc::new(BrokenDisk {
+                    broken: broken.clone(),
+                }),
+                root.join("node-1"),
+                NodeOptions::default(),
+                0,
+            )
+            .unwrap(),
+        ];
+        // Tick only node 0, so it deterministically starts (and wins)
+        // the election; node 1 still answers votes and appends.
+        let mut now = 0;
+        let pump = |nodes: &mut Vec<ClusterNode>, now: u64| {
+            let mut inbox = nodes[0].tick(now);
+            while !inbox.is_empty() {
+                let mut next = Vec::new();
+                for envelope in &inbox {
+                    let to = envelope.to.0 as usize;
+                    next.extend(nodes[to].handle(now, envelope));
+                }
+                inbox = next;
+            }
+        };
+        while nodes[0].role(0) != Some(Role::Primary) {
+            now += 50;
+            assert!(now < 10_000, "node 0 never took the lease");
+            pump(&mut nodes, now);
+        }
+
+        // Healthy replication first.
+        let oak = nodes[0].primary_engine(0).unwrap();
+        let id = oak
+            .add_rule(Rule::remove(r#"<script src="http://slow.example/t.js">"#))
+            .unwrap();
+        oak.force_activate(Instant::ZERO, "u-1", id);
+        let head1 = oak.event_seq();
+        while nodes[0].commit(0) != Some(head1) {
+            now += 50;
+            assert!(now < 20_000, "healthy write never committed");
+            pump(&mut nodes, now);
+        }
+
+        // Break the follower's disk, then write more on the primary.
+        broken.store(true, std::sync::atomic::Ordering::Relaxed);
+        let id2 = oak
+            .add_rule(Rule::remove(r#"<script src="http://slow2.example/u.js">"#))
+            .unwrap();
+        oak.force_activate(Instant::ZERO, "u-2", id2);
+        let head2 = oak.event_seq();
+        for _ in 0..10 {
+            now += 50;
+            pump(&mut nodes, now);
+        }
+        // The follower could not journal, so it neither applied nor
+        // acked, and the commit watermark must not have advanced: with
+        // two replicas a majority is both of them.
+        assert_eq!(
+            nodes[1].replica_engine(0).unwrap().event_seq(),
+            head1,
+            "follower applied events its journal rejected"
+        );
+        assert_eq!(
+            nodes[0].commit(0),
+            Some(head1),
+            "commit advanced on a replica whose journaling failed"
+        );
+
+        // Heal the disk: shipping resumes from the durable prefix.
+        broken.store(false, std::sync::atomic::Ordering::Relaxed);
+        while nodes[0].commit(0) != Some(head2)
+            || nodes[1].replica_engine(0).unwrap().event_seq() != head2
+        {
+            now += 50;
+            assert!(now < 60_000, "healed follower never caught up");
+            pump(&mut nodes, now);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

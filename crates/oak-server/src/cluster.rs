@@ -16,24 +16,31 @@
 //!
 //! Threads:
 //! - a **ticker** advances the lease/shipping state machine every
-//!   [`TICK_MS`] and flushes outbound envelopes,
+//!   [`TICK_MS`],
 //! - an **acceptor** takes peer connections on this node's `--peers`
 //!   entry; each connection gets a reader thread that decodes frames
-//!   and feeds [`ClusterNode::handle`].
+//!   and feeds [`ClusterNode::handle`],
+//! - a **writer per peer** drains that peer's bounded outbound queue
+//!   onto its TCP connection, reconnecting when it breaks.
 //!
 //! Loss is fine everywhere: an unreachable peer just drops envelopes,
 //! exactly like a cut `SimNet` link, and the lease protocol rides it
-//! out. Outbound sends reuse one connection per peer and reconnect
-//! (with a short timeout) when it breaks.
+//! out. Enqueueing to a full or dead peer queue drops the envelope, so
+//! neither the ticker nor a reader thread ever blocks on a slow peer —
+//! one hung connection (full send buffer, half-open socket) must not
+//! stall heartbeats to the healthy ones.
 
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use oak_cluster::{ClusterNode, Envelope, NodeId, NodeOptions, PartitionStatus, Role, Topology};
+use oak_cluster::{
+    ClusterNode, DecodeStep, Envelope, NodeId, NodeOptions, PartitionStatus, Role, Topology,
+};
 use oak_core::engine::{Oak, OakConfig};
+use oak_store::segment::{FRAME_OVERHEAD, MAX_FRAME};
 use oak_store::{OakStore, RealFs, StoreOptions};
 
 use crate::service::ClusterStatusSource;
@@ -42,21 +49,43 @@ use crate::service::ClusterStatusSource;
 /// cluster world.
 const TICK_MS: u64 = 20;
 
-/// How long an outbound reconnect may block the ticker. Short on
-/// purpose: a dead peer must cost less than one heartbeat interval.
+/// How long an outbound reconnect may block its peer's writer thread.
+/// Short on purpose: a dead peer should drop frames, not queue them.
 const CONNECT_TIMEOUT: Duration = Duration::from_millis(40);
+
+/// Bound on one blocking send to a peer. A connection that cannot make
+/// progress within this window is treated as broken (the frame is
+/// dropped and the writer reconnects) rather than parked on forever.
+const WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Frames a peer's outbound queue holds before new ones are dropped.
+/// Sized for several heartbeat intervals of lease + shipping traffic;
+/// a peer too slow to drain this is indistinguishable from a cut link.
+const OUTBOX_FRAMES: usize = 256;
+
+/// How long the ingest path may wait for the replication watermark to
+/// cover a report before giving up with 503 (the client retries).
+/// Generous against the commit cadence (one [`TICK_MS`] round trip in
+/// the healthy case) but far below a client timeout.
+const COMMIT_WAIT_MS: u64 = 1_000;
+
+/// Poll cadence while waiting on the watermark; the ticker and the
+/// reader threads advance it concurrently.
+const COMMIT_POLL_MS: u64 = 5;
 
 /// The single replication group the live runtime hosts (see module
 /// docs): every user hashes here, every peer replicates it.
 const GROUP: u32 = 0;
 
 /// One live cluster member: the replicated node, its peer addresses,
-/// and the outbound connection cache.
+/// and the per-peer outbound queues.
 pub struct ClusterRuntime {
     node: Mutex<ClusterNode>,
     peers: Vec<String>,
     me: NodeId,
-    conns: Mutex<Vec<Option<TcpStream>>>,
+    /// Outbound queue per peer index; `None` at our own slot. Each is
+    /// drained by that peer's dedicated writer thread.
+    links: Vec<Option<mpsc::SyncSender<Vec<u8>>>>,
     /// Rules file to seed through the WAL once this node first holds
     /// the lease (never written directly into a follower replica).
     seed_rules: Mutex<Option<std::path::PathBuf>>,
@@ -87,9 +116,22 @@ impl ClusterRuntime {
         let listener = TcpListener::bind(&peers[role as usize])?;
         let started = std::time::Instant::now();
         let node = ClusterNode::new(me, topology, Arc::new(RealFs), root, options, 0)?;
+        let mut links: Vec<Option<mpsc::SyncSender<Vec<u8>>>> = Vec::with_capacity(peers.len());
+        for (index, addr) in peers.iter().enumerate() {
+            if index == role as usize {
+                links.push(None);
+                continue;
+            }
+            let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(OUTBOX_FRAMES);
+            let addr = addr.clone();
+            std::thread::Builder::new()
+                .name(format!("oak-cluster-send-{index}"))
+                .spawn(move || writer_loop(&addr, rx))?;
+            links.push(Some(tx));
+        }
         let runtime = Arc::new(ClusterRuntime {
             node: Mutex::new(node),
-            conns: Mutex::new((0..peers.len()).map(|_| None).collect()),
+            links,
             peers,
             me,
             seed_rules: Mutex::new(None),
@@ -194,7 +236,7 @@ impl ClusterRuntime {
     }
 
     /// Decodes envelopes off one inbound peer connection until it
-    /// closes or sends a frame that fails the CRC.
+    /// closes or turns corrupt.
     fn read_loop(&self, mut stream: TcpStream) {
         let mut buf: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 16 * 1024];
@@ -205,62 +247,86 @@ impl ClusterRuntime {
             };
             buf.extend_from_slice(&chunk[..n]);
             let mut offset = 0;
-            while let Some((envelope, next)) = Envelope::decode(&buf, offset) {
-                offset = next;
-                let now = self.now_ms();
-                let replies = {
-                    let mut node = self.node.lock().expect("cluster node lock");
-                    node.handle(now, &envelope)
-                };
-                self.send_all(replies);
+            loop {
+                match Envelope::decode_step(&buf, offset) {
+                    DecodeStep::Frame(envelope, next) => {
+                        offset = next;
+                        let now = self.now_ms();
+                        let replies = {
+                            let mut node = self.node.lock().expect("cluster node lock");
+                            node.handle(now, &envelope)
+                        };
+                        self.send_all(replies);
+                    }
+                    // More bytes are coming: keep the partial frame.
+                    DecodeStep::Incomplete => break,
+                    // A frame that can never decode poisons the whole
+                    // stream (framing is lost): drop the connection so
+                    // the peer's writer reconnects cleanly, instead of
+                    // waiting forever for bytes that cannot help.
+                    DecodeStep::Corrupt => return,
+                }
             }
             buf.drain(..offset);
-            // A full frame should decode once its bytes are all here; a
-            // buffer past any sane envelope size without one is a bad
-            // peer — drop the connection rather than grow forever.
-            if buf.len() > 64 << 20 {
+            // Belt and braces: a partial frame can never legitimately
+            // exceed the frame format's own bound.
+            if buf.len() > MAX_FRAME as usize + FRAME_OVERHEAD {
                 return;
             }
         }
     }
 
-    /// Ships envelopes to their recipients, reusing cached connections
-    /// and dropping whatever cannot be delivered (the protocol treats
-    /// loss like a cut link).
+    /// Queues envelopes onto their recipients' outbound queues. A full
+    /// or dead queue drops the envelope — the protocol treats loss like
+    /// a cut link, and blocking here would let one slow peer stall the
+    /// ticker or a reader thread.
     fn send_all(&self, envelopes: Vec<Envelope>) {
         for envelope in envelopes {
             let to = envelope.to.0 as usize;
-            if to >= self.peers.len() || envelope.to == self.me {
+            let Some(Some(link)) = self.links.get(to) else {
                 continue;
-            }
-            let bytes = envelope.encode();
-            let mut conns = self.conns.lock().expect("cluster conn lock");
-            let mut delivered = false;
-            if let Some(stream) = conns[to].as_mut() {
+            };
+            let _ = link.try_send(envelope.encode());
+        }
+    }
+}
+
+/// Drains one peer's outbound queue onto its TCP connection, connecting
+/// lazily and reconnecting (once per frame) when a send fails. Runs on
+/// that peer's dedicated writer thread, so a hung connection blocks
+/// only traffic to that peer, and only up to [`WRITE_TIMEOUT`] per
+/// frame.
+fn writer_loop(addr: &str, rx: mpsc::Receiver<Vec<u8>>) {
+    use std::io::Write;
+
+    let mut conn: Option<TcpStream> = None;
+    while let Ok(bytes) = rx.recv() {
+        let mut delivered = false;
+        if let Some(stream) = conn.as_mut() {
+            delivered = stream.write_all(&bytes).is_ok();
+        }
+        if !delivered {
+            conn = connect(addr);
+            if let Some(stream) = conn.as_mut() {
                 delivered = stream.write_all(&bytes).is_ok();
             }
             if !delivered {
-                conns[to] = self.connect(&self.peers[to]);
-                if let Some(stream) = conns[to].as_mut() {
-                    delivered = stream.write_all(&bytes).is_ok();
-                }
-                if !delivered {
-                    conns[to] = None;
-                }
+                conn = None;
             }
         }
     }
+}
 
-    fn connect(&self, addr: &str) -> Option<TcpStream> {
-        let resolved: Vec<SocketAddr> = addr.to_socket_addrs().ok()?.collect();
-        for candidate in resolved {
-            if let Ok(stream) = TcpStream::connect_timeout(&candidate, CONNECT_TIMEOUT) {
-                let _ = stream.set_nodelay(true);
-                return Some(stream);
-            }
+fn connect(addr: &str) -> Option<TcpStream> {
+    let resolved: Vec<SocketAddr> = addr.to_socket_addrs().ok()?.collect();
+    for candidate in resolved {
+        if let Ok(stream) = TcpStream::connect_timeout(&candidate, CONNECT_TIMEOUT) {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+            return Some(stream);
         }
-        None
     }
+    None
 }
 
 impl ClusterStatusSource for ClusterRuntime {
@@ -283,6 +349,35 @@ impl ClusterStatusSource for ClusterRuntime {
 
     fn leads_maintenance(&self) -> bool {
         self.node.lock().expect("cluster node lock").role(GROUP) == Some(Role::Primary)
+    }
+
+    /// Blocks the ingest handler until the replication watermark covers
+    /// `seq`, polling while the ticker and reader threads advance it.
+    /// The healthy-path wait is one shipping round trip (~one
+    /// [`TICK_MS`]); a majority-less primary times out after
+    /// [`COMMIT_WAIT_MS`] and the 204 is withheld.
+    fn wait_for_commit(&self, user: &str, seq: u64) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_millis(COMMIT_WAIT_MS);
+        loop {
+            {
+                let node = self.node.lock().expect("cluster node lock");
+                let partition = node.partition_of(user);
+                if node.commit(partition).unwrap_or(0) >= seq {
+                    return true;
+                }
+                // Deposed mid-wait: this node can no longer advance the
+                // watermark itself, and its unreplicated tail is about
+                // to be discarded — fail fast so the client retries
+                // against the new primary.
+                if node.role(partition) != Some(Role::Primary) {
+                    return false;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(COMMIT_POLL_MS));
+        }
     }
 }
 

@@ -37,10 +37,11 @@ pub struct ServiceStats {
     /// Users evicted by the idle-pruning sweep (see
     /// [`OakService::with_pruning`]).
     pub users_pruned: u64,
-    /// Requests refused with 503 + Retry-After because this node does
-    /// not hold the primary lease for the user's partition (see
-    /// [`OakService::set_cluster_status`]). Always zero on a
-    /// single-node deployment.
+    /// Requests refused with 503 + Retry-After by the cluster layer:
+    /// either this node does not hold the primary lease for the user's
+    /// partition, or an ingested report's replication watermark failed
+    /// to cover it in time (see [`OakService::set_cluster_status`]).
+    /// Always zero on a single-node deployment.
     pub cluster_refused: u64,
 }
 
@@ -100,6 +101,19 @@ pub trait ClusterStatusSource: Send + Sync {
     /// journaled `Pruned` event, which must originate on the primary
     /// and ship through the WAL rather than diverge a follower.
     fn leads_maintenance(&self) -> bool {
+        true
+    }
+
+    /// Blocks until the replication watermark for `user`'s partition
+    /// covers `seq` — the point at which a client ack may be released
+    /// (DESIGN.md §14: a `204` *means* durable on a majority) — or
+    /// until the implementation's bounded wait expires. `false` means
+    /// the ack must be withheld: the service answers 503 + Retry-After
+    /// and the client retries, making ingest at-least-once across a
+    /// stalled majority. The default is immediate `true`: on a single
+    /// node the local WAL append *is* the durability point.
+    fn wait_for_commit(&self, user: &str, seq: u64) -> bool {
+        let _ = (user, seq);
         true
     }
 }
@@ -446,15 +460,18 @@ impl OakService {
         if source.is_primary_for(user) {
             return None;
         }
+        Some(self.cluster_refusal(b"partition is failing over or served elsewhere; retry"))
+    }
+
+    /// A counted 503 + Retry-After from the cluster layer.
+    fn cluster_refusal(&self, body: &'static [u8]) -> Response {
         self.stats.cluster_refused.fetch_add(1, Ordering::Relaxed);
-        let mut response = Response::new(StatusCode::UNAVAILABLE).with_body(
-            b"partition is failing over or served elsewhere; retry".to_vec(),
-            "text/plain",
-        );
+        let mut response =
+            Response::new(StatusCode::UNAVAILABLE).with_body(body.to_vec(), "text/plain");
         response
             .headers
             .set("Retry-After", RETRY_AFTER_HINT_SECS.to_string());
-        Some(response)
+        response
     }
 
     fn serve_page(&self, request: &Request, path: &str, html: &str) -> Response {
@@ -1019,11 +1036,26 @@ impl OakService {
         let live = self.live_engine();
         let oak = live.as_deref().unwrap_or(&self.oak);
         oak.ingest_report_from(now, &report, &*self.fetcher, client_ip);
+        // The engine head now covers every event this report emitted;
+        // the ack below may not be released before the replication
+        // watermark reaches it.
+        let head = oak.event_seq();
         self.stats.reports_accepted.fetch_add(1, Ordering::Relaxed);
         if let Some(store) = &self.durable {
             // Compaction errors must not fail the client's report; the
             // store's write_errors counter carries them to the operator.
             let _ = store.maybe_snapshot(oak);
+        }
+        // A 204 *means* majority-durable (DESIGN.md §14). In a cluster,
+        // hold it until the watermark covers the ingested events; if
+        // replication stalls (majority unreachable, lease lost
+        // mid-ingest), answer 503 instead — the report was applied
+        // locally, so the client's retry is at-least-once, which beats
+        // acking an event a failover would lose.
+        if let Some(cluster) = self.cluster.get() {
+            if !cluster.wait_for_commit(&report.user, head) {
+                return self.cluster_refusal(b"report not yet replicated to a majority; retry");
+            }
         }
         Response::new(StatusCode::NO_CONTENT)
     }

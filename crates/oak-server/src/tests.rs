@@ -750,6 +750,40 @@ impl crate::ClusterStatusSource for FakeCluster {
     }
 }
 
+/// Primary for everyone, but the replication watermark never advances —
+/// the majority-unreachable case the ingest ack must not paper over.
+struct StalledCluster;
+
+impl crate::ClusterStatusSource for StalledCluster {
+    fn partitions(&self) -> Vec<oak_cluster::PartitionStatus> {
+        Vec::new()
+    }
+
+    fn is_primary_for(&self, _user: &str) -> bool {
+        true
+    }
+
+    fn wait_for_commit(&self, _user: &str, _seq: u64) -> bool {
+        false
+    }
+}
+
+#[test]
+fn ingest_withholds_204_until_the_watermark_covers_it() {
+    let service = service_with_rule().into_shared();
+    service.set_cluster_status(Arc::new(StalledCluster));
+
+    // The node holds the lease, so the report is admitted and applied —
+    // but the watermark never covers it, so the 204 must not be
+    // released: 503 + Retry-After and the client retries.
+    let refused = post_report(&service, &violating_report("u-1"), Some("u-1"));
+    assert_eq!(refused.status, StatusCode::UNAVAILABLE);
+    assert!(refused.header("retry-after").is_some());
+    assert_eq!(service.stats().cluster_refused, 1);
+    // Applied locally regardless: the retry is at-least-once by design.
+    assert_eq!(service.stats().reports_accepted, 1);
+}
+
 #[test]
 fn cluster_surfaces_appear_only_when_attached_and_followers_refuse() {
     let obs = crate::ServiceObs::wall(16, 500);

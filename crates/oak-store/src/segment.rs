@@ -39,25 +39,60 @@ pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     frame
 }
 
+/// One step of decoding a frame off an in-progress byte stream.
+///
+/// WAL readers treat a clean end of segment and a torn tail the same
+/// (stop at the first non-frame, see [`decode_frame`]); a *stream*
+/// reader must not — bytes that are merely still in flight mean "wait
+/// for more", while bytes that can never become a valid frame mean the
+/// link is poisoned and must be dropped.
+#[derive(Debug)]
+pub enum FrameStep<'a> {
+    /// The bytes at `offset` are a valid prefix of a frame that has not
+    /// fully arrived: read more.
+    Incomplete,
+    /// A whole, checksum-valid frame: its payload and the offset one
+    /// past it.
+    Frame(&'a [u8], usize),
+    /// The bytes at `offset` can never complete into a valid frame (a
+    /// length over [`MAX_FRAME`], or a full-length payload failing its
+    /// CRC).
+    Corrupt,
+}
+
+/// Classifies the bytes at `offset` as an incomplete, whole, or corrupt
+/// frame. See [`FrameStep`].
+pub fn decode_frame_step(buf: &[u8], offset: usize) -> FrameStep<'_> {
+    let Some(header) = buf.get(offset..offset + FRAME_OVERHEAD) else {
+        return FrameStep::Incomplete;
+    };
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return FrameStep::Corrupt;
+    }
+    let expected = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    let start = offset + FRAME_OVERHEAD;
+    let Some(payload) = buf.get(start..start + len as usize) else {
+        return FrameStep::Incomplete;
+    };
+    if crc32(payload) != expected {
+        return FrameStep::Corrupt;
+    }
+    FrameStep::Frame(payload, start + len as usize)
+}
+
 /// Decodes the frame starting at `offset` in `buf`.
 ///
 /// Returns the payload and the offset one past the frame, or `None` when
 /// the bytes at `offset` are not a whole, checksum-valid frame — a clean
 /// end of segment and a torn tail look the same to the decoder; callers
-/// that care compare `offset` against `buf.len()`.
+/// that care compare `offset` against `buf.len()`. Stream readers that
+/// must tell the two apart use [`decode_frame_step`].
 pub fn decode_frame(buf: &[u8], offset: usize) -> Option<(&[u8], usize)> {
-    let header = buf.get(offset..offset + FRAME_OVERHEAD)?;
-    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
-    if len > MAX_FRAME {
-        return None;
+    match decode_frame_step(buf, offset) {
+        FrameStep::Frame(payload, next) => Some((payload, next)),
+        FrameStep::Incomplete | FrameStep::Corrupt => None,
     }
-    let expected = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
-    let start = offset + FRAME_OVERHEAD;
-    let payload = buf.get(start..start + len as usize)?;
-    if crc32(payload) != expected {
-        return None;
-    }
-    Some((payload, start + len as usize))
 }
 
 /// Everything salvageable from one segment file.
