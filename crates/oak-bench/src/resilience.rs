@@ -53,6 +53,7 @@ pub fn permissive_limits() -> ServerLimits {
         read_timeout: Duration::from_secs(3_600),
         write_timeout: Duration::from_secs(3_600),
         drain_timeout: Duration::from_secs(5),
+        queue_deadline: Duration::ZERO,
     }
 }
 

@@ -144,6 +144,48 @@ pub fn distill(
         .collect()
 }
 
+/// A scrape-cost-bounded view of the site aggregates: report and
+/// distinct-user totals plus the merged per-domain records, without the
+/// per-user report counts. Merging full [`SiteAggregates`] clones one
+/// map entry per distinct user ever seen — exact, and required for
+/// snapshots, but O(lifetime users) per call. A stats endpoint hit
+/// while the engine holds millions of user records must not pay that,
+/// so the serving path folds shards into this instead: cost is bounded
+/// by the (small, site-shaped) domain set.
+#[derive(Clone, Debug, Default)]
+pub struct SiteOverview {
+    /// Reports folded across every shard.
+    pub reports: u64,
+    /// Distinct reporting users across every shard. Shards partition
+    /// users, so per-shard counts sum exactly.
+    pub users: u64,
+    domains: BTreeMap<Arc<str>, DomainAggregate>,
+}
+
+impl SiteOverview {
+    /// Folds one shard's accumulator in. Only the domain table is
+    /// deep-merged; the per-user map contributes its length.
+    pub fn fold(&mut self, shard: &SiteAggregates) {
+        self.reports += shard.reports;
+        self.users += shard.users.len() as u64;
+        for (domain, agg) in &shard.domains {
+            self.domains
+                .entry(Arc::clone(domain))
+                .or_default()
+                .merge(agg);
+        }
+    }
+
+    /// Domains ordered by violation count, worst first — same ordering
+    /// as [`SiteAggregates::worst_domains`].
+    pub fn worst_domains(&self) -> Vec<(&str, &DomainAggregate)> {
+        let mut rows: Vec<(&str, &DomainAggregate)> =
+            self.domains.iter().map(|(d, a)| (&**d, a)).collect();
+        rows.sort_by(|a, b| b.1.violations.cmp(&a.1.violations).then(a.0.cmp(b.0)));
+        rows
+    }
+}
+
 /// Whole-site aggregates, updated per report.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SiteAggregates {

@@ -605,6 +605,19 @@ impl Oak {
         merged
     }
 
+    /// As [`Oak::aggregates`], but folding into a
+    /// [`crate::aggregates::SiteOverview`]: totals and the merged domain
+    /// table without the per-user report counts. [`Oak::aggregates`]
+    /// costs O(distinct users ever seen) per call, which a serving-path
+    /// stats scrape must not pay; this costs O(domains).
+    pub fn aggregates_overview(&self) -> crate::aggregates::SiteOverview {
+        let mut overview = crate::aggregates::SiteOverview::default();
+        for shard in &self.shards {
+            overview.fold(&shard.lock().expect("shard lock").aggregates);
+        }
+        overview
+    }
+
     /// Drops per-user state not touched since `cutoff`; returns how many
     /// users were pruned. Production hygiene: the paper's per-user
     /// profiles are long-lived but not immortal — a profile whose cookie

@@ -105,3 +105,43 @@ fn engine_exposes_aggregates() {
     assert_eq!(agg.domain("slow.example").unwrap().violations, 1);
     assert_eq!(agg.worst_domains()[0].0, "slow.example");
 }
+
+#[test]
+fn overview_matches_the_full_merge() {
+    use crate::engine::{Oak, OakConfig};
+    use crate::matching::NoFetch;
+    use crate::Instant;
+
+    // Users spread across shards, some returning — the overview (the
+    // serving path's cheap fold) must agree with the exact merge on
+    // every total and on the domain ordering.
+    let oak = Oak::new(OakConfig::default());
+    for i in 0..40 {
+        let r = report(&format!("u-{}", i % 25), i % 7 == 0);
+        oak.ingest_report(Instant(i), &r, &NoFetch);
+    }
+    let full = oak.aggregates();
+    let overview = oak.aggregates_overview();
+    assert_eq!(overview.reports, full.report_count());
+    assert_eq!(overview.users, full.user_count() as u64);
+    let full_worst: Vec<&str> = full.worst_domains().iter().map(|(d, _)| *d).collect();
+    let overview_worst: Vec<&str> = overview.worst_domains().iter().map(|(d, _)| *d).collect();
+    assert_eq!(overview_worst, full_worst);
+    for (domain, agg) in full.worst_domains() {
+        let o = overview
+            .worst_domains()
+            .into_iter()
+            .find(|(d, _)| *d == domain)
+            .expect("domain present in overview")
+            .1
+            .clone();
+        assert_eq!(o.objects, agg.objects, "{domain} objects");
+        assert_eq!(o.bytes, agg.bytes, "{domain} bytes");
+        assert_eq!(o.violations, agg.violations, "{domain} violations");
+        assert_eq!(
+            o.small_time_ms.mean(),
+            agg.small_time_ms.mean(),
+            "{domain} small-time mean"
+        );
+    }
+}

@@ -49,6 +49,12 @@ pub(crate) enum Body {
 pub(crate) enum ParseStep {
     /// Need more socket bytes.
     NeedMore,
+    /// The head just completed: `in_buf[..head_len]` is the full header
+    /// block, no body byte has been consumed. Reported exactly once per
+    /// request so the reactor can consult [`oak_http::Handler::admit`]
+    /// before body framing begins — the same pre-body seam the blocking
+    /// backend hooks between its head and body reads.
+    HeadReady { head_len: usize },
     /// `in_buf[..msg_end]` is one complete request message.
     Complete { msg_end: usize },
 }
@@ -88,6 +94,9 @@ pub(crate) struct Conn {
     /// Interest currently registered with the poller.
     pub want_read: bool,
     pub want_write: bool,
+    /// Whether the current request's head was already surfaced as
+    /// [`ParseStep::HeadReady`] (the admission gate runs once).
+    pub head_seen: bool,
 }
 
 impl Conn {
@@ -109,6 +118,7 @@ impl Conn {
             write_start_ns: 0,
             want_read: false,
             want_write: false,
+            head_seen: false,
         }
     }
 
@@ -156,6 +166,10 @@ impl Conn {
                         return Err(HttpError::HeadTooLarge {
                             limit: limits.max_head_bytes,
                         });
+                    }
+                    if !self.head_seen {
+                        self.head_seen = true;
+                        return Ok(ParseStep::HeadReady { head_len });
                     }
                     let head = &self.in_buf[..head_len];
                     if head_is_chunked(head)? {
@@ -209,6 +223,7 @@ impl Conn {
         self.close_after_write = false;
         self.drain_after_write = false;
         self.from_handler = false;
+        self.head_seen = false;
         self.state = State::ReadingHead;
     }
 }
@@ -233,24 +248,43 @@ mod tests {
         Conn::new(stream, None, true)
     }
 
+    /// Advances framing past the one-shot `HeadReady` admission gate,
+    /// the way the reactor does after the handler admits the request.
+    fn step(c: &mut Conn) -> Result<ParseStep, HttpError> {
+        match c.parse_step(&limits())? {
+            ParseStep::HeadReady { .. } => c.parse_step(&limits()),
+            other => Ok(other),
+        }
+    }
+
     #[test]
     fn incremental_head_then_body_completes_once() {
         let mut c = conn();
         c.in_buf.extend_from_slice(b"POST /r HTTP/1.1\r\nContent-");
-        assert!(matches!(
-            c.parse_step(&limits()).unwrap(),
-            ParseStep::NeedMore
-        ));
+        assert!(matches!(step(&mut c).unwrap(), ParseStep::NeedMore));
         c.in_buf.extend_from_slice(b"Length: 5\r\n\r\nhel");
-        assert!(matches!(
-            c.parse_step(&limits()).unwrap(),
-            ParseStep::NeedMore
-        ));
+        assert!(matches!(step(&mut c).unwrap(), ParseStep::NeedMore));
         c.in_buf.extend_from_slice(b"lo");
-        let ParseStep::Complete { msg_end } = c.parse_step(&limits()).unwrap() else {
+        let ParseStep::Complete { msg_end } = step(&mut c).unwrap() else {
             panic!("expected completion");
         };
         assert_eq!(msg_end, c.in_buf.len());
+    }
+
+    #[test]
+    fn head_ready_fires_once_with_no_body_byte_consumed() {
+        let mut c = conn();
+        c.in_buf
+            .extend_from_slice(b"POST /r HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        let ParseStep::HeadReady { head_len } = c.parse_step(&limits()).unwrap() else {
+            panic!("expected the admission gate first");
+        };
+        assert_eq!(&c.in_buf[head_len..], b"hello", "body left untouched");
+        // Second call proceeds to body framing; the gate never re-fires.
+        assert!(matches!(
+            c.parse_step(&limits()).unwrap(),
+            ParseStep::Complete { .. }
+        ));
     }
 
     #[test]
@@ -258,10 +292,7 @@ mod tests {
         let mut c = conn();
         c.in_buf
             .extend_from_slice(b"POST /r HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
-        assert!(matches!(
-            c.parse_step(&limits()),
-            Err(HttpError::BodyTooLarge { .. })
-        ));
+        assert!(matches!(step(&mut c), Err(HttpError::BodyTooLarge { .. })));
     }
 
     #[test]
@@ -281,7 +312,7 @@ mod tests {
         c.in_buf.extend_from_slice(
             b"POST /r HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\nGET /next",
         );
-        let ParseStep::Complete { msg_end } = c.parse_step(&limits()).unwrap() else {
+        let ParseStep::Complete { msg_end } = step(&mut c).unwrap() else {
             panic!("expected completion");
         };
         assert_eq!(&c.in_buf[msg_end..], b"GET /next");
@@ -292,12 +323,12 @@ mod tests {
         let mut c = conn();
         c.in_buf
             .extend_from_slice(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
-        let ParseStep::Complete { msg_end } = c.parse_step(&limits()).unwrap() else {
+        let ParseStep::Complete { msg_end } = step(&mut c).unwrap() else {
             panic!("expected completion");
         };
         c.in_buf.drain(..msg_end);
         c.reset_for_next_request();
-        let ParseStep::Complete { msg_end } = c.parse_step(&limits()).unwrap() else {
+        let ParseStep::Complete { msg_end } = step(&mut c).unwrap() else {
             panic!("expected second completion");
         };
         assert_eq!(msg_end, c.in_buf.len());

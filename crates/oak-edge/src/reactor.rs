@@ -195,12 +195,13 @@ impl EdgeServer {
             workers,
             &WorkerCtx {
                 pool: Arc::clone(&pool),
-                handler,
+                handler: Arc::clone(&handler),
                 stats: Arc::clone(&stats),
                 edge: Arc::clone(&edge),
                 obs: obs.clone(),
                 completions: Arc::clone(&completions),
                 wake: waker.clone(),
+                queue_deadline: limits.queue_deadline,
             },
         );
 
@@ -222,6 +223,7 @@ impl EdgeServer {
             edge: Arc::clone(&edge),
             obs,
             limits,
+            handler,
             pool: Arc::clone(&pool),
             completions,
         };
@@ -312,6 +314,9 @@ struct Reactor {
     edge: Arc<EdgeStats>,
     obs: Option<Arc<HttpMetrics>>,
     limits: ServerLimits,
+    /// Consulted at head completion ([`Handler::admit`]) before body
+    /// framing; workers hold their own clone for `handle`.
+    handler: Arc<dyn Handler>,
     pool: Arc<Pool>,
     completions: Arc<Mutex<Vec<(u64, Response)>>>,
 }
@@ -473,6 +478,7 @@ impl Reactor {
             if conn.counted {
                 self.open_counted -= 1;
                 self.edge.set_connections_open(self.open_counted as u64);
+                self.stats.record(TransportEvent::ConnectionClosed);
             }
             self.open_total -= 1;
             self.gens[idx] = self.gens[idx].wrapping_add(1);
@@ -613,6 +619,25 @@ impl Reactor {
         }
         match conn.parse_step(&limits) {
             Ok(ParseStep::NeedMore) => false,
+            Ok(ParseStep::HeadReady { head_len }) => {
+                if let Some(response) = self.admit_head(idx, head_len) {
+                    // Shed before the body: answer and close, exactly
+                    // like the blocking backend's pre-body gate (the
+                    // unread body makes keep-alive unframeable).
+                    self.stats.record(TransportEvent::RequestShed);
+                    let mut response = response;
+                    response.headers.set("Connection", "close");
+                    let Some(conn) = self.conn_mut(idx) else {
+                        return true;
+                    };
+                    conn.close_after_write = true;
+                    conn.drain_after_write = true;
+                    self.enqueue_response(idx, &response, false);
+                    return true;
+                }
+                // Admitted: resume framing over the same buffered bytes.
+                self.try_parse(idx)
+            }
             Ok(ParseStep::Complete { msg_end }) => {
                 self.finish_request(idx, msg_end);
                 true
@@ -622,6 +647,19 @@ impl Reactor {
                 true
             }
         }
+    }
+
+    /// Runs the pre-body admission gate over a just-completed head.
+    /// `Some(response)` sheds the request. A head whose request line
+    /// resists the minimal peek is admitted here — the full parser will
+    /// deliver its 400 with the body accounted for.
+    fn admit_head(&mut self, idx: usize, head_len: usize) -> Option<Response> {
+        let (method, target) = {
+            let conn = self.conn_mut(idx)?;
+            let (token, target) = oak_http::framing::request_line_of(&conn.in_buf[..head_len])?;
+            (oak_http::Method::parse(token)?, target.to_string())
+        };
+        self.handler.admit(method, &target)
     }
 
     /// A complete message is framed at `in_buf[..msg_end]`: parse it,
@@ -660,6 +698,7 @@ impl Reactor {
                 self.pool.submit(Job::Run {
                     token,
                     request: Box::new(request),
+                    enqueued: Instant::now(),
                 });
             }
             Err(HttpError::Truncated | HttpError::Io(_)) => self.close(idx),

@@ -37,6 +37,7 @@ fn tight() -> ServerLimits {
         read_timeout: Duration::from_millis(300),
         write_timeout: Duration::from_secs(2),
         drain_timeout: Duration::from_secs(2),
+        queue_deadline: Duration::ZERO,
     }
 }
 

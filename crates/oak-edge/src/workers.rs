@@ -10,9 +10,11 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use oak_http::{
-    Handler, HttpMetrics, Request, Response, Stage, StatusCode, TransportEvent, TransportStats,
+    queue_shed_response, Handler, HttpMetrics, Request, Response, Stage, StatusCode,
+    TransportEvent, TransportStats,
 };
 
 use crate::reactor::Waker;
@@ -21,7 +23,14 @@ use crate::stats::EdgeStats;
 /// One unit of work for a worker.
 pub(crate) enum Job {
     /// Run the handler for the request framed on connection `token`.
-    Run { token: u64, request: Box<Request> },
+    Run {
+        token: u64,
+        request: Box<Request>,
+        /// When the reactor queued this job; the CoDel-style queue
+        /// deadline ([`oak_http::ServerLimits::queue_deadline`]) is
+        /// measured against it at dequeue.
+        enqueued: Instant,
+    },
     /// Exit the worker loop (one sentinel per worker at shutdown).
     Stop,
 }
@@ -60,6 +69,8 @@ pub(crate) struct WorkerCtx {
     pub obs: Option<Arc<HttpMetrics>>,
     pub completions: Arc<Mutex<Vec<(u64, Response)>>>,
     pub wake: Waker,
+    /// Zero disables drop-at-dequeue.
+    pub queue_deadline: Duration,
 }
 
 /// Spawns `n` detached workers. They exit on their `Stop` sentinel;
@@ -78,8 +89,29 @@ fn worker_loop(ctx: &WorkerCtx) {
     loop {
         match ctx.pool.next() {
             Job::Stop => return,
-            Job::Run { token, request } => {
+            Job::Run {
+                token,
+                request,
+                enqueued,
+            } => {
                 ctx.edge.dec_worker_queue();
+                // CoDel-style drop-at-dequeue: work that overstayed its
+                // queue deadline is answered with a canned 503 instead
+                // of processed — under overload the queue's oldest
+                // entries are the ones whose clients have already given
+                // up. Exempt targets (health probes) always run.
+                if !ctx.queue_deadline.is_zero()
+                    && enqueued.elapsed() > ctx.queue_deadline
+                    && !ctx.handler.shed_exempt(request.path())
+                {
+                    ctx.stats.record(TransportEvent::RequestShed);
+                    ctx.completions
+                        .lock()
+                        .unwrap()
+                        .push((token, queue_shed_response()));
+                    ctx.wake.wake();
+                    continue;
+                }
                 let handle_start = ctx.obs.as_ref().map(|o| o.now());
                 // A panicking handler costs one response, not a worker:
                 // the client gets a 500 and the panic lands in the stats.

@@ -92,6 +92,25 @@ pub fn content_length_of(head: &[u8]) -> Result<usize, HttpError> {
     Ok(found.unwrap_or(0))
 }
 
+/// Extracts `(method-token, target)` from the request line of a raw
+/// head block, without parsing the full message.
+///
+/// Both server backends consult [`crate::Handler::admit`] between head
+/// completion and body read; this is the shared, minimal peek that makes
+/// the decision possible before any body byte is buffered. `None` for
+/// heads whose first line is not `token SP token …` — such requests fall
+/// through to the full parser and earn their 400 there.
+pub fn request_line_of(head: &[u8]) -> Option<(&str, &str)> {
+    let end = head.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&head[..end])
+        .ok()?
+        .trim_end_matches('\r');
+    let mut parts = line.split(' ');
+    let method = parts.next().filter(|t| !t.is_empty())?;
+    let target = parts.next().filter(|t| !t.is_empty())?;
+    Some((method, target))
+}
+
 /// Incremental `Transfer-Encoding: chunked` progress over a growing
 /// buffer of raw (still-encoded) body bytes.
 ///

@@ -55,8 +55,8 @@ pub use headers::Headers;
 pub use message::{encode_chunked, Method, Request, Response, StatusCode};
 pub use obs::{HttpMetrics, Stage};
 pub use tcp::{
-    fetch_tcp, over_capacity_response, Handler, ServerLimits, TcpServer, TransportEvent,
-    TransportSnapshot, TransportStats, PEER_ADDR_HEADER,
+    fetch_tcp, over_capacity_response, queue_shed_response, Handler, ServerLimits, TcpServer,
+    TransportEvent, TransportSnapshot, TransportStats, PEER_ADDR_HEADER, SHED_RETRY_AFTER_SECS,
 };
 pub use url::{host_of, Url};
 

@@ -22,8 +22,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::error::HttpError;
-use crate::framing::{content_length_of, head_is_chunked};
-use crate::message::{Request, Response, StatusCode};
+use crate::framing::{content_length_of, head_is_chunked, request_line_of};
+use crate::message::{Method, Request, Response, StatusCode};
 use crate::obs::{HttpMetrics, Stage};
 
 /// Header the TCP server sets on inbound requests with the connection's
@@ -37,6 +37,25 @@ pub const PEER_ADDR_HEADER: &str = "X-Oak-Peer-Addr";
 pub trait Handler: Send + Sync + 'static {
     /// Produces the response for `request`.
     fn handle(&self, request: &Request) -> Response;
+
+    /// Consulted by both server backends after the request head is
+    /// complete but *before* any body byte is read. Returning
+    /// `Some(response)` sheds the request: the transport answers with it
+    /// immediately (plus `Connection: close`, since the unread body makes
+    /// the connection unframeable) and never buffers the body — the
+    /// overload-control fast path. The default admits everything.
+    fn admit(&self, method: Method, target: &str) -> Option<Response> {
+        let _ = (method, target);
+        None
+    }
+
+    /// True for targets the transport must never shed on its own
+    /// (queue-deadline drops skip them). Health probes stay answerable
+    /// under any overload; the default exempts nothing.
+    fn shed_exempt(&self, target: &str) -> bool {
+        let _ = target;
+        false
+    }
 }
 
 impl<F> Handler for F
@@ -76,6 +95,16 @@ pub struct ServerLimits {
     /// How long [`TcpServer::shutdown`] waits for in-flight connections
     /// to finish before giving up on the stragglers.
     pub drain_timeout: Duration,
+    /// CoDel-style queue deadline: a request that waited longer than
+    /// this between being fully read and a worker picking it up is
+    /// answered with a canned 503 + Retry-After instead of being
+    /// processed — under overload, stale queued work is the least
+    /// valuable work in the building. Zero disables the check. Targets
+    /// for which [`Handler::shed_exempt`] returns true are never
+    /// dropped. Only queued backends (the `oak-edge` reactor) have a
+    /// queue to age in; the thread-per-connection server runs the
+    /// handler synchronously after the read and so never trips this.
+    pub queue_deadline: Duration,
 }
 
 impl Default for ServerLimits {
@@ -87,6 +116,7 @@ impl Default for ServerLimits {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(5),
+            queue_deadline: Duration::ZERO,
         }
     }
 }
@@ -98,8 +128,10 @@ impl Default for ServerLimits {
 pub struct TransportStats {
     connections_accepted: AtomicU64,
     connections_rejected: AtomicU64,
+    connections_closed: AtomicU64,
     accepts_failed: AtomicU64,
     requests_served: AtomicU64,
+    requests_shed: AtomicU64,
     panics: AtomicU64,
     timeouts: AtomicU64,
     heads_too_large: AtomicU64,
@@ -114,10 +146,17 @@ pub struct TransportSnapshot {
     pub connections_accepted: u64,
     /// Connections turned away with a 503 at the connection cap.
     pub connections_rejected: u64,
+    /// Accepted connections since closed; `accepted - closed` is the
+    /// live permit occupancy the overload controller samples.
+    pub connections_closed: u64,
     /// `accept()` failures (the loop backs off instead of hot-spinning).
     pub accepts_failed: u64,
     /// Requests that reached the handler and were answered.
     pub requests_served: u64,
+    /// Requests dropped pre-handler: rejected by [`Handler::admit`]
+    /// before their body was read, or aged out of the worker queue past
+    /// [`ServerLimits::queue_deadline`].
+    pub requests_shed: u64,
     /// Handler panics converted to 500s.
     pub panics: u64,
     /// Requests that timed out mid-read (408).
@@ -140,10 +179,15 @@ pub enum TransportEvent {
     ConnectionAccepted,
     /// A connection was turned away with a 503 at the connection cap.
     ConnectionRejected,
+    /// A previously accepted connection finished (permit returned).
+    ConnectionClosed,
     /// `accept()` failed.
     AcceptFailed,
     /// A request reached the handler and was answered.
     RequestServed,
+    /// A request was dropped pre-handler (admission shed or queue
+    /// deadline).
+    RequestShed,
     /// A handler panic was converted to a 500.
     Panic,
     /// A request timed out mid-read (408).
@@ -164,8 +208,10 @@ impl TransportStats {
         let counter = match event {
             TransportEvent::ConnectionAccepted => &self.connections_accepted,
             TransportEvent::ConnectionRejected => &self.connections_rejected,
+            TransportEvent::ConnectionClosed => &self.connections_closed,
             TransportEvent::AcceptFailed => &self.accepts_failed,
             TransportEvent::RequestServed => &self.requests_served,
+            TransportEvent::RequestShed => &self.requests_shed,
             TransportEvent::Panic => &self.panics,
             TransportEvent::Timeout => &self.timeouts,
             TransportEvent::HeadTooLarge => &self.heads_too_large,
@@ -180,8 +226,10 @@ impl TransportStats {
         TransportSnapshot {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
             accepts_failed: self.accepts_failed.load(Ordering::Relaxed),
             requests_served: self.requests_served.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             heads_too_large: self.heads_too_large.load(Ordering::Relaxed),
@@ -410,9 +458,15 @@ fn accept_loop(
             // is returned even if `serve_connection` itself unwinds.
             let _permit = permit;
             let _ = serve_connection(stream, handler, &limits, &stats, obs.as_deref());
+            stats.connections_closed.fetch_add(1, Ordering::Relaxed);
         });
     }
 }
+
+/// Seconds every transport-minted shed/throttle response suggests the
+/// client back off before retrying. Shared so the two backends advertise
+/// the same hint byte-for-byte.
+pub const SHED_RETRY_AFTER_SECS: u64 = 1;
 
 /// The terse 503 every backend answers with at the connection cap.
 /// Shared so a client cannot tell the serving backends apart by the
@@ -420,7 +474,17 @@ fn accept_loop(
 pub fn over_capacity_response() -> Response {
     Response::new(StatusCode::UNAVAILABLE)
         .with_body(b"connection limit reached".to_vec(), "text/plain")
+        .with_header("Retry-After", &SHED_RETRY_AFTER_SECS.to_string())
         .with_header("Connection", "close")
+}
+
+/// The canned 503 for a request that aged past
+/// [`ServerLimits::queue_deadline`] in the worker queue. The request was
+/// fully read, so keep-alive survives — only the stale work is dropped.
+pub fn queue_shed_response() -> Response {
+    Response::new(StatusCode::UNAVAILABLE)
+        .with_body(b"dropped from queue under overload".to_vec(), "text/plain")
+        .with_header("Retry-After", &SHED_RETRY_AFTER_SECS.to_string())
 }
 
 /// Answers a connection that arrived over the cap: a terse 503, written
@@ -459,6 +523,10 @@ enum ReadOutcome {
     Lost,
     /// The request was rejected; answer with this status and close.
     Reject(StatusCode),
+    /// [`Handler::admit`] shed the request after its head: answer with
+    /// this response and close (the unread body makes keep-alive
+    /// unframeable).
+    Shed(Box<Response>),
 }
 
 /// Reads requests off one connection until EOF/error, handling keep-alive.
@@ -476,13 +544,21 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
-        let mut request = match read_request_outcome(&mut reader, limits, stats, obs) {
+        let mut request = match read_request_outcome(&mut reader, &*handler, limits, stats, obs) {
             ReadOutcome::Request(r) => *r,
             ReadOutcome::Closed | ReadOutcome::Lost => return Ok(()),
             ReadOutcome::Reject(status) => {
                 let response = Response::new(status)
                     .with_body(status.reason().as_bytes().to_vec(), "text/plain")
                     .with_header("Connection", "close");
+                let _ = response.write_to(&mut writer);
+                let _ = writer.flush();
+                drain_then_close(&writer);
+                return Ok(());
+            }
+            ReadOutcome::Shed(shed) => {
+                let mut response = *shed;
+                response.headers.set("Connection", "close");
                 let _ = response.write_to(&mut writer);
                 let _ = writer.flush();
                 drain_then_close(&writer);
@@ -532,12 +608,17 @@ fn serve_connection(
 /// action, bumping the matching counter.
 fn read_request_outcome(
     reader: &mut BufReader<TcpStream>,
+    handler: &dyn Handler,
     limits: &ServerLimits,
     stats: &TransportStats,
     obs: Option<&HttpMetrics>,
 ) -> ReadOutcome {
-    match read_request(reader, limits, obs) {
-        Ok(Some(request)) => ReadOutcome::Request(Box::new(request)),
+    match read_request(reader, handler, limits, obs) {
+        Ok(Some(ReadResult::Request(request))) => ReadOutcome::Request(request),
+        Ok(Some(ReadResult::Shed(response))) => {
+            stats.requests_shed.fetch_add(1, Ordering::Relaxed);
+            ReadOutcome::Shed(response)
+        }
         Ok(None) => ReadOutcome::Closed,
         Err(HttpError::TimedOut) => {
             stats.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -605,13 +686,23 @@ impl ReadDeadline {
     }
 }
 
+/// How [`read_request`] ended when it did produce something to act on.
+enum ReadResult {
+    /// A complete, parseable request.
+    Request(Box<Request>),
+    /// [`Handler::admit`] shed the request after its head; the body was
+    /// never read.
+    Shed(Box<Response>),
+}
+
 /// Reads one request; `None` on immediate EOF or an idle keep-alive
 /// timeout before any byte arrived.
 fn read_request(
     reader: &mut BufReader<TcpStream>,
+    handler: &dyn Handler,
     limits: &ServerLimits,
     obs: Option<&HttpMetrics>,
-) -> Result<Option<Request>, HttpError> {
+) -> Result<Option<ReadResult>, HttpError> {
     // Read time covers socket entry to a complete byte buffer (including
     // any keep-alive idle wait before the first byte); parse time covers
     // turning those bytes into a Request. Only successful requests are
@@ -624,6 +715,16 @@ fn read_request(
         Err(HttpError::TimedOut) if !deadline.started => return Ok(None),
         Err(e) => return Err(e),
     };
+    // The overload gate runs on the bare request line, before the body
+    // is buffered — shedding that waits for the body has already paid
+    // the cost it was meant to avoid.
+    if let Some((token, target)) = request_line_of(&head) {
+        if let Some(method) = Method::parse(token) {
+            if let Some(response) = handler.admit(method, target) {
+                return Ok(Some(ReadResult::Shed(Box::new(response))));
+            }
+        }
+    }
     let mut bytes = head;
     if head_is_chunked(&bytes)? {
         // Accumulate until the zero-size terminating chunk, bounding the
@@ -685,7 +786,7 @@ fn read_request(
         obs.record(Stage::Read, read_start, parse_start);
         obs.record(Stage::Parse, parse_start, obs.now());
     }
-    Ok(Some(request))
+    Ok(Some(ReadResult::Request(Box::new(request))))
 }
 
 /// Reads up to and including the `\r\n\r\n` header terminator.

@@ -62,7 +62,7 @@ use oak_edge::{AnyServer, Backend, EdgeConfig};
 use oak_http::{ServerLimits, TransportStats};
 use oak_server::{
     load_root, load_rules_into, AdmissionPolicy, ClusterRuntime, HealthState, OakService,
-    PrunePolicy, ServiceObs, METRICS_PATH, REPORT_PATH,
+    OverloadController, OverloadPolicy, PrunePolicy, ServiceObs, METRICS_PATH, REPORT_PATH,
 };
 use oak_store::{FsyncPolicy, OakStore, StoreOptions};
 
@@ -85,6 +85,7 @@ struct Args {
     prune: Option<PrunePolicy>,
     limits: ServerLimits,
     admission: AdmissionPolicy,
+    overload: Option<OverloadPolicy>,
     slow_ms: u64,
     trace_ring: usize,
 }
@@ -95,8 +96,12 @@ const USAGE: &str = "usage: oak-serve --root <dir> [--rules <file>] [--port <n>]
 [--cluster --peers <a:p,b:p,...> --role <n>] \
 [--audit-retention <entries>] [--prune-idle-ms <ms>] [--prune-every <requests>] \
 [--max-connections <n>] [--max-head-bytes <n>] [--max-body-bytes <n>] \
-[--read-timeout-ms <ms>] [--write-timeout-ms <ms>] [--max-report-bytes <n>] \
-[--report-rate <per-sec>] [--report-burst <n>] [--slow-ms <ms>] [--trace-ring <n>]
+[--read-timeout-ms <ms>] [--write-timeout-ms <ms>] [--queue-deadline-ms <ms>] \
+[--max-report-bytes <n>] [--report-rate <per-sec>] [--report-burst <n>] \
+[--overload] [--brownout-queue <n>] [--shed-queue <n>] \
+[--brownout-lag-us <us>] [--shed-lag-us <us>] \
+[--brownout-occupancy <0..1>] [--shed-occupancy <0..1>] \
+[--overload-cooldown <samples>] [--slow-ms <ms>] [--trace-ring <n>]
 
 transport backend:
   --edge threads|epoll     epoll = one non-blocking reactor thread + a
@@ -123,11 +128,31 @@ transport limits (served with 503/431/413/408 when exceeded):
   --max-body-bytes <n>     request-body cap before 413 (default 16 MiB)
   --read-timeout-ms <ms>   per-request read budget before 408 (default 10000)
   --write-timeout-ms <ms>  socket write timeout (default 10000)
+  --queue-deadline-ms <ms> drop epoll-queued requests older than this with
+                           503 + Retry-After (CoDel-at-dequeue; 0 = off,
+                           the default; health probes are never dropped)
 
 report admission (at /oak/report):
   --max-report-bytes <n>   report-body cap before 413 (default 1 MiB)
   --report-rate <per-sec>  sustained reports/s per user; 0 = unlimited (default)
   --report-burst <n>       burst allowance above the sustained rate (default 10)
+
+overload control (the brownout/shed state machine; see DESIGN.md §15):
+  --overload               arm the controller: Brownout serves pages
+                           unrewritten and throttles background work,
+                           Shedding refuses by priority class with
+                           503 + Retry-After (pages first, scrapes next,
+                           report ingest last, /oak/health never)
+  --brownout-queue <n>     worker-queue depth entering Brownout (default 16)
+  --shed-queue <n>         worker-queue depth entering Shedding (default 64)
+  --brownout-lag-us <us>   reactor loop lag entering Brownout (default 20000)
+  --shed-lag-us <us>       reactor loop lag entering Shedding (default 100000)
+  --brownout-occupancy <f> connection-permit occupancy entering Brownout
+                           (fraction of --max-connections, default 0.8)
+  --shed-occupancy <f>     permit occupancy entering Shedding (default 0.95)
+  --overload-cooldown <n>  consecutive calm samples before stepping one
+                           state back down (default 5)
+                           (any --brownout-*/--shed-* flag implies --overload)
 
 observability (scrape /oak/metrics, traces at /oak/trace/recent):
   --slow-ms <ms>           log traces slower than this (default 500)
@@ -156,6 +181,8 @@ fn parse_args() -> Result<Args, String> {
     let mut prune_every = 1024u64;
     let mut limits = ServerLimits::default();
     let mut admission = AdmissionPolicy::default();
+    let mut overload = false;
+    let mut overload_policy = OverloadPolicy::default();
     let mut slow_ms = 500u64;
     let mut trace_ring = 256usize;
     let mut argv = std::env::args().skip(1);
@@ -237,6 +264,52 @@ fn parse_args() -> Result<Args, String> {
                     number("--write-timeout-ms", value("--write-timeout-ms")?)?.max(1),
                 );
             }
+            "--queue-deadline-ms" => {
+                limits.queue_deadline = Duration::from_millis(number(
+                    "--queue-deadline-ms",
+                    value("--queue-deadline-ms")?,
+                )?);
+            }
+            "--overload" => overload = true,
+            "--brownout-queue" => {
+                overload_policy.queue_brownout =
+                    number("--brownout-queue", value("--brownout-queue")?)?;
+                overload = true;
+            }
+            "--shed-queue" => {
+                overload_policy.queue_shed = number("--shed-queue", value("--shed-queue")?)?;
+                overload = true;
+            }
+            "--brownout-lag-us" => {
+                overload_policy.lag_brownout_us =
+                    number("--brownout-lag-us", value("--brownout-lag-us")?)?;
+                overload = true;
+            }
+            "--shed-lag-us" => {
+                overload_policy.lag_shed_us = number("--shed-lag-us", value("--shed-lag-us")?)?;
+                overload = true;
+            }
+            "--brownout-occupancy" => {
+                overload_policy.permit_brownout = value("--brownout-occupancy")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| f.is_finite() && (0.0..=1.0).contains(f))
+                    .ok_or("--brownout-occupancy requires a fraction in 0..=1")?;
+                overload = true;
+            }
+            "--shed-occupancy" => {
+                overload_policy.permit_shed = value("--shed-occupancy")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| f.is_finite() && (0.0..=1.0).contains(f))
+                    .ok_or("--shed-occupancy requires a fraction in 0..=1")?;
+                overload = true;
+            }
+            "--overload-cooldown" => {
+                overload_policy.cooldown_samples =
+                    number("--overload-cooldown", value("--overload-cooldown")?)?.max(1) as u32;
+                overload = true;
+            }
             "--max-report-bytes" => {
                 admission.max_report_bytes =
                     number("--max-report-bytes", value("--max-report-bytes")?)? as usize;
@@ -299,6 +372,12 @@ fn parse_args() -> Result<Args, String> {
         }),
         limits,
         admission,
+        overload: overload.then(|| {
+            // The permit signal normalizes against the real connection
+            // cap, whatever --max-connections chose.
+            overload_policy.max_connections = limits.max_connections as u64;
+            overload_policy
+        }),
         slow_ms,
         trace_ring,
     })
@@ -460,6 +539,20 @@ fn main() -> ExitCode {
             policy.idle_ms, policy.every_requests
         );
         service = service.with_pruning(policy);
+    }
+    if let Some(policy) = args.overload {
+        eprintln!(
+            "overload control armed: brownout at queue {} / lag {} us / occupancy {:.2}, \
+shedding at queue {} / lag {} us / occupancy {:.2} (cooldown {} samples)",
+            policy.queue_brownout,
+            policy.lag_brownout_us,
+            policy.permit_brownout,
+            policy.queue_shed,
+            policy.lag_shed_us,
+            policy.permit_shed,
+            policy.cooldown_samples,
+        );
+        service = service.with_overload(OverloadController::new(policy));
     }
     let service = service.into_shared();
     service.set_edge_backend(args.backend);

@@ -33,7 +33,7 @@
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use oak_cluster::{
@@ -69,10 +69,6 @@ const OUTBOX_FRAMES: usize = 256;
 /// the healthy case) but far below a client timeout.
 const COMMIT_WAIT_MS: u64 = 1_000;
 
-/// Poll cadence while waiting on the watermark; the ticker and the
-/// reader threads advance it concurrently.
-const COMMIT_POLL_MS: u64 = 5;
-
 /// The single replication group the live runtime hosts (see module
 /// docs): every user hashes here, every peer replicates it.
 const GROUP: u32 = 0;
@@ -81,6 +77,11 @@ const GROUP: u32 = 0;
 /// and the per-peer outbound queues.
 pub struct ClusterRuntime {
     node: Mutex<ClusterNode>,
+    /// Signaled (paired with `node`) whenever the ticker or a reader
+    /// thread has run the state machine — the only places the commit
+    /// watermark can advance — so [`ClusterRuntime::wait_for_commit`]
+    /// parks instead of polling.
+    commits: Condvar,
     peers: Vec<String>,
     me: NodeId,
     /// Outbound queue per peer index; `None` at our own slot. Each is
@@ -131,6 +132,7 @@ impl ClusterRuntime {
         }
         let runtime = Arc::new(ClusterRuntime {
             node: Mutex::new(node),
+            commits: Condvar::new(),
             links,
             peers,
             me,
@@ -187,6 +189,9 @@ impl ClusterRuntime {
                 self.maybe_seed_rules(&node);
                 out
             };
+            // The tick may have advanced the commit watermark (acks
+            // heard, leases moved); wake any ingest handler parked on it.
+            self.commits.notify_all();
             self.send_all(out);
         }
     }
@@ -256,6 +261,9 @@ impl ClusterRuntime {
                             let mut node = self.node.lock().expect("cluster node lock");
                             node.handle(now, &envelope)
                         };
+                        // A follower ack just handled may have advanced
+                        // the watermark; wake parked ingest handlers.
+                        self.commits.notify_all();
                         self.send_all(replies);
                     }
                     // More bytes are coming: keep the partial frame.
@@ -352,31 +360,36 @@ impl ClusterStatusSource for ClusterRuntime {
     }
 
     /// Blocks the ingest handler until the replication watermark covers
-    /// `seq`, polling while the ticker and reader threads advance it.
-    /// The healthy-path wait is one shipping round trip (~one
-    /// [`TICK_MS`]); a majority-less primary times out after
+    /// `seq`. The wait parks on a condvar the ticker and reader threads
+    /// signal after running the state machine — the check and the park
+    /// are atomic under the node lock, so an advance can never slip
+    /// between them. The healthy-path wait is one shipping round trip
+    /// (~one [`TICK_MS`]); a majority-less primary times out after
     /// [`COMMIT_WAIT_MS`] and the 204 is withheld.
     fn wait_for_commit(&self, user: &str, seq: u64) -> bool {
         let deadline = std::time::Instant::now() + Duration::from_millis(COMMIT_WAIT_MS);
+        let mut node = self.node.lock().expect("cluster node lock");
         loop {
-            {
-                let node = self.node.lock().expect("cluster node lock");
-                let partition = node.partition_of(user);
-                if node.commit(partition).unwrap_or(0) >= seq {
-                    return true;
-                }
-                // Deposed mid-wait: this node can no longer advance the
-                // watermark itself, and its unreplicated tail is about
-                // to be discarded — fail fast so the client retries
-                // against the new primary.
-                if node.role(partition) != Some(Role::Primary) {
-                    return false;
-                }
+            let partition = node.partition_of(user);
+            if node.commit(partition).unwrap_or(0) >= seq {
+                return true;
             }
-            if std::time::Instant::now() >= deadline {
+            // Deposed mid-wait: this node can no longer advance the
+            // watermark itself, and its unreplicated tail is about
+            // to be discarded — fail fast so the client retries
+            // against the new primary.
+            if node.role(partition) != Some(Role::Primary) {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(COMMIT_POLL_MS));
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            node = self
+                .commits
+                .wait_timeout(node, deadline - now)
+                .expect("cluster node lock")
+                .0;
         }
     }
 }

@@ -35,12 +35,17 @@
 mod cluster;
 mod fileroot;
 mod obs;
+mod overload;
 mod service;
 mod store;
 
 pub use cluster::ClusterRuntime;
 pub use fileroot::{content_type_for, load_root, load_rules, load_rules_into};
 pub use obs::ServiceObs;
+pub use overload::{
+    OverloadController, OverloadPolicy, OverloadSnapshot, OverloadState, PressureSample,
+    RequestClass,
+};
 pub use service::{
     AdmissionPolicy, ClusterStatusSource, HealthState, OakService, PrunePolicy, ServiceStats,
 };

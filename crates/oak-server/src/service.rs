@@ -12,10 +12,13 @@ use oak_core::report::PerfReport;
 use oak_core::Instant;
 use oak_edge::{Backend, EdgeStats};
 use oak_http::cookie::{format_set_cookie, get_cookie, OAK_USER_COOKIE};
-use oak_http::{Handler, Method, Request, Response, StatusCode, TransportStats};
+use oak_http::{
+    Handler, Method, Request, Response, StatusCode, TransportStats, SHED_RETRY_AFTER_SECS,
+};
 use oak_obs::{Family, FamilyKind, Series, SeriesValue};
 
 use crate::obs::ServiceObs;
+use crate::overload::{OverloadController, RequestClass};
 use crate::store::SiteStore;
 use crate::REPORT_PATH;
 
@@ -254,13 +257,17 @@ pub struct OakService {
     /// leases), hence a `OnceLock` like the edge gauges.
     cluster: OnceLock<Arc<dyn ClusterStatusSource>>,
     health: AtomicU8,
+    /// The overload controller, when overload control is enabled (see
+    /// [`OakService::with_overload`]). Shared with the transport's
+    /// admission hook and the operator surfaces.
+    overload: Option<Arc<OverloadController>>,
     obs: Option<Arc<ServiceObs>>,
     /// One aggregates pass shared by `/oak/stats` and `/oak/metrics`:
-    /// the merged [`oak_core::aggregates::SiteAggregates`] is cached
+    /// the folded [`oak_core::aggregates::SiteOverview`] is cached
     /// against the ingest generation (reports accepted + users pruned),
     /// so back-to-back scrapes reuse the same snapshot instead of
-    /// re-merging every engine shard per endpoint.
-    aggregates_cache: Mutex<Option<(u64, Arc<oak_core::aggregates::SiteAggregates>)>>,
+    /// re-folding every engine shard per endpoint.
+    aggregates_cache: Mutex<Option<(u64, Arc<oak_core::aggregates::SiteOverview>)>>,
 }
 
 impl OakService {
@@ -287,6 +294,7 @@ impl OakService {
             // Serving by default: a service constructed without a boot
             // sequence (tests, experiments) is ready the moment it exists.
             health: AtomicU8::new(HealthState::Serving.as_u8()),
+            overload: None,
             obs: None,
             aggregates_cache: Mutex::new(None),
         }
@@ -332,8 +340,40 @@ impl OakService {
     /// `"transport"`. Create the [`TransportStats`] first, hand one clone
     /// here and one to [`oak_http::TcpServer::start_with`].
     pub fn with_transport_stats(mut self, stats: Arc<TransportStats>) -> OakService {
+        if let Some(overload) = &self.overload {
+            overload.attach_transport(Arc::clone(&stats));
+        }
         self.transport = Some(stats);
         self
+    }
+
+    /// Enables overload control: the controller samples the signal
+    /// sources already attached (transport counters, reactor gauges,
+    /// the engine's ingest histogram — whichever exist now or arrive
+    /// through the later setters) and the service starts degrading by
+    /// state — Brownout bypasses the rewriter and throttles background
+    /// work; Shedding refuses requests by [`RequestClass`] priority,
+    /// reports last and health probes never. The same controller is
+    /// consulted by the transport's pre-body admission hook
+    /// ([`oak_http::Handler::admit`]), so shed reports cost a request
+    /// line, not a body read.
+    pub fn with_overload(mut self, overload: Arc<OverloadController>) -> OakService {
+        if let Some(transport) = &self.transport {
+            overload.attach_transport(Arc::clone(transport));
+        }
+        if let Some(edge) = self.edge.get() {
+            overload.attach_edge(Arc::clone(edge));
+        }
+        if let Some(obs) = &self.obs {
+            overload.attach_ingest(Arc::clone(&obs.core.ingest));
+        }
+        self.overload = Some(overload);
+        self
+    }
+
+    /// The attached overload controller, if any.
+    pub fn overload(&self) -> Option<&Arc<OverloadController>> {
+        self.overload.as_ref()
     }
 
     /// Names the transport backend fronting this service; `/oak/health`
@@ -351,6 +391,9 @@ impl OakService {
     /// starts *after* the service is built and shared — so this is a
     /// post-start setter, not a builder: first call wins.
     pub fn set_edge_stats(&self, stats: Arc<EdgeStats>) {
+        if let Some(overload) = &self.overload {
+            overload.attach_edge(Arc::clone(&stats));
+        }
         let _ = self.edge.set(stats);
     }
 
@@ -386,6 +429,9 @@ impl OakService {
     /// [`oak_store::OakStore::set_obs`]).
     pub fn with_obs(mut self, obs: Arc<ServiceObs>) -> OakService {
         self.oak.set_obs(Arc::clone(&obs.core));
+        if let Some(overload) = &self.overload {
+            overload.attach_ingest(Arc::clone(&obs.core.ingest));
+        }
         self.obs = Some(obs);
         self
     }
@@ -495,6 +541,30 @@ impl OakService {
             return refusal;
         }
 
+        // Brownout: serve the page as-is. The paper's fallback is
+        // explicit — an Oak outage "silently result[s] in pages being
+        // served as-is" — so under pressure the rewriter (the most
+        // expensive per-request stage) is the first thing to go. The
+        // cookie is still minted: identification is cheap and losing it
+        // would orphan the user's later reports.
+        if self
+            .overload
+            .as_ref()
+            .is_some_and(|overload| overload.brownout_active())
+        {
+            let mut response = Response::html(html.to_owned());
+            if minted {
+                response
+                    .headers
+                    .set("Set-Cookie", format_set_cookie(OAK_USER_COOKIE, &user));
+            }
+            if let Some(overload) = &self.overload {
+                overload.note_browned_page();
+            }
+            self.stats.pages_served.fetch_add(1, Ordering::Relaxed);
+            return response;
+        }
+
         let live = self.live_engine();
         let oak = live.as_deref().unwrap_or(&self.oak);
         let modified = oak.modify_page_cow(now, &user, path, html);
@@ -545,14 +615,29 @@ impl OakService {
             let mut row = oak_json::Value::object();
             row.set("connections_accepted", t.connections_accepted);
             row.set("connections_rejected", t.connections_rejected);
+            row.set("connections_closed", t.connections_closed);
             row.set("accepts_failed", t.accepts_failed);
             row.set("requests_served", t.requests_served);
+            row.set("requests_shed", t.requests_shed);
             row.set("panics", t.panics);
             row.set("timeouts", t.timeouts);
             row.set("heads_too_large", t.heads_too_large);
             row.set("bodies_too_large", t.bodies_too_large);
             row.set("bad_requests", t.bad_requests);
             doc.set("transport", row);
+        }
+        if let Some(overload) = &self.overload {
+            let o = overload.snapshot();
+            let mut row = oak_json::Value::object();
+            row.set("state", overload.state().as_str());
+            row.set("severity", o.severity as u64);
+            row.set("shed_pages", o.shed_pages);
+            row.set("shed_scrapes", o.shed_scrapes);
+            row.set("shed_reports", o.shed_reports);
+            row.set("pages_browned", o.pages_browned);
+            row.set("brownout_entries", o.brownout_entries);
+            row.set("shedding_entries", o.shedding_entries);
+            doc.set("overload", row);
         }
         if let Some(backend) = self.edge_backend.get() {
             doc.set("backend", backend.as_str());
@@ -601,8 +686,8 @@ impl OakService {
         }
 
         let agg = self.aggregates_snapshot();
-        doc.set("reports", agg.report_count());
-        doc.set("users", agg.user_count());
+        doc.set("reports", agg.reports);
+        doc.set("users", agg.users);
         let mut domains = oak_json::Value::array();
         for (domain, entry) in agg.worst_domains().into_iter().take(50) {
             let mut row = oak_json::Value::object();
@@ -631,12 +716,17 @@ impl OakService {
         Response::new(StatusCode::OK).with_body(doc.to_string().into_bytes(), "application/json")
     }
 
-    /// One merged [`oak_core::aggregates::SiteAggregates`] pass shared
-    /// by `/oak/stats` and `/oak/metrics`. The merge walks every engine
+    /// One folded [`oak_core::aggregates::SiteOverview`] pass shared
+    /// by `/oak/stats` and `/oak/metrics`. The fold walks every engine
     /// shard, so the result is cached against an ingest generation —
     /// the engine's ingest counter when observability is attached, the
-    /// service's otherwise — and back-to-back scrapes reuse it.
-    fn aggregates_snapshot(&self) -> Arc<oak_core::aggregates::SiteAggregates> {
+    /// service's otherwise — and back-to-back scrapes reuse it. The
+    /// overview (unlike a full [`oak_core::aggregates::SiteAggregates`]
+    /// merge) never clones per-user state, so a scrape stays cheap no
+    /// matter how many distinct users the engine has ever seen — a
+    /// stats endpoint whose cost grows with the user base is a
+    /// self-inflicted overload vector.
+    fn aggregates_snapshot(&self) -> Arc<oak_core::aggregates::SiteOverview> {
         let generation = match &self.obs {
             Some(obs) => obs.core.reports.get(),
             None => self.stats.reports_accepted.load(Ordering::Relaxed),
@@ -655,7 +745,7 @@ impl OakService {
         }
         let live = self.live_engine();
         let oak = live.as_deref().unwrap_or(&self.oak);
-        let agg = Arc::new(oak.aggregates());
+        let agg = Arc::new(oak.aggregates_overview());
         *cache = Some((generation, Arc::clone(&agg)));
         agg
     }
@@ -709,8 +799,13 @@ impl OakService {
                         &[("event", "connections_rejected")],
                         t.connections_rejected as f64,
                     ),
+                    scalar_series(
+                        &[("event", "connections_closed")],
+                        t.connections_closed as f64,
+                    ),
                     scalar_series(&[("event", "accepts_failed")], t.accepts_failed as f64),
                     scalar_series(&[("event", "requests_served")], t.requests_served as f64),
+                    scalar_series(&[("event", "requests_shed")], t.requests_shed as f64),
                     scalar_series(&[("event", "panics")], t.panics as f64),
                     scalar_series(&[("event", "timeouts")], t.timeouts as f64),
                     scalar_series(&[("event", "heads_too_large")], t.heads_too_large as f64),
@@ -761,6 +856,33 @@ impl OakService {
                     scalar_series(&[("gauge", "timers_pending")], e.timers_pending as f64),
                     scalar_series(&[("gauge", "wakeups")], e.wakeups as f64),
                 ],
+            ));
+        }
+        if let Some(overload) = &self.overload {
+            let o = overload.snapshot();
+            families.push(scalar_family(
+                "oak_overload_state",
+                "Overload controller state: 0 nominal, 1 brownout, 2 shedding.",
+                FamilyKind::Gauge,
+                vec![scalar_series(&[], o.state as f64)],
+            ));
+            families.push(scalar_family(
+                "oak_requests_shed_total",
+                "Requests refused with 503 + Retry-After by the overload \
+                 controller, by priority class.",
+                FamilyKind::Counter,
+                vec![
+                    scalar_series(&[("class", "page")], o.shed_pages as f64),
+                    scalar_series(&[("class", "scrape")], o.shed_scrapes as f64),
+                    scalar_series(&[("class", "report")], o.shed_reports as f64),
+                ],
+            ));
+            families.push(scalar_family(
+                "oak_pages_browned_total",
+                "Pages served unrewritten under Brownout (the paper's no-op \
+                 fallback).",
+                FamilyKind::Counter,
+                vec![scalar_series(&[], o.pages_browned as f64)],
             ));
         }
         if let Some(cluster) = self.cluster.get() {
@@ -820,7 +942,7 @@ impl OakService {
             "oak_engine_reports_aggregated",
             "Reports folded into the aggregate site-performance record.",
             FamilyKind::Gauge,
-            vec![scalar_series(&[], agg.report_count() as f64)],
+            vec![scalar_series(&[], agg.reports as f64)],
         ));
         families.push(scalar_family(
             "oak_trace_completed_total",
@@ -889,6 +1011,14 @@ impl OakService {
         };
         let mut doc = oak_json::Value::object();
         doc.set("state", state.as_str());
+        // Degraded is distinct from down: a browned-out or shedding
+        // node still answers 200 here (health probes are never shed),
+        // so a load balancer can keep it in rotation at reduced weight
+        // instead of ejecting it and dogpiling its peers.
+        if let Some(overload) = &self.overload {
+            doc.set("degraded", overload.brownout_active());
+            doc.set("overload", overload.state().as_str());
+        }
         if let Some(backend) = self.edge_backend.get() {
             doc.set("backend", backend.as_str());
         }
@@ -924,7 +1054,8 @@ impl OakService {
     }
 
     /// Spends one token from `key`'s bucket; `false` means throttled.
-    fn admit_report(&self, key: &str, now: Instant) -> bool {
+    /// `pub(crate)` for the property tests, which drive it directly.
+    pub(crate) fn admit_report(&self, key: &str, now: Instant) -> bool {
         let rate = self.admission.report_rate;
         if rate <= 0.0 {
             return true;
@@ -974,8 +1105,11 @@ impl OakService {
             .unwrap_or("-");
         if !self.admit_report(throttle_key, now) {
             self.stats.reports_throttled.fetch_add(1, Ordering::Relaxed);
+            // Retry-After on every turn-away: the bucket refills within
+            // a second at any configured rate worth throttling at.
             return Response::new(StatusCode::TOO_MANY_REQUESTS)
-                .with_body(b"report rate limit exceeded".to_vec(), "text/plain");
+                .with_body(b"report rate limit exceeded".to_vec(), "text/plain")
+                .with_header("Retry-After", &SHED_RETRY_AFTER_SECS.to_string());
         }
         // Wire-format negotiation: the media type (parameters stripped)
         // selects the decoder; everything else — bounds, error surface,
@@ -1061,10 +1195,16 @@ impl OakService {
     }
 
     /// The request-cadence idle-user sweep (no-op unless configured).
+    /// Under Brownout the cadence stretches by the controller's
+    /// multiplier — a saturated node defers background work first.
     fn maybe_prune(&self) {
         let Some(policy) = &self.prune else { return };
         let count = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
-        if !count.is_multiple_of(policy.every_requests.max(1)) {
+        let stretch = self
+            .overload
+            .as_ref()
+            .map_or(1, |overload| overload.prune_stretch());
+        if !count.is_multiple_of(policy.every_requests.max(1).saturating_mul(stretch)) {
             return;
         }
         if let Some(cluster) = self.cluster.get() {
@@ -1085,8 +1225,22 @@ impl OakService {
 
 impl OakService {
     fn dispatch(&self, request: &Request) -> Response {
-        self.maybe_prune();
         let path = request.path().to_owned();
+        // Overload gate, ahead of every other per-request cost
+        // (including the prune sweep): a live controller samples its
+        // signals here, then sheds by class priority. Shed GETs keep
+        // the connection alive — the request was fully read, so the
+        // 503 + Retry-After frames cleanly and the client's next
+        // attempt reuses the socket instead of re-handshaking (reports
+        // are instead refused pre-body at the transport's admit hook).
+        if let Some(overload) = &self.overload {
+            overload.tick((self.clock)().as_millis());
+            let class = RequestClass::of(&path);
+            if overload.should_shed(class) {
+                return overload.shed_response(class);
+            }
+        }
+        self.maybe_prune();
         match (request.method, path.as_str()) {
             (Method::Post, REPORT_PATH) => self.accept_report(request),
             (Method::Get, crate::AUDIT_PATH) => self.audit_view(),
@@ -1115,8 +1269,15 @@ impl Handler for OakService {
         // The trace guard opens before dispatch and closes after the
         // response is built, so every stage span a layer below pushes
         // (parse_report, ingest, detect, match, modify_page, rewrite,
-        // wal_append, fetch) nests under this request's trace.
-        let trace = self.obs.as_ref().map(|obs| {
+        // wal_append, fetch) nests under this request's trace. Under
+        // Brownout tracing is suspended — the ring buffer and span
+        // formatting are overhead a saturated node can drop without a
+        // client noticing (response counting stays on; it is one add).
+        let browned = self
+            .overload
+            .as_ref()
+            .is_some_and(|overload| overload.brownout_active());
+        let trace = self.obs.as_ref().filter(|_| !browned).map(|obs| {
             obs.tracer
                 .begin(&format!("{} {}", request.method.as_str(), request.path()))
         });
@@ -1126,6 +1287,32 @@ impl Handler for OakService {
         }
         drop(trace);
         response
+    }
+
+    /// Pre-body admission: consulted by both transport backends the
+    /// moment a request head is framed, before any body byte is read.
+    /// Only report POSTs are refused here — their bodies are the
+    /// expensive part, and an unread body forces a connection close
+    /// anyway. Shed GETs wait for dispatch, where the 503 frames over
+    /// a keep-alive socket instead of tearing it down.
+    fn admit(&self, method: Method, target: &str) -> Option<Response> {
+        let overload = self.overload.as_ref()?;
+        overload.tick((self.clock)().as_millis());
+        if method != Method::Post {
+            return None;
+        }
+        let path = target.split('?').next().unwrap_or(target);
+        if path == REPORT_PATH && overload.should_shed(RequestClass::Report) {
+            return Some(overload.shed_response(RequestClass::Report));
+        }
+        None
+    }
+
+    /// The queue deadline never drops a health probe: a load balancer
+    /// must be able to distinguish a saturated node from a dead one.
+    fn shed_exempt(&self, target: &str) -> bool {
+        let path = target.split('?').next().unwrap_or(target);
+        path == crate::HEALTH_PATH
     }
 }
 

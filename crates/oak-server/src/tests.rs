@@ -862,3 +862,307 @@ fn cluster_surfaces_appear_only_when_attached_and_followers_refuse() {
     assert!(metrics.contains("oak_cluster_replication_lag{partition=\"1\"} 3"));
     assert!(metrics.contains("oak_cluster_refused_total 2"));
 }
+
+// ---------------------------------------------------------------------------
+// Overload control: brownout degradation and priority shedding.
+// ---------------------------------------------------------------------------
+
+/// A service with the jQuery rule and a driven overload controller the
+/// test moves between states by feeding samples directly.
+fn overloaded_service() -> (OakService, Arc<crate::OverloadController>) {
+    let controller = crate::OverloadController::driven(crate::OverloadPolicy::default());
+    let service = service_with_rule().with_overload(Arc::clone(&controller));
+    (service, controller)
+}
+
+fn pressure(queue_depth: u64) -> crate::PressureSample {
+    crate::PressureSample {
+        queue_depth,
+        ..crate::PressureSample::default()
+    }
+}
+
+#[test]
+fn brownout_serves_pages_unrewritten_but_still_ingests() {
+    let (service, controller) = overloaded_service();
+    // The user's report makes cdn-a a violator; nominal serving rewrites.
+    post_report(&service, &violating_report("u-7"), Some("u-7"));
+    assert!(get(&service, "/index.html", Some("u-7"))
+        .body_text()
+        .contains("cdn-b.example"));
+
+    // Brownout (queue at the brownout threshold): same page, raw.
+    controller.observe(&pressure(16), 0);
+    assert_eq!(controller.state(), crate::OverloadState::Brownout);
+    let browned = get(&service, "/index.html", Some("u-7"));
+    assert_eq!(browned.status, StatusCode::OK);
+    assert!(browned.body_text().contains("cdn-a.example"));
+    assert!(browned.header(OAK_ALTERNATE_HEADER).is_none());
+    // First contact still mints a cookie — identity survives brownout.
+    assert!(get(&service, "/index.html", None)
+        .header("set-cookie")
+        .is_some());
+    // Ingest is untouched: the 204 contract holds and state applies.
+    let accepted = post_report(&service, &violating_report("u-9"), Some("u-9"));
+    assert_eq!(accepted.status, StatusCode::NO_CONTENT);
+    assert!(controller.snapshot().pages_browned >= 1);
+
+    // Recovery: calm samples walk back to Nominal and rewriting resumes.
+    for i in 0..service.overload().unwrap().policy().cooldown_samples {
+        controller.observe(&crate::PressureSample::default(), u64::from(i) + 1);
+    }
+    assert_eq!(controller.state(), crate::OverloadState::Nominal);
+    assert!(get(&service, "/index.html", Some("u-7"))
+        .body_text()
+        .contains("cdn-b.example"));
+}
+
+#[test]
+fn shedding_refuses_by_priority_class_and_never_health() {
+    let (service, controller) = overloaded_service();
+    post_report(&service, &violating_report("u-7"), Some("u-7"));
+
+    // Severity 1 (queue at 1× the shed threshold): pages only.
+    controller.observe(&pressure(64), 0);
+    let shed = get(&service, "/index.html", Some("u-7"));
+    assert_eq!(shed.status, StatusCode::UNAVAILABLE);
+    assert_eq!(shed.header("retry-after"), Some("1"));
+    assert_eq!(
+        get(&service, crate::STATS_PATH, None).status,
+        StatusCode::OK
+    );
+    assert_eq!(
+        post_report(&service, &violating_report("u-7"), Some("u-7")).status,
+        StatusCode::NO_CONTENT
+    );
+
+    // Severity 2 (1.5×): scrapes go too; reports still land.
+    controller.observe(&pressure(96), 1);
+    assert_eq!(
+        get(&service, crate::STATS_PATH, None).status,
+        StatusCode::UNAVAILABLE
+    );
+    assert_eq!(
+        post_report(&service, &violating_report("u-7"), Some("u-7")).status,
+        StatusCode::NO_CONTENT
+    );
+
+    // Severity 3 (2×): reports shed — and the transport admit hook
+    // refuses them before the body would be read.
+    controller.observe(&pressure(128), 2);
+    let refused = post_report(&service, &violating_report("u-7"), Some("u-7"));
+    assert_eq!(refused.status, StatusCode::UNAVAILABLE);
+    assert_eq!(refused.header("retry-after"), Some("1"));
+    let admitted = Handler::admit(&service, Method::Post, REPORT_PATH);
+    let pre_body = admitted.expect("admit hook sheds report POSTs at severity 3");
+    assert_eq!(pre_body.status, StatusCode::UNAVAILABLE);
+    assert_eq!(pre_body.header("retry-after"), Some("1"));
+    // GETs are never shed at the admit hook (they shed at dispatch,
+    // keeping the connection alive).
+    assert!(Handler::admit(&service, Method::Get, "/index.html").is_none());
+
+    // Health answers 200 at every severity, and is queue-deadline exempt.
+    let health = get(&service, crate::HEALTH_PATH, None);
+    assert_eq!(health.status, StatusCode::OK);
+    assert!(Handler::shed_exempt(&service, crate::HEALTH_PATH));
+    assert!(!Handler::shed_exempt(&service, "/index.html"));
+    let doc = oak_json::parse(&health.body_text()).unwrap();
+    assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        doc.get("overload").and_then(|v| v.as_str()),
+        Some("shedding")
+    );
+
+    let snap = controller.snapshot();
+    assert!(snap.shed_pages >= 1);
+    assert!(snap.shed_scrapes >= 1);
+    assert!(snap.shed_reports >= 2);
+}
+
+#[test]
+fn overload_surfaces_in_stats_and_metrics_only_when_attached() {
+    // Without a controller: no overload block, no overload families.
+    let bare = service_with_rule();
+    let doc = oak_json::parse(&get(&bare, crate::STATS_PATH, None).body_text()).unwrap();
+    assert!(doc.get("overload").is_none());
+
+    let (service, controller) = overloaded_service();
+    controller.observe(&pressure(64), 0);
+    controller.observe(&pressure(0), 1); // calm sample; still shedding
+    get(&service, "/index.html", None); // one shed page
+    let doc = oak_json::parse(&get(&service, crate::STATS_PATH, None).body_text()).unwrap();
+    let row = doc.get("overload").expect("overload block in /oak/stats");
+    assert_eq!(row.get("state").and_then(|v| v.as_str()), Some("shedding"));
+    assert_eq!(row.get("severity").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(row.get("shed_pages").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        row.get("shedding_entries").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    // /oak/metrics needs obs; build one with both attached.
+    let obs = crate::ServiceObs::new(Arc::new(|| 0), 8, 0);
+    let controller = crate::OverloadController::driven(crate::OverloadPolicy::default());
+    let service = service_with_rule()
+        .with_obs(Arc::clone(&obs))
+        .with_overload(Arc::clone(&controller));
+    controller.observe(&pressure(64), 0);
+    get(&service, "/index.html", None);
+    let metrics = get(&service, crate::METRICS_PATH, None).body_text();
+    assert!(metrics.contains("# TYPE oak_overload_state gauge"));
+    assert!(metrics.contains("oak_overload_state 2"));
+    assert!(metrics.contains("# TYPE oak_requests_shed_total counter"));
+    assert!(metrics.contains("oak_requests_shed_total{class=\"page\"} 1"));
+    assert!(metrics.contains("oak_requests_shed_total{class=\"report\"} 0"));
+    assert!(metrics.contains("# TYPE oak_pages_browned_total counter"));
+    assert!(
+        oak_obs::validate::validate_exposition(&metrics).is_empty(),
+        "exposition stays conformant"
+    );
+}
+
+#[test]
+fn throttled_reports_carry_retry_after() {
+    let service = service_with_rule().with_admission(crate::AdmissionPolicy {
+        report_rate: 1.0,
+        report_burst: 1.0,
+        ..crate::AdmissionPolicy::default()
+    });
+    assert_eq!(
+        post_report(&service, &violating_report("u-1"), Some("u-1")).status,
+        StatusCode::NO_CONTENT
+    );
+    let throttled = post_report(&service, &violating_report("u-1"), Some("u-1"));
+    assert_eq!(throttled.status, StatusCode::TOO_MANY_REQUESTS);
+    assert_eq!(throttled.header("retry-after"), Some("1"));
+}
+
+// ---------------------------------------------------------------------------
+// Admission token bucket: property coverage.
+// ---------------------------------------------------------------------------
+
+mod admission_props {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use proptest::prelude::*;
+
+    use oak_core::engine::{Oak, OakConfig};
+    use oak_core::Instant;
+
+    use crate::{AdmissionPolicy, OakService, SiteStore};
+
+    fn bucketed(rate: f64, burst: f64) -> OakService {
+        OakService::new(Oak::new(OakConfig::default()), SiteStore::new()).with_admission(
+            AdmissionPolicy {
+                report_rate: rate,
+                report_burst: burst,
+                ..AdmissionPolicy::default()
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The bucket's one law: over any schedule of attempts it never
+        /// admits more than `burst + rate · elapsed` reports, where
+        /// elapsed is the clock's total forward travel.
+        #[test]
+        fn never_admits_more_than_burst_plus_refill(
+            rate in 0.5f64..50.0,
+            burst in 1.0f64..32.0,
+            steps in prop::collection::vec((0u64..5_000, 1usize..8), 1..64),
+        ) {
+            let service = bucketed(rate, burst);
+            let mut now = 0u64;
+            let mut admitted = 0u64;
+            for &(advance, attempts) in &steps {
+                now += advance;
+                for _ in 0..attempts {
+                    if service.admit_report("user", Instant(now)) {
+                        admitted += 1;
+                    }
+                }
+            }
+            let bound = burst.max(1.0) + rate * now as f64 / 1_000.0;
+            prop_assert!(
+                admitted as f64 <= bound + 1e-6,
+                "admitted {admitted} over bound {bound} (rate {rate}, burst {burst})"
+            );
+        }
+
+        /// A clock that jumps backwards must not mint tokens: refill is
+        /// bounded by the clock's *forward* travel alone, and re-walking
+        /// a span the bucket already saw cannot beat that bound.
+        #[test]
+        fn clock_going_backwards_never_mints_tokens(
+            rate in 0.5f64..50.0,
+            burst in 1.0f64..32.0,
+            jumps in prop::collection::vec((0u64..10_000, any::<bool>()), 1..64),
+        ) {
+            let service = bucketed(rate, burst);
+            let mut clock = 10_000u64;
+            let mut forward = 0u64;
+            let mut admitted = 0u64;
+            for &(delta, backwards) in &jumps {
+                if backwards {
+                    clock = clock.saturating_sub(delta);
+                } else {
+                    clock += delta;
+                    forward += delta;
+                }
+                if service.admit_report("user", Instant(clock)) {
+                    admitted += 1;
+                }
+            }
+            let bound = burst.max(1.0) + rate * forward as f64 / 1_000.0;
+            prop_assert!(
+                admitted as f64 <= bound + 1e-6,
+                "admitted {admitted} over bound {bound} with backwards clock"
+            );
+        }
+
+        /// Concurrent drains of one user's bucket at a frozen clock:
+        /// the burst is a hard cap however the threads interleave.
+        #[test]
+        fn concurrent_drains_never_exceed_burst(
+            burst in 1.0f64..16.0,
+            threads in 2usize..6,
+            attempts in 1usize..40,
+        ) {
+            let service = Arc::new(bucketed(10.0, burst));
+            let admitted = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let service = Arc::clone(&service);
+                    let admitted = Arc::clone(&admitted);
+                    std::thread::spawn(move || {
+                        for _ in 0..attempts {
+                            if service.admit_report("shared", Instant(0)) {
+                                admitted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+            prop_assert!(
+                admitted.load(Ordering::Relaxed) as f64 <= burst,
+                "{} admits exceeded the {burst} burst",
+                admitted.load(Ordering::Relaxed)
+            );
+        }
+
+        /// Rate 0 disables the limiter entirely — every attempt admits.
+        #[test]
+        fn zero_rate_admits_everything(attempts in 1usize..200) {
+            let service = bucketed(0.0, 1.0);
+            for i in 0..attempts {
+                prop_assert!(service.admit_report("user", Instant(i as u64)));
+            }
+        }
+    }
+}

@@ -27,6 +27,16 @@
 //!    `oak_wal_append_count` covers every event the store acknowledged
 //!    while the machine was up, and `oak_http_responses_total` sums
 //!    across status labels to exactly the requests handled.
+//! 7. **Overload agreement** — a seed-determined pressure schedule
+//!    drives the production overload controller (in driven mode, one
+//!    sample per step) and an independent reference model
+//!    ([`RefOverload`]) in lockstep; the two state machines must agree
+//!    after every sample, every shed the reference demands must answer
+//!    503 with a Retry-After hint, `/oak/health` must answer 200 (with
+//!    a truthful `degraded` flag) through every state, and the
+//!    controller's shed counters must reconcile exactly with the
+//!    refusals the oracle witnessed — no acknowledged 204 retroactively
+//!    shed, no shed unaccounted.
 //!
 //! Scenarios tagged with a [`ClusterSpec`] run the same engine/store
 //! stack replicated across simulated nodes instead
@@ -62,6 +72,7 @@ pub mod fetch;
 pub mod fs;
 pub mod minimize;
 pub mod net;
+pub mod overload_oracle;
 pub mod rng;
 pub mod scenario;
 pub mod world;
@@ -72,6 +83,7 @@ pub use fetch::{FetchFaults, HostMode, SimFetcher};
 pub use fs::{FaultCounters, SimFs, SimFsOptions};
 pub use minimize::{minimize, minimize_with, Minimized};
 pub use net::{NetCounters, SimNet, SimNetOptions};
+pub use overload_oracle::{pressure_of, RefOverload};
 pub use rng::SimRng;
 pub use scenario::{ClusterSpec, Scenario, Step, SCENARIO_VERSION};
 pub use world::{

@@ -26,13 +26,15 @@ use oak_core::Instant;
 use oak_http::cookie::OAK_USER_COOKIE;
 use oak_http::{Handler, Method, Request, StatusCode};
 use oak_server::{
-    HealthState, OakService, ServiceObs, SiteStore, HEALTH_PATH, METRICS_PATH, REPORT_PATH,
+    HealthState, OakService, OverloadController, OverloadPolicy, OverloadState, PressureSample,
+    ServiceObs, SiteStore, HEALTH_PATH, METRICS_PATH, REPORT_PATH,
 };
 use oak_store::{FsyncPolicy, OakStore, StorageBackend, StoreOptions};
 
 use crate::clock::SimClock;
 use crate::fetch::{FetchFaults, HostMode, SimFetcher};
 use crate::fs::{FaultCounters, SimFs, SimFsOptions};
+use crate::overload_oracle::{pressure_of, RefOverload};
 use crate::scenario::{Scenario, Step, HOSTS, USERS};
 
 /// Per-shard in-memory audit-log retention for simulated engines; small
@@ -93,6 +95,11 @@ pub struct RunStats {
     /// (cluster runs) Client operations refused with 503 + Retry-After
     /// because no credible primary was routable.
     pub refused: u64,
+    /// (single-node runs) Requests the overload controller refused with
+    /// 503 + Retry-After across all priority classes.
+    pub sheds: u64,
+    /// (single-node runs) Pages served unrewritten under Brownout.
+    pub browned: u64,
 }
 
 /// A mirrored event plus whether the machine was already down when the
@@ -279,6 +286,17 @@ struct World<'a> {
     store_options: StoreOptions,
     stats: RunStats,
     step: usize,
+    /// The production controller under test, in driven mode: the run
+    /// loop feeds it one seed-determined [`PressureSample`] per step.
+    /// Node-level state — it survives crash-recovery, so the rebuilt
+    /// service is re-armed with the same instance.
+    overload: Arc<OverloadController>,
+    /// The independent reference model the controller must agree with.
+    reference: RefOverload,
+    /// Report ingests the reference said must be shed (and were).
+    reports_shed: u64,
+    /// Page serves the reference said must be shed (and were).
+    pages_shed: u64,
 }
 
 impl World<'_> {
@@ -351,9 +369,18 @@ impl World<'_> {
                     benign_report(*user)
                 };
                 let response = self.post_report(&report, *binary);
-                // The machine may die mid-request; any other non-2xx is
-                // a service bug the harness should surface.
-                if response.status.0 != 204 && !self.fs.crashed() {
+                if self.reference.sheds_reports() {
+                    // The reference demands a shed: the ingest must be
+                    // turned away before the store sees it, and the
+                    // refusal must carry a retry hint.
+                    self.expect_shed(&response, "report ingest")?;
+                    if response.status == StatusCode::UNAVAILABLE {
+                        self.reports_shed += 1;
+                        self.stats.sheds += 1;
+                    }
+                } else if response.status.0 != 204 && !self.fs.crashed() {
+                    // The machine may die mid-request; any other non-2xx
+                    // is a service bug the harness should surface.
                     return Err(self.fail(
                         "service",
                         format!("report ingest answered {}", response.status.0),
@@ -362,7 +389,13 @@ impl World<'_> {
             }
             Step::Serve { user } => {
                 let response = self.get("/p", *user);
-                if !response.status.is_success() && !self.fs.crashed() {
+                if self.reference.sheds_pages() {
+                    self.expect_shed(&response, "page serve")?;
+                    if response.status == StatusCode::UNAVAILABLE {
+                        self.pages_shed += 1;
+                        self.stats.sheds += 1;
+                    }
+                } else if !response.status.is_success() && !self.fs.crashed() {
                     return Err(self.fail(
                         "service",
                         format!("page serve answered {}", response.status.0),
@@ -423,7 +456,9 @@ impl World<'_> {
             }
             Step::CheckHealth => {
                 let response = self.get(HEALTH_PATH, 0);
-                // Between recoveries the node is always Serving.
+                // Between recoveries the node is always Serving — and the
+                // health probe is shed-exempt, so it must answer 200 even
+                // while every other class is being refused.
                 if response.status != StatusCode::OK && !self.fs.crashed() {
                     return Err(self.fail(
                         "health",
@@ -433,7 +468,79 @@ impl World<'_> {
                         ),
                     ));
                 }
+                // The body must tell the truth about degradation.
+                if response.status == StatusCode::OK {
+                    let body = response.body_text();
+                    let doc = oak_json::parse(&body).map_err(|err| {
+                        self.fail("health", format!("{HEALTH_PATH} body unparsable: {err}"))
+                    })?;
+                    let degraded = doc.get("degraded").and_then(|v| v.as_bool());
+                    if degraded != Some(self.reference.degraded()) {
+                        return Err(self.fail(
+                            "overload",
+                            format!(
+                                "{HEALTH_PATH} reports degraded={degraded:?}, reference \
+                                 expects {} (state {})",
+                                self.reference.degraded(),
+                                self.reference.state()
+                            ),
+                        ));
+                    }
+                }
             }
+        }
+        Ok(())
+    }
+
+    /// Invariant #7 — overload agreement: after every pressure sample,
+    /// the production controller's state machine must sit exactly where
+    /// the independent reference model says it should.
+    fn check_overload_state(&mut self) -> Result<(), SimFailure> {
+        self.stats.invariant_checks += 1;
+        let expected = match self.reference.state() {
+            0 => OverloadState::Nominal,
+            1 => OverloadState::Brownout,
+            _ => OverloadState::Shedding,
+        };
+        let got = self.overload.state();
+        if got != expected || self.overload.severity() != self.reference.severity() {
+            return Err(self.fail(
+                "overload",
+                format!(
+                    "controller at {}/sev{} diverges from reference {}/sev{}",
+                    got.as_str(),
+                    self.overload.severity(),
+                    expected.as_str(),
+                    self.reference.severity()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// A response the reference model says must be a shed: 503, with a
+    /// Retry-After hint so clients back off instead of hammering.
+    fn expect_shed(&self, response: &oak_http::Response, what: &str) -> Result<(), SimFailure> {
+        if self.fs.crashed() {
+            return Ok(());
+        }
+        if response.status != StatusCode::UNAVAILABLE {
+            return Err(self.fail(
+                "overload",
+                format!(
+                    "{what} answered {} while the reference demands a shed \
+                     (state {}, severity {})",
+                    response.status.0,
+                    self.reference.state(),
+                    self.reference.severity()
+                ),
+            ));
+        }
+        if response.header("retry-after").is_none() {
+            return Err(self.fail(
+                "overload",
+                format!("{what} shed without a Retry-After hint"),
+            ));
         }
         Ok(())
     }
@@ -604,6 +711,9 @@ impl World<'_> {
             .with_fetcher(SharedFetcher(Arc::clone(&self.fetcher)))
             .with_durability(Arc::clone(&self.store))
             .with_obs(Arc::clone(&self.obs))
+            // Same controller across lives: pressure is node state, not
+            // engine state — a reboot does not cool the machine down.
+            .with_overload(Arc::clone(&self.overload))
             .into_shared();
 
         // Health gating: a recovering node must refuse traffic…
@@ -818,11 +928,16 @@ pub fn run_scenario_observed(
     boot.store.set_obs(Arc::clone(&obs.store));
     let mut site = SiteStore::new();
     site.add_page("/p", sim_page());
+    // The production overload controller in driven mode: live signal
+    // sampling is off, and the run loop below feeds it one
+    // seed-determined pressure sample per step instead.
+    let overload = OverloadController::driven(OverloadPolicy::default());
     let service = OakService::new(oak, site)
         .with_clock(clock.reader())
         .with_fetcher(SharedFetcher(Arc::clone(&fetcher)))
         .with_durability(Arc::clone(&boot.store))
         .with_obs(Arc::clone(&obs))
+        .with_overload(Arc::clone(&overload))
         .into_shared();
 
     let mut world = World {
@@ -839,10 +954,23 @@ pub fn run_scenario_observed(
         store_options,
         stats: RunStats::default(),
         step: 0,
+        overload,
+        reference: RefOverload::new(),
+        reports_shed: 0,
+        pages_shed: 0,
     };
 
     for (index, step) in scenario.steps.iter().enumerate() {
         world.step = index;
+        // Pressure first: the sample in effect while this step runs is a
+        // pure function of (seed, index), fed to the production
+        // controller and the reference model alike — then the two state
+        // machines must agree before the step's traffic is judged.
+        let sample = pressure_of(scenario.seed, index);
+        let now_ms = world.clock.now().as_millis();
+        world.overload.observe(&sample, now_ms);
+        world.reference.observe(&sample);
+        world.check_overload_state()?;
         world.execute(step)?;
         if world.fs.crashed() {
             world.recover()?;
@@ -850,6 +978,49 @@ pub fn run_scenario_observed(
         world.check_step()?;
         world.stats.steps += 1;
     }
+
+    // Let the load subside before the end-of-run audit: walk both
+    // machines back to Nominal on calm samples (checking agreement at
+    // every de-escalation) so the final metrics scrape is not itself
+    // shed. The bound is generous — two full cooldowns per level.
+    let calm = PressureSample::default();
+    let mut drain = 0;
+    while world.overload.state() != OverloadState::Nominal {
+        let now_ms = world.clock.now().as_millis();
+        world.overload.observe(&calm, now_ms);
+        world.reference.observe(&calm);
+        world.check_overload_state()?;
+        drain += 1;
+        if drain > 64 {
+            return Err(world.fail(
+                "overload",
+                "controller failed to cool down to Nominal on calm samples".into(),
+            ));
+        }
+    }
+
+    // Shed accounting: every refusal the oracle witnessed is in the
+    // controller's counters, and nothing else is — an acknowledged 204
+    // was never retroactively shed, and no shed slipped past the oracle.
+    let snap = world.overload.snapshot();
+    if snap.shed_reports != world.reports_shed
+        || snap.shed_pages != world.pages_shed
+        || snap.shed_scrapes != 0
+    {
+        return Err(world.fail(
+            "overload",
+            format!(
+                "controller counted {} report / {} page / {} scrape sheds, \
+                 oracle witnessed {} / {} / 0",
+                snap.shed_reports,
+                snap.shed_pages,
+                snap.shed_scrapes,
+                world.reports_shed,
+                world.pages_shed
+            ),
+        ));
+    }
+    world.stats.browned = snap.pages_browned;
 
     // End-of-run audit: pull the plug one last time so every scenario
     // closes with a full recovery check, whatever its schedule did.

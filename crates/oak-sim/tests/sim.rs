@@ -29,6 +29,30 @@ fn invariants_hold_across_a_seed_sweep() {
 }
 
 #[test]
+fn overload_oracle_holds_across_200_seeds_and_actually_bites() {
+    // The overload agreement invariant (#7) is armed on every run; this
+    // sweep is the acceptance floor for it. The aggregate assertions
+    // prove the schedule has teeth — across 200 seeds the pressure
+    // function must push real traffic into both Brownout (pages served
+    // unrewritten) and Shedding (requests refused with Retry-After),
+    // or the oracle is vacuously green.
+    let mut sheds = 0u64;
+    let mut browned = 0u64;
+    for seed in 0..200 {
+        let scenario = Scenario::generate(seed);
+        match run_scenario(&scenario, fixed()) {
+            Ok(stats) => {
+                sheds += stats.sheds;
+                browned += stats.browned;
+            }
+            Err(failure) => panic!("replay with `oak-sim --seed {seed}`: {failure}"),
+        }
+    }
+    assert!(sheds > 0, "no request was ever shed across 200 seeds");
+    assert!(browned > 0, "no page was ever browned across 200 seeds");
+}
+
+#[test]
 fn runs_are_deterministic_in_the_seed() {
     for seed in [3, 17, 41] {
         let scenario = Scenario::generate(seed);

@@ -14,7 +14,10 @@ use oak::core::rule::Rule;
 use oak::core::Instant;
 use oak::http::{Handler, Method, Request};
 use oak::obs::step_clock;
-use oak::server::{OakService, ServiceObs, SiteStore, METRICS_PATH, REPORT_PATH, STATS_PATH};
+use oak::server::{
+    OakService, OverloadController, OverloadPolicy, ServiceObs, SiteStore, METRICS_PATH,
+    REPORT_PATH, STATS_PATH,
+};
 
 const PAGE: &str = r#"<html><head><script src="http://cdn-a.example/lib.js"></script></head><body>hi</body></html>"#;
 
@@ -75,6 +78,9 @@ fn seeded_service() -> Arc<OakService> {
     let service = OakService::new(oak, site)
         .with_clock(|| Instant(1_000))
         .with_obs(obs)
+        // Driven mode: the controller never samples on its own, so the
+        // overload families scrape deterministically (Nominal, zeroes).
+        .with_overload(OverloadController::driven(OverloadPolicy::default()))
         .into_shared();
 
     // Deterministic traffic mix: three JSON-reporting users and one

@@ -49,6 +49,7 @@ fn tight_limits() -> ServerLimits {
         read_timeout: Duration::from_millis(300),
         write_timeout: Duration::from_secs(2),
         drain_timeout: Duration::from_secs(2),
+        queue_deadline: Duration::ZERO,
     }
 }
 
@@ -394,4 +395,125 @@ fn hanging_script_host_cannot_stall_report_ingest() {
     );
     assert!(fetch_stats.snapshot().timeouts >= 1);
     server.shutdown();
+}
+
+/// Every turn-away on the shed and throttle paths — the admission 429,
+/// the overload controller's 503s (pre-body report shed at the admit
+/// hook, page and scrape sheds at dispatch), and the permit-exhaustion
+/// 503 — must be byte-identical across the two backends, and every one
+/// must carry `Retry-After` so a polite client knows when to come back.
+#[test]
+fn shed_and_throttle_responses_are_byte_identical_across_backends() {
+    use oak::server::{OverloadController, OverloadPolicy, PressureSample};
+    use std::io::{Read, Write};
+
+    /// One raw request on a fresh connection; returns every byte the
+    /// server sent back (bounded by the read timeout on keep-alive).
+    fn raw_exchange(addr: std::net::SocketAddr, request: &[u8]) -> Vec<u8> {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        let mut stream = stream;
+        stream.write_all(request).expect("send request");
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => out.extend_from_slice(&chunk[..n]),
+            }
+        }
+        out
+    }
+
+    fn capture(backend: Backend) -> Vec<(&'static str, Vec<u8>)> {
+        let controller = OverloadController::driven(OverloadPolicy::default());
+        let service = service()
+            .with_admission(AdmissionPolicy {
+                report_rate: 1.0,
+                report_burst: 1.0,
+                ..AdmissionPolicy::default()
+            })
+            .with_overload(Arc::clone(&controller))
+            .into_shared();
+        let stats = Arc::new(TransportStats::default());
+        let mut server = start(backend, service, tight_limits(), stats);
+        let addr = server.addr();
+        let chaos = ChaosClient::new(addr);
+        let mut transcripts = Vec::new();
+
+        let body = r#"{"user":"u-parity","page":"/index.html","entries":[]}"#;
+        let post = format!(
+            "POST /oak/report HTTP/1.1\r\nCookie: oak_uid=u-parity\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+
+        // Throttle: the burst of one is spent, the next report gets 429.
+        let first = raw_exchange(addr, post.as_bytes());
+        assert!(
+            first.starts_with(b"HTTP/1.1 204"),
+            "burst admits the first report on {backend}"
+        );
+        transcripts.push(("throttle-429", raw_exchange(addr, post.as_bytes())));
+
+        // Severity 3: everything but health sheds.
+        controller.observe(
+            &PressureSample {
+                queue_depth: 128,
+                ..PressureSample::default()
+            },
+            0,
+        );
+        transcripts.push(("report-admit-shed", raw_exchange(addr, post.as_bytes())));
+        transcripts.push((
+            "page-dispatch-shed",
+            raw_exchange(addr, b"GET /index.html HTTP/1.1\r\n\r\n"),
+        ));
+        transcripts.push((
+            "scrape-dispatch-shed",
+            raw_exchange(addr, b"GET /oak/stats HTTP/1.1\r\n\r\n"),
+        ));
+        let health = raw_exchange(addr, b"GET /oak/health HTTP/1.1\r\n\r\n");
+        assert!(
+            health.starts_with(b"HTTP/1.1 200"),
+            "health is never shed on {backend}"
+        );
+
+        // Permit exhaustion: hog every permit, capture the 503.
+        let hogs: Vec<_> = (0..4).filter_map(|_| chaos.hold_open().ok()).collect();
+        assert_eq!(hogs.len(), 4, "hogs grabbed every permit on {backend}");
+        std::thread::sleep(Duration::from_millis(50));
+        transcripts.push((
+            "over-capacity",
+            raw_exchange(addr, b"GET /index.html HTTP/1.1\r\n\r\n"),
+        ));
+        drop(hogs);
+
+        server.shutdown();
+        transcripts
+    }
+
+    let threads = capture(Backend::Threads);
+    let epoll = capture(Backend::Epoll);
+    for ((label, from_threads), (label_e, from_epoll)) in threads.iter().zip(epoll.iter()) {
+        assert_eq!(label, label_e);
+        assert!(
+            !from_threads.is_empty(),
+            "{label}: no bytes from the threads backend"
+        );
+        assert_eq!(
+            from_threads,
+            from_epoll,
+            "{label}: backends disagree\n  threads: {:?}\n  epoll:   {:?}",
+            String::from_utf8_lossy(from_threads),
+            String::from_utf8_lossy(from_epoll)
+        );
+        let text = String::from_utf8_lossy(from_threads);
+        assert!(
+            text.contains("Retry-After: 1"),
+            "{label}: turn-away must hint a retry\n{text}"
+        );
+    }
 }
