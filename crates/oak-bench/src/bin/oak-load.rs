@@ -35,6 +35,20 @@
 //! - no connection-reset storm: unexplained transport errors < 5% of
 //!   attempts in every phase.
 //!
+//! Two bolt-on stress sections ride along:
+//!
+//! - `--store` boots the service durable (WAL + snapshots in a scratch
+//!   directory) so every ingested report is journaled *while* the node
+//!   is overloaded, then gates that the WAL backlog stayed bounded
+//!   (snapshot compaction kept up: events since the last snapshot ≤ 2×
+//!   the snapshot cadence) and that no write errors occurred;
+//! - a registry-cardinality stress drives 10⁶ distinct user label
+//!   values at one metric family and gates that the series table stays
+//!   at `MAX_SERIES_PER_FAMILY + 1` (the overflow series absorbs the
+//!   tail), that a full exposition scrape stays fast, and that RSS
+//!   growth is bounded — the regression test for unbounded label
+//!   cardinality in `oak-obs`.
+//!
 //! Run with `cargo run --release -p oak-bench --bin oak-load` (full
 //! ≥10-minute soak with faults, nightly CI) or `-- --smoke` (≥30 s,
 //! 1× + 2× phases, per-push CI). `--seconds <n>` scales phase length.
@@ -54,6 +68,7 @@ use oak_server::{
     OakService, OverloadController, OverloadPolicy, PrunePolicy, ServiceObs, SiteStore,
     HEALTH_PATH, REPORT_PATH, STATS_PATH,
 };
+use oak_store::{FsyncPolicy, OakStore, StoreOptions};
 
 /// Distinct synthetic user identities the arrival process draws from.
 const USER_POOL: u64 = 4_000_000;
@@ -135,8 +150,43 @@ fn overload_policy() -> OverloadPolicy {
     }
 }
 
-fn start_server() -> (AnyServer, Arc<OakService>, std::net::SocketAddr) {
-    let oak = Oak::new(OakConfig::default());
+/// Snapshot cadence for `--store` runs: small enough that even the
+/// smoke run compacts a few times (so the backlog and cadence gates
+/// bite), large enough that the engine-quiescing snapshot pause — a
+/// few hundred ms on the single edge worker — stays rare relative to
+/// the 50 Hz health probe stream it would otherwise dominate.
+const STORE_SNAPSHOT_EVERY: u64 = 20_000;
+
+#[allow(clippy::type_complexity)]
+fn start_server(
+    store_dir: Option<&std::path::Path>,
+) -> (
+    AnyServer,
+    Arc<OakService>,
+    std::net::SocketAddr,
+    Option<Arc<OakStore>>,
+) {
+    // With --store, recover-then-serve exactly like oak-serve does: the
+    // booted engine has the store attached as its event sink, so every
+    // ingest under load is journaled.
+    let (oak, durable) = match store_dir {
+        Some(dir) => {
+            let options = StoreOptions {
+                snapshot_every_events: STORE_SNAPSHOT_EVERY,
+                // This harness gates WAL backlog and snapshot cadence
+                // under overload, not power-loss durability; explicit
+                // fsyncs on the single edge worker would stall every
+                // in-flight request (health probes included) and turn
+                // the health gate into an fsync benchmark.
+                fsync: FsyncPolicy::Never,
+                ..StoreOptions::default()
+            };
+            let boot = OakStore::boot(dir, OakConfig::default(), options)
+                .expect("scratch store boots clean");
+            (boot.oak, Some(boot.store))
+        }
+        None => (Oak::new(OakConfig::default()), None),
+    };
     oak.add_rule(Rule::replace_identical(
         HOT_TAG,
         [
@@ -148,7 +198,7 @@ fn start_server() -> (AnyServer, Arc<OakService>, std::net::SocketAddr) {
     let t0 = Instant::now();
     let obs = ServiceObs::wall(64, 0);
     let transport = Arc::new(TransportStats::default());
-    let service = OakService::new(oak, site())
+    let mut service = OakService::new(oak, site())
         .with_clock(move || oak_core::Instant(t0.elapsed().as_millis() as u64))
         .with_transport_stats(Arc::clone(&transport))
         .with_obs(Arc::clone(&obs))
@@ -159,8 +209,11 @@ fn start_server() -> (AnyServer, Arc<OakService>, std::net::SocketAddr) {
             idle_ms: 5_000,
             every_requests: 2_048,
         })
-        .with_overload(OverloadController::new(overload_policy()))
-        .into_shared();
+        .with_overload(OverloadController::new(overload_policy()));
+    if let Some(store) = &durable {
+        service = service.with_durability(Arc::clone(store));
+    }
+    let service = service.into_shared();
     let limits = ServerLimits {
         max_connections: 512,
         queue_deadline: QUEUE_DEADLINE,
@@ -183,7 +236,87 @@ fn start_server() -> (AnyServer, Arc<OakService>, std::net::SocketAddr) {
         service.set_edge_stats(edge_stats);
     }
     let addr = server.addr();
-    (server, service, addr)
+    (server, service, addr, durable)
+}
+
+/// Registry-cardinality stress: a million distinct user label values at
+/// one family. Before the per-family cap this grew the registry — and
+/// every scrape — without bound; with it, the series table plateaus at
+/// the cap plus the shared overflow series and the aggregate count
+/// still adds up.
+fn registry_cardinality_stress() -> (oak_json::Value, bool) {
+    const USERS: u64 = 1_000_000;
+    let registry = oak_obs::Registry::new();
+    let rss_before_kb = rss_kb();
+    let started = Instant::now();
+    for i in 0..USERS {
+        let user = format!("u-{i}");
+        registry
+            .counter(
+                "oak_load_user_requests_total",
+                "per-user request counter (cardinality stress)",
+                &[("user", &user)],
+            )
+            .inc();
+    }
+    let register_secs = started.elapsed().as_secs_f64();
+
+    let scrape_started = Instant::now();
+    let families = registry.families();
+    let exposition = oak_obs::encode(families.clone());
+    let scrape_us = scrape_started.elapsed().as_micros() as u64;
+    let rss_after_kb = rss_kb();
+
+    let family = families
+        .iter()
+        .find(|f| f.name == "oak_load_user_requests_total")
+        .expect("stress family registered");
+    let total: f64 = family
+        .series
+        .iter()
+        .map(|s| match s.value {
+            oak_obs::SeriesValue::Scalar(v) => v,
+            _ => 0.0,
+        })
+        .sum();
+
+    let series_cap = oak_obs::MAX_SERIES_PER_FAMILY + 1;
+    let series_pass = family.series.len() <= series_cap;
+    // Every increment must land somewhere: cap ≠ data loss.
+    let count_pass = total as u64 == USERS;
+    // A scrape of a capped family is an operator-path operation; it must
+    // stay interactive even after a cardinality attack.
+    let scrape_pass = scrape_us < 250_000;
+    // RSS is process-global and the soak runs in the same process, so
+    // this is a coarse bound — the real ceiling is the series cap above.
+    let rss_delta_kb = rss_after_kb.saturating_sub(rss_before_kb);
+    let rss_pass = rss_delta_kb < 64 * 1024;
+    let pass = series_pass && count_pass && scrape_pass && rss_pass;
+
+    println!(
+        "registry stress: {USERS} users -> {} series (cap {series_cap}) in {register_secs:.2}s, \
+scrape {scrape_us} us / {} bytes, rss +{} MiB -> {}",
+        family.series.len(),
+        exposition.len(),
+        rss_delta_kb / 1024,
+        if pass { "pass" } else { "FAIL" }
+    );
+
+    let mut doc = oak_json::Value::object();
+    doc.set("users", USERS);
+    doc.set("series", family.series.len() as u64);
+    doc.set("series_cap", series_cap as u64);
+    doc.set("register_secs", register_secs);
+    doc.set("scrape_us", scrape_us);
+    doc.set("exposition_bytes", exposition.len() as u64);
+    doc.set("rss_delta_kb", rss_delta_kb);
+    doc.set("total_count", total);
+    doc.set("series_pass", series_pass);
+    doc.set("count_pass", count_pass);
+    doc.set("scrape_pass", scrape_pass);
+    doc.set("rss_pass", rss_pass);
+    doc.set("pass", pass);
+    (doc, pass)
 }
 
 /// Inverse-CDF zipf over `PAGES` ranks.
@@ -588,6 +721,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let faults = !smoke || args.iter().any(|a| a == "--faults");
+    let with_store = args.iter().any(|a| a == "--store");
     let seconds = args
         .iter()
         .position(|a| a == "--seconds")
@@ -606,14 +740,20 @@ fn main() {
         (8, vec![(1.0, unit), (1.5, unit), (2.0, unit * 2)])
     };
 
-    let (mut server, _service, addr) = start_server();
+    let store_dir = with_store.then(|| {
+        let dir = std::env::temp_dir().join(format!("oak-load-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    let (mut server, _service, addr, durable) = start_server(store_dir.as_deref());
     println!(
         "oak-load: {} mode on {addr} ({} client threads over {} edge worker(s), \
-user pool {USER_POOL}, {PAGES} zipf pages, faults {})",
+user pool {USER_POOL}, {PAGES} zipf pages, faults {}, store {})",
         if smoke { "smoke" } else { "soak" },
         PHASE_THREADS,
         EDGE_WORKERS,
         if faults { "on" } else { "off" },
+        if with_store { "on" } else { "off" },
     );
 
     let capacity_rps = calibrate(addr, seed, cal_secs);
@@ -663,7 +803,42 @@ user pool {USER_POOL}, {PAGES} zipf pages, faults {})",
         );
         results.push(result);
     }
+
+    // Read the store's counters before shutdown, while the journal is
+    // still the engine's live sink.
+    let store_section = durable.as_ref().map(|store| {
+        let recorded = store.events_recorded();
+        let since_snapshot = store.events_since_snapshot();
+        let write_errors = store.write_errors();
+        // Compaction kept up: the un-snapshotted tail never grew past
+        // twice the cadence (one interval in flight, one accruing).
+        let backlog_pass = since_snapshot <= 2 * STORE_SNAPSHOT_EVERY;
+        // Cadence proof: enough events flowed to require at least one
+        // post-boot snapshot, and the tail shows one happened.
+        let cadence_pass = recorded < STORE_SNAPSHOT_EVERY || since_snapshot < recorded;
+        let pass = backlog_pass && cadence_pass && write_errors == 0;
+        println!(
+            "store: {recorded} events journaled, {since_snapshot} since last snapshot \
+(cadence {STORE_SNAPSHOT_EVERY}), {write_errors} write errors -> {}",
+            if pass { "pass" } else { "FAIL" }
+        );
+        let mut doc = oak_json::Value::object();
+        doc.set("events_recorded", recorded);
+        doc.set("events_since_snapshot", since_snapshot);
+        doc.set("snapshot_every_events", STORE_SNAPSHOT_EVERY);
+        doc.set("write_errors", write_errors);
+        doc.set("backlog_pass", backlog_pass);
+        doc.set("cadence_pass", cadence_pass);
+        doc.set("pass", pass);
+        (doc, pass)
+    });
+
     server.shutdown();
+    if let Some(dir) = &store_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let (registry_doc, registry_pass) = registry_cardinality_stress();
 
     // --- Gates ---
     let goodput = |r: &PhaseResult| r.tally.reports_ok as f64 / r.secs;
@@ -774,11 +949,28 @@ user pool {USER_POOL}, {PAGES} zipf pages, faults {})",
     gates.set("rss_pass", rss_pass);
     gates.set("panics", panic_total);
     gates.set("reset_pass", reset_pass);
+    let store_pass = match &store_section {
+        Some((store_doc, pass)) => {
+            doc.set("store", store_doc.clone());
+            gates.set("store_pass", *pass);
+            *pass
+        }
+        None => true,
+    };
+    doc.set("registry_stress", registry_doc);
+    gates.set("registry_stress_pass", registry_pass);
     doc.set("gates", gates);
     std::fs::write("BENCH_soak.json", doc.to_string()).expect("write BENCH_soak.json");
     println!("\nwrote BENCH_soak.json");
 
-    if !(goodput_pass && health_pass && rss_pass && panic_total == 0 && reset_pass) {
+    if !(goodput_pass
+        && health_pass
+        && rss_pass
+        && panic_total == 0
+        && reset_pass
+        && store_pass
+        && registry_pass)
+    {
         eprintln!("soak gate failed");
         std::process::exit(1);
     }

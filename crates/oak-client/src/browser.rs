@@ -2,9 +2,9 @@
 
 use std::collections::HashSet;
 
-use oak_core::report::{ObjectTiming, PerfReport};
+use oak_core::report::{DeviceClass, ObjectTiming, PerfReport};
 use oak_html::Document;
-use oak_net::{url_nonce, ClientId, SimTime};
+use oak_net::{url_nonce, ClientId, DeviceProfile, SimTime};
 use oak_webgen::{Inclusion, Site};
 
 use crate::universe::{original_url, Universe};
@@ -40,6 +40,13 @@ pub struct BrowserConfig {
     /// the calibrated experiments price each object with a fresh
     /// connection, like the paper's uncached benchmark loads.
     pub keep_alive: bool,
+    /// The hardware class this browser runs on. `None` (the default)
+    /// is the testbed baseline: no device-side costs, and reports carry
+    /// no cohort hint — timings and wire bytes are identical to the
+    /// pre-device client. `Some(profile)` adds the profile's radio
+    /// latency to every network fetch and its CPU cost to every script,
+    /// and stamps reports with the matching [`DeviceClass`].
+    pub device: Option<DeviceProfile>,
 }
 
 impl Default for BrowserConfig {
@@ -49,6 +56,7 @@ impl Default for BrowserConfig {
             caching: false,
             reporting: ReportingMode::ModifiedBrowser,
             keep_alive: false,
+            device: None,
         }
     }
 }
@@ -180,6 +188,16 @@ impl Browser {
         self.cache.len()
     }
 
+    /// The cohort hint this browser stamps on its reports: the device
+    /// profile's class, or `Unknown` (no hint, v1 wire frames) when no
+    /// profile is configured.
+    fn device_class(&self) -> DeviceClass {
+        self.config
+            .device
+            .and_then(|p| DeviceClass::parse(p.label))
+            .unwrap_or_default()
+    }
+
     /// Loads `site`'s page as delivered in `html` (the Oak-modified
     /// markup; pass `site.html` for the default page), at simulated time
     /// `t`. `alternate_hints` is the parsed `X-Oak-Alternate` header —
@@ -198,14 +216,20 @@ impl Browser {
         // --- Index document -------------------------------------------
         let origin_ip = world.ip_of(site.origin);
         let index_fetch = world.fetch(t, self.client, origin_ip, html.len() as u64, 1);
-        let index_ms = index_fetch.time_ms;
+        let mut index_ms = index_fetch.time_ms;
+        if let Some(device) = self.config.device {
+            // The index is markup, not script: the radio is the only
+            // device cost on this fetch.
+            index_ms += device.radio_rtt_ms;
+        }
 
         // --- Discover subresources ------------------------------------
         let urls = self.discover(universe, site, html);
 
         // --- Fetch each one -------------------------------------------
         let mut fetches = Vec::with_capacity(urls.len());
-        let mut report = PerfReport::new(self.user.clone(), site.index_path.clone());
+        let mut report = PerfReport::new(self.user.clone(), site.index_path.clone())
+            .with_device(self.device_class());
         let mut warm_hosts: HashSet<String> = HashSet::new();
         for url in urls {
             let fetch = self.fetch_object(universe, &url, alternate_hints, t, &mut warm_hosts);
@@ -277,11 +301,9 @@ impl Browser {
                 r.url.clone()
             };
             // "Execute" loader scripts: fetch list is the body's
-            // oakFetch("…") lines.
-            if let Some(body) = universe.script_body(&url) {
-                urls.extend(parse_loader_body(&body));
-            }
-            urls.push(url);
+            // oakFetch("…") lines — recursively, because a fetched
+            // script may itself be a loader (ad chains).
+            expand_script(universe, url, &mut urls, 0);
         }
         for script in doc.inline_scripts() {
             if let Some(url) = interpret_inline_script(&script.text) {
@@ -342,6 +364,14 @@ impl Browser {
             time_ms += world.dns_lookup_ms(t, self.client, url_nonce(&domain));
             self.dns_cache.insert(domain.clone());
         }
+        if let Some(device) = self.config.device {
+            // Device-side cost rides on the object's measured time: the
+            // client's timer spans request-to-executed, so the report
+            // attributes the device's own radio and CPU to whatever
+            // server the object came from — exactly the confound the
+            // cohort detector has to see to be worth testing.
+            time_ms += device.object_cost_ms(bytes, is_script_url(url));
+        }
         if self.config.caching {
             self.cache.insert(url.to_owned());
         }
@@ -380,6 +410,33 @@ fn host_of(url: &str) -> Option<String> {
     let host = rest.split(['/', '?', '#']).next()?;
     let host = host.split(':').next()?;
     (!host.is_empty()).then(|| host.to_ascii_lowercase())
+}
+
+/// Deepest loader-in-loader nesting the browser will execute. Real ad
+/// chains run a handful of hops; the cap is a cycle guard, not a tuning
+/// knob.
+const MAX_SCRIPT_EXPANSION_DEPTH: usize = 16;
+
+/// "Executes" a discovered script URL: expands its loader body's fetch
+/// list first (each fetched URL may itself be a loader — ad chains nest),
+/// then records the URL itself. Non-loader URLs just get recorded, so on
+/// chain-free pages the discovery order is exactly the flat expansion.
+fn expand_script(universe: &Universe<'_>, url: String, urls: &mut Vec<String>, depth: usize) {
+    if depth < MAX_SCRIPT_EXPANSION_DEPTH {
+        if let Some(body) = universe.script_body(&url) {
+            for fetched in parse_loader_body(&body) {
+                expand_script(universe, fetched, urls, depth + 1);
+            }
+        }
+    }
+    urls.push(url);
+}
+
+/// Whether a URL names script — the objects whose device-side CPU cost a
+/// [`DeviceProfile`] prices. Query and fragment are ignored.
+fn is_script_url(url: &str) -> bool {
+    let path = url.split(['?', '#']).next().unwrap_or(url);
+    path.ends_with(".js")
 }
 
 /// Extracts the fetch list from a loader-script body: every

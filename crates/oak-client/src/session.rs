@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use oak_core::engine::{IngestOutcome, Oak};
 use oak_core::Instant;
-use oak_net::{ClientId, SimTime};
+use oak_net::{ClientId, DeviceProfile, SimTime};
 use oak_webgen::Corpus;
 
 use crate::browser::{Browser, BrowserConfig, PageLoad};
@@ -27,6 +27,9 @@ pub struct SimSession<'c> {
     pub oak: Oak,
     browsers: HashMap<String, Browser>,
     config: BrowserConfig,
+    /// Per-vantage-point device classes; vantage points without an entry
+    /// use whatever `config.device` says (`None` by default).
+    devices: HashMap<ClientId, DeviceProfile>,
 }
 
 impl<'c> SimSession<'c> {
@@ -37,6 +40,7 @@ impl<'c> SimSession<'c> {
             oak,
             browsers: HashMap::new(),
             config: BrowserConfig::default(),
+            devices: HashMap::new(),
         }
     }
 
@@ -45,6 +49,23 @@ impl<'c> SimSession<'c> {
     pub fn with_browser_config(mut self, config: BrowserConfig) -> SimSession<'c> {
         self.config = config;
         self
+    }
+
+    /// Pins a vantage point to a device class. Affects browsers created
+    /// after this call (one browser exists per user; assign devices
+    /// before the first visit).
+    pub fn assign_device(&mut self, client: ClientId, device: DeviceProfile) {
+        self.devices.insert(client, device);
+    }
+
+    /// The browser configuration a vantage point gets: the session
+    /// default, with any pinned device class applied.
+    fn config_for(&self, client: ClientId) -> BrowserConfig {
+        let mut config = self.config;
+        if let Some(device) = self.devices.get(&client) {
+            config.device = Some(*device);
+        }
+        config
     }
 
     /// The shared corpus index.
@@ -68,10 +89,11 @@ impl<'c> SimSession<'c> {
         let corpus = self.universe.corpus();
         let site = &corpus.sites[site_index];
         let user = Self::user_for(client);
+        let config = self.config_for(client);
         let browser = self
             .browsers
             .entry(user.clone())
-            .or_insert_with(|| Browser::new(client, user.clone(), self.config));
+            .or_insert_with(|| Browser::new(client, user.clone(), config));
 
         let now = Instant(t.as_millis());
         let modified = self
@@ -94,10 +116,11 @@ impl<'c> SimSession<'c> {
         let corpus = self.universe.corpus();
         let site = &corpus.sites[site_index];
         let user = format!("default-{}", client.0);
+        let config = self.config_for(client);
         let browser = self
             .browsers
             .entry(user.clone())
-            .or_insert_with(|| Browser::new(client, user, self.config));
+            .or_insert_with(|| Browser::new(client, user, config));
         browser.load_page(&self.universe, site, &site.html, &[], t)
     }
 

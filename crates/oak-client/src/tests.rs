@@ -73,6 +73,36 @@ fn browser_fetches_everything_the_page_causes() {
 }
 
 #[test]
+fn browser_executes_ad_chains_to_the_end() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 12,
+        seed: 99,
+        providers: 40,
+        ad_heavy_fraction: 1.0,
+        ad_chain_depth: 3,
+        ..CorpusConfig::default()
+    });
+    let universe = Universe::new(&corpus);
+    let site = corpus
+        .sites
+        .iter()
+        .find(|s| s.objects.iter().any(|o| o.url.contains("/chain")))
+        .expect("an ad-heavy site exists");
+    let mut browser = Browser::new(corpus.clients[0], "u-0", BrowserConfig::default());
+    let load = browser.load_page(&universe, site, &site.html, &[], SimTime::from_hours(1));
+    // Every object is still fetched — chain hops AND the re-routed ad
+    // objects the markup no longer names directly.
+    for object in &site.objects {
+        assert!(
+            load.fetches.iter().any(|f| f.url == object.url),
+            "object {} ({:?}) was not fetched",
+            object.url,
+            object.inclusion
+        );
+    }
+}
+
+#[test]
 fn page_load_is_deterministic() {
     let corpus = corpus();
     let universe = Universe::new(&corpus);
@@ -365,6 +395,70 @@ fn resource_timing_mode_omits_non_opted_in_providers() {
         .entries
         .iter()
         .any(|e| e.url.contains(&site.host)));
+}
+
+#[test]
+fn device_profile_inflates_script_cost_and_stamps_reports() {
+    use oak_core::report::DeviceClass;
+    use oak_net::DeviceProfile;
+
+    let corpus = corpus();
+    let universe = Universe::new(&corpus);
+    let site = &corpus.sites[0];
+    let t = SimTime::from_hours(1);
+
+    let mut desktop = Browser::new(corpus.clients[0], "u-d", BrowserConfig::default());
+    let mut phone = Browser::new(
+        corpus.clients[0],
+        "u-m",
+        BrowserConfig {
+            device: Some(DeviceProfile::LOW_END_MOBILE),
+            ..BrowserConfig::default()
+        },
+    );
+    let fast = desktop.load_page(&universe, site, &site.html, &[], t);
+    let slow = phone.load_page(&universe, site, &site.html, &[], t);
+
+    // Same fetches, slower page: the device pays radio + CPU, the
+    // network model is untouched.
+    assert_eq!(fast.fetches.len(), slow.fetches.len());
+    assert!(slow.plt_ms > fast.plt_ms);
+    for (f, s) in fast.fetches.iter().zip(&slow.fetches) {
+        let delta = s.time_ms - f.time_ms;
+        assert!(
+            delta >= DeviceProfile::LOW_END_MOBILE.radio_rtt_ms - 1e-9,
+            "{}",
+            f.url
+        );
+        if f.url.split(['?', '#']).next().unwrap().ends_with(".js") {
+            assert!(
+                delta > DeviceProfile::LOW_END_MOBILE.radio_rtt_ms + 1e-9,
+                "script {} should also pay CPU",
+                f.url
+            );
+        }
+    }
+
+    // The cohort hint rides the report; the default config stays unknown.
+    assert_eq!(slow.report.device, DeviceClass::LowEndMobile);
+    assert_eq!(fast.report.device, DeviceClass::Unknown);
+}
+
+#[test]
+fn session_pins_devices_per_vantage_point() {
+    use oak_core::report::DeviceClass;
+    use oak_net::DeviceProfile;
+
+    let corpus = corpus();
+    let oak = Oak::new(OakConfig::default());
+    let mut session = SimSession::new(&corpus, oak);
+    session.assign_device(corpus.clients[1], DeviceProfile::MID_MOBILE);
+
+    let t = SimTime::from_hours(1);
+    let (mobile_load, _) = session.visit(0, corpus.clients[1], t);
+    let (desktop_load, _) = session.visit(0, corpus.clients[2], t);
+    assert_eq!(mobile_load.report.device, DeviceClass::MidMobile);
+    assert_eq!(desktop_load.report.device, DeviceClass::Unknown);
 }
 
 #[test]

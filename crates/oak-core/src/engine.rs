@@ -38,7 +38,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use oak_html::{Document, Rewriter};
 use oak_json::Value;
 
-use crate::detect::{detect_violators, DetectorConfig, Violation};
+use crate::cohort::{CohortBaselines, CohortConfig};
+use crate::detect::{detect_violators, DetectorConfig, DetectorPolicy, Violation};
 use crate::events::{EngineEvent, EventSink, IngestEffect, SequencedEvent};
 use crate::matching::{url_host, MatchLevel, RuleSurface, ScriptFetcher};
 use crate::report::PerfReport;
@@ -56,6 +57,12 @@ pub const SHARD_COUNT: usize = 16;
 pub struct OakConfig {
     /// Violator-detection parameters (§4.2.1).
     pub detector: DetectorConfig,
+    /// Which detection policy runs over each report: the paper's global
+    /// within-report test (the default), or the device-cohort-gated
+    /// variant (see [`crate::cohort`]). With the default, every
+    /// operator-visible surface is byte-identical to the pre-seam
+    /// engine.
+    pub detector_policy: DetectorPolicy,
     /// How deep connection-dependency matching may look (§4.2.2).
     /// [`MatchLevel::ExternalJs`] — the full mechanism — by default;
     /// lower settings exist for the Fig. 8 ablation.
@@ -72,6 +79,7 @@ impl Default for OakConfig {
     fn default() -> OakConfig {
         OakConfig {
             detector: DetectorConfig::default(),
+            detector_policy: DetectorPolicy::default(),
             max_match_level: MatchLevel::ExternalJs,
             log_retention: None,
         }
@@ -364,6 +372,12 @@ pub struct Oak {
     /// [`Oak::set_epoch`]); 0 outside a cluster.
     epoch: AtomicU64,
     sink: Option<Arc<dyn EventSink>>,
+    /// Per-(device cohort, server) baselines backing the
+    /// [`DetectorPolicy::Cohort`] policy. Bounded, advisory, and
+    /// deliberately excluded from snapshots and the WAL (see
+    /// [`crate::cohort`]); untouched — never even locked — under the
+    /// default global policy.
+    cohorts: Mutex<CohortBaselines>,
     /// Stage-latency instrumentation; `None` costs nothing on hot paths.
     obs: Option<Arc<crate::obs::CoreMetrics>>,
     /// Shared lowercase domain/host handles: the per-report violator
@@ -404,6 +418,7 @@ impl Oak {
             event_seq: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
             sink: None,
+            cohorts: Mutex::new(CohortBaselines::new(CohortConfig::default())),
             obs: None,
             interner: crate::intern::Interner::new(),
         }
@@ -674,7 +689,16 @@ impl Oak {
         let ingest_start = self.obs.as_ref().map(|o| o.now());
         let detect_span = oak_obs::span("detect");
         let analysis = PageAnalysis::from_report(report);
-        let violations = detect_violators(&analysis, &self.config.detector);
+        let violations = match self.config.detector_policy {
+            DetectorPolicy::Global => detect_violators(&analysis, &self.config.detector),
+            // The cohort lock is taken and released before any rule-table
+            // or shard lock below — no ordering cycle is possible.
+            DetectorPolicy::Cohort => self
+                .cohorts
+                .lock()
+                .expect("cohort baselines lock")
+                .detect_and_update(&analysis, report.device, &self.config.detector),
+        };
         let violator_ips: Vec<String> = violations.iter().map(|v| v.ip.clone()).collect();
         // Violator domains are lowercased once per report via the
         // interner; for already-seen domains (the steady state) this is

@@ -63,6 +63,7 @@
 pub mod aggregates;
 pub mod analysis;
 pub mod audit;
+pub mod cohort;
 pub mod detect;
 pub mod engine;
 pub mod events;
@@ -88,12 +89,15 @@ pub const OAK_ALTERNATE_HEADER: &str = "X-Oak-Alternate";
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::analysis::{PageAnalysis, ServerStats};
-    pub use crate::detect::{DetectorConfig, OutlierMethod, Violation, ViolationKind};
+    pub use crate::cohort::{CohortBaselines, CohortConfig};
+    pub use crate::detect::{
+        DetectorConfig, DetectorPolicy, OutlierMethod, Violation, ViolationKind,
+    };
     pub use crate::engine::{IngestOutcome, ModifiedPage, Oak, OakConfig};
     pub use crate::fetch::{FetchPolicy, FetchSnapshot, FetchStats, ResilientFetcher};
     pub use crate::matching::{MatchLevel, NoFetch, ScriptFetcher};
     pub use crate::obs::CoreMetrics;
-    pub use crate::report::{ObjectTiming, PerfReport};
+    pub use crate::report::{DeviceClass, ObjectTiming, PerfReport};
     pub use crate::rule::{
         ActivationPolicy, ClientFilter, Rule, RuleId, RuleType, SelectionPolicy, SubRule,
     };

@@ -14,6 +14,69 @@ use std::fmt;
 
 use oak_json::{Event, ParseError, Scanner, Value};
 
+/// The reporting client's device cohort.
+///
+/// Mobile CPUs execute script an order of magnitude slower than desktop
+/// parts ("What slows you down? Your network or your device?"), so the
+/// same healthy ad server produces very different object timings across
+/// device classes. Reports carry the class as a hint; the
+/// [`crate::detect::DetectorPolicy::Cohort`] detector keys its baselines
+/// on it. Reports from clients that predate the field — or that choose
+/// not to disclose — decode as [`DeviceClass::Unknown`], which behaves
+/// as its own cohort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceClass {
+    /// No hint: pre-field encodings and privacy-conscious clients.
+    #[default]
+    Unknown,
+    /// Desktop-class CPU on a wired or wifi link.
+    Desktop,
+    /// Mid-range mobile hardware on a cellular radio.
+    MidMobile,
+    /// Low-end mobile hardware on a cellular radio.
+    LowEndMobile,
+}
+
+impl DeviceClass {
+    /// Every class, in wire-byte order.
+    pub const ALL: [DeviceClass; 4] = [
+        DeviceClass::Unknown,
+        DeviceClass::Desktop,
+        DeviceClass::MidMobile,
+        DeviceClass::LowEndMobile,
+    ];
+
+    /// The canonical wire spelling (JSON `device` field, CLI flags).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeviceClass::Unknown => "unknown",
+            DeviceClass::Desktop => "desktop",
+            DeviceClass::MidMobile => "mid-mobile",
+            DeviceClass::LowEndMobile => "low-end-mobile",
+        }
+    }
+
+    /// Parses the canonical spelling; `None` for anything else.
+    pub fn parse(text: &str) -> Option<DeviceClass> {
+        DeviceClass::ALL.into_iter().find(|c| c.as_str() == text)
+    }
+
+    /// The binary wire byte (see [`crate::wire`]).
+    pub(crate) fn wire_byte(self) -> u8 {
+        match self {
+            DeviceClass::Unknown => 0,
+            DeviceClass::Desktop => 1,
+            DeviceClass::MidMobile => 2,
+            DeviceClass::LowEndMobile => 3,
+        }
+    }
+
+    /// Inverts [`DeviceClass::wire_byte`]; `None` for unassigned bytes.
+    pub(crate) fn from_wire_byte(byte: u8) -> Option<DeviceClass> {
+        DeviceClass::ALL.get(byte as usize).copied()
+    }
+}
+
 /// One fetched object, as measured by the client.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ObjectTiming {
@@ -61,6 +124,10 @@ pub struct PerfReport {
     pub user: String,
     /// The page path the report describes.
     pub page: String,
+    /// The reporting device's cohort hint. [`DeviceClass::Unknown`] for
+    /// encodings that predate the field; serialization omits it in that
+    /// case, so device-free reports are byte-identical to the old format.
+    pub device: DeviceClass,
     /// Per-object measurements.
     pub entries: Vec<ObjectTiming>,
 }
@@ -113,8 +180,15 @@ impl PerfReport {
         PerfReport {
             user: user.into(),
             page: page.into(),
+            device: DeviceClass::Unknown,
             entries: Vec::new(),
         }
+    }
+
+    /// Sets the device-cohort hint, builder style.
+    pub fn with_device(mut self, device: DeviceClass) -> PerfReport {
+        self.device = device;
+        self
     }
 
     /// Appends a measurement.
@@ -127,6 +201,11 @@ impl PerfReport {
         let mut doc = Value::object();
         doc.set("user", self.user.as_str());
         doc.set("page", self.page.as_str());
+        // Omitted for Unknown: a device-free report serializes exactly as
+        // it did before the field existed.
+        if self.device != DeviceClass::Unknown {
+            doc.set("device", self.device.as_str());
+        }
         let mut entries = Value::array();
         for e in &self.entries {
             let mut obj = Value::object();
@@ -159,6 +238,9 @@ impl PerfReport {
         let mut scanner = Scanner::new(text);
         let mut user: Option<String> = None;
         let mut page: Option<String> = None;
+        // `Some(None)` marks a `device` key whose value was not a string
+        // — distinct from an absent key, which is simply Unknown.
+        let mut device: Option<Option<String>> = None;
         let mut entries: Option<Vec<ObjectTiming>> = None;
         match next(&mut scanner)? {
             Some(Event::ObjectStart) => {}
@@ -176,6 +258,7 @@ impl PerfReport {
                     // the last occurrence wins, whatever its type.
                     "user" => user = scan_string_value(&mut scanner)?,
                     "page" => page = scan_string_value(&mut scanner)?,
+                    "device" => device = Some(scan_string_value(&mut scanner)?),
                     "entries" => entries = scan_entries(&mut scanner)?,
                     _ => scanner
                         .skip_value()
@@ -190,9 +273,16 @@ impl PerfReport {
         let user = user.ok_or_else(|| ReportDecodeError("missing user".into()))?;
         let page = page.ok_or_else(|| ReportDecodeError("missing page".into()))?;
         let entries = entries.ok_or_else(|| ReportDecodeError("missing entries".into()))?;
+        let device = match device {
+            None => DeviceClass::Unknown,
+            Some(Some(name)) => DeviceClass::parse(&name)
+                .ok_or_else(|| ReportDecodeError(format!("unknown device class {name:?}")))?,
+            Some(None) => return Err(ReportDecodeError("device not a string".into())),
+        };
         Ok(PerfReport {
             user,
             page,
+            device,
             entries,
         })
     }

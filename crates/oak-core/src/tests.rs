@@ -3,6 +3,7 @@
 mod aggregates_tests;
 mod analysis_tests;
 mod audit_tests;
+mod cohort_tests;
 mod detect_tests;
 mod engine_props;
 mod engine_tests;

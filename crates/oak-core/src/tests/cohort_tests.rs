@@ -1,0 +1,186 @@
+//! The cohort detector: cold abstention, warm confirmation, chronic
+//! exoneration, the FP ⊆ construction, and the key-cap bound.
+
+use proptest::prelude::*;
+
+use crate::analysis::PageAnalysis;
+use crate::cohort::{CohortBaselines, CohortConfig};
+use crate::detect::{detect_violators, DetectorConfig, DetectorPolicy};
+use crate::engine::{Oak, OakConfig};
+use crate::matching::NoFetch;
+use crate::report::{DeviceClass, ObjectTiming, PerfReport};
+use crate::rule::Rule;
+use crate::Instant;
+
+/// Five servers; `slow_ms` prices the first one's small object, the rest
+/// sit in a healthy 70–95 ms band. At 900 ms the first server is a clear
+/// global MAD outlier.
+fn report_with_slow_server(slow_ms: f64) -> PerfReport {
+    let mut report = PerfReport::new("u-1", "/index.html");
+    report.push(ObjectTiming::new(
+        "http://ads.example/chain.js",
+        "10.0.0.1",
+        30_000,
+        slow_ms,
+    ));
+    for (i, healthy_ms) in [80.0, 95.0, 70.0, 90.0].iter().enumerate() {
+        report.push(ObjectTiming::new(
+            format!("http://srv{i}.example/a.js"),
+            format!("10.0.0.{}", i + 2),
+            30_000,
+            *healthy_ms,
+        ));
+    }
+    report
+}
+
+fn flagged_ips(baselines: &mut CohortBaselines, report: &PerfReport) -> Vec<String> {
+    let analysis = PageAnalysis::from_report(report);
+    baselines
+        .detect_and_update(&analysis, report.device, &DetectorConfig::default())
+        .into_iter()
+        .map(|v| v.ip)
+        .collect()
+}
+
+/// A cold baseline abstains: the global test flags the slow server, the
+/// cohort gate drops it for lack of history.
+#[test]
+fn cold_baselines_abstain() {
+    let report = report_with_slow_server(900.0).with_device(DeviceClass::MidMobile);
+    let analysis = PageAnalysis::from_report(&report);
+    assert_eq!(
+        detect_violators(&analysis, &DetectorConfig::default()).len(),
+        1,
+        "precondition: the global test must flag the slow server"
+    );
+    let mut baselines = CohortBaselines::new(CohortConfig::default());
+    assert!(flagged_ips(&mut baselines, &report).is_empty());
+}
+
+/// A server that degrades past its own warm, healthy history stays
+/// flagged — the cohort gate confirms real regressions.
+#[test]
+fn warm_baseline_confirms_a_real_regression() {
+    let mut baselines = CohortBaselines::new(CohortConfig::default());
+    // Warm every baseline with healthy reports (no global outliers).
+    for _ in 0..CohortConfig::default().min_samples {
+        let healthy = report_with_slow_server(85.0).with_device(DeviceClass::MidMobile);
+        assert!(flagged_ips(&mut baselines, &healthy).is_empty());
+    }
+    // The ad server jumps to 10× its own history: flag survives.
+    let degraded = report_with_slow_server(900.0).with_device(DeviceClass::MidMobile);
+    assert_eq!(flagged_ips(&mut baselines, &degraded), vec!["10.0.0.1"]);
+}
+
+/// A server that is *always* slow for this cohort — device-induced
+/// script cost, not a failing server — warms its baseline at the slow
+/// value and is exonerated, report after report.
+#[test]
+fn chronically_slow_for_cohort_is_exonerated() {
+    let mut baselines = CohortBaselines::new(CohortConfig::default());
+    for _ in 0..32 {
+        let report = report_with_slow_server(900.0).with_device(DeviceClass::LowEndMobile);
+        assert!(
+            flagged_ips(&mut baselines, &report).is_empty(),
+            "cohort-normal slowness must never be blamed on the server"
+        );
+    }
+}
+
+/// Baselines are per cohort: a desktop that suddenly sees ad-server
+/// slowness is not exonerated by the mobile cohort's inflated history.
+#[test]
+fn cohorts_do_not_share_baselines() {
+    let mut baselines = CohortBaselines::new(CohortConfig::default());
+    for _ in 0..16 {
+        let mobile = report_with_slow_server(900.0).with_device(DeviceClass::LowEndMobile);
+        flagged_ips(&mut baselines, &mobile);
+        let desktop = report_with_slow_server(85.0).with_device(DeviceClass::Desktop);
+        assert!(flagged_ips(&mut baselines, &desktop).is_empty());
+    }
+    let degraded = report_with_slow_server(900.0).with_device(DeviceClass::Desktop);
+    assert_eq!(flagged_ips(&mut baselines, &degraded), vec!["10.0.0.1"]);
+}
+
+/// The key-cap bound: past `max_keys`, new servers stay untracked (and
+/// cold), so a hostile report stream cannot grow the table.
+#[test]
+fn key_cap_bounds_tracked_state() {
+    let config = CohortConfig {
+        max_keys: 8,
+        ..CohortConfig::default()
+    };
+    let mut baselines = CohortBaselines::new(config);
+    for i in 0..100 {
+        let mut report = PerfReport::new("u", "/p").with_device(DeviceClass::Desktop);
+        for j in 0..5 {
+            report.push(ObjectTiming::new(
+                format!("http://h{i}-{j}.example/a.js"),
+                format!("10.{i}.{j}.1"),
+                30_000,
+                80.0,
+            ));
+        }
+        flagged_ips(&mut baselines, &report);
+    }
+    assert_eq!(baselines.tracked_keys(), 8);
+}
+
+/// The engine seam: under the default global policy the lib.rs doc
+/// example activates its rule on the first report; under the cohort
+/// policy the same report abstains (cold baselines) — and the default
+/// path never even constructs cohort state.
+#[test]
+fn engine_policy_seam_gates_activation() {
+    for (policy, expect_activation) in [
+        (DetectorPolicy::Global, true),
+        (DetectorPolicy::Cohort, false),
+    ] {
+        let oak = Oak::new(OakConfig {
+            detector_policy: policy,
+            ..OakConfig::default()
+        });
+        let rule = Rule::replace_identical(
+            r#"<script src="http://ads.example/chain.js">"#,
+            [r#"<script src="http://mirror.example/chain.js">"#],
+        );
+        let rule_id = oak.add_rule(rule).unwrap();
+        let report = report_with_slow_server(900.0).with_device(DeviceClass::MidMobile);
+        let outcome = oak.ingest_report(Instant::ZERO, &report, &NoFetch);
+        if expect_activation {
+            assert_eq!(outcome.activated, vec![rule_id]);
+        } else {
+            assert!(outcome.activated.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FP(cohort) ⊆ FP(global) by construction: whatever the history,
+    /// the cohort detector never flags a server the global test would
+    /// not have flagged on the same report.
+    #[test]
+    fn cohort_flags_are_a_subset_of_global(
+        warmup in prop::collection::vec((60.0f64..2_000.0, 0usize..4), 0..24),
+        probe_ms in 60.0f64..2_000.0,
+        device_index in 0usize..4,
+    ) {
+        let mut baselines = CohortBaselines::new(CohortConfig::default());
+        for (slow_ms, dev) in warmup {
+            let report = report_with_slow_server(slow_ms).with_device(DeviceClass::ALL[dev]);
+            flagged_ips(&mut baselines, &report);
+        }
+        let probe = report_with_slow_server(probe_ms).with_device(DeviceClass::ALL[device_index]);
+        let analysis = PageAnalysis::from_report(&probe);
+        let global: Vec<String> = detect_violators(&analysis, &DetectorConfig::default())
+            .into_iter()
+            .map(|v| v.ip)
+            .collect();
+        for ip in flagged_ips(&mut baselines, &probe) {
+            prop_assert!(global.contains(&ip), "{ip} flagged by cohort but not global");
+        }
+    }
+}

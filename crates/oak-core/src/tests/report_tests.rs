@@ -1,4 +1,4 @@
-use crate::report::{ObjectTiming, PerfReport};
+use crate::report::{DeviceClass, ObjectTiming, PerfReport};
 
 fn sample_report() -> PerfReport {
     let mut r = PerfReport::new("u-42", "/shop/index.html");
@@ -22,6 +22,40 @@ fn json_roundtrip() {
     let r = sample_report();
     let decoded = PerfReport::from_json(&r.to_json()).unwrap();
     assert_eq!(decoded, r);
+}
+
+/// The device field round-trips through JSON, is omitted when unknown
+/// (so device-free output is byte-identical to the pre-device encoder),
+/// and rejects unrecognized class names.
+#[test]
+fn device_json_roundtrip() {
+    for device in DeviceClass::ALL {
+        let r = sample_report().with_device(device);
+        let json = r.to_json();
+        if device == DeviceClass::Unknown {
+            assert!(!json.contains("device"), "unexpected device key: {json}");
+            assert_eq!(json, sample_report().to_json());
+        } else {
+            assert!(json.contains(&format!("\"device\":\"{}\"", device.as_str())));
+        }
+        assert_eq!(PerfReport::from_json(&json).unwrap(), r);
+    }
+
+    let bad = r#"{"user":"u","page":"/p","device":"toaster","entries":[]}"#;
+    let err = PerfReport::from_json(bad).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "bad performance report: unknown device class \"toaster\""
+    );
+}
+
+/// The CLI/JSON spellings and the wire bytes both round-trip the enum.
+#[test]
+fn device_class_spellings() {
+    for device in DeviceClass::ALL {
+        assert_eq!(DeviceClass::parse(device.as_str()), Some(device));
+    }
+    assert_eq!(DeviceClass::parse("phone"), None);
 }
 
 #[test]

@@ -4,8 +4,14 @@
 
 use proptest::prelude::*;
 
-use crate::report::{ObjectTiming, PerfReport};
+use crate::report::{DeviceClass, ObjectTiming, PerfReport};
 use crate::wire;
+
+/// Strategy: any device class, including `Unknown` (which exercises the
+/// v1-frame emission path in the encoder).
+fn any_device() -> impl Strategy<Value = DeviceClass> {
+    (0usize..DeviceClass::ALL.len()).prop_map(|i| DeviceClass::ALL[i])
+}
 
 /// Strategy: a report whose every field is within bounds, with printable
 /// unicode strings (`\PC` mixes in multi-byte characters) and
@@ -19,13 +25,19 @@ fn valid_report() -> impl Strategy<Value = PerfReport> {
         0u64..PerfReport::MAX_BYTES + 1,
         0u64..32_000_000_001,
     );
-    (text(), text(), prop::collection::vec(entry, 0..6)).prop_map(|(user, page, entries)| {
-        let mut report = PerfReport::new(user, page);
-        for (url, ip, bytes, time) in entries {
-            report.push(ObjectTiming::new(url, ip, bytes, time as f64));
-        }
-        report
-    })
+    (
+        text(),
+        text(),
+        any_device(),
+        prop::collection::vec(entry, 0..6),
+    )
+        .prop_map(|(user, page, device, entries)| {
+            let mut report = PerfReport::new(user, page).with_device(device);
+            for (url, ip, bytes, time) in entries {
+                report.push(ObjectTiming::new(url, ip, bytes, time as f64));
+            }
+            report
+        })
 }
 
 /// LEB128, mirroring the encoder, for hand-crafting hostile frames.
@@ -129,18 +141,70 @@ fn bounds_rejected_identically() {
 
 #[test]
 fn rejects_wrong_version() {
-    let err = PerfReport::from_binary(&[0x02]).unwrap_err();
+    let err = PerfReport::from_binary(&[0x03]).unwrap_err();
     assert_eq!(
         err.to_string(),
-        "bad performance report: unsupported wire version 0x02 (expected 0x01)"
+        "bad performance report: unsupported wire version 0x03 (expected 0x01 or 0x02)"
     );
     assert!(PerfReport::from_binary(&[]).is_err());
+}
+
+/// A v1 frame — no device byte — decodes with the `Unknown` cohort, so
+/// pre-device clients keep working against a v2 decoder.
+#[test]
+fn v1_frames_decode_as_unknown_device() {
+    let mut frame = vec![wire::WIRE_VERSION_V1];
+    frame.extend(varint(1));
+    frame.push(b'u');
+    frame.extend(varint(2));
+    frame.extend(b"/p");
+    frame.extend(varint(0)); // no entries
+    let report = PerfReport::from_binary(&frame).expect("v1 frame decodes");
+    assert_eq!(report.device, DeviceClass::Unknown);
+    assert_eq!(report.user, "u");
+}
+
+/// The encoder downgrades device-free reports to the v1 layout — the
+/// frame is byte-identical to what a pre-device encoder produced.
+#[test]
+fn unknown_device_emits_v1_frames() {
+    let report = PerfReport::new("u", "/p");
+    assert_eq!(report.device, DeviceClass::Unknown);
+    let frame = report.to_binary();
+    assert_eq!(frame[0], wire::WIRE_VERSION_V1);
+
+    let hinted = PerfReport::new("u", "/p").with_device(DeviceClass::MidMobile);
+    let hinted_frame = hinted.to_binary();
+    assert_eq!(hinted_frame[0], wire::WIRE_VERSION);
+    assert_eq!(hinted_frame.len(), frame.len() + 1);
+}
+
+/// A v2 frame cut off right at the device byte is a truncation error.
+#[test]
+fn rejects_v2_frame_truncated_at_device() {
+    let err = PerfReport::from_binary(&[wire::WIRE_VERSION]).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "bad performance report: frame truncated reading device at byte 1"
+    );
+}
+
+/// Device bytes past the known classes are rejected, not aliased.
+#[test]
+fn rejects_unknown_device_byte() {
+    for byte in [0x04u8, 0x7f, 0xff] {
+        let err = PerfReport::from_binary(&[wire::WIRE_VERSION, byte]).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            format!("bad performance report: unknown device class 0x{byte:02x}")
+        );
+    }
 }
 
 #[test]
 fn rejects_lying_length_prefix() {
     // Claims a 200-byte user name; only 2 bytes follow.
-    let mut frame = vec![wire::WIRE_VERSION];
+    let mut frame = vec![wire::WIRE_VERSION, 0x02];
     frame.extend(varint(200));
     frame.extend(b"hi");
     let err = PerfReport::from_binary(&frame).unwrap_err();
@@ -152,7 +216,7 @@ fn rejects_lying_length_prefix() {
 
 #[test]
 fn rejects_non_utf8_strings() {
-    let mut frame = vec![wire::WIRE_VERSION];
+    let mut frame = vec![wire::WIRE_VERSION, 0x02];
     frame.extend(varint(2));
     frame.extend([0xff, 0xfe]);
     let err = PerfReport::from_binary(&frame).unwrap_err();
@@ -168,7 +232,7 @@ fn rejects_non_utf8_strings() {
 /// allocation the remaining bytes couldn't justify.
 #[test]
 fn rejects_entry_count_bomb() {
-    let mut frame = vec![wire::WIRE_VERSION];
+    let mut frame = vec![wire::WIRE_VERSION, 0x02];
     frame.extend(varint(0)); // user ""
     frame.extend(varint(0)); // page ""
     frame.extend(varint(PerfReport::MAX_ENTRIES as u64));
@@ -179,7 +243,7 @@ fn rejects_entry_count_bomb() {
     );
 
     // Over the limit entirely: same message as the JSON bound.
-    let mut frame = vec![wire::WIRE_VERSION];
+    let mut frame = vec![wire::WIRE_VERSION, 0x02];
     frame.extend(varint(0));
     frame.extend(varint(0));
     frame.extend(varint(PerfReport::MAX_ENTRIES as u64 + 1));
@@ -192,7 +256,7 @@ fn rejects_entry_count_bomb() {
 
 #[test]
 fn rejects_varint_overflow() {
-    let mut frame = vec![wire::WIRE_VERSION];
+    let mut frame = vec![wire::WIRE_VERSION, 0x02];
     frame.extend([0xff; 10]); // user-length varint with bits past u64
     assert!(PerfReport::from_binary(&frame).is_err());
 }

@@ -11,7 +11,11 @@
 //! DESIGN.md §12 is the normative spec):
 //!
 //! ```text
-//! u8      version          — must be WIRE_VERSION (0x01)
+//! u8      version          — 0x01 or WIRE_VERSION (0x02)
+//! u8      device           — version 0x02 only: the DeviceClass wire
+//!                            byte (0 unknown, 1 desktop, 2 mid-mobile,
+//!                            3 low-end-mobile); v1 frames have no
+//!                            device byte and decode as `unknown`
 //! varint  user_len         + user_len bytes of UTF-8
 //! varint  page_len         + page_len bytes of UTF-8
 //! varint  entry_count      — must be ≤ PerfReport::MAX_ENTRIES
@@ -23,19 +27,29 @@
 //! }
 //! ```
 //!
+//! Version negotiation is encoder-side: a report whose device class is
+//! `unknown` is emitted as a v1 frame, byte-identical to what pre-device
+//! encoders produced, so old decoders keep accepting everything a
+//! device-free client sends. Only a report that actually carries a
+//! cohort hint pays the v2 byte — and only v2-aware decoders see those.
+//!
 //! Decoding enforces exactly the bounds [`PerfReport::from_json`]
 //! enforces, with the same error text, so the two encodings accept the
 //! same set of reports. Every length is validated against the bytes
 //! actually remaining before any allocation is sized from it — a lying
 //! prefix or an entry-count bomb costs the attacker nothing but an error.
 
-use crate::report::{ObjectTiming, PerfReport, ReportDecodeError};
+use crate::report::{DeviceClass, ObjectTiming, PerfReport, ReportDecodeError};
 
 /// The negotiated media type for binary reports.
 pub const OAK_REPORT_CONTENT_TYPE: &str = "application/x-oak-report";
 
-/// The one and only wire version so far.
-pub const WIRE_VERSION: u8 = 0x01;
+/// The current wire version: v2 added the device-class byte.
+pub const WIRE_VERSION: u8 = 0x02;
+
+/// The original device-free layout; still decoded, and still what the
+/// encoder emits for reports without a device hint.
+pub const WIRE_VERSION_V1: u8 = 0x01;
 
 /// Smallest possible encoded entry: two empty strings (1 varint byte
 /// each), a 1-byte `bytes` varint, and the fixed 8-byte time. Used to
@@ -46,7 +60,7 @@ const MIN_ENTRY_BYTES: usize = 11;
 pub fn encode(report: &PerfReport) -> Vec<u8> {
     // Exact-ish preallocation: strings + worst-case varints + fixed parts.
     let mut out = Vec::with_capacity(
-        1 + 10
+        2 + 10
             + report.user.len()
             + report.page.len()
             + 20
@@ -56,7 +70,14 @@ pub fn encode(report: &PerfReport) -> Vec<u8> {
                 .map(|e| e.url.len() + e.ip.len() + 20 + 8)
                 .sum::<usize>(),
     );
-    out.push(WIRE_VERSION);
+    if report.device == DeviceClass::Unknown {
+        // No hint to carry: stay on the v1 layout so the frame is
+        // byte-identical to pre-device encoders.
+        out.push(WIRE_VERSION_V1);
+    } else {
+        out.push(WIRE_VERSION);
+        out.push(report.device.wire_byte());
+    }
     put_bytes(&mut out, report.user.as_bytes());
     put_bytes(&mut out, report.page.as_bytes());
     put_varint(&mut out, report.entries.len() as u64);
@@ -81,11 +102,21 @@ pub fn encode(report: &PerfReport) -> Vec<u8> {
 pub fn decode(bytes: &[u8]) -> Result<PerfReport, ReportDecodeError> {
     let mut r = Reader { bytes, pos: 0 };
     let version = r.u8("version")?;
-    if version != WIRE_VERSION {
-        return Err(ReportDecodeError::new(format!(
-            "unsupported wire version 0x{version:02x} (expected 0x{WIRE_VERSION:02x})"
-        )));
-    }
+    let device = match version {
+        WIRE_VERSION_V1 => DeviceClass::Unknown,
+        WIRE_VERSION => {
+            let byte = r.u8("device")?;
+            DeviceClass::from_wire_byte(byte).ok_or_else(|| {
+                ReportDecodeError::new(format!("unknown device class 0x{byte:02x}"))
+            })?
+        }
+        _ => {
+            return Err(ReportDecodeError::new(format!(
+                "unsupported wire version 0x{version:02x} \
+                 (expected 0x{WIRE_VERSION_V1:02x} or 0x{WIRE_VERSION:02x})"
+            )))
+        }
+    };
     // Borrowed slices only — nothing is copied until the whole frame
     // has validated.
     let user = r.str("user")?;
@@ -127,6 +158,7 @@ pub fn decode(bytes: &[u8]) -> Result<PerfReport, ReportDecodeError> {
     Ok(PerfReport {
         user: user.to_owned(),
         page: page.to_owned(),
+        device,
         entries,
     })
 }

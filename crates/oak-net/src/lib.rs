@@ -18,6 +18,10 @@
 //!   persistent path degradations targeting specific client regions — the
 //!   two outlier populations of Fig. 3 (≈ half vanish within a day, the
 //!   rest persist).
+//! - **Device classes** ([`DeviceProfile`]): client-side CPU and radio
+//!   cost classes (desktop / mid-mobile / low-end-mobile), so the same
+//!   page load prices differently on different silicon — the population
+//!   structure the cohort detector in `oak-core` exists for.
 //! - **Transfer pricing** ([`World::fetch`]): DNS + connect + request +
 //!   processing + bandwidth/latency-capped transfer, with multiplicative
 //!   log-normal noise derived *statelessly* from the tuple
@@ -42,6 +46,7 @@
 //! ```
 
 mod addr;
+mod device;
 mod dns;
 mod geo;
 mod impairment;
@@ -51,6 +56,7 @@ mod topology;
 mod transfer;
 
 pub use addr::{ClientId, IpAddr, ServerId};
+pub use device::DeviceProfile;
 pub use dns::Dns;
 pub use geo::{rtt_ms, Region};
 pub use impairment::{Impairment, ImpairmentKind};

@@ -43,7 +43,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 pub use expo::{encode, Family, FamilyKind, Series, SeriesValue};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, DURATION_BOUNDS_US};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, DURATION_BOUNDS_US,
+    MAX_SERIES_PER_FAMILY,
+};
 pub use trace::{span, Span, SpanGuard, Trace, TraceGuard, Tracer};
 pub use validate::{parse_samples, validate_exposition, Sample};
 

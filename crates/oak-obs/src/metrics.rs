@@ -254,6 +254,29 @@ enum FamilyCell {
 /// off one mutex.
 const STRIPES: usize = 8;
 
+/// Hard cap on live series per family. Label values drawn from
+/// unbounded input domains (user names, IPs) would otherwise grow the
+/// registry — and every scrape — without limit; past the cap, *new*
+/// label sets all resolve to one shared overflow series labeled
+/// `{overflow="true"}`, so the aggregate signal survives while memory
+/// stays bounded. Handles already returned are unaffected.
+pub const MAX_SERIES_PER_FAMILY: usize = 1024;
+
+fn overflow_labels() -> LabelSet {
+    vec![("overflow".to_owned(), "true".to_owned())]
+}
+
+/// The key `labels` resolves to: itself while the family has room (or
+/// is already tracked), the shared overflow series once it does not.
+fn capped_key<V>(series: &BTreeMap<LabelSet, V>, labels: &[(&str, &str)]) -> LabelSet {
+    let key = label_set(labels);
+    if series.contains_key(&key) || series.len() < MAX_SERIES_PER_FAMILY {
+        key
+    } else {
+        overflow_labels()
+    }
+}
+
 /// The metric registry: families keyed by name, striped by name hash.
 ///
 /// Handles returned by [`Registry::counter`] / [`Registry::gauge`] /
@@ -292,7 +315,8 @@ impl Registry {
             });
         match cell {
             FamilyCell::Counter { series, .. } => {
-                Arc::clone(series.entry(label_set(labels)).or_default())
+                let key = capped_key(series, labels);
+                Arc::clone(series.entry(key).or_default())
             }
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
@@ -313,7 +337,8 @@ impl Registry {
             });
         match cell {
             FamilyCell::Gauge { series, .. } => {
-                Arc::clone(series.entry(label_set(labels)).or_default())
+                let key = capped_key(series, labels);
+                Arc::clone(series.entry(key).or_default())
             }
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
@@ -350,9 +375,10 @@ impl Registry {
                     &**registered, bounds,
                     "metric {name:?} already registered with different bounds"
                 );
+                let key = capped_key(series, labels);
                 Arc::clone(
                     series
-                        .entry(label_set(labels))
+                        .entry(key)
                         .or_insert_with(|| Arc::new(Histogram::new(bounds))),
                 )
             }

@@ -1,7 +1,9 @@
 use std::sync::Arc;
 
 use crate::expo::encode;
-use crate::metrics::{Histogram, HistogramSnapshot, Registry, DURATION_BOUNDS_US};
+use crate::metrics::{
+    Histogram, HistogramSnapshot, Registry, DURATION_BOUNDS_US, MAX_SERIES_PER_FAMILY,
+};
 use crate::trace::{span, Tracer, MAX_SPANS_PER_TRACE};
 use crate::validate::{parse_samples, validate_exposition};
 use crate::{elapsed_us, fixed_clock, step_clock};
@@ -66,6 +68,72 @@ fn registry_rejects_kind_conflicts() {
     let registry = Registry::new();
     registry.counter("oak_test_conflict", "c", &[]);
     registry.gauge("oak_test_conflict", "g", &[]);
+}
+
+#[test]
+fn series_cardinality_is_capped_per_family() {
+    let registry = Registry::new();
+    // Twice the cap in distinct label values — an unbounded input
+    // domain (user names, client IPs) leaking into labels.
+    for i in 0..2 * MAX_SERIES_PER_FAMILY {
+        let user = format!("user-{i}");
+        registry
+            .counter("oak_test_flood_total", "f", &[("user", &user)])
+            .inc();
+    }
+    let families = registry.families();
+    let family = families
+        .iter()
+        .find(|f| f.name == "oak_test_flood_total")
+        .expect("family registered");
+    // The cap plus the single shared overflow series.
+    assert_eq!(family.series.len(), MAX_SERIES_PER_FAMILY + 1);
+    let overflow = family
+        .series
+        .iter()
+        .find(|s| s.labels == vec![("overflow".to_owned(), "true".to_owned())])
+        .expect("overflow series present");
+    // Every post-cap increment landed on the overflow series: no
+    // observation is silently dropped.
+    match overflow.value {
+        crate::expo::SeriesValue::Scalar(v) => {
+            assert_eq!(v as usize, MAX_SERIES_PER_FAMILY);
+        }
+        _ => panic!("counter family exposes scalars"),
+    }
+}
+
+#[test]
+fn capped_families_keep_existing_series_live_and_distinct() {
+    let registry = Registry::new();
+    let first = registry.gauge("oak_test_capped", "g", &[("k", "first")]);
+    for i in 0..MAX_SERIES_PER_FAMILY {
+        let v = format!("v-{i}");
+        registry.gauge("oak_test_capped", "g", &[("k", &v)]);
+    }
+    // Pre-cap series still resolve to their own atomics...
+    let first_again = registry.gauge("oak_test_capped", "g", &[("k", "first")]);
+    first.set(41);
+    first_again.set(42);
+    assert_eq!(first.get(), 42);
+    // ...while distinct new label sets collapse into one shared series.
+    let over_a = registry.gauge("oak_test_capped", "g", &[("k", "late-a")]);
+    let over_b = registry.gauge("oak_test_capped", "g", &[("k", "late-b")]);
+    over_a.set(7);
+    assert_eq!(over_b.get(), 7, "post-cap label sets share the overflow");
+}
+
+#[test]
+fn capped_histograms_share_overflow_buckets() {
+    let registry = Registry::new();
+    for i in 0..MAX_SERIES_PER_FAMILY {
+        let v = format!("v-{i}");
+        registry.histogram("oak_test_capped_us", "h", &[("k", &v)], &[1.0, 10.0]);
+    }
+    let over_a = registry.histogram("oak_test_capped_us", "h", &[("k", "late-a")], &[1.0, 10.0]);
+    let over_b = registry.histogram("oak_test_capped_us", "h", &[("k", "late-b")], &[1.0, 10.0]);
+    over_a.record(5.0);
+    assert_eq!(over_b.snapshot().count(), 1);
 }
 
 // --- exposition ---

@@ -7,6 +7,7 @@
 //! ```text
 //! oak-serve --root ./site --rules ./site.oakrules [--port 8080]
 //!           [--edge threads|epoll] [--edge-workers <n>]
+//!           [--detector global|cohort]
 //!           [--store ./oak-state] [--fsync always|never|<n>]
 //!           [--cluster --peers <a:p,b:p,c:p> --role <n>]
 //!           [--snapshot-every <events>] [--audit-retention <entries>]
@@ -56,6 +57,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use oak_core::detect::DetectorPolicy;
 use oak_core::engine::OakConfig;
 use oak_core::Instant;
 use oak_edge::{AnyServer, Backend, EdgeConfig};
@@ -81,6 +83,7 @@ struct Args {
     edge: EdgeConfig,
     store: Option<PathBuf>,
     store_options: StoreOptions,
+    detector: DetectorPolicy,
     audit_retention: Option<usize>,
     prune: Option<PrunePolicy>,
     limits: ServerLimits,
@@ -91,7 +94,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: oak-serve --root <dir> [--rules <file>] [--port <n>] \
-[--edge threads|epoll] [--edge-workers <n>] \
+[--edge threads|epoll] [--edge-workers <n>] [--detector global|cohort] \
 [--store <dir>] [--fsync always|never|<n>] [--snapshot-every <events>] \
 [--cluster --peers <a:p,b:p,...> --role <n>] \
 [--audit-retention <entries>] [--prune-idle-ms <ms>] [--prune-every <requests>] \
@@ -113,6 +116,17 @@ transport backend:
                            /oak/health grow reactor gauges under epoll.
   --edge-workers <n>       handler threads for the epoll backend
                            (default 0 = size from available cores)
+
+violator detection:
+  --detector global|cohort global (the default) is the paper's per-report
+                           MAD test; cohort additionally requires a
+                           flagged server to deviate from what the
+                           reporting client's device class historically
+                           saw from it, so device-induced slowness (ad
+                           chains on mobile CPUs) stops being blamed on
+                           healthy servers. With the default, every
+                           operator surface is byte-identical to builds
+                           without the flag.
 
 replication (requires --store; see the README cluster quickstart):
   --cluster                replicate the engine across --peers: WAL
@@ -176,6 +190,7 @@ fn parse_args() -> Result<Args, String> {
     let mut edge = EdgeConfig::default();
     let mut store = None;
     let mut store_options = StoreOptions::default();
+    let mut detector = DetectorPolicy::default();
     let mut audit_retention = None;
     let mut prune_idle_ms = None;
     let mut prune_every = 1024u64;
@@ -220,6 +235,11 @@ fn parse_args() -> Result<Args, String> {
                     .collect();
             }
             "--role" => role = number("--role", value("--role")?)? as u32,
+            "--detector" => {
+                let raw = value("--detector")?;
+                detector = DetectorPolicy::parse(&raw)
+                    .ok_or_else(|| format!("--detector must be global or cohort, got {raw:?}"))?;
+            }
             "--store" => store = Some(PathBuf::from(value("--store")?)),
             "--fsync" => {
                 store_options.fsync = match value("--fsync")?.as_str() {
@@ -365,6 +385,7 @@ fn parse_args() -> Result<Args, String> {
         edge,
         store,
         store_options,
+        detector,
         audit_retention,
         prune: prune_idle_ms.map(|idle_ms| PrunePolicy {
             idle_ms,
@@ -407,8 +428,12 @@ fn main() -> ExitCode {
 
     let config = OakConfig {
         log_retention: args.audit_retention,
+        detector_policy: args.detector,
         ..OakConfig::default()
     };
+    if args.detector != DetectorPolicy::default() {
+        eprintln!("violator detection policy: {}", args.detector.as_str());
+    }
 
     // --cluster: the replication runtime owns the store directory and
     // the engine; the service resolves the live replica per request via

@@ -333,6 +333,17 @@ impl<'c> Generator<'c> {
             tag
         });
 
+        // Ad-chain-heavy sites: re-route directly-included ad scripts
+        // through dependent loader chains. Keyed off a fresh salt, so
+        // corpora generated without chains draw exactly the streams they
+        // always did.
+        if self.config.ad_chain_depth > 0 {
+            let mut chain_rng = self.rng(0x55, index as u64);
+            if chain_rng.chance(self.config.ad_heavy_fraction) {
+                self.add_ad_chains(index, &mut objects, &mut chain_rng);
+            }
+        }
+
         let html = render_page(&host, &objects, loader_tag.as_deref());
         Site {
             host,
@@ -341,6 +352,79 @@ impl<'c> Generator<'c> {
             html,
             objects,
         }
+    }
+
+    /// Re-routes most of a site's directly-included ad scripts behind
+    /// dependent loader chains, the adPerf page shape: the markup names
+    /// only `chain…-0.js`, whose body fetches hop 1, whose body fetches
+    /// hop 2, … until the last hop fetches the original ad object. Every
+    /// hop is a small script hosted on the ad provider's own domain — on
+    /// a desktop the chain is almost free, on a phone each hop pays the
+    /// per-script CPU cost, which is exactly the device-induced slowness
+    /// the cohort detector must not blame on the provider.
+    fn add_ad_chains(
+        &mut self,
+        site_index: usize,
+        objects: &mut Vec<PageObject>,
+        rng: &mut StatelessRng,
+    ) {
+        let depth = self.config.ad_chain_depth;
+        let candidates: Vec<usize> = objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| {
+                o.external
+                    && o.category == Category::AdsAnalytics
+                    && matches!(o.inclusion, Inclusion::SrcAttr)
+                    && o.snippet.is_some()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut chain_objects = Vec::new();
+        for (slot, &oi) in candidates.iter().enumerate() {
+            if !rng.chance(0.8) {
+                continue;
+            }
+            let (domain, server, target_url) = {
+                let o = &objects[oi];
+                (o.domain.clone(), o.server, o.url.clone())
+            };
+            let hop_urls: Vec<String> = (0..depth)
+                .map(|hop| format!("http://{domain}/chain{site_index}-{slot}-{hop}.js"))
+                .collect();
+            for hop in 0..depth {
+                let next = hop_urls.get(hop + 1).unwrap_or(&target_url);
+                let body = format!(
+                    "// ad chain hop {hop} for {domain}\nfunction oakFetch(u) {{ new Image().src = u; }}\noakFetch(\"{next}\");\n"
+                );
+                chain_objects.push(PageObject {
+                    url: hop_urls[hop].clone(),
+                    domain: domain.clone(),
+                    server,
+                    bytes: body.len() as u64,
+                    category: Category::AdsAnalytics,
+                    inclusion: if hop == 0 {
+                        Inclusion::SrcAttr
+                    } else {
+                        Inclusion::ExternalJs {
+                            loader_url: hop_urls[hop - 1].clone(),
+                        }
+                    },
+                    external: true,
+                    snippet: (hop == 0)
+                        .then(|| format!(r#"<script src="{}"></script>"#, hop_urls[hop])),
+                });
+                self.script_bodies.insert(hop_urls[hop].clone(), body);
+            }
+            // The original ad object now arrives only through the chain:
+            // its markup snippet disappears and its inclusion is the last
+            // hop's external-JS reference.
+            objects[oi].snippet = None;
+            objects[oi].inclusion = Inclusion::ExternalJs {
+                loader_url: hop_urls.last().expect("depth > 0").clone(),
+            };
+        }
+        objects.extend(chain_objects);
     }
 
     /// The host serving a site's tag-loader script: one of the shared

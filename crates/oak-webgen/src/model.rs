@@ -160,6 +160,16 @@ pub struct CorpusConfig {
     /// Expected number of transient congestion windows per provider per
     /// simulated week (the Fig. 3 "ephemeral" population).
     pub transient_windows_per_week: f64,
+    /// Fraction of sites that are ad-chain-heavy: most of their directly
+    /// included ad scripts are re-routed through dependent loader chains
+    /// (each hop's body fetches the next), the adPerf page shape that
+    /// makes mobile CPUs pay per hop. 0 (the default) generates no
+    /// chains and leaves the corpus byte-identical to earlier versions.
+    pub ad_heavy_fraction: f64,
+    /// Number of chained loader hops in front of each re-routed ad
+    /// object on ad-heavy sites. 0 disables chains regardless of
+    /// `ad_heavy_fraction`.
+    pub ad_chain_depth: usize,
 }
 
 impl Default for CorpusConfig {
@@ -172,6 +182,8 @@ impl Default for CorpusConfig {
             providers: 120,
             persistent_impairment_rate: 0.02,
             transient_windows_per_week: 1.8,
+            ad_heavy_fraction: 0.0,
+            ad_chain_depth: 0,
         }
     }
 }

@@ -328,3 +328,72 @@ fn generated_pages_tokenize_cleanly() {
         );
     }
 }
+
+#[test]
+fn ad_chains_are_off_by_default_and_leave_the_corpus_unchanged() {
+    let plain = small_corpus(7);
+    let explicit = Corpus::generate(&CorpusConfig {
+        sites: 40,
+        seed: 7,
+        providers: 50,
+        ad_heavy_fraction: 0.9,
+        ad_chain_depth: 0, // depth 0 disables chains outright
+        ..CorpusConfig::default()
+    });
+    for (a, b) in plain.sites.iter().zip(&explicit.sites) {
+        assert_eq!(a.html, b.html);
+        assert_eq!(a.objects.len(), b.objects.len());
+    }
+    assert!(!plain.script_bodies.keys().any(|u| u.contains("/chain")));
+}
+
+#[test]
+fn ad_heavy_sites_route_ads_through_dependent_chains() {
+    let depth = 4;
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites: 40,
+        seed: 7,
+        providers: 50,
+        ad_heavy_fraction: 1.0,
+        ad_chain_depth: depth,
+        ..CorpusConfig::default()
+    });
+    let chained_site = corpus
+        .sites
+        .iter()
+        .find(|s| s.objects.iter().any(|o| o.url.contains("/chain")))
+        .expect("with fraction 1.0 some site has chains");
+
+    // Hop 0 is in the markup; later hops are not — they are discovered
+    // only by executing the previous hop's body.
+    let hop0 = chained_site
+        .objects
+        .iter()
+        .find(|o| o.url.contains("-0.js") && o.url.contains("/chain"))
+        .expect("chain hop 0 exists");
+    assert!(chained_site.html.contains(&hop0.url));
+    assert_eq!(hop0.inclusion, Inclusion::SrcAttr);
+
+    // Each hop's body fetches the next; the last hop fetches a real ad
+    // object of the same provider.
+    let mut url = hop0.url.clone();
+    for _ in 0..depth {
+        let body = corpus.script_body(&url).expect("chain hop has a body");
+        let next_start = body.find("oakFetch(\"").expect("hop fetches next") + "oakFetch(\"".len();
+        let next_end = body[next_start..].find('"').unwrap() + next_start;
+        url = body[next_start..next_end].to_owned();
+    }
+    let target = chained_site
+        .objects
+        .iter()
+        .find(|o| o.url == url)
+        .expect("chain terminates at a page object");
+    assert_eq!(target.category, Category::AdsAnalytics);
+    assert!(
+        matches!(&target.inclusion, Inclusion::ExternalJs { loader_url } if loader_url.contains("/chain")),
+        "target rides the chain: {:?}",
+        target.inclusion
+    );
+    assert!(target.snippet.is_none(), "target left the markup");
+    assert_eq!(target.domain, hop0.domain, "chain stays on the provider");
+}
